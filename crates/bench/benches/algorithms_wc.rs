@@ -1,0 +1,57 @@
+//! Figure 1 microbench: end-to-end IM algorithms under the WC model.
+//!
+//! Criterion timings at `Small` scale; the `experiments fig1` binary
+//! produces the full sweep. Expected ordering: IMM slowest, then SSA,
+//! OPIM-C, with SUBSIM (OPIM-C + geometric skips) fastest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subsim_bench::workloads::{dataset, Scale};
+use subsim_core::{Hist, ImAlgorithm, ImOptions, Imm, OpimC, Ssa, TimPlus};
+use subsim_graph::WeightModel;
+
+fn bench_wc_algorithms(c: &mut Criterion) {
+    let g = dataset("pokec-s", WeightModel::Wc, Scale::Small);
+    let algs: Vec<(&str, Box<dyn ImAlgorithm>)> = vec![
+        ("tim+", Box::new(TimPlus::vanilla())),
+        ("imm", Box::new(Imm::vanilla())),
+        ("ssa", Box::new(Ssa::vanilla())),
+        ("opim-c", Box::new(OpimC::vanilla())),
+        ("subsim", Box::new(OpimC::subsim())),
+        ("hist+subsim", Box::new(Hist::with_subsim())),
+    ];
+    let mut group = c.benchmark_group("algorithms/wc/pokec-s");
+    group.sample_size(10);
+    for k in [10usize, 50] {
+        for (label, alg) in &algs {
+            group.bench_with_input(BenchmarkId::new(*label, k), &k, |b, &k| {
+                let opts = ImOptions::new(k).seed(7);
+                b.iter(|| black_box(alg.run(&g, &opts).expect("run")))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_lt_algorithms(c: &mut Criterion) {
+    let g = dataset("pokec-s", WeightModel::Lt, Scale::Small);
+    let mut group = c.benchmark_group("algorithms/lt/pokec-s");
+    group.sample_size(10);
+    group.bench_function("opim-c-lt/k=10", |b| {
+        let opts = ImOptions::new(10).seed(8);
+        let alg = OpimC::lt();
+        b.iter(|| black_box(alg.run(&g, &opts).expect("run")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core friendly: short warm-up and measurement windows.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_wc_algorithms, bench_lt_algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation bench: lazy-heap greedy (with the Eq. 2 bound) vs the bucket
+//! greedy the reference C++ implementations use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subsim_bench::workloads::{dataset, Scale};
+use subsim_core::coverage::{greedy_max_coverage, greedy_max_coverage_buckets, GreedyConfig};
+use subsim_diffusion::{RrCollection, RrContext, RrSampler, RrStrategy};
+use subsim_graph::WeightModel;
+use subsim_sampling::rng_from_seed;
+
+fn bench_greedy(c: &mut Criterion) {
+    let g = dataset("pokec-s", WeightModel::Wc, Scale::Small);
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let mut ctx = RrContext::new(g.n());
+    let mut rng = rng_from_seed(1);
+    let mut rr = RrCollection::new(g.n());
+    rr.generate(&sampler, &mut ctx, &mut rng, 50_000);
+
+    let mut group = c.benchmark_group("greedy");
+    group.sample_size(10);
+    for k in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("heap+bound", k), &k, |b, &k| {
+            b.iter(|| black_box(greedy_max_coverage(&rr, &GreedyConfig::standard(k))))
+        });
+        group.bench_with_input(BenchmarkId::new("heap-no-bound", k), &k, |b, &k| {
+            let cfg = GreedyConfig {
+                bound_terms: 0,
+                ..GreedyConfig::standard(k)
+            };
+            b.iter(|| black_box(greedy_max_coverage(&rr, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("buckets", k), &k, |b, &k| {
+            b.iter(|| black_box(greedy_max_coverage_buckets(&rr, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core friendly: short warm-up and measurement windows.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_greedy
+}
+criterion_main!(benches);

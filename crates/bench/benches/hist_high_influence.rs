@@ -1,0 +1,78 @@
+//! Figures 4/6/7 microbench: high-influence networks, OPIM-C vs HIST vs
+//! HIST+SUBSIM, plus the sentinel-size ablation from `DESIGN.md` §4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subsim_bench::workloads::{dataset, Scale};
+use subsim_core::{Hist, ImAlgorithm, ImOptions, OpimC};
+use subsim_graph::WeightModel;
+
+fn bench_wc_variant(c: &mut Criterion) {
+    // θ = 8 puts the Small-scale pokec-s stand-in deep into the
+    // high-influence regime (avg RR size in the hundreds).
+    let g = dataset("pokec-s", WeightModel::WcVariant { theta: 8.0 }, Scale::Small);
+    let algs: Vec<(&str, Box<dyn ImAlgorithm>)> = vec![
+        ("opim-c", Box::new(OpimC::vanilla())),
+        ("hist", Box::new(Hist::vanilla())),
+        ("hist+subsim", Box::new(Hist::with_subsim())),
+    ];
+    let mut group = c.benchmark_group("high_influence/wc_variant");
+    group.sample_size(10);
+    for (label, alg) in &algs {
+        group.bench_function(*label, |b| {
+            let opts = ImOptions::new(50).seed(9);
+            b.iter(|| black_box(alg.run(&g, &opts).expect("run")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniform_ic(c: &mut Criterion) {
+    let g = dataset("pokec-s", WeightModel::UniformIc { p: 0.05 }, Scale::Small);
+    let algs: Vec<(&str, Box<dyn ImAlgorithm>)> = vec![
+        ("opim-c", Box::new(OpimC::vanilla())),
+        ("hist+subsim", Box::new(Hist::with_subsim())),
+    ];
+    let mut group = c.benchmark_group("high_influence/uniform_ic");
+    group.sample_size(10);
+    for (label, alg) in &algs {
+        group.bench_function(*label, |b| {
+            let opts = ImOptions::new(50).seed(10);
+            b.iter(|| black_box(alg.run(&g, &opts).expect("run")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sentinel_size_ablation(c: &mut Criterion) {
+    // DESIGN.md §4 ablation: sweep the forced sentinel size b. Too small
+    // starves phase-2 truncation; too large inflates phase-1 sampling.
+    let g = dataset("pokec-s", WeightModel::WcVariant { theta: 8.0 }, Scale::Small);
+    let mut group = c.benchmark_group("high_influence/sentinel_size");
+    group.sample_size(10);
+    for b_forced in [1usize, 4, 16, 50] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b_forced),
+            &b_forced,
+            |bch, &bf| {
+                let alg = Hist::with_subsim().force_b(bf);
+                let opts = ImOptions::new(50).seed(11);
+                bch.iter(|| black_box(alg.run(&g, &opts).expect("run")))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core friendly: short warm-up and measurement windows.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_wc_variant,
+    bench_uniform_ic,
+    bench_sentinel_size_ablation
+}
+criterion_main!(benches);

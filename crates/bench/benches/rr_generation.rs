@@ -1,0 +1,77 @@
+//! Figure 2 microbench: RR-set generation cost, vanilla vs SUBSIM vs the
+//! bucket-jump index, under WC and the skewed (exponential / Weibull)
+//! weight distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subsim_bench::workloads::{dataset, Scale};
+use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
+use subsim_graph::WeightModel;
+use subsim_sampling::rng_from_seed;
+
+fn bench_generation(c: &mut Criterion) {
+    let cases = [
+        ("wc", WeightModel::Wc),
+        ("exponential", WeightModel::Exponential { lambda: 1.0 }),
+        ("weibull", WeightModel::Weibull),
+    ];
+    let strategies = [
+        ("vanilla", RrStrategy::VanillaIc),
+        ("subsim", RrStrategy::SubsimIc),
+        ("bucket", RrStrategy::SubsimBucketIc),
+    ];
+    let mut group = c.benchmark_group("rr_generation/pokec-s");
+    for (dist, model) in cases {
+        let g = dataset("pokec-s", model, Scale::Small);
+        for (label, strategy) in strategies {
+            let sampler = RrSampler::new(&g, strategy);
+            group.bench_with_input(
+                BenchmarkId::new(dist, label),
+                &strategy,
+                |b, _| {
+                    let mut ctx = RrContext::new(g.n());
+                    let mut rng = rng_from_seed(42);
+                    b.iter(|| black_box(sampler.generate(&mut ctx, &mut rng)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sentinel_truncation(c: &mut Criterion) {
+    // Figure 3(b) mechanism: generation cost with and without a sentinel,
+    // in a high-influence configuration.
+    let g = dataset("pokec-s", WeightModel::WcVariant { theta: 8.0 }, Scale::Small);
+    let hub: Vec<u32> = {
+        let mut nodes: Vec<u32> = (0..g.n() as u32).collect();
+        nodes.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+        nodes.truncate(8);
+        nodes
+    };
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let mut group = c.benchmark_group("rr_generation/sentinel");
+    group.bench_function("no-sentinel", |b| {
+        let mut ctx = RrContext::new(g.n());
+        let mut rng = rng_from_seed(43);
+        b.iter(|| black_box(sampler.generate(&mut ctx, &mut rng)))
+    });
+    group.bench_function("with-sentinel", |b| {
+        let mut ctx = RrContext::new(g.n());
+        ctx.set_sentinel(&hub);
+        let mut rng = rng_from_seed(44);
+        b.iter(|| black_box(sampler.generate(&mut ctx, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core friendly: short warm-up and measurement windows.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_generation, bench_sentinel_truncation
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablation bench: subset-sampling strategies across `μ = Σp`.
+//!
+//! Verifies the Lemma 3 / Lemma 5 claims directly: the geometric and
+//! bucketed samplers' cost tracks `1 + μ`, while the naive Bernoulli scan
+//! stays `O(h)` regardless of `μ`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subsim_sampling::{
+    bernoulli_subset_naive, rng_from_seed, uniform_subset, BucketJumpSampler,
+    BucketSubsetSampler, SortedSubsetSampler,
+};
+
+fn bench_uniform_probs(c: &mut Criterion) {
+    let h = 4096usize;
+    let mut group = c.benchmark_group("subset/uniform");
+    for &p in &[0.5, 0.05, 0.005, 0.0005] {
+        let probs = vec![p; h];
+        group.bench_with_input(BenchmarkId::new("naive", p), &p, |b, _| {
+            let mut rng = rng_from_seed(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                bernoulli_subset_naive(&mut rng, &probs, |i| acc += i);
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("geometric", p), &p, |b, _| {
+            let mut rng = rng_from_seed(2);
+            b.iter(|| {
+                let mut acc = 0usize;
+                uniform_subset(&mut rng, h, p, |i| acc += i);
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_skewed_probs(c: &mut Criterion) {
+    let h = 4096usize;
+    // Zipf-ish decay: p_i = c / (i + 1), scaled so μ ≈ 1 (the WC regime).
+    let raw: Vec<f64> = (0..h).map(|i| 1.0 / (i + 1) as f64).collect();
+    let sum: f64 = raw.iter().sum();
+    let probs: Vec<f64> = raw.iter().map(|&x| x / sum).collect();
+    let bucket = BucketSubsetSampler::new(&probs);
+    let jump = BucketJumpSampler::new(&probs);
+
+    let mut group = c.benchmark_group("subset/skewed");
+    group.bench_function("naive", |b| {
+        let mut rng = rng_from_seed(3);
+        b.iter(|| {
+            let mut acc = 0usize;
+            bernoulli_subset_naive(&mut rng, &probs, |i| acc += i);
+            black_box(acc)
+        })
+    });
+    group.bench_function("sorted-index-free", |b| {
+        let mut rng = rng_from_seed(4);
+        let sampler = SortedSubsetSampler::new(&probs);
+        b.iter(|| {
+            let mut acc = 0usize;
+            sampler.sample_into(&mut rng, |i| acc += i);
+            black_box(acc)
+        })
+    });
+    group.bench_function("bucket", |b| {
+        let mut rng = rng_from_seed(5);
+        b.iter(|| {
+            let mut acc = 0usize;
+            bucket.sample_into(&mut rng, |i| acc += i);
+            black_box(acc)
+        })
+    });
+    group.bench_function("bucket-jump", |b| {
+        let mut rng = rng_from_seed(6);
+        b.iter(|| {
+            let mut acc = 0usize;
+            jump.sample_into(&mut rng, |i| acc += i);
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core friendly: short warm-up and measurement windows.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_uniform_probs, bench_skewed_probs
+}
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Benchmark harness for the SUBSIM/HIST reproduction.
+//!
+//! - [`workloads`] — Table 2 stand-in datasets and the θ/p calibration
+//!   that realizes the paper's average-RR-size sweeps.
+//! - [`harness`] — one function per paper figure/table; the
+//!   `experiments` binary dispatches into them, and the Criterion benches
+//!   reuse the same workloads at micro scale.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod workloads;

@@ -1,0 +1,227 @@
+//! Benchmark workloads: laptop-scale stand-ins for the paper's datasets
+//! (Table 2) and the calibration machinery for the high-influence sweeps.
+//!
+//! The four datasets keep the originals' *shape* — directedness, average
+//! degree, heavy-tailed degree distribution — at a size a laptop sweeps in
+//! minutes (`DESIGN.md` §3 documents the substitution):
+//!
+//! | name | stands for | generator | avg directed degree |
+//! |---|---|---|---|
+//! | `pokec-s` | Pokec (dir., m/n ≈ 19) | R-MAT | ≈ 19 |
+//! | `orkut-s` | Orkut (undir., 2m/n ≈ 76) | Barabási–Albert | ≈ 76 |
+//! | `twitter-s` | Twitter (dir., m/n ≈ 36) | R-MAT | ≈ 36 |
+//! | `friendster-s` | Friendster (undir., 2m/n ≈ 55) | Barabási–Albert | ≈ 55 |
+
+use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
+use subsim_graph::{generators, Graph, WeightModel};
+use subsim_sampling::rng_from_seed;
+
+/// Scale knob: `Small` for CI/tests, `Paper` for the figures in
+/// `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~2k nodes; every experiment finishes in seconds.
+    Small,
+    /// ~16k nodes; the scale used for the recorded results.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `SUBSIM_SCALE=small|paper` from the environment
+    /// (default `Paper` for the experiments binary).
+    pub fn from_env() -> Self {
+        match std::env::var("SUBSIM_SCALE").as_deref() {
+            Ok("small") => Scale::Small,
+            _ => Scale::Paper,
+        }
+    }
+
+    fn n(self) -> usize {
+        match self {
+            Scale::Small => 1 << 11,
+            Scale::Paper => 1 << 14,
+        }
+    }
+
+    fn rmat_scale(self) -> u32 {
+        match self {
+            Scale::Small => 11,
+            Scale::Paper => 14,
+        }
+    }
+}
+
+/// The four benchmark datasets, in the paper's Table 2 order.
+pub const DATASETS: [&str; 4] = ["pokec-s", "orkut-s", "twitter-s", "friendster-s"];
+
+/// Builds a dataset by name under the given weight model.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn dataset(name: &str, model: WeightModel, scale: Scale) -> Graph {
+    let n = scale.n();
+    match name {
+        "pokec-s" => generators::rmat(scale.rmat_scale(), n * 19, model, 1),
+        "orkut-s" => generators::barabasi_albert(n, 38, model, 2),
+        "twitter-s" => generators::rmat(scale.rmat_scale(), n * 36, model, 3),
+        "friendster-s" => generators::barabasi_albert(n, 27, model, 4),
+        other => panic!("unknown dataset {other:?}"),
+    }
+}
+
+/// Measures the average random-RR-set size under SUBSIM generation.
+pub fn avg_rr_size(g: &Graph, samples: usize, seed: u64) -> f64 {
+    let sampler = RrSampler::new(g, RrStrategy::SubsimIc);
+    let mut ctx = RrContext::new(g.n());
+    let mut rng = rng_from_seed(seed);
+    let mut total = 0usize;
+    for _ in 0..samples {
+        total += sampler.generate(&mut ctx, &mut rng);
+    }
+    total as f64 / samples as f64
+}
+
+/// Memoized calibration results: rebuilding a 1M-edge dataset ~15 times
+/// per binary-search is expensive, and several figures calibrate the same
+/// (dataset, target) pair.
+static CALIBRATION_CACHE: std::sync::OnceLock<
+    std::sync::Mutex<std::collections::HashMap<(String, u64), f64>>,
+> = std::sync::OnceLock::new();
+
+fn calibration_cached(key_name: &str, target: f64, compute: impl FnOnce() -> f64) -> f64 {
+    let cache = CALIBRATION_CACHE.get_or_init(Default::default);
+    let key = (key_name.to_string(), target.to_bits());
+    if let Some(&v) = cache.lock().unwrap().get(&key) {
+        return v;
+    }
+    let v = compute();
+    cache.lock().unwrap().insert(key, v);
+    v
+}
+
+/// Binary-searches the WC-variant boost `θ` so that the average RR-set
+/// size hits `target` (paper Section 7: the θ₅₀ … θ₃₂ₖ settings).
+///
+/// `rebuild` must return the dataset under `WcVariant { theta }`.
+pub fn calibrate_theta<F>(rebuild: F, target: f64, seed: u64) -> f64
+where
+    F: Fn(f64) -> Graph,
+{
+    let mut lo = 1.0f64;
+    let mut hi = 1.0f64;
+    // Grow hi until the target is bracketed (or the graph saturates).
+    for _ in 0..12 {
+        let g = rebuild(hi);
+        if avg_rr_size(&g, 200, seed) >= target || hi > 4096.0 {
+            break;
+        }
+        hi *= 2.0;
+    }
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        let g = rebuild(mid);
+        if avg_rr_size(&g, 200, seed) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Cached θ calibration for a named dataset (one binary search per
+/// `(dataset, scale, target)` per process).
+pub fn calibrated_theta_for(name: &str, scale: Scale, target: f64) -> f64 {
+    calibration_cached(&format!("theta:{name}:{scale:?}"), target, || {
+        calibrate_theta(
+            |t| dataset(name, WeightModel::WcVariant { theta: t }, scale),
+            target,
+            333,
+        )
+    })
+}
+
+/// Cached p calibration for a named dataset.
+pub fn calibrated_p_for(name: &str, scale: Scale, target: f64) -> f64 {
+    calibration_cached(&format!("p:{name}:{scale:?}"), target, || {
+        calibrate_p(
+            |p| dataset(name, WeightModel::UniformIc { p }, scale),
+            target,
+            333,
+        )
+    })
+}
+
+/// Binary-searches the Uniform-IC probability `p` for a target average
+/// RR-set size (the p₅₀ … p₃₂ₖ settings).
+pub fn calibrate_p<F>(rebuild: F, target: f64, seed: u64) -> f64
+where
+    F: Fn(f64) -> Graph,
+{
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for _ in 0..20 {
+        let mid = 0.5 * (lo + hi);
+        let g = rebuild(mid);
+        if avg_rr_size(&g, 200, seed) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_have_expected_density() {
+        let g = dataset("pokec-s", WeightModel::Wc, Scale::Small);
+        let avg = g.m() as f64 / g.n() as f64;
+        assert!(avg > 10.0 && avg < 25.0, "pokec-s avg degree {avg}");
+        let g = dataset("orkut-s", WeightModel::Wc, Scale::Small);
+        let avg = g.m() as f64 / g.n() as f64;
+        assert!(avg > 50.0 && avg < 90.0, "orkut-s avg degree {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        dataset("nope", WeightModel::Wc, Scale::Small);
+    }
+
+    #[test]
+    fn theta_calibration_hits_target() {
+        let target = 60.0;
+        let theta = calibrate_theta(
+            |t| dataset("pokec-s", WeightModel::WcVariant { theta: t }, Scale::Small),
+            target,
+            7,
+        );
+        let g = dataset("pokec-s", WeightModel::WcVariant { theta }, Scale::Small);
+        let got = avg_rr_size(&g, 400, 8);
+        assert!(
+            got > target * 0.5 && got < target * 2.0,
+            "calibrated θ={theta} gives avg size {got}, wanted ~{target}"
+        );
+    }
+
+    #[test]
+    fn p_calibration_hits_target() {
+        let target = 60.0;
+        let p = calibrate_p(
+            |p| dataset("pokec-s", WeightModel::UniformIc { p }, Scale::Small),
+            target,
+            9,
+        );
+        let g = dataset("pokec-s", WeightModel::UniformIc { p }, Scale::Small);
+        let got = avg_rr_size(&g, 400, 10);
+        assert!(
+            got > target * 0.5 && got < target * 2.0,
+            "calibrated p={p} gives avg size {got}, wanted ~{target}"
+        );
+    }
+}

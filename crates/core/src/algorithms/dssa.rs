@@ -1,0 +1,169 @@
+//! D-SSA — dynamic stop-and-stare (Nguyen, Thai, Dinh — SIGMOD 2016,
+//! Algorithm 3; revised in CSoNet 2018).
+//!
+//! Like SSA, but the precision split is computed *dynamically* from the
+//! two independent coverage estimates instead of being fixed up front:
+//! after greedy selection on `R₁`, the selected set's influence is
+//! re-estimated on `R₂`, the empirical gap feeds `ε₁`, and concentration
+//! widths `ε₂`, `ε₃` shrink as samples double; the run stops once the
+//! composed error drops below `ε`.
+//!
+//! **Caveat** (paper Section 2.2): Huang et al. (PVLDB 2017) showed the
+//! original D-SSA analysis is flawed, and the efficiency guarantee of the
+//! fixed version is still open. We implement the published pseudocode with
+//! an absolute `θ_max` cap, and treat the result as a *heuristic* baseline:
+//! its seeds are good in practice, but no formal certificate is attached
+//! (`RunStats::lower_bound`/`upper_bound` stay 0).
+
+use super::{one_minus_inv_e, Driver};
+use crate::bounds::{i_max, theta_max_opim};
+use crate::coverage::{greedy_max_coverage, GreedyConfig};
+use crate::error::ImError;
+use crate::options::ImOptions;
+use crate::result::ImResult;
+use crate::ImAlgorithm;
+use std::time::Instant;
+use subsim_diffusion::{RrCollection, RrStrategy};
+use subsim_graph::Graph;
+
+/// D-SSA parameterized by the RR-generation strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Dssa {
+    /// How RR sets are generated.
+    pub strategy: RrStrategy,
+}
+
+impl Dssa {
+    /// D-SSA with vanilla RR generation.
+    pub fn vanilla() -> Self {
+        Dssa {
+            strategy: RrStrategy::VanillaIc,
+        }
+    }
+
+    /// D-SSA accelerated by SUBSIM RR generation.
+    pub fn subsim() -> Self {
+        Dssa {
+            strategy: RrStrategy::SubsimIc,
+        }
+    }
+}
+
+impl ImAlgorithm for Dssa {
+    fn name(&self) -> String {
+        match self.strategy {
+            RrStrategy::VanillaIc => "D-SSA".into(),
+            s => format!("D-SSA({s:?})"),
+        }
+    }
+
+    fn run(&self, g: &Graph, opts: &ImOptions) -> Result<ImResult, ImError> {
+        opts.validate(g)?;
+        let start = Instant::now();
+        let (n, k, eps) = (g.n(), opts.k, opts.epsilon);
+        let nf = n as f64;
+        let delta = opts.effective_delta(g);
+        let frac = one_minus_inv_e();
+
+        let lambda1 =
+            1.0 + (1.0 + eps) * (1.0 + eps) * (2.0 + 2.0 * eps / 3.0) * (3.0 / delta).ln()
+                / (eps * eps);
+        let theta_max = theta_max_opim(n, k, eps, delta);
+        let t_max = i_max(theta_max, lambda1.ceil() as u64);
+
+        let mut driver = Driver::new(g, self.strategy, opts.seed);
+        let mut r1 = RrCollection::new(n);
+        let mut r2 = RrCollection::new(n);
+
+        let mut best_seeds = Vec::new();
+        for t in 1..=t_max {
+            let theta_t = (lambda1 * 2f64.powi(t as i32 - 1)).ceil() as usize;
+            if r1.len() < theta_t {
+                let need = theta_t - r1.len();
+                driver.generate_into(&mut r1, need);
+                driver.generate_into(&mut r2, need);
+            }
+            let out = greedy_max_coverage(
+                &r1,
+                &GreedyConfig {
+                    bound_terms: 0,
+                    ..GreedyConfig::standard(k)
+                },
+            );
+            best_seeds = out.seeds;
+            let theta_f = r1.len() as f64;
+            let i1 = out.prefix_coverage.last().copied().unwrap_or(0) as f64 * nf / theta_f;
+            let i2 = r2.coverage_of(&best_seeds) as f64 * nf / theta_f;
+            if i2 <= 0.0 {
+                continue;
+            }
+            // Dynamic error decomposition (SSA paper, Algorithm 3).
+            let eps1 = i1 / i2 - 1.0;
+            let half = 2f64.powi(t as i32 - 1);
+            let eps2 = eps * (nf * (1.0 + eps) / (half * i2)).sqrt();
+            let eps3 = eps
+                * (nf * (1.0 + eps) * (frac - eps) / ((1.0 + eps / 3.0) * half * i2)).sqrt();
+            let eps_t = (eps1 + eps2 + eps1 * eps2) * (frac - eps) + frac * eps3;
+            if eps1 >= 0.0 && eps_t <= eps {
+                break;
+            }
+        }
+
+        let mut stats = driver.stats();
+        stats.phase1_rr = stats.rr_generated;
+        stats.elapsed = start.elapsed();
+        Ok(ImResult {
+            seeds: best_seeds,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::{barabasi_albert, star_graph};
+    use subsim_graph::WeightModel;
+
+    fn opts(k: usize) -> ImOptions {
+        ImOptions::new(k).epsilon(0.3).delta(0.05).seed(71)
+    }
+
+    #[test]
+    fn star_hub_selected() {
+        let g = star_graph(100, WeightModel::UniformIc { p: 0.6 });
+        let res = Dssa::vanilla().run(&g, &opts(1)).unwrap();
+        assert_eq!(res.seeds, vec![0]);
+    }
+
+    #[test]
+    fn selects_k_distinct_seeds() {
+        let g = barabasi_albert(400, 4, WeightModel::Wc, 72);
+        let res = Dssa::subsim().run(&g, &opts(10)).unwrap();
+        assert_eq!(res.k(), 10);
+        let mut s = res.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn quality_comparable_to_opim() {
+        use subsim_diffusion::forward::{mc_influence, CascadeModel};
+        let g = barabasi_albert(400, 4, WeightModel::Wc, 73);
+        let o = opts(8);
+        let dssa = Dssa::vanilla().run(&g, &o).unwrap();
+        let opim = crate::algorithms::OpimC::vanilla().run(&g, &o).unwrap();
+        let a = mc_influence(&g, &dssa.seeds, CascadeModel::Ic, 10_000, 74);
+        let b = mc_influence(&g, &opim.seeds, CascadeModel::Ic, 10_000, 74);
+        assert!(a > 0.9 * b, "D-SSA {a} vs OPIM {b}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 75);
+        let a = Dssa::vanilla().run(&g, &opts(4)).unwrap();
+        let b = Dssa::vanilla().run(&g, &opts(4)).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+    }
+}

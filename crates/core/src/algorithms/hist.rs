@@ -1,0 +1,417 @@
+//! HIST — Hit-and-Stop (paper Section 4, Algorithms 4–8).
+//!
+//! Two phases:
+//!
+//! 1. **Sentinel set selection** (Algorithm 7): find a *small* set `S*_b`
+//!    whose influence already certifies `(1 - (1-1/k)^b - ε₁)·OPT_k`. The
+//!    revised greedy (Algorithm 6) breaks coverage ties towards large
+//!    out-degree so that sentinels are nodes RR traversals are likely to
+//!    hit. The size `b` is chosen per-iteration as the largest prefix
+//!    whose *estimated* lower bound clears the ratio; the choice is then
+//!    verified on an independent, sentinel-truncated collection `R₂`.
+//! 2. **IM-Sentinel** (Algorithm 8): select the remaining `k - b` seeds
+//!    with every RR generation stopping at the sentinel (Algorithm 5),
+//!    which slashes the average RR-set size. Coverage of any superset of
+//!    `S*_b` is exact on truncated sets, so the OPIM bounds still apply;
+//!    the final set carries the full `(1 - 1/e - ε)` guarantee.
+
+use super::{one_minus_inv_e, Driver};
+use crate::bounds::{
+    i_max, opim_lower_bound, opim_upper_bound, theta_max_im_sentinel, theta_max_sentinel,
+    theta_zero,
+};
+use crate::coverage::{greedy_max_coverage, GreedyConfig};
+use crate::error::ImError;
+use crate::options::ImOptions;
+use crate::result::ImResult;
+use crate::ImAlgorithm;
+use std::time::Instant;
+use subsim_diffusion::{RrCollection, RrStrategy};
+use subsim_graph::{Graph, NodeId};
+
+/// HIST parameterized by the RR-generation strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Hist {
+    /// How RR sets are generated. `VanillaIc` is the paper's plain HIST;
+    /// `SubsimIc` is HIST+SUBSIM.
+    pub strategy: RrStrategy,
+    /// Ablation knob: force the sentinel size `b` instead of the paper's
+    /// automatic largest-qualifying-prefix choice (Algorithm 7 line 8).
+    /// The `R₂` verification still runs, so the guarantee is unaffected —
+    /// a bad forced `b` just costs more sampling. Clamped to `[1, k]`.
+    pub force_sentinel_size: Option<usize>,
+    /// Ablation knob: `false` replaces the revised greedy (Algorithm 6,
+    /// out-degree tie-break) with the standard greedy (Algorithm 1) in
+    /// both phases. The paper argues the tie-break picks sentinels that
+    /// are hit more often; the ablation quantifies that.
+    pub revised_tie_break: bool,
+}
+
+/// Outcome of the sentinel-selection phase.
+struct SentinelPhase {
+    sentinel: Vec<NodeId>,
+    lower_bound: f64,
+    upper_bound: f64,
+    /// RR sets generated during this phase (Figure 3(a)).
+    phase_rr: u64,
+}
+
+impl Hist {
+    /// HIST with vanilla RR generation.
+    pub fn vanilla() -> Self {
+        Hist {
+            strategy: RrStrategy::VanillaIc,
+            force_sentinel_size: None,
+            revised_tie_break: true,
+        }
+    }
+
+    /// HIST+SUBSIM: the paper's fastest configuration.
+    pub fn with_subsim() -> Self {
+        Hist {
+            strategy: RrStrategy::SubsimIc,
+            force_sentinel_size: None,
+            revised_tie_break: true,
+        }
+    }
+
+    /// HIST with an arbitrary strategy.
+    pub fn with_strategy(strategy: RrStrategy) -> Self {
+        Hist {
+            strategy,
+            force_sentinel_size: None,
+            revised_tie_break: true,
+        }
+    }
+
+    /// Disables the out-degree tie-break (ablation; see
+    /// `revised_tie_break`).
+    pub fn standard_greedy(mut self) -> Self {
+        self.revised_tie_break = false;
+        self
+    }
+
+    /// Forces the sentinel size (ablation; see `force_sentinel_size`).
+    pub fn force_b(mut self, b: usize) -> Self {
+        self.force_sentinel_size = Some(b);
+        self
+    }
+
+    /// Algorithm 7: selects the sentinel set `S*_b`.
+    fn sentinel_set(
+        &self,
+        g: &Graph,
+        driver: &mut Driver<'_>,
+        k: usize,
+        eps1: f64,
+        delta1: f64,
+    ) -> SentinelPhase {
+        let n = g.n();
+        let theta0 = theta_zero(delta1);
+        let theta_max = theta_max_sentinel(n, k, eps1, delta1);
+        let imax = i_max(theta_max, theta0);
+        let delta_u = delta1 / (3.0 * imax as f64);
+        let delta_l = delta1 / (6.0 * imax as f64);
+        let x = 1.0 - 1.0 / k as f64;
+
+        let mut r1 = RrCollection::new(n);
+        driver.generate_into(&mut r1, theta0 as usize);
+
+        for i in 1..=imax {
+            let theta1 = r1.len() as u64;
+            let cfg = if self.revised_tie_break {
+                GreedyConfig::revised(k, g)
+            } else {
+                GreedyConfig::standard(k)
+            };
+            let out = greedy_max_coverage(&r1, &cfg);
+            let ub = opim_upper_bound(out.coverage_upper, theta1, n, delta_u);
+
+            // Line 8: the largest prefix whose *estimated* lower bound
+            // clears the (1 - x^a - ε₁) target; fall back to b = k.
+            // The ablation knob overrides the scan.
+            let b = match self.force_sentinel_size {
+                Some(forced) => forced.clamp(1, k),
+                None => {
+                    let mut b = k;
+                    for a in (1..=k).rev() {
+                        let est = opim_lower_bound(
+                            out.prefix_coverage[a] as f64,
+                            theta1,
+                            n,
+                            delta_l,
+                        );
+                        if est / ub > 1.0 - x.powi(a as i32) - eps1 {
+                            b = a;
+                            break;
+                        }
+                    }
+                    b
+                }
+            };
+            let sentinel: Vec<NodeId> = out.seeds[..b].to_vec();
+            let ratio_target = 1.0 - x.powi(b as i32) - eps1;
+
+            // Lines 9-15: verify on independent sentinel-truncated R₂,
+            // once at |R₁| and once more at 4|R₁| (two lower-bound
+            // computations per iteration, matching the paper's failure
+            // accounting).
+            let mut last_lb = 0.0;
+            driver.set_sentinel(&sentinel);
+            for mult in [1usize, 4] {
+                let mut r2 = RrCollection::new(n);
+                driver.generate_into(&mut r2, mult * theta1 as usize);
+                let cov = r2.coverage_of(&sentinel);
+                last_lb = opim_lower_bound(cov as f64, r2.len() as u64, n, delta_l);
+                if last_lb / ub > ratio_target {
+                    driver.clear_sentinel();
+                    return SentinelPhase {
+                        sentinel,
+                        lower_bound: last_lb,
+                        upper_bound: ub,
+                        phase_rr: driver.rr_generated,
+                    };
+                }
+            }
+            driver.clear_sentinel();
+
+            if i == imax {
+                // θ_max reached: S*_b is qualified with probability
+                // 1 - δ₁/3 regardless of the check (Lemma 6).
+                return SentinelPhase {
+                    sentinel,
+                    lower_bound: last_lb,
+                    upper_bound: ub,
+                    phase_rr: driver.rr_generated,
+                };
+            }
+            let grow = r1.len();
+            driver.generate_into(&mut r1, grow);
+        }
+        unreachable!("loop returns on the final iteration");
+    }
+
+    /// Algorithm 8: selects the remaining `k - b` seeds under sentinel
+    /// truncation.
+    #[allow(clippy::too_many_arguments)]
+    fn im_sentinel(
+        &self,
+        g: &Graph,
+        driver: &mut Driver<'_>,
+        sentinel: &[NodeId],
+        k: usize,
+        eps: f64,
+        eps2: f64,
+        delta2: f64,
+    ) -> (Vec<NodeId>, f64, f64) {
+        let n = g.n();
+        let b = sentinel.len();
+        let theta0 = theta_zero(delta2);
+        let theta_max = theta_max_im_sentinel(n, k, b, eps2, delta2);
+        let imax = i_max(theta_max, theta0);
+        let delta_iter = delta2 / (3.0 * imax as f64);
+        let target = one_minus_inv_e() - eps;
+
+        driver.set_sentinel(sentinel);
+        let mut r1 = RrCollection::new(n);
+        let mut r2 = RrCollection::new(n);
+        driver.generate_into(&mut r1, theta0 as usize);
+        driver.generate_into(&mut r2, theta0 as usize);
+
+        for i in 1..=imax {
+            // Line 5: sets already covered by the sentinel carry zero
+            // marginal coverage; count them as base coverage instead.
+            let (r1p, covered) = r1.filter_not_covering(sentinel);
+            let cfg = GreedyConfig {
+                select: k - b,
+                bound_terms: k,
+                tie_break: self.revised_tie_break.then_some(g),
+                base_covered: covered,
+                exclude: sentinel,
+            };
+            let out = greedy_max_coverage(&r1p, &cfg);
+            let mut seeds: Vec<NodeId> = sentinel.to_vec();
+            seeds.extend_from_slice(&out.seeds);
+
+            let ub = opim_upper_bound(out.coverage_upper, r1.len() as u64, n, delta_iter);
+            let cov2 = r2.coverage_of(&seeds);
+            let lb = opim_lower_bound(cov2 as f64, r2.len() as u64, n, delta_iter);
+
+            if lb / ub > target || i == imax {
+                driver.clear_sentinel();
+                return (seeds, lb, ub);
+            }
+            let grow = r1.len();
+            driver.generate_into(&mut r1, grow);
+            driver.generate_into(&mut r2, grow);
+        }
+        unreachable!("loop returns on the final iteration");
+    }
+}
+
+impl ImAlgorithm for Hist {
+    fn name(&self) -> String {
+        match self.strategy {
+            RrStrategy::VanillaIc => "HIST".into(),
+            RrStrategy::SubsimIc => "HIST+SUBSIM".into(),
+            s => format!("HIST({s:?})"),
+        }
+    }
+
+    fn run(&self, g: &Graph, opts: &ImOptions) -> Result<ImResult, ImError> {
+        opts.validate(g)?;
+        let start = Instant::now();
+        let k = opts.k;
+        let delta = opts.effective_delta(g);
+        let (eps1, eps2) = (opts.epsilon / 2.0, opts.epsilon / 2.0);
+        let (delta1, delta2) = (delta / 2.0, delta / 2.0);
+
+        let mut driver = Driver::new(g, self.strategy, opts.seed);
+        let phase1 = self.sentinel_set(g, &mut driver, k, eps1, delta1);
+        let b = phase1.sentinel.len();
+
+        let (seeds, lb, ub) = if b == k {
+            // The sentinel phase already solved the full problem
+            // (its guarantee at b = k is 1 - (1-1/k)^k - ε₁ > 1 - 1/e - ε).
+            (
+                phase1.sentinel.clone(),
+                phase1.lower_bound,
+                phase1.upper_bound,
+            )
+        } else {
+            self.im_sentinel(g, &mut driver, &phase1.sentinel, k, opts.epsilon, eps2, delta2)
+        };
+
+        let mut stats = driver.stats();
+        stats.sentinel_size = b;
+        stats.phase1_rr = phase1.phase_rr;
+        stats.lower_bound = lb;
+        stats.upper_bound = ub;
+        stats.elapsed = start.elapsed();
+        Ok(ImResult { seeds, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::OpimC;
+    use subsim_graph::generators::{barabasi_albert, star_graph};
+    use subsim_graph::WeightModel;
+
+    #[test]
+    fn star_hub_selected_first() {
+        let g = star_graph(60, WeightModel::UniformIc { p: 0.5 });
+        for alg in [Hist::vanilla(), Hist::with_subsim()] {
+            let res = alg.run(&g, &ImOptions::new(1).seed(31)).unwrap();
+            assert_eq!(res.seeds, vec![0], "{}", alg.name());
+            assert_eq!(res.stats.sentinel_size, 1);
+        }
+    }
+
+    #[test]
+    fn returns_k_distinct_seeds() {
+        let g = barabasi_albert(500, 4, WeightModel::WcVariant { theta: 3.0 }, 32);
+        let res = Hist::with_subsim().run(&g, &ImOptions::new(20).seed(33)).unwrap();
+        assert_eq!(res.k(), 20);
+        let mut s = res.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 20, "duplicate seeds");
+        assert!(res.stats.sentinel_size >= 1 && res.stats.sentinel_size <= 20);
+    }
+
+    #[test]
+    fn certified_ratio_meets_target() {
+        let g = barabasi_albert(500, 4, WeightModel::WcVariant { theta: 3.0 }, 34);
+        let opts = ImOptions::new(10).seed(35);
+        let res = Hist::with_subsim().run(&g, &opts).unwrap();
+        let ratio = res.stats.certified_ratio().unwrap();
+        assert!(
+            ratio > 1.0 - (-1.0f64).exp() - opts.epsilon,
+            "certified ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn sentinel_truncation_shrinks_rr_sets_vs_opim() {
+        // High-influence setting: HIST's average RR size must undercut
+        // OPIM-C's (Figure 3(b) mechanism).
+        let g = barabasi_albert(800, 5, WeightModel::WcVariant { theta: 6.0 }, 36);
+        let opts = ImOptions::new(20).seed(37);
+        let hist = Hist::with_subsim().run(&g, &opts).unwrap();
+        let opim = OpimC::subsim().run(&g, &opts).unwrap();
+        assert!(hist.stats.sentinel_hits > 0);
+        assert!(
+            hist.stats.avg_rr_size() < opim.stats.avg_rr_size(),
+            "HIST avg {} vs OPIM avg {}",
+            hist.stats.avg_rr_size(),
+            opim.stats.avg_rr_size()
+        );
+    }
+
+    #[test]
+    fn influence_competitive_with_opim() {
+        use subsim_diffusion::forward::{mc_influence, CascadeModel};
+        let g = barabasi_albert(500, 4, WeightModel::WcVariant { theta: 4.0 }, 38);
+        let opts = ImOptions::new(10).seed(39);
+        let hist = Hist::with_subsim().run(&g, &opts).unwrap();
+        let opim = OpimC::subsim().run(&g, &opts).unwrap();
+        let ih = mc_influence(&g, &hist.seeds, CascadeModel::Ic, 3000, 40);
+        let io = mc_influence(&g, &opim.seeds, CascadeModel::Ic, 3000, 40);
+        assert!(ih > 0.85 * io, "HIST influence {ih} vs OPIM {io}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = barabasi_albert(300, 3, WeightModel::WcVariant { theta: 3.0 }, 41);
+        let opts = ImOptions::new(5).seed(42);
+        let a = Hist::with_subsim().run(&g, &opts).unwrap();
+        let b = Hist::with_subsim().run(&g, &opts).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats.rr_generated, b.stats.rr_generated);
+    }
+
+    #[test]
+    fn k_equals_one_short_circuits_phase_two() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 43);
+        let res = Hist::with_subsim().run(&g, &ImOptions::new(1).seed(44)).unwrap();
+        assert_eq!(res.k(), 1);
+        assert_eq!(res.stats.sentinel_size, 1);
+    }
+
+    #[test]
+    fn standard_greedy_ablation_still_correct() {
+        let g = barabasi_albert(300, 4, WeightModel::WcVariant { theta: 3.0 }, 47);
+        let opts = ImOptions::new(8).seed(48);
+        let res = Hist::with_subsim().standard_greedy().run(&g, &opts).unwrap();
+        assert_eq!(res.k(), 8);
+        let mut s = res.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 8);
+        let ratio = res.stats.certified_ratio().unwrap();
+        assert!(ratio > 1.0 - (-1.0f64).exp() - opts.epsilon);
+    }
+
+    #[test]
+    fn forced_b_is_respected() {
+        let g = barabasi_albert(300, 4, WeightModel::WcVariant { theta: 4.0 }, 49);
+        for b in [1usize, 3, 7] {
+            let res = Hist::with_subsim()
+                .force_b(b)
+                .run(&g, &ImOptions::new(10).seed(50))
+                .unwrap();
+            assert_eq!(res.stats.sentinel_size, b, "forced b={b}");
+            assert_eq!(res.k(), 10);
+        }
+    }
+
+    #[test]
+    fn phase1_rr_counted_separately() {
+        let g = barabasi_albert(400, 4, WeightModel::WcVariant { theta: 3.0 }, 45);
+        let res = Hist::with_subsim().run(&g, &ImOptions::new(15).seed(46)).unwrap();
+        assert!(res.stats.phase1_rr > 0);
+        assert!(res.stats.phase1_rr <= res.stats.rr_generated);
+    }
+}

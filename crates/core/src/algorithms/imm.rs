@@ -1,0 +1,193 @@
+//! IMM (Tang, Shi, Xiao — SIGMOD 2015), martingale version.
+//!
+//! Two phases. *Sampling*: exponentially probe guesses `x = n/2^i` for
+//! `OPT_k`; once the greedy coverage certifies `OPT_k >= x`, a lower bound
+//! `LB` is fixed and the final sample size `θ = λ*/LB` follows.
+//! *Selection*: top up the (reused, martingale-coupled) collection to `θ`
+//! and run greedy. Guarantees `(1 - 1/e - ε)` with probability
+//! `1 - n^-ℓ`; we derive `ℓ = ln(1/δ)/ln n` from the caller's `δ`.
+
+use super::Driver;
+use crate::bounds::ln_binomial;
+use crate::coverage::{greedy_max_coverage, GreedyConfig};
+use crate::error::ImError;
+use crate::options::ImOptions;
+use crate::result::ImResult;
+use crate::ImAlgorithm;
+use std::time::Instant;
+use subsim_diffusion::{RrCollection, RrStrategy};
+use subsim_graph::Graph;
+
+/// IMM parameterized by the RR-generation strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Imm {
+    /// How RR sets are generated.
+    pub strategy: RrStrategy,
+}
+
+impl Imm {
+    /// IMM with vanilla RR generation (the published algorithm).
+    pub fn vanilla() -> Self {
+        Imm {
+            strategy: RrStrategy::VanillaIc,
+        }
+    }
+
+    /// IMM accelerated by SUBSIM RR generation (paper Section 3.2: the
+    /// new generator plugs into any RIS algorithm).
+    pub fn subsim() -> Self {
+        Imm {
+            strategy: RrStrategy::SubsimIc,
+        }
+    }
+
+    /// IMM with an arbitrary strategy.
+    pub fn with_strategy(strategy: RrStrategy) -> Self {
+        Imm { strategy }
+    }
+}
+
+impl ImAlgorithm for Imm {
+    fn name(&self) -> String {
+        match self.strategy {
+            RrStrategy::VanillaIc => "IMM".into(),
+            s => format!("IMM({s:?})"),
+        }
+    }
+
+    fn run(&self, g: &Graph, opts: &ImOptions) -> Result<ImResult, ImError> {
+        opts.validate(g)?;
+        let start = Instant::now();
+        let (n, k, eps) = (g.n(), opts.k, opts.epsilon);
+        let nf = n as f64;
+        let delta = opts.effective_delta(g);
+        // Failure probability n^-ℓ = δ, inflated so that both phases
+        // jointly hold (IMM sets ℓ <- ℓ·(1 + ln 2 / ln n)).
+        let ell = ((1.0 / delta).ln() / nf.ln()) * (1.0 + 2f64.ln() / nf.ln());
+        let ln_cnk = ln_binomial(n as u64, k as u64);
+        let frac = 1.0 - (-1.0f64).exp();
+
+        // --- Sampling phase ---
+        let eps_p = eps * 2f64.sqrt();
+        let lambda_p = (2.0 + 2.0 * eps_p / 3.0)
+            * (ln_cnk + ell * nf.ln() + nf.log2().max(1.0).ln())
+            * nf
+            / (eps_p * eps_p);
+        let mut driver = Driver::new(g, self.strategy, opts.seed);
+        let mut rr = RrCollection::new(n);
+        let mut lb = 1.0;
+        let levels = (nf.log2().ceil() as i32 - 1).max(1);
+        for i in 1..=levels {
+            let x = nf / 2f64.powi(i);
+            let theta_i = (lambda_p / x).ceil() as usize;
+            if rr.len() < theta_i {
+                let need = theta_i - rr.len();
+                driver.generate_into(&mut rr, need);
+            }
+            let out = greedy_max_coverage(
+                &rr,
+                &GreedyConfig {
+                    bound_terms: 0,
+                    ..GreedyConfig::standard(k)
+                },
+            );
+            let est = nf * out.coverage() as f64 / rr.len() as f64;
+            if est >= (1.0 + eps_p) * x {
+                lb = est / (1.0 + eps_p);
+                break;
+            }
+        }
+
+        // --- Node selection phase ---
+        let alpha = (ell * nf.ln() + 2f64.ln()).sqrt();
+        let beta = (frac * (ln_cnk + ell * nf.ln() + 2f64.ln())).sqrt();
+        let lambda_star = 2.0 * nf * (frac * alpha + beta).powi(2) / (eps * eps);
+        let theta = (lambda_star / lb).ceil() as usize;
+        if rr.len() < theta {
+            let need = theta - rr.len();
+            driver.generate_into(&mut rr, need);
+        }
+        let out = greedy_max_coverage(
+            &rr,
+            &GreedyConfig {
+                bound_terms: 0,
+                ..GreedyConfig::standard(k)
+            },
+        );
+
+        let mut stats = driver.stats();
+        stats.phase1_rr = stats.rr_generated;
+        stats.elapsed = start.elapsed();
+        Ok(ImResult {
+            seeds: out.seeds,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::{barabasi_albert, star_graph};
+    use subsim_graph::WeightModel;
+
+    /// Loose ε/δ keep the sample sizes test-friendly.
+    fn opts(k: usize) -> ImOptions {
+        ImOptions::new(k).epsilon(0.4).delta(0.1).seed(11)
+    }
+
+    #[test]
+    fn star_hub_selected() {
+        let g = star_graph(100, WeightModel::UniformIc { p: 0.6 });
+        let res = Imm::vanilla().run(&g, &opts(1)).unwrap();
+        assert_eq!(res.seeds, vec![0]);
+        assert!(res.stats.rr_generated > 0);
+    }
+
+    #[test]
+    fn subsim_variant_matches_quality() {
+        let g = barabasi_albert(400, 4, WeightModel::Wc, 12);
+        let a = Imm::vanilla().run(&g, &opts(5)).unwrap();
+        let b = Imm::subsim().run(&g, &opts(5)).unwrap();
+        assert_eq!(a.k(), 5);
+        assert_eq!(b.k(), 5);
+        // Seed overlap is expected but not guaranteed; both must pick
+        // high-degree-ish nodes. Check coverage proxy: the top seed of
+        // each should appear in the other's seed list or share degree
+        // scale.
+        let deg = |v: u32| g.out_degree(v);
+        assert!(deg(a.seeds[0]) >= 4);
+        assert!(deg(b.seeds[0]) >= 4);
+    }
+
+    #[test]
+    fn imm_generates_more_rr_sets_than_needed_by_opim() {
+        // The pessimistic union bound makes IMM sample far more than
+        // OPIM-C on the same instance — the gap the paper's Figure 1
+        // shows.
+        let g = barabasi_albert(400, 4, WeightModel::Wc, 13);
+        let o = ImOptions::new(10).epsilon(0.3).delta(0.05).seed(14);
+        let imm = Imm::vanilla().run(&g, &o).unwrap();
+        let opim = crate::algorithms::OpimC::vanilla().run(&g, &o).unwrap();
+        assert!(
+            imm.stats.rr_generated > opim.stats.rr_generated,
+            "IMM {} vs OPIM-C {}",
+            imm.stats.rr_generated,
+            opim.stats.rr_generated
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = barabasi_albert(300, 3, WeightModel::Wc, 15);
+        let a = Imm::vanilla().run(&g, &opts(3)).unwrap();
+        let b = Imm::vanilla().run(&g, &opts(3)).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+    }
+
+    #[test]
+    fn validates_options() {
+        let g = star_graph(5, WeightModel::Wc);
+        assert!(Imm::vanilla().run(&g, &ImOptions::new(9)).is_err());
+    }
+}

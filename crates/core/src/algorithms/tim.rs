@@ -1,0 +1,198 @@
+//! TIM⁺ (Tang, Xiao, Shi — SIGMOD 2014).
+//!
+//! The first practical RIS algorithm and IMM's direct predecessor
+//! (paper Section 2.2). Three stages:
+//!
+//! 1. **KPT estimation**: probe `OPT_k` from below using the statistic
+//!    `κ(R) = 1 - (1 - w(R)/m)^k`, where `w(R)` is the number of edges
+//!    entering the RR set `R` — an unbiased estimator of the probability
+//!    that a *random* size-`k` seed set (weighted by in-degree) covers
+//!    `R`.
+//! 2. **Refinement** (the "+" of TIM⁺): greedy-select on a small sample,
+//!    re-estimate that seed set's coverage on a fresh sample, and keep the
+//!    larger of the two `OPT_k` lower bounds.
+//! 3. **Node selection**: sample `θ = λ/KPT⁺` RR sets and run greedy.
+//!
+//! Kept as a baseline for completeness; IMM dominates it in both theory
+//! and practice, which our benches reproduce.
+
+use super::Driver;
+use crate::bounds::ln_binomial;
+use crate::coverage::{greedy_max_coverage, GreedyConfig};
+use crate::error::ImError;
+use crate::options::ImOptions;
+use crate::result::ImResult;
+use crate::ImAlgorithm;
+use std::time::Instant;
+use subsim_diffusion::{RrCollection, RrStrategy};
+use subsim_graph::Graph;
+
+/// TIM⁺ parameterized by the RR-generation strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct TimPlus {
+    /// How RR sets are generated.
+    pub strategy: RrStrategy,
+}
+
+impl TimPlus {
+    /// TIM⁺ with vanilla RR generation (the published algorithm).
+    pub fn vanilla() -> Self {
+        TimPlus {
+            strategy: RrStrategy::VanillaIc,
+        }
+    }
+
+    /// TIM⁺ accelerated by SUBSIM RR generation.
+    pub fn subsim() -> Self {
+        TimPlus {
+            strategy: RrStrategy::SubsimIc,
+        }
+    }
+}
+
+/// `w(R)`: total in-degree of the set's nodes.
+fn width(g: &Graph, set: &[subsim_graph::NodeId]) -> u64 {
+    set.iter().map(|&v| g.in_degree(v) as u64).sum()
+}
+
+impl ImAlgorithm for TimPlus {
+    fn name(&self) -> String {
+        match self.strategy {
+            RrStrategy::VanillaIc => "TIM+".into(),
+            s => format!("TIM+({s:?})"),
+        }
+    }
+
+    fn run(&self, g: &Graph, opts: &ImOptions) -> Result<ImResult, ImError> {
+        opts.validate(g)?;
+        let start = Instant::now();
+        let (n, k, eps) = (g.n(), opts.k, opts.epsilon);
+        let (nf, m) = (n as f64, g.m() as f64);
+        let delta = opts.effective_delta(g);
+        let ell = ((1.0 / delta).ln() / nf.ln()).max(0.1);
+        let mut driver = Driver::new(g, self.strategy, opts.seed);
+
+        // --- Stage 1: KPT estimation ---
+        let log2n = nf.log2();
+        let mut kpt = 1.0f64;
+        let mut probe = RrCollection::new(n);
+        'outer: for i in 1..(log2n.floor() as i32) {
+            let ci = ((6.0 * ell * nf.ln() + 6.0 * log2n.max(1.0).ln()) * 2f64.powi(i))
+                .ceil() as usize;
+            let mut sum = 0.0;
+            for _ in 0..ci {
+                driver.generate_into(&mut probe, 1);
+                let set = probe.get(probe.len() - 1);
+                let kappa = if m == 0.0 {
+                    0.0
+                } else {
+                    1.0 - (1.0 - width(g, set) as f64 / m).powi(k as i32)
+                };
+                sum += kappa;
+            }
+            if sum / ci as f64 > 1.0 / 2f64.powi(i) {
+                kpt = nf * sum / (2.0 * ci as f64);
+                break 'outer;
+            }
+        }
+        drop(probe);
+
+        // --- Stage 2: refinement (TIM⁺'s extra pass) ---
+        let eps_p = 5.0 * (ell * eps * eps / (k as f64 + ell)).cbrt();
+        let eps_p = eps_p.min(0.9); // keep the deflation factor sane
+        let lambda_p = (2.0 + eps_p) * ell * nf * nf.ln() / (eps_p * eps_p);
+        let theta_p = ((lambda_p / kpt).ceil() as usize).max(1);
+        let mut rr = RrCollection::new(n);
+        driver.generate_into(&mut rr, theta_p);
+        let out = greedy_max_coverage(
+            &rr,
+            &GreedyConfig {
+                bound_terms: 0,
+                ..GreedyConfig::standard(k)
+            },
+        );
+        let mut fresh = RrCollection::new(n);
+        driver.generate_into(&mut fresh, theta_p);
+        let frac = fresh.coverage_of(&out.seeds) as f64 / theta_p as f64;
+        let kpt_refined = frac * nf / (1.0 + eps_p);
+        let kpt_plus = kpt_refined.max(kpt);
+
+        // --- Stage 3: node selection ---
+        let lambda = (8.0 + 2.0 * eps)
+            * nf
+            * (ell * nf.ln() + ln_binomial(n as u64, k as u64) + 2f64.ln())
+            / (eps * eps);
+        let theta = ((lambda / kpt_plus).ceil() as usize).max(1);
+        let mut rr = RrCollection::new(n);
+        driver.generate_into(&mut rr, theta);
+        let out = greedy_max_coverage(
+            &rr,
+            &GreedyConfig {
+                bound_terms: 0,
+                ..GreedyConfig::standard(k)
+            },
+        );
+
+        let mut stats = driver.stats();
+        stats.phase1_rr = stats.rr_generated;
+        stats.elapsed = start.elapsed();
+        Ok(ImResult {
+            seeds: out.seeds,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::{barabasi_albert, star_graph};
+    use subsim_graph::WeightModel;
+
+    fn opts(k: usize) -> ImOptions {
+        ImOptions::new(k).epsilon(0.5).delta(0.2).seed(61)
+    }
+
+    #[test]
+    fn star_hub_selected() {
+        let g = star_graph(80, WeightModel::UniformIc { p: 0.7 });
+        let res = TimPlus::vanilla().run(&g, &opts(1)).unwrap();
+        assert_eq!(res.seeds, vec![0]);
+    }
+
+    #[test]
+    fn generates_at_least_as_many_sets_as_imm() {
+        // TIM+'s union bound is looser than IMM's martingale analysis;
+        // with identical parameters it needs at least as many samples
+        // (the historical motivation for IMM).
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 62);
+        let o = ImOptions::new(5).epsilon(0.4).delta(0.1).seed(63);
+        let tim = TimPlus::vanilla().run(&g, &o).unwrap();
+        let imm = crate::algorithms::Imm::vanilla().run(&g, &o).unwrap();
+        assert!(
+            tim.stats.rr_generated as f64 >= 0.8 * imm.stats.rr_generated as f64,
+            "TIM+ {} vs IMM {}",
+            tim.stats.rr_generated,
+            imm.stats.rr_generated
+        );
+    }
+
+    #[test]
+    fn subsim_variant_selects_k_distinct() {
+        let g = barabasi_albert(250, 4, WeightModel::Wc, 64);
+        let res = TimPlus::subsim().run(&g, &opts(8)).unwrap();
+        assert_eq!(res.k(), 8);
+        let mut s = res.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 65);
+        let a = TimPlus::vanilla().run(&g, &opts(3)).unwrap();
+        let b = TimPlus::vanilla().run(&g, &opts(3)).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+    }
+}

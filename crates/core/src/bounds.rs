@@ -1,0 +1,183 @@
+//! Concentration bounds and sample-size formulas (paper Equations 1–4).
+//!
+//! All bounds descend from the martingale inequalities of Lemma 2
+//! (Tang et al. 2015). Given a coverage count `Λ` over `θ` RR sets:
+//!
+//! - [`opim_lower_bound`] (Eq. 1) certifies `𝕀(S) >= 𝕀⁻(S)` with
+//!   probability `1 - δ_l`, for any `S` **independent** of the RR sets.
+//! - [`opim_upper_bound`] (Eq. 2) certifies `𝕀(S^o_k) <= 𝕀⁺(S^o_k)` with
+//!   probability `1 - δ_u`, fed with the submodular coverage upper bound
+//!   `Λ^u` computed during the greedy pass.
+//! - [`theta_max_sentinel`] (Eq. 3) and [`theta_max_im_sentinel`] (Eq. 4)
+//!   cap the doubling loops of HIST's two phases.
+
+/// `ln C(n, k)` computed exactly as a sum of logs, `O(k)`.
+///
+/// Returns 0 for `k == 0` or `k >= n` edge cases outside the usual range.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k == 0 || k >= n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((k - i) as f64).ln();
+    }
+    acc
+}
+
+/// Eq. 1: lower bound `𝕀⁻(S)` from coverage `Λ` over `θ` RR sets, failing
+/// with probability at most `δ_l`.
+///
+/// ```text
+/// 𝕀⁻(S) = ( ( √(Λ + 2η/9) − √(η/2) )² − η/18 ) · n/θ,   η = ln(1/δ_l)
+/// ```
+///
+/// Clamped to `>= 0` (the raw formula can go slightly negative for tiny
+/// coverage).
+pub fn opim_lower_bound(coverage: f64, theta: u64, n: usize, delta_l: f64) -> f64 {
+    debug_assert!(theta > 0 && delta_l > 0.0 && delta_l < 1.0);
+    let eta = (1.0 / delta_l).ln();
+    let inner = (coverage + 2.0 * eta / 9.0).sqrt() - (eta / 2.0).sqrt();
+    let val = (inner * inner - eta / 18.0) * n as f64 / theta as f64;
+    val.max(0.0)
+}
+
+/// Eq. 2: upper bound `𝕀⁺(S^o_k)` from the coverage upper bound `Λ^u`
+/// over `θ` RR sets, failing with probability at most `δ_u`.
+///
+/// ```text
+/// 𝕀⁺(S^o_k) = ( √(Λᵘ + η/2) + √(η/2) )² · n/θ,   η = ln(1/δ_u)
+/// ```
+pub fn opim_upper_bound(coverage_upper: f64, theta: u64, n: usize, delta_u: f64) -> f64 {
+    debug_assert!(theta > 0 && delta_u > 0.0 && delta_u < 1.0);
+    let eta = (1.0 / delta_u).ln();
+    let inner = (coverage_upper + eta / 2.0).sqrt() + (eta / 2.0).sqrt();
+    inner * inner * n as f64 / theta as f64
+}
+
+/// Eq. 3: maximum RR sets needed by the sentinel-selection phase
+/// (worst-case over `b`, substituting `𝕀(S^o_k) -> k`, `C(n,b) -> C(n,k)`,
+/// `1 - x^b -> 1`).
+pub fn theta_max_sentinel(n: usize, k: usize, eps1: f64, delta1: f64) -> f64 {
+    let ln6d = (6.0 / delta1).ln();
+    let s = ln6d.sqrt() + (ln_binomial(n as u64, k as u64) + ln6d).sqrt();
+    2.0 * n as f64 * s * s / (eps1 * eps1 * k as f64)
+}
+
+/// Eq. 4: maximum RR sets needed by the IM-Sentinel phase given sentinel
+/// size `b`.
+pub fn theta_max_im_sentinel(n: usize, k: usize, b: usize, eps2: f64, delta2: f64) -> f64 {
+    let ln9d = (9.0 / delta2).ln();
+    let frac = 1.0 - (-1.0f64).exp(); // 1 - 1/e
+    let s = ln9d.sqrt()
+        + (frac * (ln_binomial((n - b) as u64, (k - b) as u64) + ln9d)).sqrt();
+    2.0 * n as f64 * s * s / (eps2 * eps2 * k as f64)
+}
+
+/// The OPIM-C worst-case sample cap: Eq. 4 with `b = 0` and `ln(9/δ)`
+/// replaced by `ln(6/δ)` (only two bounds per final check).
+pub fn theta_max_opim(n: usize, k: usize, eps: f64, delta: f64) -> f64 {
+    let ln6d = (6.0 / delta).ln();
+    let frac = 1.0 - (-1.0f64).exp();
+    let s = ln6d.sqrt() + (frac * (ln_binomial(n as u64, k as u64) + ln6d)).sqrt();
+    2.0 * n as f64 * s * s / (eps * eps * k as f64)
+}
+
+/// Initial sample size `θ_0 = 3·ln(1/δ)` (paper Section 4.1: the
+/// Monte-Carlo floor of Dagum et al. for a unit-mean variable).
+pub fn theta_zero(delta: f64) -> u64 {
+    ((3.0 * (1.0 / delta).ln()).ceil() as u64).max(1)
+}
+
+/// Number of doubling iterations `i_max = ceil(log2(θ_max / θ_0))`.
+pub fn i_max(theta_max: f64, theta_zero: u64) -> u32 {
+    ((theta_max / theta_zero as f64).log2().ceil() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_binomial_small_cases() {
+        // C(5,2) = 10
+        assert!((ln_binomial(5, 2) - 10.0f64.ln()).abs() < 1e-12);
+        // C(10,3) = 120
+        assert!((ln_binomial(10, 3) - 120.0f64.ln()).abs() < 1e-12);
+        assert_eq!(ln_binomial(7, 0), 0.0);
+        assert_eq!(ln_binomial(7, 7), 0.0);
+    }
+
+    #[test]
+    fn ln_binomial_symmetry() {
+        assert!((ln_binomial(100, 30) - ln_binomial(100, 70)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_large_no_overflow() {
+        let v = ln_binomial(10_000_000, 2000);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn lower_bound_below_sample_mean() {
+        // 𝕀⁻ must never exceed the empirical estimate n·Λ/θ.
+        for &(cov, theta) in &[(50.0, 100u64), (900.0, 1000), (5.0, 64)] {
+            let n = 1000;
+            let lb = opim_lower_bound(cov, theta, n, 0.01);
+            let mean = n as f64 * cov / theta as f64;
+            assert!(lb <= mean + 1e-9, "lb {lb} above mean {mean}");
+            assert!(lb >= 0.0);
+        }
+    }
+
+    #[test]
+    fn upper_bound_above_sample_mean() {
+        for &(cov, theta) in &[(50.0, 100u64), (900.0, 1000), (5.0, 64)] {
+            let n = 1000;
+            let ub = opim_upper_bound(cov, theta, n, 0.01);
+            let mean = n as f64 * cov / theta as f64;
+            assert!(ub >= mean - 1e-9, "ub {ub} below mean {mean}");
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_with_more_samples() {
+        let n = 1000;
+        // Same empirical mean, growing θ: the gap must shrink.
+        let gap = |theta: u64| {
+            let cov = theta as f64 * 0.3;
+            opim_upper_bound(cov, theta, n, 0.01) - opim_lower_bound(cov, theta, n, 0.01)
+        };
+        assert!(gap(10_000) < gap(1_000));
+        assert!(gap(1_000) < gap(100));
+    }
+
+    #[test]
+    fn lower_bound_zero_coverage_is_zero() {
+        // Mathematically exactly 0; allow float residue.
+        assert!(opim_lower_bound(0.0, 100, 1000, 0.01) < 1e-9);
+    }
+
+    #[test]
+    fn theta_formulas_positive_and_ordered() {
+        let (n, k) = (10_000, 100);
+        let t3 = theta_max_sentinel(n, k, 0.05, 0.005);
+        let t4 = theta_max_im_sentinel(n, k, 10, 0.05, 0.005);
+        let to = theta_max_opim(n, k, 0.1, 1.0 / n as f64);
+        assert!(t3 > 0.0 && t4 > 0.0 && to > 0.0);
+        // Smaller ε needs more samples.
+        assert!(theta_max_sentinel(n, k, 0.01, 0.005) > t3);
+        // Larger b shrinks the IM-Sentinel requirement (smaller binomial).
+        assert!(theta_max_im_sentinel(n, k, 90, 0.05, 0.005) < t4);
+    }
+
+    #[test]
+    fn theta_zero_and_imax() {
+        let t0 = theta_zero(0.001);
+        assert_eq!(t0, (3.0 * 1000f64.ln()).ceil() as u64);
+        assert!(i_max(1e6, t0) >= 1);
+        assert_eq!(i_max(1.0, 100), 1); // never below one iteration
+    }
+}

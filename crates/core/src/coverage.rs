@@ -1,0 +1,395 @@
+//! Greedy max-coverage over RR collections (paper Algorithms 1 and 6) with
+//! the submodular coverage upper bound of Eq. 2 computed in the same pass.
+
+use subsim_diffusion::collection::{InvertedIndex, RrCollection};
+use subsim_graph::{Graph, NodeId};
+use std::collections::BinaryHeap;
+
+/// Configuration of one greedy pass.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyConfig<'g> {
+    /// Number of seeds to select.
+    pub select: usize,
+    /// Number of top-marginal terms in the Eq. 2 coverage upper bound
+    /// (the paper always uses `k`, even when `select = k - b` in HIST's
+    /// phase 2). `0` skips the bound computation.
+    pub bound_terms: usize,
+    /// `Some(graph)` enables the revised greedy (Algorithm 6): ties in
+    /// marginal coverage break towards the larger out-degree.
+    pub tie_break: Option<&'g Graph>,
+    /// Coverage already granted before this pass (HIST phase 2 counts the
+    /// RR sets covered by the sentinel here; the collection passed in must
+    /// exclude those sets).
+    pub base_covered: usize,
+    /// Nodes that must never be selected (HIST phase 2 excludes the
+    /// sentinel nodes, which are already part of the final seed set).
+    pub exclude: &'g [NodeId],
+}
+
+impl<'g> GreedyConfig<'g> {
+    /// Standard greedy (Algorithm 1) selecting `k` seeds with a `k`-term
+    /// upper bound.
+    pub fn standard(k: usize) -> Self {
+        GreedyConfig {
+            select: k,
+            bound_terms: k,
+            tie_break: None,
+            base_covered: 0,
+            exclude: &[],
+        }
+    }
+
+    /// Revised greedy (Algorithm 6) with out-degree tie-breaking.
+    pub fn revised(k: usize, g: &'g Graph) -> Self {
+        GreedyConfig {
+            select: k,
+            bound_terms: k,
+            tie_break: Some(g),
+            base_covered: 0,
+            exclude: &[],
+        }
+    }
+}
+
+/// Result of a greedy pass.
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome {
+    /// Selected nodes in pick order.
+    pub seeds: Vec<NodeId>,
+    /// `prefix_coverage[i] = Λ(S_i)` including `base_covered`;
+    /// `prefix_coverage[0] == base_covered`, length `select + 1`.
+    pub prefix_coverage: Vec<usize>,
+    /// The Eq. 2 coverage upper bound
+    /// `Λᵘ = min_i (Λ(S_i) + Σ_{v ∈ maxMC(S_i, bound_terms)} Λ(v|S_i))`,
+    /// or `f64::INFINITY` when `bound_terms == 0`.
+    pub coverage_upper: f64,
+}
+
+impl GreedyOutcome {
+    /// Final coverage `Λ(S_select)`.
+    pub fn coverage(&self) -> usize {
+        *self.prefix_coverage.last().unwrap()
+    }
+}
+
+/// Runs greedy max-coverage over `rr`.
+///
+/// Uses a lazily-updated max-heap keyed by `(marginal coverage,
+/// out-degree, node id)`; because marginals only decrease (submodularity),
+/// a popped entry is either current or can be re-pushed with its corrected
+/// value. Each round extracts the `bound_terms` freshest maxima, which
+/// yields both the next seed (the maximum) and the Eq. 2 top-`k` marginal
+/// sum in one sweep.
+pub fn greedy_max_coverage(rr: &RrCollection, cfg: &GreedyConfig<'_>) -> GreedyOutcome {
+    let n = rr.graph_n();
+    let idx = InvertedIndex::build(rr);
+    let mut count: Vec<usize> = (0..n as NodeId).map(|v| idx.degree(v)).collect();
+    let outdeg = |v: NodeId| -> u32 {
+        cfg.tie_break.map_or(0, |g| g.out_degree(v) as u32)
+    };
+
+    let mut heap: BinaryHeap<(usize, u32, NodeId)> = (0..n as NodeId)
+        .map(|v| (count[v as usize], outdeg(v), v))
+        .collect();
+    let mut covered = vec![false; rr.len()];
+    let mut selected = vec![false; n];
+    for &v in cfg.exclude {
+        selected[v as usize] = true;
+    }
+    let mut seeds = Vec::with_capacity(cfg.select);
+    let mut lambda = cfg.base_covered;
+    let mut prefix = Vec::with_capacity(cfg.select + 1);
+    prefix.push(lambda);
+    let mut upper = f64::INFINITY;
+
+    // Pops up to `want` entries whose stored count is current, returning
+    // them ordered best-first. Stale entries are re-pushed corrected.
+    let pop_fresh = |heap: &mut BinaryHeap<(usize, u32, NodeId)>,
+                     count: &[usize],
+                     selected: &[bool],
+                     want: usize| {
+        let mut fresh: Vec<(usize, u32, NodeId)> = Vec::with_capacity(want);
+        while fresh.len() < want {
+            let Some((c, d, v)) = heap.pop() else { break };
+            if selected[v as usize] {
+                continue; // seeds never re-enter
+            }
+            if c != count[v as usize] {
+                heap.push((count[v as usize], d, v));
+                continue;
+            }
+            fresh.push((c, d, v));
+        }
+        fresh
+    };
+
+    for _round in 0..cfg.select {
+        let want = cfg.bound_terms.max(1);
+        let fresh = pop_fresh(&mut heap, &count, &selected, want);
+
+        if cfg.bound_terms > 0 {
+            let marginal_sum: usize = fresh.iter().map(|&(c, _, _)| c).sum();
+            upper = upper.min((lambda + marginal_sum) as f64);
+        }
+
+        // The next seed: the best fresh entry, or an arbitrary unselected
+        // node once every remaining marginal is zero and the heap drained.
+        let seed = match fresh.first() {
+            Some(&(_, _, v)) => v,
+            None => match (0..n as NodeId).find(|&v| !selected[v as usize]) {
+                Some(v) => v,
+                None => break, // select > n: nothing left to pick
+            },
+        };
+        // Return the unpicked fresh entries for later rounds.
+        for &entry in fresh.iter().skip(1) {
+            heap.push(entry);
+        }
+
+        selected[seed as usize] = true;
+        lambda += count[seed as usize];
+        for &sid in idx.sets_containing(seed) {
+            let sid = sid as usize;
+            if covered[sid] {
+                continue;
+            }
+            covered[sid] = true;
+            for &w in rr.get(sid) {
+                count[w as usize] -= 1;
+            }
+        }
+        debug_assert_eq!(count[seed as usize], 0);
+        seeds.push(seed);
+        prefix.push(lambda);
+    }
+
+    // Final bound term at i = select.
+    if cfg.bound_terms > 0 {
+        let fresh = pop_fresh(&mut heap, &count, &selected, cfg.bound_terms);
+        let marginal_sum: usize = fresh.iter().map(|&(c, _, _)| c).sum();
+        upper = upper.min((lambda + marginal_sum) as f64);
+    }
+
+    GreedyOutcome {
+        seeds,
+        prefix_coverage: prefix,
+        coverage_upper: upper,
+    }
+}
+
+/// Reference greedy using degree buckets instead of a lazy heap — the
+/// structure the authors' released C++ implementations use. `O(Σ|R_i| +
+/// n + k·Δ)` where `Δ` is the max marginal; no Eq. 2 bound, no
+/// tie-breaking (first-in-bucket wins).
+///
+/// Exists for *differential testing*: on tie-free inputs it must select
+/// exactly the same seeds as [`greedy_max_coverage`], and on any input it
+/// must reach the same total coverage trajectory. The `greedy_impls`
+/// Criterion bench compares their throughput.
+pub fn greedy_max_coverage_buckets(rr: &RrCollection, k: usize) -> GreedyOutcome {
+    let n = rr.graph_n();
+    let idx = InvertedIndex::build(rr);
+    let mut count: Vec<usize> = (0..n as NodeId).map(|v| idx.degree(v)).collect();
+    let max_count = count.iter().copied().max().unwrap_or(0);
+
+    // buckets[c] holds nodes whose *recorded* count is c; nodes migrate
+    // lazily (recorded position may be stale, checked on pop).
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_count + 1];
+    for (v, &c) in count.iter().enumerate() {
+        buckets[c].push(v as NodeId);
+    }
+    let mut covered = vec![false; rr.len()];
+    let mut selected = vec![false; n];
+    let mut seeds = Vec::with_capacity(k);
+    let mut lambda = 0usize;
+    let mut prefix = vec![0usize];
+    let mut cur = max_count;
+
+    while seeds.len() < k {
+        // Find the highest bucket with a fresh entry.
+        let seed = loop {
+            while cur > 0 && buckets[cur].is_empty() {
+                cur -= 1;
+            }
+            if cur == 0 {
+                break None;
+            }
+            let v = buckets[cur].pop().expect("nonempty bucket");
+            if selected[v as usize] {
+                continue;
+            }
+            let c = count[v as usize];
+            if c != cur {
+                buckets[c].push(v); // stale: re-file under the true count
+                continue;
+            }
+            break Some(v);
+        };
+        let seed = match seed {
+            Some(v) => v,
+            None => match (0..n as NodeId).find(|&v| !selected[v as usize]) {
+                Some(v) => v,
+                None => break,
+            },
+        };
+        selected[seed as usize] = true;
+        lambda += count[seed as usize];
+        for &sid in idx.sets_containing(seed) {
+            let sid = sid as usize;
+            if covered[sid] {
+                continue;
+            }
+            covered[sid] = true;
+            for &w in rr.get(sid) {
+                count[w as usize] -= 1;
+            }
+        }
+        seeds.push(seed);
+        prefix.push(lambda);
+    }
+    GreedyOutcome {
+        seeds,
+        prefix_coverage: prefix,
+        coverage_upper: f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::star_graph;
+    use subsim_graph::WeightModel;
+
+    fn collection(sets: &[&[NodeId]], n: usize) -> RrCollection {
+        let mut rr = RrCollection::new(n);
+        for s in sets {
+            rr.push(s);
+        }
+        rr
+    }
+
+    #[test]
+    fn picks_highest_coverage_first() {
+        // Node 1 covers 3 sets, node 0 covers 2, node 2 covers 1.
+        let rr = collection(&[&[0, 1], &[1], &[1, 2], &[0]], 3);
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(2));
+        assert_eq!(out.seeds[0], 1);
+        assert_eq!(out.prefix_coverage, vec![0, 3, 4]);
+        assert_eq!(out.coverage(), 4);
+    }
+
+    #[test]
+    fn marginal_not_raw_coverage_drives_second_pick() {
+        // Node 0 in 3 sets; node 1 in 2 of the same sets plus nothing new;
+        // node 2 in 1 disjoint set. After picking 0, node 2 beats node 1.
+        let rr = collection(&[&[0, 1], &[0, 1], &[0], &[2]], 3);
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(2));
+        assert_eq!(out.seeds, vec![0, 2]);
+        assert_eq!(out.coverage(), 4);
+    }
+
+    #[test]
+    fn tie_break_prefers_out_degree() {
+        // Nodes 0 and 1 each cover one set; node 0 has the bigger
+        // out-degree in the star graph, so revised greedy must pick it.
+        let g = star_graph(3, WeightModel::Wc); // 0 -> 1, 0 -> 2
+        let rr = collection(&[&[1], &[0]], 3);
+        let out = greedy_max_coverage(&rr, &GreedyConfig::revised(1, &g));
+        assert_eq!(out.seeds, vec![0]);
+        // Standard greedy breaks ties by node id via the heap ordering —
+        // still deterministic, but id 1 > 0 wins on the third key.
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(1));
+        assert_eq!(out.seeds, vec![1]);
+    }
+
+    #[test]
+    fn upper_bound_dominates_best_k_set() {
+        // Brute-force the best 2-set coverage and compare.
+        let rr = collection(&[&[0, 1], &[1, 2], &[2, 3], &[3, 0], &[4]], 5);
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(2));
+        let mut best = 0;
+        for a in 0..5u32 {
+            for b in 0..a {
+                best = best.max(rr.coverage_of(&[a, b]));
+            }
+        }
+        assert!(
+            out.coverage_upper >= best as f64,
+            "upper {} < best {}",
+            out.coverage_upper,
+            best
+        );
+        // And the greedy guarantee: coverage >= (1 - 1/e) * best.
+        assert!(out.coverage() as f64 >= (1.0 - (-1.0f64).exp()) * best as f64);
+    }
+
+    #[test]
+    fn base_covered_shifts_everything() {
+        let rr = collection(&[&[0], &[1]], 3);
+        let cfg = GreedyConfig {
+            base_covered: 7,
+            ..GreedyConfig::standard(2)
+        };
+        let out = greedy_max_coverage(&rr, &cfg);
+        assert_eq!(out.prefix_coverage, vec![7, 8, 9]);
+        assert!(out.coverage_upper >= 9.0);
+    }
+
+    #[test]
+    fn exhausted_marginals_fall_back_to_arbitrary_nodes() {
+        let rr = collection(&[&[0]], 4);
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(3));
+        assert_eq!(out.seeds.len(), 3);
+        assert_eq!(out.seeds[0], 0);
+        assert_eq!(out.coverage(), 1);
+        // No duplicates.
+        let mut s = out.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_collection_selects_arbitrary() {
+        let rr = RrCollection::new(3);
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(2));
+        assert_eq!(out.seeds.len(), 2);
+        assert_eq!(out.coverage(), 0);
+    }
+
+    #[test]
+    fn bound_terms_zero_skips_bound() {
+        let rr = collection(&[&[0]], 2);
+        let cfg = GreedyConfig {
+            bound_terms: 0,
+            ..GreedyConfig::standard(1)
+        };
+        let out = greedy_max_coverage(&rr, &cfg);
+        assert_eq!(out.coverage_upper, f64::INFINITY);
+        assert_eq!(out.seeds, vec![0]);
+    }
+
+    #[test]
+    fn select_larger_than_n_stops_gracefully() {
+        let rr = collection(&[&[0], &[1]], 2);
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(5));
+        assert_eq!(out.seeds.len(), 2);
+    }
+
+    #[test]
+    fn prefix_coverages_are_monotone_and_concave() {
+        // Submodularity: marginal gains must be non-increasing.
+        let rr = collection(
+            &[&[0, 1, 2], &[0, 1], &[0], &[3], &[3, 4], &[2], &[1, 4]],
+            5,
+        );
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(4));
+        let p = &out.prefix_coverage;
+        for w in p.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        for w in p.windows(3) {
+            assert!(w[2] - w[1] <= w[1] - w[0], "gains must shrink: {p:?}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the IM algorithms.
+
+use std::fmt;
+
+/// Errors produced while validating options or running an algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImError {
+    /// `k` must satisfy `1 <= k <= n`.
+    InvalidK {
+        /// Requested seed count.
+        k: usize,
+        /// Graph node count.
+        n: usize,
+    },
+    /// `ε` must lie strictly inside `(0, 1 - 1/e)` for the guarantee to be
+    /// non-vacuous.
+    InvalidEpsilon {
+        /// Requested accuracy.
+        epsilon: f64,
+    },
+    /// `δ` must lie strictly inside `(0, 1)`.
+    InvalidDelta {
+        /// Requested failure probability.
+        delta: f64,
+    },
+}
+
+impl fmt::Display for ImError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImError::InvalidK { k, n } => {
+                write!(f, "seed count k={k} must satisfy 1 <= k <= n={n}")
+            }
+            ImError::InvalidEpsilon { epsilon } => {
+                write!(f, "epsilon={epsilon} must lie in (0, 1 - 1/e)")
+            }
+            ImError::InvalidDelta { delta } => {
+                write!(f, "delta={delta} must lie in (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(ImError::InvalidK { k: 0, n: 5 }.to_string().contains("k=0"));
+        assert!(ImError::InvalidEpsilon { epsilon: 2.0 }
+            .to_string()
+            .contains("epsilon=2"));
+        assert!(ImError::InvalidDelta { delta: 0.0 }.to_string().contains("delta=0"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared run options.
+
+use crate::error::ImError;
+use subsim_graph::Graph;
+
+/// Options shared by every IM algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImOptions {
+    /// Seed-set size `k`.
+    pub k: usize,
+    /// Accuracy `ε` of the `(1 - 1/e - ε)` guarantee. The paper's
+    /// experiments use `ε = 0.1`.
+    pub epsilon: f64,
+    /// Failure probability `δ`; `None` means the paper's default `1/n`.
+    pub delta: Option<f64>,
+    /// RNG seed — all algorithms are deterministic given it.
+    pub seed: u64,
+}
+
+impl ImOptions {
+    /// Options with the paper defaults (`ε = 0.1`, `δ = 1/n`, seed 0).
+    pub fn new(k: usize) -> Self {
+        ImOptions {
+            k,
+            epsilon: 0.1,
+            delta: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets `ε`.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets `δ` explicitly.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The effective `δ` for a graph (`1/n` when unset).
+    pub fn effective_delta(&self, g: &Graph) -> f64 {
+        self.delta.unwrap_or(1.0 / g.n() as f64)
+    }
+
+    /// Validates the options against a graph.
+    pub fn validate(&self, g: &Graph) -> Result<(), ImError> {
+        if self.k == 0 || self.k > g.n() {
+            return Err(ImError::InvalidK { k: self.k, n: g.n() });
+        }
+        let one_minus_inv_e = 1.0 - (-1.0f64).exp();
+        if !(self.epsilon > 0.0 && self.epsilon < one_minus_inv_e) {
+            return Err(ImError::InvalidEpsilon {
+                epsilon: self.epsilon,
+            });
+        }
+        let delta = self.effective_delta(g);
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(ImError::InvalidDelta { delta });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::path_graph;
+    use subsim_graph::WeightModel;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = ImOptions::new(10);
+        assert_eq!(o.epsilon, 0.1);
+        assert_eq!(o.delta, None);
+        let g = path_graph(100, WeightModel::Wc);
+        assert!((o.effective_delta(&g) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let g = path_graph(5, WeightModel::Wc);
+        assert!(ImOptions::new(0).validate(&g).is_err());
+        assert!(ImOptions::new(6).validate(&g).is_err());
+        assert!(ImOptions::new(3).epsilon(0.0).validate(&g).is_err());
+        assert!(ImOptions::new(3).epsilon(0.7).validate(&g).is_err());
+        assert!(ImOptions::new(3).delta(1.5).validate(&g).is_err());
+        assert!(ImOptions::new(3).validate(&g).is_ok());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let o = ImOptions::new(7).epsilon(0.2).delta(0.01).seed(9);
+        assert_eq!(o.k, 7);
+        assert_eq!(o.epsilon, 0.2);
+        assert_eq!(o.delta, Some(0.01));
+        assert_eq!(o.seed, 9);
+    }
+}

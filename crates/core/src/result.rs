@@ -1,0 +1,91 @@
+//! Run results and per-run statistics.
+
+use std::time::Duration;
+use subsim_graph::NodeId;
+
+/// Statistics gathered during one algorithm run — the quantities the
+/// paper's figures report (RR-set counts, average sizes, phase timings).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Total random RR sets generated across all phases and doublings.
+    pub rr_generated: u64,
+    /// Total node entries across those sets (`rr_total_nodes /
+    /// rr_generated` is the average RR-set size of Figure 3(b)).
+    pub rr_total_nodes: u64,
+    /// Generation cost proxy (see `subsim_diffusion::RrContext::cost`).
+    pub cost: u64,
+    /// RR generations truncated by a sentinel hit (HIST only).
+    pub sentinel_hits: u64,
+    /// Sentinel-set size `b` chosen by HIST's phase 1 (0 otherwise).
+    pub sentinel_size: usize,
+    /// RR sets generated during HIST's sentinel-selection phase only
+    /// (Figure 3(a)); equals `rr_generated` for single-phase algorithms.
+    pub phase1_rr: u64,
+    /// Certified lower bound on `𝕀(S*)` at termination (0 when the
+    /// algorithm provides none, e.g. IMM terminates by sample count).
+    pub lower_bound: f64,
+    /// Certified upper bound on `𝕀(S^o_k)` at termination (0 when none).
+    pub upper_bound: f64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// Average RR-set size; 0 if no sets were generated.
+    pub fn avg_rr_size(&self) -> f64 {
+        if self.rr_generated == 0 {
+            0.0
+        } else {
+            self.rr_total_nodes as f64 / self.rr_generated as f64
+        }
+    }
+
+    /// The certified approximation ratio `𝕀⁻(S*)/𝕀⁺(S^o)` at
+    /// termination, if both bounds were computed.
+    pub fn certified_ratio(&self) -> Option<f64> {
+        (self.upper_bound > 0.0).then(|| self.lower_bound / self.upper_bound)
+    }
+}
+
+/// The outcome of an IM run: the seed set plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImResult {
+    /// Selected seeds, in selection order (greedy order).
+    pub seeds: Vec<NodeId>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl ImResult {
+    /// The seed set size.
+    pub fn k(&self) -> usize {
+        self.seeds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_rr_size_handles_zero() {
+        assert_eq!(RunStats::default().avg_rr_size(), 0.0);
+        let s = RunStats {
+            rr_generated: 4,
+            rr_total_nodes: 10,
+            ..Default::default()
+        };
+        assert!((s.avg_rr_size() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certified_ratio_requires_bounds() {
+        assert_eq!(RunStats::default().certified_ratio(), None);
+        let s = RunStats {
+            lower_bound: 3.0,
+            upper_bound: 4.0,
+            ..Default::default()
+        };
+        assert!((s.certified_ratio().unwrap() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the bounds and the greedy machinery.
+
+use proptest::prelude::*;
+use subsim_core::bounds::{
+    i_max, ln_binomial, opim_lower_bound, opim_upper_bound, theta_max_im_sentinel,
+    theta_max_sentinel, theta_zero,
+};
+use subsim_core::coverage::{greedy_max_coverage, GreedyConfig};
+use subsim_diffusion::RrCollection;
+
+/// Exhaustive best coverage over all k-subsets of a <= 20-node universe,
+/// via per-node coverage bitmasks (collections in these tests hold < 64
+/// sets).
+fn brute_force_best_coverage(rr: &RrCollection, k: usize) -> u32 {
+    let n = rr.graph_n();
+    let mut node_mask = vec![0u64; n];
+    for (i, set) in rr.iter().enumerate() {
+        for &v in set {
+            node_mask[v as usize] |= 1 << i;
+        }
+    }
+    fn recurse(masks: &[u64], start: usize, left: usize, acc: u64, best: &mut u32) {
+        if left == 0 || start == masks.len() {
+            *best = (*best).max(acc.count_ones());
+            return;
+        }
+        for i in start..masks.len() {
+            recurse(masks, i + 1, left - 1, acc | masks[i], best);
+        }
+        *best = (*best).max(acc.count_ones());
+    }
+    let mut best = 0;
+    recurse(&node_mask, 0, k, 0, &mut best);
+    best
+}
+
+proptest! {
+    #[test]
+    fn bounds_sandwich_the_empirical_mean(
+        coverage in 0u32..100_000,
+        theta in 1u64..1_000_000,
+        n in 1usize..10_000_000,
+        delta in 1e-9f64..0.5,
+    ) {
+        let cov = coverage as f64;
+        prop_assume!(cov <= theta as f64);
+        let mean = n as f64 * cov / theta as f64;
+        let lb = opim_lower_bound(cov, theta, n, delta);
+        let ub = opim_upper_bound(cov, theta, n, delta);
+        prop_assert!(lb >= 0.0);
+        prop_assert!(lb <= mean + 1e-6 * mean.max(1.0), "lb {lb} above mean {mean}");
+        prop_assert!(ub >= mean - 1e-6 * mean.max(1.0), "ub {ub} below mean {mean}");
+    }
+
+    #[test]
+    fn bounds_monotone_in_delta(
+        coverage in 1u32..10_000,
+        theta in 100u64..100_000,
+    ) {
+        // Smaller failure probability -> wider (more conservative) bounds.
+        let cov = coverage as f64;
+        prop_assume!(cov <= theta as f64);
+        let n = 100_000;
+        let lb_loose = opim_lower_bound(cov, theta, n, 0.1);
+        let lb_tight = opim_lower_bound(cov, theta, n, 0.001);
+        prop_assert!(lb_tight <= lb_loose + 1e-9);
+        let ub_loose = opim_upper_bound(cov, theta, n, 0.1);
+        let ub_tight = opim_upper_bound(cov, theta, n, 0.001);
+        prop_assert!(ub_tight >= ub_loose - 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_recurrence(n in 2u64..500, k in 1u64..100) {
+        prop_assume!(k < n);
+        // Pascal: C(n,k) = C(n-1,k-1) + C(n-1,k). Verify in log space.
+        let lhs = ln_binomial(n, k);
+        let a = ln_binomial(n - 1, k - 1);
+        let b = if k < n - 1 { ln_binomial(n - 1, k) } else { 0.0 };
+        let rhs = (a.exp() + b.exp()).ln();
+        // exp() can overflow for large inputs; only check the stable range.
+        if rhs.is_finite() {
+            prop_assert!((lhs - rhs).abs() < 1e-6 * lhs.max(1.0), "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn theta_formulas_monotone_in_epsilon(
+        n in 100usize..1_000_000,
+        k in 1usize..500,
+    ) {
+        prop_assume!(k < n);
+        let a = theta_max_sentinel(n, k, 0.05, 0.01);
+        let b = theta_max_sentinel(n, k, 0.2, 0.01);
+        prop_assert!(a > b, "smaller eps must need more samples");
+        let c = theta_max_im_sentinel(n, k, k.min(4), 0.05, 0.01);
+        prop_assert!(c > 0.0);
+        prop_assert!(i_max(a, theta_zero(0.01)) >= 1);
+    }
+
+    #[test]
+    fn greedy_never_beats_total_and_respects_guarantee(
+        sets in prop::collection::vec(prop::collection::vec(0u32..20, 1..6), 1..60),
+        k in 1usize..6,
+    ) {
+        let mut rr = RrCollection::new(20);
+        for s in &sets {
+            let mut s = s.clone();
+            s.sort_unstable();
+            s.dedup();
+            rr.push(&s);
+        }
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(k));
+        prop_assert!(out.coverage() <= rr.len());
+        // The Eq 2 bound dominates the greedy's own coverage.
+        prop_assert!(out.coverage_upper + 1e-9 >= out.coverage() as f64);
+        // Brute-force the optimal k-set coverage (tiny universe) and check
+        // both the (1 - 1/e) greedy guarantee and the Eq 2 upper bound.
+        let opt = brute_force_best_coverage(&rr, k);
+        prop_assert!(out.coverage_upper + 1e-9 >= opt as f64, "Eq 2 bound below OPT");
+        let frac = 1.0 - (-1.0f64).exp();
+        prop_assert!(
+            out.coverage() as f64 + 1e-9 >= frac * opt as f64,
+            "greedy {} below (1-1/e)·OPT with OPT {}",
+            out.coverage(),
+            opt
+        );
+        // Prefix coverages are monotone with shrinking gains.
+        let p = &out.prefix_coverage;
+        for w in p.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        for w in p.windows(3) {
+            prop_assert!(w[2] - w[1] <= w[1] - w[0]);
+        }
+        // Seeds are distinct.
+        let mut s = out.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), out.seeds.len());
+    }
+
+    #[test]
+    fn greedy_beats_any_single_node(
+        sets in prop::collection::vec(prop::collection::vec(0u32..15, 1..5), 1..40),
+    ) {
+        let mut rr = RrCollection::new(15);
+        for s in &sets {
+            let mut s = s.clone();
+            s.sort_unstable();
+            s.dedup();
+            rr.push(&s);
+        }
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(1));
+        for v in 0..15u32 {
+            prop_assert!(out.coverage() >= rr.coverage_of(&[v]));
+        }
+    }
+}
+
+/// Oracle check: every greedy step must pick a node whose marginal gain
+/// equals the brute-force maximum marginal at that step. (Trajectories of
+/// two correct greedy implementations can diverge after a tie, so the
+/// differential test is step-wise optimality, not trajectory equality.)
+fn assert_stepwise_optimal(rr: &RrCollection, seeds: &[u32], prefix: &[usize]) {
+    let mut covered = vec![false; rr.len()];
+    for (i, &seed) in seeds.iter().enumerate() {
+        // Max marginal over all nodes under the current covered state.
+        let mut best = 0usize;
+        for v in 0..rr.graph_n() as u32 {
+            if seeds[..i].contains(&v) {
+                continue;
+            }
+            let gain = rr
+                .iter()
+                .enumerate()
+                .filter(|(sid, set)| !covered[*sid] && set.contains(&v))
+                .count();
+            best = best.max(gain);
+        }
+        let picked = prefix[i + 1] - prefix[i];
+        assert_eq!(picked, best, "step {i} picked gain {picked}, max is {best}");
+        for (sid, set) in rr.iter().enumerate() {
+            if set.contains(&seed) {
+                covered[sid] = true;
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Differential test: both greedy implementations are step-wise
+    /// optimal against a brute-force marginal oracle, and their final
+    /// first-step gains coincide (no ties possible at the maximum value
+    /// itself).
+    #[test]
+    fn heap_and_bucket_greedy_are_stepwise_optimal(
+        sets in prop::collection::vec(prop::collection::vec(0u32..25, 1..6), 1..80),
+        k in 1usize..8,
+    ) {
+        use subsim_core::coverage::greedy_max_coverage_buckets;
+        let mut rr = RrCollection::new(25);
+        for s in &sets {
+            let mut s = s.clone();
+            s.sort_unstable();
+            s.dedup();
+            rr.push(&s);
+        }
+        let heap = greedy_max_coverage(&rr, &GreedyConfig::standard(k));
+        assert_stepwise_optimal(&rr, &heap.seeds, &heap.prefix_coverage);
+        let bucket = greedy_max_coverage_buckets(&rr, k);
+        assert_stepwise_optimal(&rr, &bucket.seeds, &bucket.prefix_coverage);
+        prop_assert_eq!(heap.prefix_coverage[1], bucket.prefix_coverage[1]);
+    }
+}

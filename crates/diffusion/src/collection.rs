@@ -1,0 +1,247 @@
+//! Flat-arena storage for collections of RR sets.
+//!
+//! The IM algorithms hold `θ` RR sets at a time (doubling between
+//! iterations), then run greedy max-coverage over them. Storing every set
+//! in its own `Vec` would cost one allocation per set and scatter the
+//! nodes across the heap; [`RrCollection`] instead appends all sets into
+//! one arena with an offsets array, and [`InvertedIndex`] provides the
+//! node → set-ids view the greedy phase consumes.
+
+use crate::rr::{RrContext, RrSampler};
+use rand::Rng;
+use subsim_graph::NodeId;
+
+/// A growable collection of RR sets over a graph with `n` nodes.
+#[derive(Debug, Clone)]
+pub struct RrCollection {
+    n: usize,
+    offsets: Vec<usize>,
+    nodes: Vec<NodeId>,
+}
+
+impl RrCollection {
+    /// Creates an empty collection for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        RrCollection {
+            n,
+            offsets: vec![0],
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Node count of the underlying graph.
+    pub fn graph_n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored RR sets.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether no sets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one set.
+    pub fn push(&mut self, set: &[NodeId]) {
+        self.nodes.extend_from_slice(set);
+        self.offsets.push(self.nodes.len());
+    }
+
+    /// The `i`-th set.
+    pub fn get(&self, i: usize) -> &[NodeId] {
+        &self.nodes[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterates over all sets.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Total number of node entries across all sets.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Average set size (the quantity Figure 3(b) reports); 0 if empty.
+    pub fn avg_size(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.nodes.len() as f64 / self.len() as f64
+        }
+    }
+
+    /// Generates `count` additional random RR sets with `sampler`.
+    pub fn generate<R: Rng + ?Sized>(
+        &mut self,
+        sampler: &RrSampler<'_>,
+        ctx: &mut RrContext,
+        rng: &mut R,
+        count: usize,
+    ) {
+        debug_assert_eq!(sampler.graph().n(), self.n);
+        self.offsets.reserve(count);
+        for _ in 0..count {
+            sampler.generate(ctx, rng);
+            self.push(ctx.last());
+        }
+    }
+
+    /// Coverage `Λ_R(S)`: the number of stored sets intersecting `seeds`.
+    pub fn coverage_of(&self, seeds: &[NodeId]) -> usize {
+        let mut mask = vec![false; self.n];
+        for &s in seeds {
+            mask[s as usize] = true;
+        }
+        self.iter()
+            .filter(|set| set.iter().any(|&v| mask[v as usize]))
+            .count()
+    }
+
+    /// Splits off the sets that do **not** intersect `seeds` (Algorithm 8
+    /// line 5: the sentinel-covered sets contribute zero marginal coverage
+    /// to further greedy picks). Returns `(kept, covered_count)`.
+    pub fn filter_not_covering(&self, seeds: &[NodeId]) -> (RrCollection, usize) {
+        let mut mask = vec![false; self.n];
+        for &s in seeds {
+            mask[s as usize] = true;
+        }
+        let mut kept = RrCollection::new(self.n);
+        let mut covered = 0usize;
+        for set in self.iter() {
+            if set.iter().any(|&v| mask[v as usize]) {
+                covered += 1;
+            } else {
+                kept.push(set);
+            }
+        }
+        (kept, covered)
+    }
+}
+
+/// Node → containing-set-ids index over an [`RrCollection`].
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    offsets: Vec<usize>,
+    set_ids: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Builds the index in one counting-sort pass, `O(n + Σ|R_i|)`.
+    pub fn build(rr: &RrCollection) -> Self {
+        let n = rr.graph_n();
+        let mut offsets = vec![0usize; n + 1];
+        for set in rr.iter() {
+            for &v in set {
+                offsets[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut set_ids = vec![0u32; *offsets.last().unwrap()];
+        for (i, set) in rr.iter().enumerate() {
+            for &v in set {
+                set_ids[cursor[v as usize]] = i as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        InvertedIndex { offsets, set_ids }
+    }
+
+    /// Ids of the sets containing `v`.
+    pub fn sets_containing(&self, v: NodeId) -> &[u32] {
+        let v = v as usize;
+        &self.set_ids[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Number of sets containing `v` (the node's initial coverage count).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.sets_containing(v).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::RrStrategy;
+    use subsim_graph::generators::star_graph;
+    use subsim_graph::WeightModel;
+    use subsim_sampling::rng_from_seed;
+
+    fn sample_collection() -> RrCollection {
+        let mut rr = RrCollection::new(5);
+        rr.push(&[0, 1]);
+        rr.push(&[2]);
+        rr.push(&[1, 3, 4]);
+        rr
+    }
+
+    #[test]
+    fn push_get_iter() {
+        let rr = sample_collection();
+        assert_eq!(rr.len(), 3);
+        assert_eq!(rr.get(0), &[0, 1]);
+        assert_eq!(rr.get(2), &[1, 3, 4]);
+        assert_eq!(rr.total_nodes(), 6);
+        assert!((rr.avg_size() - 2.0).abs() < 1e-12);
+        assert_eq!(rr.iter().count(), 3);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let rr = RrCollection::new(4);
+        assert!(rr.is_empty());
+        assert_eq!(rr.avg_size(), 0.0);
+        assert_eq!(rr.coverage_of(&[0]), 0);
+    }
+
+    #[test]
+    fn coverage_counts_intersections() {
+        let rr = sample_collection();
+        assert_eq!(rr.coverage_of(&[1]), 2);
+        assert_eq!(rr.coverage_of(&[2]), 1);
+        assert_eq!(rr.coverage_of(&[0, 2]), 2);
+        assert_eq!(rr.coverage_of(&[1, 2, 3]), 3);
+        assert_eq!(rr.coverage_of(&[]), 0);
+    }
+
+    #[test]
+    fn filter_not_covering_splits() {
+        let rr = sample_collection();
+        let (kept, covered) = rr.filter_not_covering(&[1]);
+        assert_eq!(covered, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept.get(0), &[2]);
+    }
+
+    #[test]
+    fn inverted_index_roundtrip() {
+        let rr = sample_collection();
+        let idx = InvertedIndex::build(&rr);
+        assert_eq!(idx.sets_containing(1), &[0, 2]);
+        assert_eq!(idx.sets_containing(2), &[1]);
+        assert_eq!(idx.degree(0), 1);
+        assert_eq!(idx.degree(4), 1);
+        let total: usize = (0..5).map(|v| idx.degree(v)).sum();
+        assert_eq!(total, rr.total_nodes());
+    }
+
+    #[test]
+    fn generate_appends() {
+        let g = star_graph(10, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = crate::rr::RrContext::new(10);
+        let mut rng = rng_from_seed(31);
+        let mut rr = RrCollection::new(10);
+        rr.generate(&sampler, &mut ctx, &mut rng, 25);
+        assert_eq!(rr.len(), 25);
+        for set in rr.iter() {
+            assert!(!set.is_empty());
+        }
+    }
+}

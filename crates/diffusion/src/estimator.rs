@@ -1,0 +1,230 @@
+//! Reusable, optionally parallel influence estimation.
+//!
+//! [`crate::forward::mc_influence`] allocates fresh scratch per cascade;
+//! fine for tests, wasteful when an experiment evaluates hundreds of seed
+//! sets (Figure 5). [`InfluenceEstimator`] keeps epoch-stamped scratch
+//! across calls and can fan the cascades out over threads, with the same
+//! deterministic per-worker seeding scheme as [`crate::parallel`].
+
+use crate::forward::CascadeModel;
+use rand::Rng;
+use subsim_graph::{Graph, InProbs, NodeId};
+use subsim_sampling::rng_from_seed;
+
+/// Scratch-reusing cascade simulator.
+pub struct InfluenceEstimator<'g> {
+    g: &'g Graph,
+    model: CascadeModel,
+    /// Epoch-stamped activation marks (no clearing between runs).
+    active: Vec<u32>,
+    epoch: u32,
+    /// Epoch-stamped LT thresholds, drawn lazily per run.
+    threshold: Vec<(u32, f64)>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl<'g> InfluenceEstimator<'g> {
+    /// Creates an estimator for `g` under `model`.
+    pub fn new(g: &'g Graph, model: CascadeModel) -> Self {
+        InfluenceEstimator {
+            g,
+            model,
+            active: vec![0; g.n()],
+            epoch: 0,
+            threshold: vec![(0, 0.0); g.n()],
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn activate(&mut self, v: NodeId) -> bool {
+        let slot = &mut self.active[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Runs one cascade; returns the number of activated nodes.
+    pub fn run_once<R: Rng + ?Sized>(&mut self, seeds: &[NodeId], rng: &mut R) -> usize {
+        if self.epoch == u32::MAX {
+            self.active.fill(0);
+            self.threshold.iter_mut().for_each(|t| t.0 = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.frontier.clear();
+        let mut count = 0usize;
+        for &s in seeds {
+            if self.activate(s) {
+                self.frontier.push(s);
+                count += 1;
+            }
+        }
+        while !self.frontier.is_empty() {
+            self.next.clear();
+            // Swap out to appease the borrow checker; swapped back below.
+            let mut frontier = std::mem::take(&mut self.frontier);
+            for &u in &frontier {
+                for &v in self.g.out_neighbors(u) {
+                    if self.active[v as usize] == self.epoch {
+                        continue;
+                    }
+                    let fire = match self.model {
+                        CascadeModel::Ic => {
+                            let p = self
+                                .g
+                                .prob_of_edge(u, v)
+                                .expect("out-neighbor edge exists");
+                            rng.gen::<f64>() < p
+                        }
+                        CascadeModel::Lt => {
+                            let slot = &mut self.threshold[v as usize];
+                            if slot.0 != self.epoch {
+                                *slot = (self.epoch, rng.gen::<f64>());
+                            }
+                            let lambda = slot.1;
+                            activated_in_weight(self.g, &self.active, self.epoch, v) >= lambda
+                        }
+                    };
+                    if fire {
+                        self.active[v as usize] = self.epoch;
+                        self.next.push(v);
+                        count += 1;
+                    }
+                }
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut self.next);
+            self.frontier = frontier;
+        }
+        count
+    }
+
+    /// Mean influence over `runs` cascades, seeded from `seed`.
+    pub fn estimate(&mut self, seeds: &[NodeId], runs: usize, seed: u64) -> f64 {
+        assert!(runs > 0);
+        let mut rng = rng_from_seed(seed);
+        let total: u64 = (0..runs)
+            .map(|_| self.run_once(seeds, &mut rng) as u64)
+            .sum();
+        total as f64 / runs as f64
+    }
+}
+
+/// Sum of `p(u, v)` over epoch-active in-neighbors of `v`.
+fn activated_in_weight(g: &Graph, active: &[u32], epoch: u32, v: NodeId) -> f64 {
+    let nbrs = g.in_neighbors(v);
+    match g.in_probs(v) {
+        InProbs::Uniform(p) => {
+            p * nbrs.iter().filter(|&&u| active[u as usize] == epoch).count() as f64
+        }
+        InProbs::PerEdge(ps) => nbrs
+            .iter()
+            .zip(ps)
+            .filter(|(&u, _)| active[u as usize] == epoch)
+            .map(|(_, &p)| p)
+            .sum(),
+    }
+}
+
+/// Parallel mean influence over `runs` cascades split across `threads`
+/// workers (deterministic for a fixed `(seed, threads, runs)` triple).
+pub fn par_influence(
+    g: &Graph,
+    seeds: &[NodeId],
+    model: CascadeModel,
+    runs: usize,
+    threads: usize,
+    seed: u64,
+) -> f64 {
+    assert!(threads > 0 && runs > 0);
+    if threads == 1 {
+        return InfluenceEstimator::new(g, model).estimate(seeds, runs, seed);
+    }
+    let totals: Vec<parking_lot::Mutex<u64>> =
+        (0..threads).map(|_| parking_lot::Mutex::new(0)).collect();
+    crossbeam::thread::scope(|scope| {
+        for (w, slot) in totals.iter().enumerate() {
+            let quota = runs / threads + usize::from(w < runs % threads);
+            scope.spawn(move |_| {
+                let mut est = InfluenceEstimator::new(g, model);
+                let mut rng =
+                    rng_from_seed(seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let total: u64 = (0..quota)
+                    .map(|_| est.run_once(seeds, &mut rng) as u64)
+                    .sum();
+                *slot.lock() = total;
+            });
+        }
+    })
+    .expect("worker panicked");
+    let total: u64 = totals.into_iter().map(|m| m.into_inner()).sum();
+    total as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::mc_influence;
+    use subsim_graph::generators::{barabasi_albert, path_graph, star_graph};
+    use subsim_graph::WeightModel;
+
+    #[test]
+    fn matches_mc_influence_statistically() {
+        let g = barabasi_albert(150, 4, WeightModel::Wc, 21);
+        let seeds = [0u32, 3, 9];
+        let a = mc_influence(&g, &seeds, CascadeModel::Ic, 30_000, 22);
+        let b = InfluenceEstimator::new(&g, CascadeModel::Ic).estimate(&seeds, 30_000, 23);
+        assert!((a - b).abs() < 0.05 * a.max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn lt_matches_mc_influence_statistically() {
+        let g = barabasi_albert(120, 4, WeightModel::Lt, 24);
+        let seeds = [1u32, 5];
+        let a = mc_influence(&g, &seeds, CascadeModel::Lt, 30_000, 25);
+        let b = InfluenceEstimator::new(&g, CascadeModel::Lt).estimate(&seeds, 30_000, 26);
+        assert!((a - b).abs() < 0.05 * a.max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn deterministic_chain() {
+        let g = path_graph(7, WeightModel::UniformIc { p: 1.0 });
+        let mut est = InfluenceEstimator::new(&g, CascadeModel::Ic);
+        assert_eq!(est.estimate(&[0], 10, 27), 7.0);
+        // Reuse across calls with different seeds must not leak state.
+        assert_eq!(est.estimate(&[3], 10, 28), 4.0);
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        let g = star_graph(100, WeightModel::UniformIc { p: 0.4 });
+        let seq = par_influence(&g, &[0], CascadeModel::Ic, 40_000, 1, 29);
+        let par = par_influence(&g, &[0], CascadeModel::Ic, 40_000, 4, 29);
+        assert!((seq - par).abs() < 0.05 * seq, "{seq} vs {par}");
+    }
+
+    #[test]
+    fn parallel_is_deterministic() {
+        let g = barabasi_albert(100, 3, WeightModel::Wc, 30);
+        let a = par_influence(&g, &[0, 1], CascadeModel::Ic, 999, 3, 31);
+        let b = par_influence(&g, &[0, 1], CascadeModel::Ic, 999, 3, 31);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn epoch_wrap_resets() {
+        let g = path_graph(3, WeightModel::UniformIc { p: 1.0 });
+        let mut est = InfluenceEstimator::new(&g, CascadeModel::Ic);
+        est.epoch = u32::MAX - 1;
+        for _ in 0..5 {
+            let mut rng = rng_from_seed(32);
+            assert_eq!(est.run_once(&[0], &mut rng), 3);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Forward cascade simulation and Monte-Carlo influence estimation.
+//!
+//! These implement the generative processes of Section 2.1 of the paper
+//! directly (timestamped activation waves). They serve as ground truth:
+//! `𝕀(S)` estimated here must match `n · Pr[S ∩ R ≠ ∅]` estimated from RR
+//! sets (Lemma 1), which the integration tests assert.
+
+use rand::Rng;
+use subsim_graph::{Graph, InProbs, NodeId};
+use subsim_sampling::rng_from_seed;
+
+/// The diffusion model a cascade follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CascadeModel {
+    /// Independent Cascade: a fresh activation attempt per edge.
+    Ic,
+    /// Linear Threshold: nodes activate when accumulated in-weight passes
+    /// a uniform random threshold.
+    Lt,
+}
+
+/// Runs one IC cascade from `seeds`; returns the number of activated
+/// nodes (including the seeds).
+///
+/// Duplicate seeds are counted once. Nodes out of range panic.
+pub fn simulate_ic<R: Rng + ?Sized>(g: &Graph, seeds: &[NodeId], rng: &mut R) -> usize {
+    let mut active = vec![false; g.n()];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if !active[s as usize] {
+            active[s as usize] = true;
+            frontier.push(s);
+        }
+    }
+    let mut count = frontier.len();
+    let mut next: Vec<NodeId> = Vec::new();
+    while !frontier.is_empty() {
+        for &u in &frontier {
+            for &v in g.out_neighbors(u) {
+                if active[v as usize] {
+                    continue;
+                }
+                let p = g
+                    .prob_of_edge(u, v)
+                    .expect("out-neighbor edge must exist");
+                if rng.gen::<f64>() < p {
+                    active[v as usize] = true;
+                    next.push(v);
+                    count += 1;
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    count
+}
+
+/// Runs one LT cascade from `seeds`; returns the number of activated
+/// nodes (including the seeds).
+///
+/// Thresholds `λ_v ~ U[0, 1]` are drawn lazily the first time a node is
+/// touched. A node activates when the summed weight of its *activated*
+/// in-neighbors reaches `λ_v` (paper Section 2.1).
+pub fn simulate_lt<R: Rng + ?Sized>(g: &Graph, seeds: &[NodeId], rng: &mut R) -> usize {
+    let n = g.n();
+    let mut active = vec![false; n];
+    let mut threshold: Vec<f64> = vec![f64::NAN; n];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if !active[s as usize] {
+            active[s as usize] = true;
+            frontier.push(s);
+        }
+    }
+    let mut count = frontier.len();
+    let mut next: Vec<NodeId> = Vec::new();
+    while !frontier.is_empty() {
+        for &u in &frontier {
+            for &v in g.out_neighbors(u) {
+                let vi = v as usize;
+                if active[vi] {
+                    continue;
+                }
+                if threshold[vi].is_nan() {
+                    threshold[vi] = rng.gen::<f64>();
+                }
+                // Re-sum the activated in-weight of v. O(d_in) per touch,
+                // correct for both uniform and per-edge weights.
+                let acc = activated_in_weight(g, &active, v);
+                if acc >= threshold[vi] {
+                    active[vi] = true;
+                    next.push(v);
+                    count += 1;
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    count
+}
+
+/// Sum of `p(u, v)` over activated in-neighbors `u` of `v`.
+fn activated_in_weight(g: &Graph, active: &[bool], v: NodeId) -> f64 {
+    let nbrs = g.in_neighbors(v);
+    match g.in_probs(v) {
+        InProbs::Uniform(p) => {
+            p * nbrs.iter().filter(|&&u| active[u as usize]).count() as f64
+        }
+        InProbs::PerEdge(ps) => nbrs
+            .iter()
+            .zip(ps)
+            .filter(|(&u, _)| active[u as usize])
+            .map(|(_, &p)| p)
+            .sum(),
+    }
+}
+
+/// Monte-Carlo estimate of the expected influence `𝕀(S)` of `seeds` under
+/// `model`, averaged over `runs` independent cascades seeded from `seed`.
+///
+/// ```
+/// use subsim_diffusion::{mc_influence, CascadeModel};
+/// use subsim_graph::{generators, WeightModel};
+///
+/// // Deterministic chain: seeding the head reaches all 5 nodes.
+/// let g = generators::path_graph(5, WeightModel::UniformIc { p: 1.0 });
+/// let inf = mc_influence(&g, &[0], CascadeModel::Ic, 100, 9);
+/// assert_eq!(inf, 5.0);
+/// ```
+pub fn mc_influence(
+    g: &Graph,
+    seeds: &[NodeId],
+    model: CascadeModel,
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    assert!(runs > 0, "mc_influence needs at least one run");
+    let mut rng = rng_from_seed(seed);
+    let total: u64 = (0..runs)
+        .map(|_| match model {
+            CascadeModel::Ic => simulate_ic(g, seeds, &mut rng) as u64,
+            CascadeModel::Lt => simulate_lt(g, seeds, &mut rng) as u64,
+        })
+        .sum();
+    total as f64 / runs as f64
+}
+
+/// RR-set-based estimate of `𝕀(S)` (paper Lemma 1): generates `count`
+/// random RR sets under `strategy` and returns `n · Λ(S)/count`.
+///
+/// Complements [`mc_influence`]: orders of magnitude cheaper for small
+/// `𝕀(S)` on large graphs, since each RR set costs `O(m/n · 𝕀(v*))`
+/// instead of a full forward cascade.
+///
+/// ```
+/// use subsim_diffusion::forward::rr_influence;
+/// use subsim_diffusion::RrStrategy;
+/// use subsim_graph::{generators, WeightModel};
+///
+/// let g = generators::path_graph(4, WeightModel::UniformIc { p: 1.0 });
+/// // Node 0 reaches everyone on the deterministic chain.
+/// let inf = rr_influence(&g, &[0], RrStrategy::SubsimIc, 500, 3);
+/// assert_eq!(inf, 4.0);
+/// ```
+pub fn rr_influence(
+    g: &Graph,
+    seeds: &[NodeId],
+    strategy: crate::rr::RrStrategy,
+    count: usize,
+    seed: u64,
+) -> f64 {
+    assert!(count > 0, "rr_influence needs at least one RR set");
+    let sampler = crate::rr::RrSampler::new(g, strategy);
+    let mut ctx = crate::rr::RrContext::new(g.n());
+    // Seeds double as a sentinel: generation may stop the moment it hits
+    // one, which leaves the coverage count unchanged and is exactly the
+    // trick HIST exploits.
+    ctx.set_sentinel(seeds);
+    let mut rng = rng_from_seed(seed);
+    let mut covered = 0usize;
+    for _ in 0..count {
+        sampler.generate(&mut ctx, &mut rng);
+    }
+    covered += ctx.sentinel_hits as usize;
+    g.n() as f64 * covered as f64 / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::{complete_graph, path_graph, star_graph};
+    use subsim_graph::{GraphBuilder, WeightModel};
+
+    #[test]
+    fn seeds_always_active() {
+        let g = path_graph(5, WeightModel::UniformIc { p: 0.0 });
+        let mut rng = rng_from_seed(1);
+        assert_eq!(simulate_ic(&g, &[0, 2, 4], &mut rng), 3);
+        assert_eq!(simulate_ic(&g, &[0, 0, 0], &mut rng), 1);
+    }
+
+    #[test]
+    fn deterministic_chain_propagates_fully() {
+        let g = path_graph(10, WeightModel::UniformIc { p: 1.0 });
+        let mut rng = rng_from_seed(2);
+        assert_eq!(simulate_ic(&g, &[0], &mut rng), 10);
+        assert_eq!(simulate_ic(&g, &[5], &mut rng), 5);
+    }
+
+    #[test]
+    fn star_influence_matches_closed_form() {
+        // Hub with L leaves at probability p: 𝕀({hub}) = 1 + L·p.
+        let (leaves, p) = (20usize, 0.3);
+        let g = star_graph(leaves + 1, WeightModel::UniformIc { p });
+        let est = mc_influence(&g, &[0], CascadeModel::Ic, 40_000, 3);
+        let expect = 1.0 + leaves as f64 * p;
+        assert!((est - expect).abs() < 0.15, "est {est} vs {expect}");
+    }
+
+    #[test]
+    fn two_hop_chain_closed_form() {
+        // 0 ->(p1) 1 ->(p2) 2: 𝕀({0}) = 1 + p1 + p1·p2.
+        let g = GraphBuilder::new(3)
+            .add_weighted_edge(0, 1, 0.5)
+            .add_weighted_edge(1, 2, 0.4)
+            .build()
+            .unwrap();
+        let est = mc_influence(&g, &[0], CascadeModel::Ic, 60_000, 4);
+        let expect = 1.0 + 0.5 + 0.5 * 0.4;
+        assert!((est - expect).abs() < 0.02, "est {est} vs {expect}");
+    }
+
+    #[test]
+    fn lt_single_in_edge_matches_weight() {
+        // For a single in-edge of weight w, LT activation prob given the
+        // source is active is exactly w (λ ~ U[0,1] <= w).
+        let g = GraphBuilder::new(2).add_weighted_edge(0, 1, 0.35).build().unwrap();
+        let est = mc_influence(&g, &[0], CascadeModel::Lt, 60_000, 5);
+        assert!((est - 1.35).abs() < 0.02, "est {est}");
+    }
+
+    #[test]
+    fn lt_full_weight_always_activates() {
+        let g = path_graph(6, WeightModel::Lt); // single in-edge of weight 1 each
+        let mut rng = rng_from_seed(6);
+        assert_eq!(simulate_lt(&g, &[0], &mut rng), 6);
+    }
+
+    #[test]
+    fn lt_monotone_in_seed_set() {
+        let g = complete_graph(8, WeightModel::Lt);
+        let a = mc_influence(&g, &[0], CascadeModel::Lt, 5_000, 7);
+        let b = mc_influence(&g, &[0, 1, 2], CascadeModel::Lt, 5_000, 7);
+        assert!(b >= a, "monotonicity violated: {b} < {a}");
+    }
+
+    #[test]
+    fn influence_bounded_by_n() {
+        let g = complete_graph(10, WeightModel::UniformIc { p: 0.9 });
+        let est = mc_influence(&g, &[0], CascadeModel::Ic, 2_000, 8);
+        assert!((1.0..=10.0).contains(&est));
+    }
+
+    #[test]
+    fn rr_influence_matches_forward() {
+        let g = crate::rr::tests_support_graph();
+        let seeds = [0u32, 5];
+        let fwd = mc_influence(&g, &seeds, CascadeModel::Ic, 60_000, 31);
+        let rr = rr_influence(&g, &seeds, crate::rr::RrStrategy::SubsimIc, 60_000, 32);
+        assert!(
+            (fwd - rr).abs() < 0.05 * fwd.max(1.0),
+            "forward {fwd} vs rr {rr}"
+        );
+    }
+
+    #[test]
+    fn mc_is_deterministic_given_seed() {
+        let g = star_graph(30, WeightModel::Wc);
+        let a = mc_influence(&g, &[0], CascadeModel::Ic, 1000, 9);
+        let b = mc_influence(&g, &[0], CascadeModel::Ic, 1000, 9);
+        assert_eq!(a, b);
+    }
+}

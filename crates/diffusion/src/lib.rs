@@ -1,0 +1,50 @@
+//! Cascade substrate: forward simulation and reverse-reachable (RR) set
+//! generation for the Independent Cascade (IC) and Linear Threshold (LT)
+//! models.
+//!
+//! The paper's pipeline is: sample many random RR sets, then run greedy
+//! max-coverage over them. This crate owns the sampling half:
+//!
+//! - [`forward`] — forward Monte-Carlo cascade simulation, used both as
+//!   the ground-truth influence estimator (`Figure 5`) and as the oracle
+//!   that validates RR-set unbiasedness (`n · Pr[S ∩ R ≠ ∅] = 𝕀(S)`,
+//!   paper Lemma 1).
+//! - [`rr`] — the RR-set generators: **vanilla** per-edge coin flipping
+//!   (Algorithm 2), **SUBSIM** geometric-skip sampling (Algorithm 3) with
+//!   the index-free sorted sampler for general IC (Section 3.3), the
+//!   optional bucket-jump index, and the **LT** reverse random path. Every
+//!   generator honours an optional *sentinel set* (Algorithm 5): the
+//!   traversal stops the moment a sentinel node is activated, which is the
+//!   engine of HIST's phase 2.
+//! - [`collection`] — a flat-arena [`collection::RrCollection`] storing
+//!   sets contiguously, with size/cost statistics and an inverted
+//!   node → set index for the greedy phase.
+//! - [`parallel`] — crossbeam-based batch generation across threads
+//!   (deterministic per-thread seeding), for users who want wall-clock
+//!   speed over single-seed reproducibility.
+//! - [`estimator`] — scratch-reusing (and optionally parallel) cascade
+//!   simulation for evaluating many seed sets cheaply (Figure 5).
+//! - [`serialize`] — a versioned binary format for persisting RR
+//!   collections, so expensive samples can be generated once and reused.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod estimator;
+pub mod forward;
+pub mod parallel;
+pub mod serialize;
+pub mod rr;
+
+pub use collection::RrCollection;
+pub use estimator::{par_influence, InfluenceEstimator};
+pub use serialize::{read_rr_collection, write_rr_collection};
+pub use forward::{mc_influence, rr_influence, simulate_ic, simulate_lt, CascadeModel};
+pub use rr::{RrContext, RrSampler, RrStrategy};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::collection::RrCollection;
+    pub use crate::forward::{mc_influence, rr_influence, CascadeModel};
+    pub use crate::rr::{RrContext, RrSampler, RrStrategy};
+}

@@ -1,0 +1,193 @@
+//! IC-model reverse traversals: vanilla (Algorithm 2), SUBSIM
+//! (Algorithm 3 + Section 3.3), and the bucket-jump variant.
+
+use super::RrContext;
+use rand::Rng;
+use subsim_graph::{Graph, InProbs, NodeId};
+use subsim_sampling::geometric::{GeometricSkipper, NEVER};
+use subsim_sampling::{BucketJumpSampler, SortedSubsetSampler};
+
+/// Rate above which scanning in-neighbors directly beats geometric
+/// skipping (mirrors `subsim_sampling::subset`'s threshold).
+const SCAN_THRESHOLD: f64 = 0.25;
+
+/// Outcome of activating one node during the reverse BFS.
+enum Activated {
+    /// Keep traversing.
+    Continue,
+    /// A sentinel node was activated; the whole generation stops.
+    Stop,
+}
+
+/// Activates `w` if unvisited: records it, checks the sentinel, enqueues.
+#[inline]
+fn activate(ctx: &mut RrContext, w: NodeId) -> Activated {
+    if ctx.visit(w) {
+        ctx.buf.push(w);
+        if ctx.is_sentinel(w) {
+            ctx.sentinel_hits += 1;
+            return Activated::Stop;
+        }
+        ctx.queue.push(w);
+    }
+    Activated::Continue
+}
+
+/// Vanilla traversal: one coin per incoming edge of each activated node.
+pub(super) fn traverse_vanilla<R: Rng + ?Sized>(g: &Graph, ctx: &mut RrContext, rng: &mut R) {
+    ctx.queue.push(ctx.buf[0]);
+    let mut head = 0;
+    while head < ctx.queue.len() {
+        let u = ctx.queue[head];
+        head += 1;
+        let nbrs = g.in_neighbors(u);
+        ctx.cost += nbrs.len() as u64;
+        match g.in_probs(u) {
+            InProbs::Uniform(p) => {
+                for &w in nbrs {
+                    if rng.gen::<f64>() < p {
+                        if let Activated::Stop = activate(ctx, w) {
+                            return;
+                        }
+                    }
+                }
+            }
+            InProbs::PerEdge(ps) => {
+                for (&w, &p) in nbrs.iter().zip(ps) {
+                    if rng.gen::<f64>() < p {
+                        if let Activated::Stop = activate(ctx, w) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// SUBSIM traversal: geometric skips for per-node-uniform weights, the
+/// index-free sorted sampler for per-edge weights.
+pub(super) fn traverse_subsim<R: Rng + ?Sized>(g: &Graph, ctx: &mut RrContext, rng: &mut R) {
+    ctx.queue.push(ctx.buf[0]);
+    let mut head = 0;
+    while head < ctx.queue.len() {
+        let u = ctx.queue[head];
+        head += 1;
+        let nbrs = g.in_neighbors(u);
+        if nbrs.is_empty() {
+            continue;
+        }
+        match g.in_probs(u) {
+            InProbs::Uniform(p) => {
+                if p <= 0.0 {
+                    ctx.cost += 1;
+                    continue;
+                }
+                if p >= SCAN_THRESHOLD {
+                    // Dense probabilities: direct Bernoulli per neighbor
+                    // (a geometric skip of expected length < 4 costs more
+                    // than the coins it saves).
+                    ctx.cost += nbrs.len() as u64;
+                    for &w in nbrs {
+                        if p >= 1.0 || rng.gen::<f64>() < p {
+                            if let Activated::Stop = activate(ctx, w) {
+                                return;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                let skipper = GeometricSkipper::new(p);
+                let d = nbrs.len() as u64;
+                let mut cursor = 0u64;
+                loop {
+                    ctx.cost += 1;
+                    let skip = skipper.skip(rng);
+                    if skip == NEVER {
+                        break;
+                    }
+                    cursor += skip;
+                    if cursor > d {
+                        break;
+                    }
+                    if let Activated::Stop = activate(ctx, nbrs[(cursor - 1) as usize]) {
+                        return;
+                    }
+                }
+            }
+            InProbs::PerEdge(ps) => {
+                ctx.cost += 1;
+                if sample_per_edge(ctx, nbrs, rng, |rng, visit| {
+                    SortedSubsetSampler::new(ps).sample_into(rng, visit)
+                }) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Bucket-jump traversal for per-edge weights (falls back to SUBSIM for
+/// nodes without an index entry, which cannot happen on a well-formed
+/// index).
+pub(super) fn traverse_bucket<R: Rng + ?Sized>(
+    g: &Graph,
+    index: &[Option<BucketJumpSampler>],
+    ctx: &mut RrContext,
+    rng: &mut R,
+) {
+    ctx.queue.push(ctx.buf[0]);
+    let mut head = 0;
+    while head < ctx.queue.len() {
+        let u = ctx.queue[head];
+        head += 1;
+        let nbrs = g.in_neighbors(u);
+        if nbrs.is_empty() {
+            continue;
+        }
+        ctx.cost += 1;
+        let Some(sampler) = &index[u as usize] else {
+            continue;
+        };
+        if sample_per_edge(ctx, nbrs, rng, |rng, visit| sampler.sample_into(rng, visit)) {
+            return;
+        }
+    }
+}
+
+/// Runs a per-edge subset sampler over `nbrs`, activating sampled
+/// neighbors. Returns `true` if a sentinel stop fired.
+///
+/// The samplers drive a `FnMut(usize)` callback that cannot abort, so a
+/// sentinel hit sets a flag and ignores the (few) remaining callbacks of
+/// the current node; those nodes are genuine RR members anyway, and the
+/// BFS stops before expanding anything further.
+fn sample_per_edge<R, S>(ctx: &mut RrContext, nbrs: &[NodeId], rng: &mut R, sample: S) -> bool
+where
+    R: Rng + ?Sized,
+    S: FnOnce(&mut R, &mut dyn FnMut(usize)),
+{
+    let mut stop = false;
+    let mut landings = 0u64;
+    sample(rng, &mut |i: usize| {
+        landings += 1;
+        if stop {
+            return;
+        }
+        if let Activated::Stop = activate(ctx, nbrs[i]) {
+            stop = true;
+        }
+    });
+    ctx.cost += landings;
+    stop
+}
+
+/// Builds the per-node bucket-jump index for a per-edge-weight graph.
+pub(super) fn build_bucket_index(g: &Graph) -> Vec<Option<BucketJumpSampler>> {
+    (0..g.n() as NodeId)
+        .map(|v| match g.in_probs(v) {
+            InProbs::PerEdge(ps) if !ps.is_empty() => Some(BucketJumpSampler::new(ps)),
+            _ => None,
+        })
+        .collect()
+}

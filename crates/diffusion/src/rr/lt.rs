@@ -1,0 +1,40 @@
+//! LT-model reverse traversal.
+//!
+//! Under the live-edge characterization of Linear Threshold, every node
+//! keeps exactly one incoming edge, chosen with probability `p(u, v)` each
+//! (none with probability `1 - Σp`). The RR set of a root is therefore a
+//! reverse *path*: repeatedly follow the single live in-edge until it is
+//! absent or revisits a node. Each step costs `O(1)` via the per-node
+//! alias tables of [`subsim_graph::LtIndex`], which is why the paper's
+//! `O(k·n·log n/ε²)` bound holds for LT without any algorithmic change.
+
+use super::RrContext;
+use rand::Rng;
+use subsim_graph::{Graph, LtIndex};
+
+/// Walks the reverse live-edge path from the root already in `ctx.buf`.
+pub(super) fn traverse_lt<R: Rng + ?Sized>(
+    g: &Graph,
+    lt: &LtIndex,
+    ctx: &mut RrContext,
+    rng: &mut R,
+) {
+    let mut cur = ctx.buf[0];
+    loop {
+        ctx.cost += 1;
+        let Some(u) = lt.sample_in_neighbor(g, rng, cur) else {
+            return;
+        };
+        if !ctx.visit(u) {
+            // Revisit: the path has closed a cycle; everything reachable
+            // further back is already in the set.
+            return;
+        }
+        ctx.buf.push(u);
+        if ctx.is_sentinel(u) {
+            ctx.sentinel_hits += 1;
+            return;
+        }
+        cur = u;
+    }
+}

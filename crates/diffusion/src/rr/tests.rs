@@ -1,0 +1,376 @@
+//! Correctness tests for the RR-set generators.
+//!
+//! The central invariant (paper Lemma 1): for any seed set `S`,
+//! `n · Pr[S ∩ R ≠ ∅] = 𝕀(S)`. Every generator is checked against the
+//! forward Monte-Carlo oracle, and the fast generators are checked against
+//! the vanilla one node-by-node.
+
+use super::*;
+use crate::forward::{mc_influence, CascadeModel};
+use subsim_graph::generators::{complete_graph, path_graph, star_graph};
+use subsim_graph::{GraphBuilder, WeightModel};
+use subsim_sampling::rng_from_seed;
+
+const IC_STRATEGIES: [RrStrategy; 3] = [
+    RrStrategy::VanillaIc,
+    RrStrategy::SubsimIc,
+    RrStrategy::SubsimBucketIc,
+];
+
+/// Estimates `n · Pr[S ∩ R ≠ ∅]` with `count` random RR sets.
+fn rr_influence(
+    g: &subsim_graph::Graph,
+    strategy: RrStrategy,
+    seeds: &[NodeId],
+    count: usize,
+    seed: u64,
+) -> f64 {
+    let sampler = RrSampler::new(g, strategy);
+    let mut ctx = RrContext::new(g.n());
+    let mut rng = rng_from_seed(seed);
+    let mut is_seed = vec![false; g.n()];
+    for &s in seeds {
+        is_seed[s as usize] = true;
+    }
+    let mut covered = 0usize;
+    for _ in 0..count {
+        sampler.generate(&mut ctx, &mut rng);
+        if ctx.last().iter().any(|&v| is_seed[v as usize]) {
+            covered += 1;
+        }
+    }
+    g.n() as f64 * covered as f64 / count as f64
+}
+
+#[test]
+fn rr_set_always_contains_root() {
+    let g = star_graph(10, WeightModel::Wc);
+    for strategy in IC_STRATEGIES {
+        let sampler = RrSampler::new(&g, strategy);
+        let mut ctx = RrContext::new(g.n());
+        let mut rng = rng_from_seed(1);
+        for root in 0..10 {
+            sampler.generate_from(&mut ctx, &mut rng, root);
+            assert_eq!(ctx.last()[0], root);
+        }
+    }
+}
+
+#[test]
+fn deterministic_chain_rr_is_full_prefix() {
+    // 0 -> 1 -> 2 -> 3 -> 4 with p = 1: RR(v) = {v, v-1, …, 0}.
+    let g = path_graph(5, WeightModel::UniformIc { p: 1.0 });
+    for strategy in IC_STRATEGIES {
+        let sampler = RrSampler::new(&g, strategy);
+        let mut ctx = RrContext::new(5);
+        let mut rng = rng_from_seed(2);
+        sampler.generate_from(&mut ctx, &mut rng, 3);
+        let mut set = ctx.last().to_vec();
+        set.sort_unstable();
+        assert_eq!(set, vec![0, 1, 2, 3], "{strategy:?}");
+    }
+}
+
+#[test]
+fn zero_probability_rr_is_singleton() {
+    let g = complete_graph(6, WeightModel::UniformIc { p: 0.0 });
+    for strategy in IC_STRATEGIES {
+        let sampler = RrSampler::new(&g, strategy);
+        let mut ctx = RrContext::new(6);
+        let mut rng = rng_from_seed(3);
+        for _ in 0..50 {
+            assert_eq!(sampler.generate(&mut ctx, &mut rng), 1, "{strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn lemma1_ic_strategies_match_forward_oracle() {
+    // Heterogeneous little graph exercising per-edge weights.
+    let g = GraphBuilder::new(6)
+        .add_weighted_edge(0, 1, 0.7)
+        .add_weighted_edge(0, 2, 0.3)
+        .add_weighted_edge(1, 2, 0.5)
+        .add_weighted_edge(2, 3, 0.9)
+        .add_weighted_edge(3, 4, 0.2)
+        .add_weighted_edge(1, 4, 0.4)
+        .add_weighted_edge(4, 5, 0.6)
+        .build()
+        .unwrap();
+    for seeds in [vec![0], vec![0, 3], vec![2]] {
+        let oracle = mc_influence(&g, &seeds, CascadeModel::Ic, 120_000, 4);
+        for strategy in IC_STRATEGIES {
+            let est = rr_influence(&g, strategy, &seeds, 120_000, 5);
+            assert!(
+                (est - oracle).abs() < 0.08,
+                "{strategy:?} seeds {seeds:?}: rr {est} vs forward {oracle}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma1_wc_model() {
+    let g = subsim_graph::generators::erdos_renyi_gnm(60, 300, WeightModel::Wc, 6);
+    let seeds = vec![0, 7, 13];
+    let oracle = mc_influence(&g, &seeds, CascadeModel::Ic, 60_000, 7);
+    for strategy in IC_STRATEGIES {
+        let est = rr_influence(&g, strategy, &seeds, 60_000, 8);
+        assert!(
+            (est - oracle).abs() < 0.05 * oracle.max(1.0),
+            "{strategy:?}: rr {est} vs forward {oracle}"
+        );
+    }
+}
+
+#[test]
+fn lemma1_lt_model() {
+    let g = subsim_graph::generators::erdos_renyi_gnm(50, 250, WeightModel::Lt, 9);
+    let seeds = vec![3, 11];
+    let oracle = mc_influence(&g, &seeds, CascadeModel::Lt, 80_000, 10);
+    let est = rr_influence(&g, RrStrategy::Lt, &seeds, 80_000, 11);
+    assert!(
+        (est - oracle).abs() < 0.05 * oracle.max(1.0),
+        "LT: rr {est} vs forward {oracle}"
+    );
+}
+
+#[test]
+fn subsim_matches_vanilla_node_marginals() {
+    // Per-node inclusion frequency must agree across strategies.
+    let g = GraphBuilder::new(5)
+        .add_weighted_edge(1, 0, 0.8)
+        .add_weighted_edge(2, 0, 0.4)
+        .add_weighted_edge(3, 0, 0.1)
+        .add_weighted_edge(4, 2, 0.5)
+        .add_weighted_edge(3, 2, 0.25)
+        .build()
+        .unwrap();
+    let count = 150_000;
+    let mut freq = [[0.0f64; 3]; 5];
+    for (si, strategy) in IC_STRATEGIES.iter().enumerate() {
+        let sampler = RrSampler::new(&g, *strategy);
+        let mut ctx = RrContext::new(5);
+        let mut rng = rng_from_seed(12);
+        for _ in 0..count {
+            sampler.generate_from(&mut ctx, &mut rng, 0);
+            for &v in ctx.last() {
+                freq[v as usize][si] += 1.0 / count as f64;
+            }
+        }
+    }
+    for (v, f) in freq.iter().enumerate() {
+        for si in 1..3 {
+            assert!(
+                (f[0] - f[si]).abs() < 0.01,
+                "node {v}: vanilla {} vs {:?} {}",
+                f[0],
+                IC_STRATEGIES[si],
+                f[si]
+            );
+        }
+    }
+}
+
+#[test]
+fn sentinel_stops_traversal_at_hit() {
+    let g = path_graph(10, WeightModel::UniformIc { p: 1.0 });
+    for strategy in IC_STRATEGIES {
+        let sampler = RrSampler::new(&g, strategy);
+        let mut ctx = RrContext::new(10);
+        ctx.set_sentinel(&[4]);
+        let mut rng = rng_from_seed(13);
+        sampler.generate_from(&mut ctx, &mut rng, 8);
+        // Walks 8 -> 7 -> 6 -> 5 -> 4 and stops.
+        assert_eq!(ctx.last(), &[8, 7, 6, 5, 4], "{strategy:?}");
+        assert_eq!(ctx.sentinel_hits, 1);
+        ctx.clear_sentinel();
+        sampler.generate_from(&mut ctx, &mut rng, 8);
+        assert_eq!(ctx.last().len(), 9); // full prefix without sentinel
+    }
+}
+
+#[test]
+fn sentinel_root_returns_immediately() {
+    let g = complete_graph(5, WeightModel::UniformIc { p: 1.0 });
+    let sampler = RrSampler::new(&g, RrStrategy::VanillaIc);
+    let mut ctx = RrContext::new(5);
+    ctx.set_sentinel(&[2]);
+    let mut rng = rng_from_seed(14);
+    assert_eq!(sampler.generate_from(&mut ctx, &mut rng, 2), 1);
+    assert_eq!(ctx.sentinel_hits, 1);
+}
+
+#[test]
+fn sentinel_preserves_hit_probability() {
+    // Pr[R ∩ B ≠ ∅] must be identical with and without sentinel stopping:
+    // stopping only truncates *after* the hit (paper Section 4).
+    let g = subsim_graph::generators::barabasi_albert(200, 4, WeightModel::WcVariant { theta: 3.0 }, 15);
+    let sentinel = [0u32, 1, 2];
+    let count = 60_000;
+    let mut hits = [0usize; 2];
+    for (mode, h) in hits.iter_mut().enumerate() {
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = RrContext::new(g.n());
+        if mode == 1 {
+            ctx.set_sentinel(&sentinel);
+        }
+        let mut rng = rng_from_seed(16 + mode as u64);
+        for _ in 0..count {
+            sampler.generate(&mut ctx, &mut rng);
+            if ctx.last().iter().any(|&v| sentinel.contains(&v)) {
+                *h += 1;
+            }
+        }
+    }
+    let (a, b) = (hits[0] as f64 / count as f64, hits[1] as f64 / count as f64);
+    assert!((a - b).abs() < 0.015, "hit prob without {a} vs with {b}");
+}
+
+#[test]
+fn sentinel_shrinks_average_size() {
+    let g = subsim_graph::generators::barabasi_albert(300, 4, WeightModel::WcVariant { theta: 4.0 }, 17);
+    // Use the highest out-degree node as sentinel — it is hit often.
+    let hub = (0..g.n() as NodeId).max_by_key(|&v| g.out_degree(v)).unwrap();
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let count = 5_000;
+    let mut rng = rng_from_seed(18);
+    let mut ctx = RrContext::new(g.n());
+    let mut plain = 0usize;
+    for _ in 0..count {
+        plain += sampler.generate(&mut ctx, &mut rng);
+    }
+    ctx.set_sentinel(&[hub]);
+    let mut trunc = 0usize;
+    for _ in 0..count {
+        trunc += sampler.generate(&mut ctx, &mut rng);
+    }
+    assert!(
+        (trunc as f64) < 0.8 * plain as f64,
+        "sentinel should shrink sizes: {trunc} vs {plain}"
+    );
+}
+
+#[test]
+fn subsim_cost_below_vanilla_on_wc() {
+    // WC: vanilla pays Σ d_in over activated nodes, SUBSIM pays O(1 + μ)
+    // with μ <= 1 — the cost counter must reflect the gap on a hub-heavy
+    // graph.
+    let g = subsim_graph::generators::barabasi_albert(2_000, 8, WeightModel::Wc, 19);
+    let count = 3_000;
+    let mut costs = [0u64; 2];
+    for (i, strategy) in [RrStrategy::VanillaIc, RrStrategy::SubsimIc].iter().enumerate() {
+        let sampler = RrSampler::new(&g, *strategy);
+        let mut ctx = RrContext::new(g.n());
+        let mut rng = rng_from_seed(20);
+        for _ in 0..count {
+            sampler.generate(&mut ctx, &mut rng);
+        }
+        costs[i] = ctx.cost;
+    }
+    assert!(
+        costs[1] * 2 < costs[0],
+        "subsim cost {} should be well below vanilla {}",
+        costs[1],
+        costs[0]
+    );
+}
+
+#[test]
+fn lt_rr_is_simple_path_until_revisit() {
+    let g = complete_graph(8, WeightModel::Lt);
+    let sampler = RrSampler::new(&g, RrStrategy::Lt);
+    let mut ctx = RrContext::new(8);
+    let mut rng = rng_from_seed(21);
+    for _ in 0..200 {
+        sampler.generate(&mut ctx, &mut rng);
+        let set = ctx.last();
+        let mut sorted = set.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), set.len(), "duplicates in LT path {set:?}");
+    }
+}
+
+#[test]
+fn generation_is_deterministic_from_seed() {
+    let g = subsim_graph::generators::rmat(8, 1500, WeightModel::Wc, 22);
+    for strategy in IC_STRATEGIES {
+        let collect = |seed: u64| {
+            let sampler = RrSampler::new(&g, strategy);
+            let mut ctx = RrContext::new(g.n());
+            let mut rng = rng_from_seed(seed);
+            let mut all = Vec::new();
+            for _ in 0..100 {
+                sampler.generate(&mut ctx, &mut rng);
+                all.extend_from_slice(ctx.last());
+            }
+            all
+        };
+        assert_eq!(collect(23), collect(23), "{strategy:?}");
+    }
+}
+
+#[test]
+fn epoch_wraparound_resets_cleanly() {
+    let g = path_graph(3, WeightModel::UniformIc { p: 1.0 });
+    let sampler = RrSampler::new(&g, RrStrategy::VanillaIc);
+    let mut ctx = RrContext::new(3);
+    ctx.epoch = u32::MAX - 2;
+    let mut rng = rng_from_seed(24);
+    for _ in 0..10 {
+        sampler.generate_from(&mut ctx, &mut rng, 2);
+        assert_eq!(ctx.last().len(), 3);
+    }
+}
+
+#[test]
+fn subsim_cost_tracks_one_plus_mu_per_activation() {
+    // Lemma 3 / Theorem 1: under WC (μ <= 1 per node) SUBSIM's sampling
+    // cost per RR set is O(1 + |R|) — independent of node degrees. The
+    // hybrid scan path bounds the per-node constant by 1/SCAN_THRESHOLD.
+    let g = subsim_graph::generators::barabasi_albert(2_000, 8, WeightModel::Wc, 71);
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let mut ctx = RrContext::new(g.n());
+    let mut rng = rng_from_seed(72);
+    let count = 20_000;
+    let mut total_size = 0usize;
+    for _ in 0..count {
+        total_size += sampler.generate(&mut ctx, &mut rng);
+    }
+    let avg_size = total_size as f64 / count as f64;
+    let avg_cost = ctx.cost as f64 / count as f64;
+    assert!(
+        avg_cost <= 8.0 * (1.0 + avg_size),
+        "avg cost {avg_cost} not O(1 + avg size {avg_size})"
+    );
+}
+
+#[test]
+fn vanilla_cost_equals_indegree_sum_of_activations() {
+    // The vanilla counter must equal Σ d_in over expanded nodes — the
+    // quantity the paper's analysis charges Algorithm 2 for. On a p = 1
+    // chain every activated node is expanded.
+    let g = subsim_graph::generators::path_graph(10, WeightModel::UniformIc { p: 1.0 });
+    let sampler = RrSampler::new(&g, RrStrategy::VanillaIc);
+    let mut ctx = RrContext::new(10);
+    let mut rng = rng_from_seed(73);
+    sampler.generate_from(&mut ctx, &mut rng, 9);
+    // Nodes 9..=0 activated; each has in-degree 1 except node 0.
+    assert_eq!(ctx.cost, 9);
+}
+
+#[test]
+fn reset_counters_clears_cost_and_hits() {
+    let g = subsim_graph::generators::path_graph(5, WeightModel::UniformIc { p: 1.0 });
+    let sampler = RrSampler::new(&g, RrStrategy::VanillaIc);
+    let mut ctx = RrContext::new(5);
+    ctx.set_sentinel(&[0]);
+    let mut rng = rng_from_seed(74);
+    sampler.generate_from(&mut ctx, &mut rng, 4);
+    assert!(ctx.cost > 0 && ctx.sentinel_hits == 1);
+    ctx.reset_counters();
+    assert_eq!((ctx.cost, ctx.sentinel_hits), (0, 0));
+    // The last RR set survives a counter reset.
+    assert!(!ctx.last().is_empty());
+}

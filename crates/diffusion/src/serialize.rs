@@ -1,0 +1,188 @@
+//! Binary (de)serialization of RR collections.
+//!
+//! Generating millions of RR sets dominates IM running time; pipelines
+//! that tune `k` or compare selection strategies on a *fixed* sample want
+//! to generate once and reload. The format is a small, versioned,
+//! little-endian layout:
+//!
+//! ```text
+//! magic "SUBSIMRR" | version u32 | n u64 | count u64
+//! offsets: (count + 1) × u64 | nodes: total × u32
+//! ```
+
+use crate::collection::RrCollection;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"SUBSIMRR";
+const VERSION: u32 = 1;
+
+/// Writes `rr` to `w`.
+pub fn write_rr_collection<W: Write>(rr: &RrCollection, w: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(rr.graph_n() as u64).to_le_bytes())?;
+    w.write_all(&(rr.len() as u64).to_le_bytes())?;
+    let mut offset = 0u64;
+    w.write_all(&offset.to_le_bytes())?;
+    for set in rr.iter() {
+        offset += set.len() as u64;
+        w.write_all(&offset.to_le_bytes())?;
+    }
+    for set in rr.iter() {
+        for &v in set {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+fn read_exact_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads a collection previously written by [`write_rr_collection`].
+pub fn read_rr_collection<R: Read>(r: R) -> io::Result<RrCollection> {
+    let mut r = io::BufReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a SUBSIM RR collection"));
+    }
+    let mut ver = [0u8; 4];
+    r.read_exact(&mut ver)?;
+    if u32::from_le_bytes(ver) != VERSION {
+        return Err(bad("unsupported RR collection version"));
+    }
+    let n = read_exact_u64(&mut r)? as usize;
+    let count = read_exact_u64(&mut r)? as usize;
+    // Do NOT pre-reserve from the untrusted `count`: a corrupt header
+    // could demand exabytes. Growing lazily means a truncated stream
+    // errors out after reading only what actually exists.
+    let mut offsets = Vec::new();
+    for _ in 0..=count {
+        offsets.push(read_exact_u64(&mut r)? as usize);
+    }
+    if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad("corrupt offsets"));
+    }
+    let total = *offsets.last().unwrap();
+    let mut rr = RrCollection::new(n);
+    let mut buf = vec![0u8; 4];
+    let mut set: Vec<u32> = Vec::new();
+    let mut cursor = 0usize;
+    for pair in offsets.windows(2) {
+        set.clear();
+        for _ in pair[0]..pair[1] {
+            r.read_exact(&mut buf)?;
+            let v = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+            if v as usize >= n {
+                return Err(bad("node id out of range"));
+            }
+            set.push(v);
+            cursor += 1;
+        }
+        rr.push(&set);
+    }
+    debug_assert_eq!(cursor, total);
+    Ok(rr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::{RrContext, RrSampler, RrStrategy};
+    use subsim_graph::generators::barabasi_albert;
+    use subsim_graph::WeightModel;
+    use subsim_sampling::rng_from_seed;
+
+    fn sample_collection() -> RrCollection {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 41);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = RrContext::new(g.n());
+        let mut rng = rng_from_seed(42);
+        let mut rr = RrCollection::new(g.n());
+        rr.generate(&sampler, &mut ctx, &mut rng, 500);
+        rr
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let rr = sample_collection();
+        let mut buf = Vec::new();
+        write_rr_collection(&rr, &mut buf).unwrap();
+        let back = read_rr_collection(buf.as_slice()).unwrap();
+        assert_eq!(back.graph_n(), rr.graph_n());
+        assert_eq!(back.len(), rr.len());
+        for i in 0..rr.len() {
+            assert_eq!(back.get(i), rr.get(i));
+        }
+    }
+
+    #[test]
+    fn empty_collection_roundtrips() {
+        let rr = RrCollection::new(10);
+        let mut buf = Vec::new();
+        write_rr_collection(&rr, &mut buf).unwrap();
+        let back = read_rr_collection(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.graph_n(), 10);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let err = read_rr_collection(&b"NOTMAGIC........"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let rr = sample_collection();
+        let mut buf = Vec::new();
+        write_rr_collection(&rr, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_rr_collection(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        // Fuzz-ish: random byte soup must yield Err, not a panic.
+        use subsim_sampling::rng_from_seed;
+        use rand::Rng;
+        let mut rng = rng_from_seed(99);
+        for len in [0usize, 7, 8, 12, 20, 64, 256] {
+            for _ in 0..50 {
+                let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                let _ = read_rr_collection(bytes.as_slice());
+            }
+        }
+        // And with a valid magic prefix followed by garbage.
+        for _ in 0..50 {
+            let mut bytes = b"SUBSIMRR".to_vec();
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            let tail: Vec<u8> = (0..rng.gen_range(0..64)).map(|_| rng.gen()).collect();
+            bytes.extend(tail);
+            let _ = read_rr_collection(bytes.as_slice());
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        // Hand-craft a v1 stream with n = 1 but node id 7.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SUBSIMRR");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes()); // n = 1
+        buf.extend_from_slice(&1u64.to_le_bytes()); // count = 1
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        assert!(read_rr_collection(buf.as_slice()).is_err());
+    }
+}

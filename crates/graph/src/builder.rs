@@ -1,0 +1,315 @@
+//! Edge-list graph construction.
+
+use crate::csr::{EdgeWeights, Graph, NodeId};
+use crate::error::GraphError;
+use crate::weights::WeightModel;
+
+/// Builds a [`Graph`] from an edge list.
+///
+/// ```
+/// use subsim_graph::{GraphBuilder, WeightModel};
+///
+/// let g = GraphBuilder::new(4)
+///     .edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+///     .weights(WeightModel::Wc)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    custom_probs: Option<Vec<f64>>,
+    model: WeightModel,
+    undirected: bool,
+    keep_self_loops: bool,
+    weight_seed: u64,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with nodes `0..n`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            custom_probs: None,
+            model: WeightModel::Wc,
+            undirected: false,
+            keep_self_loops: false,
+            weight_seed: 0x5eed,
+        }
+    }
+
+    /// Adds one directed edge `u -> v`.
+    pub fn add_edge(mut self, u: NodeId, v: NodeId) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many directed edges.
+    pub fn edges<I: IntoIterator<Item = (NodeId, NodeId)>>(mut self, iter: I) -> Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Adds one edge with an explicit probability; switches the graph to
+    /// per-edge weights (overrides [`GraphBuilder::weights`]).
+    pub fn add_weighted_edge(mut self, u: NodeId, v: NodeId, p: f64) -> Self {
+        let probs = self.custom_probs.get_or_insert_with(Vec::new);
+        probs.resize(self.edges.len(), f64::NAN);
+        self.edges.push((u, v));
+        probs.push(p);
+        self
+    }
+
+    /// Selects the weight model used to derive edge probabilities.
+    pub fn weights(mut self, model: WeightModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Seed for the random weight models (exponential, Weibull,
+    /// trivalency). Defaults to a fixed constant so builds are
+    /// reproducible.
+    pub fn weight_seed(mut self, seed: u64) -> Self {
+        self.weight_seed = seed;
+        self
+    }
+
+    /// Treats every added edge as undirected: both directions are
+    /// materialized (matching how the paper handles Orkut/Friendster).
+    pub fn undirected(mut self, yes: bool) -> Self {
+        self.undirected = yes;
+        self
+    }
+
+    /// Keeps self-loops instead of dropping them (default: drop).
+    pub fn keep_self_loops(mut self, yes: bool) -> Self {
+        self.keep_self_loops = yes;
+        self
+    }
+
+    /// Finalizes the graph: validates endpoints, dedups parallel edges,
+    /// builds both CSR directions, and materializes edge probabilities.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let GraphBuilder {
+            n,
+            edges,
+            custom_probs,
+            model,
+            undirected,
+            keep_self_loops,
+            weight_seed,
+        } = self;
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+
+        // Resolve custom probabilities: edges added via `add_edge` after a
+        // weighted edge get NaN placeholders, which we reject.
+        if let Some(probs) = &custom_probs {
+            if probs.len() != edges.len() {
+                return Err(GraphError::WeightLengthMismatch {
+                    expected: edges.len(),
+                    got: probs.len(),
+                });
+            }
+            for &p in probs {
+                if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                    return Err(GraphError::InvalidProbability { value: p });
+                }
+            }
+        }
+
+        // Collect (u, v, optional prob); double for undirected.
+        let mut triples: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(
+            edges.len() * if undirected { 2 } else { 1 },
+        );
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u as u64, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v as u64, n });
+            }
+            if u == v && !keep_self_loops {
+                continue;
+            }
+            let p = custom_probs.as_ref().map_or(f64::NAN, |ps| ps[i]);
+            triples.push((u, v, p));
+            if undirected && u != v {
+                triples.push((v, u, p));
+            }
+        }
+
+        // Dedup parallel edges, keeping the first occurrence.
+        triples.sort_by_key(|&(u, v, _)| (u, v));
+        triples.dedup_by_key(|&mut (u, v, _)| (u, v));
+        let m = triples.len();
+
+        // Forward CSR (already sorted by source).
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &triples {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = triples.iter().map(|&(_, v, _)| v).collect();
+
+        // Reverse CSR via counting sort on target.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v, _) in &triples {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_probs = vec![0.0f64; m];
+        for &(u, v, p) in &triples {
+            let slot = cursor[v as usize];
+            in_sources[slot] = u;
+            in_probs[slot] = p;
+            cursor[v as usize] += 1;
+        }
+
+        let weights = if custom_probs.is_some() {
+            sort_in_segments(&in_offsets, &mut in_sources, &mut in_probs);
+            EdgeWeights::PerEdge(in_probs)
+        } else {
+            model.assign(n, &in_offsets, &mut in_sources, weight_seed)
+        };
+
+        let g = Graph::from_parts(n, out_offsets, out_targets, in_offsets, in_sources, weights);
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+/// Sorts each in-segment by descending probability, keeping sources
+/// aligned (precondition of the index-free general-IC sampler).
+fn sort_in_segments(in_offsets: &[usize], in_sources: &mut [NodeId], probs: &mut [f64]) {
+    for v in 0..in_offsets.len() - 1 {
+        let (lo, hi) = (in_offsets[v], in_offsets[v + 1]);
+        if hi - lo < 2 {
+            continue;
+        }
+        let mut zipped: Vec<(f64, NodeId)> = probs[lo..hi]
+            .iter()
+            .copied()
+            .zip(in_sources[lo..hi].iter().copied())
+            .collect();
+        zipped.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for (i, (p, s)) in zipped.into_iter().enumerate() {
+            probs[lo + i] = p;
+            in_sources[lo + i] = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::InProbs;
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        let err = GraphBuilder::new(2).add_edge(0, 5).build().unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, n: 2 }));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert!(matches!(
+            GraphBuilder::new(0).build().unwrap_err(),
+            GraphError::EmptyGraph
+        ));
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let g = GraphBuilder::new(2).edges([(0, 0), (0, 1)]).build().unwrap();
+        assert_eq!(g.m(), 1);
+        let g = GraphBuilder::new(2)
+            .edges([(0, 0), (0, 1)])
+            .keep_self_loops(true)
+            .build()
+            .unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let g = GraphBuilder::new(2)
+            .edges([(0, 1), (0, 1), (0, 1)])
+            .build()
+            .unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (1, 2)])
+            .undirected(true)
+            .build()
+            .unwrap();
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.out_degree(2), 1);
+    }
+
+    #[test]
+    fn custom_weights_respected() {
+        let g = GraphBuilder::new(3)
+            .add_weighted_edge(0, 2, 0.25)
+            .add_weighted_edge(1, 2, 0.75)
+            .build()
+            .unwrap();
+        let InProbs::PerEdge(ps) = g.in_probs(2) else {
+            panic!()
+        };
+        assert_eq!(ps, &[0.75, 0.25]); // sorted descending
+        assert_eq!(g.in_neighbors(2), &[1, 0]); // aligned with probs
+    }
+
+    #[test]
+    fn custom_weights_validate_range() {
+        let err = GraphBuilder::new(2)
+            .add_weighted_edge(0, 1, 1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn mixing_weighted_and_unweighted_edges_fails() {
+        let err = GraphBuilder::new(3)
+            .add_weighted_edge(0, 1, 0.5)
+            .add_edge(1, 2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::WeightLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = GraphBuilder::new(10).add_edge(0, 1).build().unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.in_degree(9), 0);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn out_neighbors_sorted_by_construction() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 3), (0, 1), (0, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3]);
+    }
+}

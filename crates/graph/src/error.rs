@@ -1,0 +1,102 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, loading, or validating a graph.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint is `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The graph's node count.
+        n: usize,
+    },
+    /// The graph has zero nodes; every algorithm needs at least one.
+    EmptyGraph,
+    /// A propagation probability is outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A caller-supplied per-edge weight vector has the wrong length.
+    WeightLengthMismatch {
+        /// Expected number of edges.
+        expected: usize,
+        /// Provided number of weights.
+        got: usize,
+    },
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(std::io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::EmptyGraph => write!(f, "graph must have at least one node"),
+            GraphError::InvalidProbability { value } => {
+                write!(f, "propagation probability {value} is not in [0, 1]")
+            }
+            GraphError::WeightLengthMismatch { expected, got } => {
+                write!(f, "expected {expected} edge weights, got {got}")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 5 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('5'));
+        assert!(GraphError::EmptyGraph.to_string().contains("at least one"));
+        let e = GraphError::InvalidProbability { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = GraphError::WeightLengthMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("12") && e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn io_error_chains_source() {
+        use std::error::Error;
+        let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(e.source().is_some());
+    }
+}

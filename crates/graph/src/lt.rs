@@ -1,0 +1,206 @@
+//! Linear-Threshold reverse-step support.
+//!
+//! Under the LT model, a reverse-reachable walk repeatedly moves from a
+//! node `v` to **at most one** in-neighbor, chosen with probability
+//! `p(u, v)` each (and no neighbor with probability `1 - Σ p`). This
+//! matches the live-edge characterization of LT: every node keeps exactly
+//! one incoming live edge with those probabilities, and the RR set is the
+//! reverse path until a revisit or a dead end.
+//!
+//! [`LtIndex`] preprocesses one alias table per node so each step costs
+//! `O(1)` (the "cost proportional to weight" property the paper relies on
+//! for the `O(k·n·log n/ε²)` LT bound); [`sample_in_neighbor_linear`]
+//! provides the index-free `O(d_in)` fallback used by tests as an oracle.
+
+use crate::csr::{Graph, InProbs, NodeId};
+use rand::Rng;
+use subsim_sampling::AliasTable;
+
+/// Per-node alias tables over incoming edge weights.
+#[derive(Debug, Clone)]
+pub struct LtIndex {
+    /// `None` for nodes without incoming weight.
+    tables: Vec<Option<AliasTable>>,
+    /// `Σ p(u, v)` per node (probability that *some* in-neighbor is chosen).
+    sums: Vec<f64>,
+}
+
+impl LtIndex {
+    /// Builds the index in `O(m)` time and memory.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let mut tables = Vec::with_capacity(n);
+        let mut sums = Vec::with_capacity(n);
+        for v in 0..n as NodeId {
+            let d = g.in_degree(v);
+            if d == 0 {
+                tables.push(None);
+                sums.push(0.0);
+                continue;
+            }
+            match g.in_probs(v) {
+                InProbs::Uniform(p) => {
+                    sums.push(p * d as f64);
+                    // Uniform weights need no table; sample uniformly.
+                    tables.push(None);
+                }
+                InProbs::PerEdge(ps) => {
+                    sums.push(ps.iter().sum());
+                    tables.push(AliasTable::new(ps));
+                }
+            }
+        }
+        LtIndex { tables, sums }
+    }
+
+    /// Total incoming weight of `v` (clamped to `[0, 1]` for the step
+    /// probability; the LT model requires it to be `<= 1`).
+    pub fn in_weight_sum(&self, v: NodeId) -> f64 {
+        self.sums[v as usize]
+    }
+
+    /// Samples the reverse LT step from `v`: returns the chosen
+    /// in-neighbor, or `None` (probability `1 - Σ p`).
+    #[inline]
+    pub fn sample_in_neighbor<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        rng: &mut R,
+        v: NodeId,
+    ) -> Option<NodeId> {
+        let d = g.in_degree(v);
+        if d == 0 {
+            return None;
+        }
+        let sum = self.sums[v as usize].min(1.0);
+        if rng.gen::<f64>() >= sum {
+            return None;
+        }
+        let nbrs = g.in_neighbors(v);
+        let idx = match &self.tables[v as usize] {
+            Some(table) => table.sample(rng),
+            None => rng.gen_range(0..d), // uniform weights
+        };
+        Some(nbrs[idx])
+    }
+}
+
+/// Index-free reverse LT step by linear prefix-sum scan; `O(d_in)`.
+pub fn sample_in_neighbor_linear<R: Rng + ?Sized>(
+    g: &Graph,
+    rng: &mut R,
+    v: NodeId,
+) -> Option<NodeId> {
+    let d = g.in_degree(v);
+    if d == 0 {
+        return None;
+    }
+    let u: f64 = rng.gen();
+    let nbrs = g.in_neighbors(v);
+    match g.in_probs(v) {
+        InProbs::Uniform(p) => {
+            let idx = (u / p) as usize;
+            (u < p * d as f64).then(|| nbrs[idx.min(d - 1)])
+        }
+        InProbs::PerEdge(ps) => {
+            let mut acc = 0.0;
+            for (i, &p) in ps.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    return Some(nbrs[i]);
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::weights::WeightModel;
+    use subsim_sampling::rng_from_seed;
+
+    fn fan_in() -> Graph {
+        // 4 nodes point at node 0 with skewed custom weights summing to 0.8.
+        GraphBuilder::new(5)
+            .add_weighted_edge(1, 0, 0.4)
+            .add_weighted_edge(2, 0, 0.2)
+            .add_weighted_edge(3, 0, 0.15)
+            .add_weighted_edge(4, 0, 0.05)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn step_frequencies_match_weights() {
+        let g = fan_in();
+        let idx = LtIndex::new(&g);
+        let mut rng = rng_from_seed(41);
+        let n = 300_000;
+        let mut counts = std::collections::HashMap::new();
+        let mut none = 0usize;
+        for _ in 0..n {
+            match idx.sample_in_neighbor(&g, &mut rng, 0) {
+                Some(u) => *counts.entry(u).or_insert(0usize) += 1,
+                None => none += 1,
+            }
+        }
+        assert!((none as f64 / n as f64 - 0.2).abs() < 0.01);
+        let expect = [(1u32, 0.4), (2, 0.2), (3, 0.15), (4, 0.05)];
+        for (node, p) in expect {
+            let got = *counts.get(&node).unwrap_or(&0) as f64 / n as f64;
+            assert!((got - p).abs() < 0.01, "node {node}: {got} vs {p}");
+        }
+    }
+
+    #[test]
+    fn linear_oracle_agrees_with_index() {
+        let g = fan_in();
+        let idx = LtIndex::new(&g);
+        let n = 200_000;
+        let mut a = [0f64; 6];
+        let mut b = [0f64; 6];
+        let mut r1 = rng_from_seed(42);
+        let mut r2 = rng_from_seed(43);
+        for _ in 0..n {
+            let slot = idx.sample_in_neighbor(&g, &mut r1, 0).map_or(5, |u| u as usize);
+            a[slot] += 1.0 / n as f64;
+            let slot = sample_in_neighbor_linear(&g, &mut r2, 0).map_or(5, |u| u as usize);
+            b[slot] += 1.0 / n as f64;
+        }
+        for i in 0..6 {
+            assert!((a[i] - b[i]).abs() < 0.01, "slot {i}: {} vs {}", a[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_skip_alias_tables() {
+        let g = GraphBuilder::new(4)
+            .edges([(1, 0), (2, 0), (3, 0)])
+            .weights(WeightModel::Lt)
+            .build()
+            .unwrap();
+        let idx = LtIndex::new(&g);
+        assert!((idx.in_weight_sum(0) - 1.0).abs() < 1e-12);
+        let mut rng = rng_from_seed(44);
+        let mut counts = [0usize; 4];
+        for _ in 0..120_000 {
+            let u = idx.sample_in_neighbor(&g, &mut rng, 0).unwrap();
+            counts[u as usize] += 1;
+        }
+        for &c in &counts[1..] {
+            assert!((c as f64 / 120_000.0 - 1.0 / 3.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn no_in_edges_returns_none() {
+        let g = GraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+        let idx = LtIndex::new(&g);
+        let mut rng = rng_from_seed(45);
+        assert_eq!(idx.sample_in_neighbor(&g, &mut rng, 0), None);
+        assert_eq!(sample_in_neighbor_linear(&g, &mut rng, 0), None);
+    }
+}

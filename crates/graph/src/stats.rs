@@ -1,0 +1,135 @@
+//! Degree and weight summaries (Table 2 reproduction support).
+
+use crate::csr::{Graph, NodeId};
+
+/// Summary statistics of a graph, in the shape of the paper's Table 2 plus
+/// the degree/weight facts the cost analysis (Lemma 4) cares about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count `n`.
+    pub n: usize,
+    /// Directed edge count `m`.
+    pub m: usize,
+    /// Average degree `m / n`.
+    pub avg_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Number of nodes with no incident edges.
+    pub isolated_nodes: usize,
+    /// Maximum over nodes of `Σ p(u, v)` — the `θ(d_in)` bound of
+    /// Theorem 1; `<= 1` means the WC-like `O(k·n·log n/ε²)` regime.
+    pub max_in_prob_sum: f64,
+    /// Mean over nodes of `Σ p(u, v)`.
+    pub avg_in_prob_sum: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics in one pass over the graph.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.n();
+        let mut max_in = 0usize;
+        let mut max_out = 0usize;
+        let mut isolated = 0usize;
+        let mut max_sum: f64 = 0.0;
+        let mut total_sum = 0.0;
+        for v in 0..n as NodeId {
+            let din = g.in_degree(v);
+            let dout = g.out_degree(v);
+            max_in = max_in.max(din);
+            max_out = max_out.max(dout);
+            if din == 0 && dout == 0 {
+                isolated += 1;
+            }
+            let s = g.in_prob_sum(v);
+            max_sum = max_sum.max(s);
+            total_sum += s;
+        }
+        GraphStats {
+            n,
+            m: g.m(),
+            avg_degree: g.m() as f64 / n as f64,
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+            isolated_nodes: isolated,
+            max_in_prob_sum: max_sum,
+            avg_in_prob_sum: total_sum / n as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg_deg={:.2} max_in={} max_out={} isolated={} max_Σp={:.3} avg_Σp={:.3}",
+            self.n,
+            self.m,
+            self.avg_degree,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.isolated_nodes,
+            self.max_in_prob_sum,
+            self.avg_in_prob_sum
+        )
+    }
+}
+
+/// In-degree histogram: `hist[d]` counts nodes with in-degree `d`
+/// (truncated at `max_bucket`, with the final bucket absorbing the tail).
+pub fn in_degree_histogram(g: &Graph, max_bucket: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_bucket + 1];
+    for v in 0..g.n() as NodeId {
+        hist[g.in_degree(v).min(max_bucket)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{path_graph, star_graph};
+    use crate::weights::WeightModel;
+
+    #[test]
+    fn path_stats() {
+        let g = path_graph(5, WeightModel::Wc);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.isolated_nodes, 0);
+        assert!((s.max_in_prob_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = star_graph(6, WeightModel::UniformIc { p: 0.2 });
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.max_out_degree, 5);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.avg_in_prob_sum - 5.0 * 0.2 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wc_bounds_prob_sum_by_one() {
+        let g = crate::generators::barabasi_albert(300, 4, WeightModel::Wc, 2);
+        let s = GraphStats::compute(&g);
+        assert!(s.max_in_prob_sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = crate::generators::barabasi_albert(300, 4, WeightModel::Wc, 2);
+        let h = in_degree_histogram(&g, 32);
+        assert_eq!(h.iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let g = path_graph(3, WeightModel::Wc);
+        let s = GraphStats::compute(&g).to_string();
+        assert!(s.contains("n=3") && s.contains("m=2"));
+    }
+}

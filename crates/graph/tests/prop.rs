@@ -1,0 +1,135 @@
+//! Property-based tests for graph construction and weight models.
+
+use proptest::prelude::*;
+use subsim_graph::{generators, GraphBuilder, InProbs, NodeId, WeightModel};
+
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    prop::collection::vec(
+        (0..n as NodeId, 0..n as NodeId),
+        0..(n * 4).min(256),
+    )
+}
+
+fn arb_model() -> impl Strategy<Value = WeightModel> {
+    prop_oneof![
+        Just(WeightModel::Wc),
+        (1.0f64..10.0).prop_map(|theta| WeightModel::WcVariant { theta }),
+        (0.0f64..=1.0).prop_map(|p| WeightModel::UniformIc { p }),
+        (0.1f64..5.0).prop_map(|lambda| WeightModel::Exponential { lambda }),
+        Just(WeightModel::Weibull),
+        Just(WeightModel::Trivalency),
+        Just(WeightModel::Lt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn builder_always_produces_valid_graphs(
+        edges in arb_edges(30),
+        model in arb_model(),
+        undirected in any::<bool>(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let g = GraphBuilder::new(30)
+            .edges(edges.clone())
+            .undirected(undirected)
+            .weights(model)
+            .weight_seed(seed)
+            .build()
+            .unwrap();
+        g.validate().unwrap();
+        // Degree sums equal m in both directions.
+        let out: usize = (0..30u32).map(|v| g.out_degree(v)).sum();
+        let inn: usize = (0..30u32).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out, g.m());
+        prop_assert_eq!(inn, g.m());
+        // No self loops (default), no parallel edges.
+        let mut pairs: Vec<(u32, u32)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        for &(u, v) in &pairs {
+            prop_assert_ne!(u, v);
+        }
+        let len = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(pairs.len(), len, "parallel edges survived dedup");
+        // Undirected graphs are symmetric.
+        if undirected {
+            for (u, v, _) in g.edges() {
+                prop_assert!(g.out_neighbors(v).contains(&u), "missing reverse of ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn per_edge_probs_sorted_descending(
+        edges in arb_edges(20),
+        seed in 0u64..u64::MAX,
+    ) {
+        let g = GraphBuilder::new(20)
+            .edges(edges)
+            .weights(WeightModel::Weibull)
+            .weight_seed(seed)
+            .build()
+            .unwrap();
+        for v in 0..20u32 {
+            if let InProbs::PerEdge(ps) = g.in_probs(v) {
+                prop_assert!(ps.windows(2).all(|w| w[0] >= w[1]), "node {v}: {ps:?}");
+                // Normalized models sum to ~1 for nonempty in-lists.
+                if !ps.is_empty() {
+                    let s: f64 = ps.iter().sum();
+                    prop_assert!((s - 1.0).abs() < 1e-6, "node {v} sums to {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lt_weights_never_exceed_one(edges in arb_edges(25)) {
+        let g = GraphBuilder::new(25)
+            .edges(edges)
+            .weights(WeightModel::Lt)
+            .build()
+            .unwrap();
+        for v in 0..25u32 {
+            prop_assert!(g.in_prob_sum(v) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn generators_respect_requested_sizes(
+        n in 10usize..100,
+        seed in 0u64..u64::MAX,
+    ) {
+        let m = n * 2;
+        let g = generators::erdos_renyi_gnm(n, m, WeightModel::Wc, seed);
+        prop_assert_eq!(g.n(), n);
+        prop_assert_eq!(g.m(), m);
+        let g = generators::barabasi_albert(n, 3, WeightModel::Wc, seed);
+        prop_assert_eq!(g.n(), n);
+        prop_assert!(g.m() >= n.saturating_sub(4) * 3);
+    }
+
+    #[test]
+    fn edge_list_roundtrip(edges in arb_edges(15), seed in 0u64..u64::MAX) {
+        prop_assume!(!edges.is_empty());
+        let g = GraphBuilder::new(15)
+            .edges(edges)
+            .weights(WeightModel::Exponential { lambda: 1.0 })
+            .weight_seed(seed)
+            .build()
+            .unwrap();
+        prop_assume!(g.m() > 0);
+        let mut buf = Vec::new();
+        subsim_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let el = subsim_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        let g2 = el.into_graph(WeightModel::Wc).unwrap();
+        prop_assert_eq!(g2.m(), g.m());
+        // Probabilities survive the text roundtrip (modulo id compaction):
+        // compare sorted multisets.
+        let mut pa: Vec<u64> = g.edges().map(|(_, _, p)| p.to_bits()).collect();
+        let mut pb: Vec<u64> = g2.edges().map(|(_, _, p)| p.to_bits()).collect();
+        pa.sort_unstable();
+        pb.sort_unstable();
+        prop_assert_eq!(pa, pb);
+    }
+}

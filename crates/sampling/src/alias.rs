@@ -1,0 +1,170 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+//!
+//! Used for (i) LT-model in-edge selection, where each reverse step picks
+//! one in-neighbor with probability proportional to its edge weight, and
+//! (ii) the bucket-jump index of [`crate::subset::BucketJumpSampler`]
+//! (paper Section 3.3, citing Walker \[41\]).
+
+use rand::Rng;
+
+/// Precomputed alias table over `n` weights; draws cost one uniform and one
+/// comparison.
+///
+/// ```
+/// use subsim_sampling::{rng_from_seed, AliasTable};
+///
+/// let table = AliasTable::new(&[3.0, 1.0]).unwrap();
+/// let mut rng = rng_from_seed(1);
+/// let hits = (0..10_000).filter(|_| table.sample(&mut rng) == 0).count();
+/// assert!((hits as f64 / 10_000.0 - 0.75).abs() < 0.03);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance threshold per column, scaled so a uniform in `[0,1)` works.
+    prob: Vec<f64>,
+    /// Alias column used when the threshold test fails.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative `weights` (need not sum to 1).
+    ///
+    /// Zero-weight entries are never sampled. Returns `None` if `weights`
+    /// is empty, contains a negative/non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 || n > u32::MAX as usize {
+            return None;
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return None;
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return None;
+        }
+
+        // Vose's stable construction: scale weights to mean 1, then pair
+        // under-full and over-full columns.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are within floating-point error of 1.
+        for &i in large.iter().chain(small.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index, distributed proportionally to the input weights.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let col = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let t = AliasTable::new(&[3.7]).unwrap();
+        let mut rng = rng_from_seed(11);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freqs = empirical(&[1.0; 10], 200_000, 12);
+        for f in freqs {
+            assert!((f - 0.1).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_proportions() {
+        let w = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let total: f64 = w.iter().sum();
+        let freqs = empirical(&w, 400_000, 13);
+        for (f, &wi) in freqs.iter().zip(&w) {
+            let expect = wi / total;
+            assert!((f - expect).abs() < 0.01, "freq {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let freqs = empirical(&[0.0, 1.0, 0.0, 2.0], 100_000, 14);
+        assert_eq!(freqs[0], 0.0);
+        assert_eq!(freqs[2], 0.0);
+        assert!((freqs[1] - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn unnormalized_weights_ok() {
+        let a = empirical(&[0.002, 0.001], 200_000, 15);
+        assert!((a[0] - 2.0 / 3.0).abs() < 0.01);
+    }
+}

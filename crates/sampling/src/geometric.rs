@@ -1,0 +1,272 @@
+//! Constant-time geometric-distribution sampling.
+//!
+//! SUBSIM's key primitive (paper Section 3.1): to sample a subset of `h`
+//! elements each kept independently with probability `p`, draw the position
+//! of the *next* kept element from the geometric distribution `G(p)` and
+//! jump straight to it, skipping the elements in between. Sampling from
+//! `G(p)` takes constant time via the inverse CDF (Knuth, TAOCP vol. 3):
+//!
+//! ```text
+//! h' = ceil( ln U / ln (1 - p) ),   U ~ Uniform(0, 1)
+//! ```
+//!
+//! because `h' = i` exactly when `U ∈ [(1-p)^i, (1-p)^(i-1))`, an interval
+//! of probability `(1-p)^(i-1) · p`.
+
+use rand::Rng;
+
+/// Sentinel returned when a success can never happen (`p <= 0`).
+pub const NEVER: u64 = u64::MAX;
+
+/// Draws the number of Bernoulli(`p`) trials up to and including the first
+/// success, in constant time.
+///
+/// Returns a value in `1..` for `0 < p < 1`, `1` when `p >= 1`, and
+/// [`NEVER`] when `p <= 0` (no trial can ever succeed). Results larger than
+/// `2^62` are clamped to [`NEVER`]; callers compare against their horizon
+/// `h`, which is always far smaller.
+///
+/// ```
+/// use subsim_sampling::{geometric_skip, rng_from_seed};
+///
+/// let mut rng = rng_from_seed(7);
+/// let trials = geometric_skip(&mut rng, 0.25);
+/// assert!(trials >= 1); // first success is at trial 1 or later
+/// ```
+///
+/// # Panics
+///
+/// Debug-asserts that `p` is finite.
+#[inline]
+pub fn geometric_skip<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    debug_assert!(p.is_finite(), "geometric_skip: p must be finite, got {p}");
+    if p >= 1.0 {
+        return 1;
+    }
+    if p <= 0.0 {
+        return NEVER;
+    }
+    // `gen::<f64>()` is in [0, 1); ln(0) would be -inf, so nudge zero up to
+    // the smallest positive normal. The bias is ~2^-53 and unobservable.
+    let u = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let x = u.ln() / (-p).ln_1p(); // ln(1 - p) computed accurately for small p
+    if x >= 4.611_686_018_427_388e18 {
+        // >= 2^62: beyond any realistic horizon.
+        return NEVER;
+    }
+    // ceil, then force >= 1 (x can be exactly 0.0 when u rounds to 1.0-eps
+    // and p is close to 1).
+    (x.ceil() as u64).max(1)
+}
+
+/// Reusable geometric sampler with the `ln(1 - p)` denominator hoisted out
+/// of the draw loop.
+///
+/// [`geometric_skip`] recomputes `ln(1 - p)` on every call; inner loops
+/// that draw many skips at a fixed rate (every RR-set traversal) should
+/// construct a `GeometricSkipper` once per rate instead — the division by
+/// a precomputed reciprocal leaves a single `ln` per draw.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricSkipper {
+    /// `1 / ln(1 - p)`; `0.0` flags the degenerate rates.
+    inv_ln_q: f64,
+    /// `p >= 1`: every trial succeeds.
+    always: bool,
+}
+
+impl GeometricSkipper {
+    /// Precomputes the sampler for success probability `p`.
+    #[inline]
+    pub fn new(p: f64) -> Self {
+        debug_assert!(p.is_finite());
+        if p >= 1.0 {
+            GeometricSkipper {
+                inv_ln_q: 0.0,
+                always: true,
+            }
+        } else if p <= 0.0 {
+            GeometricSkipper {
+                inv_ln_q: 0.0,
+                always: false,
+            }
+        } else {
+            GeometricSkipper {
+                inv_ln_q: 1.0 / (-p).ln_1p(),
+                always: false,
+            }
+        }
+    }
+
+    /// Draws the trial index of the next success; semantics identical to
+    /// [`geometric_skip`].
+    #[inline]
+    pub fn skip<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.always {
+            return 1;
+        }
+        if self.inv_ln_q == 0.0 {
+            return NEVER;
+        }
+        let u = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let x = u.ln() * self.inv_ln_q;
+        if x >= 4.611_686_018_427_388e18 {
+            return NEVER;
+        }
+        (x.ceil() as u64).max(1)
+    }
+}
+
+/// Iterator over the (0-based) positions selected when each of `h` slots is
+/// kept independently with probability `p`.
+///
+/// Equivalent to `(0..h).filter(|_| rng.gen::<f64>() < p)` but runs in
+/// `O(1 + h·p)` expected time.
+pub struct GeometricHits<'a, R: Rng + ?Sized> {
+    rng: &'a mut R,
+    p: f64,
+    /// Next candidate position (0-based); `cursor > h` once exhausted.
+    cursor: u64,
+    h: u64,
+}
+
+impl<'a, R: Rng + ?Sized> GeometricHits<'a, R> {
+    /// Creates the iterator over `h` slots with keep-probability `p`.
+    pub fn new(rng: &'a mut R, h: usize, p: f64) -> Self {
+        GeometricHits {
+            rng,
+            p,
+            cursor: 0,
+            h: h as u64,
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Iterator for GeometricHits<'_, R> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        let skip = geometric_skip(self.rng, self.p);
+        self.cursor = self.cursor.saturating_add(skip);
+        if self.cursor > self.h {
+            None
+        } else {
+            Some((self.cursor - 1) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+    use rand::Rng;
+
+    #[test]
+    fn certain_success_is_immediate() {
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(geometric_skip(&mut rng, 1.0), 1);
+            assert_eq!(geometric_skip(&mut rng, 1.5), 1);
+        }
+    }
+
+    #[test]
+    fn impossible_success_is_never() {
+        let mut rng = rng_from_seed(2);
+        assert_eq!(geometric_skip(&mut rng, 0.0), NEVER);
+        assert_eq!(geometric_skip(&mut rng, -0.3), NEVER);
+    }
+
+    #[test]
+    fn mean_matches_one_over_p() {
+        let mut rng = rng_from_seed(3);
+        for &p in &[0.9, 0.5, 0.1, 0.01] {
+            let n = 200_000;
+            let sum: f64 = (0..n).map(|_| geometric_skip(&mut rng, p) as f64).sum();
+            let mean = sum / n as f64;
+            let expect = 1.0 / p;
+            assert!(
+                (mean - expect).abs() < 0.05 * expect,
+                "p={p}: mean {mean} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_matches_geometric_pmf() {
+        let mut rng = rng_from_seed(4);
+        let p = 0.3;
+        let n = 300_000;
+        let mut counts = [0u64; 8];
+        for _ in 0..n {
+            let x = geometric_skip(&mut rng, p);
+            if (x as usize) < counts.len() {
+                counts[x as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            let expect = (1.0 - p).powi(i as i32 - 1) * p;
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "P(X={i}): got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_p_does_not_overflow() {
+        let mut rng = rng_from_seed(5);
+        for _ in 0..1000 {
+            let x = geometric_skip(&mut rng, 1e-300);
+            assert!(x == NEVER || x >= 1);
+        }
+    }
+
+    #[test]
+    fn hits_iterator_matches_expected_count() {
+        let mut rng = rng_from_seed(6);
+        let (h, p) = (1000, 0.05);
+        let trials = 2000;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let mut r = rng_from_seed(rng.gen());
+            total += GeometricHits::new(&mut r, h, p).count();
+        }
+        let mean = total as f64 / trials as f64;
+        let expect = h as f64 * p;
+        assert!(
+            (mean - expect).abs() < 0.05 * expect,
+            "mean hits {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn hits_iterator_positions_in_range_and_increasing() {
+        let mut rng = rng_from_seed(7);
+        for _ in 0..200 {
+            let mut last = None;
+            for pos in GeometricHits::new(&mut rng, 50, 0.2) {
+                assert!(pos < 50);
+                if let Some(l) = last {
+                    assert!(pos > l);
+                }
+                last = Some(pos);
+            }
+        }
+    }
+
+    #[test]
+    fn hits_iterator_p_one_selects_everything() {
+        let mut rng = rng_from_seed(8);
+        let hits: Vec<usize> = GeometricHits::new(&mut rng, 10, 1.0).collect();
+        assert_eq!(hits, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hits_iterator_p_zero_selects_nothing() {
+        let mut rng = rng_from_seed(9);
+        assert_eq!(GeometricHits::new(&mut rng, 10, 0.0).count(), 0);
+    }
+}

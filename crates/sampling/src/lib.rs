@@ -1,0 +1,50 @@
+//! Subset-sampling primitives used by the SUBSIM reverse-reachable-set
+//! generators (Guo et al., SIGMOD 2020, Section 3).
+//!
+//! The influence-maximization inner loop repeatedly asks: *given the `h`
+//! in-neighbors of a node, each with an activation probability, which subset
+//! gets activated?* Answering by flipping one coin per neighbor costs
+//! `O(h)`. This crate provides samplers that answer in `O(1 + μ)` expected
+//! time, where `μ` is the sum of the probabilities:
+//!
+//! - [`geometric::geometric_skip`] — constant-time sampling from the
+//!   geometric distribution via inverse-CDF (Knuth), the building block for
+//!   everything else.
+//! - [`subset::uniform_subset`] — equal-probability subset sampling by
+//!   geometric skips (paper Algorithm 3, lines 7/13). Covers the WC and
+//!   Uniform IC cascade models.
+//! - [`subset::SortedSubsetSampler`] — the *index-free* sampler for general
+//!   (skewed) probabilities sorted in descending order (paper Section 3.3),
+//!   `O(1 + μ + log h)` per draw with no preprocessing.
+//! - [`subset::BucketSubsetSampler`] — the Bringmann–Panagiotou bucketed
+//!   sampler (paper Lemma 5): `O(h)` preprocessing, `O(1 + μ + log h)` per
+//!   draw, improvable to `O(1 + μ)` with the bucket-jump index
+//!   ([`subset::BucketJumpSampler`]).
+//! - [`alias::AliasTable`] — Walker's alias method for `O(1)` draws from an
+//!   arbitrary discrete distribution (used for LT-model edge selection and
+//!   the bucket-jump index).
+//!
+//! All samplers are deterministic given the caller-supplied [`rand::Rng`],
+//! which keeps every experiment in the workspace reproducible from a seed.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod geometric;
+pub mod subset;
+
+pub use alias::AliasTable;
+pub use geometric::{geometric_skip, GeometricSkipper};
+pub use subset::{
+    bernoulli_subset_naive, uniform_subset, BucketJumpSampler, BucketSubsetSampler,
+    SortedSubsetSampler,
+};
+
+/// Convenience constructor for the RNG used across the workspace.
+///
+/// A small, fast, seedable generator; not cryptographically secure, which is
+/// fine for Monte-Carlo sampling.
+pub fn rng_from_seed(seed: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    rand::rngs::SmallRng::seed_from_u64(seed)
+}

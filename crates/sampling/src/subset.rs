@@ -1,0 +1,578 @@
+//! Independent subset sampling (paper Sections 3.1 and 3.3).
+//!
+//! Given elements `x_1..x_h` with keep-probabilities `p_1..p_h`, draw the
+//! random subset where each element is kept independently with its own
+//! probability. Four strategies, trading preprocessing for per-draw cost
+//! (`μ = Σ p_i`):
+//!
+//! | sampler | preprocessing | per draw | requirement |
+//! |---|---|---|---|
+//! | [`bernoulli_subset_naive`] | none | `O(h)` | none (baseline) |
+//! | [`uniform_subset`] | none | `O(1 + μ)` | all `p_i` equal |
+//! | [`SortedSubsetSampler`] | none | `O(1 + μ + log h)` | `p_i` sorted descending |
+//! | [`BucketSubsetSampler`] | `O(h)` | `O(1 + μ + log h)` | none |
+//! | [`BucketJumpSampler`] | `O(h + log² h)` | `O(1 + μ)` | none |
+
+use crate::alias::AliasTable;
+use crate::geometric::{geometric_skip, GeometricSkipper, NEVER};
+use rand::Rng;
+
+/// Rate above which a direct Bernoulli scan is cheaper than geometric
+/// skipping: the expected skip length `1/p` is too short to amortize the
+/// `ln` each skip costs.
+const SCAN_THRESHOLD: f64 = 0.25;
+
+/// Baseline: one coin flip per element, `O(h)` per draw.
+///
+/// Calls `visit(i)` for each kept index. This is what the *vanilla* RR-set
+/// generator (paper Algorithm 2) does implicitly, and what every other
+/// sampler in this module is measured against.
+pub fn bernoulli_subset_naive<R, F>(rng: &mut R, probs: &[f64], mut visit: F)
+where
+    R: Rng + ?Sized,
+    F: FnMut(usize),
+{
+    for (i, &p) in probs.iter().enumerate() {
+        if rng.gen::<f64>() < p {
+            visit(i);
+        }
+    }
+}
+
+/// Equal-probability subset sampling by geometric skips (paper Algorithm 3).
+///
+/// Each of the `h` slots is kept independently with probability `p`; kept
+/// (0-based) indices are passed to `visit` in increasing order. Expected
+/// cost `O(1 + h·p)`.
+///
+/// ```
+/// use subsim_sampling::{rng_from_seed, uniform_subset};
+///
+/// let mut rng = rng_from_seed(3);
+/// let mut kept = Vec::new();
+/// uniform_subset(&mut rng, 1_000, 0.01, |i| kept.push(i));
+/// assert!(kept.windows(2).all(|w| w[0] < w[1])); // increasing order
+/// assert!(kept.len() < 100); // ~10 expected
+/// ```
+#[inline]
+pub fn uniform_subset<R, F>(rng: &mut R, h: usize, p: f64, mut visit: F)
+where
+    R: Rng + ?Sized,
+    F: FnMut(usize),
+{
+    if p >= 1.0 {
+        for i in 0..h {
+            visit(i);
+        }
+        return;
+    }
+    let h = h as u64;
+    let mut cursor = 0u64;
+    loop {
+        let skip = geometric_skip(rng, p);
+        if skip == NEVER {
+            return;
+        }
+        cursor += skip;
+        if cursor > h {
+            return;
+        }
+        visit((cursor - 1) as usize);
+    }
+}
+
+/// Index-free sampler for probabilities sorted in **descending** order
+/// (paper Section 3.3, "Index-free method").
+///
+/// Positions (1-indexed) are grouped by magnitude: bucket `k` covers
+/// positions `[2^k, 2^(k+1))`. Within bucket `k` the sampler runs geometric
+/// skips at rate `p_{2^k}` (the largest probability in the bucket) and
+/// accepts a landed position `j` with probability `p_j / p_{2^k}`, which
+/// keeps every element's marginal probability exact. Because
+/// `p_x <= p_{ceil(x/2)}`, the expected overhead per bucket is at most 2×,
+/// giving `O(1 + μ + log h)` total.
+#[derive(Debug, Clone, Copy)]
+pub struct SortedSubsetSampler<'a> {
+    probs: &'a [f64],
+}
+
+impl<'a> SortedSubsetSampler<'a> {
+    /// Wraps a slice of probabilities sorted in descending order.
+    ///
+    /// Debug-asserts the ordering; release builds trust the caller (the
+    /// graph substrate sorts in-edges once at construction).
+    pub fn new(probs: &'a [f64]) -> Self {
+        debug_assert!(
+            probs.windows(2).all(|w| w[0] >= w[1]),
+            "SortedSubsetSampler requires descending probabilities"
+        );
+        SortedSubsetSampler { probs }
+    }
+
+    /// Draws one subset; kept indices (0-based, increasing) go to `visit`.
+    pub fn sample_into<R, F>(&self, rng: &mut R, mut visit: F)
+    where
+        R: Rng + ?Sized,
+        F: FnMut(usize),
+    {
+        let h = self.probs.len();
+        let mut start = 0usize; // 0-based index of the bucket's first slot
+        while start < h {
+            let end = ((start + 1) * 2 - 1).min(h); // exclusive
+            let rate = self.probs[start].min(1.0);
+            if rate <= 0.0 {
+                // Sorted descending: everything from here on is 0.
+                return;
+            }
+            if rate >= SCAN_THRESHOLD {
+                // Dense bucket: a direct Bernoulli scan beats geometric
+                // skipping (each skip costs a ln; a scan step costs one
+                // uniform draw and a compare).
+                for (j, &p) in self.probs[start..end].iter().enumerate() {
+                    if p >= 1.0 || rng.gen::<f64>() < p {
+                        visit(start + j);
+                    }
+                }
+            } else {
+                let skipper = GeometricSkipper::new(rate);
+                let mut cursor = start as u64;
+                let end = end as u64;
+                loop {
+                    let skip = skipper.skip(rng);
+                    if skip == NEVER {
+                        break;
+                    }
+                    cursor += skip;
+                    if cursor > end {
+                        break;
+                    }
+                    let j = (cursor - 1) as usize;
+                    let accept = self.probs[j] / rate;
+                    if accept >= 1.0 || rng.gen::<f64>() < accept {
+                        visit(j);
+                    }
+                }
+            }
+            start = end;
+        }
+    }
+}
+
+/// One probability-class bucket of [`BucketSubsetSampler`].
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// Geometric rate `2^-k`, an upper bound on every member's probability.
+    rate: f64,
+    /// Hoisted geometric sampler at `rate`.
+    skipper: GeometricSkipper,
+    /// Original element indices in this bucket.
+    members: Vec<u32>,
+    /// Member probabilities, parallel to `members`.
+    probs: Vec<f64>,
+}
+
+impl Bucket {
+    /// Probability that at least one geometric draw lands inside the bucket,
+    /// i.e. that the bucket is "touched" during a sample.
+    fn touch_prob(&self) -> f64 {
+        if self.rate >= 1.0 {
+            return if self.members.is_empty() { 0.0 } else { 1.0 };
+        }
+        1.0 - (1.0 - self.rate).powi(self.members.len() as i32)
+    }
+
+    /// Runs geometric skips over the bucket, visiting accepted members.
+    fn sample_into<R, F>(&self, rng: &mut R, visit: &mut F)
+    where
+        R: Rng + ?Sized,
+        F: FnMut(usize),
+    {
+        sample_bucket_from(self, rng, 0, visit);
+    }
+}
+
+/// Geometric-skip scan of `bucket` starting at member index `from`
+/// (0-based), visiting accepted members.
+fn sample_bucket_from<R, F>(bucket: &Bucket, rng: &mut R, from: u64, visit: &mut F)
+where
+    R: Rng + ?Sized,
+    F: FnMut(usize),
+{
+    let h = bucket.members.len() as u64;
+    if bucket.rate >= SCAN_THRESHOLD {
+        // Dense class bucket: test each member's own probability directly
+        // (exact, and cheaper than skip-plus-rejection at these rates).
+        for i in from as usize..h as usize {
+            let p = bucket.probs[i];
+            if p >= 1.0 || rng.gen::<f64>() < p {
+                visit(bucket.members[i] as usize);
+            }
+        }
+        return;
+    }
+    let mut cursor = from;
+    loop {
+        let skip = bucket.skipper.skip(rng);
+        if skip == NEVER {
+            return;
+        }
+        cursor += skip;
+        if cursor > h {
+            return;
+        }
+        let i = (cursor - 1) as usize;
+        let accept = bucket.probs[i] / bucket.rate;
+        if accept >= 1.0 || rng.gen::<f64>() < accept {
+            visit(bucket.members[i] as usize);
+        }
+    }
+}
+
+/// Bucketed subset sampler for arbitrary probabilities
+/// (Bringmann–Panagiotou; paper Lemma 5).
+///
+/// Elements are grouped by probability class: bucket `k` holds elements
+/// with `p ∈ (2^-(k+1), 2^-k]` for `k < L`, and bucket `L = ceil(log2 h)`
+/// holds everything with `p <= 2^-L`. Each draw runs geometric skips at
+/// rate `2^-k` inside every bucket with rejection `p_i · 2^k`, costing
+/// `O(1 + μ + log h)`.
+#[derive(Debug, Clone)]
+pub struct BucketSubsetSampler {
+    buckets: Vec<Bucket>,
+    /// Sum of all probabilities (`μ`), exposed for cost accounting.
+    mu: f64,
+}
+
+impl BucketSubsetSampler {
+    /// Preprocesses `probs` in `O(h)`.
+    ///
+    /// Probabilities are clamped to `[0, 1]`; zero entries are dropped
+    /// (never sampled).
+    pub fn new(probs: &[f64]) -> Self {
+        let h = probs.len().max(1);
+        let levels = (usize::BITS - (h - 1).leading_zeros()).max(1) as usize; // ceil(log2 h), >=1
+        let mut buckets: Vec<Bucket> = (0..=levels)
+            .map(|k| {
+                let rate = 0.5f64.powi(k as i32);
+                Bucket {
+                    rate,
+                    skipper: GeometricSkipper::new(rate),
+                    members: Vec::new(),
+                    probs: Vec::new(),
+                }
+            })
+            .collect();
+        let mut mu = 0.0;
+        for (i, &p_raw) in probs.iter().enumerate() {
+            let p = p_raw.clamp(0.0, 1.0);
+            if p <= 0.0 {
+                continue;
+            }
+            mu += p;
+            // Smallest k with 2^-k >= p, capped at the final bucket.
+            let k = if p >= 1.0 {
+                0
+            } else {
+                ((-p.log2()).floor() as usize).min(levels)
+            };
+            // Guard float edge: ensure rate >= p for the chosen class bucket.
+            let k = if buckets[k].rate < p && k > 0 { k - 1 } else { k };
+            buckets[k].members.push(i as u32);
+            buckets[k].probs.push(p);
+        }
+        buckets.retain(|b| !b.members.is_empty());
+        BucketSubsetSampler { buckets, mu }
+    }
+
+    /// Sum of the (clamped) probabilities.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Draws one subset; kept original indices go to `visit` (order is by
+    /// bucket, then by position within bucket).
+    pub fn sample_into<R, F>(&self, rng: &mut R, mut visit: F)
+    where
+        R: Rng + ?Sized,
+        F: FnMut(usize),
+    {
+        for bucket in &self.buckets {
+            bucket.sample_into(rng, &mut visit);
+        }
+    }
+}
+
+/// Bucketed sampler with the bucket-jump index (paper Section 3.3):
+/// precomputes, for every bucket, the probability that it is *touched*
+/// (receives at least one geometric draw) and an alias table over which
+/// bucket is touched next, so a draw skips untouched buckets entirely and
+/// runs in `O(1 + μ)` expected time.
+#[derive(Debug, Clone)]
+pub struct BucketJumpSampler {
+    buckets: Vec<Bucket>,
+    /// `jump[i]` samples the next touched bucket after bucket `i-1`
+    /// (`jump[0]` samples the first touched bucket). Category `j` means
+    /// bucket `i-1+1+j`; the last category means "none".
+    jump: Vec<AliasTable>,
+    mu: f64,
+}
+
+impl BucketJumpSampler {
+    /// Preprocesses `probs` in `O(h + log² h)`.
+    pub fn new(probs: &[f64]) -> Self {
+        let base = BucketSubsetSampler::new(probs);
+        let buckets = base.buckets;
+        let touch: Vec<f64> = buckets.iter().map(|b| b.touch_prob()).collect();
+        let nb = buckets.len();
+        // jump[i]: distribution of the first touched bucket among
+        // buckets[i..], with a final "none" category.
+        let mut jump = Vec::with_capacity(nb + 1);
+        for i in 0..=nb {
+            let mut w: Vec<f64> = Vec::with_capacity(nb - i + 1);
+            let mut none = 1.0;
+            for &t in &touch[i..] {
+                w.push(none * t);
+                none *= 1.0 - t;
+            }
+            w.push(none);
+            // Total is 1 by construction; AliasTable renormalizes anyway.
+            jump.push(AliasTable::new(&w).expect("weights sum to 1"));
+        }
+        BucketJumpSampler {
+            buckets,
+            jump,
+            mu: base.mu,
+        }
+    }
+
+    /// Sum of the (clamped) probabilities.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Draws one subset; kept original indices go to `visit`.
+    pub fn sample_into<R, F>(&self, rng: &mut R, mut visit: F)
+    where
+        R: Rng + ?Sized,
+        F: FnMut(usize),
+    {
+        let nb = self.buckets.len();
+        let mut i = 0usize; // next bucket candidate
+        while i < nb {
+            let pick = self.jump[i].sample(rng);
+            let Some(bucket_idx) = (pick < nb - i).then(|| i + pick) else {
+                return; // "none": no further bucket is touched
+            };
+            let bucket = &self.buckets[bucket_idx];
+            // The bucket is touched: its first hit position follows a
+            // geometric truncated to the bucket length.
+            let first = truncated_geometric(rng, bucket.rate, bucket.members.len() as u64);
+            let idx = (first - 1) as usize;
+            let accept = bucket.probs[idx] / bucket.rate;
+            if accept >= 1.0 || rng.gen::<f64>() < accept {
+                visit(bucket.members[idx] as usize);
+            }
+            // Remaining hits inside the bucket are plain geometric skips.
+            sample_bucket_from(bucket, rng, first, &mut visit);
+            i = bucket_idx + 1;
+        }
+    }
+}
+
+/// Samples `X | X <= bound` where `X ~ Geometric(rate)`, via inverse CDF.
+///
+/// Requires `0 < rate` and `bound >= 1`; returns a value in `1..=bound`.
+fn truncated_geometric<R: Rng + ?Sized>(rng: &mut R, rate: f64, bound: u64) -> u64 {
+    if rate >= 1.0 {
+        return 1;
+    }
+    let q = 1.0 - rate;
+    let tail = 1.0 - q.powi(bound.min(i32::MAX as u64) as i32);
+    let u = rng.gen::<f64>();
+    let x = (1.0 - u * tail).ln() / q.ln();
+    (x.ceil() as u64).clamp(1, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    /// Empirical per-element keep frequency under `draws` samples.
+    fn freqs<F>(h: usize, draws: usize, seed: u64, mut sample: F) -> Vec<f64>
+    where
+        F: FnMut(&mut rand::rngs::SmallRng, &mut dyn FnMut(usize)),
+    {
+        let mut rng = rng_from_seed(seed);
+        let mut counts = vec![0u64; h];
+        for _ in 0..draws {
+            sample(&mut rng, &mut |i| counts[i] += 1);
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    fn assert_marginals(probs: &[f64], got: &[f64], tol: f64) {
+        for (i, (&p, &g)) in probs.iter().zip(got).enumerate() {
+            assert!((p - g).abs() < tol, "element {i}: p={p}, freq={g}");
+        }
+    }
+
+    const SKEWED: [f64; 8] = [0.95, 0.6, 0.31, 0.30, 0.12, 0.05, 0.011, 0.0];
+
+    #[test]
+    fn naive_marginals() {
+        let got = freqs(SKEWED.len(), 100_000, 21, |rng, visit| {
+            bernoulli_subset_naive(rng, &SKEWED, visit)
+        });
+        assert_marginals(&SKEWED, &got, 0.01);
+    }
+
+    #[test]
+    fn uniform_subset_marginals() {
+        let p = 0.17;
+        let got = freqs(40, 100_000, 22, |rng, visit| {
+            uniform_subset(rng, 40, p, visit)
+        });
+        assert_marginals(&[p; 40], &got, 0.01);
+    }
+
+    #[test]
+    fn uniform_subset_extremes() {
+        let mut rng = rng_from_seed(23);
+        let mut n = 0;
+        uniform_subset(&mut rng, 10, 1.0, |_| n += 1);
+        assert_eq!(n, 10);
+        uniform_subset(&mut rng, 10, 0.0, |_| panic!("p=0 sampled"));
+        uniform_subset(&mut rng, 0, 0.5, |_| panic!("h=0 sampled"));
+    }
+
+    #[test]
+    fn sorted_sampler_marginals() {
+        let sampler_probs = SKEWED;
+        let got = freqs(sampler_probs.len(), 150_000, 24, |rng, visit| {
+            SortedSubsetSampler::new(&sampler_probs).sample_into(rng, visit)
+        });
+        assert_marginals(&sampler_probs, &got, 0.01);
+    }
+
+    #[test]
+    fn sorted_sampler_long_tail_marginals() {
+        // 100 elements decaying geometrically: exercises many buckets.
+        let probs: Vec<f64> = (0..100).map(|i| 0.9f64 * 0.9f64.powi(i)).collect();
+        let got = freqs(probs.len(), 60_000, 25, |rng, visit| {
+            SortedSubsetSampler::new(&probs).sample_into(rng, visit)
+        });
+        assert_marginals(&probs[..30], &got[..30], 0.015);
+    }
+
+    #[test]
+    fn sorted_sampler_with_ones() {
+        let probs = [1.0, 1.0, 0.5, 0.25];
+        let got = freqs(4, 80_000, 26, |rng, visit| {
+            SortedSubsetSampler::new(&probs).sample_into(rng, visit)
+        });
+        assert_eq!(got[0], 1.0);
+        assert_eq!(got[1], 1.0);
+        assert_marginals(&probs[2..], &got[2..], 0.01);
+    }
+
+    #[test]
+    fn sorted_sampler_empty_and_zero() {
+        let mut rng = rng_from_seed(27);
+        SortedSubsetSampler::new(&[]).sample_into(&mut rng, |_| panic!("empty"));
+        SortedSubsetSampler::new(&[0.0, 0.0]).sample_into(&mut rng, |_| panic!("zeros"));
+    }
+
+    #[test]
+    fn bucket_sampler_marginals() {
+        let got = freqs(SKEWED.len(), 150_000, 28, |rng, visit| {
+            BucketSubsetSampler::new(&SKEWED).sample_into(rng, visit)
+        });
+        assert_marginals(&SKEWED, &got, 0.01);
+    }
+
+    #[test]
+    fn bucket_sampler_tiny_probs_land_in_last_bucket() {
+        let probs = [1e-9, 1e-7, 0.5];
+        let s = BucketSubsetSampler::new(&probs);
+        let got = freqs(3, 200_000, 29, |rng, visit| s.sample_into(rng, visit));
+        assert!((got[2] - 0.5).abs() < 0.01);
+        // Tiny probabilities should essentially never fire in 2e5 draws.
+        assert!(got[0] < 1e-3 && got[1] < 1e-3);
+    }
+
+    #[test]
+    fn bucket_sampler_mu() {
+        let s = BucketSubsetSampler::new(&[0.25, 0.25, 0.5, 0.0]);
+        assert!((s.mu() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jump_sampler_marginals() {
+        let got = freqs(SKEWED.len(), 150_000, 30, |rng, visit| {
+            BucketJumpSampler::new(&SKEWED).sample_into(rng, visit)
+        });
+        assert_marginals(&SKEWED, &got, 0.01);
+    }
+
+    #[test]
+    fn jump_sampler_matches_bucket_sampler_statistically() {
+        let probs: Vec<f64> = (0..64).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let a = freqs(64, 80_000, 31, |rng, visit| {
+            BucketSubsetSampler::new(&probs).sample_into(rng, visit)
+        });
+        let b = freqs(64, 80_000, 32, |rng, visit| {
+            BucketJumpSampler::new(&probs).sample_into(rng, visit)
+        });
+        for i in 0..64 {
+            assert!((a[i] - b[i]).abs() < 0.015, "element {i}: {} vs {}", a[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn truncated_geometric_in_range() {
+        let mut rng = rng_from_seed(33);
+        for _ in 0..10_000 {
+            let x = truncated_geometric(&mut rng, 0.3, 5);
+            assert!((1..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_geometric_distribution() {
+        let mut rng = rng_from_seed(34);
+        let (rate, bound, n) = (0.4, 4u64, 300_000);
+        let mut counts = [0u64; 5];
+        for _ in 0..n {
+            counts[truncated_geometric(&mut rng, rate, bound) as usize] += 1;
+        }
+        let q: f64 = 1.0 - rate;
+        let tail = 1.0 - q.powi(bound as i32);
+        for (i, &c) in counts.iter().enumerate().take(bound as usize + 1).skip(1) {
+            let expect = q.powi(i as i32 - 1) * rate / tail;
+            let got = c as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "P(X={i}): {got} vs {expect}");
+        }
+    }
+
+    /// Pairwise independence spot check: joint keep frequency of two
+    /// elements should factorize.
+    #[test]
+    fn sorted_sampler_pairwise_independence() {
+        let probs = [0.5, 0.4, 0.3, 0.2];
+        let s = SortedSubsetSampler::new(&probs);
+        let mut rng = rng_from_seed(35);
+        let n = 200_000;
+        let mut joint = 0u64;
+        for _ in 0..n {
+            let mut hit = [false; 4];
+            s.sample_into(&mut rng, |i| hit[i] = true);
+            if hit[0] && hit[3] {
+                joint += 1;
+            }
+        }
+        let got = joint as f64 / n as f64;
+        let expect = probs[0] * probs[3];
+        assert!((got - expect).abs() < 0.01, "joint {got} vs {expect}");
+    }
+}

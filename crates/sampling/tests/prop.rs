@@ -1,0 +1,135 @@
+//! Property-based tests for the subset samplers.
+//!
+//! Structural invariants for arbitrary probability vectors; the
+//! statistical (distribution-matching) checks live in the unit tests with
+//! fixed seeds.
+
+use proptest::prelude::*;
+use subsim_sampling::{
+    bernoulli_subset_naive, rng_from_seed, uniform_subset, AliasTable, BucketJumpSampler,
+    BucketSubsetSampler, GeometricSkipper, SortedSubsetSampler,
+};
+
+fn arb_probs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, 0..64)
+}
+
+fn sorted_desc(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| b.total_cmp(a));
+    v
+}
+
+proptest! {
+    #[test]
+    fn geometric_skip_at_least_one(p in 1e-6f64..1.0, seed in 0u64..u64::MAX) {
+        let mut rng = rng_from_seed(seed);
+        let x = subsim_sampling::geometric_skip(&mut rng, p);
+        prop_assert!(x >= 1);
+    }
+
+    #[test]
+    fn skipper_agrees_with_free_function_in_support(p in 1e-6f64..1.0, seed in 0u64..u64::MAX) {
+        // Not the same stream position, but both must produce values in
+        // the same support and with the same degenerate-case handling.
+        let s = GeometricSkipper::new(p);
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..20 {
+            prop_assert!(s.skip(&mut rng) >= 1);
+        }
+        prop_assert_eq!(GeometricSkipper::new(0.0).skip(&mut rng), u64::MAX);
+        prop_assert_eq!(GeometricSkipper::new(1.0).skip(&mut rng), 1);
+    }
+
+    #[test]
+    fn uniform_subset_positions_strictly_increasing(
+        h in 0usize..200,
+        p in 0.0f64..=1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let mut last: Option<usize> = None;
+        uniform_subset(&mut rng, h, p, |i| {
+            assert!(i < h);
+            if let Some(l) = last {
+                assert!(i > l, "positions must increase: {l} then {i}");
+            }
+            last = Some(i);
+        });
+    }
+
+    #[test]
+    fn naive_never_emits_zero_prob_elements(probs in arb_probs(), seed in 0u64..u64::MAX) {
+        let mut rng = rng_from_seed(seed);
+        bernoulli_subset_naive(&mut rng, &probs, |i| {
+            assert!(probs[i] > 0.0, "sampled zero-probability element {i}");
+        });
+    }
+
+    #[test]
+    fn sorted_sampler_in_range_no_duplicates(probs in arb_probs(), seed in 0u64..u64::MAX) {
+        let probs = sorted_desc(probs);
+        let sampler = SortedSubsetSampler::new(&probs);
+        let mut rng = rng_from_seed(seed);
+        let mut seen = vec![false; probs.len()];
+        sampler.sample_into(&mut rng, |i| {
+            assert!(i < probs.len());
+            assert!(probs[i] > 0.0);
+            assert!(!seen[i], "duplicate emission of {i}");
+            seen[i] = true;
+        });
+    }
+
+    #[test]
+    fn bucket_samplers_in_range_no_duplicates(probs in arb_probs(), seed in 0u64..u64::MAX) {
+        for variant in 0..2 {
+            let mut rng = rng_from_seed(seed);
+            let mut seen = vec![false; probs.len()];
+            let mut check = |i: usize| {
+                assert!(i < probs.len());
+                assert!(probs[i] > 0.0);
+                assert!(!seen[i], "duplicate emission of {i}");
+                seen[i] = true;
+            };
+            if variant == 0 {
+                BucketSubsetSampler::new(&probs).sample_into(&mut rng, &mut check);
+            } else {
+                BucketJumpSampler::new(&probs).sample_into(&mut rng, &mut check);
+            }
+        }
+    }
+
+    #[test]
+    fn certain_elements_always_sampled(
+        ones in 1usize..8,
+        rest in prop::collection::vec(0.0f64..0.5, 0..16),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut probs = vec![1.0f64; ones];
+        probs.extend(rest);
+        // Sorted descending already (1.0s first, rest < 0.5 unsorted is
+        // fine for the bucket samplers; sort for the sorted sampler).
+        let sorted = sorted_desc(probs.clone());
+        let mut rng = rng_from_seed(seed);
+        let mut hit = vec![false; sorted.len()];
+        SortedSubsetSampler::new(&sorted).sample_into(&mut rng, |i| hit[i] = true);
+        for (i, &h) in hit.iter().enumerate().take(ones) {
+            prop_assert!(h, "p=1 element {i} missed by sorted sampler");
+        }
+        let mut hit = vec![false; probs.len()];
+        BucketJumpSampler::new(&probs).sample_into(&mut rng, |i| hit[i] = true);
+        for (i, &h) in hit.iter().enumerate().take(ones) {
+            prop_assert!(h, "p=1 element {i} missed by jump sampler");
+        }
+    }
+
+    #[test]
+    fn alias_table_samples_positive_weight(weights in prop::collection::vec(0.0f64..10.0, 1..40), seed in 0u64..u64::MAX) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..50 {
+            let i = table.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight category {i}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Auditing someone else's seed set.
+//!
+//! Marketing teams often come with a seed list already — top spenders,
+//! celebrities, whoever replied to the last campaign. The OPIM bounds
+//! (paper Eqs 1–2) certify *post hoc* how close any such list is to the
+//! optimal seed set, without rerunning selection: a lower bound on the
+//! list's influence against an upper bound on `OPT_k`.
+//!
+//! ```text
+//! cargo run --release --example certify_seeds
+//! ```
+
+use subsim::core::certificate::certify_seed_set;
+use subsim::diffusion::RrStrategy;
+use subsim::prelude::*;
+use subsim_graph::NodeId;
+
+fn main() {
+    let g = generators::barabasi_albert(20_000, 6, WeightModel::Wc, 77);
+    let k = 20;
+    let opts = ImOptions::new(k).seed(78);
+    println!("network: {} nodes, {} edges\n", g.n(), g.m());
+
+    // Three candidate strategies a practitioner might bring:
+    let mut by_outdeg: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    by_outdeg.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+    let degree_seeds: Vec<NodeId> = by_outdeg[..k].to_vec();
+
+    let random_seeds: Vec<NodeId> = (1000..1000 + k as NodeId).collect();
+
+    let hist_seeds = Hist::with_subsim().run(&g, &opts).expect("hist").seeds;
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>14} {:>10}",
+        "seed strategy", "est. 𝕀(S)", "𝕀⁻(S)", "𝕀⁺(OPT_k)", "ratio"
+    );
+    for (label, seeds) in [
+        ("top out-degree", &degree_seeds),
+        ("random", &random_seeds),
+        ("HIST+SUBSIM", &hist_seeds),
+    ] {
+        let cert = certify_seed_set(&g, seeds, RrStrategy::SubsimIc, 200_000, &opts)
+            .expect("valid seeds");
+        println!(
+            "{:<18} {:>12.0} {:>12.0} {:>14.0} {:>9.1}%",
+            label,
+            cert.estimate,
+            cert.lower,
+            cert.optimal_upper,
+            100.0 * cert.ratio()
+        );
+    }
+    println!(
+        "\nWith probability 1 - δ each row's influence is at least `ratio` of the\n\
+         best any {k} seeds could achieve. Degree heuristics are decent here;\n\
+         random seeds are provably far from optimal."
+    );
+}

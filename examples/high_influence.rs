@@ -1,0 +1,57 @@
+//! High-influence networks: where HIST earns its name.
+//!
+//! When propagation probabilities are high (here: the WC variant
+//! `min(1, θ/d_in)` with θ = 8), a single random RR set drags in a huge
+//! chunk of the graph, and every RR-based algorithm chokes on generation
+//! cost. HIST selects a small *sentinel set* first, then stops every
+//! subsequent RR traversal the moment it hits a sentinel — this example
+//! makes the average-RR-size collapse and the resulting speedup visible
+//! (the mechanism behind the paper's Figures 3, 4 and 6).
+//!
+//! ```text
+//! cargo run --release --example high_influence
+//! ```
+
+use std::time::Instant;
+use subsim::prelude::*;
+use subsim_diffusion::forward::{mc_influence, CascadeModel};
+
+fn main() {
+    let g = generators::barabasi_albert(20_000, 6, WeightModel::WcVariant { theta: 8.0 }, 17);
+    println!(
+        "network: {} nodes, {} edges, WC-variant θ=8 (high influence)\n",
+        g.n(),
+        g.m()
+    );
+
+    let opts = ImOptions::new(100).seed(23);
+    let contenders: Vec<(&str, Box<dyn ImAlgorithm>)> = vec![
+        ("OPIM-C", Box::new(OpimC::vanilla())),
+        ("HIST", Box::new(Hist::vanilla())),
+        ("HIST+SUBSIM", Box::new(Hist::with_subsim())),
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>6} {:>12}",
+        "algo", "time", "avg|R|", "#RR sets", "b", "influence"
+    );
+    for (name, alg) in &contenders {
+        let start = Instant::now();
+        let res = alg.run(&g, &opts).expect("valid options");
+        let elapsed = start.elapsed();
+        let influence = mc_influence(&g, &res.seeds, CascadeModel::Ic, 1_000, 29);
+        println!(
+            "{:<12} {:>9.3}s {:>10.1} {:>12} {:>6} {:>12.0}",
+            name,
+            elapsed.as_secs_f64(),
+            res.stats.avg_rr_size(),
+            res.stats.rr_generated,
+            res.stats.sentinel_size,
+            influence
+        );
+    }
+
+    println!();
+    println!("HIST's sentinel truncation shrinks the average RR set by an order");
+    println!("of magnitude or more while the selected seeds stay equally good.");
+}

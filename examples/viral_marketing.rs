@@ -1,0 +1,55 @@
+//! Viral marketing: the paper's motivating scenario.
+//!
+//! A company gives its product to `k` influencers and wants the
+//! word-of-mouth cascade to reach as many users as possible. This example
+//! sweeps the budget `k`, compares all four algorithms' running time and
+//! seed quality, and shows why SUBSIM is the one you'd ship.
+//!
+//! ```text
+//! cargo run --release --example viral_marketing
+//! ```
+
+use std::time::Instant;
+use subsim::prelude::*;
+use subsim_diffusion::forward::{mc_influence, CascadeModel};
+
+fn main() {
+    let g = generators::rmat(13, 8192 * 16, WeightModel::Wc, 99);
+    println!(
+        "network: {} nodes, {} edges (R-MAT, weighted cascade)\n",
+        g.n(),
+        g.m()
+    );
+
+    let algorithms: Vec<(&str, Box<dyn ImAlgorithm>)> = vec![
+        ("IMM", Box::new(Imm::vanilla())),
+        ("SSA", Box::new(Ssa::vanilla())),
+        ("OPIM-C", Box::new(OpimC::vanilla())),
+        ("SUBSIM", Box::new(OpimC::subsim())),
+    ];
+
+    println!(
+        "{:>4} {:<8} {:>10} {:>12} {:>12}",
+        "k", "algo", "time", "#RR sets", "influence"
+    );
+    for k in [5usize, 20, 50] {
+        let opts = ImOptions::new(k).seed(3);
+        for (name, alg) in &algorithms {
+            let start = Instant::now();
+            let res = alg.run(&g, &opts).expect("valid options");
+            let elapsed = start.elapsed();
+            let influence = mc_influence(&g, &res.seeds, CascadeModel::Ic, 2_000, 5);
+            println!(
+                "{:>4} {:<8} {:>9.3}s {:>12} {:>12.0}",
+                k,
+                name,
+                elapsed.as_secs_f64(),
+                res.stats.rr_generated,
+                influence
+            );
+        }
+        println!();
+    }
+    println!("All four land on near-identical influence; the RR-set counts and");
+    println!("times differ — that is the entire story of the paper's Figure 1.");
+}

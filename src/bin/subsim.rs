@@ -1,0 +1,176 @@
+//! Command-line influence maximization over edge-list files.
+//!
+//! ```text
+//! subsim --graph edges.txt --k 50 [--algorithm hist] [--model wc]
+//!        [--epsilon 0.1] [--seed 0] [--undirected] [--evaluate 10000]
+//! ```
+//!
+//! The graph file holds one `u v` (or `u v p`) pair per line; `#`/`%`
+//! comment lines are ignored. With a third column the explicit per-edge
+//! probabilities are used and `--model` is ignored.
+
+use std::process::ExitCode;
+use subsim::prelude::*;
+use subsim::diffusion::{mc_influence, CascadeModel};
+use subsim_graph::io::read_edge_list_file;
+
+struct Args {
+    graph: String,
+    k: usize,
+    algorithm: String,
+    model: String,
+    theta: f64,
+    p: f64,
+    epsilon: f64,
+    seed: u64,
+    undirected: bool,
+    evaluate: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: subsim --graph <edge-list> --k <seeds>\n\
+     \t[--algorithm mc|tim+|imm|ssa|opim|subsim|hist|hist+subsim]  (default hist+subsim)\n\
+     \t[--model wc|wc-variant|uniform|exponential|weibull|trivalency|lt]  (default wc)\n\
+     \t[--theta <f64>]      WC-variant boost (default 4.0)\n\
+     \t[--p <f64>]          uniform-IC probability (default 0.01)\n\
+     \t[--epsilon <f64>]    accuracy (default 0.1)\n\
+     \t[--seed <u64>]       RNG seed (default 0)\n\
+     \t[--undirected]       treat edges as undirected\n\
+     \t[--evaluate <runs>]  forward-MC influence estimate of the result"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        graph: String::new(),
+        k: 0,
+        algorithm: "hist+subsim".into(),
+        model: "wc".into(),
+        theta: 4.0,
+        p: 0.01,
+        epsilon: 0.1,
+        seed: 0,
+        undirected: false,
+        evaluate: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--graph" => args.graph = val("--graph")?,
+            "--k" => args.k = val("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--algorithm" => args.algorithm = val("--algorithm")?,
+            "--model" => args.model = val("--model")?,
+            "--theta" => args.theta = val("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?,
+            "--p" => args.p = val("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
+            "--epsilon" => {
+                args.epsilon = val("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?
+            }
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--undirected" => args.undirected = true,
+            "--evaluate" => {
+                args.evaluate = val("--evaluate")?.parse().map_err(|e| format!("--evaluate: {e}"))?
+            }
+            "--help" | "-h" => return Err(usage().into()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if args.graph.is_empty() || args.k == 0 {
+        return Err(format!("--graph and --k are required\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let model = match args.model.as_str() {
+        "wc" => WeightModel::Wc,
+        "wc-variant" => WeightModel::WcVariant { theta: args.theta },
+        "uniform" => WeightModel::UniformIc { p: args.p },
+        "exponential" => WeightModel::Exponential { lambda: 1.0 },
+        "weibull" => WeightModel::Weibull,
+        "trivalency" => WeightModel::Trivalency,
+        "lt" => WeightModel::Lt,
+        other => return Err(format!("unknown model {other}")),
+    };
+    let lt = args.model == "lt";
+
+    let el = read_edge_list_file(&args.graph).map_err(|e| format!("reading graph: {e}"))?;
+    if args.undirected && el.probs.is_some() {
+        return Err(
+            "--undirected cannot be combined with a weighted edge list; \
+             list both directions explicitly instead"
+                .into(),
+        );
+    }
+    let g = if args.undirected && el.probs.is_none() {
+        GraphBuilder::new(el.n)
+            .edges(el.edges.clone())
+            .undirected(true)
+            .weights(model)
+            .build()
+            .map_err(|e| format!("building graph: {e}"))?
+    } else {
+        el.into_graph(model).map_err(|e| format!("building graph: {e}"))?
+    };
+    eprintln!(
+        "graph: {} nodes, {} edges ({})",
+        g.n(),
+        g.m(),
+        GraphStats::compute(&g)
+    );
+
+    let alg: Box<dyn ImAlgorithm> = match (args.algorithm.as_str(), lt) {
+        ("mc", false) => Box::new(McGreedy::ic(10_000)),
+        ("mc", true) => Box::new(McGreedy::lt(10_000)),
+        ("tim+", _) => Box::new(TimPlus::vanilla()),
+        ("imm", _) => Box::new(Imm::vanilla()),
+        ("ssa", _) => Box::new(Ssa::vanilla()),
+        ("opim", false) => Box::new(OpimC::vanilla()),
+        ("opim", true) | ("subsim", true) | ("hist+subsim", true) | ("hist", true) => {
+            Box::new(OpimC::lt())
+        }
+        ("subsim", false) => Box::new(OpimC::subsim()),
+        ("hist", false) => Box::new(Hist::vanilla()),
+        ("hist+subsim", false) => Box::new(Hist::with_subsim()),
+        (other, _) => return Err(format!("unknown algorithm {other}\n{}", usage())),
+    };
+
+    let opts = ImOptions::new(args.k).epsilon(args.epsilon).seed(args.seed);
+    let result = alg.run(&g, &opts).map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "{}: {} RR sets (avg size {:.1}), {:?}",
+        alg.name(),
+        result.stats.rr_generated,
+        result.stats.avg_rr_size(),
+        result.stats.elapsed
+    );
+    if let Some(ratio) = result.stats.certified_ratio() {
+        eprintln!("certified approximation ratio: {ratio:.4}");
+    }
+    for &s in &result.seeds {
+        println!("{s}");
+    }
+    if args.evaluate > 0 {
+        let cascade = if lt { CascadeModel::Lt } else { CascadeModel::Ic };
+        let inf = mc_influence(&g, &result.seeds, cascade, args.evaluate, args.seed ^ 1);
+        eprintln!(
+            "estimated influence: {inf:.1} nodes ({:.2}% of graph)",
+            100.0 * inf / g.n() as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Facade crate for the SUBSIM / HIST influence-maximization library.
+//!
+//! Re-exports the public API of the workspace crates:
+//!
+//! - [`sampling`] — subset-sampling primitives (geometric skips, alias
+//!   tables, bucketed and index-free samplers).
+//! - [`graph`] — the directed-graph substrate (CSR storage, IC/LT weight
+//!   models, generators, edge-list I/O).
+//! - [`diffusion`] — cascade simulation and reverse-reachable-set
+//!   generation (vanilla, SUBSIM, general-IC, LT, sentinel-stopped).
+//! - [`core`] — the influence-maximization algorithms (IMM, SSA, OPIM-C,
+//!   SUBSIM, HIST) with their approximation guarantees.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![warn(missing_docs)]
+
+pub use subsim_core as core;
+pub use subsim_diffusion as diffusion;
+pub use subsim_graph as graph;
+pub use subsim_sampling as sampling;
+
+/// Commonly used items, collected for `use subsim::prelude::*;`.
+pub mod prelude {
+    pub use subsim_core::prelude::*;
+    pub use subsim_diffusion::prelude::*;
+    pub use subsim_graph::prelude::*;
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over the full pipeline.
+//!
+//! Structural invariants that must hold for *any* random graph, weight
+//! model, and seed — complementing the statistical checks in the unit
+//! tests.
+
+use proptest::prelude::*;
+use subsim::prelude::*;
+use subsim::diffusion::{RrContext, RrSampler, RrStrategy};
+use subsim::sampling::rng_from_seed;
+use subsim_graph::NodeId;
+
+/// Strategy: a random simple directed graph with 2..=40 nodes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, 0u64..u64::MAX, 0usize..4).prop_map(|(n, seed, model_idx)| {
+        let m = (n * 3).min(n * (n - 1));
+        let model = match model_idx {
+            0 => WeightModel::Wc,
+            1 => WeightModel::WcVariant { theta: 2.5 },
+            2 => WeightModel::UniformIc { p: 0.3 },
+            _ => WeightModel::Exponential { lambda: 1.0 },
+        };
+        generators::erdos_renyi_gnm(n, m, model, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_invariants(g in arb_graph()) {
+        // Degree sums both equal m.
+        let out_sum: usize = (0..g.n() as NodeId).map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = (0..g.n() as NodeId).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.m());
+        prop_assert_eq!(in_sum, g.m());
+        // Every edge appears in both directions of the CSR.
+        for (u, v, p) in g.edges() {
+            prop_assert!(g.out_neighbors(u).contains(&v));
+            prop_assert!(g.in_neighbors(v).contains(&u));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rr_sets_well_formed(g in arb_graph(), seed in 0u64..u64::MAX) {
+        for strategy in [RrStrategy::VanillaIc, RrStrategy::SubsimIc, RrStrategy::SubsimBucketIc] {
+            let sampler = RrSampler::new(&g, strategy);
+            let mut ctx = RrContext::new(g.n());
+            let mut rng = rng_from_seed(seed);
+            for _ in 0..20 {
+                let size = sampler.generate(&mut ctx, &mut rng);
+                let set = ctx.last();
+                prop_assert_eq!(size, set.len());
+                prop_assert!(!set.is_empty());
+                prop_assert!(set.iter().all(|&v| (v as usize) < g.n()));
+                // No duplicates.
+                let mut sorted = set.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), set.len());
+            }
+        }
+    }
+
+    #[test]
+    fn sentinel_sets_end_at_sentinel(g in arb_graph(), seed in 0u64..u64::MAX) {
+        let sentinel: Vec<NodeId> = vec![0, 1.min(g.n() as NodeId - 1)];
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = RrContext::new(g.n());
+        ctx.set_sentinel(&sentinel);
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..20 {
+            sampler.generate(&mut ctx, &mut rng);
+            let set = ctx.last();
+            // If the set contains a sentinel node, the traversal stopped
+            // there: the sentinel member must be the final activation
+            // (or the root itself).
+            if let Some(pos) = set.iter().position(|v| sentinel.contains(v)) {
+                prop_assert!(
+                    pos + 1 == set.len() || pos == 0,
+                    "sentinel at {pos} inside set of len {}", set.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opim_seeds_valid_on_arbitrary_graphs(g in arb_graph(), seed in 0u64..1000) {
+        let k = (g.n() / 2).max(1);
+        let res = OpimC::subsim().run(&g, &ImOptions::new(k).seed(seed)).unwrap();
+        prop_assert_eq!(res.k(), k);
+        let mut s = res.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(res.stats.lower_bound <= res.stats.upper_bound * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn hist_sentinel_is_prefix_of_final_seeds(g in arb_graph(), seed in 0u64..1000) {
+        let k = (g.n() / 3).max(1);
+        let res = Hist::with_subsim().run(&g, &ImOptions::new(k).seed(seed)).unwrap();
+        prop_assert_eq!(res.k(), k);
+        let b = res.stats.sentinel_size;
+        prop_assert!(b >= 1 && b <= k);
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_seed_set(g in arb_graph(), seed in 0u64..u64::MAX) {
+        use subsim::diffusion::RrCollection;
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = RrContext::new(g.n());
+        let mut rng = rng_from_seed(seed);
+        let mut rr = RrCollection::new(g.n());
+        rr.generate(&sampler, &mut ctx, &mut rng, 50);
+        let nodes: Vec<NodeId> = (0..g.n() as NodeId).collect();
+        let mut prev = 0;
+        for end in 1..=nodes.len().min(8) {
+            let cov = rr.coverage_of(&nodes[..end]);
+            prop_assert!(cov >= prev, "coverage shrank: {cov} < {prev}");
+            prev = cov;
+        }
+        prop_assert!(prev <= rr.len());
+    }
+}

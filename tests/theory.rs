@@ -1,0 +1,196 @@
+//! Empirical validation of the paper's theoretical claims.
+//!
+//! These tests exercise the *theorems*, not just the code: cost scalings
+//! (Lemma 3 / Theorem 1), the unbiasedness identity (Lemma 1, covered in
+//! crate tests), and the coverage probability of the concentration bounds
+//! (Eqs 1–2).
+
+use subsim::core::bounds::{opim_lower_bound, opim_upper_bound};
+use subsim::diffusion::{RrContext, RrSampler, RrStrategy};
+use subsim::prelude::*;
+use subsim::sampling::rng_from_seed;
+
+/// Average generation cost (cost-counter units) per *activated node* —
+/// the per-node expansion cost the theorems bound (RR-set sizes themselves
+/// vary with density, so per-set cost would conflate the two).
+fn cost_per_activation(g: &Graph, strategy: RrStrategy, count: usize, seed: u64) -> f64 {
+    let sampler = RrSampler::new(g, strategy);
+    let mut ctx = RrContext::new(g.n());
+    let mut rng = rng_from_seed(seed);
+    let mut nodes = 0usize;
+    for _ in 0..count {
+        nodes += sampler.generate(&mut ctx, &mut rng);
+    }
+    ctx.cost as f64 / nodes as f64
+}
+
+#[test]
+fn theorem1_subsim_cost_independent_of_density_under_wc() {
+    // Theorem 1, Case 1: under WC the per-RR cost of SUBSIM is O(𝕀(v*)),
+    // with no m/n factor. Densify an Erdős–Rényi graph 8x: vanilla's cost
+    // must grow roughly with density, SUBSIM's must stay within a small
+    // constant.
+    let n = 3_000;
+    let mut vanilla = Vec::new();
+    let mut subsim = Vec::new();
+    for &mult in &[2usize, 4, 8, 16] {
+        let g = generators::erdos_renyi_gnm(n, n * mult, WeightModel::Wc, 7);
+        vanilla.push(cost_per_activation(&g, RrStrategy::VanillaIc, 20_000, 8));
+        subsim.push(cost_per_activation(&g, RrStrategy::SubsimIc, 20_000, 8));
+    }
+    let vanilla_growth = vanilla.last().unwrap() / vanilla.first().unwrap();
+    let subsim_growth = subsim.last().unwrap() / subsim.first().unwrap();
+    assert!(
+        vanilla_growth > 3.0,
+        "vanilla per-activation cost should track density: {vanilla:?}"
+    );
+    assert!(
+        subsim_growth < 1.5,
+        "SUBSIM per-activation cost should be density-free: {subsim:?}"
+    );
+}
+
+#[test]
+fn lemma3_uniform_subset_cost_tracks_mu() {
+    // Expected draws to sample an h-element subset at rate p is ~1 + h·p,
+    // independent of h for fixed μ.
+    use subsim::sampling::uniform_subset;
+    let mut rng = rng_from_seed(9);
+    for &(h, p) in &[(100usize, 0.02f64), (1_000, 0.002), (10_000, 0.0002)] {
+        // μ = 2 in all cases; count landed elements as a draw proxy.
+        let trials = 5_000;
+        let mut landed = 0usize;
+        for _ in 0..trials {
+            uniform_subset(&mut rng, h, p, |_| landed += 1);
+        }
+        let mu = h as f64 * p;
+        let avg = landed as f64 / trials as f64;
+        assert!(
+            (avg - mu).abs() < 0.1 * mu,
+            "h={h}: avg landings {avg} vs μ={mu}"
+        );
+    }
+}
+
+#[test]
+fn eq1_lower_bound_holds_with_high_probability() {
+    // Run many independent estimations of a fixed seed set's influence;
+    // Eq 1 with δ_l = 0.05 must fail (exceed the true influence) in well
+    // under 5% + MC-noise of the trials.
+    use subsim::diffusion::{mc_influence, CascadeModel};
+    let g = generators::barabasi_albert(300, 4, WeightModel::Wc, 10);
+    let seeds = [0u32, 3];
+    let truth = mc_influence(&g, &seeds, CascadeModel::Ic, 300_000, 11);
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let trials = 400;
+    let theta = 400u64;
+    let mut failures = 0usize;
+    let mut rng = rng_from_seed(12);
+    let mut ctx = RrContext::new(g.n());
+    let mut seed_mask = vec![false; g.n()];
+    for &s in &seeds {
+        seed_mask[s as usize] = true;
+    }
+    for _ in 0..trials {
+        let mut cov = 0usize;
+        for _ in 0..theta {
+            sampler.generate(&mut ctx, &mut rng);
+            if ctx.last().iter().any(|&v| seed_mask[v as usize]) {
+                cov += 1;
+            }
+        }
+        let lb = opim_lower_bound(cov as f64, theta, g.n(), 0.05);
+        if lb > truth * 1.001 {
+            failures += 1;
+        }
+    }
+    assert!(
+        (failures as f64) < 0.08 * trials as f64,
+        "Eq 1 failed {failures}/{trials} times at δ = 0.05"
+    );
+}
+
+#[test]
+fn eq2_upper_bound_holds_with_high_probability() {
+    // Symmetric check for Eq 2: the certified upper bound on OPT_k must
+    // dominate the influence of any concrete k-set (here: the best of a
+    // few strong candidates) in all but ~δ of trials.
+    use subsim::core::coverage::{greedy_max_coverage, GreedyConfig};
+    use subsim::diffusion::{mc_influence, CascadeModel, RrCollection};
+    let g = generators::barabasi_albert(300, 4, WeightModel::Wc, 13);
+    let k = 3;
+    // A strong concrete k-set: MC-greedy's pick (close to optimal).
+    let strong = McGreedy::ic(2_000)
+        .run(&g, &ImOptions::new(k).seed(14))
+        .unwrap()
+        .seeds;
+    let strong_inf = mc_influence(&g, &strong, CascadeModel::Ic, 300_000, 15);
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let trials = 300;
+    let theta = 400usize;
+    let mut rng = rng_from_seed(16);
+    let mut ctx = RrContext::new(g.n());
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let mut rr = RrCollection::new(g.n());
+        rr.generate(&sampler, &mut ctx, &mut rng, theta);
+        let out = greedy_max_coverage(&rr, &GreedyConfig::standard(k));
+        let ub = opim_upper_bound(out.coverage_upper, theta as u64, g.n(), 0.05);
+        if ub < strong_inf * 0.999 {
+            failures += 1;
+        }
+    }
+    assert!(
+        (failures as f64) < 0.08 * trials as f64,
+        "Eq 2 failed {failures}/{trials} times at δ = 0.05"
+    );
+}
+
+#[test]
+fn sentinel_cost_drops_with_sentinel_influence() {
+    // Section 4 intuition: the more influential the sentinel set, the more
+    // RR generations it truncates, and average size falls monotonically
+    // (statistically) with sentinel quality.
+    let g = generators::barabasi_albert(2_000, 5, WeightModel::WcVariant { theta: 6.0 }, 17);
+    let mut by_outdeg: Vec<u32> = (0..g.n() as u32).collect();
+    by_outdeg.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let avg_size = |sentinel: &[u32]| {
+        let mut ctx = RrContext::new(g.n());
+        if !sentinel.is_empty() {
+            ctx.set_sentinel(sentinel);
+        }
+        let mut rng = rng_from_seed(18);
+        let mut total = 0usize;
+        for _ in 0..3_000 {
+            total += sampler.generate(&mut ctx, &mut rng);
+        }
+        total as f64 / 3_000.0
+    };
+    let none = avg_size(&[]);
+    let weak = avg_size(&by_outdeg[g.n() - 4..]); // low out-degree sentinels
+    let strong = avg_size(&by_outdeg[..4]); // hubs
+    assert!(strong < 0.5 * none, "hubs should truncate: {strong} vs {none}");
+    assert!(strong < weak, "hubs {strong} should beat weak sentinels {weak}");
+}
+
+#[test]
+fn theorem1_case2_log_degree_cost_grows_logarithmically() {
+    // Theorem 1, Case 2: with Σp = Θ(log d_in), SUBSIM's per-activation
+    // cost grows like log(m/n) while vanilla's grows linearly in m/n.
+    let n = 3_000;
+    let mut vanilla = Vec::new();
+    let mut subsim = Vec::new();
+    for &mult in &[4usize, 16] {
+        let g = generators::erdos_renyi_gnm(n, n * mult, WeightModel::LogDegree, 19);
+        vanilla.push(cost_per_activation(&g, RrStrategy::VanillaIc, 10_000, 20));
+        subsim.push(cost_per_activation(&g, RrStrategy::SubsimIc, 10_000, 20));
+    }
+    // Density quadrupled: vanilla ~4x, SUBSIM should grow far slower
+    // (log 16 / log 4 = 2, plus the Σp growth — well under 3x).
+    let vg = vanilla[1] / vanilla[0];
+    let sg = subsim[1] / subsim[0];
+    assert!(vg > 3.0, "vanilla growth {vg} ({vanilla:?})");
+    assert!(sg < 3.0, "SUBSIM growth {sg} ({subsim:?})");
+    assert!(sg < vg, "SUBSIM must scale better than vanilla");
+}
