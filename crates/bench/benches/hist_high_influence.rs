@@ -10,7 +10,11 @@ use subsim_graph::WeightModel;
 fn bench_wc_variant(c: &mut Criterion) {
     // θ = 8 puts the Small-scale pokec-s stand-in deep into the
     // high-influence regime (avg RR size in the hundreds).
-    let g = dataset("pokec-s", WeightModel::WcVariant { theta: 8.0 }, Scale::Small);
+    let g = dataset(
+        "pokec-s",
+        WeightModel::WcVariant { theta: 8.0 },
+        Scale::Small,
+    );
     let algs: Vec<(&str, Box<dyn ImAlgorithm>)> = vec![
         ("opim-c", Box::new(OpimC::vanilla())),
         ("hist", Box::new(Hist::vanilla())),
@@ -47,7 +51,11 @@ fn bench_uniform_ic(c: &mut Criterion) {
 fn bench_sentinel_size_ablation(c: &mut Criterion) {
     // DESIGN.md §4 ablation: sweep the forced sentinel size b. Too small
     // starves phase-2 truncation; too large inflates phase-1 sampling.
-    let g = dataset("pokec-s", WeightModel::WcVariant { theta: 8.0 }, Scale::Small);
+    let g = dataset(
+        "pokec-s",
+        WeightModel::WcVariant { theta: 8.0 },
+        Scale::Small,
+    );
     let mut group = c.benchmark_group("high_influence/sentinel_size");
     group.sample_size(10);
     for b_forced in [1usize, 4, 16, 50] {

@@ -25,15 +25,11 @@ fn bench_generation(c: &mut Criterion) {
         let g = dataset("pokec-s", model, Scale::Small);
         for (label, strategy) in strategies {
             let sampler = RrSampler::new(&g, strategy);
-            group.bench_with_input(
-                BenchmarkId::new(dist, label),
-                &strategy,
-                |b, _| {
-                    let mut ctx = RrContext::new(g.n());
-                    let mut rng = rng_from_seed(42);
-                    b.iter(|| black_box(sampler.generate(&mut ctx, &mut rng)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(dist, label), &strategy, |b, _| {
+                let mut ctx = RrContext::new(g.n());
+                let mut rng = rng_from_seed(42);
+                b.iter(|| black_box(sampler.generate(&mut ctx, &mut rng)))
+            });
         }
     }
     group.finish();
@@ -42,7 +38,11 @@ fn bench_generation(c: &mut Criterion) {
 fn bench_sentinel_truncation(c: &mut Criterion) {
     // Figure 3(b) mechanism: generation cost with and without a sentinel,
     // in a high-influence configuration.
-    let g = dataset("pokec-s", WeightModel::WcVariant { theta: 8.0 }, Scale::Small);
+    let g = dataset(
+        "pokec-s",
+        WeightModel::WcVariant { theta: 8.0 },
+        Scale::Small,
+    );
     let hub: Vec<u32> = {
         let mut nodes: Vec<u32> = (0..g.n() as u32).collect();
         nodes.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));

@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use subsim_sampling::{
-    bernoulli_subset_naive, rng_from_seed, uniform_subset, BucketJumpSampler,
-    BucketSubsetSampler, SortedSubsetSampler,
+    bernoulli_subset_naive, rng_from_seed, uniform_subset, BucketJumpSampler, BucketSubsetSampler,
+    SortedSubsetSampler,
 };
 
 fn bench_uniform_probs(c: &mut Criterion) {

@@ -1,0 +1,48 @@
+//! Warm-index serving vs fresh OPIM-C: the amortization claim of the
+//! `subsim-index` crate, measured per query over the k sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subsim_bench::workloads::{dataset, Scale};
+use subsim_core::{ImAlgorithm, ImOptions, OpimC};
+use subsim_diffusion::RrStrategy;
+use subsim_graph::WeightModel;
+use subsim_index::{IndexConfig, RrIndex};
+
+fn bench_warm_index(c: &mut Criterion) {
+    let g = dataset("pokec-s", WeightModel::Wc, Scale::Small);
+    let eps = 0.1;
+    let delta = 1.0 / g.n() as f64;
+    let ks = [10usize, 50, 100, 200, 500];
+
+    // Warm the pool once with the whole sweep so every benched query is
+    // answered without generation.
+    let mut index = RrIndex::new(&g, IndexConfig::new(RrStrategy::SubsimIc).seed(77));
+    for &k in &ks {
+        index.query(k, eps, delta).expect("warm-up query");
+    }
+
+    let mut group = c.benchmark_group("multi_query");
+    group.sample_size(10);
+    for &k in &ks {
+        group.bench_with_input(BenchmarkId::new("warm-index", k), &k, |b, &k| {
+            b.iter(|| {
+                let ans = index.query(k, eps, delta).expect("warm query");
+                assert_eq!(ans.stats.fresh_sets, 0, "pool should stay warm");
+                black_box(ans)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fresh-opimc", k), &k, |b, &k| {
+            let opts = ImOptions::new(k).epsilon(eps).delta(delta).seed(77);
+            b.iter(|| black_box(OpimC::subsim().run(&g, &opts).expect("opim run")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_warm_index
+}
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|genwc|all]...
+//! experiments [table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|genwc|index|all]...
 //! ```
 //!
 //! Scale is controlled by `SUBSIM_SCALE=small|paper` (default `paper`).
@@ -14,9 +14,7 @@ use subsim_bench::workloads::Scale;
 fn main() {
     let scale = Scale::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wants = |what: &str| {
-        args.is_empty() || args.iter().any(|a| a == what || a == "all")
-    };
+    let wants = |what: &str| args.is_empty() || args.iter().any(|a| a == what || a == "all");
 
     harness::preamble(scale);
     if wants("table2") {
@@ -48,5 +46,8 @@ fn main() {
     }
     if wants("genwc") {
         harness::gen_wc(scale);
+    }
+    if wants("index") {
+        harness::index_amortization(scale);
     }
 }

@@ -10,6 +10,7 @@ use subsim_core::{Hist, ImAlgorithm, ImOptions, Imm, OpimC, Ssa};
 use subsim_diffusion::forward::{mc_influence, CascadeModel};
 use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
 use subsim_graph::{Graph, GraphStats, WeightModel};
+use subsim_index::{IndexConfig, RrIndex};
 use subsim_sampling::rng_from_seed;
 
 /// Repetitions per timing. The paper uses 5 on a large multi-core server;
@@ -41,12 +42,7 @@ pub fn k_sweep(scale: Scale) -> Vec<usize> {
 }
 
 /// Runs `alg` `reps` times and returns the median wall-clock seconds.
-pub fn time_algorithm(
-    alg: &dyn ImAlgorithm,
-    g: &Graph,
-    opts: &ImOptions,
-    reps: usize,
-) -> f64 {
+pub fn time_algorithm(alg: &dyn ImAlgorithm, g: &Graph, opts: &ImOptions, reps: usize) -> f64 {
     let mut times: Vec<f64> = (0..reps)
         .map(|r| {
             let o = opts.clone().seed(opts.seed + r as u64);
@@ -374,6 +370,65 @@ pub fn ablation(scale: Scale) {
             res.stats.avg_rr_size(),
             res.stats.sentinel_hits,
             res.stats.sentinel_size
+        );
+    }
+}
+
+/// The `k` sweep of the index-amortization experiment.
+pub fn index_k_sweep(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Small => vec![10, 50, 100],
+        Scale::Paper => vec![10, 50, 100, 200, 500],
+    }
+}
+
+/// Multi-query serving: a warmed [`RrIndex`] vs a fresh OPIM-C run per
+/// query, WC model, ε = 0.1. Each `k` is asked twice: the first ("cold")
+/// pays whatever pool growth its certificate needs, the second ("warm")
+/// is served entirely from the pool — that is the amortized serving cost.
+pub fn index_amortization(scale: Scale) {
+    header("Index amortization: warm RrIndex query vs fresh OPIM-C, WC, eps=0.1");
+    let eps = 0.1;
+    for name in DATASETS {
+        let g = dataset(name, WeightModel::Wc, scale);
+        let delta = 1.0 / g.n() as f64;
+        let mut index = RrIndex::new(&g, IndexConfig::new(RrStrategy::SubsimIc).seed(1001));
+        println!("-- {name} (n={}, m={})", g.n(), g.m());
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>9} {:>10} {:>10}",
+            "k", "fresh (s)", "cold (s)", "warm (s)", "speedup", "ratio", "certified"
+        );
+        for k in index_k_sweep(scale) {
+            let fresh = time_algorithm(
+                &OpimC::subsim(),
+                &g,
+                &ImOptions::new(k).epsilon(eps).delta(delta).seed(1001),
+                reps(scale),
+            );
+            let start = Instant::now();
+            index.query(k, eps, delta).expect("cold query");
+            let cold = start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let warm_ans = index.query(k, eps, delta).expect("warm query");
+            let warm = start.elapsed().as_secs_f64();
+            assert_eq!(warm_ans.stats.fresh_sets, 0, "warm query regenerated sets");
+            println!(
+                "{:>6} {:>10.4} {:>10.4} {:>10.4} {:>8.1}x {:>10.4} {:>10}",
+                k,
+                fresh,
+                cold,
+                warm,
+                fresh / warm.max(1e-9),
+                warm_ans.stats.ratio(),
+                warm_ans.stats.certified_by_bounds
+            );
+        }
+        let c = index.counters();
+        println!(
+            "   pool {} sets/half, {} sets generated, cache hit ratio {:.3}",
+            index.pool_len(),
+            c.rr_sets_generated,
+            c.cache_hit_ratio()
         );
     }
 }

@@ -113,8 +113,7 @@ impl ImAlgorithm for Celf {
                 // current seed set and re-insert.
                 candidate.clone_from(&seeds);
                 candidate.push(top.node);
-                let gain = estimate(&candidate, (round as u64) << 32 | top.node as u64)
-                    - current;
+                let gain = estimate(&candidate, (round as u64) << 32 | top.node as u64) - current;
                 heap.push(Entry {
                     gain,
                     node: top.node,

@@ -65,8 +65,8 @@ impl ImAlgorithm for Dssa {
         let delta = opts.effective_delta(g);
         let frac = one_minus_inv_e();
 
-        let lambda1 =
-            1.0 + (1.0 + eps) * (1.0 + eps) * (2.0 + 2.0 * eps / 3.0) * (3.0 / delta).ln()
+        let lambda1 = 1.0
+            + (1.0 + eps) * (1.0 + eps) * (2.0 + 2.0 * eps / 3.0) * (3.0 / delta).ln()
                 / (eps * eps);
         let theta_max = theta_max_opim(n, k, eps, delta);
         let t_max = i_max(theta_max, lambda1.ceil() as u64);
@@ -101,8 +101,8 @@ impl ImAlgorithm for Dssa {
             let eps1 = i1 / i2 - 1.0;
             let half = 2f64.powi(t as i32 - 1);
             let eps2 = eps * (nf * (1.0 + eps) / (half * i2)).sqrt();
-            let eps3 = eps
-                * (nf * (1.0 + eps) * (frac - eps) / ((1.0 + eps / 3.0) * half * i2)).sqrt();
+            let eps3 =
+                eps * (nf * (1.0 + eps) * (frac - eps) / ((1.0 + eps / 3.0) * half * i2)).sqrt();
             let eps_t = (eps1 + eps2 + eps1 * eps2) * (frac - eps) + frac * eps3;
             if eps1 >= 0.0 && eps_t <= eps {
                 break;

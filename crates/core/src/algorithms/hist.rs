@@ -135,12 +135,8 @@ impl Hist {
                 None => {
                     let mut b = k;
                     for a in (1..=k).rev() {
-                        let est = opim_lower_bound(
-                            out.prefix_coverage[a] as f64,
-                            theta1,
-                            n,
-                            delta_l,
-                        );
+                        let est =
+                            opim_lower_bound(out.prefix_coverage[a] as f64, theta1, n, delta_l);
                         if est / ub > 1.0 - x.powi(a as i32) - eps1 {
                             b = a;
                             break;
@@ -279,7 +275,15 @@ impl ImAlgorithm for Hist {
                 phase1.upper_bound,
             )
         } else {
-            self.im_sentinel(g, &mut driver, &phase1.sentinel, k, opts.epsilon, eps2, delta2)
+            self.im_sentinel(
+                g,
+                &mut driver,
+                &phase1.sentinel,
+                k,
+                opts.epsilon,
+                eps2,
+                delta2,
+            )
         };
 
         let mut stats = driver.stats();
@@ -312,7 +316,9 @@ mod tests {
     #[test]
     fn returns_k_distinct_seeds() {
         let g = barabasi_albert(500, 4, WeightModel::WcVariant { theta: 3.0 }, 32);
-        let res = Hist::with_subsim().run(&g, &ImOptions::new(20).seed(33)).unwrap();
+        let res = Hist::with_subsim()
+            .run(&g, &ImOptions::new(20).seed(33))
+            .unwrap();
         assert_eq!(res.k(), 20);
         let mut s = res.seeds.clone();
         s.sort_unstable();
@@ -375,7 +381,9 @@ mod tests {
     #[test]
     fn k_equals_one_short_circuits_phase_two() {
         let g = barabasi_albert(200, 3, WeightModel::Wc, 43);
-        let res = Hist::with_subsim().run(&g, &ImOptions::new(1).seed(44)).unwrap();
+        let res = Hist::with_subsim()
+            .run(&g, &ImOptions::new(1).seed(44))
+            .unwrap();
         assert_eq!(res.k(), 1);
         assert_eq!(res.stats.sentinel_size, 1);
     }
@@ -384,7 +392,10 @@ mod tests {
     fn standard_greedy_ablation_still_correct() {
         let g = barabasi_albert(300, 4, WeightModel::WcVariant { theta: 3.0 }, 47);
         let opts = ImOptions::new(8).seed(48);
-        let res = Hist::with_subsim().standard_greedy().run(&g, &opts).unwrap();
+        let res = Hist::with_subsim()
+            .standard_greedy()
+            .run(&g, &opts)
+            .unwrap();
         assert_eq!(res.k(), 8);
         let mut s = res.seeds.clone();
         s.sort_unstable();
@@ -410,7 +421,9 @@ mod tests {
     #[test]
     fn phase1_rr_counted_separately() {
         let g = barabasi_albert(400, 4, WeightModel::WcVariant { theta: 3.0 }, 45);
-        let res = Hist::with_subsim().run(&g, &ImOptions::new(15).seed(46)).unwrap();
+        let res = Hist::with_subsim()
+            .run(&g, &ImOptions::new(15).seed(46))
+            .unwrap();
         assert!(res.stats.phase1_rr > 0);
         assert!(res.stats.phase1_rr <= res.stats.rr_generated);
     }

@@ -69,10 +69,9 @@ impl ImAlgorithm for Imm {
 
         // --- Sampling phase ---
         let eps_p = eps * 2f64.sqrt();
-        let lambda_p = (2.0 + 2.0 * eps_p / 3.0)
-            * (ln_cnk + ell * nf.ln() + nf.log2().max(1.0).ln())
-            * nf
-            / (eps_p * eps_p);
+        let lambda_p =
+            (2.0 + 2.0 * eps_p / 3.0) * (ln_cnk + ell * nf.ln() + nf.log2().max(1.0).ln()) * nf
+                / (eps_p * eps_p);
         let mut driver = Driver::new(g, self.strategy, opts.seed);
         let mut rr = RrCollection::new(n);
         let mut lb = 1.0;

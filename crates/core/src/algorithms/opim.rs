@@ -127,7 +127,9 @@ mod tests {
     #[test]
     fn certified_ratio_meets_target() {
         let g = barabasi_albert(500, 4, WeightModel::Wc, 2);
-        let res = OpimC::subsim().run(&g, &ImOptions::new(10).seed(3)).unwrap();
+        let res = OpimC::subsim()
+            .run(&g, &ImOptions::new(10).seed(3))
+            .unwrap();
         let ratio = res.stats.certified_ratio().unwrap();
         assert!(
             ratio > 1.0 - (-1.0f64).exp() - 0.1,
@@ -147,8 +149,12 @@ mod tests {
         assert!(a.stats.lower_bound > 0.0 && b.stats.lower_bound > 0.0);
         let rel = (a.stats.lower_bound - b.stats.lower_bound).abs()
             / a.stats.lower_bound.max(b.stats.lower_bound);
-        assert!(rel < 0.25, "lower bounds diverge: {a:?} vs {b:?}",
-            a = a.stats.lower_bound, b = b.stats.lower_bound);
+        assert!(
+            rel < 0.25,
+            "lower bounds diverge: {a:?} vs {b:?}",
+            a = a.stats.lower_bound,
+            b = b.stats.lower_bound
+        );
     }
 
     #[test]

@@ -77,8 +77,8 @@ impl ImAlgorithm for TimPlus {
         let mut kpt = 1.0f64;
         let mut probe = RrCollection::new(n);
         'outer: for i in 1..(log2n.floor() as i32) {
-            let ci = ((6.0 * ell * nf.ln() + 6.0 * log2n.max(1.0).ln()) * 2f64.powi(i))
-                .ceil() as usize;
+            let ci =
+                ((6.0 * ell * nf.ln() + 6.0 * log2n.max(1.0).ln()) * 2f64.powi(i)).ceil() as usize;
             let mut sum = 0.0;
             for _ in 0..ci {
                 driver.generate_into(&mut probe, 1);
@@ -118,10 +118,9 @@ impl ImAlgorithm for TimPlus {
         let kpt_plus = kpt_refined.max(kpt);
 
         // --- Stage 3: node selection ---
-        let lambda = (8.0 + 2.0 * eps)
-            * nf
-            * (ell * nf.ln() + ln_binomial(n as u64, k as u64) + 2f64.ln())
-            / (eps * eps);
+        let lambda =
+            (8.0 + 2.0 * eps) * nf * (ell * nf.ln() + ln_binomial(n as u64, k as u64) + 2f64.ln())
+                / (eps * eps);
         let theta = ((lambda / kpt_plus).ceil() as usize).max(1);
         let mut rr = RrCollection::new(n);
         driver.generate_into(&mut rr, theta);

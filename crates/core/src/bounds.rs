@@ -70,8 +70,7 @@ pub fn theta_max_sentinel(n: usize, k: usize, eps1: f64, delta1: f64) -> f64 {
 pub fn theta_max_im_sentinel(n: usize, k: usize, b: usize, eps2: f64, delta2: f64) -> f64 {
     let ln9d = (9.0 / delta2).ln();
     let frac = 1.0 - (-1.0f64).exp(); // 1 - 1/e
-    let s = ln9d.sqrt()
-        + (frac * (ln_binomial((n - b) as u64, (k - b) as u64) + ln9d)).sqrt();
+    let s = ln9d.sqrt() + (frac * (ln_binomial((n - b) as u64, (k - b) as u64) + ln9d)).sqrt();
     2.0 * n as f64 * s * s / (eps2 * eps2 * k as f64)
 }
 

@@ -131,7 +131,11 @@ mod tests {
         )
         .unwrap();
         let truth = mc_influence(&g, &seeds, CascadeModel::Ic, 40_000, 83);
-        assert!(cert.lower <= truth * 1.02, "lower {} vs truth {truth}", cert.lower);
+        assert!(
+            cert.lower <= truth * 1.02,
+            "lower {} vs truth {truth}",
+            cert.lower
+        );
         assert!(
             cert.optimal_upper >= truth * 0.98,
             "OPT upper {} below the set's own influence {truth}",

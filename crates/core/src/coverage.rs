@@ -1,9 +1,9 @@
 //! Greedy max-coverage over RR collections (paper Algorithms 1 and 6) with
 //! the submodular coverage upper bound of Eq. 2 computed in the same pass.
 
+use std::collections::BinaryHeap;
 use subsim_diffusion::collection::{InvertedIndex, RrCollection};
 use subsim_graph::{Graph, NodeId};
-use std::collections::BinaryHeap;
 
 /// Configuration of one greedy pass.
 #[derive(Debug, Clone, Copy)]
@@ -84,9 +84,7 @@ pub fn greedy_max_coverage(rr: &RrCollection, cfg: &GreedyConfig<'_>) -> GreedyO
     let n = rr.graph_n();
     let idx = InvertedIndex::build(rr);
     let mut count: Vec<usize> = (0..n as NodeId).map(|v| idx.degree(v)).collect();
-    let outdeg = |v: NodeId| -> u32 {
-        cfg.tie_break.map_or(0, |g| g.out_degree(v) as u32)
-    };
+    let outdeg = |v: NodeId| -> u32 { cfg.tie_break.map_or(0, |g| g.out_degree(v) as u32) };
 
     let mut heap: BinaryHeap<(usize, u32, NodeId)> = (0..n as NodeId)
         .map(|v| (count[v as usize], outdeg(v), v))

@@ -53,6 +53,8 @@ mod tests {
         assert!(ImError::InvalidEpsilon { epsilon: 2.0 }
             .to_string()
             .contains("epsilon=2"));
-        assert!(ImError::InvalidDelta { delta: 0.0 }.to_string().contains("delta=0"));
+        assert!(ImError::InvalidDelta { delta: 0.0 }
+            .to_string()
+            .contains("delta=0"));
     }
 }

@@ -30,12 +30,14 @@ pub mod certificate;
 pub mod coverage;
 pub mod error;
 pub mod options;
+pub mod pool;
 pub mod result;
 
 pub use algorithms::{Celf, Dssa, Hist, Imm, McGreedy, OpimC, Ssa, TimPlus};
 pub use certificate::{certify_seed_set, certify_seed_set_auto, InfluenceCertificate};
 pub use error::ImError;
 pub use options::ImOptions;
+pub use pool::{evaluate_pool, PoolEvaluation};
 pub use result::{ImResult, RunStats};
 
 use subsim_graph::Graph;

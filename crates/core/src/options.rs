@@ -54,7 +54,10 @@ impl ImOptions {
     /// Validates the options against a graph.
     pub fn validate(&self, g: &Graph) -> Result<(), ImError> {
         if self.k == 0 || self.k > g.n() {
-            return Err(ImError::InvalidK { k: self.k, n: g.n() });
+            return Err(ImError::InvalidK {
+                k: self.k,
+                n: g.n(),
+            });
         }
         let one_minus_inv_e = 1.0 - (-1.0f64).exp();
         if !(self.epsilon > 0.0 && self.epsilon < one_minus_inv_e) {

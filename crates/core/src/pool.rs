@@ -1,0 +1,142 @@
+//! OPIM bound evaluation over *external* RR collections.
+//!
+//! [`crate::algorithms::OpimC`] owns its RR sample and throws it away when
+//! it returns. The bound machinery it runs each round, however, is valid
+//! for **any** pair of independent collections, whatever generated them
+//! (Eqs 1–2 only require that `R₂` is independent of the selected seeds,
+//! which holds because selection reads `R₁` alone). This module exposes
+//! that round as a standalone function so long-lived pools — notably
+//! `subsim-index`'s amortized query engine — can re-certify against the
+//! same sample across many `(k, ε)` queries without regenerating it.
+
+use crate::bounds::{opim_lower_bound, opim_upper_bound};
+use crate::coverage::{greedy_max_coverage, GreedyConfig};
+use subsim_diffusion::RrCollection;
+use subsim_graph::NodeId;
+
+/// Outcome of one OPIM certification round over an external pool pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolEvaluation {
+    /// Greedy seeds selected from `R₁`, in pick order.
+    pub seeds: Vec<NodeId>,
+    /// `Λ_{R₁}(S)`: sets of `R₁` the seeds cover.
+    pub coverage_r1: usize,
+    /// `Λ_{R₂}(S)`: sets of `R₂` the seeds cover (feeds Eq. 1).
+    pub coverage_r2: usize,
+    /// Eq. 1 lower bound on `𝕀(S)`, failing with probability `<= δ_l`.
+    pub lower: f64,
+    /// Eq. 2 upper bound on `𝕀(S^o_k)`, failing with probability `<= δ_u`.
+    pub upper: f64,
+}
+
+impl PoolEvaluation {
+    /// The certified approximation ratio `𝕀⁻(S)/𝕀⁺(S^o_k)`.
+    pub fn ratio(&self) -> f64 {
+        if self.upper <= 0.0 {
+            0.0
+        } else {
+            self.lower / self.upper
+        }
+    }
+}
+
+/// Runs one OPIM-C certification round over caller-owned collections:
+/// greedy max-coverage over `r1` (which also yields the Eq. 2 coverage
+/// upper bound), then the Eq. 1 lower bound from the seeds' coverage of
+/// `r2`.
+///
+/// The guarantee follows OPIM-C's: if `ratio() > 1 - 1/e - ε` then the
+/// returned seeds are `(1 - 1/e - ε)`-approximate with probability at
+/// least `1 - δ_l - δ_u`, **provided** `r2` was generated independently of
+/// `r1` (both collections i.i.d. random RR sets over the same graph).
+/// Both collections must be non-empty and over the same graph.
+pub fn evaluate_pool(
+    r1: &RrCollection,
+    r2: &RrCollection,
+    k: usize,
+    delta_l: f64,
+    delta_u: f64,
+) -> PoolEvaluation {
+    assert_eq!(
+        r1.graph_n(),
+        r2.graph_n(),
+        "pool halves are over different graphs"
+    );
+    assert!(
+        !r1.is_empty() && !r2.is_empty(),
+        "pool halves must be non-empty"
+    );
+    let n = r1.graph_n();
+    let out = greedy_max_coverage(r1, &GreedyConfig::standard(k));
+    let upper = opim_upper_bound(out.coverage_upper, r1.len() as u64, n, delta_u);
+    let coverage_r2 = r2.coverage_of(&out.seeds);
+    let lower = opim_lower_bound(coverage_r2 as f64, r2.len() as u64, n, delta_l);
+    PoolEvaluation {
+        coverage_r1: out.coverage(),
+        seeds: out.seeds,
+        coverage_r2,
+        lower,
+        upper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
+    use subsim_graph::generators::{barabasi_albert, star_graph};
+    use subsim_graph::WeightModel;
+    use subsim_sampling::rng_from_seed;
+
+    fn two_pools(g: &subsim_graph::Graph, count: usize, seed: u64) -> (RrCollection, RrCollection) {
+        let sampler = RrSampler::new(g, RrStrategy::SubsimIc);
+        let mut ctx = RrContext::new(g.n());
+        let mut rng = rng_from_seed(seed);
+        let mut r1 = RrCollection::new(g.n());
+        r1.generate(&sampler, &mut ctx, &mut rng, count);
+        let mut r2 = RrCollection::new(g.n());
+        r2.generate(&sampler, &mut ctx, &mut rng, count);
+        (r1, r2)
+    }
+
+    #[test]
+    fn matches_manual_bound_computation() {
+        let g = barabasi_albert(300, 3, WeightModel::Wc, 71);
+        let (r1, r2) = two_pools(&g, 2000, 72);
+        let eval = evaluate_pool(&r1, &r2, 5, 0.01, 0.01);
+        let direct = greedy_max_coverage(&r1, &GreedyConfig::standard(5));
+        assert_eq!(eval.seeds, direct.seeds);
+        assert_eq!(eval.coverage_r1, direct.coverage());
+        assert_eq!(eval.coverage_r2, r2.coverage_of(&direct.seeds));
+        let lb = opim_lower_bound(eval.coverage_r2 as f64, r2.len() as u64, g.n(), 0.01);
+        let ub = opim_upper_bound(direct.coverage_upper, r1.len() as u64, g.n(), 0.01);
+        assert_eq!(eval.lower, lb);
+        assert_eq!(eval.upper, ub);
+        assert!(eval.lower <= eval.upper);
+    }
+
+    #[test]
+    fn large_pool_certifies_star_hub() {
+        let g = star_graph(100, WeightModel::UniformIc { p: 0.5 });
+        let (r1, r2) = two_pools(&g, 20_000, 73);
+        let eval = evaluate_pool(&r1, &r2, 1, 0.005, 0.005);
+        assert_eq!(eval.seeds, vec![0]);
+        assert!(
+            eval.ratio() > 1.0 - (-1.0f64).exp() - 0.1,
+            "ratio {} too loose on a 20k-set pool",
+            eval.ratio()
+        );
+    }
+
+    #[test]
+    fn ratio_handles_degenerate_upper() {
+        let eval = PoolEvaluation {
+            seeds: vec![],
+            coverage_r1: 0,
+            coverage_r2: 0,
+            lower: 0.0,
+            upper: 0.0,
+        };
+        assert_eq!(eval.ratio(), 0.0);
+    }
+}

@@ -50,6 +50,26 @@ impl RrCollection {
         self.offsets.push(self.nodes.len());
     }
 
+    /// Appends every set of `other` in one arena-level copy.
+    ///
+    /// Equivalent to `for s in other.iter() { self.push(s) }` but performs
+    /// exactly two bulk `extend`s (nodes, then offsets rebased onto this
+    /// arena's length) instead of one copy per set — the merge path of
+    /// [`crate::parallel::par_generate`] and the index top-up path both
+    /// splice worker batches with this. Both collections must be over the
+    /// same graph.
+    pub fn extend_from(&mut self, other: &RrCollection) {
+        assert_eq!(
+            self.n, other.n,
+            "cannot splice collections over different graphs"
+        );
+        let base = self.nodes.len();
+        self.nodes.extend_from_slice(&other.nodes);
+        self.offsets.reserve(other.len());
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|&o| o + base));
+    }
+
     /// The `i`-th set.
     pub fn get(&self, i: usize) -> &[NodeId] {
         &self.nodes[self.offsets[i]..self.offsets[i + 1]]
@@ -217,6 +237,51 @@ mod tests {
         assert_eq!(covered, 2);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept.get(0), &[2]);
+    }
+
+    #[test]
+    fn extend_from_matches_per_set_push() {
+        let g = star_graph(10, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = crate::rr::RrContext::new(10);
+        let mut rng = rng_from_seed(77);
+        let mut a = RrCollection::new(10);
+        a.generate(&sampler, &mut ctx, &mut rng, 40);
+        let mut b = RrCollection::new(10);
+        b.generate(&sampler, &mut ctx, &mut rng, 25);
+
+        let mut bulk = a.clone();
+        bulk.extend_from(&b);
+        let mut per_set = a.clone();
+        for set in b.iter() {
+            per_set.push(set);
+        }
+        assert_eq!(bulk.len(), per_set.len());
+        assert_eq!(bulk.total_nodes(), per_set.total_nodes());
+        for i in 0..bulk.len() {
+            assert_eq!(bulk.get(i), per_set.get(i), "set {i} diverges");
+        }
+    }
+
+    #[test]
+    fn extend_from_empty_is_noop_both_ways() {
+        let mut a = sample_collection();
+        let before = a.clone();
+        a.extend_from(&RrCollection::new(5));
+        assert_eq!(a.len(), before.len());
+        let mut empty = RrCollection::new(5);
+        empty.extend_from(&before);
+        assert_eq!(empty.len(), before.len());
+        for i in 0..before.len() {
+            assert_eq!(empty.get(i), before.get(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different graphs")]
+    fn extend_from_rejects_mismatched_graphs() {
+        let mut a = RrCollection::new(5);
+        a.extend_from(&RrCollection::new(6));
     }
 
     #[test]

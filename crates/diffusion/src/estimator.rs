@@ -76,10 +76,7 @@ impl<'g> InfluenceEstimator<'g> {
                     }
                     let fire = match self.model {
                         CascadeModel::Ic => {
-                            let p = self
-                                .g
-                                .prob_of_edge(u, v)
-                                .expect("out-neighbor edge exists");
+                            let p = self.g.prob_of_edge(u, v).expect("out-neighbor edge exists");
                             rng.gen::<f64>() < p
                         }
                         CascadeModel::Lt => {
@@ -121,7 +118,10 @@ fn activated_in_weight(g: &Graph, active: &[u32], epoch: u32, v: NodeId) -> f64 
     let nbrs = g.in_neighbors(v);
     match g.in_probs(v) {
         InProbs::Uniform(p) => {
-            p * nbrs.iter().filter(|&&u| active[u as usize] == epoch).count() as f64
+            p * nbrs
+                .iter()
+                .filter(|&&u| active[u as usize] == epoch)
+                .count() as f64
         }
         InProbs::PerEdge(ps) => nbrs
             .iter()
@@ -146,24 +146,25 @@ pub fn par_influence(
     if threads == 1 {
         return InfluenceEstimator::new(g, model).estimate(seeds, runs, seed);
     }
-    let totals: Vec<parking_lot::Mutex<u64>> =
-        (0..threads).map(|_| parking_lot::Mutex::new(0)).collect();
-    crossbeam::thread::scope(|scope| {
-        for (w, slot) in totals.iter().enumerate() {
-            let quota = runs / threads + usize::from(w < runs % threads);
-            scope.spawn(move |_| {
-                let mut est = InfluenceEstimator::new(g, model);
-                let mut rng =
-                    rng_from_seed(seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-                let total: u64 = (0..quota)
-                    .map(|_| est.run_once(seeds, &mut rng) as u64)
-                    .sum();
-                *slot.lock() = total;
-            });
-        }
-    })
-    .expect("worker panicked");
-    let total: u64 = totals.into_iter().map(|m| m.into_inner()).sum();
+    let total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let quota = runs / threads + usize::from(w < runs % threads);
+                scope.spawn(move || {
+                    let mut est = InfluenceEstimator::new(g, model);
+                    let mut rng =
+                        rng_from_seed(seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                    (0..quota)
+                        .map(|_| est.run_once(seeds, &mut rng) as u64)
+                        .sum::<u64>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
+    });
     total as f64 / runs as f64
 }
 

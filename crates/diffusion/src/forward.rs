@@ -40,9 +40,7 @@ pub fn simulate_ic<R: Rng + ?Sized>(g: &Graph, seeds: &[NodeId], rng: &mut R) ->
                 if active[v as usize] {
                     continue;
                 }
-                let p = g
-                    .prob_of_edge(u, v)
-                    .expect("out-neighbor edge must exist");
+                let p = g.prob_of_edge(u, v).expect("out-neighbor edge must exist");
                 if rng.gen::<f64>() < p {
                     active[v as usize] = true;
                     next.push(v);
@@ -105,9 +103,7 @@ pub fn simulate_lt<R: Rng + ?Sized>(g: &Graph, seeds: &[NodeId], rng: &mut R) ->
 fn activated_in_weight(g: &Graph, active: &[bool], v: NodeId) -> f64 {
     let nbrs = g.in_neighbors(v);
     match g.in_probs(v) {
-        InProbs::Uniform(p) => {
-            p * nbrs.iter().filter(|&&u| active[u as usize]).count() as f64
-        }
+        InProbs::Uniform(p) => p * nbrs.iter().filter(|&&u| active[u as usize]).count() as f64,
         InProbs::PerEdge(ps) => nbrs
             .iter()
             .zip(ps)
@@ -236,7 +232,10 @@ mod tests {
     fn lt_single_in_edge_matches_weight() {
         // For a single in-edge of weight w, LT activation prob given the
         // source is active is exactly w (λ ~ U[0,1] <= w).
-        let g = GraphBuilder::new(2).add_weighted_edge(0, 1, 0.35).build().unwrap();
+        let g = GraphBuilder::new(2)
+            .add_weighted_edge(0, 1, 0.35)
+            .build()
+            .unwrap();
         let est = mc_influence(&g, &[0], CascadeModel::Lt, 60_000, 5);
         assert!((est - 1.35).abs() < 0.02, "est {est}");
     }

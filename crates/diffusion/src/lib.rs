@@ -19,9 +19,10 @@
 //! - [`collection`] — a flat-arena [`collection::RrCollection`] storing
 //!   sets contiguously, with size/cost statistics and an inverted
 //!   node → set index for the greedy phase.
-//! - [`parallel`] — crossbeam-based batch generation across threads
-//!   (deterministic per-thread seeding), for users who want wall-clock
-//!   speed over single-seed reproducibility.
+//! - [`parallel`] — scoped-thread batch generation (deterministic
+//!   per-thread seeding), plus chunked generation whose output is
+//!   independent of the thread count — the top-up primitive behind
+//!   `subsim-index`'s incrementally grown pools.
 //! - [`estimator`] — scratch-reusing (and optionally parallel) cascade
 //!   simulation for evaluating many seed sets cheaply (Figure 5).
 //! - [`serialize`] — a versioned binary format for persisting RR
@@ -33,14 +34,15 @@ pub mod collection;
 pub mod estimator;
 pub mod forward;
 pub mod parallel;
-pub mod serialize;
 pub mod rr;
+pub mod serialize;
 
 pub use collection::RrCollection;
 pub use estimator::{par_influence, InfluenceEstimator};
-pub use serialize::{read_rr_collection, write_rr_collection};
 pub use forward::{mc_influence, rr_influence, simulate_ic, simulate_lt, CascadeModel};
+pub use parallel::{chunk_seed, par_generate, par_generate_chunks, ParBatch};
 pub use rr::{RrContext, RrSampler, RrStrategy};
+pub use serialize::{read_rr_collection, write_rr_collection};
 
 /// Commonly used items.
 pub mod prelude {

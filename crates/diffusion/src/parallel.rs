@@ -6,10 +6,16 @@
 //! (seeded as `seed ⊕ worker_index`) and scratch context, so the output is
 //! deterministic for a fixed `(seed, threads, count)` triple — workers'
 //! batches are concatenated in worker order.
+//!
+//! [`par_generate_chunks`] additionally offers *chunked* generation, where
+//! the RNG is re-seeded per fixed-size chunk rather than per worker: the
+//! output is then deterministic for `(seed, chunk range, chunk size)`
+//! **independent of the thread count**, which is what lets `subsim-index`
+//! grow a pool incrementally across queries (and across process restarts)
+//! while staying bit-identical to a fresh pool of the same size.
 
 use crate::collection::RrCollection;
 use crate::rr::{RrContext, RrSampler};
-use parking_lot::Mutex;
 use subsim_graph::NodeId;
 use subsim_sampling::rng_from_seed;
 
@@ -53,33 +59,116 @@ pub fn par_generate(
         };
     }
 
-    // Slot per worker, filled out of order, merged in order.
-    let slots: Vec<Mutex<Option<(RrCollection, u64, u64)>>> =
-        (0..threads).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for (w, slot) in slots.iter().enumerate() {
-            let quota = count / threads + usize::from(w < count % threads);
-            scope.spawn(move |_| {
-                let mut ctx = RrContext::new(n);
-                if let Some(s) = sentinel {
-                    ctx.set_sentinel(s);
-                }
-                let mut rng = rng_from_seed(seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-                let mut rr = RrCollection::new(n);
-                rr.generate(sampler, &mut ctx, &mut rng, quota);
-                *slot.lock() = Some((rr, ctx.cost, ctx.sentinel_hits));
-            });
-        }
-    })
-    .expect("worker panicked");
+    // One worker per spawned thread; scoped joins return the batches in
+    // worker order, so no slot synchronization is needed.
+    let parts: Vec<(RrCollection, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let quota = count / threads + usize::from(w < count % threads);
+                scope.spawn(move || {
+                    let mut ctx = RrContext::new(n);
+                    if let Some(s) = sentinel {
+                        ctx.set_sentinel(s);
+                    }
+                    let mut rng =
+                        rng_from_seed(seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                    let mut rr = RrCollection::new(n);
+                    rr.generate(sampler, &mut ctx, &mut rng, quota);
+                    (rr, ctx.cost, ctx.sentinel_hits)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut rr = RrCollection::new(n);
     let (mut cost, mut hits) = (0u64, 0u64);
-    for slot in slots {
-        let (part, c, h) = slot.into_inner().expect("worker finished");
-        for set in part.iter() {
-            rr.push(set);
-        }
+    for (part, c, h) in parts {
+        rr.extend_from(&part);
+        cost += c;
+        hits += h;
+    }
+    ParBatch {
+        rr,
+        cost,
+        sentinel_hits: hits,
+    }
+}
+
+/// The RNG seed of chunk `chunk` in the stream rooted at `seed`
+/// (splitmix64-style finalizer so consecutive chunks decorrelate).
+pub fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed ^ chunk.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates chunks `chunks.start..chunks.end` of `chunk_size` RR sets
+/// each, concatenated in chunk order.
+///
+/// Chunk `c` is always generated from `rng_from_seed(chunk_seed(seed, c))`
+/// regardless of which worker runs it, so the output depends only on
+/// `(seed, chunks, chunk_size)` — **not** on `threads`, and not on how the
+/// range was split across earlier calls: generating `0..4` in one call
+/// equals generating `0..2` then `2..4`. This is the top-up primitive of
+/// `subsim-index`'s incrementally grown pools.
+pub fn par_generate_chunks(
+    sampler: &RrSampler<'_>,
+    sentinel: Option<&[NodeId]>,
+    chunks: std::ops::Range<u64>,
+    chunk_size: usize,
+    threads: usize,
+    seed: u64,
+) -> ParBatch {
+    assert!(threads > 0, "need at least one worker");
+    assert!(chunk_size > 0, "chunks must hold at least one set");
+    let n = sampler.graph().n();
+    let count = chunks.end.saturating_sub(chunks.start) as usize;
+    if count == 0 {
+        return ParBatch {
+            rr: RrCollection::new(n),
+            cost: 0,
+            sentinel_hits: 0,
+        };
+    }
+
+    // Worker `w` takes a contiguous block of chunks, so concatenating the
+    // joined batches in worker order preserves chunk order.
+    let workers = threads.min(count);
+    let parts: Vec<(RrCollection, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let quota = count / workers + usize::from(w < count % workers);
+                let skipped = (count / workers) * w + w.min(count % workers);
+                let first = chunks.start + skipped as u64;
+                scope.spawn(move || {
+                    let mut ctx = RrContext::new(n);
+                    if let Some(s) = sentinel {
+                        ctx.set_sentinel(s);
+                    }
+                    let mut rr = RrCollection::new(n);
+                    for c in first..first + quota as u64 {
+                        let mut rng = rng_from_seed(chunk_seed(seed, c));
+                        rr.generate(sampler, &mut ctx, &mut rng, chunk_size);
+                    }
+                    (rr, ctx.cost, ctx.sentinel_hits)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut rr = RrCollection::new(n);
+    let (mut cost, mut hits) = (0u64, 0u64);
+    for (part, c, h) in parts {
+        rr.extend_from(&part);
         cost += c;
         hits += h;
     }
@@ -143,5 +232,46 @@ mod tests {
         for i in 0..200 {
             assert_eq!(batch.rr.get(i), rr.get(i));
         }
+    }
+
+    #[test]
+    fn chunked_output_independent_of_thread_count() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 59);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let reference = par_generate_chunks(&sampler, None, 0..7, 64, 1, 60);
+        assert_eq!(reference.rr.len(), 7 * 64);
+        for threads in [2, 3, 5, 8] {
+            let batch = par_generate_chunks(&sampler, None, 0..7, 64, threads, 60);
+            assert_eq!(batch.rr.len(), reference.rr.len(), "threads={threads}");
+            for i in 0..batch.rr.len() {
+                assert_eq!(
+                    batch.rr.get(i),
+                    reference.rr.get(i),
+                    "threads={threads}, set {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_splits_concatenate_to_whole_range() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 61);
+        let sampler = RrSampler::new(&g, RrStrategy::VanillaIc);
+        let whole = par_generate_chunks(&sampler, None, 0..6, 50, 4, 62);
+        let mut spliced = par_generate_chunks(&sampler, None, 0..2, 50, 2, 62).rr;
+        spliced.extend_from(&par_generate_chunks(&sampler, None, 2..6, 50, 3, 62).rr);
+        assert_eq!(whole.rr.len(), spliced.len());
+        for i in 0..whole.rr.len() {
+            assert_eq!(whole.rr.get(i), spliced.get(i), "set {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_empty_range_yields_nothing() {
+        let g = barabasi_albert(100, 3, WeightModel::Wc, 63);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let batch = par_generate_chunks(&sampler, None, 5..5, 32, 4, 64);
+        assert!(batch.rr.is_empty());
+        assert_eq!(batch.cost, 0);
     }
 }

@@ -239,10 +239,5 @@ mod tests;
 /// Shared fixture for cross-module tests: a small heavy-tailed WC graph.
 #[cfg(test)]
 pub(crate) fn tests_support_graph() -> Graph {
-    subsim_graph::generators::barabasi_albert(
-        120,
-        3,
-        subsim_graph::WeightModel::Wc,
-        91,
-    )
+    subsim_graph::generators::barabasi_albert(120, 3, subsim_graph::WeightModel::Wc, 91)
 }

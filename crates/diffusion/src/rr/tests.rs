@@ -205,7 +205,12 @@ fn sentinel_root_returns_immediately() {
 fn sentinel_preserves_hit_probability() {
     // Pr[R ∩ B ≠ ∅] must be identical with and without sentinel stopping:
     // stopping only truncates *after* the hit (paper Section 4).
-    let g = subsim_graph::generators::barabasi_albert(200, 4, WeightModel::WcVariant { theta: 3.0 }, 15);
+    let g = subsim_graph::generators::barabasi_albert(
+        200,
+        4,
+        WeightModel::WcVariant { theta: 3.0 },
+        15,
+    );
     let sentinel = [0u32, 1, 2];
     let count = 60_000;
     let mut hits = [0usize; 2];
@@ -229,9 +234,16 @@ fn sentinel_preserves_hit_probability() {
 
 #[test]
 fn sentinel_shrinks_average_size() {
-    let g = subsim_graph::generators::barabasi_albert(300, 4, WeightModel::WcVariant { theta: 4.0 }, 17);
+    let g = subsim_graph::generators::barabasi_albert(
+        300,
+        4,
+        WeightModel::WcVariant { theta: 4.0 },
+        17,
+    );
     // Use the highest out-degree node as sentinel — it is hit often.
-    let hub = (0..g.n() as NodeId).max_by_key(|&v| g.out_degree(v)).unwrap();
+    let hub = (0..g.n() as NodeId)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap();
     let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
     let count = 5_000;
     let mut rng = rng_from_seed(18);
@@ -259,7 +271,10 @@ fn subsim_cost_below_vanilla_on_wc() {
     let g = subsim_graph::generators::barabasi_albert(2_000, 8, WeightModel::Wc, 19);
     let count = 3_000;
     let mut costs = [0u64; 2];
-    for (i, strategy) in [RrStrategy::VanillaIc, RrStrategy::SubsimIc].iter().enumerate() {
+    for (i, strategy) in [RrStrategy::VanillaIc, RrStrategy::SubsimIc]
+        .iter()
+        .enumerate()
+    {
         let sampler = RrSampler::new(&g, *strategy);
         let mut ctx = RrContext::new(g.n());
         let mut rng = rng_from_seed(20);

@@ -153,8 +153,8 @@ mod tests {
     #[test]
     fn arbitrary_bytes_never_panic() {
         // Fuzz-ish: random byte soup must yield Err, not a panic.
-        use subsim_sampling::rng_from_seed;
         use rand::Rng;
+        use subsim_sampling::rng_from_seed;
         let mut rng = rng_from_seed(99);
         for len in [0usize, 7, 8, 12, 20, 64, 256] {
             for _ in 0..50 {

@@ -124,9 +124,8 @@ impl GraphBuilder {
         }
 
         // Collect (u, v, optional prob); double for undirected.
-        let mut triples: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(
-            edges.len() * if undirected { 2 } else { 1 },
-        );
+        let mut triples: Vec<(NodeId, NodeId, f64)> =
+            Vec::with_capacity(edges.len() * if undirected { 2 } else { 1 });
         for (i, &(u, v)) in edges.iter().enumerate() {
             if u as usize >= n {
                 return Err(GraphError::NodeOutOfRange { node: u as u64, n });
@@ -232,7 +231,10 @@ mod tests {
 
     #[test]
     fn drops_self_loops_by_default() {
-        let g = GraphBuilder::new(2).edges([(0, 0), (0, 1)]).build().unwrap();
+        let g = GraphBuilder::new(2)
+            .edges([(0, 0), (0, 1)])
+            .build()
+            .unwrap();
         assert_eq!(g.m(), 1);
         let g = GraphBuilder::new(2)
             .edges([(0, 0), (0, 1)])

@@ -116,8 +116,7 @@ pub fn strongly_connected_components(g: &Graph) -> Components {
             } else {
                 frames.pop();
                 if let Some(&(parent, _)) = frames.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is an SCC root: pop its component.

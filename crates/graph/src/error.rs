@@ -84,7 +84,10 @@ mod tests {
         assert!(GraphError::EmptyGraph.to_string().contains("at least one"));
         let e = GraphError::InvalidProbability { value: 1.5 };
         assert!(e.to_string().contains("1.5"));
-        let e = GraphError::WeightLengthMismatch { expected: 3, got: 2 };
+        let e = GraphError::WeightLengthMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
         let e = GraphError::Parse {
             line: 12,

@@ -288,7 +288,10 @@ pub fn power_law_configuration(
 /// out-edge. Produces densifying, heavy-tailed, community-ish networks.
 pub fn forest_fire(n: usize, p_forward: f64, model: WeightModel, seed: u64) -> Graph {
     assert!(n >= 2, "need at least 2 nodes");
-    assert!((0.0..1.0).contains(&p_forward), "p_forward must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&p_forward),
+        "p_forward must be in [0,1)"
+    );
     let mut rng = rng_from_seed(seed);
     // Adjacency grown incrementally (out-edges only; burning follows both
     // directions via a reverse list).
@@ -407,7 +410,10 @@ mod tests {
         assert!(g.m() >= 900, "m = {}", g.m());
         let max_out = (0..1000u32).map(|v| g.out_degree(v)).max().unwrap();
         let avg = g.m() as f64 / 1000.0;
-        assert!(max_out as f64 > 4.0 * avg, "expected out-degree tail: {max_out} vs {avg}");
+        assert!(
+            max_out as f64 > 4.0 * avg,
+            "expected out-degree tail: {max_out} vs {avg}"
+        );
         for (u, v, _) in g.edges() {
             assert_ne!(u, v);
         }

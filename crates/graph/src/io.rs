@@ -105,7 +105,11 @@ pub fn read_edge_list<R: std::io::Read>(reader: R) -> Result<EdgeList, GraphErro
     Ok(EdgeList {
         n: original_id.len(),
         edges,
-        probs: if saw_prob == Some(true) { Some(probs) } else { None },
+        probs: if saw_prob == Some(true) {
+            Some(probs)
+        } else {
+            None
+        },
         original_id,
     })
 }

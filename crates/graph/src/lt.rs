@@ -165,7 +165,9 @@ mod tests {
         let mut r1 = rng_from_seed(42);
         let mut r2 = rng_from_seed(43);
         for _ in 0..n {
-            let slot = idx.sample_in_neighbor(&g, &mut r1, 0).map_or(5, |u| u as usize);
+            let slot = idx
+                .sample_in_neighbor(&g, &mut r1, 0)
+                .map_or(5, |u| u as usize);
             a[slot] += 1.0 / n as f64;
             let slot = sample_in_neighbor_linear(&g, &mut r2, 0).map_or(5, |u| u as usize);
             b[slot] += 1.0 / n as f64;

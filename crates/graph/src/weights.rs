@@ -114,13 +114,11 @@ impl WeightModel {
                     })
                     .collect(),
             ),
-            WeightModel::Exponential { lambda } => per_edge_normalized(
-                n,
-                in_offsets,
-                in_sources,
-                seed,
-                |rng| sample_exponential(rng, lambda),
-            ),
+            WeightModel::Exponential { lambda } => {
+                per_edge_normalized(n, in_offsets, in_sources, seed, |rng| {
+                    sample_exponential(rng, lambda)
+                })
+            }
             WeightModel::Weibull => {
                 per_edge_normalized(n, in_offsets, in_sources, seed, sample_weibull_u10)
             }
@@ -257,7 +255,10 @@ mod tests {
         };
         let sum: f64 = ps.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
-        assert!(ps.windows(2).all(|w| w[0] >= w[1]), "not descending: {ps:?}");
+        assert!(
+            ps.windows(2).all(|w| w[0] >= w[1]),
+            "not descending: {ps:?}"
+        );
         assert!(ps.iter().all(|&p| p > 0.0 && p <= 1.0));
     }
 

@@ -4,10 +4,7 @@ use proptest::prelude::*;
 use subsim_graph::{generators, GraphBuilder, InProbs, NodeId, WeightModel};
 
 fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
-    prop::collection::vec(
-        (0..n as NodeId, 0..n as NodeId),
-        0..(n * 4).min(256),
-    )
+    prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..(n * 4).min(256))
 }
 
 fn arb_model() -> impl Strategy<Value = WeightModel> {

@@ -1,0 +1,94 @@
+//! Error type for index construction, queries, and snapshots.
+
+use std::fmt;
+use subsim_core::ImError;
+
+/// Errors produced by [`crate::RrIndex`].
+#[derive(Debug)]
+pub enum IndexError {
+    /// The query parameters failed [`subsim_core::ImOptions`] validation.
+    Options(ImError),
+    /// Growing the pool would exceed the configured node budget. The index
+    /// stays valid — already-stored sets keep serving queries whose
+    /// certificate passes at the current pool size.
+    MemoryBudget {
+        /// Configured cap on arena node entries across both pool halves.
+        max_nodes: usize,
+        /// Node entries currently stored.
+        in_use: usize,
+        /// Pool size (sets per half) the failing query wanted to reach.
+        wanted_sets: usize,
+    },
+    /// An I/O failure while reading or writing a snapshot.
+    Io(std::io::Error),
+    /// A snapshot that parsed but does not belong to this `(graph, weight
+    /// model, strategy)` — or is internally inconsistent.
+    SnapshotMismatch {
+        /// What didn't line up.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Options(e) => write!(f, "invalid query: {e}"),
+            IndexError::MemoryBudget {
+                max_nodes,
+                in_use,
+                wanted_sets,
+            } => write!(
+                f,
+                "pool top-up to {wanted_sets} sets per half refused: \
+                 {in_use} arena nodes in use, budget max_nodes={max_nodes}"
+            ),
+            IndexError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            IndexError::SnapshotMismatch { reason } => {
+                write!(f, "snapshot rejected: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Options(e) => Some(e),
+            IndexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImError> for IndexError {
+    fn from(e: ImError) -> Self {
+        IndexError::Options(e)
+    }
+}
+
+impl From<std::io::Error> for IndexError {
+    fn from(e: std::io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = IndexError::MemoryBudget {
+            max_nodes: 1000,
+            in_use: 990,
+            wanted_sets: 4096,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("max_nodes=1000"), "{msg}");
+        assert!(msg.contains("4096"), "{msg}");
+        let e = IndexError::SnapshotMismatch {
+            reason: "fingerprint differs".into(),
+        };
+        assert!(e.to_string().contains("fingerprint"), "{e}");
+    }
+}

@@ -1,0 +1,467 @@
+//! The amortized RR-sketch index.
+
+use crate::error::IndexError;
+use crate::stats::{IndexCounters, QueryStats};
+use std::time::Instant;
+use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
+use subsim_core::pool::evaluate_pool;
+use subsim_core::ImOptions;
+use subsim_diffusion::parallel::par_generate_chunks;
+use subsim_diffusion::{RrCollection, RrSampler, RrStrategy};
+use subsim_graph::{Graph, NodeId};
+
+/// Stream separator between the two pool halves: `R₂`'s chunk seeds are
+/// derived from `seed ^ R2_STREAM` so the halves are independent samples.
+const R2_STREAM: u64 = 0xd2b7_4407_b1ce_6e93;
+
+/// Construction-time parameters of an [`RrIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexConfig {
+    /// RR-generation strategy the pool is sampled with.
+    pub strategy: RrStrategy,
+    /// Root of the deterministic chunk-seed stream.
+    pub seed: u64,
+    /// Worker threads for pool top-ups (pool *content* is independent of
+    /// this — only wall-clock changes).
+    pub threads: usize,
+    /// Sets per generation chunk. Pool sizes are always a whole number of
+    /// chunks, which is what makes the RNG cursor a single integer and
+    /// top-ups order-independent.
+    pub chunk_size: usize,
+    /// Cap on arena node entries across both pool halves; growth past it
+    /// fails with [`IndexError::MemoryBudget`] instead of eating all RAM.
+    pub max_nodes: Option<usize>,
+}
+
+impl IndexConfig {
+    /// Defaults: seed 0, single-threaded top-ups, 256-set chunks, no
+    /// memory budget.
+    pub fn new(strategy: RrStrategy) -> Self {
+        IndexConfig {
+            strategy,
+            seed: 0,
+            threads: 1,
+            chunk_size: 256,
+            max_nodes: None,
+        }
+    }
+
+    /// Sets the seed-stream root.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the top-up worker count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the chunk size.
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunks must hold at least one set");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Sets the node budget.
+    pub fn max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = Some(max_nodes);
+        self
+    }
+}
+
+/// Seeds plus the per-query record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// Selected seeds, in greedy pick order.
+    pub seeds: Vec<NodeId>,
+    /// What the query cost and certified.
+    pub stats: QueryStats,
+}
+
+/// A long-lived, incrementally grown pool of RR sets over one fixed
+/// `(graph, weights, strategy)` that answers repeated IM queries.
+///
+/// The pool holds two independent halves, exactly like OPIM-C's `R₁`/`R₂`:
+/// greedy selection and the Eq. 2 upper bound read `R₁`; the Eq. 1 lower
+/// bound reads `R₂`, which selection never touches. A query certifies
+/// against the *current* pool first and only generates more sets
+/// (doubling, up to Eq. 4's `θ_max`) when the certificate fails — so query
+/// 1 pays roughly an OPIM-C run, and subsequent queries at comparable
+/// `(k, ε)` reuse the warmed pool for near-free.
+///
+/// Growth is chunked and the chunk stream is deterministic (see
+/// [`subsim_diffusion::parallel::par_generate_chunks`]): the pool content
+/// is a pure function of `(seed, strategy, chunk_size, chunk count)`, so
+/// query order, thread count, and snapshot round-trips never change what
+/// any later query sees at a given pool size.
+///
+/// ```
+/// use subsim_index::{IndexConfig, RrIndex};
+/// use subsim_diffusion::RrStrategy;
+/// use subsim_graph::{generators, WeightModel};
+///
+/// let g = generators::star_graph(50, WeightModel::UniformIc { p: 0.5 });
+/// let mut index = RrIndex::new(&g, IndexConfig::new(RrStrategy::SubsimIc).seed(7));
+/// let first = index.query(1, 0.1, 0.01).unwrap();
+/// assert_eq!(first.seeds, vec![0]); // the hub dominates
+/// let second = index.query(1, 0.1, 0.01).unwrap();
+/// assert_eq!(second.stats.fresh_sets, 0); // fully served from the pool
+/// ```
+pub struct RrIndex<'g> {
+    pub(crate) g: &'g Graph,
+    pub(crate) config: IndexConfig,
+    pub(crate) sampler: RrSampler<'g>,
+    /// Selection half (greedy + Eq. 2).
+    pub(crate) r1: RrCollection,
+    /// Validation half (Eq. 1).
+    pub(crate) r2: RrCollection,
+    /// RNG cursor: complete chunks generated per half.
+    pub(crate) chunks: u64,
+    pub(crate) counters: IndexCounters,
+}
+
+impl<'g> RrIndex<'g> {
+    /// An empty index over `g`; the first query (or [`RrIndex::warm`])
+    /// populates the pool.
+    pub fn new(g: &'g Graph, config: IndexConfig) -> Self {
+        assert!(config.threads > 0, "need at least one worker");
+        assert!(config.chunk_size > 0, "chunks must hold at least one set");
+        RrIndex {
+            g,
+            config,
+            sampler: RrSampler::new(g, config.strategy),
+            r1: RrCollection::new(g.n()),
+            r2: RrCollection::new(g.n()),
+            chunks: 0,
+            counters: IndexCounters::default(),
+        }
+    }
+
+    /// Rebuilds an index from snapshot parts (pool halves must already be
+    /// validated against `g` and `chunks`).
+    pub(crate) fn from_parts(
+        g: &'g Graph,
+        config: IndexConfig,
+        r1: RrCollection,
+        r2: RrCollection,
+        chunks: u64,
+    ) -> Self {
+        RrIndex {
+            g,
+            config,
+            sampler: RrSampler::new(g, config.strategy),
+            r1,
+            r2,
+            chunks,
+            counters: IndexCounters::default(),
+        }
+    }
+
+    /// The indexed graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The construction-time configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Sets per pool half.
+    pub fn pool_len(&self) -> usize {
+        self.r1.len()
+    }
+
+    /// Arena node entries across both halves (what
+    /// [`IndexConfig::max_nodes`] caps).
+    pub fn total_nodes(&self) -> usize {
+        self.r1.total_nodes() + self.r2.total_nodes()
+    }
+
+    /// The RNG cursor: complete chunks generated per half.
+    pub fn chunk_cursor(&self) -> u64 {
+        self.chunks
+    }
+
+    /// The selection half `R₁` (read-only).
+    pub fn selection_pool(&self) -> &RrCollection {
+        &self.r1
+    }
+
+    /// The validation half `R₂` (read-only).
+    pub fn validation_pool(&self) -> &RrCollection {
+        &self.r2
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> &IndexCounters {
+        &self.counters
+    }
+
+    /// Changes the top-up worker count (pool content is unaffected).
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "need at least one worker");
+        self.config.threads = threads;
+    }
+
+    /// Changes or clears the node budget.
+    pub fn set_max_nodes(&mut self, max_nodes: Option<usize>) {
+        self.config.max_nodes = max_nodes;
+    }
+
+    /// Pre-grows the pool to at least `sets` per half (rounded up to a
+    /// whole number of chunks), e.g. to warm an index before serving.
+    pub fn warm(&mut self, sets: usize) -> Result<(), IndexError> {
+        self.ensure_pool(sets)?;
+        Ok(())
+    }
+
+    /// Answers one IM query: `k` seeds at accuracy `ε` and failure
+    /// probability `δ`, certified by the OPIM bounds over the pool.
+    ///
+    /// Runs greedy max-coverage + both bounds over the current pool; if
+    /// the certified ratio beats `1 - 1/e - ε` the pool is returned as-is,
+    /// otherwise the pool doubles (continuing the deterministic chunk
+    /// stream) and the round repeats, up to Eq. 4's `θ_max` cap — at which
+    /// point the guarantee holds by sample complexity, as in OPIM-C's
+    /// final iteration. Each round's bounds use `δ/(3·i_max)` exactly as
+    /// OPIM-C budgets its failure probability.
+    pub fn query(&mut self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, IndexError> {
+        let opts = ImOptions::new(k).epsilon(epsilon).delta(delta);
+        opts.validate(self.g)?;
+        let start = Instant::now();
+        let n = self.g.n();
+        let target = 1.0 - (-1.0f64).exp() - epsilon;
+        let theta_max = theta_max_opim(n, k, epsilon, delta);
+        let theta0 = theta_zero(delta);
+        let imax = i_max(theta_max, theta0);
+        let delta_iter = delta / (3.0 * imax as f64);
+
+        let pool_before = self.pool_len();
+        let mut fresh = self.ensure_pool(theta0 as usize)?;
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            let eval = evaluate_pool(&self.r1, &self.r2, k, delta_iter, delta_iter);
+            let certified = eval.ratio() > target;
+            if certified || self.pool_len() as f64 >= theta_max {
+                let elapsed = start.elapsed();
+                let stats = QueryStats {
+                    k,
+                    epsilon,
+                    delta,
+                    pool_before,
+                    pool_after: self.pool_len(),
+                    fresh_sets: fresh,
+                    rounds,
+                    lower_bound: eval.lower,
+                    upper_bound: eval.upper,
+                    target_ratio: target,
+                    certified_by_bounds: certified,
+                    elapsed,
+                };
+                self.counters.queries += 1;
+                if certified {
+                    self.counters.certified_queries += 1;
+                }
+                self.counters.sets_reused += stats.reused_sets() as u64;
+                self.counters.sets_consumed += 2 * stats.pool_after as u64;
+                self.counters.query_time += elapsed;
+                return Ok(QueryAnswer {
+                    seeds: eval.seeds,
+                    stats,
+                });
+            }
+            // len < theta_max here, so the target strictly grows the pool
+            // (ensure_pool additionally rounds up to a chunk boundary).
+            let next = self
+                .pool_len()
+                .saturating_mul(2)
+                .min(theta_max.ceil() as usize);
+            fresh += self.ensure_pool(next)?;
+        }
+    }
+
+    /// Grows both halves to at least `target_sets` each, continuing the
+    /// chunk stream. Returns the number of freshly generated sets (both
+    /// halves combined); `Ok(0)` if the pool was already large enough.
+    fn ensure_pool(&mut self, target_sets: usize) -> Result<usize, IndexError> {
+        let chunk = self.config.chunk_size;
+        let needed_chunks = (target_sets.div_ceil(chunk)) as u64;
+        if needed_chunks <= self.chunks {
+            return Ok(0);
+        }
+        let threads = self.config.threads;
+        // Budget is re-checked every `slice` chunks so a single huge
+        // top-up cannot blow past `max_nodes` unbounded.
+        let slice = (threads as u64) * 4;
+        let mut added = 0usize;
+        while self.chunks < needed_chunks {
+            if let Some(cap) = self.config.max_nodes {
+                let in_use = self.total_nodes();
+                if in_use >= cap {
+                    return Err(IndexError::MemoryBudget {
+                        max_nodes: cap,
+                        in_use,
+                        wanted_sets: needed_chunks as usize * chunk,
+                    });
+                }
+            }
+            let end = needed_chunks.min(self.chunks + slice);
+            let b1 = par_generate_chunks(
+                &self.sampler,
+                None,
+                self.chunks..end,
+                chunk,
+                threads,
+                self.config.seed,
+            );
+            let b2 = par_generate_chunks(
+                &self.sampler,
+                None,
+                self.chunks..end,
+                chunk,
+                threads,
+                self.config.seed ^ R2_STREAM,
+            );
+            self.counters.rr_sets_generated += (b1.rr.len() + b2.rr.len()) as u64;
+            self.counters.rr_nodes_generated += (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64;
+            self.counters.generation_cost += b1.cost + b2.cost;
+            added += b1.rr.len() + b2.rr.len();
+            self.r1.extend_from(&b1.rr);
+            self.r2.extend_from(&b2.rr);
+            self.chunks = end;
+        }
+        Ok(added)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::{barabasi_albert, star_graph};
+    use subsim_graph::WeightModel;
+
+    fn config() -> IndexConfig {
+        IndexConfig::new(RrStrategy::SubsimIc)
+            .seed(5)
+            .chunk_size(64)
+    }
+
+    #[test]
+    fn first_query_populates_then_reuses() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 1);
+        let mut index = RrIndex::new(&g, config());
+        let a = index.query(5, 0.1, 0.01).unwrap();
+        assert!(a.stats.fresh_sets > 0);
+        assert_eq!(a.stats.pool_before, 0);
+        assert!(a.stats.certified_by_bounds);
+        let b = index.query(5, 0.1, 0.01).unwrap();
+        assert_eq!(b.stats.fresh_sets, 0, "warm query regenerated sets");
+        assert_eq!(a.seeds, b.seeds, "same pool must give same seeds");
+        assert_eq!(index.counters().queries, 2);
+        assert!(index.counters().cache_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn star_hub_selected_first() {
+        let g = star_graph(50, WeightModel::UniformIc { p: 0.5 });
+        let mut index = RrIndex::new(&g, config());
+        let ans = index.query(1, 0.1, 0.02).unwrap();
+        assert_eq!(ans.seeds, vec![0]);
+        assert!(ans.stats.ratio() > ans.stats.target_ratio);
+    }
+
+    #[test]
+    fn pool_is_pure_function_of_size() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 2);
+        // Index A answers (k=2) then (k=8); index B answers (k=8) only.
+        let mut a = RrIndex::new(&g, config());
+        a.query(2, 0.1, 0.05).unwrap();
+        a.query(8, 0.1, 0.05).unwrap();
+        let mut b = RrIndex::new(&g, config());
+        b.query(8, 0.1, 0.05).unwrap();
+        // Equalize pool sizes, then the halves must be bit-identical.
+        let max = a.pool_len().max(b.pool_len());
+        a.warm(max).unwrap();
+        b.warm(max).unwrap();
+        assert_eq!(a.pool_len(), b.pool_len());
+        for i in 0..a.pool_len() {
+            assert_eq!(
+                a.selection_pool().get(i),
+                b.selection_pool().get(i),
+                "r1 set {i}"
+            );
+            assert_eq!(
+                a.validation_pool().get(i),
+                b.validation_pool().get(i),
+                "r2 set {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn halves_are_distinct_streams() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 3);
+        let mut index = RrIndex::new(&g, config());
+        index.warm(500).unwrap();
+        let differs = (0..index.pool_len())
+            .any(|i| index.selection_pool().get(i) != index.validation_pool().get(i));
+        assert!(differs, "R1 and R2 must not be the same sample");
+    }
+
+    #[test]
+    fn memory_budget_errors_instead_of_growing() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 4);
+        let mut index = RrIndex::new(&g, config().max_nodes(200));
+        // Tiny budget: the first top-up slice lands over it, the next
+        // request must refuse.
+        let err = index.query(10, 0.05, 0.001).unwrap_err();
+        match err {
+            IndexError::MemoryBudget {
+                max_nodes, in_use, ..
+            } => {
+                assert_eq!(max_nodes, 200);
+                assert!(in_use >= 200);
+            }
+            other => panic!("expected MemoryBudget, got {other:?}"),
+        }
+        // The index remains usable: lift the budget and retry.
+        index.set_max_nodes(None);
+        let ans = index.query(10, 0.1, 0.01).unwrap();
+        assert_eq!(ans.seeds.len(), 10);
+    }
+
+    #[test]
+    fn rejects_invalid_queries() {
+        let g = star_graph(10, WeightModel::Wc);
+        let mut index = RrIndex::new(&g, config());
+        assert!(matches!(
+            index.query(0, 0.1, 0.01),
+            Err(IndexError::Options(_))
+        ));
+        assert!(matches!(
+            index.query(2, 0.9, 0.01),
+            Err(IndexError::Options(_))
+        ));
+        assert!(matches!(
+            index.query(2, 0.1, 1.5),
+            Err(IndexError::Options(_))
+        ));
+    }
+
+    #[test]
+    fn warm_rounds_to_chunks() {
+        let g = barabasi_albert(100, 3, WeightModel::Wc, 6);
+        let mut index = RrIndex::new(&g, config());
+        index.warm(100).unwrap();
+        assert_eq!(index.pool_len(), 128); // 2 chunks of 64
+        assert_eq!(index.chunk_cursor(), 2);
+        index.warm(50).unwrap(); // no shrink, no growth
+        assert_eq!(index.pool_len(), 128);
+    }
+}

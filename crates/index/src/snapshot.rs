@@ -1,0 +1,282 @@
+//! Versioned snapshot persistence for [`RrIndex`].
+//!
+//! Layout (little-endian), a header over two standard RR-collection blobs
+//! (the `SUBSIMRR` format of `subsim_diffusion::serialize`):
+//!
+//! ```text
+//! magic "SUBSIMIX" | version u32
+//! graph fingerprint u64 | strategy u8 | seed u64
+//! chunk_size u64 | chunks u64
+//! r1: blob_len u64 | SUBSIMRR bytes
+//! r2: blob_len u64 | SUBSIMRR bytes
+//! ```
+//!
+//! Loading re-fingerprints the *provided* graph and refuses a snapshot
+//! whose fingerprint, strategy stream, or internal set counts disagree —
+//! a warmed pool is only sound against the exact graph and RNG stream
+//! that produced it.
+
+use crate::error::IndexError;
+use crate::fingerprint::graph_fingerprint;
+use crate::index::{IndexConfig, RrIndex};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use subsim_diffusion::serialize::{read_rr_collection, write_rr_collection};
+use subsim_diffusion::RrStrategy;
+use subsim_graph::Graph;
+
+const MAGIC: &[u8; 8] = b"SUBSIMIX";
+const VERSION: u32 = 1;
+
+fn strategy_code(s: RrStrategy) -> u8 {
+    match s {
+        RrStrategy::VanillaIc => 0,
+        RrStrategy::SubsimIc => 1,
+        RrStrategy::SubsimBucketIc => 2,
+        RrStrategy::Lt => 3,
+    }
+}
+
+fn strategy_from_code(code: u8) -> Option<RrStrategy> {
+    match code {
+        0 => Some(RrStrategy::VanillaIc),
+        1 => Some(RrStrategy::SubsimIc),
+        2 => Some(RrStrategy::SubsimBucketIc),
+        3 => Some(RrStrategy::Lt),
+        _ => None,
+    }
+}
+
+fn mismatch(reason: impl Into<String>) -> IndexError {
+    IndexError::SnapshotMismatch {
+        reason: reason.into(),
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes `index`'s pool and RNG cursor to `w`.
+pub fn write_index<W: Write>(index: &RrIndex<'_>, w: W) -> Result<(), IndexError> {
+    let mut w = io::BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&graph_fingerprint(index.graph()).to_le_bytes())?;
+    w.write_all(&[strategy_code(index.config().strategy)])?;
+    w.write_all(&index.config().seed.to_le_bytes())?;
+    w.write_all(&(index.config().chunk_size as u64).to_le_bytes())?;
+    w.write_all(&index.chunk_cursor().to_le_bytes())?;
+    for rr in [index.selection_pool(), index.validation_pool()] {
+        let mut blob = Vec::new();
+        write_rr_collection(rr, &mut blob)?;
+        w.write_all(&(blob.len() as u64).to_le_bytes())?;
+        w.write_all(&blob)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an index previously written by [`write_index`], re-binding it to
+/// `g` after verifying the fingerprint.
+///
+/// The restored config carries the snapshot's `strategy`, `seed`, and
+/// `chunk_size` (they define the pool's identity); `threads` resets to 1
+/// and `max_nodes` to unlimited — adjust via [`RrIndex::set_threads`] /
+/// [`RrIndex::set_max_nodes`]. Counters restart at zero.
+pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexError> {
+    let mut r = io::BufReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(mismatch("not a subsim-index snapshot"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(mismatch(format!("unsupported snapshot version {version}")));
+    }
+    let fingerprint = read_u64(&mut r)?;
+    let expected = graph_fingerprint(g);
+    if fingerprint != expected {
+        return Err(mismatch(format!(
+            "graph fingerprint {fingerprint:#018x} does not match the \
+             provided graph ({expected:#018x}) — wrong graph or weights"
+        )));
+    }
+    let mut code = [0u8; 1];
+    r.read_exact(&mut code)?;
+    let strategy = strategy_from_code(code[0])
+        .ok_or_else(|| mismatch(format!("unknown RR strategy code {}", code[0])))?;
+    let seed = read_u64(&mut r)?;
+    let chunk_size = read_u64(&mut r)? as usize;
+    if chunk_size == 0 {
+        return Err(mismatch("zero chunk size"));
+    }
+    let chunks = read_u64(&mut r)?;
+    let expected_sets = chunks
+        .checked_mul(chunk_size as u64)
+        .ok_or_else(|| mismatch("set count overflows"))?;
+
+    let mut halves = Vec::with_capacity(2);
+    for half in ["r1", "r2"] {
+        let blob_len = read_u64(&mut r)?;
+        // Growing lazily via `take` + `read_to_end` means a corrupt length
+        // errors after reading only what actually exists (cf. serialize.rs).
+        let mut blob = Vec::new();
+        r.by_ref().take(blob_len).read_to_end(&mut blob)?;
+        if blob.len() as u64 != blob_len {
+            return Err(mismatch(format!("truncated {half} blob")));
+        }
+        let rr = read_rr_collection(blob.as_slice())?;
+        if rr.graph_n() != g.n() {
+            return Err(mismatch(format!(
+                "{half} stores sets over {} nodes, graph has {}",
+                rr.graph_n(),
+                g.n()
+            )));
+        }
+        if rr.len() as u64 != expected_sets {
+            return Err(mismatch(format!(
+                "{half} holds {} sets, RNG cursor implies {expected_sets}",
+                rr.len()
+            )));
+        }
+        halves.push(rr);
+    }
+    let r2 = halves.pop().expect("two halves read");
+    let r1 = halves.pop().expect("two halves read");
+
+    let config = IndexConfig {
+        strategy,
+        seed,
+        threads: 1,
+        chunk_size,
+        max_nodes: None,
+    };
+    Ok(RrIndex::from_parts(g, config, r1, r2, chunks))
+}
+
+impl<'g> RrIndex<'g> {
+    /// Writes the pool + RNG cursor to `w` ([`write_index`]).
+    pub fn save<W: Write>(&self, w: W) -> Result<(), IndexError> {
+        write_index(self, w)
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> Result<(), IndexError> {
+        self.save(File::create(path)?)
+    }
+
+    /// Reads a snapshot from `r`, bound to `g` ([`read_index`]).
+    pub fn load<R: Read>(g: &'g Graph, r: R) -> Result<Self, IndexError> {
+        read_index(g, r)
+    }
+
+    /// Reads a snapshot from a file.
+    pub fn load_from_path<P: AsRef<Path>>(g: &'g Graph, path: P) -> Result<Self, IndexError> {
+        Self::load(g, File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::barabasi_albert;
+    use subsim_graph::WeightModel;
+
+    fn warmed_index(g: &Graph) -> RrIndex<'_> {
+        let mut index = RrIndex::new(
+            g,
+            IndexConfig::new(RrStrategy::SubsimIc)
+                .seed(9)
+                .chunk_size(32),
+        );
+        index.warm(200).unwrap();
+        index
+    }
+
+    #[test]
+    fn roundtrip_preserves_pool_and_cursor() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 41);
+        let index = warmed_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let back = RrIndex::load(&g, buf.as_slice()).unwrap();
+        assert_eq!(back.pool_len(), index.pool_len());
+        assert_eq!(back.chunk_cursor(), index.chunk_cursor());
+        assert_eq!(back.config().seed, 9);
+        assert_eq!(back.config().chunk_size, 32);
+        for i in 0..index.pool_len() {
+            assert_eq!(back.selection_pool().get(i), index.selection_pool().get(i));
+            assert_eq!(
+                back.validation_pool().get(i),
+                index.validation_pool().get(i)
+            );
+        }
+    }
+
+    #[test]
+    fn loaded_index_continues_the_same_stream() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 42);
+        let mut fresh = warmed_index(&g);
+        let mut buf = Vec::new();
+        fresh.save(&mut buf).unwrap();
+        let mut loaded = RrIndex::load(&g, buf.as_slice()).unwrap();
+        // Growing both must produce identical continuations.
+        fresh.warm(500).unwrap();
+        loaded.warm(500).unwrap();
+        assert_eq!(fresh.pool_len(), loaded.pool_len());
+        for i in 0..fresh.pool_len() {
+            assert_eq!(
+                fresh.selection_pool().get(i),
+                loaded.selection_pool().get(i)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_graph() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 43);
+        let index = warmed_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let other = barabasi_albert(150, 3, WeightModel::Wc, 44);
+        let err = RrIndex::load(&other, buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, IndexError::SnapshotMismatch { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn rejects_corrupt_bytes() {
+        let g = barabasi_albert(120, 3, WeightModel::Wc, 45);
+        let index = warmed_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(RrIndex::load(&g, bad.as_slice()).is_err());
+        // Truncation at every quarter.
+        for cut in [buf.len() / 4, buf.len() / 2, buf.len() - 3] {
+            let mut bad = buf.clone();
+            bad.truncate(cut);
+            assert!(RrIndex::load(&g, bad.as_slice()).is_err(), "cut at {cut}");
+        }
+        // Corrupt strategy code (byte 20: after magic + version + fingerprint).
+        let mut bad = buf.clone();
+        bad[20] = 0x7f;
+        assert!(RrIndex::load(&g, bad.as_slice()).is_err());
+    }
+}

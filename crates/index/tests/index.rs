@@ -1,0 +1,154 @@
+//! Integration properties of the RR-sketch index: query answers must be
+//! exactly reproducible from the pool the index exposes, pool growth must
+//! be order-independent, and snapshots must round-trip or be refused.
+
+use proptest::prelude::*;
+use subsim_core::bounds::{i_max, opim_lower_bound, theta_max_opim, theta_zero};
+use subsim_core::coverage::{greedy_max_coverage, GreedyConfig};
+use subsim_diffusion::RrStrategy;
+use subsim_graph::generators::barabasi_albert;
+use subsim_graph::WeightModel;
+use subsim_index::{graph_fingerprint, IndexConfig, IndexError, RrIndex};
+
+/// Loose accuracy keeps pools small enough for proptest throughput.
+const DELTA: f64 = 0.1;
+
+fn config(seed: u64) -> IndexConfig {
+    IndexConfig::new(RrStrategy::SubsimIc)
+        .seed(seed)
+        .chunk_size(64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A query's certificate is not opaque: rebuilding the per-round δ
+    /// budget from `(k, ε, δ)` and re-running greedy + the Eq. 1 bound
+    /// over the exposed pool halves reproduces the reported seeds and
+    /// lower bound exactly.
+    #[test]
+    fn query_lower_bound_is_recomputable_from_the_pool(
+        n in 60usize..200,
+        k in 1usize..8,
+        eps in 0.25f64..0.45,
+        seed in 0u64..1000,
+    ) {
+        let g = barabasi_albert(n, 3, WeightModel::Wc, seed);
+        let mut index = RrIndex::new(&g, config(seed ^ 0xabc));
+        let ans = index.query(k, eps, DELTA).unwrap();
+
+        // The same δ budget the query used, rebuilt from first principles.
+        let theta_max = theta_max_opim(g.n(), k, eps, DELTA);
+        let delta_iter = DELTA / (3.0 * i_max(theta_max, theta_zero(DELTA)) as f64);
+
+        let direct = greedy_max_coverage(index.selection_pool(), &GreedyConfig::standard(k));
+        prop_assert_eq!(&direct.seeds, &ans.seeds, "greedy over R1 must reproduce the answer");
+
+        let cov = index.validation_pool().coverage_of(&ans.seeds);
+        let lb = opim_lower_bound(cov as f64, index.pool_len() as u64, g.n(), delta_iter);
+        prop_assert_eq!(lb, ans.stats.lower_bound);
+        prop_assert!(ans.stats.lower_bound <= ans.stats.upper_bound + 1e-9);
+        if ans.stats.certified_by_bounds {
+            prop_assert!(ans.stats.ratio() > ans.stats.target_ratio);
+        }
+    }
+
+    /// Query order never changes the pool: any two query sequences that
+    /// end at the same pool size hold bit-identical RR sets, so a repeated
+    /// query returns the same seeds no matter what ran in between.
+    #[test]
+    fn topup_ordering_is_deterministic(
+        n in 60usize..160,
+        k1 in 1usize..6,
+        k2 in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let g = barabasi_albert(n, 3, WeightModel::Wc, seed);
+        let mut a = RrIndex::new(&g, config(seed));
+        let mut b = RrIndex::new(&g, config(seed));
+        a.query(k1, 0.3, DELTA).unwrap();
+        a.query(k2, 0.3, DELTA).unwrap();
+        b.query(k2, 0.3, DELTA).unwrap();
+        let target = a.pool_len().max(b.pool_len());
+        a.warm(target).unwrap();
+        b.warm(target).unwrap();
+        prop_assert_eq!(a.pool_len(), b.pool_len());
+        for i in 0..a.pool_len() {
+            prop_assert_eq!(a.selection_pool().get(i), b.selection_pool().get(i));
+            prop_assert_eq!(a.validation_pool().get(i), b.validation_pool().get(i));
+        }
+        let ans_a = a.query(k2, 0.3, DELTA).unwrap();
+        let ans_b = b.query(k2, 0.3, DELTA).unwrap();
+        prop_assert_eq!(ans_a.seeds, ans_b.seeds);
+    }
+
+    /// save → load → query answers exactly like the index that never
+    /// left memory.
+    #[test]
+    fn snapshot_roundtrip_reproduces_answers(
+        n in 60usize..160,
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let g = barabasi_albert(n, 3, WeightModel::Wc, seed);
+        let mut original = RrIndex::new(&g, config(seed ^ 0x51a));
+        let before = original.query(k, 0.3, DELTA).unwrap();
+
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        let mut restored = RrIndex::load(&g, buf.as_slice()).unwrap();
+        prop_assert_eq!(restored.pool_len(), original.pool_len());
+
+        let after = restored.query(k, 0.3, DELTA).unwrap();
+        prop_assert_eq!(&after.seeds, &before.seeds);
+        prop_assert_eq!(after.stats.fresh_sets, 0, "warm snapshot must not regenerate");
+        prop_assert_eq!(after.stats.lower_bound, before.stats.lower_bound);
+        prop_assert_eq!(after.stats.upper_bound, before.stats.upper_bound);
+    }
+
+    /// Any strict truncation of a snapshot is rejected with an error —
+    /// never a panic, never a silently shorter pool.
+    #[test]
+    fn truncated_snapshots_are_rejected(
+        cut_fraction in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let g = barabasi_albert(80, 3, WeightModel::Wc, seed);
+        let mut index = RrIndex::new(&g, config(seed));
+        index.warm(150).unwrap();
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let cut = ((buf.len() - 1) as f64 * cut_fraction) as usize;
+        buf.truncate(cut);
+        prop_assert!(RrIndex::load(&g, buf.as_slice()).is_err(), "cut at {}", cut);
+    }
+}
+
+#[test]
+fn snapshot_refuses_mismatched_graph_and_reports_fingerprint() {
+    let g = barabasi_albert(100, 3, WeightModel::Wc, 7);
+    let mut index = RrIndex::new(&g, config(7));
+    index.warm(200).unwrap();
+    let mut buf = Vec::new();
+    index.save(&mut buf).unwrap();
+
+    // Same node count, different edges: only the fingerprint can tell.
+    let other = barabasi_albert(100, 3, WeightModel::Wc, 8);
+    assert_ne!(graph_fingerprint(&g), graph_fingerprint(&other));
+    let err = RrIndex::load(&other, buf.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, IndexError::SnapshotMismatch { .. }),
+        "{err:?}"
+    );
+
+    // Same edges, different weight model: also refused.
+    let reweighted = barabasi_albert(100, 3, WeightModel::UniformIc { p: 0.05 }, 7);
+    let err = RrIndex::load(&reweighted, buf.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, IndexError::SnapshotMismatch { .. }),
+        "{err:?}"
+    );
+
+    // The right graph still loads.
+    assert!(RrIndex::load(&g, buf.as_slice()).is_ok());
+}

@@ -276,7 +276,11 @@ impl BucketSubsetSampler {
                 ((-p.log2()).floor() as usize).min(levels)
             };
             // Guard float edge: ensure rate >= p for the chosen class bucket.
-            let k = if buckets[k].rate < p && k > 0 { k - 1 } else { k };
+            let k = if buckets[k].rate < p && k > 0 {
+                k - 1
+            } else {
+                k
+            };
             buckets[k].members.push(i as u32);
             buckets[k].probs.push(p);
         }
@@ -525,7 +529,12 @@ mod tests {
             BucketJumpSampler::new(&probs).sample_into(rng, visit)
         });
         for i in 0..64 {
-            assert!((a[i] - b[i]).abs() < 0.015, "element {i}: {} vs {}", a[i], b[i]);
+            assert!(
+                (a[i] - b[i]).abs() < 0.015,
+                "element {i}: {} vs {}",
+                a[i],
+                b[i]
+            );
         }
     }
 

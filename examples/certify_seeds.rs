@@ -39,8 +39,8 @@ fn main() {
         ("random", &random_seeds),
         ("HIST+SUBSIM", &hist_seeds),
     ] {
-        let cert = certify_seed_set(&g, seeds, RrStrategy::SubsimIc, 200_000, &opts)
-            .expect("valid seeds");
+        let cert =
+            certify_seed_set(&g, seeds, RrStrategy::SubsimIc, 200_000, &opts).expect("valid seeds");
         println!(
             "{:<18} {:>12.0} {:>12.0} {:>14.0} {:>9.1}%",
             label,

@@ -32,8 +32,10 @@ fn main() {
         result.stats.elapsed,
     );
     if let Some(ratio) = result.stats.certified_ratio() {
-        println!("certified approximation ratio: {ratio:.3} (target {:.3})",
-            1.0 - (-1.0f64).exp() - opts.epsilon);
+        println!(
+            "certified approximation ratio: {ratio:.3} (target {:.3})",
+            1.0 - (-1.0f64).exp() - opts.epsilon
+        );
     }
 
     // Ground-truth the expected influence with forward Monte-Carlo.

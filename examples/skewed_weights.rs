@@ -11,8 +11,8 @@
 //! ```
 
 use std::time::Instant;
-use subsim::prelude::*;
 use subsim::diffusion::{RrContext, RrSampler, RrStrategy};
+use subsim::prelude::*;
 use subsim::sampling::rng_from_seed;
 
 fn main() {
@@ -27,7 +27,10 @@ fn main() {
             g.n(),
             g.m()
         );
-        println!("{:<22} {:>10} {:>14} {:>10}", "strategy", "time", "edges examined", "speedup");
+        println!(
+            "{:<22} {:>10} {:>14} {:>10}",
+            "strategy", "time", "edges examined", "speedup"
+        );
         let mut vanilla_time = None;
         for (name, strategy) in [
             ("vanilla (Alg 2)", RrStrategy::VanillaIc),

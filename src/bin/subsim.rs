@@ -3,16 +3,28 @@
 //! ```text
 //! subsim --graph edges.txt --k 50 [--algorithm hist] [--model wc]
 //!        [--epsilon 0.1] [--seed 0] [--undirected] [--evaluate 10000]
+//!        [--rr-out sets.rr | --rr-in sets.rr]
+//! subsim query-server --graph edges.txt [--index-file warm.idx] [...]
 //! ```
 //!
 //! The graph file holds one `u v` (or `u v p`) pair per line; `#`/`%`
 //! comment lines are ignored. With a third column the explicit per-edge
 //! probabilities are used and `--model` is ignored.
+//!
+//! `query-server` keeps an [`RrIndex`] alive and answers `k [epsilon]`
+//! queries from stdin, one per line: seeds go to stdout (one
+//! space-separated line per query), per-query stats to stderr. With
+//! `--index-file` the warmed pool is loaded at startup (if the file
+//! exists) and saved back at EOF, so the pool survives restarts.
 
+use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
+use subsim::core::coverage::{greedy_max_coverage, GreedyConfig};
+use subsim::diffusion::serialize::{read_rr_collection, write_rr_collection};
+use subsim::diffusion::{mc_influence, par_generate, CascadeModel};
 use subsim::prelude::*;
-use subsim::diffusion::{mc_influence, CascadeModel};
 use subsim_graph::io::read_edge_list_file;
+use subsim_graph::Graph;
 
 struct Args {
     graph: String,
@@ -25,6 +37,23 @@ struct Args {
     seed: u64,
     undirected: bool,
     evaluate: usize,
+    rr_out: Option<String>,
+    rr_in: Option<String>,
+    rr_count: usize,
+}
+
+struct ServerArgs {
+    graph: String,
+    model: String,
+    theta: f64,
+    p: f64,
+    seed: u64,
+    delta: f64,
+    threads: usize,
+    undirected: bool,
+    index_file: Option<String>,
+    warm: usize,
+    max_nodes: Option<usize>,
 }
 
 fn usage() -> &'static str {
@@ -36,10 +65,23 @@ fn usage() -> &'static str {
      \t[--epsilon <f64>]    accuracy (default 0.1)\n\
      \t[--seed <u64>]       RNG seed (default 0)\n\
      \t[--undirected]       treat edges as undirected\n\
-     \t[--evaluate <runs>]  forward-MC influence estimate of the result"
+     \t[--evaluate <runs>]  forward-MC influence estimate of the result\n\
+     \t[--rr-out <file>]    generate RR sets, save them, greedy-select k (skips the IM run)\n\
+     \t[--rr-count <n>]     how many RR sets --rr-out generates (default 50000)\n\
+     \t[--rr-in <file>]     load saved RR sets and greedy-select k (skips the IM run)\n\
+     \n\
+     usage: subsim query-server --graph <edge-list>\n\
+     \t[--model ...] [--theta ...] [--p ...] [--undirected] as above\n\
+     \t[--seed <u64>]       RNG seed for the pool's chunk stream (default 0)\n\
+     \t[--delta <f64>]      per-query failure probability (default 0.01)\n\
+     \t[--threads <n>]      pool top-up workers (default 1)\n\
+     \t[--index-file <f>]   load the pool from <f> if present, save it back at EOF\n\
+     \t[--warm <sets>]      pre-grow the pool before serving\n\
+     \t[--max-nodes <n>]    refuse pool growth past n arena node entries\n\
+     then one query per stdin line: `k [epsilon]` (epsilon defaults to 0.1)"
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         graph: String::new(),
         k: 0,
@@ -51,26 +93,41 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         undirected: false,
         evaluate: 0,
+        rr_out: None,
+        rr_in: None,
+        rr_count: 50_000,
     };
-    let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--graph" => args.graph = val("--graph")?,
             "--k" => args.k = val("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--algorithm" => args.algorithm = val("--algorithm")?,
             "--model" => args.model = val("--model")?,
-            "--theta" => args.theta = val("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?,
+            "--theta" => {
+                args.theta = val("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?
+            }
             "--p" => args.p = val("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
             "--epsilon" => {
-                args.epsilon = val("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?
+                args.epsilon = val("--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
             }
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--undirected" => args.undirected = true,
             "--evaluate" => {
-                args.evaluate = val("--evaluate")?.parse().map_err(|e| format!("--evaluate: {e}"))?
+                args.evaluate = val("--evaluate")?
+                    .parse()
+                    .map_err(|e| format!("--evaluate: {e}"))?
+            }
+            "--rr-out" => args.rr_out = Some(val("--rr-out")?),
+            "--rr-in" => args.rr_in = Some(val("--rr-in")?),
+            "--rr-count" => {
+                args.rr_count = val("--rr-count")?
+                    .parse()
+                    .map_err(|e| format!("--rr-count: {e}"))?
             }
             "--help" | "-h" => return Err(usage().into()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
@@ -79,11 +136,124 @@ fn parse_args() -> Result<Args, String> {
     if args.graph.is_empty() || args.k == 0 {
         return Err(format!("--graph and --k are required\n{}", usage()));
     }
+    if args.rr_out.is_some() && args.rr_in.is_some() {
+        return Err("--rr-out and --rr-in are mutually exclusive".into());
+    }
+    if args.rr_count == 0 {
+        return Err("--rr-count must be positive".into());
+    }
     Ok(args)
 }
 
+fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs, String> {
+    let mut args = ServerArgs {
+        graph: String::new(),
+        model: "wc".into(),
+        theta: 4.0,
+        p: 0.01,
+        seed: 0,
+        delta: 0.01,
+        threads: 1,
+        undirected: false,
+        index_file: None,
+        warm: 0,
+        max_nodes: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--graph" => args.graph = val("--graph")?,
+            "--model" => args.model = val("--model")?,
+            "--theta" => {
+                args.theta = val("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?
+            }
+            "--p" => args.p = val("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--delta" => {
+                args.delta = val("--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?
+            }
+            "--threads" => {
+                args.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--undirected" => args.undirected = true,
+            "--index-file" => args.index_file = Some(val("--index-file")?),
+            "--warm" => args.warm = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
+            "--max-nodes" => {
+                args.max_nodes = Some(
+                    val("--max-nodes")?
+                        .parse()
+                        .map_err(|e| format!("--max-nodes: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(usage().into()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if args.graph.is_empty() {
+        return Err(format!("--graph is required\n{}", usage()));
+    }
+    if args.threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    Ok(args)
+}
+
+fn parse_model(model: &str, theta: f64, p: f64) -> Result<WeightModel, String> {
+    Ok(match model {
+        "wc" => WeightModel::Wc,
+        "wc-variant" => WeightModel::WcVariant { theta },
+        "uniform" => WeightModel::UniformIc { p },
+        "exponential" => WeightModel::Exponential { lambda: 1.0 },
+        "weibull" => WeightModel::Weibull,
+        "trivalency" => WeightModel::Trivalency,
+        "lt" => WeightModel::Lt,
+        other => return Err(format!("unknown model {other}")),
+    })
+}
+
+fn load_graph(path: &str, model: WeightModel, undirected: bool) -> Result<Graph, String> {
+    let el = read_edge_list_file(path).map_err(|e| format!("reading graph: {e}"))?;
+    if undirected && el.probs.is_some() {
+        return Err(
+            "--undirected cannot be combined with a weighted edge list; \
+             list both directions explicitly instead"
+                .into(),
+        );
+    }
+    let g = if undirected && el.probs.is_none() {
+        GraphBuilder::new(el.n)
+            .edges(el.edges.clone())
+            .undirected(true)
+            .weights(model)
+            .build()
+            .map_err(|e| format!("building graph: {e}"))?
+    } else {
+        el.into_graph(model)
+            .map_err(|e| format!("building graph: {e}"))?
+    };
+    eprintln!(
+        "graph: {} nodes, {} edges ({})",
+        g.n(),
+        g.m(),
+        GraphStats::compute(&g)
+    );
+    Ok(g)
+}
+
 fn main() -> ExitCode {
-    match run() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = if argv.first().map(String::as_str) == Some("query-server") {
+        parse_server_args(argv.into_iter().skip(1)).and_then(run_server)
+    } else {
+        parse_args(argv.into_iter()).and_then(run)
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");
@@ -92,45 +262,43 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-
-    let model = match args.model.as_str() {
-        "wc" => WeightModel::Wc,
-        "wc-variant" => WeightModel::WcVariant { theta: args.theta },
-        "uniform" => WeightModel::UniformIc { p: args.p },
-        "exponential" => WeightModel::Exponential { lambda: 1.0 },
-        "weibull" => WeightModel::Weibull,
-        "trivalency" => WeightModel::Trivalency,
-        "lt" => WeightModel::Lt,
-        other => return Err(format!("unknown model {other}")),
-    };
+fn run(args: Args) -> Result<(), String> {
+    let model = parse_model(&args.model, args.theta, args.p)?;
     let lt = args.model == "lt";
+    let g = load_graph(&args.graph, model, args.undirected)?;
 
-    let el = read_edge_list_file(&args.graph).map_err(|e| format!("reading graph: {e}"))?;
-    if args.undirected && el.probs.is_some() {
-        return Err(
-            "--undirected cannot be combined with a weighted edge list; \
-             list both directions explicitly instead"
-                .into(),
+    // RR-collection round-trip modes bypass the IM algorithms entirely:
+    // both just greedy-select over a materialized pool.
+    if let Some(path) = &args.rr_out {
+        let strategy = if lt {
+            RrStrategy::Lt
+        } else {
+            RrStrategy::SubsimIc
+        };
+        let sampler = RrSampler::new(&g, strategy);
+        let batch = par_generate(&sampler, None, args.rr_count, 1, args.seed);
+        let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        write_rr_collection(&batch.rr, file).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} RR sets ({} node entries) to {path}",
+            batch.rr.len(),
+            batch.rr.total_nodes()
         );
+        return greedy_over(&batch.rr, args.k, args.evaluate, &g, lt, args.seed);
     }
-    let g = if args.undirected && el.probs.is_none() {
-        GraphBuilder::new(el.n)
-            .edges(el.edges.clone())
-            .undirected(true)
-            .weights(model)
-            .build()
-            .map_err(|e| format!("building graph: {e}"))?
-    } else {
-        el.into_graph(model).map_err(|e| format!("building graph: {e}"))?
-    };
-    eprintln!(
-        "graph: {} nodes, {} edges ({})",
-        g.n(),
-        g.m(),
-        GraphStats::compute(&g)
-    );
+    if let Some(path) = &args.rr_in {
+        let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        let rr = read_rr_collection(file).map_err(|e| format!("reading {path}: {e}"))?;
+        if rr.graph_n() != g.n() {
+            return Err(format!(
+                "{path} stores RR sets over {} nodes but the graph has {}",
+                rr.graph_n(),
+                g.n()
+            ));
+        }
+        eprintln!("loaded {} RR sets from {path}", rr.len());
+        return greedy_over(&rr, args.k, args.evaluate, &g, lt, args.seed);
+    }
 
     let alg: Box<dyn ImAlgorithm> = match (args.algorithm.as_str(), lt) {
         ("mc", false) => Box::new(McGreedy::ic(10_000)),
@@ -164,13 +332,159 @@ fn run() -> Result<(), String> {
     for &s in &result.seeds {
         println!("{s}");
     }
-    if args.evaluate > 0 {
-        let cascade = if lt { CascadeModel::Lt } else { CascadeModel::Ic };
-        let inf = mc_influence(&g, &result.seeds, cascade, args.evaluate, args.seed ^ 1);
+    evaluate_seeds(&g, &result.seeds, lt, args.evaluate, args.seed);
+    Ok(())
+}
+
+/// Greedy-selects `k` seeds from `rr` and prints them (the `--rr-out` /
+/// `--rr-in` paths).
+fn greedy_over(
+    rr: &RrCollection,
+    k: usize,
+    evaluate: usize,
+    g: &Graph,
+    lt: bool,
+    seed: u64,
+) -> Result<(), String> {
+    if rr.is_empty() {
+        return Err("the RR collection is empty".into());
+    }
+    let out = greedy_max_coverage(rr, &GreedyConfig::standard(k));
+    eprintln!(
+        "greedy over {} sets: coverage {} ({:.1}% of sets)",
+        rr.len(),
+        out.coverage(),
+        100.0 * out.coverage() as f64 / rr.len() as f64
+    );
+    for &s in &out.seeds {
+        println!("{s}");
+    }
+    evaluate_seeds(g, &out.seeds, lt, evaluate, seed);
+    Ok(())
+}
+
+fn evaluate_seeds(g: &Graph, seeds: &[NodeId], lt: bool, runs: usize, seed: u64) {
+    if runs > 0 {
+        let cascade = if lt {
+            CascadeModel::Lt
+        } else {
+            CascadeModel::Ic
+        };
+        let inf = mc_influence(g, seeds, cascade, runs, seed ^ 1);
         eprintln!(
             "estimated influence: {inf:.1} nodes ({:.2}% of graph)",
             100.0 * inf / g.n() as f64
         );
+    }
+}
+
+fn run_server(args: ServerArgs) -> Result<(), String> {
+    let model = parse_model(&args.model, args.theta, args.p)?;
+    let lt = args.model == "lt";
+    let g = load_graph(&args.graph, model, args.undirected)?;
+    let strategy = if lt {
+        RrStrategy::Lt
+    } else {
+        RrStrategy::SubsimIc
+    };
+
+    let mut config = IndexConfig::new(strategy)
+        .seed(args.seed)
+        .threads(args.threads);
+    if let Some(cap) = args.max_nodes {
+        config = config.max_nodes(cap);
+    }
+    let mut index = match &args.index_file {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let mut loaded =
+                RrIndex::load_from_path(&g, path).map_err(|e| format!("loading {path}: {e}"))?;
+            eprintln!(
+                "index: loaded {} sets/half from {path} (cursor {})",
+                loaded.pool_len(),
+                loaded.chunk_cursor()
+            );
+            loaded.set_threads(args.threads);
+            loaded.set_max_nodes(args.max_nodes);
+            loaded
+        }
+        _ => RrIndex::new(&g, config),
+    };
+    if args.warm > 0 {
+        index.warm(args.warm).map_err(|e| e.to_string())?;
+        eprintln!("index: warmed to {} sets/half", index.pool_len());
+    }
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let k: usize = match tokens.next().unwrap().parse() {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("bad query {line:?}: k: {e}");
+                continue;
+            }
+        };
+        let epsilon = match tokens.next() {
+            None => 0.1,
+            Some(tok) => match tok.parse::<f64>() {
+                Ok(eps) => eps,
+                Err(e) => {
+                    eprintln!("bad query {line:?}: epsilon: {e}");
+                    continue;
+                }
+            },
+        };
+        match index.query(k, epsilon, args.delta) {
+            Ok(ans) => {
+                let seeds: Vec<String> = ans.seeds.iter().map(|s| s.to_string()).collect();
+                writeln!(stdout, "{}", seeds.join(" ")).map_err(|e| e.to_string())?;
+                stdout.flush().map_err(|e| e.to_string())?;
+                let s = &ans.stats;
+                eprintln!(
+                    "query k={} eps={}: pool {}→{} sets/half ({} fresh, {} reused), \
+                     {} rounds, ratio {:.4}{}, {:?}",
+                    s.k,
+                    s.epsilon,
+                    s.pool_before,
+                    s.pool_after,
+                    s.fresh_sets,
+                    s.reused_sets(),
+                    s.rounds,
+                    s.ratio(),
+                    if s.certified_by_bounds {
+                        ""
+                    } else {
+                        " (theta_max cap)"
+                    },
+                    s.elapsed
+                );
+            }
+            Err(e) => eprintln!("query {line:?} failed: {e}"),
+        }
+    }
+
+    let c = index.counters();
+    eprintln!(
+        "served {} queries ({} bound-certified): {} sets / {} node entries generated, \
+         cache hit ratio {:.3}, total query time {:?}",
+        c.queries,
+        c.certified_queries,
+        c.rr_sets_generated,
+        c.rr_nodes_generated,
+        c.cache_hit_ratio(),
+        c.query_time
+    );
+    if let Some(path) = &args.index_file {
+        index
+            .save_to_path(path)
+            .map_err(|e| format!("saving {path}: {e}"))?;
+        eprintln!("index: saved {} sets/half to {path}", index.pool_len());
     }
     Ok(())
 }

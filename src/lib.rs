@@ -10,6 +10,8 @@
 //!   generation (vanilla, SUBSIM, general-IC, LT, sentinel-stopped).
 //! - [`core`] — the influence-maximization algorithms (IMM, SSA, OPIM-C,
 //!   SUBSIM, HIST) with their approximation guarantees.
+//! - [`index`] — the amortized RR-sketch index for serving repeated IM
+//!   queries over a fixed graph, with snapshot persistence.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -18,6 +20,7 @@
 pub use subsim_core as core;
 pub use subsim_diffusion as diffusion;
 pub use subsim_graph as graph;
+pub use subsim_index as index;
 pub use subsim_sampling as sampling;
 
 /// Commonly used items, collected for `use subsim::prelude::*;`.
@@ -25,4 +28,5 @@ pub mod prelude {
     pub use subsim_core::prelude::*;
     pub use subsim_diffusion::prelude::*;
     pub use subsim_graph::prelude::*;
+    pub use subsim_index::{IndexConfig, RrIndex};
 }

@@ -44,11 +44,27 @@ fn selects_seeds_from_edge_list() {
     }
     let path = write_temp_graph("star", &edges);
     let out = cli()
-        .args(["--graph", path.to_str().unwrap(), "--k", "1", "--model", "uniform", "--p", "0.9"])
+        .args([
+            "--graph",
+            path.to_str().unwrap(),
+            "--k",
+            "1",
+            "--model",
+            "uniform",
+            "--p",
+            "0.9",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let seeds: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().split_whitespace().collect();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let seeds: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .unwrap()
+        .split_whitespace()
+        .collect();
     assert_eq!(seeds, vec!["0"]);
     std::fs::remove_file(path).ok();
 }
@@ -89,6 +105,146 @@ fn rejects_malformed_graph_file() {
 }
 
 #[test]
+fn rr_out_then_rr_in_round_trips() {
+    let mut edges = String::new();
+    for leaf in 1..10 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("rr_roundtrip", &edges);
+    let rr_file = std::env::temp_dir().join(format!("subsim_cli_rr_{}.bin", std::process::id()));
+    let base = [
+        "--graph",
+        graph.to_str().unwrap(),
+        "--k",
+        "1",
+        "--model",
+        "uniform",
+        "--p",
+        "0.9",
+        "--rr-count",
+        "2000",
+    ];
+
+    let out = cli()
+        .args(base)
+        .args(["--rr-out", rr_file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let seeds: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .unwrap()
+        .split_whitespace()
+        .collect();
+    assert_eq!(seeds, vec!["0"], "hub must win on the saved pool");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote 2000 RR sets"));
+
+    let out = cli()
+        .args(base)
+        .args(["--rr-in", rr_file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let seeds: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .unwrap()
+        .split_whitespace()
+        .collect();
+    assert_eq!(seeds, vec!["0"], "hub must win on the reloaded pool");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("loaded 2000 RR sets"));
+
+    // The saved pool is bound to the node count: a different graph refuses it.
+    let bigger = write_temp_graph("rr_roundtrip_bigger", &format!("{edges}0 10\n"));
+    let out = cli()
+        .args(["--graph", bigger.to_str().unwrap(), "--k", "1"])
+        .args(["--rr-in", rr_file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nodes"));
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(bigger).ok();
+    std::fs::remove_file(rr_file).ok();
+}
+
+#[test]
+fn query_server_answers_stdin_queries() {
+    let mut edges = String::new();
+    for leaf in 1..10 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("server", &edges);
+    let idx_file = std::env::temp_dir().join(format!("subsim_cli_idx_{}.bin", std::process::id()));
+    let args = [
+        "query-server",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--model",
+        "uniform",
+        "--p",
+        "0.9",
+        "--index-file",
+        idx_file.to_str().unwrap(),
+    ];
+
+    let run = |stdin: &str| {
+        let mut child = cli()
+            .args(args)
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(stdin.as_bytes())
+            .unwrap();
+        child.wait_with_output().unwrap()
+    };
+
+    // First run: two queries; the second reuses the pool the first built.
+    let out = run("1 0.1\n# a comment\n\n1\n");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines, vec!["0", "0"], "hub answers both queries");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("0 fresh"), "second query must be warm: {err}");
+    assert!(err.contains("served 2 queries"), "stderr: {err}");
+    assert!(idx_file.exists(), "--index-file must persist the pool");
+
+    // Second run: the snapshot serves the query with no generation at all.
+    let out = run("1 0.1\n");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("index: loaded"), "stderr: {err}");
+    assert!(
+        err.contains("0 fresh"),
+        "loaded pool must serve warm: {err}"
+    );
+    assert_eq!(std::str::from_utf8(&out.stdout).unwrap().trim(), "0");
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(idx_file).ok();
+}
+
+#[test]
 fn lt_model_routes_to_lt_algorithm() {
     let mut edges = String::new();
     for leaf in 1..8 {
@@ -96,10 +252,21 @@ fn lt_model_routes_to_lt_algorithm() {
     }
     let path = write_temp_graph("lt", &edges);
     let out = cli()
-        .args(["--graph", path.to_str().unwrap(), "--k", "1", "--model", "lt"])
+        .args([
+            "--graph",
+            path.to_str().unwrap(),
+            "--k",
+            "1",
+            "--model",
+            "lt",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("OPIM-C(LT)"));
     std::fs::remove_file(path).ok();
 }

@@ -6,14 +6,19 @@ use subsim_diffusion::forward::{mc_influence, CascadeModel};
 
 #[test]
 fn full_pipeline_identical_across_runs() {
-    let build = || {
-        generators::barabasi_albert(500, 4, WeightModel::WcVariant { theta: 3.0 }, 11)
-    };
+    let build = || generators::barabasi_albert(500, 4, WeightModel::WcVariant { theta: 3.0 }, 11);
     let run = || {
         let g = build();
-        let res = Hist::with_subsim().run(&g, &ImOptions::new(10).seed(13)).unwrap();
+        let res = Hist::with_subsim()
+            .run(&g, &ImOptions::new(10).seed(13))
+            .unwrap();
         let inf = mc_influence(&g, &res.seeds, CascadeModel::Ic, 500, 17);
-        (res.seeds, res.stats.rr_generated, res.stats.sentinel_size, inf)
+        (
+            res.seeds,
+            res.stats.rr_generated,
+            res.stats.sentinel_size,
+            inf,
+        )
     };
     assert_eq!(run(), run());
 }

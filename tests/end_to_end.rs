@@ -65,7 +65,9 @@ fn all_algorithms_approximate_the_brute_force_optimum() {
 fn rr_algorithms_match_mc_greedy_quality_on_midsize_graph() {
     let g = generators::barabasi_albert(200, 4, WeightModel::Wc, 83);
     let k = 3;
-    let reference = McGreedy::ic(1_500).run(&g, &ImOptions::new(k).seed(89)).unwrap();
+    let reference = McGreedy::ic(1_500)
+        .run(&g, &ImOptions::new(k).seed(89))
+        .unwrap();
     let ref_inf = mc_influence(&g, &reference.seeds, CascadeModel::Ic, 30_000, 97);
     for alg in [OpimC::subsim(), OpimC::vanilla()] {
         let res = alg.run(&g, &ImOptions::new(k).seed(89)).unwrap();
@@ -87,10 +89,7 @@ fn hist_matches_opim_across_influence_regimes() {
         let opim = OpimC::subsim().run(&g, &opts).unwrap();
         let ih = mc_influence(&g, &hist.seeds, CascadeModel::Ic, 4_000, 107);
         let io = mc_influence(&g, &opim.seeds, CascadeModel::Ic, 4_000, 107);
-        assert!(
-            ih >= 0.85 * io,
-            "θ={theta}: HIST {ih:.1} vs OPIM {io:.1}"
-        );
+        assert!(ih >= 0.85 * io, "θ={theta}: HIST {ih:.1} vs OPIM {io:.1}");
     }
 }
 
@@ -131,7 +130,9 @@ fn seeds_are_valid_nodes_and_distinct() {
 #[test]
 fn k_equals_n_selects_everything() {
     let g = generators::cycle_graph(6, WeightModel::Wc);
-    let res = OpimC::subsim().run(&g, &ImOptions::new(6).seed(139)).unwrap();
+    let res = OpimC::subsim()
+        .run(&g, &ImOptions::new(6).seed(139))
+        .unwrap();
     let mut s = res.seeds.clone();
     s.sort_unstable();
     assert_eq!(s, (0..6).collect::<Vec<_>>());
@@ -187,7 +188,9 @@ fn preprocessing_pipeline_composes() {
         .unwrap();
     let (sub, map) = largest_wcc(&g);
     assert_eq!(sub.n(), 30);
-    let res = OpimC::subsim().run(&sub, &ImOptions::new(3).seed(147)).unwrap();
+    let res = OpimC::subsim()
+        .run(&sub, &ImOptions::new(3).seed(147))
+        .unwrap();
     let original_ids: Vec<u32> = res.seeds.iter().map(|&v| map[v as usize]).collect();
     assert!(original_ids.iter().all(|&v| v < 30));
 }

@@ -1,0 +1,73 @@
+//! End-to-end: the RR-sketch index through the `subsim` facade — amortized
+//! serving, agreement with one-shot OPIM-C, and snapshot persistence.
+
+use subsim::prelude::*;
+
+fn test_graph(seed: u64) -> Graph {
+    generators::barabasi_albert(400, 4, WeightModel::Wc, seed)
+}
+
+#[test]
+fn warm_queries_reuse_the_pool_across_k() {
+    let g = test_graph(1);
+    let mut index = RrIndex::new(&g, IndexConfig::new(RrStrategy::SubsimIc).seed(3));
+    // Ascending k at fixed ε: the pool grows monotonically, so once the
+    // largest k has certified, every repeat is served without generation.
+    for &k in &[10, 25, 50] {
+        index.query(k, 0.1, 0.01).unwrap();
+    }
+    for &k in &[10, 25, 50] {
+        let ans = index.query(k, 0.1, 0.01).unwrap();
+        assert_eq!(ans.stats.fresh_sets, 0, "k={k} should be fully warm");
+        assert_eq!(ans.seeds.len(), k);
+        assert!(ans.stats.certified_by_bounds, "k={k} lost its certificate");
+    }
+    let c = index.counters();
+    assert_eq!(c.queries, 6);
+    assert!(
+        c.cache_hit_ratio() > 0.5,
+        "most consumed sets should be reused, got {:.3}",
+        c.cache_hit_ratio()
+    );
+}
+
+#[test]
+fn index_certificate_matches_opim_quality() {
+    let g = test_graph(2);
+    let (k, eps, delta) = (20, 0.1, 0.01);
+    let mut index = RrIndex::new(&g, IndexConfig::new(RrStrategy::SubsimIc).seed(4));
+    let ans = index.query(k, eps, delta).unwrap();
+    assert!(ans.stats.ratio() > 1.0 - (-1.0f64).exp() - eps);
+
+    // One-shot OPIM-C on the same instance certifies the same target; both
+    // seed sets should be high-quality (similar certified lower bounds).
+    let opts = ImOptions::new(k).epsilon(eps).delta(delta).seed(4);
+    let result = OpimC::subsim().run(&g, &opts).unwrap();
+    let opim_lb = result.stats.lower_bound;
+    assert!(
+        ans.stats.lower_bound > 0.5 * opim_lb,
+        "index lower bound {} vs OPIM-C {}",
+        ans.stats.lower_bound,
+        opim_lb
+    );
+}
+
+#[test]
+fn snapshot_survives_restart_via_file() {
+    let g = test_graph(3);
+    let path = std::env::temp_dir().join(format!("subsim_e2e_idx_{}.bin", std::process::id()));
+    let first = {
+        let mut index = RrIndex::new(&g, IndexConfig::new(RrStrategy::SubsimIc).seed(5));
+        let ans = index.query(15, 0.1, 0.01).unwrap();
+        index.save_to_path(&path).unwrap();
+        ans
+    };
+    let mut restored = RrIndex::load_from_path(&g, &path).unwrap();
+    let again = restored.query(15, 0.1, 0.01).unwrap();
+    assert_eq!(
+        again.seeds, first.seeds,
+        "snapshot must reproduce identical seeds"
+    );
+    assert_eq!(again.stats.fresh_sets, 0);
+    std::fs::remove_file(path).ok();
+}

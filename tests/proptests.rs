@@ -5,8 +5,8 @@
 //! tests.
 
 use proptest::prelude::*;
-use subsim::prelude::*;
 use subsim::diffusion::{RrContext, RrSampler, RrStrategy};
+use subsim::prelude::*;
 use subsim::sampling::rng_from_seed;
 use subsim_graph::NodeId;
 

@@ -170,8 +170,14 @@ fn sentinel_cost_drops_with_sentinel_influence() {
     let none = avg_size(&[]);
     let weak = avg_size(&by_outdeg[g.n() - 4..]); // low out-degree sentinels
     let strong = avg_size(&by_outdeg[..4]); // hubs
-    assert!(strong < 0.5 * none, "hubs should truncate: {strong} vs {none}");
-    assert!(strong < weak, "hubs {strong} should beat weak sentinels {weak}");
+    assert!(
+        strong < 0.5 * none,
+        "hubs should truncate: {strong} vs {none}"
+    );
+    assert!(
+        strong < weak,
+        "hubs {strong} should beat weak sentinels {weak}"
+    );
 }
 
 #[test]
