@@ -11,6 +11,7 @@
 
 use crate::bounds::{opim_lower_bound, opim_upper_bound};
 use crate::coverage::{greedy_max_coverage, GreedyConfig};
+use std::time::{Duration, Instant};
 use subsim_diffusion::RrCollection;
 use subsim_graph::NodeId;
 
@@ -78,6 +79,21 @@ pub fn evaluate_pool(
         lower,
         upper,
     }
+}
+
+/// [`evaluate_pool`] plus the wall-clock time of the round — the
+/// instrumented entry point serving layers use to attribute query latency
+/// to certification (greedy + bounds) as opposed to RR generation.
+pub fn evaluate_pool_timed(
+    r1: &RrCollection,
+    r2: &RrCollection,
+    k: usize,
+    delta_l: f64,
+    delta_u: f64,
+) -> (PoolEvaluation, Duration) {
+    let start = Instant::now();
+    let eval = evaluate_pool(r1, r2, k, delta_l, delta_u);
+    (eval, start.elapsed())
 }
 
 #[cfg(test)]

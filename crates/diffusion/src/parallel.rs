@@ -16,6 +16,7 @@
 
 use crate::collection::RrCollection;
 use crate::rr::{RrContext, RrSampler};
+use std::time::{Duration, Instant};
 use subsim_graph::NodeId;
 use subsim_sampling::rng_from_seed;
 
@@ -28,6 +29,8 @@ pub struct ParBatch {
     pub cost: u64,
     /// Summed sentinel hits across workers.
     pub sentinel_hits: u64,
+    /// Wall-clock time of the batch (spawn through join and concatenate).
+    pub elapsed: Duration,
 }
 
 /// Generates `count` random RR sets across `threads` workers.
@@ -43,6 +46,7 @@ pub fn par_generate(
     seed: u64,
 ) -> ParBatch {
     assert!(threads > 0, "need at least one worker");
+    let start = Instant::now();
     let n = sampler.graph().n();
     if threads == 1 {
         let mut ctx = RrContext::new(n);
@@ -56,6 +60,7 @@ pub fn par_generate(
             rr,
             cost: ctx.cost,
             sentinel_hits: ctx.sentinel_hits,
+            elapsed: start.elapsed(),
         };
     }
 
@@ -95,6 +100,7 @@ pub fn par_generate(
         rr,
         cost,
         sentinel_hits: hits,
+        elapsed: start.elapsed(),
     }
 }
 
@@ -126,6 +132,7 @@ pub fn par_generate_chunks(
 ) -> ParBatch {
     assert!(threads > 0, "need at least one worker");
     assert!(chunk_size > 0, "chunks must hold at least one set");
+    let start = Instant::now();
     let n = sampler.graph().n();
     let count = chunks.end.saturating_sub(chunks.start) as usize;
     if count == 0 {
@@ -133,6 +140,7 @@ pub fn par_generate_chunks(
             rr: RrCollection::new(n),
             cost: 0,
             sentinel_hits: 0,
+            elapsed: Duration::ZERO,
         };
     }
 
@@ -176,6 +184,7 @@ pub fn par_generate_chunks(
         rr,
         cost,
         sentinel_hits: hits,
+        elapsed: start.elapsed(),
     }
 }
 

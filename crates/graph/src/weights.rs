@@ -125,7 +125,7 @@ impl WeightModel {
             WeightModel::Trivalency => {
                 let mut rng = rng_from_seed(seed);
                 let mut probs: Vec<f64> = (0..in_sources.len())
-                    .map(|_| [0.1, 0.01, 0.001][rng.gen_range(0..3)])
+                    .map(|_| [0.1, 0.01, 0.001][rng.gen_range(0..3usize)])
                     .collect();
                 sort_segments_desc(in_offsets, in_sources, &mut probs);
                 EdgeWeights::PerEdge(probs)

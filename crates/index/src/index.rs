@@ -12,7 +12,7 @@ use subsim_graph::{Graph, NodeId};
 
 /// Stream separator between the two pool halves: `R₂`'s chunk seeds are
 /// derived from `seed ^ R2_STREAM` so the halves are independent samples.
-const R2_STREAM: u64 = 0xd2b7_4407_b1ce_6e93;
+pub(crate) const R2_STREAM: u64 = 0xd2b7_4407_b1ce_6e93;
 
 /// Construction-time parameters of an [`RrIndex`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,6 +124,17 @@ pub struct RrIndex<'g> {
     pub(crate) counters: IndexCounters,
 }
 
+impl std::fmt::Debug for RrIndex<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RrIndex")
+            .field("config", &self.config)
+            .field("chunks", &self.chunks)
+            .field("r1_sets", &self.r1.len())
+            .field("r2_sets", &self.r2.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'g> RrIndex<'g> {
     /// An empty index over `g`; the first query (or [`RrIndex::warm`])
     /// populates the pool.
@@ -159,6 +170,13 @@ impl<'g> RrIndex<'g> {
             chunks,
             counters: IndexCounters::default(),
         }
+    }
+
+    /// Decomposes the index into `(graph, config, r1, r2, chunks)`,
+    /// dropping the sampler and lifetime counters — the conversion point
+    /// into [`crate::ConcurrentRrIndex`].
+    pub(crate) fn into_parts(self) -> (&'g Graph, IndexConfig, RrCollection, RrCollection, u64) {
+        (self.g, self.config, self.r1, self.r2, self.chunks)
     }
 
     /// The indexed graph.

@@ -40,9 +40,13 @@ mod fingerprint;
 mod index;
 mod snapshot;
 mod stats;
+mod sync;
 
 pub use error::IndexError;
 pub use fingerprint::graph_fingerprint;
 pub use index::{IndexConfig, QueryAnswer, RrIndex};
 pub use snapshot::{read_index, write_index};
 pub use stats::{IndexCounters, QueryStats};
+pub use sync::{
+    quantile_ns, ConcurrentRrIndex, IndexMetrics, LatencyHistogram, MetricsSnapshot, PoolSnapshot,
+};

@@ -1,0 +1,450 @@
+//! Concurrent serving on top of [`RrIndex`]'s deterministic pool.
+//!
+//! [`ConcurrentRrIndex`] splits the index into an immutable, atomically
+//! swappable [`PoolSnapshot`] (the two RR halves plus the chunk cursor,
+//! held behind `Arc`) and a mutex-guarded writer that performs
+//! chunk-deterministic top-ups off to the side. Query threads briefly take
+//! a read lock only to clone the `Arc`, then run greedy + bounds entirely
+//! on their private snapshot — no lock is held during certification, and a
+//! snapshot can never be observed mid-growth (no torn reads by
+//! construction).
+//!
+//! Determinism is inherited, not re-proven: growth continues the same
+//! chunk stream as the sequential index (`chunk c` is always generated
+//! from `chunk_seed(seed, c)`), so pool *content at any size* is a pure
+//! function of `(seed, strategy, chunk_size, size)` regardless of how many
+//! threads raced, which queries triggered growth, or how top-ups were
+//! sliced. Concurrent interleavings may change how far the pool has grown
+//! at a given moment — never what any prefix of it contains.
+//!
+//! Observability lives in [`IndexMetrics`]: relaxed atomic counters and a
+//! log₂ latency histogram updated by query and writer threads without
+//! locks, snapshottable as JSON for `--stats-out`.
+
+mod metrics;
+
+pub use metrics::{quantile_ns, IndexMetrics, LatencyHistogram, MetricsSnapshot};
+
+use crate::error::IndexError;
+use crate::index::{IndexConfig, QueryAnswer, RrIndex, R2_STREAM};
+use crate::stats::QueryStats;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
+use subsim_core::pool::evaluate_pool_timed;
+use subsim_core::ImOptions;
+use subsim_diffusion::parallel::par_generate_chunks;
+use subsim_diffusion::{RrCollection, RrSampler};
+use subsim_graph::Graph;
+
+/// One immutable published state of the pool: both halves plus the RNG
+/// cursor that produced them. Readers hold an `Arc` to it and never see
+/// it change; the writer only ever publishes complete replacements.
+#[derive(Debug)]
+pub struct PoolSnapshot {
+    r1: RrCollection,
+    r2: RrCollection,
+    chunks: u64,
+}
+
+impl PoolSnapshot {
+    /// Sets per pool half.
+    pub fn pool_len(&self) -> usize {
+        self.r1.len()
+    }
+
+    /// The RNG cursor: complete chunks generated per half.
+    pub fn chunk_cursor(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Arena node entries across both halves.
+    pub fn total_nodes(&self) -> usize {
+        self.r1.total_nodes() + self.r2.total_nodes()
+    }
+
+    /// The selection half `R₁` (read-only).
+    pub fn selection_pool(&self) -> &RrCollection {
+        &self.r1
+    }
+
+    /// The validation half `R₂` (read-only).
+    pub fn validation_pool(&self) -> &RrCollection {
+        &self.r2
+    }
+}
+
+/// A concurrently queryable [`RrIndex`]: shared `&self` queries from any
+/// number of threads, with pool growth serialized through one writer and
+/// published as immutable snapshots.
+///
+/// ```
+/// use subsim_index::{ConcurrentRrIndex, IndexConfig};
+/// use subsim_diffusion::RrStrategy;
+/// use subsim_graph::{generators, WeightModel};
+///
+/// let g = generators::star_graph(50, WeightModel::UniformIc { p: 0.5 });
+/// let index = ConcurrentRrIndex::new(&g, IndexConfig::new(RrStrategy::SubsimIc).seed(7));
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|| {
+///             let ans = index.query(1, 0.1, 0.01).unwrap();
+///             assert_eq!(ans.seeds, vec![0]); // the hub dominates
+///         });
+///     }
+/// });
+/// assert_eq!(index.metrics().queries, 4);
+/// ```
+pub struct ConcurrentRrIndex<'g> {
+    g: &'g Graph,
+    config: IndexConfig,
+    sampler: RrSampler<'g>,
+    snapshot: RwLock<Arc<PoolSnapshot>>,
+    /// Serializes growth; holds no data because all pool state lives in
+    /// the published snapshot (the guard's critical section is the only
+    /// place a successor snapshot is ever constructed).
+    writer: Mutex<()>,
+    metrics: IndexMetrics,
+}
+
+impl std::fmt::Debug for ConcurrentRrIndex<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.load();
+        f.debug_struct("ConcurrentRrIndex")
+            .field("config", &self.config)
+            .field("chunks", &snap.chunks)
+            .field("pool_len", &snap.pool_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'g> ConcurrentRrIndex<'g> {
+    /// An empty concurrent index over `g`; the first query (or
+    /// [`ConcurrentRrIndex::warm`]) populates the pool.
+    pub fn new(g: &'g Graph, config: IndexConfig) -> Self {
+        Self::from_index(RrIndex::new(g, config))
+    }
+
+    /// Wraps a sequential index (possibly warmed or loaded from a
+    /// snapshot file) for concurrent serving. The pool carries over
+    /// unchanged; lifetime counters restart.
+    pub fn from_index(index: RrIndex<'g>) -> Self {
+        let (g, config, r1, r2, chunks) = index.into_parts();
+        ConcurrentRrIndex {
+            g,
+            config,
+            sampler: RrSampler::new(g, config.strategy),
+            snapshot: RwLock::new(Arc::new(PoolSnapshot { r1, r2, chunks })),
+            writer: Mutex::new(()),
+            metrics: IndexMetrics::default(),
+        }
+    }
+
+    /// Converts back into a sequential index over the current snapshot
+    /// (e.g. to [`RrIndex::save`] it). Requires exclusive ownership, so no
+    /// reader can be left holding a stale view.
+    pub fn into_index(self) -> RrIndex<'g> {
+        let snap = self.snapshot.into_inner().expect("snapshot lock poisoned");
+        let snap = Arc::try_unwrap(snap).unwrap_or_else(|arc| PoolSnapshot {
+            r1: arc.r1.clone(),
+            r2: arc.r2.clone(),
+            chunks: arc.chunks,
+        });
+        RrIndex::from_parts(self.g, self.config, snap.r1, snap.r2, snap.chunks)
+    }
+
+    /// The indexed graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The construction-time configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The current published snapshot. The returned `Arc` is a stable
+    /// view: its content never changes, even while the writer publishes
+    /// successors.
+    pub fn load(&self) -> Arc<PoolSnapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// A point-in-time copy of the serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Pre-grows the pool to at least `sets` per half (rounded up to a
+    /// whole number of chunks), e.g. to warm an index before serving.
+    pub fn warm(&self, sets: usize) -> Result<(), IndexError> {
+        self.grow_to(sets)?;
+        Ok(())
+    }
+
+    /// Answers one IM query: `k` seeds at accuracy `ε` and failure
+    /// probability `δ`, certified by the OPIM bounds over a snapshot of
+    /// the pool. Safe to call from any number of threads concurrently;
+    /// behavior per query matches [`RrIndex::query`], with growth rounds
+    /// delegated to the shared writer (a thread that finds the pool
+    /// already grown past its target reuses it instead of generating).
+    pub fn query(&self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, IndexError> {
+        let opts = ImOptions::new(k).epsilon(epsilon).delta(delta);
+        opts.validate(self.g)?;
+        let start = Instant::now();
+        let n = self.g.n();
+        let target = 1.0 - (-1.0f64).exp() - epsilon;
+        let theta_max = theta_max_opim(n, k, epsilon, delta);
+        let theta0 = theta_zero(delta);
+        let imax = i_max(theta_max, theta0);
+        let delta_iter = delta / (3.0 * imax as f64);
+
+        let mut snap = self.load();
+        let pool_before = snap.pool_len();
+        let mut fresh = 0usize;
+        if snap.pool_len() < theta0 as usize {
+            let (grown, added) = self.grow_to(theta0 as usize)?;
+            snap = grown;
+            fresh += added;
+        }
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            let (eval, _cert_time) =
+                evaluate_pool_timed(&snap.r1, &snap.r2, k, delta_iter, delta_iter);
+            let certified = eval.ratio() > target;
+            if certified || snap.pool_len() as f64 >= theta_max {
+                let elapsed = start.elapsed();
+                let stats = QueryStats {
+                    k,
+                    epsilon,
+                    delta,
+                    pool_before,
+                    pool_after: snap.pool_len(),
+                    fresh_sets: fresh,
+                    rounds,
+                    lower_bound: eval.lower,
+                    upper_bound: eval.upper,
+                    target_ratio: target,
+                    certified_by_bounds: certified,
+                    elapsed,
+                };
+                self.metrics.record_query(&stats);
+                return Ok(QueryAnswer {
+                    seeds: eval.seeds,
+                    stats,
+                });
+            }
+            let next = snap
+                .pool_len()
+                .saturating_mul(2)
+                .min(theta_max.ceil() as usize);
+            let (grown, added) = self.grow_to(next)?;
+            snap = grown;
+            fresh += added;
+        }
+    }
+
+    /// Grows the pool to at least `target_sets` per half, continuing the
+    /// deterministic chunk stream, and returns the snapshot to continue
+    /// with plus how many sets this call freshly generated (both halves
+    /// combined — `0` when another thread had already grown past the
+    /// target).
+    ///
+    /// Only one thread generates at a time; on a [`IndexError::MemoryBudget`]
+    /// failure any complete slices generated before the budget check are
+    /// still published (matching the sequential index, which keeps partial
+    /// progress when `ensure_pool` errors mid-growth).
+    fn grow_to(&self, target_sets: usize) -> Result<(Arc<PoolSnapshot>, usize), IndexError> {
+        let chunk = self.config.chunk_size;
+        let needed_chunks = target_sets.div_ceil(chunk) as u64;
+        {
+            let snap = self.load();
+            if snap.chunks >= needed_chunks {
+                return Ok((snap, 0));
+            }
+        }
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        // Re-check under the guard: the pool may have grown while this
+        // thread waited for a predecessor writer.
+        let base = self.load();
+        if base.chunks >= needed_chunks {
+            return Ok((base, 0));
+        }
+
+        let threads = self.config.threads;
+        let slice = (threads as u64) * 4;
+        let mut r1 = base.r1.clone();
+        let mut r2 = base.r2.clone();
+        let mut chunks = base.chunks;
+        let mut added = 0usize;
+        let mut budget_err = None;
+        while chunks < needed_chunks {
+            if let Some(cap) = self.config.max_nodes {
+                let in_use = r1.total_nodes() + r2.total_nodes();
+                if in_use >= cap {
+                    budget_err = Some(IndexError::MemoryBudget {
+                        max_nodes: cap,
+                        in_use,
+                        wanted_sets: needed_chunks as usize * chunk,
+                    });
+                    break;
+                }
+            }
+            let end = needed_chunks.min(chunks + slice);
+            let b1 = par_generate_chunks(
+                &self.sampler,
+                None,
+                chunks..end,
+                chunk,
+                threads,
+                self.config.seed,
+            );
+            let b2 = par_generate_chunks(
+                &self.sampler,
+                None,
+                chunks..end,
+                chunk,
+                threads,
+                self.config.seed ^ R2_STREAM,
+            );
+            self.metrics.record_generation(
+                (b1.rr.len() + b2.rr.len()) as u64,
+                (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,
+                b1.cost + b2.cost,
+                b1.elapsed + b2.elapsed,
+            );
+            added += b1.rr.len() + b2.rr.len();
+            r1.extend_from(&b1.rr);
+            r2.extend_from(&b2.rr);
+            chunks = end;
+        }
+
+        let snap = Arc::new(PoolSnapshot { r1, r2, chunks });
+        if added > 0 {
+            *self.snapshot.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
+            self.metrics
+                .snapshot_publishes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        match budget_err {
+            Some(err) => Err(err),
+            None => Ok((snap, added)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_diffusion::RrStrategy;
+    use subsim_graph::generators::{barabasi_albert, star_graph};
+    use subsim_graph::WeightModel;
+
+    fn config() -> IndexConfig {
+        IndexConfig::new(RrStrategy::SubsimIc)
+            .seed(5)
+            .chunk_size(64)
+    }
+
+    #[test]
+    fn matches_sequential_index_exactly_when_unraced() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 1);
+        let mut seq = RrIndex::new(&g, config());
+        let conc = ConcurrentRrIndex::new(&g, config());
+        for (k, eps) in [(5usize, 0.1f64), (2, 0.2), (5, 0.1)] {
+            let a = seq.query(k, eps, 0.01).unwrap();
+            let b = conc.query(k, eps, 0.01).unwrap();
+            assert_eq!(a.seeds, b.seeds, "k={k} eps={eps}");
+            assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+            assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+            assert_eq!(a.stats.pool_after, b.stats.pool_after);
+            assert_eq!(a.stats.fresh_sets, b.stats.fresh_sets);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_growth() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 2);
+        let conc = ConcurrentRrIndex::new(&g, config());
+        conc.warm(128).unwrap();
+        let before = conc.load();
+        let first: Vec<_> = (0..before.pool_len())
+            .map(|i| before.selection_pool().get(i).to_vec())
+            .collect();
+        conc.warm(1024).unwrap();
+        // The old Arc still shows exactly the old pool.
+        assert_eq!(before.pool_len(), 128);
+        for (i, rr) in first.iter().enumerate() {
+            assert_eq!(before.selection_pool().get(i), rr.as_slice());
+        }
+        // And the new snapshot extends it, bit-identical on the prefix.
+        let after = conc.load();
+        assert!(after.pool_len() >= 1024);
+        for (i, rr) in first.iter().enumerate() {
+            assert_eq!(after.selection_pool().get(i), rr.as_slice(), "set {i}");
+        }
+    }
+
+    #[test]
+    fn from_and_into_index_round_trip() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 3);
+        let mut seq = RrIndex::new(&g, config());
+        seq.warm(256).unwrap();
+        let conc = ConcurrentRrIndex::from_index(seq);
+        conc.warm(512).unwrap();
+        let back = conc.into_index();
+        assert_eq!(back.pool_len(), 512);
+        assert_eq!(back.chunk_cursor(), 8);
+        // Still continues the same stream as a fresh sequential index.
+        let mut fresh = RrIndex::new(&g, config());
+        fresh.warm(512).unwrap();
+        for i in 0..fresh.pool_len() {
+            assert_eq!(back.selection_pool().get(i), fresh.selection_pool().get(i));
+        }
+    }
+
+    #[test]
+    fn budget_error_publishes_partial_progress() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 4);
+        let conc = ConcurrentRrIndex::new(&g, config().max_nodes(200));
+        let err = conc.query(10, 0.05, 0.001).unwrap_err();
+        assert!(matches!(err, IndexError::MemoryBudget { .. }));
+        // Partial growth was published, exactly like the sequential index
+        // keeps partial progress.
+        assert!(conc.load().pool_len() > 0);
+        let mut seq = RrIndex::new(&g, config().max_nodes(200));
+        seq.query(10, 0.05, 0.001).unwrap_err();
+        assert_eq!(conc.load().pool_len(), seq.pool_len());
+    }
+
+    #[test]
+    fn rejects_invalid_queries() {
+        let g = star_graph(10, WeightModel::Wc);
+        let conc = ConcurrentRrIndex::new(&g, config());
+        assert!(matches!(
+            conc.query(0, 0.1, 0.01),
+            Err(IndexError::Options(_))
+        ));
+        assert!(matches!(
+            conc.query(2, 0.9, 0.01),
+            Err(IndexError::Options(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_track_queries_and_publishes() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 5);
+        let conc = ConcurrentRrIndex::new(&g, config());
+        conc.query(5, 0.1, 0.01).unwrap();
+        conc.query(5, 0.1, 0.01).unwrap();
+        let m = conc.metrics();
+        assert_eq!(m.queries, 2);
+        assert!(m.snapshot_publishes >= 1);
+        assert!(m.fresh_sets > 0);
+        assert!(m.reused_sets > 0, "second query must reuse the pool");
+        assert!(m.cache_hit_ratio > 0.0);
+        assert!(m.latency_p50_ns > 0);
+        assert!(m.rr_sets_generated as usize == 2 * conc.load().pool_len());
+    }
+}

@@ -1,0 +1,314 @@
+//! Concurrency battery for [`ConcurrentRrIndex`]: stress tests that race
+//! readers against the writer, and property tests that pin the concurrent
+//! path to the sequential index's deterministic pool.
+//!
+//! The load-bearing invariant throughout: pool *content at any size* is a
+//! pure function of `(seed, strategy, chunk_size, size)`. Interleavings
+//! may change how far the pool has grown when a given query certifies —
+//! never what any prefix contains — so every concurrent answer must be
+//! reproducible by a sequential index warmed to that answer's pool size.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use subsim_diffusion::{RrCollection, RrStrategy};
+use subsim_graph::generators::barabasi_albert;
+use subsim_graph::WeightModel;
+use subsim_index::{ConcurrentRrIndex, IndexConfig, QueryAnswer, RrIndex};
+
+fn config(seed: u64, chunk_size: usize) -> IndexConfig {
+    IndexConfig::new(RrStrategy::SubsimIc)
+        .seed(seed)
+        .chunk_size(chunk_size)
+}
+
+fn assert_collections_identical(a: &RrCollection, b: &RrCollection, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: set counts differ");
+    for i in 0..a.len() {
+        assert_eq!(a.get(i), b.get(i), "{what}: set {i} differs");
+    }
+}
+
+/// Both halves of the concurrent index must equal a sequential index
+/// warmed to the same size, byte for byte.
+fn assert_matches_sequential(conc: &ConcurrentRrIndex<'_>) {
+    let snap = conc.load();
+    let mut seq = RrIndex::new(conc.graph(), *conc.config());
+    seq.warm(snap.pool_len()).unwrap();
+    assert_eq!(seq.pool_len(), snap.pool_len(), "warm landed off-ladder");
+    assert_collections_identical(seq.selection_pool(), snap.selection_pool(), "r1");
+    assert_collections_identical(seq.validation_pool(), snap.validation_pool(), "r2");
+}
+
+/// A concurrent answer must be exactly reproducible by a sequential index
+/// warmed to the answer's final pool size: same seeds, same certificate.
+fn assert_answer_reproducible(seq: &mut RrIndex<'_>, ans: &QueryAnswer, delta: f64, context: &str) {
+    assert!(
+        seq.pool_len() <= ans.stats.pool_after,
+        "{context}: sort answers by pool size"
+    );
+    seq.warm(ans.stats.pool_after).unwrap();
+    assert_eq!(
+        seq.pool_len(),
+        ans.stats.pool_after,
+        "{context}: off-ladder pool"
+    );
+    let replay = seq
+        .query(ans.stats.k, ans.stats.epsilon, delta)
+        .expect("replay query failed");
+    assert_eq!(replay.seeds, ans.seeds, "{context}: seeds diverge");
+    assert_eq!(
+        replay.stats.lower_bound, ans.stats.lower_bound,
+        "{context}: Eq.1 lower bound diverges"
+    );
+    assert_eq!(
+        replay.stats.upper_bound, ans.stats.upper_bound,
+        "{context}: Eq.2 upper bound diverges"
+    );
+    assert_eq!(
+        replay.stats.pool_after, ans.stats.pool_after,
+        "{context}: replay grew"
+    );
+    assert_eq!(replay.stats.fresh_sets, 0, "{context}: replay generated");
+}
+
+/// Readers spin over snapshots while the writer forces repeated top-ups:
+/// no reader may ever observe a torn pool (halves out of step, size off
+/// the chunk grid), chunk cursors must grow monotonically per reader, and
+/// every previously seen set must persist bit-identically in later
+/// snapshots. The final pool must match a single-threaded index exactly.
+#[test]
+fn stress_readers_never_observe_torn_or_mutated_state() {
+    let g = barabasi_albert(300, 4, WeightModel::Wc, 21);
+    let chunk_size = 32;
+    let index = ConcurrentRrIndex::new(&g, config(22, chunk_size));
+    index.warm(chunk_size).unwrap(); // non-empty starting point
+    let stop = AtomicBool::new(false);
+    let growth_seen = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for reader in 0..4 {
+            let (index, stop, growth_seen) = (&index, &stop, &growth_seen);
+            scope.spawn(move || {
+                let mut prev: Arc<_> = index.load();
+                let mut iterations = 0u64;
+                while !stop.load(Ordering::Relaxed) || iterations == 0 {
+                    iterations += 1;
+                    let snap = index.load();
+                    // Never torn: halves in step, size on the chunk grid.
+                    assert_eq!(
+                        snap.selection_pool().len(),
+                        snap.validation_pool().len(),
+                        "reader {reader}: halves out of step"
+                    );
+                    assert_eq!(
+                        snap.pool_len() as u64,
+                        snap.chunk_cursor() * chunk_size as u64,
+                        "reader {reader}: size off the chunk grid"
+                    );
+                    // Monotone growth from this reader's viewpoint.
+                    assert!(
+                        snap.chunk_cursor() >= prev.chunk_cursor(),
+                        "reader {reader}: cursor went backwards"
+                    );
+                    if snap.chunk_cursor() > prev.chunk_cursor() {
+                        growth_seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Prefix stability: sets observed earlier never change.
+                    let overlap = prev.pool_len();
+                    for probe in [0, overlap / 2, overlap - 1] {
+                        assert_eq!(
+                            snap.selection_pool().get(probe),
+                            prev.selection_pool().get(probe),
+                            "reader {reader}: r1 set {probe} mutated"
+                        );
+                        assert_eq!(
+                            snap.validation_pool().get(probe),
+                            prev.validation_pool().get(probe),
+                            "reader {reader}: r2 set {probe} mutated"
+                        );
+                    }
+                    prev = snap;
+                }
+            });
+        }
+        // The writer: force a run of doublings while readers watch.
+        let mut target = 2 * chunk_size;
+        while target <= 128 * chunk_size {
+            index.warm(target).unwrap();
+            target *= 2;
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert!(
+        growth_seen.load(Ordering::Relaxed) > 0,
+        "no reader ever observed a snapshot publish — stress raced nothing"
+    );
+    assert_eq!(index.load().pool_len(), 128 * chunk_size);
+    assert_matches_sequential(&index);
+}
+
+/// The acceptance bar of this layer: a warm index serves at least four
+/// query threads with bit-identical proofs — every thread gets the same
+/// seeds and the same Eq. 1 / Eq. 2 certificate, with zero generation.
+#[test]
+fn warm_index_serves_four_plus_threads_bit_identically() {
+    let g = barabasi_albert(400, 4, WeightModel::Wc, 23);
+    let index = ConcurrentRrIndex::new(&g, config(24, 64));
+    let (k, eps, delta) = (5, 0.1, 0.01);
+    let reference = index.query(k, eps, delta).unwrap(); // cold: grows the pool
+
+    let answers: Vec<QueryAnswer> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| scope.spawn(|| index.query(k, eps, delta).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, ans) in answers.iter().enumerate() {
+        assert_eq!(ans.seeds, reference.seeds, "thread {i}: seeds diverge");
+        assert_eq!(
+            ans.stats.lower_bound, reference.stats.lower_bound,
+            "thread {i}: lower bound diverges"
+        );
+        assert_eq!(
+            ans.stats.upper_bound, reference.stats.upper_bound,
+            "thread {i}: upper bound diverges"
+        );
+        assert_eq!(ans.stats.fresh_sets, 0, "thread {i}: warm query generated");
+        assert_eq!(ans.stats.pool_after, reference.stats.pool_after);
+    }
+    let m = index.metrics();
+    assert_eq!(m.queries, 9);
+    assert_eq!(m.fresh_sets, reference.stats.fresh_sets as u64);
+}
+
+/// Heterogeneous queries race each other through cold growth; whatever
+/// interleaving happened, the final pool and every individual certificate
+/// must be reproducible sequentially.
+#[test]
+fn racing_cold_queries_stay_reproducible() {
+    let g = barabasi_albert(300, 4, WeightModel::Wc, 25);
+    let delta = 0.01;
+    let index = ConcurrentRrIndex::new(&g, config(26, 64));
+    let queries = [
+        (1usize, 0.15f64),
+        (3, 0.1),
+        (5, 0.12),
+        (2, 0.2),
+        (8, 0.1),
+        (4, 0.15),
+    ];
+
+    let mut answers: Vec<QueryAnswer> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|&(k, eps)| {
+                let index = &index;
+                scope.spawn(move || index.query(k, eps, delta).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_matches_sequential(&index);
+    let mut seq = RrIndex::new(&g, config(26, 64));
+    answers.sort_by_key(|a| a.stats.pool_after);
+    for ans in &answers {
+        let context = format!("k={} eps={}", ans.stats.k, ans.stats.epsilon);
+        assert_answer_reproducible(&mut seq, ans, delta, &context);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random interleavings: arbitrary thread counts, chunk sizes, seeds,
+    /// and query mixes. Every concurrent answer replays identically on a
+    /// sequential index, and the final pool is the sequential pool.
+    #[test]
+    fn random_interleavings_match_sequential(
+        seed in 0u64..1000,
+        chunk_exp in 4usize..7, // chunk sizes 16, 32, 64
+        threads in 2usize..5,
+        queries in prop::collection::vec((1usize..8, prop_oneof![Just(0.1f64), Just(0.15), Just(0.2)]), 2..7),
+    ) {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, seed ^ 0xabcd);
+        let delta = 0.02;
+        let cfg = config(seed, 1 << chunk_exp);
+        let index = ConcurrentRrIndex::new(&g, cfg);
+
+        // Round-robin the query list over `threads` workers.
+        let mut answers: Vec<QueryAnswer> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let queries = &queries;
+                    let index = &index;
+                    scope.spawn(move || {
+                        queries
+                            .iter()
+                            .skip(w)
+                            .step_by(threads)
+                            .map(|&(k, eps)| index.query(k, eps, delta).unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+
+        // Final pool == sequential pool of the same size.
+        let snap = index.load();
+        let mut seq = RrIndex::new(&g, cfg);
+        seq.warm(snap.pool_len()).unwrap();
+        prop_assert_eq!(seq.pool_len(), snap.pool_len());
+        for i in 0..seq.pool_len() {
+            prop_assert_eq!(seq.selection_pool().get(i), snap.selection_pool().get(i));
+            prop_assert_eq!(seq.validation_pool().get(i), snap.validation_pool().get(i));
+        }
+
+        // Every answer replays identically at its own pool size.
+        let mut replayer = RrIndex::new(&g, cfg);
+        answers.sort_by_key(|a| a.stats.pool_after);
+        for ans in &answers {
+            replayer.warm(ans.stats.pool_after).unwrap();
+            prop_assert_eq!(replayer.pool_len(), ans.stats.pool_after);
+            let replay = replayer.query(ans.stats.k, ans.stats.epsilon, delta).unwrap();
+            prop_assert_eq!(&replay.seeds, &ans.seeds);
+            prop_assert_eq!(replay.stats.lower_bound, ans.stats.lower_bound);
+            prop_assert_eq!(replay.stats.upper_bound, ans.stats.upper_bound);
+            prop_assert_eq!(replay.stats.fresh_sets, 0);
+        }
+    }
+
+    /// With a single worker issuing queries in order, the concurrent index
+    /// is the sequential index: identical answers including growth
+    /// accounting (`pool_before`, `fresh_sets`, rounds).
+    #[test]
+    fn single_worker_equals_sequential_exactly(
+        seed in 0u64..1000,
+        queries in prop::collection::vec((1usize..6, prop_oneof![Just(0.1f64), Just(0.2)]), 1..5),
+    ) {
+        let g = barabasi_albert(120, 3, WeightModel::Wc, seed ^ 0x1234);
+        let delta = 0.02;
+        let cfg = config(seed, 32);
+        let mut seq = RrIndex::new(&g, cfg);
+        let conc = ConcurrentRrIndex::new(&g, cfg);
+        for &(k, eps) in &queries {
+            let a = seq.query(k, eps, delta).unwrap();
+            let b = conc.query(k, eps, delta).unwrap();
+            prop_assert_eq!(&a.seeds, &b.seeds);
+            prop_assert_eq!(a.stats.pool_before, b.stats.pool_before);
+            prop_assert_eq!(a.stats.pool_after, b.stats.pool_after);
+            prop_assert_eq!(a.stats.fresh_sets, b.stats.fresh_sets);
+            prop_assert_eq!(a.stats.rounds, b.stats.rounds);
+            prop_assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+            prop_assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+            prop_assert_eq!(a.stats.certified_by_bounds, b.stats.certified_by_bounds);
+        }
+    }
+}

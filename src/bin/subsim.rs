@@ -11,14 +11,22 @@
 //! comment lines are ignored. With a third column the explicit per-edge
 //! probabilities are used and `--model` is ignored.
 //!
-//! `query-server` keeps an [`RrIndex`] alive and answers `k [epsilon]`
-//! queries from stdin, one per line: seeds go to stdout (one
-//! space-separated line per query), per-query stats to stderr. With
-//! `--index-file` the warmed pool is loaded at startup (if the file
-//! exists) and saved back at EOF, so the pool survives restarts.
+//! `query-server` keeps a [`ConcurrentRrIndex`] alive and answers
+//! `k [epsilon]` queries, one per line, from stdin or a Unix socket
+//! (`--socket`): seeds go back to the query source (one space-separated
+//! line per query, in input order), per-query stats to stderr. Queries
+//! fan out over `--threads` worker threads, which all read lock-free
+//! snapshots of one shared pool; growth is serialized through the index's
+//! writer, so pool content stays a pure function of its size no matter
+//! how queries interleave. With `--index-file` the warmed pool is loaded
+//! at startup (if the file exists) and saved back at exit, so the pool
+//! survives restarts; `--stats-out` dumps serving metrics (per-query
+//! latency histogram + quantiles, cache hits, snapshot publishes) as JSON.
 
-use std::io::{BufRead, Write as _};
+use std::collections::BTreeMap;
+use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::{mpsc, Mutex};
 use subsim::core::coverage::{greedy_max_coverage, GreedyConfig};
 use subsim::diffusion::serialize::{read_rr_collection, write_rr_collection};
 use subsim::diffusion::{mc_influence, par_generate, CascadeModel};
@@ -54,6 +62,8 @@ struct ServerArgs {
     index_file: Option<String>,
     warm: usize,
     max_nodes: Option<usize>,
+    socket: Option<String>,
+    stats_out: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -74,11 +84,15 @@ fn usage() -> &'static str {
      \t[--model ...] [--theta ...] [--p ...] [--undirected] as above\n\
      \t[--seed <u64>]       RNG seed for the pool's chunk stream (default 0)\n\
      \t[--delta <f64>]      per-query failure probability (default 0.01)\n\
-     \t[--threads <n>]      pool top-up workers (default 1)\n\
-     \t[--index-file <f>]   load the pool from <f> if present, save it back at EOF\n\
+     \t[--threads <n>]      query workers and pool top-up workers (default 1)\n\
+     \t[--index-file <f>]   load the pool from <f> if present, save it back at exit\n\
      \t[--warm <sets>]      pre-grow the pool before serving\n\
      \t[--max-nodes <n>]    refuse pool growth past n arena node entries\n\
-     then one query per stdin line: `k [epsilon]` (epsilon defaults to 0.1)"
+     \t[--socket <path>]    serve a Unix socket instead of stdin (one\n\
+     \t                     connection at a time; the line `shutdown` stops the server)\n\
+     \t[--stats-out <f>]    write serving metrics (latency histogram, cache\n\
+     \t                     hits, snapshot publishes) as JSON to <f> at exit\n\
+     then one query per line: `k [epsilon]` (epsilon defaults to 0.1)"
 }
 
 fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -158,6 +172,8 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
         index_file: None,
         warm: 0,
         max_nodes: None,
+        socket: None,
+        stats_out: None,
     };
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -183,6 +199,8 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
             }
             "--undirected" => args.undirected = true,
             "--index-file" => args.index_file = Some(val("--index-file")?),
+            "--socket" => args.socket = Some(val("--socket")?),
+            "--stats-out" => args.stats_out = Some(val("--stats-out")?),
             "--warm" => args.warm = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
             "--max-nodes" => {
                 args.max_nodes = Some(
@@ -414,77 +432,204 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
         eprintln!("index: warmed to {} sets/half", index.pool_len());
     }
 
-    let stdin = std::io::stdin();
-    let mut stdout = std::io::stdout();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+    let index = ConcurrentRrIndex::from_index(index);
+    match &args.socket {
+        None => {
+            let stdin = std::io::stdin();
+            serve_queries(
+                &index,
+                args.delta,
+                args.threads,
+                stdin.lock(),
+                std::io::stdout(),
+            )?;
         }
-        let mut tokens = line.split_whitespace();
-        let k: usize = match tokens.next().unwrap().parse() {
-            Ok(k) => k,
-            Err(e) => {
-                eprintln!("bad query {line:?}: k: {e}");
-                continue;
-            }
-        };
-        let epsilon = match tokens.next() {
-            None => 0.1,
-            Some(tok) => match tok.parse::<f64>() {
-                Ok(eps) => eps,
-                Err(e) => {
-                    eprintln!("bad query {line:?}: epsilon: {e}");
-                    continue;
-                }
-            },
-        };
-        match index.query(k, epsilon, args.delta) {
-            Ok(ans) => {
-                let seeds: Vec<String> = ans.seeds.iter().map(|s| s.to_string()).collect();
-                writeln!(stdout, "{}", seeds.join(" ")).map_err(|e| e.to_string())?;
-                stdout.flush().map_err(|e| e.to_string())?;
-                let s = &ans.stats;
-                eprintln!(
-                    "query k={} eps={}: pool {}→{} sets/half ({} fresh, {} reused), \
-                     {} rounds, ratio {:.4}{}, {:?}",
-                    s.k,
-                    s.epsilon,
-                    s.pool_before,
-                    s.pool_after,
-                    s.fresh_sets,
-                    s.reused_sets(),
-                    s.rounds,
-                    s.ratio(),
-                    if s.certified_by_bounds {
-                        ""
-                    } else {
-                        " (theta_max cap)"
-                    },
-                    s.elapsed
+        Some(path) => {
+            // A stale socket file from a previous run refuses the bind.
+            std::fs::remove_file(path).ok();
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| format!("binding {path}: {e}"))?;
+            eprintln!("listening on {path}");
+            loop {
+                let (stream, _) = listener
+                    .accept()
+                    .map_err(|e| format!("accepting on {path}: {e}"))?;
+                let reader = std::io::BufReader::new(
+                    stream.try_clone().map_err(|e| format!("socket: {e}"))?,
                 );
+                let shutdown = serve_queries(&index, args.delta, args.threads, reader, stream)?;
+                if shutdown {
+                    break;
+                }
             }
-            Err(e) => eprintln!("query {line:?} failed: {e}"),
+            std::fs::remove_file(path).ok();
         }
     }
 
-    let c = index.counters();
+    let m = index.metrics();
     eprintln!(
         "served {} queries ({} bound-certified): {} sets / {} node entries generated, \
-         cache hit ratio {:.3}, total query time {:?}",
-        c.queries,
-        c.certified_queries,
-        c.rr_sets_generated,
-        c.rr_nodes_generated,
-        c.cache_hit_ratio(),
-        c.query_time
+         cache hit ratio {:.3}, {} snapshot publishes, total query time {:?}",
+        m.queries,
+        m.certified_queries,
+        m.rr_sets_generated,
+        m.rr_nodes_generated,
+        m.cache_hit_ratio,
+        m.snapshot_publishes,
+        std::time::Duration::from_nanos(m.query_time_ns),
     );
+    if let Some(path) = &args.stats_out {
+        std::fs::write(path, m.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("stats: wrote serving metrics to {path}");
+    }
     if let Some(path) = &args.index_file {
+        let index = index.into_index();
         index
             .save_to_path(path)
             .map_err(|e| format!("saving {path}: {e}"))?;
         eprintln!("index: saved {} sets/half to {path}", index.pool_len());
     }
     Ok(())
+}
+
+/// One parsed `k [epsilon]` query, tagged with its position in the input
+/// so answers can be re-serialized in input order.
+struct Job {
+    id: u64,
+    line: String,
+    k: usize,
+    epsilon: f64,
+}
+
+/// Serves `k [epsilon]` query lines from `input` until EOF (or a
+/// `shutdown` line), fanning queries out over `workers` threads that
+/// query `index` concurrently. Answers are written to `output` one line
+/// per successful query, **in input order** (a reorder buffer holds
+/// early-finished answers until their predecessors complete); malformed
+/// lines and failed queries produce a per-line stderr message and no
+/// output line. Returns whether a `shutdown` line was seen.
+fn serve_queries<R: BufRead, W: std::io::Write + Send>(
+    index: &ConcurrentRrIndex<'_>,
+    delta: f64,
+    workers: usize,
+    input: R,
+    mut output: W,
+) -> Result<bool, String> {
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Mutex::new(job_rx);
+    let (ans_tx, ans_rx) = mpsc::channel::<(Job, Result<QueryAnswer, subsim::index::IndexError>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let ans_tx = ans_tx.clone();
+            let job_rx = &job_rx;
+            scope.spawn(move || loop {
+                // Hold the receiver lock only to pull one job; the query
+                // itself runs unlocked so workers overlap.
+                let job = match job_rx.lock().expect("job queue poisoned").recv() {
+                    Ok(job) => job,
+                    Err(_) => break,
+                };
+                let result = index.query(job.k, job.epsilon, delta);
+                if ans_tx.send((job, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(ans_tx); // collectors below must see EOF once workers finish
+
+        let collector = scope.spawn(move || -> Result<(), String> {
+            // Reorder buffer: answers surface in completion order but must
+            // leave in input order.
+            let mut pending: BTreeMap<u64, (Job, Result<QueryAnswer, subsim::index::IndexError>)> =
+                BTreeMap::new();
+            let mut next_id = 0u64;
+            for (job, result) in ans_rx {
+                pending.insert(job.id, (job, result));
+                while let Some((job, result)) = pending.remove(&next_id) {
+                    next_id += 1;
+                    match result {
+                        Ok(ans) => {
+                            let seeds: Vec<String> =
+                                ans.seeds.iter().map(|s| s.to_string()).collect();
+                            writeln!(output, "{}", seeds.join(" ")).map_err(|e| e.to_string())?;
+                            output.flush().map_err(|e| e.to_string())?;
+                            let s = &ans.stats;
+                            eprintln!(
+                                "query k={} eps={}: pool {}→{} sets/half ({} fresh, {} reused), \
+                                 {} rounds, ratio {:.4}{}, {:?}",
+                                s.k,
+                                s.epsilon,
+                                s.pool_before,
+                                s.pool_after,
+                                s.fresh_sets,
+                                s.reused_sets(),
+                                s.rounds,
+                                s.ratio(),
+                                if s.certified_by_bounds {
+                                    ""
+                                } else {
+                                    " (theta_max cap)"
+                                },
+                                s.elapsed
+                            );
+                        }
+                        Err(e) => eprintln!("query {:?} failed: {e}", job.line),
+                    }
+                }
+            }
+            Ok(())
+        });
+
+        let mut shutdown = false;
+        let mut id = 0u64;
+        for line in input.lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    eprintln!("reading queries: {e}");
+                    break;
+                }
+            };
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "shutdown" {
+                shutdown = true;
+                break;
+            }
+            let mut tokens = line.split_whitespace();
+            let k: usize = match tokens.next().expect("non-empty line").parse() {
+                Ok(k) => k,
+                Err(e) => {
+                    eprintln!("bad query {line:?}: k: {e}");
+                    continue;
+                }
+            };
+            let epsilon = match tokens.next() {
+                None => 0.1,
+                Some(tok) => match tok.parse::<f64>() {
+                    Ok(eps) => eps,
+                    Err(e) => {
+                        eprintln!("bad query {line:?}: epsilon: {e}");
+                        continue;
+                    }
+                },
+            };
+            let job = Job {
+                id,
+                line: line.to_string(),
+                k,
+                epsilon,
+            };
+            id += 1;
+            if job_tx.send(job).is_err() {
+                break; // all workers gone (collector error below reports why)
+            }
+        }
+        drop(job_tx); // workers drain the queue, then ans_rx sees EOF
+        collector.join().expect("collector panicked")?;
+        Ok(shutdown)
+    })
 }

@@ -11,7 +11,8 @@
 //! - [`core`] — the influence-maximization algorithms (IMM, SSA, OPIM-C,
 //!   SUBSIM, HIST) with their approximation guarantees.
 //! - [`index`] — the amortized RR-sketch index for serving repeated IM
-//!   queries over a fixed graph, with snapshot persistence.
+//!   queries over a fixed graph, with snapshot persistence and a
+//!   concurrent serving layer ([`index::ConcurrentRrIndex`]).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -28,5 +29,5 @@ pub mod prelude {
     pub use subsim_core::prelude::*;
     pub use subsim_diffusion::prelude::*;
     pub use subsim_graph::prelude::*;
-    pub use subsim_index::{IndexConfig, RrIndex};
+    pub use subsim_index::{ConcurrentRrIndex, IndexConfig, MetricsSnapshot, QueryAnswer, RrIndex};
 }

@@ -270,3 +270,242 @@ fn lt_model_routes_to_lt_algorithm() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("OPIM-C(LT)"));
     std::fs::remove_file(path).ok();
 }
+
+#[test]
+fn query_server_reports_per_line_errors_and_keeps_serving() {
+    let mut edges = String::new();
+    for leaf in 1..10 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("server_robust", &edges);
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--model",
+            "uniform",
+            "--p",
+            "0.9",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // k = 0, non-numeric k, ε ≤ 0: each is a per-line error; the valid
+    // query between and after them must still be answered.
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"0 0.1\n1 0.1\nabc\n2 -0.5\n1 0.1\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "malformed lines must not kill the server: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines, vec!["0", "0"], "valid queries still answered");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("\"0 0.1\" failed") && err.contains('k'),
+        "k = 0 must fail per-line: {err}"
+    );
+    assert!(err.contains("bad query \"abc\""), "stderr: {err}");
+    assert!(
+        err.contains("\"2 -0.5\" failed") && err.contains("epsilon"),
+        "ε ≤ 0 must fail per-line: {err}"
+    );
+    assert!(err.contains("served 2 queries"), "stderr: {err}");
+    std::fs::remove_file(graph).ok();
+}
+
+#[test]
+fn query_server_threaded_keeps_input_order_and_dumps_stats() {
+    let mut edges = String::new();
+    for leaf in 1..10 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("server_threads", &edges);
+    let stats = std::env::temp_dir().join(format!("subsim_cli_stats_{}.json", std::process::id()));
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--model",
+            "uniform",
+            "--p",
+            "0.9",
+            "--threads",
+            "4",
+            "--stats-out",
+            stats.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // k alternates so answers differ in shape; order must match input.
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"1 0.1\n2 0.1\n1 0.1\n2 0.1\n1 0.1\n2 0.1\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 6);
+    for (i, line) in lines.iter().enumerate() {
+        let want_k = if i % 2 == 0 { 1 } else { 2 };
+        assert_eq!(
+            line.split_whitespace().count(),
+            want_k,
+            "line {i} out of order: {lines:?}"
+        );
+        assert!(line.starts_with('0'), "hub first on every line: {line}");
+    }
+    let json = std::fs::read_to_string(&stats).expect("--stats-out must write the file");
+    for key in [
+        "\"queries\":6",
+        "\"cache_hit_ratio\":",
+        "\"latency_p50_ns\":",
+        "\"latency_buckets\":[",
+        "\"snapshot_publishes\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(stats).ok();
+}
+
+#[test]
+fn query_server_rejects_truncated_index_file_by_name() {
+    let mut edges = String::new();
+    for leaf in 1..10 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("server_trunc", &edges);
+    let idx_file =
+        std::env::temp_dir().join(format!("subsim_cli_trunc_{}.bin", std::process::id()));
+    let args = [
+        "query-server",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--model",
+        "uniform",
+        "--p",
+        "0.9",
+        "--index-file",
+        idx_file.to_str().unwrap(),
+    ];
+    let run = |stdin: &str| {
+        let mut child = cli()
+            .args(args)
+            .args(["--threads", "4"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        // The refusing run exits before reading stdin; EPIPE here is fine.
+        child.stdin.take().unwrap().write_all(stdin.as_bytes()).ok();
+        child.wait_with_output().unwrap()
+    };
+
+    let out = run("1 0.1\n");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&idx_file).unwrap();
+    assert!(bytes.len() > 64, "index file suspiciously small");
+    // Chop mid-blob: the snapshot reader must name the damage rather than
+    // panic or serve a half pool.
+    std::fs::write(&idx_file, &bytes[..bytes.len() * 3 / 4]).unwrap();
+
+    let out = run("1 0.1\n");
+    assert!(!out.status.success(), "truncated snapshot must be refused");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("snapshot rejected") && err.contains("truncated"),
+        "want a named snapshot error, got: {err}"
+    );
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(idx_file).ok();
+}
+
+#[test]
+fn query_server_serves_unix_socket_until_shutdown() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    let mut edges = String::new();
+    for leaf in 1..10 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("server_socket", &edges);
+    let sock = std::env::temp_dir().join(format!("subsim_cli_sock_{}.s", std::process::id()));
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--model",
+            "uniform",
+            "--p",
+            "0.9",
+            "--threads",
+            "2",
+            "--socket",
+            sock.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Wait for the listener to come up (bounded poll, no fixed sleep).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let stream = loop {
+        match UnixStream::connect(&sock) {
+            Ok(s) => break s,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => panic!("server socket never came up: {e}"),
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    stream.write_all(b"1 0.1\n1 0.1\n").unwrap();
+    let mut line = String::new();
+    for _ in 0..2 {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "0", "hub answers over the socket");
+    }
+    stream.write_all(b"shutdown\n").unwrap();
+    drop(stream);
+
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("served 2 queries"), "stderr: {err}");
+    assert!(!sock.exists(), "socket file must be cleaned up at exit");
+    std::fs::remove_file(graph).ok();
+}

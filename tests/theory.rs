@@ -200,3 +200,97 @@ fn theorem1_case2_log_degree_cost_grows_logarithmically() {
     assert!(sg < 3.0, "SUBSIM growth {sg} ({subsim:?})");
     assert!(sg < vg, "SUBSIM must scale better than vanilla");
 }
+
+#[test]
+fn concurrent_answers_meet_approximation_bound_on_erdos_renyi() {
+    // Statistical conformance of the concurrent serving path: a certified
+    // answer guarantees 𝕀(S) ≥ (1 - 1/e - ε)·OPT w.h.p. Since the Eq. 2
+    // upper bound dominates OPT w.h.p., the checkable form is
+    //   𝕀̂(S) ≥ (1 - 1/e - ε) · upper_bound,
+    // with 𝕀̂ a Monte-Carlo estimate and a small slack for MC noise.
+    use subsim::diffusion::{mc_influence, CascadeModel};
+    use subsim::index::{ConcurrentRrIndex, IndexConfig};
+
+    let g = generators::erdos_renyi_gnm(500, 2_000, WeightModel::Wc, 31);
+    let index = ConcurrentRrIndex::new(&g, IndexConfig::new(RrStrategy::SubsimIc).seed(32));
+    let queries = [(1usize, 0.1f64), (3, 0.1), (5, 0.15), (10, 0.2)];
+    let answers: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|&(k, eps)| {
+                let index = &index;
+                scope.spawn(move || index.query(k, eps, 0.01).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for ans in &answers {
+        let spread = mc_influence(&g, &ans.seeds, CascadeModel::Ic, 20_000, 33);
+        let target = ans.stats.target_ratio;
+        assert!(
+            ans.stats.certified_by_bounds,
+            "k={} should certify by bounds on this fixture",
+            ans.stats.k
+        );
+        // Eq. 1 validity: the certified lower bound must not overshoot the
+        // true spread (5% slack for MC noise).
+        assert!(
+            spread >= ans.stats.lower_bound * 0.95,
+            "k={}: MC spread {spread:.1} below certified lower bound {:.1}",
+            ans.stats.k,
+            ans.stats.lower_bound
+        );
+        // The end-to-end guarantee against the OPT-dominating upper bound.
+        assert!(
+            spread >= target * ans.stats.upper_bound * 0.95,
+            "k={}: MC spread {spread:.1} misses (1-1/e-ε)·upper = {:.1}",
+            ans.stats.k,
+            target * ans.stats.upper_bound
+        );
+    }
+}
+
+#[test]
+fn concurrent_answer_meets_known_opt_on_star_graph() {
+    // On a hub→leaves star under uniform IC, OPT for k = 1 is exactly the
+    // hub's spread 1 + (n-1)·p, so the (1 - 1/e - ε) guarantee is
+    // checkable against ground truth rather than a bound.
+    use subsim::diffusion::{mc_influence, CascadeModel};
+    use subsim::index::{ConcurrentRrIndex, IndexConfig};
+
+    let (n, p, eps) = (200usize, 0.2f64, 0.1f64);
+    let g = generators::star_graph(n, WeightModel::UniformIc { p });
+    let opt = 1.0 + (n as f64 - 1.0) * p;
+    let index = ConcurrentRrIndex::new(&g, IndexConfig::new(RrStrategy::SubsimIc).seed(34));
+
+    // Four threads race the same query on the cold index (acceptance
+    // setup); all must select the hub, whose true spread is OPT itself.
+    let answers: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let index = &index;
+                scope.spawn(move || index.query(1, eps, 0.01).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let target = 1.0 - 1.0 / std::f64::consts::E - eps;
+    for ans in &answers {
+        assert_eq!(ans.seeds, vec![0], "must pick the hub");
+        let spread = mc_influence(&g, &ans.seeds, CascadeModel::Ic, 50_000, 35);
+        assert!(
+            spread >= target * opt,
+            "spread {spread:.1} misses (1-1/e-ε)·OPT = {:.1}",
+            target * opt
+        );
+        // With the hub chosen the guarantee is tight against ground truth:
+        // the certificate's lower bound must also respect OPT.
+        assert!(
+            ans.stats.lower_bound <= opt * 1.05,
+            "lower bound {:.1} exceeds true OPT {opt:.1}",
+            ans.stats.lower_bound
+        );
+    }
+}

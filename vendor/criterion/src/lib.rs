@@ -1,0 +1,335 @@
+//! Offline API-compatible subset of `criterion` 0.5 (see
+//! `vendor/README.md`).
+//!
+//! Implements the surface this workspace's benches use: [`Criterion`],
+//! benchmark groups with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros (both the
+//! positional and the `name/config/targets` forms).
+//!
+//! The runner is intentionally simple: each benchmark runs its closure in
+//! timed batches for roughly the configured measurement time and reports
+//! the best observed per-iteration wall-clock to stdout. No statistics,
+//! no HTML reports, no baselines — enough to compile every bench target
+//! and get indicative numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor the filter argument `cargo bench -- <filter>` passes.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(600),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the default warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the default measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        run_one(
+            &id.full(None),
+            self.filter.as_deref(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+    }
+}
+
+/// A named set of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    criterion: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets this group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets this group's warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets this group's measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        run_one(
+            &id.full(Some(&self.name)),
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+    }
+
+    /// Benchmarks `f` with `input` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        run_one(
+            &id.full(Some(&self.name)),
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full(&self, group: Option<&str>) -> String {
+        let mut s = String::new();
+        if let Some(g) = group {
+            s.push_str(g);
+            s.push('/');
+        }
+        s.push_str(&self.function);
+        if let Some(p) = &self.parameter {
+            if !self.function.is_empty() {
+                s.push('/');
+            }
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Hands the benchmark body its timing loop.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    best: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording the best per-iteration duration across
+    /// batches until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate batch size so one batch is neither trivially short
+        // nor longer than the whole budget.
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (self.measurement_time.as_nanos() / self.samples.max(1) as u128).max(1);
+        let batch = ((per_batch / one.as_nanos().max(1)).clamp(1, 1_000_000)) as u64;
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut total_iters = 1u64;
+        let mut best = one;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t.elapsed() / (batch as u32).max(1);
+            if per_iter < best {
+                best = per_iter;
+            }
+            total_iters += batch;
+        }
+        self.best = Some(best);
+        self.iters = total_iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    filter: Option<&str>,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples,
+        measurement_time: warm_up, // short throwaway pass to warm caches
+        best: None,
+        iters: 0,
+    };
+    f(&mut bencher);
+    bencher.measurement_time = measurement;
+    bencher.best = None;
+    f(&mut bencher);
+    match bencher.best {
+        Some(best) => println!("{name}: best {best:?}/iter over {} iters", bencher.iters),
+        None => println!("{name}: no measurement (bencher.iter never called)"),
+    }
+}
+
+/// Bundles benchmark functions into a named runner, mirroring criterion's
+/// two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).full(Some("g")), "g/f/10");
+        assert_eq!(BenchmarkId::from_parameter(5).full(Some("g")), "g/5");
+        assert_eq!(BenchmarkId::from("plain").full(None), "plain");
+    }
+
+    #[test]
+    fn runner_times_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.filter = None;
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline API-compatible subset of `rand` 0.8 (see `vendor/README.md`).
+//!
+//! Implements exactly the surface this workspace consumes: the
+//! [`RngCore`] / [`Rng`] / [`SeedableRng`] traits, the [`distributions::Standard`]
+//! distribution for the primitive types the samplers draw, integer/float
+//! `gen_range`, and [`rngs::SmallRng`] as xoshiro256++ with splitmix64
+//! seeding — the same algorithm the real `rand` 0.8 uses on 64-bit
+//! targets, so statistical quality matches upstream. Streams are
+//! deterministic per seed, which is all the workspace's reproducibility
+//! guarantees require (they never depend on upstream's exact bit
+//! streams, only on "same seed ⇒ same sequence").
+
+/// The core of a random number generator: raw integer output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Distributions over random values.
+pub mod distributions {
+    use crate::RngCore;
+
+    /// A distribution producing values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value from `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution per type: full range for
+    /// integers, `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits, uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<u8> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+            rng.next_u32() as u8
+        }
+    }
+
+    impl Distribution<u16> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+            rng.next_u32() as u16
+        }
+    }
+
+    impl Distribution<i32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+            rng.next_u32() as i32
+        }
+    }
+
+    impl Distribution<i64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        /// Samples one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    if span == 0 {
+                        // Full u64 domain (e.g. 0..u64::MAX wrapped): raw draw.
+                        return rng.next_u64() as $t;
+                    }
+                    // Multiply-shift bounded draw with rejection of the
+                    // biased zone (Lemire); unbiased for every span.
+                    let zone = span.wrapping_neg() % span;
+                    loop {
+                        let v = rng.next_u64();
+                        let (hi, lo) = {
+                            let wide = (v as u128) * (span as u128);
+                            ((wide >> 64) as u64, wide as u64)
+                        };
+                        if lo >= zone || zone == 0 {
+                            return self.start.wrapping_add(hi as $t);
+                        }
+                    }
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    if start == <$t>::MIN && end == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (start..end + 1).sample_single(rng)
+                }
+            }
+        )*};
+    }
+    int_sample_range!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+    macro_rules! float_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit: $t = Standard.sample(rng);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let unit: $t = Standard.sample(rng);
+                    start + unit * (end - start)
+                }
+            }
+        )*};
+    }
+    float_sample_range!(f32, f64);
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`distributions::Standard`]
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (exclusive or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples one value from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++ seeded by
+    /// splitmix64 — the same construction `rand` 0.8's `SmallRng` uses on
+    /// 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any input, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Standard};
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_covers_bounds_without_escaping() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5u64..=6);
+            assert!(v == 5 || v == 6);
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn trait_object_rng_usable() {
+        // The workspace passes `&mut R` with `R: Rng + ?Sized` around.
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
