@@ -1,0 +1,56 @@
+//! Chunk scheduler comparison: retired static block split vs the
+//! work-stealing claim counter, on the skewed WC workload where chunk
+//! costs are most uneven (hub-rooted RR sets dominate a few chunks).
+//!
+//! Both schedulers produce bit-identical pools — the only thing under
+//! test is wall-clock, i.e. how much of the batch waits on the most
+//! loaded worker. Expect parity at 1 thread and on single-core hosts;
+//! the stealing win appears with real parallelism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subsim_bench::workloads::{dataset, Scale};
+use subsim_diffusion::pool::WorkerPool;
+use subsim_diffusion::{par_generate_chunks_static, RrSampler, RrStrategy};
+use subsim_graph::WeightModel;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let g = dataset("pokec-s", WeightModel::Wc, Scale::Small);
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let (chunks, chunk_size) = (32u64, 64usize);
+
+    let mut group = c.benchmark_group("chunk_scheduler");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("static", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(par_generate_chunks_static(
+                        &sampler,
+                        None,
+                        0..chunks,
+                        chunk_size,
+                        threads,
+                        42,
+                    ))
+                })
+            },
+        );
+        // The stealing side reuses one persistent pool across iterations,
+        // exactly as `subsim-index` growth rounds do.
+        let pool = WorkerPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("stealing", threads), &threads, |b, _| {
+            b.iter(|| black_box(pool.generate_chunks(&sampler, None, 0..chunks, chunk_size, 42)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_scheduler
+}
+criterion_main!(benches);

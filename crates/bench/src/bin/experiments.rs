@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|genwc|index|all]...
+//! experiments bench-pr3 [out.json]   # scheduler/selection bench (never part of `all`)
 //! ```
 //!
 //! Scale is controlled by `SUBSIM_SCALE=small|paper` (default `paper`).
@@ -15,6 +16,14 @@ fn main() {
     let scale = Scale::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wants = |what: &str| args.is_empty() || args.iter().any(|a| a == what || a == "all");
+
+    // Explicit-only (deliberately not reachable through `all` or the
+    // empty-args default): writes a JSON artifact rather than a figure.
+    if args.first().map(String::as_str) == Some("bench-pr3") {
+        let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pr3.json");
+        harness::bench_pr3(scale, out);
+        return;
+    }
 
     harness::preamble(scale);
     if wants("table2") {

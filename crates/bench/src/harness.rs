@@ -6,11 +6,13 @@
 
 use crate::workloads::{calibrated_p_for, calibrated_theta_for, dataset, Scale, DATASETS};
 use std::time::{Duration, Instant};
+use subsim_core::coverage::{greedy_max_coverage, GreedyConfig};
 use subsim_core::{Hist, ImAlgorithm, ImOptions, Imm, OpimC, Ssa};
 use subsim_diffusion::forward::{mc_influence, CascadeModel};
-use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
+use subsim_diffusion::pool::WorkerPool;
+use subsim_diffusion::{par_generate_chunks_static, RrContext, RrSampler, RrStrategy};
 use subsim_graph::{Graph, GraphStats, WeightModel};
-use subsim_index::{IndexConfig, RrIndex};
+use subsim_index::{ConcurrentRrIndex, IndexConfig, RrIndex};
 use subsim_sampling::rng_from_seed;
 
 /// Repetitions per timing. The paper uses 5 on a large multi-core server;
@@ -431,6 +433,127 @@ pub fn index_amortization(scale: Scale) {
             c.cache_hit_ratio()
         );
     }
+}
+
+/// Median of `reps` runs of `f`, in seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// The straggler-free-generation benchmark behind `BENCH_pr3.json`:
+/// static vs work-stealing chunk scheduling, sequential vs parallel
+/// selection, and warm-query serving latency, all on the skewed WC
+/// workload where chunk costs are most uneven. Writes the JSON artifact
+/// to `out_path` and prints the same numbers as a table.
+///
+/// The scheduler comparison is *content-neutral* (both produce the same
+/// pool bit for bit — asserted here); only wall-clock may differ, and
+/// only on multi-core hosts. `cores` is recorded so single-core CI runs
+/// are not misread as a regression.
+pub fn bench_pr3(scale: Scale, out_path: &str) {
+    header("PR3: work-stealing scheduler + parallel selection");
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = 4usize;
+    let g = dataset("pokec-s", WeightModel::Wc, scale);
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let (chunks, chunk_size) = match scale {
+        Scale::Small => (32u64, 128usize),
+        Scale::Paper => (64, 512),
+    };
+    let sets = chunks as usize * chunk_size;
+    let r = reps(scale).max(3);
+
+    let t_static = median_secs(r, || {
+        let b = par_generate_chunks_static(&sampler, None, 0..chunks, chunk_size, threads, 1100);
+        assert_eq!(b.rr.len(), sets);
+    });
+    // The stealing side runs on a persistent pool, as `subsim-index` does,
+    // so it also amortizes thread spawning across batches.
+    let pool = WorkerPool::new(threads);
+    let t_steal = median_secs(r, || {
+        let b = pool.generate_chunks(&sampler, None, 0..chunks, chunk_size, 1100);
+        assert_eq!(b.rr.len(), sets);
+    });
+    let batch = pool.generate_chunks(&sampler, None, 0..chunks, chunk_size, 1100);
+    let reference =
+        par_generate_chunks_static(&sampler, None, 0..chunks, chunk_size, threads, 1100);
+    for i in 0..sets {
+        assert_eq!(batch.rr.get(i), reference.rr.get(i), "schedulers diverged");
+    }
+    let sets_per_sec = sets as f64 / t_steal;
+
+    let k = 50;
+    let seq_out = greedy_max_coverage(&batch.rr, &GreedyConfig::standard(k));
+    let par_out = greedy_max_coverage(&batch.rr, &GreedyConfig::standard(k).with_threads(threads));
+    assert_eq!(seq_out.seeds, par_out.seeds, "parallel selection diverged");
+    assert_eq!(seq_out.coverage_upper, par_out.coverage_upper);
+    let t_sel_seq = median_secs(r, || {
+        greedy_max_coverage(&batch.rr, &GreedyConfig::standard(k));
+    });
+    let t_sel_par = median_secs(r, || {
+        greedy_max_coverage(&batch.rr, &GreedyConfig::standard(k).with_threads(threads));
+    });
+
+    // Warm-query latency through the concurrent index: one cold query
+    // grows the pool, the warm tail is what a serving deployment sees.
+    let index = ConcurrentRrIndex::new(
+        &g,
+        IndexConfig::new(RrStrategy::SubsimIc)
+            .seed(1103)
+            .threads(threads),
+    );
+    let delta = 1.0 / g.n() as f64;
+    index.query(k, 0.1, delta).expect("cold query");
+    let warm = ConcurrentRrIndex::from_index(index.into_index());
+    for _ in 0..40 {
+        let ans = warm.query(k, 0.1, delta).expect("warm query");
+        assert_eq!(ans.stats.fresh_sets, 0, "warm query regenerated sets");
+    }
+    let m = warm.metrics();
+
+    println!("cores={cores} threads={threads} sets={sets} (chunks {chunks} x {chunk_size})");
+    println!(
+        "generation: static {t_static:.4}s, stealing {t_steal:.4}s ({:.2}x), {:.0} sets/s",
+        t_static / t_steal.max(1e-12),
+        sets_per_sec
+    );
+    println!(
+        "selection (k={k}): sequential {t_sel_seq:.4}s, parallel {t_sel_par:.4}s ({:.2}x)",
+        t_sel_seq / t_sel_par.max(1e-12)
+    );
+    println!(
+        "warm query: p50 {}ns, p99 {}ns over {} queries",
+        m.latency_p50_ns, m.latency_p99_ns, m.queries
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr3_straggler_free_generation\",\n  \"cores\": {cores},\n  \
+         \"threads\": {threads},\n  \"scale\": \"{scale:?}\",\n  \"sets_per_batch\": {sets},\n  \
+         \"batch_wall_clock_static_s\": {t_static:.6},\n  \
+         \"batch_wall_clock_stealing_s\": {t_steal:.6},\n  \
+         \"scheduler_speedup\": {:.4},\n  \"sets_per_sec_stealing\": {sets_per_sec:.1},\n  \
+         \"selection_seq_s\": {t_sel_seq:.6},\n  \"selection_par_s\": {t_sel_par:.6},\n  \
+         \"selection_speedup\": {:.4},\n  \"warm_query_p50_ns\": {},\n  \
+         \"warm_query_p99_ns\": {},\n  \"warm_queries\": {},\n  \
+         \"note\": \"speedups require multiple physical cores; output is bit-identical across schedulers and thread counts by construction\"\n}}\n",
+        t_static / t_steal.max(1e-12),
+        t_sel_seq / t_sel_par.max(1e-12),
+        m.latency_p50_ns,
+        m.latency_p99_ns,
+        m.queries,
+    );
+    std::fs::write(out_path, json).expect("writing bench artifact");
+    println!("wrote {out_path}");
 }
 
 /// Sanity line printed by `experiments all` before the figures.

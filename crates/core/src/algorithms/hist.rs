@@ -26,7 +26,7 @@ use crate::options::ImOptions;
 use crate::result::ImResult;
 use crate::ImAlgorithm;
 use std::time::Instant;
-use subsim_diffusion::{RrCollection, RrStrategy};
+use subsim_diffusion::{NodeMarks, RrCollection, RrStrategy};
 use subsim_graph::{Graph, NodeId};
 
 /// HIST parameterized by the RR-generation strategy.
@@ -116,6 +116,7 @@ impl Hist {
 
         let mut r1 = RrCollection::new(n);
         driver.generate_into(&mut r1, theta0 as usize);
+        let mut marks = NodeMarks::new();
 
         for i in 1..=imax {
             let theta1 = r1.len() as u64;
@@ -157,7 +158,7 @@ impl Hist {
             for mult in [1usize, 4] {
                 let mut r2 = RrCollection::new(n);
                 driver.generate_into(&mut r2, mult * theta1 as usize);
-                let cov = r2.coverage_of(&sentinel);
+                let cov = r2.coverage_of_with(&sentinel, &mut marks);
                 last_lb = opim_lower_bound(cov as f64, r2.len() as u64, n, delta_l);
                 if last_lb / ub > ratio_target {
                     driver.clear_sentinel();
@@ -213,24 +214,26 @@ impl Hist {
         let mut r2 = RrCollection::new(n);
         driver.generate_into(&mut r1, theta0 as usize);
         driver.generate_into(&mut r2, theta0 as usize);
+        let mut marks = NodeMarks::new();
 
         for i in 1..=imax {
             // Line 5: sets already covered by the sentinel carry zero
             // marginal coverage; count them as base coverage instead.
-            let (r1p, covered) = r1.filter_not_covering(sentinel);
+            let (r1p, covered) = r1.filter_not_covering_with(sentinel, &mut marks);
             let cfg = GreedyConfig {
                 select: k - b,
                 bound_terms: k,
                 tie_break: self.revised_tie_break.then_some(g),
                 base_covered: covered,
                 exclude: sentinel,
+                threads: 1,
             };
             let out = greedy_max_coverage(&r1p, &cfg);
             let mut seeds: Vec<NodeId> = sentinel.to_vec();
             seeds.extend_from_slice(&out.seeds);
 
             let ub = opim_upper_bound(out.coverage_upper, r1.len() as u64, n, delta_iter);
-            let cov2 = r2.coverage_of(&seeds);
+            let cov2 = r2.coverage_of_with(&seeds, &mut marks);
             let lb = opim_lower_bound(cov2 as f64, r2.len() as u64, n, delta_iter);
 
             if lb / ub > target || i == imax {

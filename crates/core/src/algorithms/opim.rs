@@ -17,7 +17,7 @@ use crate::options::ImOptions;
 use crate::result::ImResult;
 use crate::ImAlgorithm;
 use std::time::Instant;
-use subsim_diffusion::{RrCollection, RrStrategy};
+use subsim_diffusion::{NodeMarks, RrCollection, RrStrategy};
 use subsim_graph::Graph;
 
 /// OPIM-C parameterized by the RR-generation strategy.
@@ -82,11 +82,12 @@ impl ImAlgorithm for OpimC {
         let mut r2 = RrCollection::new(n);
         driver.generate_into(&mut r1, theta0 as usize);
         driver.generate_into(&mut r2, theta0 as usize);
+        let mut marks = NodeMarks::new();
 
         for i in 1..=imax {
             let out = greedy_max_coverage(&r1, &GreedyConfig::standard(k));
             let ub = opim_upper_bound(out.coverage_upper, r1.len() as u64, n, delta_iter);
-            let cov2 = r2.coverage_of(&out.seeds);
+            let cov2 = r2.coverage_of_with(&out.seeds, &mut marks);
             let lb = opim_lower_bound(cov2 as f64, r2.len() as u64, n, delta_iter);
 
             if lb / ub > target || i == imax {

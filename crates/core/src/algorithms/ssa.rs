@@ -20,7 +20,7 @@ use crate::options::ImOptions;
 use crate::result::ImResult;
 use crate::ImAlgorithm;
 use std::time::Instant;
-use subsim_diffusion::{RrCollection, RrStrategy};
+use subsim_diffusion::{NodeMarks, RrCollection, RrStrategy};
 use subsim_graph::Graph;
 
 /// SSA parameterized by the RR-generation strategy.
@@ -77,6 +77,7 @@ impl ImAlgorithm for Ssa {
         let mut r1 = RrCollection::new(n);
         let mut r2 = RrCollection::new(n);
         driver.generate_into(&mut r1, lambda as usize);
+        let mut marks = NodeMarks::new();
 
         for t in 1..=t_max {
             let out = greedy_max_coverage(&r1, &GreedyConfig::standard(k));
@@ -89,7 +90,7 @@ impl ImAlgorithm for Ssa {
                     driver.generate_into(&mut r2, need);
                 }
                 let ub = opim_upper_bound(out.coverage_upper, r1.len() as u64, n, delta_iter);
-                let cov2 = r2.coverage_of(&out.seeds);
+                let cov2 = r2.coverage_of_with(&out.seeds, &mut marks);
                 let lb = opim_lower_bound(cov2 as f64, r2.len() as u64, n, delta_iter);
                 let est1 = n as f64 * cov1 as f64 / r1.len() as f64;
                 let est2 = n as f64 * cov2 as f64 / r2.len() as f64;

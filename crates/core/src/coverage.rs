@@ -24,6 +24,11 @@ pub struct GreedyConfig<'g> {
     /// Nodes that must never be selected (HIST phase 2 excludes the
     /// sentinel nodes, which are already part of the final seed set).
     pub exclude: &'g [NodeId],
+    /// Workers for the selection *preparation* (inverted-index build and
+    /// initial counts). The greedy loop itself stays sequential, so the
+    /// picks, prefix coverages, and bound are byte-identical for every
+    /// `threads` value.
+    pub threads: usize,
 }
 
 impl<'g> GreedyConfig<'g> {
@@ -36,6 +41,7 @@ impl<'g> GreedyConfig<'g> {
             tie_break: None,
             base_covered: 0,
             exclude: &[],
+            threads: 1,
         }
     }
 
@@ -47,9 +53,21 @@ impl<'g> GreedyConfig<'g> {
             tie_break: Some(g),
             base_covered: 0,
             exclude: &[],
+            threads: 1,
         }
     }
+
+    /// Returns the config with the preparation phase sharded across
+    /// `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        self.threads = threads;
+        self
+    }
 }
+
+/// Node count below which the initial-count pass stays sequential.
+const PARALLEL_COUNT_MIN_NODES: usize = 1 << 16;
 
 /// Result of a greedy pass.
 #[derive(Debug, Clone)]
@@ -72,6 +90,30 @@ impl GreedyOutcome {
     }
 }
 
+/// Initial per-node coverage counts (`count[v] = |{i : v ∈ R_i}|`),
+/// sharded across `threads` workers when the graph is large enough for
+/// the spawn cost to pay off. Node order is fixed, so the result is
+/// identical for every `threads` value.
+fn initial_counts(idx: &InvertedIndex, n: usize, threads: usize) -> Vec<usize> {
+    if threads > 1 && n >= PARALLEL_COUNT_MIN_NODES {
+        let mut count = vec![0usize; n];
+        let per = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, slice) in count.chunks_mut(per).enumerate() {
+                scope.spawn(move || {
+                    let base = ci * per;
+                    for (i, c) in slice.iter_mut().enumerate() {
+                        *c = idx.degree((base + i) as NodeId);
+                    }
+                });
+            }
+        });
+        count
+    } else {
+        (0..n as NodeId).map(|v| idx.degree(v)).collect()
+    }
+}
+
 /// Runs greedy max-coverage over `rr`.
 ///
 /// Uses a lazily-updated max-heap keyed by `(marginal coverage,
@@ -82,8 +124,8 @@ impl GreedyOutcome {
 /// sum in one sweep.
 pub fn greedy_max_coverage(rr: &RrCollection, cfg: &GreedyConfig<'_>) -> GreedyOutcome {
     let n = rr.graph_n();
-    let idx = InvertedIndex::build(rr);
-    let mut count: Vec<usize> = (0..n as NodeId).map(|v| idx.degree(v)).collect();
+    let idx = InvertedIndex::build_parallel(rr, cfg.threads);
+    let mut count = initial_counts(&idx, n, cfg.threads);
     let outdeg = |v: NodeId| -> u32 { cfg.tie_break.map_or(0, |g| g.out_degree(v) as u32) };
 
     let mut heap: BinaryHeap<(usize, u32, NodeId)> = (0..n as NodeId)
@@ -372,6 +414,50 @@ mod tests {
         let rr = collection(&[&[0], &[1]], 2);
         let out = greedy_max_coverage(&rr, &GreedyConfig::standard(5));
         assert_eq!(out.seeds.len(), 2);
+    }
+
+    #[test]
+    fn threads_never_change_selection() {
+        use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
+        use subsim_graph::generators::barabasi_albert;
+        use subsim_sampling::rng_from_seed;
+
+        let g = barabasi_albert(400, 3, WeightModel::Wc, 81);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = RrContext::new(g.n());
+        let mut rng = rng_from_seed(82);
+        let mut rr = RrCollection::new(g.n());
+        rr.generate(&sampler, &mut ctx, &mut rng, 4000);
+
+        let reference = greedy_max_coverage(&rr, &GreedyConfig::standard(8));
+        for threads in [2, 3, 5, 8] {
+            let cfg = GreedyConfig::standard(8).with_threads(threads);
+            let out = greedy_max_coverage(&rr, &cfg);
+            assert_eq!(out.seeds, reference.seeds, "threads={threads}");
+            assert_eq!(out.prefix_coverage, reference.prefix_coverage);
+            assert_eq!(out.coverage_upper, reference.coverage_upper);
+        }
+    }
+
+    #[test]
+    fn parallel_initial_counts_match_sequential_over_gate() {
+        // Force the sharded path by exceeding PARALLEL_COUNT_MIN_NODES.
+        let n = super::PARALLEL_COUNT_MIN_NODES + 37;
+        let mut rr = RrCollection::new(n);
+        for i in 0..200usize {
+            let a = (i * 7919) % n;
+            let b = (i * 104_729) % n;
+            rr.push(&[a as NodeId, b as NodeId, (n - 1) as NodeId]);
+        }
+        let idx = InvertedIndex::build(&rr);
+        let seq = super::initial_counts(&idx, n, 1);
+        for threads in [2, 5] {
+            assert_eq!(
+                super::initial_counts(&idx, n, threads),
+                seq,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

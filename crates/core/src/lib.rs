@@ -37,7 +37,9 @@ pub use algorithms::{Celf, Dssa, Hist, Imm, McGreedy, OpimC, Ssa, TimPlus};
 pub use certificate::{certify_seed_set, certify_seed_set_auto, InfluenceCertificate};
 pub use error::ImError;
 pub use options::ImOptions;
-pub use pool::{evaluate_pool, PoolEvaluation};
+pub use pool::{
+    evaluate_pool, evaluate_pool_par, evaluate_pool_timed, evaluate_pool_timed_par, PoolEvaluation,
+};
 pub use result::{ImResult, RunStats};
 
 use subsim_graph::Graph;

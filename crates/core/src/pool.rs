@@ -58,6 +58,23 @@ pub fn evaluate_pool(
     delta_l: f64,
     delta_u: f64,
 ) -> PoolEvaluation {
+    evaluate_pool_par(r1, r2, k, delta_l, delta_u, 1)
+}
+
+/// [`evaluate_pool`] with the selection *preparation* (inverted-index
+/// build and initial counts) sharded across `threads` workers.
+///
+/// The greedy loop itself stays sequential, so the seeds and both bounds
+/// are byte-identical for every `threads` value — parallelism only cuts
+/// the wall-clock of the certification round.
+pub fn evaluate_pool_par(
+    r1: &RrCollection,
+    r2: &RrCollection,
+    k: usize,
+    delta_l: f64,
+    delta_u: f64,
+    threads: usize,
+) -> PoolEvaluation {
     assert_eq!(
         r1.graph_n(),
         r2.graph_n(),
@@ -68,7 +85,7 @@ pub fn evaluate_pool(
         "pool halves must be non-empty"
     );
     let n = r1.graph_n();
-    let out = greedy_max_coverage(r1, &GreedyConfig::standard(k));
+    let out = greedy_max_coverage(r1, &GreedyConfig::standard(k).with_threads(threads));
     let upper = opim_upper_bound(out.coverage_upper, r1.len() as u64, n, delta_u);
     let coverage_r2 = r2.coverage_of(&out.seeds);
     let lower = opim_lower_bound(coverage_r2 as f64, r2.len() as u64, n, delta_l);
@@ -91,8 +108,20 @@ pub fn evaluate_pool_timed(
     delta_l: f64,
     delta_u: f64,
 ) -> (PoolEvaluation, Duration) {
+    evaluate_pool_timed_par(r1, r2, k, delta_l, delta_u, 1)
+}
+
+/// [`evaluate_pool_par`] plus the wall-clock time of the round.
+pub fn evaluate_pool_timed_par(
+    r1: &RrCollection,
+    r2: &RrCollection,
+    k: usize,
+    delta_l: f64,
+    delta_u: f64,
+    threads: usize,
+) -> (PoolEvaluation, Duration) {
     let start = Instant::now();
-    let eval = evaluate_pool(r1, r2, k, delta_l, delta_u);
+    let eval = evaluate_pool_par(r1, r2, k, delta_l, delta_u, threads);
     (eval, start.elapsed())
 }
 
@@ -142,6 +171,20 @@ mod tests {
             "ratio {} too loose on a 20k-set pool",
             eval.ratio()
         );
+    }
+
+    #[test]
+    fn parallel_evaluation_is_byte_identical() {
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 74);
+        let (r1, r2) = two_pools(&g, 3000, 75);
+        let reference = evaluate_pool(&r1, &r2, 6, 0.01, 0.02);
+        for threads in [2, 4, 7] {
+            let eval = evaluate_pool_par(&r1, &r2, 6, 0.01, 0.02, threads);
+            assert_eq!(eval, reference, "threads={threads}");
+        }
+        let (timed, elapsed) = evaluate_pool_timed_par(&r1, &r2, 6, 0.01, 0.02, 3);
+        assert_eq!(timed, reference);
+        assert!(elapsed > Duration::ZERO);
     }
 
     #[test]

@@ -95,6 +95,10 @@ impl RrCollection {
     }
 
     /// Generates `count` additional random RR sets with `sampler`.
+    ///
+    /// Pre-reserves the node arena from the running average set size, so a
+    /// long top-up sequence doubles the arena a handful of times instead
+    /// of once per growth spurt.
     pub fn generate<R: Rng + ?Sized>(
         &mut self,
         sampler: &RrSampler<'_>,
@@ -104,6 +108,10 @@ impl RrCollection {
     ) {
         debug_assert_eq!(sampler.graph().n(), self.n);
         self.offsets.reserve(count);
+        if !self.is_empty() {
+            let avg = self.nodes.len() / self.len() + 1;
+            self.nodes.reserve(count.saturating_mul(avg));
+        }
         for _ in 0..count {
             sampler.generate(ctx, rng);
             self.push(ctx.last());
@@ -111,28 +119,51 @@ impl RrCollection {
     }
 
     /// Coverage `Λ_R(S)`: the number of stored sets intersecting `seeds`.
+    ///
+    /// Allocates a fresh mark buffer per call; loops should hold a
+    /// [`NodeMarks`] and use [`RrCollection::coverage_of_with`].
     pub fn coverage_of(&self, seeds: &[NodeId]) -> usize {
-        let mut mask = vec![false; self.n];
+        self.coverage_of_with(seeds, &mut NodeMarks::new())
+    }
+
+    /// [`RrCollection::coverage_of`] with caller-owned mark scratch:
+    /// repeated calls reuse `marks`' buffer instead of allocating an
+    /// `n`-slot mask each time.
+    pub fn coverage_of_with(&self, seeds: &[NodeId], marks: &mut NodeMarks) -> usize {
+        marks.begin(self.n);
         for &s in seeds {
-            mask[s as usize] = true;
+            marks.mark(s);
         }
         self.iter()
-            .filter(|set| set.iter().any(|&v| mask[v as usize]))
+            .filter(|set| set.iter().any(|&v| marks.is_marked(v)))
             .count()
     }
 
     /// Splits off the sets that do **not** intersect `seeds` (Algorithm 8
     /// line 5: the sentinel-covered sets contribute zero marginal coverage
     /// to further greedy picks). Returns `(kept, covered_count)`.
+    ///
+    /// Allocates a fresh mark buffer per call; loops should hold a
+    /// [`NodeMarks`] and use [`RrCollection::filter_not_covering_with`].
     pub fn filter_not_covering(&self, seeds: &[NodeId]) -> (RrCollection, usize) {
-        let mut mask = vec![false; self.n];
+        self.filter_not_covering_with(seeds, &mut NodeMarks::new())
+    }
+
+    /// [`RrCollection::filter_not_covering`] with caller-owned mark
+    /// scratch.
+    pub fn filter_not_covering_with(
+        &self,
+        seeds: &[NodeId],
+        marks: &mut NodeMarks,
+    ) -> (RrCollection, usize) {
+        marks.begin(self.n);
         for &s in seeds {
-            mask[s as usize] = true;
+            marks.mark(s);
         }
         let mut kept = RrCollection::new(self.n);
         let mut covered = 0usize;
         for set in self.iter() {
-            if set.iter().any(|&v| mask[v as usize]) {
+            if set.iter().any(|&v| marks.is_marked(v)) {
                 covered += 1;
             } else {
                 kept.push(set);
@@ -142,46 +173,272 @@ impl RrCollection {
     }
 }
 
+/// Reusable epoch-stamped node-mark scratch.
+///
+/// A `vec![false; n]` mask costs an `O(n)` allocation and clear per use;
+/// `NodeMarks` instead stamps nodes with the current epoch and bumps the
+/// epoch to "clear" in `O(1)`, refilling only on the (once per 2³²-1 uses)
+/// epoch wrap or when the graph size changes. The same trick backs
+/// [`RrContext`]'s visited array.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMarks {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl NodeMarks {
+    /// Creates empty scratch; the first [`NodeMarks::begin`] sizes it.
+    pub fn new() -> Self {
+        NodeMarks::default()
+    }
+
+    /// Starts a fresh mark set over `n` nodes, clearing in `O(1)`.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() != n {
+            self.stamp.clear();
+            self.stamp.resize(n, 0);
+            self.epoch = 1;
+        } else {
+            self.epoch = self.epoch.wrapping_add(1);
+            if self.epoch == 0 {
+                self.stamp.fill(0);
+                self.epoch = 1;
+            }
+        }
+    }
+
+    /// Marks `v` in the current epoch.
+    #[inline]
+    pub fn mark(&mut self, v: NodeId) {
+        self.stamp[v as usize] = self.epoch;
+    }
+
+    /// Whether `v` was marked since the last [`NodeMarks::begin`].
+    #[inline]
+    pub fn is_marked(&self, v: NodeId) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+}
+
+/// Offsets array of an [`InvertedIndex`], narrowed to `u32` whenever the
+/// entry count allows it.
+///
+/// An RR pool with `Σ|R_i| ≤ u32::MAX` entries (every realistic pool: 4
+/// billion entries is ~16 GiB of set ids alone) only needs 32-bit
+/// offsets, which halves the index's offset-array memory. The `Wide`
+/// variant is the checked fallback for larger pools.
+#[derive(Debug, Clone)]
+enum Offsets {
+    Narrow(Vec<u32>),
+    Wide(Vec<usize>),
+}
+
+/// Entry count below which [`InvertedIndex::build_parallel`] stays
+/// sequential — scoped-thread spawn costs more than the counting pass.
+const PARALLEL_BUILD_MIN_ENTRIES: usize = 1 << 18;
+
+/// Whether `total` index entries fit 32-bit offsets.
+#[inline]
+fn narrow_offsets_fit(total: usize) -> bool {
+    total <= u32::MAX as usize
+}
+
 /// Node → containing-set-ids index over an [`RrCollection`].
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
-    offsets: Vec<usize>,
+    offsets: Offsets,
     set_ids: Vec<u32>,
 }
 
 impl InvertedIndex {
     /// Builds the index in one counting-sort pass, `O(n + Σ|R_i|)`.
     pub fn build(rr: &RrCollection) -> Self {
+        Self::build_parallel(rr, 1)
+    }
+
+    /// [`InvertedIndex::build`] sharded across `threads` workers.
+    ///
+    /// Each worker counts a contiguous (entry-balanced) range of sets into
+    /// its own histogram; the histograms are merged by prefix sum into the
+    /// offsets array, and workers then fill their disjoint `set_ids`
+    /// segments in parallel. Because worker ranges are contiguous in
+    /// set-id order, each node's id list comes out identical to the
+    /// sequential build — same index, `threads`× the counting/fill
+    /// bandwidth. Falls back to the sequential pass for small pools (the
+    /// spawn cost dominates) and for pools too large for 32-bit offsets.
+    pub fn build_parallel(rr: &RrCollection, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        let narrow = narrow_offsets_fit(rr.total_nodes());
+        if narrow
+            && threads > 1
+            && rr.total_nodes() >= PARALLEL_BUILD_MIN_ENTRIES
+            && rr.len() >= threads
+        {
+            Self::build_sharded(rr, threads)
+        } else {
+            Self::build_sequential(rr, narrow)
+        }
+    }
+
+    fn build_sequential(rr: &RrCollection, narrow: bool) -> Self {
         let n = rr.graph_n();
-        let mut offsets = vec![0usize; n + 1];
-        for set in rr.iter() {
-            for &v in set {
+        if narrow {
+            let mut offsets = vec![0u32; n + 1];
+            for &v in &rr.nodes {
                 offsets[v as usize + 1] += 1;
             }
-        }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-        let mut cursor = offsets.clone();
-        let mut set_ids = vec![0u32; *offsets.last().unwrap()];
-        for (i, set) in rr.iter().enumerate() {
-            for &v in set {
-                set_ids[cursor[v as usize]] = i as u32;
-                cursor[v as usize] += 1;
+            for i in 0..n {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor = offsets.clone();
+            let mut set_ids = vec![0u32; *offsets.last().unwrap() as usize];
+            for (i, set) in rr.iter().enumerate() {
+                for &v in set {
+                    set_ids[cursor[v as usize] as usize] = i as u32;
+                    cursor[v as usize] += 1;
+                }
+            }
+            InvertedIndex {
+                offsets: Offsets::Narrow(offsets),
+                set_ids,
+            }
+        } else {
+            let mut offsets = vec![0usize; n + 1];
+            for &v in &rr.nodes {
+                offsets[v as usize + 1] += 1;
+            }
+            for i in 0..n {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor = offsets.clone();
+            let mut set_ids = vec![0u32; *offsets.last().unwrap()];
+            for (i, set) in rr.iter().enumerate() {
+                for &v in set {
+                    set_ids[cursor[v as usize]] = i as u32;
+                    cursor[v as usize] += 1;
+                }
+            }
+            InvertedIndex {
+                offsets: Offsets::Wide(offsets),
+                set_ids,
             }
         }
-        InvertedIndex { offsets, set_ids }
+    }
+
+    /// The parallel counting-sort described on
+    /// [`InvertedIndex::build_parallel`]. Only called with 32-bit-safe
+    /// entry counts.
+    fn build_sharded(rr: &RrCollection, threads: usize) -> Self {
+        let n = rr.graph_n();
+        let total = rr.total_nodes();
+        debug_assert!(narrow_offsets_fit(total));
+        let workers = threads.min(rr.len()).max(1);
+
+        // Contiguous set ranges balanced by entry count: worker `w` owns
+        // sets `split[w]..split[w + 1]`.
+        let mut split = Vec::with_capacity(workers + 1);
+        split.push(0usize);
+        for w in 1..workers {
+            let target = total * w / workers;
+            let s = rr.offsets.partition_point(|&o| o < target).min(rr.len());
+            split.push(s.max(*split.last().unwrap()));
+        }
+        split.push(rr.len());
+
+        // Stage 1 (parallel): per-worker histograms over disjoint arena
+        // slices.
+        let hists: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let slice = &rr.nodes[rr.offsets[split[w]]..rr.offsets[split[w + 1]]];
+                    scope.spawn(move || {
+                        let mut hist = vec![0u32; n];
+                        for &v in slice {
+                            hist[v as usize] += 1;
+                        }
+                        hist
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("histogram worker panicked"))
+                .collect()
+        });
+
+        // Stage 2 (sequential, O(n·workers)): merge histograms into the
+        // offsets prefix sum and turn each histogram entry into its
+        // worker's write cursor for that node.
+        let mut hists = hists;
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            let mut cur = offsets[v];
+            for hist in hists.iter_mut() {
+                let c = hist[v];
+                hist[v] = cur;
+                cur += c;
+            }
+            offsets[v + 1] = cur;
+        }
+        debug_assert_eq!(*offsets.last().unwrap() as usize, total);
+
+        // Stage 3 (parallel): fill `set_ids`. Worker `w` writes node `v`'s
+        // ids only inside `hists[w][v]..hists[w][v] + count_w(v)`, and
+        // those segments are disjoint across workers by construction.
+        struct SharedIds(*mut u32);
+        // SAFETY: workers write disjoint index sets (see above).
+        unsafe impl Sync for SharedIds {}
+
+        let mut set_ids = vec![0u32; total];
+        let ids = SharedIds(set_ids.as_mut_ptr());
+        std::thread::scope(|scope| {
+            let ids = &ids;
+            for (w, mut hist) in hists.drain(..).enumerate() {
+                let (lo, hi) = (split[w], split[w + 1]);
+                let rr = &rr;
+                scope.spawn(move || {
+                    for sid in lo..hi {
+                        for &v in rr.get(sid) {
+                            let pos = hist[v as usize];
+                            hist[v as usize] += 1;
+                            // SAFETY: `pos` lies in this worker's segment
+                            // for node `v`; no other worker writes it.
+                            unsafe { *ids.0.add(pos as usize) = sid as u32 };
+                        }
+                    }
+                });
+            }
+        });
+
+        InvertedIndex {
+            offsets: Offsets::Narrow(offsets),
+            set_ids,
+        }
+    }
+
+    /// Whether the index uses 32-bit offsets.
+    pub fn is_narrow(&self) -> bool {
+        matches!(self.offsets, Offsets::Narrow(_))
+    }
+
+    #[inline]
+    fn bounds(&self, v: usize) -> (usize, usize) {
+        match &self.offsets {
+            Offsets::Narrow(o) => (o[v] as usize, o[v + 1] as usize),
+            Offsets::Wide(o) => (o[v], o[v + 1]),
+        }
     }
 
     /// Ids of the sets containing `v`.
     pub fn sets_containing(&self, v: NodeId) -> &[u32] {
-        let v = v as usize;
-        &self.set_ids[self.offsets[v]..self.offsets[v + 1]]
+        let (lo, hi) = self.bounds(v as usize);
+        &self.set_ids[lo..hi]
     }
 
     /// Number of sets containing `v` (the node's initial coverage count).
     pub fn degree(&self, v: NodeId) -> usize {
-        self.sets_containing(v).len()
+        let (lo, hi) = self.bounds(v as usize);
+        hi - lo
     }
 }
 
@@ -294,6 +551,137 @@ mod tests {
         assert_eq!(idx.degree(4), 1);
         let total: usize = (0..5).map(|v| idx.degree(v)).sum();
         assert_eq!(total, rr.total_nodes());
+    }
+
+    #[test]
+    fn node_marks_reuse_matches_fresh_masks() {
+        let rr = sample_collection();
+        let mut marks = NodeMarks::new();
+        for seeds in [&[1u32][..], &[2], &[0, 2], &[1, 2, 3], &[]] {
+            assert_eq!(
+                rr.coverage_of_with(seeds, &mut marks),
+                rr.coverage_of(seeds),
+                "seeds {seeds:?}"
+            );
+        }
+        let (kept_scratch, cov_scratch) = rr.filter_not_covering_with(&[1], &mut marks);
+        let (kept_fresh, cov_fresh) = rr.filter_not_covering(&[1]);
+        assert_eq!(cov_scratch, cov_fresh);
+        assert_eq!(kept_scratch.len(), kept_fresh.len());
+        for i in 0..kept_scratch.len() {
+            assert_eq!(kept_scratch.get(i), kept_fresh.get(i));
+        }
+    }
+
+    #[test]
+    fn node_marks_survive_graph_size_change() {
+        let mut marks = NodeMarks::new();
+        marks.begin(3);
+        marks.mark(2);
+        assert!(marks.is_marked(2));
+        marks.begin(8);
+        assert!(!marks.is_marked(2));
+        marks.mark(7);
+        marks.begin(8);
+        assert!(!marks.is_marked(7), "epoch bump must clear marks");
+    }
+
+    #[test]
+    fn narrow_offsets_boundary() {
+        assert!(narrow_offsets_fit(u32::MAX as usize));
+        assert!(!narrow_offsets_fit(u32::MAX as usize + 1));
+    }
+
+    #[test]
+    fn small_indexes_are_narrow() {
+        let idx = InvertedIndex::build(&sample_collection());
+        assert!(idx.is_narrow());
+    }
+
+    #[test]
+    fn wide_fallback_matches_narrow_build() {
+        let g = star_graph(60, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = crate::rr::RrContext::new(60);
+        let mut rng = rng_from_seed(41);
+        let mut rr = RrCollection::new(60);
+        rr.generate(&sampler, &mut ctx, &mut rng, 500);
+
+        let narrow = InvertedIndex::build_sequential(&rr, true);
+        let wide = InvertedIndex::build_sequential(&rr, false);
+        assert!(narrow.is_narrow());
+        assert!(!wide.is_narrow());
+        for v in 0..60u32 {
+            assert_eq!(
+                narrow.sets_containing(v),
+                wide.sets_containing(v),
+                "node {v}"
+            );
+            assert_eq!(narrow.degree(v), wide.degree(v));
+        }
+    }
+
+    #[test]
+    fn sharded_build_matches_sequential() {
+        let g = star_graph(40, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = crate::rr::RrContext::new(40);
+        let mut rng = rng_from_seed(43);
+        let mut rr = RrCollection::new(40);
+        rr.generate(&sampler, &mut ctx, &mut rng, 3000);
+
+        let sequential = InvertedIndex::build(&rr);
+        for threads in [2, 3, 5, 8] {
+            let sharded = InvertedIndex::build_sharded(&rr, threads);
+            assert!(sharded.is_narrow());
+            for v in 0..40u32 {
+                assert_eq!(
+                    sharded.sets_containing(v),
+                    sequential.sets_containing(v),
+                    "threads={threads} node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_handles_skewed_and_empty_sets() {
+        // Hand-built pool with empty sets, an all-nodes set, and heavy
+        // repetition of one node — the shapes that break split balancing.
+        let mut rr = RrCollection::new(6);
+        rr.push(&[]);
+        rr.push(&[0, 1, 2, 3, 4, 5]);
+        for _ in 0..50 {
+            rr.push(&[3]);
+        }
+        rr.push(&[]);
+        rr.push(&[5, 0]);
+        let sequential = InvertedIndex::build(&rr);
+        for threads in [2, 4, 7] {
+            let sharded = InvertedIndex::build_sharded(&rr, threads);
+            for v in 0..6u32 {
+                assert_eq!(
+                    sharded.sets_containing(v),
+                    sequential.sets_containing(v),
+                    "threads={threads} node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_parallel_agrees_with_build_over_threshold_gate() {
+        let g = star_graph(30, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = crate::rr::RrContext::new(30);
+        let mut rng = rng_from_seed(47);
+        let mut rr = RrCollection::new(30);
+        rr.generate(&sampler, &mut ctx, &mut rng, 1000);
+        let a = InvertedIndex::build(&rr);
+        let b = InvertedIndex::build_parallel(&rr, 4);
+        for v in 0..30u32 {
+            assert_eq!(a.sets_containing(v), b.sets_containing(v), "node {v}");
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   per-thread seeding), plus chunked generation whose output is
 //!   independent of the thread count — the top-up primitive behind
 //!   `subsim-index`'s incrementally grown pools.
+//! - [`pool`] — the persistent [`pool::WorkerPool`] behind chunked
+//!   generation: spawned once, reused across top-ups, scheduling chunks
+//!   by work-stealing so skewed chunk costs cannot serialize a batch.
 //! - [`estimator`] — scratch-reusing (and optionally parallel) cascade
 //!   simulation for evaluating many seed sets cheaply (Figure 5).
 //! - [`serialize`] — a versioned binary format for persisting RR
@@ -34,13 +37,17 @@ pub mod collection;
 pub mod estimator;
 pub mod forward;
 pub mod parallel;
+pub mod pool;
 pub mod rr;
 pub mod serialize;
 
-pub use collection::RrCollection;
+pub use collection::{InvertedIndex, NodeMarks, RrCollection};
 pub use estimator::{par_influence, InfluenceEstimator};
 pub use forward::{mc_influence, rr_influence, simulate_ic, simulate_lt, CascadeModel};
-pub use parallel::{chunk_seed, par_generate, par_generate_chunks, ParBatch};
+pub use parallel::{
+    chunk_seed, par_generate, par_generate_chunks, par_generate_chunks_static, ParBatch,
+};
+pub use pool::{WorkerPool, WorkerScratch};
 pub use rr::{RrContext, RrSampler, RrStrategy};
 pub use serialize::{read_rr_collection, write_rr_collection};
 

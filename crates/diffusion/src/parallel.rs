@@ -13,8 +13,17 @@
 //! **independent of the thread count**, which is what lets `subsim-index`
 //! grow a pool incrementally across queries (and across process restarts)
 //! while staying bit-identical to a fresh pool of the same size.
+//!
+//! Chunked generation is scheduled by the work-stealing
+//! [`WorkerPool`](crate::pool::WorkerPool): workers claim chunk ids from a
+//! shared counter instead of owning static blocks, so skewed chunk costs
+//! (hub-rooted RR sets under WC weights) no longer leave the batch waiting
+//! on one straggler. The retired static block split survives as
+//! [`par_generate_chunks_static`] — a differential reference for tests and
+//! the `scheduler` bench.
 
 use crate::collection::RrCollection;
+use crate::pool::WorkerPool;
 use crate::rr::{RrContext, RrSampler};
 use std::time::{Duration, Instant};
 use subsim_graph::NodeId;
@@ -31,6 +40,12 @@ pub struct ParBatch {
     pub sentinel_hits: u64,
     /// Wall-clock time of the batch (spawn through join and concatenate).
     pub elapsed: Duration,
+    /// Which worker generated each chunk, in chunk order (scheduler
+    /// telemetry; empty for non-chunked batches).
+    pub chunk_workers: Vec<u32>,
+    /// Cost proxy of each chunk, in chunk order (empty for non-chunked
+    /// batches). Sums to [`ParBatch::cost`].
+    pub chunk_costs: Vec<u64>,
 }
 
 /// Generates `count` random RR sets across `threads` workers.
@@ -61,6 +76,8 @@ pub fn par_generate(
             cost: ctx.cost,
             sentinel_hits: ctx.sentinel_hits,
             elapsed: start.elapsed(),
+            chunk_workers: Vec::new(),
+            chunk_costs: Vec::new(),
         };
     }
 
@@ -101,6 +118,8 @@ pub fn par_generate(
         cost,
         sentinel_hits: hits,
         elapsed: start.elapsed(),
+        chunk_workers: Vec::new(),
+        chunk_costs: Vec::new(),
     }
 }
 
@@ -122,7 +141,32 @@ pub fn chunk_seed(seed: u64, chunk: u64) -> u64 {
 /// range was split across earlier calls: generating `0..4` in one call
 /// equals generating `0..2` then `2..4`. This is the top-up primitive of
 /// `subsim-index`'s incrementally grown pools.
+///
+/// Chunks are scheduled dynamically (work-stealing claim counter) on a
+/// transient [`WorkerPool`]; callers issuing repeated batches should hold
+/// a [`WorkerPool`] of their own and call
+/// [`WorkerPool::generate_chunks`] directly to amortize thread spawning.
 pub fn par_generate_chunks(
+    sampler: &RrSampler<'_>,
+    sentinel: Option<&[NodeId]>,
+    chunks: std::ops::Range<u64>,
+    chunk_size: usize,
+    threads: usize,
+    seed: u64,
+) -> ParBatch {
+    assert!(threads > 0, "need at least one worker");
+    let count = chunks.end.saturating_sub(chunks.start) as usize;
+    // Never spawn more workers than there are chunks to claim.
+    let pool = WorkerPool::new(threads.min(count.max(1)));
+    pool.generate_chunks(sampler, sentinel, chunks, chunk_size, seed)
+}
+
+/// The retired static scheduler: worker `w` owns a fixed contiguous block
+/// of chunks. Output is identical to [`par_generate_chunks`] (chunk
+/// content never depends on the schedule) but the batch waits on the most
+/// loaded worker, so skewed chunk costs serialize the tail. Kept as the
+/// differential reference for determinism tests and the `scheduler` bench.
+pub fn par_generate_chunks_static(
     sampler: &RrSampler<'_>,
     sentinel: Option<&[NodeId]>,
     chunks: std::ops::Range<u64>,
@@ -141,6 +185,8 @@ pub fn par_generate_chunks(
             cost: 0,
             sentinel_hits: 0,
             elapsed: Duration::ZERO,
+            chunk_workers: Vec::new(),
+            chunk_costs: Vec::new(),
         };
     }
 
@@ -185,6 +231,10 @@ pub fn par_generate_chunks(
         cost,
         sentinel_hits: hits,
         elapsed: start.elapsed(),
+        // The static split tracks per-worker totals only; per-chunk
+        // telemetry is a property of the work-stealing scheduler.
+        chunk_workers: Vec::new(),
+        chunk_costs: Vec::new(),
     }
 }
 
@@ -273,6 +323,34 @@ mod tests {
         for i in 0..whole.rr.len() {
             assert_eq!(whole.rr.get(i), spliced.get(i), "set {i}");
         }
+    }
+
+    #[test]
+    fn static_and_stealing_schedulers_agree() {
+        let g = barabasi_albert(250, 4, WeightModel::Wc, 65);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        for threads in [1, 2, 4, 6] {
+            let stealing = par_generate_chunks(&sampler, None, 2..11, 40, threads, 66);
+            let fixed = par_generate_chunks_static(&sampler, None, 2..11, 40, threads, 66);
+            assert_eq!(stealing.rr.len(), fixed.rr.len(), "threads={threads}");
+            for i in 0..stealing.rr.len() {
+                assert_eq!(
+                    stealing.rr.get(i),
+                    fixed.rr.get(i),
+                    "threads={threads} set {i}"
+                );
+            }
+            assert_eq!(stealing.cost, fixed.cost, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_batch_reports_per_chunk_telemetry() {
+        let g = barabasi_albert(120, 3, WeightModel::Wc, 67);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let batch = par_generate_chunks(&sampler, None, 0..9, 25, 3, 68);
+        assert_eq!(batch.chunk_workers.len(), 9);
+        assert_eq!(batch.chunk_costs.iter().sum::<u64>(), batch.cost);
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Persistent worker pool with a work-stealing chunk scheduler.
+//!
+//! [`crate::parallel::par_generate_chunks`] used to hand each worker a
+//! static contiguous block of chunks. Under WC weights chunk costs are
+//! wildly skewed — a hub-rooted RR set can be 100× a leaf-rooted one — so
+//! the whole batch waited on one straggler. [`WorkerPool`] replaces the
+//! static split with dynamic scheduling: workers claim chunk ids from a
+//! shared atomic counter, write each finished chunk into a per-chunk slot,
+//! and the batch concatenates slots in **chunk order**. Because chunk `c`
+//! is always generated from `rng_from_seed(chunk_seed(seed, c))` no matter
+//! which worker claims it, the output stays bit-identical to the
+//! single-thread reference for any `(seed, chunks, chunk_size)` — the
+//! schedule affects *wall-clock only*, never content.
+//!
+//! The pool is also *persistent*: threads are spawned once and reused
+//! across batches, so an index writer topping up its pool every few
+//! queries does not pay thread-spawn cost per growth round. Each worker
+//! owns a reusable [`RrContext`] scratch that survives between batches
+//! (re-created only when the graph size changes), and every batch reports
+//! per-chunk cost and worker attribution so callers can feed scheduler
+//! telemetry into their metrics.
+//!
+//! # Batch execution model
+//!
+//! A pool of `threads` workers consists of `threads - 1` background
+//! threads plus the caller, which participates as worker 0. Batches are
+//! serialized: a `Mutex` around the caller's scratch doubles as the
+//! one-batch-at-a-time guard. A batch body is a `Fn(worker, &mut
+//! WorkerScratch)` closure; its lifetime is erased to hand it to the
+//! persistent threads, which is sound because [`WorkerPool::run_batch`]
+//! does not return until every worker has finished the body (the
+//! completion latch below), so the borrow outlives all uses.
+
+use crate::collection::RrCollection;
+use crate::parallel::{chunk_seed, ParBatch};
+use crate::rr::{RrContext, RrSampler};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use subsim_graph::NodeId;
+use subsim_sampling::rng_from_seed;
+
+/// Per-worker scratch that persists across batches.
+///
+/// Holds the worker's [`RrContext`] (epoch-stamped visited array, BFS
+/// queue, output buffer) keyed by the graph size it was built for; the
+/// context is re-created only when a batch runs over a different graph.
+pub struct WorkerScratch {
+    n: usize,
+    ctx: RrContext,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch {
+            n: 0,
+            ctx: RrContext::new(0),
+        }
+    }
+
+    /// The reusable context for a graph with `n` nodes, re-created if the
+    /// previous batch ran over a different graph.
+    pub fn context_for(&mut self, n: usize) -> &mut RrContext {
+        if self.n != n {
+            self.ctx = RrContext::new(n);
+            self.n = n;
+        }
+        &mut self.ctx
+    }
+}
+
+/// A batch body as seen by workers: `(worker index, scratch)`.
+type BatchFn<'a> = dyn Fn(usize, &mut WorkerScratch) + Sync + 'a;
+
+/// Lifetime-erased pointer to the current batch body.
+///
+/// Only ever dereferenced between the epoch bump that publishes it and the
+/// completion latch that retires it, both inside `run_batch`'s borrow.
+struct Task(*const BatchFn<'static>);
+
+// SAFETY: the pointee is `Sync` (shared by all workers) and `run_batch`
+// keeps it alive for as long as any worker can observe the pointer.
+unsafe impl Send for Task {}
+
+struct JobState {
+    /// Bumped once per batch; workers run a task exactly once per epoch.
+    epoch: u64,
+    task: Option<Task>,
+    /// Background workers still inside the current batch body.
+    running: usize,
+    /// Set if a worker panicked inside a batch body.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    /// Signalled when a new batch is published (or on shutdown).
+    start: Condvar,
+    /// Signalled when the last running worker finishes the batch.
+    done: Condvar,
+}
+
+/// Decrements `running` even if the batch body panics, so `run_batch`
+/// never deadlocks waiting on a dead worker.
+struct RunningGuard<'a>(&'a Shared);
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        if std::thread::panicking() {
+            st.panicked = true;
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            self.0.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, worker: usize) {
+    let mut scratch = WorkerScratch::new();
+    let mut seen = 0u64;
+    loop {
+        let ptr = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.task.as_ref().expect("epoch bumped without a task").0;
+                }
+                st = shared.start.wait(st).unwrap();
+            }
+        };
+        let _latch = RunningGuard(&shared);
+        // SAFETY: `run_batch` keeps the closure borrowed until `running`
+        // reaches 0, which `_latch` guarantees happens after this call.
+        let body = unsafe { &*ptr };
+        body(worker, &mut scratch);
+    }
+}
+
+/// A persistent pool of RR-generation workers.
+///
+/// Spawned once, reused across any number of batches; see the module docs
+/// for the execution model. Dropping the pool joins all workers.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Worker 0's scratch; the lock also serializes batches.
+    caller: Mutex<WorkerScratch>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (`threads - 1` background
+    /// threads; the caller participates as worker 0). Panics if
+    /// `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(JobState {
+                epoch: 0,
+                task: None,
+                running: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("subsim-worker-{w}"))
+                    .spawn(move || worker_loop(shared, w))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            caller: Mutex::new(WorkerScratch::new()),
+            threads,
+        }
+    }
+
+    /// Number of workers (background threads + the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `body(worker, scratch)` once on every worker concurrently and
+    /// returns when all of them have finished.
+    ///
+    /// Batches are serialized; a second caller blocks until the first
+    /// batch completes. Panics if any worker panicked inside the body.
+    pub fn run_batch(&self, body: &(dyn Fn(usize, &mut WorkerScratch) + Sync)) {
+        let mut caller = self.caller.lock().unwrap();
+        if self.threads == 1 {
+            body(0, &mut caller);
+            return;
+        }
+        // SAFETY: erases the borrow lifetime only; the pointee stays
+        // borrowed (and thus alive) until the completion wait below.
+        let erased: *const BatchFn<'static> =
+            unsafe { std::mem::transmute(body as *const BatchFn<'_>) };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.task = Some(Task(erased));
+            st.running = self.threads - 1;
+            st.epoch += 1;
+            self.shared.start.notify_all();
+        }
+        body(0, &mut caller);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.running > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.task = None;
+        let panicked = std::mem::replace(&mut st.panicked, false);
+        drop(st);
+        assert!(!panicked, "a pool worker panicked during the batch");
+    }
+
+    /// Generates chunks `chunks.start..chunks.end` of `chunk_size` RR sets
+    /// each with dynamic chunk scheduling, concatenated in chunk order.
+    ///
+    /// Workers claim chunk ids from a shared atomic counter, so a worker
+    /// stuck on an expensive hub-rooted chunk never blocks the others from
+    /// draining the rest of the range. Chunk `c` is always generated from
+    /// `rng_from_seed(chunk_seed(seed, c))` regardless of which worker
+    /// claims it: the output depends only on `(seed, chunks, chunk_size)`
+    /// — not on the thread count, not on the claim order, and not on how
+    /// the range was split across earlier calls.
+    ///
+    /// The returned batch carries per-chunk worker attribution and cost
+    /// (`chunk_workers`/`chunk_costs`) for scheduler telemetry.
+    pub fn generate_chunks(
+        &self,
+        sampler: &RrSampler<'_>,
+        sentinel: Option<&[NodeId]>,
+        chunks: Range<u64>,
+        chunk_size: usize,
+        seed: u64,
+    ) -> ParBatch {
+        assert!(chunk_size > 0, "chunks must hold at least one set");
+        let start = Instant::now();
+        let n = sampler.graph().n();
+        let count = chunks.end.saturating_sub(chunks.start) as usize;
+        if count == 0 {
+            return ParBatch {
+                rr: RrCollection::new(n),
+                cost: 0,
+                sentinel_hits: 0,
+                elapsed: Duration::ZERO,
+                chunk_workers: Vec::new(),
+                chunk_costs: Vec::new(),
+            };
+        }
+
+        struct ChunkOut {
+            rr: RrCollection,
+            worker: u32,
+            cost: u64,
+            sentinel_hits: u64,
+        }
+
+        let next = AtomicU64::new(0);
+        let slots: Vec<OnceLock<ChunkOut>> = (0..count).map(|_| OnceLock::new()).collect();
+        let first = chunks.start;
+        self.run_batch(&|worker, scratch| {
+            let ctx = scratch.context_for(n);
+            match sentinel {
+                Some(s) => ctx.set_sentinel(s),
+                None => ctx.clear_sentinel(),
+            }
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= count {
+                    break;
+                }
+                let cost_before = ctx.cost;
+                let hits_before = ctx.sentinel_hits;
+                let mut rng = rng_from_seed(chunk_seed(seed, first + i as u64));
+                let mut rr = RrCollection::new(n);
+                rr.generate(sampler, ctx, &mut rng, chunk_size);
+                let out = ChunkOut {
+                    rr,
+                    worker: worker as u32,
+                    cost: ctx.cost - cost_before,
+                    sentinel_hits: ctx.sentinel_hits - hits_before,
+                };
+                assert!(slots[i].set(out).is_ok(), "chunk {i} claimed twice");
+            }
+        });
+
+        let mut rr = RrCollection::new(n);
+        let (mut cost, mut hits) = (0u64, 0u64);
+        let mut chunk_workers = Vec::with_capacity(count);
+        let mut chunk_costs = Vec::with_capacity(count);
+        for slot in &slots {
+            let out = slot.get().expect("a claimed chunk was never generated");
+            rr.extend_from(&out.rr);
+            cost += out.cost;
+            hits += out.sentinel_hits;
+            chunk_workers.push(out.worker);
+            chunk_costs.push(out.cost);
+        }
+        ParBatch {
+            rr,
+            cost,
+            sentinel_hits: hits,
+            elapsed: start.elapsed(),
+            chunk_workers,
+            chunk_costs,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::par_generate_chunks_static;
+    use crate::rr::RrStrategy;
+    use std::sync::atomic::AtomicUsize;
+    use subsim_graph::generators::{barabasi_albert, star_graph};
+    use subsim_graph::WeightModel;
+
+    #[test]
+    fn run_batch_visits_every_worker_once() {
+        let pool = WorkerPool::new(4);
+        let seen = [const { AtomicUsize::new(0) }; 4];
+        pool.run_batch(&|w, _| {
+            seen[w].fetch_add(1, Ordering::SeqCst);
+        });
+        for (w, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::SeqCst), 1, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn pool_reused_across_batches() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 91);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let pool = WorkerPool::new(3);
+        let reference = par_generate_chunks_static(&sampler, None, 0..8, 32, 1, 92);
+        let mut grown = RrCollection::new(g.n());
+        for r in [0..2u64, 2..5, 5..8] {
+            grown.extend_from(&pool.generate_chunks(&sampler, None, r, 32, 92).rr);
+        }
+        assert_eq!(grown.len(), reference.rr.len());
+        for i in 0..grown.len() {
+            assert_eq!(grown.get(i), reference.rr.get(i), "set {i}");
+        }
+    }
+
+    #[test]
+    fn stealing_matches_static_reference() {
+        let g = star_graph(400, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let reference = par_generate_chunks_static(&sampler, None, 3..19, 48, 1, 93);
+        for threads in [2, 3, 5, 8] {
+            let pool = WorkerPool::new(threads);
+            let batch = pool.generate_chunks(&sampler, None, 3..19, 48, 93);
+            assert_eq!(batch.rr.len(), reference.rr.len(), "threads={threads}");
+            for i in 0..batch.rr.len() {
+                assert_eq!(
+                    batch.rr.get(i),
+                    reference.rr.get(i),
+                    "threads={threads} set {i}"
+                );
+            }
+            assert_eq!(batch.cost, reference.cost, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_accounting_covers_every_chunk() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 94);
+        let sampler = RrSampler::new(&g, RrStrategy::VanillaIc);
+        let pool = WorkerPool::new(4);
+        let batch = pool.generate_chunks(&sampler, None, 0..10, 16, 95);
+        assert_eq!(batch.chunk_workers.len(), 10);
+        assert_eq!(batch.chunk_costs.len(), 10);
+        assert!(batch.chunk_workers.iter().all(|&w| (w as usize) < 4));
+        assert_eq!(batch.chunk_costs.iter().sum::<u64>(), batch.cost);
+        assert!(batch.chunk_costs.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn sentinel_cleared_between_batches() {
+        let g = barabasi_albert(300, 4, WeightModel::WcVariant { theta: 4.0 }, 96);
+        let hub = (0..300u32).max_by_key(|&v| g.out_degree(v)).unwrap();
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let pool = WorkerPool::new(2);
+        let trunc = pool.generate_chunks(&sampler, Some(&[hub]), 0..40, 32, 97);
+        assert!(trunc.sentinel_hits > 0);
+        // The next batch over the same pool must not inherit the sentinel.
+        let plain = pool.generate_chunks(&sampler, None, 0..40, 32, 97);
+        assert_eq!(plain.sentinel_hits, 0);
+        assert!(plain.rr.avg_size() > trunc.rr.avg_size());
+    }
+
+    #[test]
+    fn scratch_survives_graph_size_change() {
+        let small = star_graph(50, WeightModel::Wc);
+        let big = star_graph(500, WeightModel::Wc);
+        let pool = WorkerPool::new(2);
+        let a = pool.generate_chunks(
+            &RrSampler::new(&small, RrStrategy::SubsimIc),
+            None,
+            0..4,
+            16,
+            98,
+        );
+        let b = pool.generate_chunks(
+            &RrSampler::new(&big, RrStrategy::SubsimIc),
+            None,
+            0..4,
+            16,
+            98,
+        );
+        assert_eq!(a.rr.len(), 64);
+        assert_eq!(b.rr.len(), 64);
+        assert_eq!(b.rr.graph_n(), 500);
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let g = star_graph(20, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let pool = WorkerPool::new(3);
+        let batch = pool.generate_chunks(&sampler, None, 7..7, 32, 99);
+        assert!(batch.rr.is_empty());
+        assert!(batch.chunk_workers.is_empty());
+    }
+}

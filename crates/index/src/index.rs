@@ -4,9 +4,9 @@ use crate::error::IndexError;
 use crate::stats::{IndexCounters, QueryStats};
 use std::time::Instant;
 use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
-use subsim_core::pool::evaluate_pool;
+use subsim_core::pool::evaluate_pool_par;
 use subsim_core::ImOptions;
-use subsim_diffusion::parallel::par_generate_chunks;
+use subsim_diffusion::pool::WorkerPool;
 use subsim_diffusion::{RrCollection, RrSampler, RrStrategy};
 use subsim_graph::{Graph, NodeId};
 
@@ -122,6 +122,9 @@ pub struct RrIndex<'g> {
     /// RNG cursor: complete chunks generated per half.
     pub(crate) chunks: u64,
     pub(crate) counters: IndexCounters,
+    /// Persistent generation workers, spawned on the first top-up and
+    /// reused across growth rounds (rebuilt if `threads` changes).
+    pub(crate) workers: Option<WorkerPool>,
 }
 
 impl std::fmt::Debug for RrIndex<'_> {
@@ -149,6 +152,7 @@ impl<'g> RrIndex<'g> {
             r2: RrCollection::new(g.n()),
             chunks: 0,
             counters: IndexCounters::default(),
+            workers: None,
         }
     }
 
@@ -169,6 +173,7 @@ impl<'g> RrIndex<'g> {
             r2,
             chunks,
             counters: IndexCounters::default(),
+            workers: None,
         }
     }
 
@@ -220,10 +225,14 @@ impl<'g> RrIndex<'g> {
         &self.counters
     }
 
-    /// Changes the top-up worker count (pool content is unaffected).
+    /// Changes the top-up worker count (pool content is unaffected). The
+    /// persistent worker pool is re-spawned on the next top-up.
     pub fn set_threads(&mut self, threads: usize) {
         assert!(threads > 0, "need at least one worker");
-        self.config.threads = threads;
+        if self.config.threads != threads {
+            self.config.threads = threads;
+            self.workers = None;
+        }
     }
 
     /// Changes or clears the node budget.
@@ -264,7 +273,14 @@ impl<'g> RrIndex<'g> {
         let mut rounds = 0u32;
         loop {
             rounds += 1;
-            let eval = evaluate_pool(&self.r1, &self.r2, k, delta_iter, delta_iter);
+            let eval = evaluate_pool_par(
+                &self.r1,
+                &self.r2,
+                k,
+                delta_iter,
+                delta_iter,
+                self.config.threads,
+            );
             let certified = eval.ratio() > target;
             if certified || self.pool_len() as f64 >= theta_max {
                 let elapsed = start.elapsed();
@@ -314,13 +330,18 @@ impl<'g> RrIndex<'g> {
             return Ok(0);
         }
         let threads = self.config.threads;
+        // Spawn (or re-spawn after a threads change) the persistent
+        // workers once; every later top-up reuses them.
+        let workers = self.workers.get_or_insert_with(|| WorkerPool::new(threads));
         // Budget is re-checked every `slice` chunks so a single huge
         // top-up cannot blow past `max_nodes` unbounded.
         let slice = (threads as u64) * 4;
         let mut added = 0usize;
         while self.chunks < needed_chunks {
             if let Some(cap) = self.config.max_nodes {
-                let in_use = self.total_nodes();
+                // Field-level sum (not `self.total_nodes()`) so the
+                // borrow of the worker pool stays disjoint.
+                let in_use = self.r1.total_nodes() + self.r2.total_nodes();
                 if in_use >= cap {
                     return Err(IndexError::MemoryBudget {
                         max_nodes: cap,
@@ -330,20 +351,18 @@ impl<'g> RrIndex<'g> {
                 }
             }
             let end = needed_chunks.min(self.chunks + slice);
-            let b1 = par_generate_chunks(
+            let b1 = workers.generate_chunks(
                 &self.sampler,
                 None,
                 self.chunks..end,
                 chunk,
-                threads,
                 self.config.seed,
             );
-            let b2 = par_generate_chunks(
+            let b2 = workers.generate_chunks(
                 &self.sampler,
                 None,
                 self.chunks..end,
                 chunk,
-                threads,
                 self.config.seed ^ R2_STREAM,
             );
             self.counters.rr_sets_generated += (b1.rr.len() + b2.rr.len()) as u64;

@@ -30,8 +30,17 @@
 //!   turns unbounded growth into a clean [`IndexError::MemoryBudget`],
 //!   leaving the index serving whatever its current pool can certify.
 //!
+//! With [`IndexConfig::threads`] `> 1`, pool top-ups run on a persistent
+//! work-stealing worker pool (spawned once, reused across growth rounds)
+//! and the per-query selection phase parallelizes its preparation — the
+//! inverted coverage index and initial counts — while the greedy loop
+//! stays sequential. Both are output-invariant: thread count changes
+//! wall-clock and nothing else, preserving the determinism contract
+//! above bit for bit.
+//!
 //! Per-query costs surface in [`QueryStats`]; lifetime totals in
-//! [`IndexCounters`].
+//! [`IndexCounters`]. Serving-side metrics (latency histograms, selection
+//! and generation timings) live in [`IndexMetrics`].
 
 #![warn(missing_docs)]
 

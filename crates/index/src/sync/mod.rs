@@ -31,9 +31,9 @@ use crate::stats::QueryStats;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
-use subsim_core::pool::evaluate_pool_timed;
+use subsim_core::pool::evaluate_pool_timed_par;
 use subsim_core::ImOptions;
-use subsim_diffusion::parallel::par_generate_chunks;
+use subsim_diffusion::pool::WorkerPool;
 use subsim_diffusion::{RrCollection, RrSampler};
 use subsim_graph::Graph;
 
@@ -100,10 +100,12 @@ pub struct ConcurrentRrIndex<'g> {
     config: IndexConfig,
     sampler: RrSampler<'g>,
     snapshot: RwLock<Arc<PoolSnapshot>>,
-    /// Serializes growth; holds no data because all pool state lives in
+    /// Serializes growth and owns the persistent generation workers —
+    /// spawned once at construction and reused across every top-up, so
+    /// growth rounds never pay thread-spawn cost. All pool state lives in
     /// the published snapshot (the guard's critical section is the only
     /// place a successor snapshot is ever constructed).
-    writer: Mutex<()>,
+    writer: Mutex<WorkerPool>,
     metrics: IndexMetrics,
 }
 
@@ -135,7 +137,7 @@ impl<'g> ConcurrentRrIndex<'g> {
             config,
             sampler: RrSampler::new(g, config.strategy),
             snapshot: RwLock::new(Arc::new(PoolSnapshot { r1, r2, chunks })),
-            writer: Mutex::new(()),
+            writer: Mutex::new(WorkerPool::new(config.threads)),
             metrics: IndexMetrics::default(),
         }
     }
@@ -210,8 +212,15 @@ impl<'g> ConcurrentRrIndex<'g> {
         let mut rounds = 0u32;
         loop {
             rounds += 1;
-            let (eval, _cert_time) =
-                evaluate_pool_timed(&snap.r1, &snap.r2, k, delta_iter, delta_iter);
+            let (eval, cert_time) = evaluate_pool_timed_par(
+                &snap.r1,
+                &snap.r2,
+                k,
+                delta_iter,
+                delta_iter,
+                self.config.threads,
+            );
+            self.metrics.record_selection(cert_time);
             let certified = eval.ratio() > target;
             if certified || snap.pool_len() as f64 >= theta_max {
                 let elapsed = start.elapsed();
@@ -264,7 +273,7 @@ impl<'g> ConcurrentRrIndex<'g> {
                 return Ok((snap, 0));
             }
         }
-        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let workers = self.writer.lock().expect("writer lock poisoned");
         // Re-check under the guard: the pool may have grown while this
         // thread waited for a predecessor writer.
         let base = self.load();
@@ -272,8 +281,7 @@ impl<'g> ConcurrentRrIndex<'g> {
             return Ok((base, 0));
         }
 
-        let threads = self.config.threads;
-        let slice = (threads as u64) * 4;
+        let slice = (self.config.threads as u64) * 4;
         let mut r1 = base.r1.clone();
         let mut r2 = base.r2.clone();
         let mut chunks = base.chunks;
@@ -292,20 +300,13 @@ impl<'g> ConcurrentRrIndex<'g> {
                 }
             }
             let end = needed_chunks.min(chunks + slice);
-            let b1 = par_generate_chunks(
+            let b1 =
+                workers.generate_chunks(&self.sampler, None, chunks..end, chunk, self.config.seed);
+            let b2 = workers.generate_chunks(
                 &self.sampler,
                 None,
                 chunks..end,
                 chunk,
-                threads,
-                self.config.seed,
-            );
-            let b2 = par_generate_chunks(
-                &self.sampler,
-                None,
-                chunks..end,
-                chunk,
-                threads,
                 self.config.seed ^ R2_STREAM,
             );
             self.metrics.record_generation(

@@ -29,8 +29,9 @@ use std::process::ExitCode;
 use std::sync::{mpsc, Mutex};
 use subsim::core::coverage::{greedy_max_coverage, GreedyConfig};
 use subsim::diffusion::serialize::{read_rr_collection, write_rr_collection};
-use subsim::diffusion::{mc_influence, par_generate, CascadeModel};
+use subsim::diffusion::{chunk_seed, mc_influence, par_generate_chunks, CascadeModel};
 use subsim::prelude::*;
+use subsim::sampling::rng_from_seed;
 use subsim_graph::io::read_edge_list_file;
 use subsim_graph::Graph;
 
@@ -48,6 +49,7 @@ struct Args {
     rr_out: Option<String>,
     rr_in: Option<String>,
     rr_count: usize,
+    threads: usize,
 }
 
 struct ServerArgs {
@@ -79,6 +81,8 @@ fn usage() -> &'static str {
      \t[--rr-out <file>]    generate RR sets, save them, greedy-select k (skips the IM run)\n\
      \t[--rr-count <n>]     how many RR sets --rr-out generates (default 50000)\n\
      \t[--rr-in <file>]     load saved RR sets and greedy-select k (skips the IM run)\n\
+     \t[--threads <n>]      worker threads for --rr-out generation and greedy\n\
+     \t                     selection (default 1; output is thread-count invariant)\n\
      \n\
      usage: subsim query-server --graph <edge-list>\n\
      \t[--model ...] [--theta ...] [--p ...] [--undirected] as above\n\
@@ -110,6 +114,7 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
         rr_out: None,
         rr_in: None,
         rr_count: 50_000,
+        threads: 1,
     };
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -143,6 +148,11 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--rr-count: {e}"))?
             }
+            "--threads" => {
+                args.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--help" | "-h" => return Err(usage().into()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -155,6 +165,9 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if args.rr_count == 0 {
         return Err("--rr-count must be positive".into());
+    }
+    if args.threads == 0 {
+        return Err("--threads must be positive".into());
     }
     Ok(args)
 }
@@ -294,15 +307,27 @@ fn run(args: Args) -> Result<(), String> {
             RrStrategy::SubsimIc
         };
         let sampler = RrSampler::new(&g, strategy);
-        let batch = par_generate(&sampler, None, args.rr_count, 1, args.seed);
+        // Chunk-deterministic generation: full chunks through the
+        // work-stealing pool, the sub-chunk tail sequentially from the
+        // next chunk's RNG — exact count, thread-count invariant output.
+        const CHUNK: usize = 256;
+        let full = (args.rr_count / CHUNK) as u64;
+        let mut rr =
+            par_generate_chunks(&sampler, None, 0..full, CHUNK, args.threads, args.seed).rr;
+        let tail = args.rr_count % CHUNK;
+        if tail > 0 {
+            let mut ctx = RrContext::new(g.n());
+            let mut rng = rng_from_seed(chunk_seed(args.seed, full));
+            rr.generate(&sampler, &mut ctx, &mut rng, tail);
+        }
         let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
-        write_rr_collection(&batch.rr, file).map_err(|e| format!("writing {path}: {e}"))?;
+        write_rr_collection(&rr, file).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!(
             "wrote {} RR sets ({} node entries) to {path}",
-            batch.rr.len(),
-            batch.rr.total_nodes()
+            rr.len(),
+            rr.total_nodes()
         );
-        return greedy_over(&batch.rr, args.k, args.evaluate, &g, lt, args.seed);
+        return greedy_over(&rr, args.k, args.threads, args.evaluate, &g, lt, args.seed);
     }
     if let Some(path) = &args.rr_in {
         let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
@@ -315,7 +340,7 @@ fn run(args: Args) -> Result<(), String> {
             ));
         }
         eprintln!("loaded {} RR sets from {path}", rr.len());
-        return greedy_over(&rr, args.k, args.evaluate, &g, lt, args.seed);
+        return greedy_over(&rr, args.k, args.threads, args.evaluate, &g, lt, args.seed);
     }
 
     let alg: Box<dyn ImAlgorithm> = match (args.algorithm.as_str(), lt) {
@@ -359,6 +384,7 @@ fn run(args: Args) -> Result<(), String> {
 fn greedy_over(
     rr: &RrCollection,
     k: usize,
+    threads: usize,
     evaluate: usize,
     g: &Graph,
     lt: bool,
@@ -367,7 +393,7 @@ fn greedy_over(
     if rr.is_empty() {
         return Err("the RR collection is empty".into());
     }
-    let out = greedy_max_coverage(rr, &GreedyConfig::standard(k));
+    let out = greedy_max_coverage(rr, &GreedyConfig::standard(k).with_threads(threads));
     eprintln!(
         "greedy over {} sets: coverage {} ({:.1}% of sets)",
         rr.len(),

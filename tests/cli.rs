@@ -456,7 +456,7 @@ fn query_server_serves_unix_socket_until_shutdown() {
     }
     let graph = write_temp_graph("server_socket", &edges);
     let sock = std::env::temp_dir().join(format!("subsim_cli_sock_{}.s", std::process::id()));
-    let mut child = cli()
+    let child = cli()
         .args([
             "query-server",
             "--graph",

@@ -1,0 +1,182 @@
+//! Determinism and scheduling tests for work-stealing chunked generation.
+//!
+//! The contract under test: chunk `c` is always generated from
+//! `rng_from_seed(chunk_seed(seed, c))`, so the *content* of a chunked
+//! batch is a pure function of `(seed, chunk range, chunk size)` — never
+//! of the thread count, the scheduler's claim order, or how a range was
+//! sliced across calls. The scheduler may only change *which worker* runs
+//! a chunk and *when*, which is exactly what the telemetry fields
+//! (`chunk_workers`, `chunk_costs`) expose and what the straggler
+//! regression test checks.
+
+use proptest::prelude::*;
+use subsim::diffusion::pool::WorkerPool;
+use subsim::diffusion::{par_generate_chunks, par_generate_chunks_static, RrSampler, RrStrategy};
+use subsim::prelude::*;
+use subsim_graph::generators::{barabasi_albert, star_graph};
+
+/// Asserts two collections are bit-identical, set by set.
+fn assert_same_sets(a: &RrCollection, b: &RrCollection, label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: set counts differ");
+    for i in 0..a.len() {
+        assert_eq!(a.get(i), b.get(i), "{label}: set {i} differs");
+    }
+}
+
+/// Strategy: a skewed scale-free graph (hub-rooted RR sets make chunk
+/// costs uneven — the scheduler's hard case) plus a star graph control.
+fn arb_skewed_graph() -> impl Strategy<Value = Graph> {
+    (20usize..120, 2usize..4, 0u64..1000, any::<bool>()).prop_map(|(n, m, seed, star)| {
+        if star {
+            star_graph(n, WeightModel::UniformIc { p: 0.4 })
+        } else {
+            barabasi_albert(n, m, WeightModel::Wc, seed)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stealing output equals the 1-thread reference for every thread
+    /// count, on arbitrary graphs, strategies, ranges, and chunk sizes.
+    #[test]
+    fn stealing_is_thread_count_invariant(
+        g in arb_skewed_graph(),
+        seed in 0u64..u64::MAX,
+        start in 0u64..16,
+        len in 1u64..10,
+        chunk_size in 1usize..48,
+        subsim_rr in any::<bool>(),
+    ) {
+        let strategy = if subsim_rr { RrStrategy::SubsimIc } else { RrStrategy::VanillaIc };
+        let sampler = RrSampler::new(&g, strategy);
+        let range = start..start + len;
+        let reference = par_generate_chunks(&sampler, None, range.clone(), chunk_size, 1, seed);
+        prop_assert_eq!(reference.rr.len(), len as usize * chunk_size);
+        for threads in [2usize, 3, 5, 8] {
+            let batch = par_generate_chunks(&sampler, None, range.clone(), chunk_size, threads, seed);
+            prop_assert_eq!(batch.rr.len(), reference.rr.len());
+            for i in 0..batch.rr.len() {
+                prop_assert_eq!(
+                    batch.rr.get(i),
+                    reference.rr.get(i),
+                    "threads={} set {}", threads, i
+                );
+            }
+            prop_assert_eq!(batch.cost, reference.cost, "threads={}", threads);
+        }
+    }
+
+    /// Slicing a range across calls (with differing thread counts per
+    /// slice) concatenates to the same pool as one whole-range call —
+    /// the invariant `subsim-index` growth rounds rely on.
+    #[test]
+    fn interleaved_ranges_splice_to_whole(
+        g in arb_skewed_graph(),
+        seed in 0u64..u64::MAX,
+        cut in 1u64..7,
+    ) {
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let whole = par_generate_chunks(&sampler, None, 0..8, 32, 4, seed);
+        let mut spliced = par_generate_chunks(&sampler, None, 0..cut, 32, 3, seed).rr;
+        spliced.extend_from(&par_generate_chunks(&sampler, None, cut..8, 32, 5, seed).rr);
+        prop_assert_eq!(whole.rr.len(), spliced.len());
+        for i in 0..whole.rr.len() {
+            prop_assert_eq!(whole.rr.get(i), spliced.get(i), "cut={} set {}", cut, i);
+        }
+    }
+
+    /// The stealing and retired-static schedulers are differential twins.
+    #[test]
+    fn stealing_matches_static_reference(
+        g in arb_skewed_graph(),
+        seed in 0u64..u64::MAX,
+        threads in 1usize..6,
+    ) {
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let stealing = par_generate_chunks(&sampler, None, 1..9, 24, threads, seed);
+        let fixed = par_generate_chunks_static(&sampler, None, 1..9, 24, threads, seed);
+        prop_assert_eq!(stealing.rr.len(), fixed.rr.len());
+        for i in 0..stealing.rr.len() {
+            prop_assert_eq!(stealing.rr.get(i), fixed.rr.get(i), "set {}", i);
+        }
+    }
+}
+
+/// A persistent pool reused across top-ups produces the same stream as
+/// fresh per-batch pools — worker scratch carries no state between
+/// batches that could leak into set content.
+#[test]
+fn persistent_pool_reused_across_top_ups_matches_fresh_pools() {
+    let g = barabasi_albert(200, 3, WeightModel::Wc, 77);
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let pool = WorkerPool::new(3);
+
+    let mut grown = RrCollection::new(g.n());
+    for (start, end) in [(0u64, 3u64), (3, 5), (5, 11)] {
+        let batch = pool.generate_chunks(&sampler, None, start..end, 40, 78);
+        grown.extend_from(&batch.rr);
+    }
+    let reference = par_generate_chunks(&sampler, None, 0..11, 40, 1, 78);
+    assert_same_sets(&grown, &reference.rr, "persistent pool top-ups");
+}
+
+/// Sentinel truncation composes with stealing: installed for the batch,
+/// cleared afterwards, and the output still thread-count invariant.
+#[test]
+fn sentinel_batches_are_thread_count_invariant() {
+    let g = barabasi_albert(250, 4, WeightModel::WcVariant { theta: 4.0 }, 79);
+    let hub = (0..g.n() as u32).max_by_key(|&v| g.out_degree(v)).unwrap();
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let sentinel = [hub];
+    let reference = par_generate_chunks(&sampler, Some(&sentinel), 0..6, 50, 1, 80);
+    for threads in [2, 4, 7] {
+        let batch = par_generate_chunks(&sampler, Some(&sentinel), 0..6, 50, threads, 80);
+        assert_same_sets(&batch.rr, &reference.rr, "sentinel batch");
+        assert_eq!(
+            batch.sentinel_hits, reference.sentinel_hits,
+            "threads={threads}"
+        );
+    }
+    // The same pool with no sentinel right after must not truncate.
+    let plain = par_generate_chunks(&sampler, None, 0..6, 50, 4, 80);
+    assert!(plain.rr.avg_size() >= reference.rr.avg_size());
+}
+
+/// Straggler regression: on a skewed-cost batch, the expensive tail must
+/// not all land on one worker. The static split assigns contiguous blocks
+/// up front, so a cost-sorted adversarial range serializes behind one
+/// thread; the claim counter hands a free worker the next chunk instead.
+///
+/// Scheduling depends on OS timing, so the test is `#[ignore]`d for
+/// regular runs (CI runs it with `--include-ignored` in release mode) and
+/// passes if *any* seed shows the top-cost-quartile chunks spread across
+/// at least two workers.
+#[test]
+#[ignore = "timing-sensitive scheduler telemetry; run with --include-ignored"]
+fn expensive_tail_chunks_spread_across_workers() {
+    let g = barabasi_albert(400, 5, WeightModel::Wc, 81);
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let threads = 4;
+    let chunks = 32u64;
+
+    for seed in [82u64, 183, 912] {
+        let batch = par_generate_chunks(&sampler, None, 0..chunks, 64, threads, seed);
+        assert_eq!(batch.chunk_workers.len(), chunks as usize);
+        assert_eq!(batch.chunk_costs.len(), chunks as usize);
+        assert_eq!(batch.chunk_costs.iter().sum::<u64>(), batch.cost);
+
+        // Rank chunks by cost; the top quartile is the straggler tail.
+        let mut by_cost: Vec<usize> = (0..chunks as usize).collect();
+        by_cost.sort_by_key(|&c| std::cmp::Reverse(batch.chunk_costs[c]));
+        let tail = &by_cost[..chunks as usize / 4];
+        let mut owners: Vec<u32> = tail.iter().map(|&c| batch.chunk_workers[c]).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        if owners.len() >= 2 {
+            return; // some seed demonstrated a spread tail — pass
+        }
+    }
+    panic!("every seed put the whole expensive tail on one worker");
+}
