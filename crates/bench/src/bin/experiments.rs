@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|genwc|index|all]...
 //! experiments bench-pr3 [out.json]   # scheduler/selection bench (never part of `all`)
+//! experiments bench-pr4 [out.json]   # incremental-repair bench (never part of `all`)
 //! ```
 //!
 //! Scale is controlled by `SUBSIM_SCALE=small|paper` (default `paper`).
@@ -22,6 +23,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench-pr3") {
         let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pr3.json");
         harness::bench_pr3(scale, out);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench-pr4") {
+        let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pr4.json");
+        harness::bench_pr4(scale, out);
         return;
     }
 

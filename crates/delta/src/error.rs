@@ -1,0 +1,116 @@
+//! Error type for delta validation, application, and repair.
+
+use std::fmt;
+use subsim_graph::GraphError;
+use subsim_index::IndexError;
+
+/// Errors produced while parsing, validating, or applying a
+/// [`crate::GraphDelta`], or while serving a versioned index.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// Graph-layer failure (invalid probability, rebuild error, I/O).
+    Graph(GraphError),
+    /// Index-layer failure (query options, memory budget, snapshots).
+    Index(IndexError),
+    /// A delete or reweight names an edge the current version does not
+    /// have.
+    UnknownEdge {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+    },
+    /// An insert names an edge the current version already has.
+    DuplicateEdge {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+    },
+    /// An op references a node id `>= n` (the node set is fixed at
+    /// construction; deltas mutate edges only).
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The graph's node count.
+        n: usize,
+    },
+    /// A query pinned to a version the index has moved past.
+    StaleVersion {
+        /// Version the caller pinned.
+        requested: u64,
+        /// Version currently served.
+        current: u64,
+    },
+    /// A delta-stream line could not be parsed.
+    Parse {
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Graph(e) => write!(f, "graph: {e}"),
+            DeltaError::Index(e) => write!(f, "index: {e}"),
+            DeltaError::UnknownEdge { u, v } => {
+                write!(f, "edge {u} -> {v} does not exist in the current version")
+            }
+            DeltaError::DuplicateEdge { u, v } => {
+                write!(f, "edge {u} -> {v} already exists in the current version")
+            }
+            DeltaError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            DeltaError::StaleVersion { requested, current } => {
+                write!(
+                    f,
+                    "stale version: requested {requested}, index is at {current}"
+                )
+            }
+            DeltaError::Parse { message } => write!(f, "delta parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaError::Graph(e) => Some(e),
+            DeltaError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for DeltaError {
+    fn from(e: GraphError) -> Self {
+        DeltaError::Graph(e)
+    }
+}
+
+impl From<IndexError> for DeltaError {
+    fn from(e: IndexError) -> Self {
+        DeltaError::Index(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = DeltaError::UnknownEdge { u: 3, v: 9 };
+        assert!(e.to_string().contains("3 -> 9"), "{e}");
+        let e = DeltaError::StaleVersion {
+            requested: 2,
+            current: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("requested 2") && msg.contains("at 7"), "{msg}");
+        let e = DeltaError::NodeOutOfRange { node: 99, n: 10 };
+        assert!(e.to_string().contains("99"), "{e}");
+    }
+}

@@ -1,0 +1,531 @@
+//! A sequential RR-sketch index that owns its versioned graph.
+//!
+//! [`subsim_index::RrIndex`] borrows a frozen `&Graph`, which is exactly
+//! wrong for a mutating graph: the borrow would freeze the thing deltas
+//! must rewrite. [`DeltaIndex`] therefore *owns* a [`VersionedGraph`]
+//! plus the two pool halves and re-binds a transient sampler to the
+//! current CSR per operation. Query semantics mirror `RrIndex::query`
+//! bit for bit (same bounds, same growth schedule, same chunk streams),
+//! and [`DeltaIndex::apply_delta`] repairs the pool through
+//! [`crate::repair`] so every query after a delta sees a pool identical
+//! to a full rebuild on the new graph.
+
+use crate::delta::GraphDelta;
+use crate::error::DeltaError;
+use crate::repair::{repair_half, RepairReport};
+use crate::versioned::VersionedGraph;
+use std::path::Path;
+use std::time::Instant;
+use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
+use subsim_core::pool::evaluate_pool_timed_par;
+use subsim_core::ImOptions;
+use subsim_diffusion::pool::WorkerPool;
+use subsim_diffusion::{RrCollection, RrSampler};
+use subsim_graph::Graph;
+use subsim_index::QueryStats;
+use subsim_index::{
+    IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, RrIndex, R2_STREAM,
+};
+
+/// An RR-sketch index over a [`VersionedGraph`]: answers certified IM
+/// queries like [`RrIndex`] and absorbs graph deltas by incremental
+/// chunk repair instead of re-indexing.
+///
+/// ```
+/// use subsim_delta::{DeltaIndex, GraphDelta};
+/// use subsim_diffusion::RrStrategy;
+/// use subsim_graph::{generators, WeightModel};
+/// use subsim_index::IndexConfig;
+///
+/// let g = generators::star_graph(50, WeightModel::UniformIc { p: 0.4 });
+/// let mut index = DeltaIndex::new(g, IndexConfig::new(RrStrategy::SubsimIc).seed(3)).unwrap();
+/// let before = index.query(1, 0.1, 0.01).unwrap();
+/// assert_eq!(before.seeds, vec![0]);
+/// let report = index
+///     .apply_delta(&GraphDelta::new().insert_edge(1, 2, 0.9))
+///     .unwrap();
+/// assert_eq!(index.version(), 1);
+/// assert!(report.regenerated_sets <= report.pool_sets);
+/// ```
+pub struct DeltaIndex {
+    vg: VersionedGraph,
+    config: IndexConfig,
+    r1: RrCollection,
+    r2: RrCollection,
+    /// RNG cursor: complete chunks generated per half.
+    chunks: u64,
+    workers: WorkerPool,
+    metrics: IndexMetrics,
+}
+
+impl std::fmt::Debug for DeltaIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaIndex")
+            .field("version", &self.vg.version())
+            .field("config", &self.config)
+            .field("chunks", &self.chunks)
+            .field("pool_len", &self.r1.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeltaIndex {
+    /// An empty index over version 0 of `g` (storage-normalized; see
+    /// [`VersionedGraph`]). The first query or [`DeltaIndex::warm`]
+    /// populates the pool.
+    pub fn new(g: Graph, config: IndexConfig) -> Result<Self, DeltaError> {
+        let vg = VersionedGraph::new(g)?;
+        Ok(Self::from_versioned(vg, config))
+    }
+
+    /// Wraps an existing [`VersionedGraph`] with an empty pool.
+    pub fn from_versioned(vg: VersionedGraph, config: IndexConfig) -> Self {
+        assert!(config.threads > 0, "need at least one worker");
+        assert!(config.chunk_size > 0, "chunks must hold at least one set");
+        let n = vg.graph().n();
+        DeltaIndex {
+            vg,
+            config,
+            r1: RrCollection::new(n),
+            r2: RrCollection::new(n),
+            chunks: 0,
+            workers: WorkerPool::new(config.threads),
+            metrics: IndexMetrics::default(),
+        }
+    }
+
+    /// Rebuilds an index from raw parts (pool halves must already be
+    /// whole chunks generated against `vg`'s current version).
+    pub(crate) fn from_raw_parts(
+        vg: VersionedGraph,
+        config: IndexConfig,
+        r1: RrCollection,
+        r2: RrCollection,
+        chunks: u64,
+    ) -> Self {
+        DeltaIndex {
+            vg,
+            config,
+            r1,
+            r2,
+            chunks,
+            workers: WorkerPool::new(config.threads),
+            metrics: IndexMetrics::default(),
+        }
+    }
+
+    /// Decomposes into `(vg, config, r1, r2, chunks)`, dropping workers
+    /// and metrics — the conversion point into
+    /// [`crate::ConcurrentDeltaIndex`].
+    pub(crate) fn into_raw_parts(
+        self,
+    ) -> (VersionedGraph, IndexConfig, RrCollection, RrCollection, u64) {
+        (self.vg, self.config, self.r1, self.r2, self.chunks)
+    }
+
+    /// The CSR at the current version.
+    pub fn graph(&self) -> &Graph {
+        self.vg.graph()
+    }
+
+    /// The versioned graph.
+    pub fn versioned(&self) -> &VersionedGraph {
+        &self.vg
+    }
+
+    /// The construction-time configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The epoch: deltas applied since construction.
+    pub fn version(&self) -> u64 {
+        self.vg.version()
+    }
+
+    /// Structural fingerprint of the current graph version.
+    pub fn fingerprint(&self) -> u64 {
+        self.vg.fingerprint()
+    }
+
+    /// Sets per pool half.
+    pub fn pool_len(&self) -> usize {
+        self.r1.len()
+    }
+
+    /// The RNG cursor: complete chunks generated per half.
+    pub fn chunk_cursor(&self) -> u64 {
+        self.chunks
+    }
+
+    /// The selection half `R₁` (read-only).
+    pub fn selection_pool(&self) -> &RrCollection {
+        &self.r1
+    }
+
+    /// The validation half `R₂` (read-only).
+    pub fn validation_pool(&self) -> &RrCollection {
+        &self.r2
+    }
+
+    /// Serving metrics (queries, generation, repairs).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Pre-grows the pool to at least `sets` per half (whole chunks).
+    pub fn warm(&mut self, sets: usize) -> Result<(), DeltaError> {
+        let sampler = RrSampler::new(self.vg.graph(), self.config.strategy);
+        ensure_pool(
+            &sampler,
+            &self.workers,
+            &self.config,
+            &self.metrics,
+            &mut self.r1,
+            &mut self.r2,
+            &mut self.chunks,
+            sets,
+        )?;
+        Ok(())
+    }
+
+    /// Answers one certified IM query; semantics match
+    /// [`RrIndex::query`] over the current graph version.
+    pub fn query(&mut self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, DeltaError> {
+        let g = self.vg.graph();
+        let opts = ImOptions::new(k).epsilon(epsilon).delta(delta);
+        opts.validate(g).map_err(IndexError::from)?;
+        let start = Instant::now();
+        let n = g.n();
+        let target = 1.0 - (-1.0f64).exp() - epsilon;
+        let theta_max = theta_max_opim(n, k, epsilon, delta);
+        let theta0 = theta_zero(delta);
+        let imax = i_max(theta_max, theta0);
+        let delta_iter = delta / (3.0 * imax as f64);
+
+        let sampler = RrSampler::new(g, self.config.strategy);
+        let pool_before = self.r1.len();
+        let mut fresh = ensure_pool(
+            &sampler,
+            &self.workers,
+            &self.config,
+            &self.metrics,
+            &mut self.r1,
+            &mut self.r2,
+            &mut self.chunks,
+            theta0 as usize,
+        )?;
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            let (eval, cert_time) = evaluate_pool_timed_par(
+                &self.r1,
+                &self.r2,
+                k,
+                delta_iter,
+                delta_iter,
+                self.config.threads,
+            );
+            self.metrics.record_selection(cert_time);
+            let certified = eval.ratio() > target;
+            if certified || self.r1.len() as f64 >= theta_max {
+                let stats = QueryStats {
+                    k,
+                    epsilon,
+                    delta,
+                    pool_before,
+                    pool_after: self.r1.len(),
+                    fresh_sets: fresh,
+                    rounds,
+                    lower_bound: eval.lower,
+                    upper_bound: eval.upper,
+                    target_ratio: target,
+                    certified_by_bounds: certified,
+                    elapsed: start.elapsed(),
+                };
+                self.metrics.record_query(&stats);
+                return Ok(QueryAnswer {
+                    seeds: eval.seeds,
+                    stats,
+                });
+            }
+            let next = self
+                .r1
+                .len()
+                .saturating_mul(2)
+                .min(theta_max.ceil() as usize);
+            fresh += ensure_pool(
+                &sampler,
+                &self.workers,
+                &self.config,
+                &self.metrics,
+                &mut self.r1,
+                &mut self.r2,
+                &mut self.chunks,
+                next,
+            )?;
+        }
+    }
+
+    /// Applies `delta` to the graph and repairs the pool incrementally.
+    ///
+    /// On success, both halves are bit-identical to what a full rebuild
+    /// of the same chunk range on the new graph version would hold — so
+    /// subsequent queries (and their certified bounds) match a fresh
+    /// index exactly. The sample accounting is repair-aware: pool sizes
+    /// are unchanged (`chunk_cursor` continues from where it was), and
+    /// every stored set is a valid i.i.d. RR sample of the *new* graph,
+    /// so the OPIM certificates re-derive on the next query without
+    /// discarding clean samples.
+    ///
+    /// On error (validation failure), neither the graph nor the pool
+    /// changes.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<RepairReport, DeltaError> {
+        let start = Instant::now();
+        self.vg.apply(delta)?;
+        let targets = delta.targets();
+        let sampler = RrSampler::new(self.vg.graph(), self.config.strategy);
+        let chunk = self.config.chunk_size;
+        let threads = self.config.threads;
+        let h1 = repair_half(
+            &self.r1,
+            &targets,
+            &sampler,
+            &self.workers,
+            chunk,
+            self.config.seed,
+            threads,
+        );
+        let h2 = repair_half(
+            &self.r2,
+            &targets,
+            &sampler,
+            &self.workers,
+            chunk,
+            self.config.seed ^ R2_STREAM,
+            threads,
+        );
+        drop(sampler);
+        self.r1 = h1.rr;
+        self.r2 = h2.rr;
+        let regenerated = (h1.dirty_chunks + h2.dirty_chunks) * chunk;
+        let report = RepairReport {
+            version: self.vg.version(),
+            targets: targets.len(),
+            dirty_sets_r1: h1.dirty_sets,
+            dirty_sets_r2: h2.dirty_sets,
+            dirty_chunks_r1: h1.dirty_chunks,
+            dirty_chunks_r2: h2.dirty_chunks,
+            regenerated_sets: regenerated,
+            pool_sets: self.r1.len() + self.r2.len(),
+            elapsed: start.elapsed(),
+        };
+        self.metrics.record_repair(
+            regenerated as u64,
+            (h1.dirty_chunks + h2.dirty_chunks) as u64,
+            report.elapsed,
+        );
+        Ok(report)
+    }
+
+    /// Writes the pool to the on-disk snapshot format, stamped with the
+    /// **current version's** fingerprint — a snapshot taken at version
+    /// `t` loads only against the graph at version `t`.
+    pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), DeltaError> {
+        let idx = RrIndex::from_pool_parts(
+            self.vg.graph(),
+            self.config,
+            self.r1.clone(),
+            self.r2.clone(),
+            self.chunks,
+        )?;
+        idx.save_to_path(path)?;
+        Ok(())
+    }
+
+    /// Builds an index over version 0 of `g` with the pool loaded from a
+    /// snapshot. Fails with a typed
+    /// [`IndexError::SnapshotMismatch`] (wrapped in
+    /// [`DeltaError::Index`]) when the snapshot was taken at a different
+    /// graph version — the fingerprint pins the exact edge set.
+    pub fn load_snapshot<P: AsRef<Path>>(
+        g: Graph,
+        config: IndexConfig,
+        path: P,
+    ) -> Result<Self, DeltaError> {
+        let vg = VersionedGraph::new(g)?;
+        let loaded = RrIndex::load_from_path(vg.graph(), path)?;
+        let (loaded_config, r1, r2, chunks) = loaded.into_pool_parts();
+        Ok(DeltaIndex {
+            vg,
+            config: IndexConfig {
+                threads: config.threads,
+                max_nodes: config.max_nodes,
+                ..loaded_config
+            },
+            r1,
+            r2,
+            chunks,
+            workers: WorkerPool::new(config.threads),
+            metrics: IndexMetrics::default(),
+        })
+    }
+}
+
+/// Grows both halves to at least `target_sets` each, continuing the chunk
+/// stream on the graph bound in `sampler` — the split-borrow form of
+/// [`RrIndex`]'s `ensure_pool`, shared by `warm` and the query loop.
+#[allow(clippy::too_many_arguments)]
+fn ensure_pool(
+    sampler: &RrSampler<'_>,
+    workers: &WorkerPool,
+    config: &IndexConfig,
+    metrics: &IndexMetrics,
+    r1: &mut RrCollection,
+    r2: &mut RrCollection,
+    chunks: &mut u64,
+    target_sets: usize,
+) -> Result<usize, DeltaError> {
+    let chunk = config.chunk_size;
+    let needed_chunks = target_sets.div_ceil(chunk) as u64;
+    if needed_chunks <= *chunks {
+        return Ok(0);
+    }
+    let slice = (config.threads as u64) * 4;
+    let mut added = 0usize;
+    while *chunks < needed_chunks {
+        if let Some(cap) = config.max_nodes {
+            let in_use = r1.total_nodes() + r2.total_nodes();
+            if in_use >= cap {
+                return Err(DeltaError::Index(IndexError::MemoryBudget {
+                    max_nodes: cap,
+                    in_use,
+                    wanted_sets: needed_chunks as usize * chunk,
+                }));
+            }
+        }
+        let end = needed_chunks.min(*chunks + slice);
+        let b1 = workers.generate_chunks(sampler, None, *chunks..end, chunk, config.seed);
+        let b2 =
+            workers.generate_chunks(sampler, None, *chunks..end, chunk, config.seed ^ R2_STREAM);
+        metrics.record_generation(
+            (b1.rr.len() + b2.rr.len()) as u64,
+            (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,
+            b1.cost + b2.cost,
+            b1.elapsed + b2.elapsed,
+        );
+        added += b1.rr.len() + b2.rr.len();
+        r1.extend_from(&b1.rr);
+        r2.extend_from(&b2.rr);
+        *chunks = end;
+    }
+    Ok(added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_diffusion::RrStrategy;
+    use subsim_graph::generators::barabasi_albert;
+    use subsim_graph::WeightModel;
+
+    fn config() -> IndexConfig {
+        IndexConfig::new(RrStrategy::SubsimIc)
+            .seed(9)
+            .chunk_size(32)
+            .threads(2)
+    }
+
+    #[test]
+    fn queries_match_borrowing_index_before_any_delta() {
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 31);
+        // Normalize exactly as DeltaIndex will, then compare against the
+        // borrowing RrIndex on the normalized graph.
+        let vg = VersionedGraph::new(g).unwrap();
+        let norm = vg.graph().clone();
+        let mut delta_index = DeltaIndex::from_versioned(vg, config());
+        let mut plain = subsim_index::RrIndex::new(&norm, config());
+        let a = delta_index.query(4, 0.1, 0.01).unwrap();
+        let b = plain.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+        assert_eq!(delta_index.pool_len(), plain.pool_len());
+    }
+
+    #[test]
+    fn apply_delta_repairs_to_full_rebuild_equivalence() {
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 32);
+        let mut index = DeltaIndex::new(g.clone(), config()).unwrap();
+        index.warm(400).unwrap();
+        let hub = (0..g.n() as u32).max_by_key(|&v| g.in_degree(v)).unwrap();
+        let u = (0..g.n() as u32)
+            .find(|&u| g.prob_of_edge(u, hub).is_none())
+            .expect("some node lacks an edge to the hub");
+        let d = GraphDelta::new().insert_edge(u, hub, 0.5);
+        let report = index.apply_delta(&d).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(report.regenerated_sets > 0);
+
+        // Reference: a fresh index over the final graph, grown to the
+        // same chunk cursor.
+        let mut fresh_vg = VersionedGraph::new(g).unwrap();
+        fresh_vg.apply(&d).unwrap();
+        let mut fresh = DeltaIndex::from_versioned(fresh_vg, config());
+        fresh.warm(index.pool_len()).unwrap();
+        assert_eq!(fresh.pool_len(), index.pool_len());
+        for i in 0..index.pool_len() {
+            assert_eq!(
+                index.selection_pool().get(i),
+                fresh.selection_pool().get(i),
+                "r1 {i}"
+            );
+            assert_eq!(
+                index.validation_pool().get(i),
+                fresh.validation_pool().get(i),
+                "r2 {i}"
+            );
+        }
+        let a = index.query(4, 0.1, 0.01).unwrap();
+        let b = fresh.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+        let m = index.metrics();
+        assert_eq!(m.deltas_applied, 1);
+        assert!(m.sets_repaired > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_and_stale_rejection() {
+        let dir = std::env::temp_dir().join("subsim_delta_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.subsimix");
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 33);
+        let mut index = DeltaIndex::new(g.clone(), config()).unwrap();
+        index.warm(200).unwrap();
+        index.save_snapshot(&path).unwrap();
+
+        let reloaded = DeltaIndex::load_snapshot(g.clone(), config(), &path).unwrap();
+        assert_eq!(reloaded.pool_len(), index.pool_len());
+        for i in 0..index.pool_len() {
+            assert_eq!(
+                reloaded.selection_pool().get(i),
+                index.selection_pool().get(i)
+            );
+        }
+
+        // Mutate, snapshot at version 1, then try loading it against
+        // version 0: typed SnapshotMismatch, no panic.
+        index
+            .apply_delta(&GraphDelta::new().insert_edge(0, 149, 0.5))
+            .unwrap();
+        index.save_snapshot(&path).unwrap();
+        let err = DeltaIndex::load_snapshot(g, config(), &path).unwrap_err();
+        assert!(
+            matches!(err, DeltaError::Index(IndexError::SnapshotMismatch { .. })),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,53 @@
+//! `subsim-delta` — versioned graph updates with incremental RR-sketch
+//! repair.
+//!
+//! Every layer below this crate treats the graph as frozen: the CSR is
+//! immutable, the RR pool is a pure function of `(graph, seed, strategy,
+//! chunk_size, size)`, and snapshots pin the graph by fingerprint. Real
+//! serving graphs mutate — edges appear, disappear, and reweight — and
+//! the naive answer (rebuild the index per update) throws away almost all
+//! of the pool for a delta that touches a handful of edges.
+//!
+//! This crate keeps the frozen-graph machinery *and* absorbs updates:
+//!
+//! - [`GraphDelta`] / [`DeltaOp`] — a batched edge mutation (insert,
+//!   delete, reweight) with a one-line-per-op text format.
+//! - [`VersionedGraph`] — an overlay over the CSR substrate: deltas apply
+//!   atomically into an epoch-stamped current version (rebuilt CSR +
+//!   fresh [`subsim_index::graph_fingerprint`]), with the overlay
+//!   periodically compacted into a new base.
+//! - [`repair_half`] / [`RepairReport`] — the repair engine: the inverted
+//!   coverage index finds exactly the RR sets containing a mutated edge
+//!   target, their chunks regenerate from their **original** chunk seeds
+//!   on the new graph over the persistent worker pool, and clean chunks
+//!   splice through untouched. The result is bit-identical to a full
+//!   rebuild — `(seed, chunk, version)` fully determines pool content,
+//!   independent of thread count and update history.
+//! - [`DeltaIndex`] — the sequential serving surface: [`DeltaIndex::query`]
+//!   matches [`subsim_index::RrIndex`] exactly at every version;
+//!   [`DeltaIndex::apply_delta`] runs repair and re-certifies on the next
+//!   query without discarding clean samples. Snapshots save/load behind
+//!   the *versioned* fingerprint, so stale pools are rejected with a
+//!   typed error.
+//! - [`ConcurrentDeltaIndex`] — shared `&self` serving with deltas
+//!   interleaved: every published [`DeltaSnapshot`] pins one complete
+//!   `(graph version, pool)` state, and
+//!   [`ConcurrentDeltaIndex::query_at_version`] turns concurrent updates
+//!   into typed [`DeltaError::StaleVersion`] failures instead of silent
+//!   cross-version reads.
+
+#![warn(missing_docs)]
+
+mod concurrent;
+mod delta;
+mod error;
+mod index;
+mod repair;
+mod versioned;
+
+pub use concurrent::{ConcurrentDeltaIndex, DeltaSnapshot};
+pub use delta::{DeltaOp, GraphDelta};
+pub use error::DeltaError;
+pub use index::DeltaIndex;
+pub use repair::{repair_half, RepairReport, RepairedHalf};
+pub use versioned::{VersionedGraph, DEFAULT_COMPACT_THRESHOLD};

@@ -1,0 +1,161 @@
+//! Property battery (satellite of PR 4): arbitrary random delta
+//! sequences, applied with incremental repair, must be indistinguishable
+//! from rebuilding everything from scratch on the final graph version —
+//! pools bit-identical, selected seeds identical, certified bounds
+//! identical.
+//!
+//! The default cases keep `cargo test` fast; the `#[ignore]`d heavy
+//! variant (run in CI with `--include-ignored`) widens graphs, deepens
+//! sequences, and crosses strategies and compaction cadences.
+
+use proptest::prelude::*;
+use subsim_delta::{DeltaIndex, GraphDelta, VersionedGraph};
+use subsim_diffusion::RrStrategy;
+use subsim_graph::generators::barabasi_albert;
+use subsim_graph::WeightModel;
+use subsim_index::IndexConfig;
+
+/// Canonicalizes raw proptest tuples into a valid delta against the
+/// running state: existing edges delete (flag even) or reweight (odd),
+/// absent edges insert; at most one op per `(u, v)` per batch.
+fn canonical_delta(vg: &VersionedGraph, raw: &[(u32, u32, u32, bool)]) -> GraphDelta {
+    let n = vg.graph().n() as u32;
+    let mut delta = GraphDelta::new();
+    let mut touched = std::collections::HashSet::new();
+    for &(ru, rv, rp, flag) in raw {
+        let (u, v) = (ru % n, rv % n);
+        if !touched.insert((u, v)) {
+            continue;
+        }
+        let p = (rp % 1000 + 1) as f64 / 1001.0;
+        delta = if vg.has_edge(u, v) {
+            if flag {
+                delta.delete_edge(u, v)
+            } else {
+                delta.reweight_edge(u, v, p)
+            }
+        } else {
+            delta.insert_edge(u, v, p)
+        };
+    }
+    delta
+}
+
+/// Applies `batches` incrementally (repair path) and from scratch
+/// (rebuild path), then asserts both pools and a query are identical.
+fn assert_repair_equals_rebuild(
+    n: usize,
+    graph_seed: u64,
+    cfg: IndexConfig,
+    compact_threshold: usize,
+    warm_sets: usize,
+    batches: &[Vec<(u32, u32, u32, bool)>],
+    k: usize,
+) -> Result<(), TestCaseError> {
+    let g = barabasi_albert(n, 3, WeightModel::Wc, graph_seed);
+    let vg = VersionedGraph::with_compaction_threshold(g.clone(), compact_threshold).unwrap();
+    let mut index = DeltaIndex::from_versioned(vg, cfg);
+    index.warm(warm_sets).unwrap();
+
+    let mut deltas = Vec::new();
+    for raw in batches {
+        let d = canonical_delta(index.versioned(), raw);
+        let report = index.apply_delta(&d).unwrap();
+        prop_assert!(report.regenerated_sets <= report.pool_sets);
+        deltas.push(d);
+    }
+
+    let mut fresh_vg = VersionedGraph::new(g).unwrap();
+    for d in &deltas {
+        fresh_vg.apply(d).unwrap();
+    }
+    prop_assert_eq!(fresh_vg.fingerprint(), index.fingerprint());
+    let mut fresh = DeltaIndex::from_versioned(fresh_vg, cfg);
+    fresh.warm(index.pool_len()).unwrap();
+
+    prop_assert_eq!(fresh.pool_len(), index.pool_len());
+    for i in 0..index.pool_len() {
+        prop_assert_eq!(
+            index.selection_pool().get(i),
+            fresh.selection_pool().get(i),
+            "r1 set {}",
+            i
+        );
+        prop_assert_eq!(
+            index.validation_pool().get(i),
+            fresh.validation_pool().get(i),
+            "r2 set {}",
+            i
+        );
+    }
+    let a = index.query(k, 0.3, 0.1).unwrap();
+    let b = fresh.query(k, 0.3, 0.1).unwrap();
+    prop_assert_eq!(a.seeds, b.seeds);
+    prop_assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+    prop_assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+    prop_assert_eq!(a.stats.certified_by_bounds, b.stats.certified_by_bounds);
+    Ok(())
+}
+
+fn op_batches(
+    max_batches: usize,
+    max_ops: usize,
+) -> impl Strategy<Value = Vec<Vec<(u32, u32, u32, bool)>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()),
+            1..=max_ops,
+        ),
+        1..=max_batches,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Light battery: small graphs, short sequences, SUBSIM strategy.
+    #[test]
+    fn repaired_index_is_indistinguishable_from_rebuild(
+        n in 60usize..140,
+        graph_seed in 0u64..500,
+        index_seed in 0u64..500,
+        k in 1usize..5,
+        batches in op_batches(3, 3),
+    ) {
+        let cfg = IndexConfig::new(RrStrategy::SubsimIc)
+            .seed(index_seed)
+            .chunk_size(16)
+            .threads(2);
+        assert_repair_equals_rebuild(n, graph_seed, cfg, 4096, 96, &batches, k)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Heavy battery (CI `--include-ignored`): bigger graphs, longer
+    /// sequences, all IC strategies, and aggressive compaction so the
+    /// overlay folds mid-sequence.
+    #[test]
+    #[ignore = "heavy differential battery; run with --include-ignored"]
+    fn repaired_index_matches_rebuild_across_strategies(
+        n in 120usize..300,
+        graph_seed in 0u64..1000,
+        index_seed in 0u64..1000,
+        strategy_pick in 0u8..3,
+        compact in prop_oneof![Just(1usize), Just(2), Just(4096)],
+        k in 1usize..8,
+        batches in op_batches(6, 5),
+    ) {
+        let strategy = match strategy_pick {
+            0 => RrStrategy::VanillaIc,
+            1 => RrStrategy::SubsimIc,
+            _ => RrStrategy::SubsimBucketIc,
+        };
+        let cfg = IndexConfig::new(strategy)
+            .seed(index_seed)
+            .chunk_size(32)
+            .threads(3);
+        assert_repair_equals_rebuild(n, graph_seed, cfg, compact, 160, &batches, k)?;
+    }
+}

@@ -70,6 +70,30 @@ impl RrCollection {
             .extend(other.offsets.iter().skip(1).map(|&o| o + base));
     }
 
+    /// Appends sets `sets.start..sets.end` of `other` in one arena-level
+    /// copy — the repair path splices the clean spans of an old pool
+    /// around freshly regenerated chunks with this. Both collections must
+    /// be over the same graph.
+    pub fn extend_from_range(&mut self, other: &RrCollection, sets: std::ops::Range<usize>) {
+        assert_eq!(
+            self.n, other.n,
+            "cannot splice collections over different graphs"
+        );
+        assert!(sets.end <= other.len(), "range exceeds source collection");
+        if sets.is_empty() {
+            return;
+        }
+        let (lo, hi) = (other.offsets[sets.start], other.offsets[sets.end]);
+        let base = self.nodes.len();
+        self.nodes.extend_from_slice(&other.nodes[lo..hi]);
+        self.offsets.reserve(sets.len());
+        self.offsets.extend(
+            other.offsets[sets.start + 1..=sets.end]
+                .iter()
+                .map(|&o| base + (o - lo)),
+        );
+    }
+
     /// The `i`-th set.
     pub fn get(&self, i: usize) -> &[NodeId] {
         &self.nodes[self.offsets[i]..self.offsets[i + 1]]
@@ -518,6 +542,37 @@ mod tests {
         for i in 0..bulk.len() {
             assert_eq!(bulk.get(i), per_set.get(i), "set {i} diverges");
         }
+    }
+
+    #[test]
+    fn extend_from_range_matches_per_set_push() {
+        let g = star_graph(10, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = crate::rr::RrContext::new(10);
+        let mut rng = rng_from_seed(79);
+        let mut src = RrCollection::new(10);
+        src.generate(&sampler, &mut ctx, &mut rng, 30);
+        for range in [0..0, 0..30, 5..5, 3..17, 29..30, 0..1] {
+            let mut bulk = RrCollection::new(10);
+            bulk.push(&[7]); // non-empty destination exercises rebasing
+            bulk.extend_from_range(&src, range.clone());
+            let mut per_set = RrCollection::new(10);
+            per_set.push(&[7]);
+            for i in range.clone() {
+                per_set.push(src.get(i));
+            }
+            assert_eq!(bulk.len(), per_set.len(), "range {range:?}");
+            for i in 0..bulk.len() {
+                assert_eq!(bulk.get(i), per_set.get(i), "range {range:?} set {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "range exceeds source collection")]
+    fn extend_from_range_rejects_out_of_bounds() {
+        let mut a = RrCollection::new(5);
+        a.extend_from_range(&sample_collection(), 2..4);
     }
 
     #[test]

@@ -250,10 +250,30 @@ impl WorkerPool {
         chunk_size: usize,
         seed: u64,
     ) -> ParBatch {
+        let ids: Vec<u64> = chunks.collect();
+        self.generate_chunk_ids(sampler, sentinel, &ids, chunk_size, seed)
+    }
+
+    /// [`WorkerPool::generate_chunks`] over an arbitrary chunk-id list
+    /// instead of a contiguous range, concatenated in `ids` order.
+    ///
+    /// This is the repair path: an incremental update regenerates exactly
+    /// the dirty chunks of an existing pool, and because chunk `c` is still
+    /// seeded from `chunk_seed(seed, c)`, each regenerated chunk is
+    /// bit-identical to what a full rebuild over the same graph would
+    /// produce for that id — independent of thread count and claim order.
+    pub fn generate_chunk_ids(
+        &self,
+        sampler: &RrSampler<'_>,
+        sentinel: Option<&[NodeId]>,
+        ids: &[u64],
+        chunk_size: usize,
+        seed: u64,
+    ) -> ParBatch {
         assert!(chunk_size > 0, "chunks must hold at least one set");
         let start = Instant::now();
         let n = sampler.graph().n();
-        let count = chunks.end.saturating_sub(chunks.start) as usize;
+        let count = ids.len();
         if count == 0 {
             return ParBatch {
                 rr: RrCollection::new(n),
@@ -274,7 +294,6 @@ impl WorkerPool {
 
         let next = AtomicU64::new(0);
         let slots: Vec<OnceLock<ChunkOut>> = (0..count).map(|_| OnceLock::new()).collect();
-        let first = chunks.start;
         self.run_batch(&|worker, scratch| {
             let ctx = scratch.context_for(n);
             match sentinel {
@@ -288,7 +307,7 @@ impl WorkerPool {
                 }
                 let cost_before = ctx.cost;
                 let hits_before = ctx.sentinel_hits;
-                let mut rng = rng_from_seed(chunk_seed(seed, first + i as u64));
+                let mut rng = rng_from_seed(chunk_seed(seed, ids[i]));
                 let mut rr = RrCollection::new(n);
                 rr.generate(sampler, ctx, &mut rng, chunk_size);
                 let out = ChunkOut {
@@ -451,6 +470,42 @@ mod tests {
         assert_eq!(a.rr.len(), 64);
         assert_eq!(b.rr.len(), 64);
         assert_eq!(b.rr.graph_n(), 500);
+    }
+
+    #[test]
+    fn chunk_ids_match_range_subsets() {
+        // Regenerating an arbitrary id subset must reproduce exactly the
+        // chunks a contiguous generation would have put at those ids.
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 101);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let pool = WorkerPool::new(3);
+        let chunk_size = 24;
+        let full = pool.generate_chunks(&sampler, None, 0..12, chunk_size, 102);
+        let ids = [1u64, 4, 5, 9, 11];
+        for threads in [1, 2, 4] {
+            let p = WorkerPool::new(threads);
+            let sub = p.generate_chunk_ids(&sampler, None, &ids, chunk_size, 102);
+            assert_eq!(sub.rr.len(), ids.len() * chunk_size);
+            for (k, &c) in ids.iter().enumerate() {
+                for j in 0..chunk_size {
+                    assert_eq!(
+                        sub.rr.get(k * chunk_size + j),
+                        full.rr.get(c as usize * chunk_size + j),
+                        "threads={threads} chunk {c} set {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_id_list_is_a_noop() {
+        let g = star_graph(20, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let pool = WorkerPool::new(2);
+        let batch = pool.generate_chunk_ids(&sampler, None, &[], 32, 100);
+        assert!(batch.rr.is_empty());
+        assert!(batch.chunk_costs.is_empty());
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! whitespace-separated `u v` (or `u v p`) pair per line, `#`-prefixed
 //! comment lines ignored. Node ids need not be contiguous; a compaction
 //! pass maps them to `0..n`.
+//!
+//! Files written by [`write_edge_list`] carry a `# n=<N> m=<M>` header.
+//! When the reader sees that header before any edge, it switches to
+//! identity-id mode: the node count is fixed to `N`, ids are taken
+//! verbatim (and must be `< N`), and isolated nodes survive the round
+//! trip. Without the header the legacy first-seen compaction applies.
 
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, NodeId};
@@ -31,7 +37,11 @@ impl EdgeList {
     /// Builds a graph from the parsed edges under `model` (ignored when
     /// the file carried explicit probabilities).
     pub fn into_graph(self, model: WeightModel) -> Result<Graph, GraphError> {
-        let mut b = GraphBuilder::new(self.n).weights(model);
+        // Self-loops present in the file are part of the graph being
+        // round-tripped (delta compaction must not silently drop them).
+        let mut b = GraphBuilder::new(self.n)
+            .weights(model)
+            .keep_self_loops(true);
         match self.probs {
             Some(probs) => {
                 for (&(u, v), &p) in self.edges.iter().zip(&probs) {
@@ -46,6 +56,16 @@ impl EdgeList {
     }
 }
 
+/// Parses the writer's `# n=<N> m=<M>` header; `None` for any other
+/// comment line.
+fn parse_size_header(line: &str) -> Option<usize> {
+    let rest = line.strip_prefix('#')?.trim();
+    let mut it = rest.split_whitespace();
+    let n = it.next()?.strip_prefix("n=")?.parse::<usize>().ok()?;
+    it.next()?.strip_prefix("m=")?.parse::<u64>().ok()?;
+    Some(n)
+}
+
 /// Reads a whitespace-separated edge list from `reader`.
 pub fn read_edge_list<R: std::io::Read>(reader: R) -> Result<EdgeList, GraphError> {
     let reader = BufReader::new(reader);
@@ -54,6 +74,7 @@ pub fn read_edge_list<R: std::io::Read>(reader: R) -> Result<EdgeList, GraphErro
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
     let mut probs: Vec<f64> = Vec::new();
     let mut saw_prob = None;
+    let mut declared_n: Option<usize> = None;
 
     let intern = |raw: u64, original_id: &mut Vec<u64>, id_map: &mut HashMap<u64, NodeId>| {
         *id_map.entry(raw).or_insert_with(|| {
@@ -66,6 +87,9 @@ pub fn read_edge_list<R: std::io::Read>(reader: R) -> Result<EdgeList, GraphErro
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            if edges.is_empty() && declared_n.is_none() {
+                declared_n = parse_size_header(line);
+            }
             continue;
         }
         let mut it = line.split_whitespace();
@@ -98,12 +122,32 @@ pub fn read_edge_list<R: std::io::Read>(reader: R) -> Result<EdgeList, GraphErro
             }
             (Some(false), None) => {}
         }
-        let cu = intern(u, &mut original_id, &mut id_map);
-        let cv = intern(v, &mut original_id, &mut id_map);
+        let (cu, cv) = match declared_n {
+            // Identity-id mode: ids are already compact; range-check only.
+            Some(n) => {
+                for raw in [u, v] {
+                    if raw >= n as u64 {
+                        return Err(GraphError::Parse {
+                            line: lineno + 1,
+                            message: format!("node id {raw} exceeds declared n={n}"),
+                        });
+                    }
+                }
+                (u as NodeId, v as NodeId)
+            }
+            None => (
+                intern(u, &mut original_id, &mut id_map),
+                intern(v, &mut original_id, &mut id_map),
+            ),
+        };
         edges.push((cu, cv));
     }
+    let (n, original_id) = match declared_n {
+        Some(n) => (n, (0..n as u64).collect()),
+        None => (original_id.len(), original_id),
+    };
     Ok(EdgeList {
-        n: original_id.len(),
+        n,
         edges,
         probs: if saw_prob == Some(true) {
             Some(probs)
@@ -195,18 +239,60 @@ mod tests {
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
         let el = read_edge_list(buf.as_slice()).unwrap();
+        // The writer's header pins n and keeps ids verbatim, so the round
+        // trip is exact: same node count, same edges, same probabilities.
+        assert_eq!(el.n, g.n());
         let g2 = el.into_graph(WeightModel::Wc).unwrap();
+        assert_eq!(g2.n(), g.n());
         assert_eq!(g2.m(), g.m());
-        // Edge multiset matches (ids may be renumbered by first-seen order,
-        // but the writer emits compact ids, and first-seen preserves them
-        // only if node 0 appears first; compare via sorted degree lists).
-        let mut da: Vec<usize> = (0..g.n() as NodeId).map(|v| g.in_degree(v)).collect();
-        let mut db: Vec<usize> = (0..g2.n() as NodeId).map(|v| g2.in_degree(v)).collect();
-        da.sort_unstable();
-        db.sort_unstable();
-        // g2 drops isolated nodes (never mentioned in the file).
-        da.retain(|&d| d > 0);
-        assert!(db.len() <= da.len() + g.n());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_self_loops_zero_weights_and_isolated_nodes() {
+        // Node 4 is isolated, (0,0) is a self-loop, (1,2) has weight zero
+        // — the shapes delta compaction must not silently drop.
+        let g = GraphBuilder::new(5)
+            .keep_self_loops(true)
+            .add_weighted_edge(0, 0, 0.5)
+            .add_weighted_edge(1, 2, 0.0)
+            .add_weighted_edge(3, 1, 0.25)
+            .build()
+            .unwrap();
+        assert_eq!(g.m(), 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let el = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(el.n, 5);
+        assert_eq!(el.original_id, (0..5).collect::<Vec<u64>>());
+        let g2 = el.into_graph(WeightModel::Wc).unwrap();
+        assert_eq!(g2.n(), 5, "isolated node must survive");
+        assert_eq!(g2.m(), 3, "self-loop and zero-weight edge must survive");
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn header_rejects_out_of_range_ids() {
+        let input = "# n=3 m=1\n0 7\n";
+        assert!(matches!(
+            read_edge_list(input.as_bytes()).unwrap_err(),
+            GraphError::Parse { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn header_after_first_edge_is_ignored() {
+        // A size header only switches modes before any edge is parsed;
+        // later comments stay comments.
+        let input = "5 6\n# n=2 m=1\n6 5\n";
+        let el = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(el.n, 2);
+        assert_eq!(el.original_id, vec![5, 6]);
+        assert_eq!(el.edges, vec![(0, 1), (1, 0)]);
     }
 
     #[test]

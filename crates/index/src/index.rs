@@ -12,7 +12,10 @@ use subsim_graph::{Graph, NodeId};
 
 /// Stream separator between the two pool halves: `R₂`'s chunk seeds are
 /// derived from `seed ^ R2_STREAM` so the halves are independent samples.
-pub(crate) const R2_STREAM: u64 = 0xd2b7_4407_b1ce_6e93;
+///
+/// Public so out-of-crate pool owners (the delta-repair engine) can
+/// regenerate `R₂` chunks on the exact stream this index uses.
+pub const R2_STREAM: u64 = 0xd2b7_4407_b1ce_6e93;
 
 /// Construction-time parameters of an [`RrIndex`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,6 +185,53 @@ impl<'g> RrIndex<'g> {
     /// into [`crate::ConcurrentRrIndex`].
     pub(crate) fn into_parts(self) -> (&'g Graph, IndexConfig, RrCollection, RrCollection, u64) {
         (self.g, self.config, self.r1, self.r2, self.chunks)
+    }
+
+    /// Rebuilds an index from externally held pool halves, validating the
+    /// chunk accounting: both halves must be over `g` and hold exactly
+    /// `chunks * config.chunk_size` sets.
+    ///
+    /// This is the seam for pool owners outside the borrow (the
+    /// delta-repair engine hands its repaired halves to a transient
+    /// `RrIndex` for querying and snapshotting).
+    pub fn from_pool_parts(
+        g: &'g Graph,
+        config: IndexConfig,
+        r1: RrCollection,
+        r2: RrCollection,
+        chunks: u64,
+    ) -> Result<Self, IndexError> {
+        let expect = chunks as usize * config.chunk_size;
+        if r1.graph_n() != g.n() || r2.graph_n() != g.n() {
+            return Err(IndexError::SnapshotMismatch {
+                reason: format!(
+                    "pool halves are over {}/{} nodes, graph has {}",
+                    r1.graph_n(),
+                    r2.graph_n(),
+                    g.n()
+                ),
+            });
+        }
+        if r1.len() != expect || r2.len() != expect {
+            return Err(IndexError::SnapshotMismatch {
+                reason: format!(
+                    "pool halves hold {}/{} sets, chunk cursor {} × chunk size {} requires {}",
+                    r1.len(),
+                    r2.len(),
+                    chunks,
+                    config.chunk_size,
+                    expect
+                ),
+            });
+        }
+        Ok(Self::from_parts(g, config, r1, r2, chunks))
+    }
+
+    /// Decomposes the index into `(config, r1, r2, chunks)` — the inverse
+    /// of [`RrIndex::from_pool_parts`] for callers that own the graph
+    /// separately.
+    pub fn into_pool_parts(self) -> (IndexConfig, RrCollection, RrCollection, u64) {
+        (self.config, self.r1, self.r2, self.chunks)
     }
 
     /// The indexed graph.

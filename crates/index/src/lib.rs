@@ -53,7 +53,7 @@ mod sync;
 
 pub use error::IndexError;
 pub use fingerprint::graph_fingerprint;
-pub use index::{IndexConfig, QueryAnswer, RrIndex};
+pub use index::{IndexConfig, QueryAnswer, RrIndex, R2_STREAM};
 pub use snapshot::{read_index, write_index};
 pub use stats::{IndexCounters, QueryStats};
 pub use sync::{

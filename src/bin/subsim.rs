@@ -4,7 +4,9 @@
 //! subsim --graph edges.txt --k 50 [--algorithm hist] [--model wc]
 //!        [--epsilon 0.1] [--seed 0] [--undirected] [--evaluate 10000]
 //!        [--rr-out sets.rr | --rr-in sets.rr]
-//! subsim query-server --graph edges.txt [--index-file warm.idx] [...]
+//! subsim query-server --graph edges.txt [--index-file warm.idx] [--delta-stream] [...]
+//! subsim apply-delta --graph edges.txt --delta updates.txt [--out new.txt]
+//!        [--index-in warm.idx [--index-out repaired.idx]] [...]
 //! ```
 //!
 //! The graph file holds one `u v` (or `u v p`) pair per line; `#`/`%`
@@ -22,17 +24,32 @@
 //! at startup (if the file exists) and saved back at exit, so the pool
 //! survives restarts; `--stats-out` dumps serving metrics (per-query
 //! latency histogram + quantiles, cache hits, snapshot publishes) as JSON.
+//!
+//! With `--delta-stream` the server runs a [`ConcurrentDeltaIndex`]
+//! instead and additionally accepts `delta + u v p` / `delta - u v` /
+//! `delta ~ u v p` lines interleaved with queries: each mutation applies
+//! atomically, the RR pool is repaired incrementally (only chunks holding
+//! a set that contains a mutated edge target regenerate), and an ack with
+//! the repair stats goes to stderr. Queries always answer against the
+//! latest published graph version.
+//!
+//! `apply-delta` is the batch form: it reads a delta file (same op lines,
+//! `#` comments ignored), applies it to the graph, optionally writes the
+//! updated edge list (`--out`) and incrementally repairs an on-disk index
+//! snapshot (`--index-in` → `--index-out`, default in place) instead of
+//! regenerating it from scratch.
 
 use std::collections::BTreeMap;
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::{mpsc, Mutex};
 use subsim::core::coverage::{greedy_max_coverage, GreedyConfig};
+use subsim::delta::DeltaError;
 use subsim::diffusion::serialize::{read_rr_collection, write_rr_collection};
 use subsim::diffusion::{chunk_seed, mc_influence, par_generate_chunks, CascadeModel};
 use subsim::prelude::*;
 use subsim::sampling::rng_from_seed;
-use subsim_graph::io::read_edge_list_file;
+use subsim_graph::io::{read_edge_list_file, write_edge_list};
 use subsim_graph::Graph;
 
 struct Args {
@@ -66,6 +83,21 @@ struct ServerArgs {
     max_nodes: Option<usize>,
     socket: Option<String>,
     stats_out: Option<String>,
+    delta_stream: bool,
+}
+
+struct ApplyDeltaArgs {
+    graph: String,
+    delta: String,
+    out: Option<String>,
+    index_in: Option<String>,
+    index_out: Option<String>,
+    model: String,
+    theta: f64,
+    p: f64,
+    seed: u64,
+    threads: usize,
+    undirected: bool,
 }
 
 fn usage() -> &'static str {
@@ -96,7 +128,19 @@ fn usage() -> &'static str {
      \t                     connection at a time; the line `shutdown` stops the server)\n\
      \t[--stats-out <f>]    write serving metrics (latency histogram, cache\n\
      \t                     hits, snapshot publishes) as JSON to <f> at exit\n\
-     then one query per line: `k [epsilon]` (epsilon defaults to 0.1)"
+     \t[--delta-stream]     also accept `delta + u v p` / `delta - u v` /\n\
+     \t                     `delta ~ u v p` lines: apply the edge mutation and\n\
+     \t                     incrementally repair the RR pool (acks on stderr)\n\
+     then one query per line: `k [epsilon]` (epsilon defaults to 0.1)\n\
+     \n\
+     usage: subsim apply-delta --graph <edge-list> --delta <delta-file>\n\
+     \t[--model ...] [--theta ...] [--p ...] [--undirected] as above\n\
+     \t[--out <file>]       write the updated edge list to <file>\n\
+     \t[--index-in <f>]     repair the RR-pool snapshot <f> incrementally\n\
+     \t[--index-out <f>]    where to save the repaired snapshot (default: --index-in)\n\
+     \t[--seed <u64>] [--threads <n>] as above\n\
+     delta file: one `+ u v p` (insert), `- u v` (delete), or `~ u v p`\n\
+     (reweight) per line; `#` comments and blank lines ignored"
 }
 
 fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -187,6 +231,7 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
         max_nodes: None,
         socket: None,
         stats_out: None,
+        delta_stream: false,
     };
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -212,6 +257,7 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
             }
             "--undirected" => args.undirected = true,
             "--index-file" => args.index_file = Some(val("--index-file")?),
+            "--delta-stream" => args.delta_stream = true,
             "--socket" => args.socket = Some(val("--socket")?),
             "--stats-out" => args.stats_out = Some(val("--stats-out")?),
             "--warm" => args.warm = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
@@ -231,6 +277,58 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
     }
     if args.threads == 0 {
         return Err("--threads must be positive".into());
+    }
+    Ok(args)
+}
+
+fn parse_apply_delta_args(mut it: impl Iterator<Item = String>) -> Result<ApplyDeltaArgs, String> {
+    let mut args = ApplyDeltaArgs {
+        graph: String::new(),
+        delta: String::new(),
+        out: None,
+        index_in: None,
+        index_out: None,
+        model: "wc".into(),
+        theta: 4.0,
+        p: 0.01,
+        seed: 0,
+        threads: 1,
+        undirected: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--graph" => args.graph = val("--graph")?,
+            "--delta" => args.delta = val("--delta")?,
+            "--out" => args.out = Some(val("--out")?),
+            "--index-in" => args.index_in = Some(val("--index-in")?),
+            "--index-out" => args.index_out = Some(val("--index-out")?),
+            "--model" => args.model = val("--model")?,
+            "--theta" => {
+                args.theta = val("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?
+            }
+            "--p" => args.p = val("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                args.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--undirected" => args.undirected = true,
+            "--help" | "-h" => return Err(usage().into()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if args.graph.is_empty() || args.delta.is_empty() {
+        return Err(format!("--graph and --delta are required\n{}", usage()));
+    }
+    if args.threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    if args.index_out.is_some() && args.index_in.is_none() {
+        return Err("--index-out requires --index-in".into());
     }
     Ok(args)
 }
@@ -279,10 +377,12 @@ fn load_graph(path: &str, model: WeightModel, undirected: bool) -> Result<Graph,
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let result = if argv.first().map(String::as_str) == Some("query-server") {
-        parse_server_args(argv.into_iter().skip(1)).and_then(run_server)
-    } else {
-        parse_args(argv.into_iter()).and_then(run)
+    let result = match argv.first().map(String::as_str) {
+        Some("query-server") => parse_server_args(argv.into_iter().skip(1)).and_then(run_server),
+        Some("apply-delta") => {
+            parse_apply_delta_args(argv.into_iter().skip(1)).and_then(run_apply_delta)
+        }
+        _ => parse_args(argv.into_iter()).and_then(run),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -438,6 +538,16 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
     if let Some(cap) = args.max_nodes {
         config = config.max_nodes(cap);
     }
+    if args.delta_stream {
+        run_delta_server(args, g, config)
+    } else {
+        run_static_server(args, g, config)
+    }
+}
+
+/// The original serving mode: a [`ConcurrentRrIndex`] over a frozen
+/// graph; `delta` lines are rejected with a pointer to `--delta-stream`.
+fn run_static_server(args: ServerArgs, g: Graph, config: IndexConfig) -> Result<(), String> {
     let mut index = match &args.index_file {
         Some(path) if std::path::Path::new(path).exists() => {
             let mut loaded =
@@ -459,11 +569,74 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
     }
 
     let index = ConcurrentRrIndex::from_index(index);
+    serve_transport(&index, &args)?;
+    report_metrics(&index.metrics(), &args)?;
+    if let Some(path) = &args.index_file {
+        let index = index.into_index();
+        index
+            .save_to_path(path)
+            .map_err(|e| format!("saving {path}: {e}"))?;
+        eprintln!("index: saved {} sets/half to {path}", index.pool_len());
+    }
+    Ok(())
+}
+
+/// `--delta-stream` serving: a [`ConcurrentDeltaIndex`] owning a
+/// versioned graph, with `delta` op lines applied atomically between
+/// queries and the pool repaired incrementally.
+fn run_delta_server(args: ServerArgs, g: Graph, config: IndexConfig) -> Result<(), String> {
+    let mut index = match &args.index_file {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let loaded = DeltaIndex::load_snapshot(g, config, path)
+                .map_err(|e| format!("loading {path}: {e}"))?;
+            eprintln!(
+                "index: loaded {} sets/half from {path} (cursor {})",
+                loaded.pool_len(),
+                loaded.chunk_cursor()
+            );
+            loaded
+        }
+        _ => DeltaIndex::new(g, config).map_err(|e| e.to_string())?,
+    };
+    if args.warm > 0 {
+        index.warm(args.warm).map_err(|e| e.to_string())?;
+        eprintln!("index: warmed to {} sets/half", index.pool_len());
+    }
+
+    let index = ConcurrentDeltaIndex::from_index(index);
+    serve_transport(&index, &args)?;
+    let m = index.metrics();
+    report_metrics(&m, &args)?;
+    if m.deltas_applied > 0 {
+        eprintln!(
+            "applied {} deltas: {} sets / {} chunks regenerated, total repair time {:?}",
+            m.deltas_applied,
+            m.sets_repaired,
+            m.chunks_repaired,
+            std::time::Duration::from_nanos(m.repair_time_ns),
+        );
+    }
+    if let Some(path) = &args.index_file {
+        let version = index.version();
+        let index = index.into_index();
+        index
+            .save_snapshot(path)
+            .map_err(|e| format!("saving {path}: {e}"))?;
+        eprintln!(
+            "index: saved {} sets/half to {path} (graph version {version})",
+            index.pool_len()
+        );
+    }
+    Ok(())
+}
+
+/// Runs the query loop over stdin or the `--socket` transport.
+fn serve_transport<I: ServeIndex>(index: &I, args: &ServerArgs) -> Result<(), String> {
     match &args.socket {
         None => {
             let stdin = std::io::stdin();
             serve_queries(
-                &index,
+                index,
                 args.delta,
                 args.threads,
                 stdin.lock(),
@@ -483,7 +656,7 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
                 let reader = std::io::BufReader::new(
                     stream.try_clone().map_err(|e| format!("socket: {e}"))?,
                 );
-                let shutdown = serve_queries(&index, args.delta, args.threads, reader, stream)?;
+                let shutdown = serve_queries(index, args.delta, args.threads, reader, stream)?;
                 if shutdown {
                     break;
                 }
@@ -491,8 +664,10 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
             std::fs::remove_file(path).ok();
         }
     }
+    Ok(())
+}
 
-    let m = index.metrics();
+fn report_metrics(m: &MetricsSnapshot, args: &ServerArgs) -> Result<(), String> {
     eprintln!(
         "served {} queries ({} bound-certified): {} sets / {} node entries generated, \
          cache hit ratio {:.3}, {} snapshot publishes, total query time {:?}",
@@ -508,12 +683,80 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
         std::fs::write(path, m.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("stats: wrote serving metrics to {path}");
     }
-    if let Some(path) = &args.index_file {
-        let index = index.into_index();
-        index
-            .save_to_path(path)
-            .map_err(|e| format!("saving {path}: {e}"))?;
-        eprintln!("index: saved {} sets/half to {path}", index.pool_len());
+    Ok(())
+}
+
+/// Batch delta application: mutate the graph, optionally repairing an
+/// on-disk pool snapshot and writing the updated edge list.
+fn run_apply_delta(args: ApplyDeltaArgs) -> Result<(), String> {
+    let model = parse_model(&args.model, args.theta, args.p)?;
+    let lt = args.model == "lt";
+    let g = load_graph(&args.graph, model, args.undirected)?;
+    let text =
+        std::fs::read_to_string(&args.delta).map_err(|e| format!("reading {}: {e}", args.delta))?;
+    let delta = GraphDelta::parse(&text).map_err(|e| format!("parsing {}: {e}", args.delta))?;
+    if delta.is_empty() {
+        return Err(format!("{} holds no delta ops", args.delta));
+    }
+    eprintln!(
+        "delta: {} ops touching {} distinct edge targets",
+        delta.len(),
+        delta.targets().len()
+    );
+
+    let final_graph: Graph = match &args.index_in {
+        Some(path) => {
+            let strategy = if lt {
+                RrStrategy::Lt
+            } else {
+                RrStrategy::SubsimIc
+            };
+            let config = IndexConfig::new(strategy)
+                .seed(args.seed)
+                .threads(args.threads);
+            let mut index = DeltaIndex::load_snapshot(g, config, path)
+                .map_err(|e| format!("loading {path}: {e}"))?;
+            eprintln!("index: loaded {} sets/half from {path}", index.pool_len());
+            let report = index.apply_delta(&delta).map_err(|e| e.to_string())?;
+            eprintln!(
+                "repair: version {}, {} dirty sets (R1 {}, R2 {}), {}/{} sets regenerated \
+                 ({:.1}% of pool, {} chunks), {:?}",
+                report.version,
+                report.dirty_sets_r1 + report.dirty_sets_r2,
+                report.dirty_sets_r1,
+                report.dirty_sets_r2,
+                report.regenerated_sets,
+                report.pool_sets,
+                100.0 * report.repair_fraction(),
+                report.dirty_chunks_r1 + report.dirty_chunks_r2,
+                report.elapsed
+            );
+            let out_path = args.index_out.as_deref().unwrap_or(path);
+            index
+                .save_snapshot(out_path)
+                .map_err(|e| format!("saving {out_path}: {e}"))?;
+            eprintln!("index: saved repaired pool to {out_path}");
+            index.graph().clone()
+        }
+        None => {
+            let mut vg = VersionedGraph::new(g).map_err(|e: DeltaError| e.to_string())?;
+            vg.apply(&delta).map_err(|e| e.to_string())?;
+            eprintln!(
+                "graph: version {}, fingerprint {:016x}",
+                vg.version(),
+                vg.fingerprint()
+            );
+            vg.graph().clone()
+        }
+    };
+    if let Some(out) = &args.out {
+        let file = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+        write_edge_list(&final_graph, file).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!(
+            "graph: wrote {} nodes / {} edges to {out}",
+            final_graph.n(),
+            final_graph.m()
+        );
     }
     Ok(())
 }
@@ -527,15 +770,61 @@ struct Job {
     epsilon: f64,
 }
 
+/// What `serve_queries` needs from a serving index: concurrent queries,
+/// and (for `--delta-stream` servers) in-band graph mutation.
+trait ServeIndex: Sync {
+    fn run_query(&self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, String>;
+    /// Applies one `+ u v p` / `- u v` / `~ u v p` op line; returns a
+    /// human-readable ack for stderr.
+    fn apply_delta_line(&self, op: &str) -> Result<String, String>;
+}
+
+impl ServeIndex for ConcurrentRrIndex<'_> {
+    fn run_query(&self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, String> {
+        self.query(k, epsilon, delta).map_err(|e| e.to_string())
+    }
+
+    fn apply_delta_line(&self, _op: &str) -> Result<String, String> {
+        Err("graph is frozen; start the server with --delta-stream to accept delta lines".into())
+    }
+}
+
+impl ServeIndex for ConcurrentDeltaIndex {
+    fn run_query(&self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, String> {
+        self.query(k, epsilon, delta).map_err(|e| e.to_string())
+    }
+
+    fn apply_delta_line(&self, op: &str) -> Result<String, String> {
+        let parsed = GraphDelta::parse_line(op)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| "empty delta line".to_string())?;
+        let mut delta = GraphDelta::new();
+        delta.push(parsed);
+        let report = self.apply_delta(&delta).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "delta applied: version {}, {}/{} sets regenerated ({:.1}% of pool, {} chunks), {:?}",
+            report.version,
+            report.regenerated_sets,
+            report.pool_sets,
+            100.0 * report.repair_fraction(),
+            report.dirty_chunks_r1 + report.dirty_chunks_r2,
+            report.elapsed
+        ))
+    }
+}
+
 /// Serves `k [epsilon]` query lines from `input` until EOF (or a
 /// `shutdown` line), fanning queries out over `workers` threads that
-/// query `index` concurrently. Answers are written to `output` one line
+/// query `index` concurrently. Lines of the form `delta <op>` mutate the
+/// graph via [`ServeIndex::apply_delta_line`] (applied synchronously on
+/// the reader thread; queries already in flight answer against the
+/// snapshot they started with). Answers are written to `output` one line
 /// per successful query, **in input order** (a reorder buffer holds
 /// early-finished answers until their predecessors complete); malformed
 /// lines and failed queries produce a per-line stderr message and no
 /// output line. Returns whether a `shutdown` line was seen.
-fn serve_queries<R: BufRead, W: std::io::Write + Send>(
-    index: &ConcurrentRrIndex<'_>,
+fn serve_queries<I: ServeIndex, R: BufRead, W: std::io::Write + Send>(
+    index: &I,
     delta: f64,
     workers: usize,
     input: R,
@@ -543,7 +832,7 @@ fn serve_queries<R: BufRead, W: std::io::Write + Send>(
 ) -> Result<bool, String> {
     let (job_tx, job_rx) = mpsc::channel::<Job>();
     let job_rx = Mutex::new(job_rx);
-    let (ans_tx, ans_rx) = mpsc::channel::<(Job, Result<QueryAnswer, subsim::index::IndexError>)>();
+    let (ans_tx, ans_rx) = mpsc::channel::<(Job, Result<QueryAnswer, String>)>();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -556,7 +845,7 @@ fn serve_queries<R: BufRead, W: std::io::Write + Send>(
                     Ok(job) => job,
                     Err(_) => break,
                 };
-                let result = index.query(job.k, job.epsilon, delta);
+                let result = index.run_query(job.k, job.epsilon, delta);
                 if ans_tx.send((job, result)).is_err() {
                     break;
                 }
@@ -567,8 +856,7 @@ fn serve_queries<R: BufRead, W: std::io::Write + Send>(
         let collector = scope.spawn(move || -> Result<(), String> {
             // Reorder buffer: answers surface in completion order but must
             // leave in input order.
-            let mut pending: BTreeMap<u64, (Job, Result<QueryAnswer, subsim::index::IndexError>)> =
-                BTreeMap::new();
+            let mut pending: BTreeMap<u64, (Job, Result<QueryAnswer, String>)> = BTreeMap::new();
             let mut next_id = 0u64;
             for (job, result) in ans_rx {
                 pending.insert(job.id, (job, result));
@@ -624,6 +912,15 @@ fn serve_queries<R: BufRead, W: std::io::Write + Send>(
             if line == "shutdown" {
                 shutdown = true;
                 break;
+            }
+            if let Some(rest) = line.strip_prefix("delta ") {
+                // Applied synchronously so later queries in this stream
+                // see the mutation; in-flight queries keep their snapshot.
+                match index.apply_delta_line(rest.trim()) {
+                    Ok(ack) => eprintln!("{ack}"),
+                    Err(e) => eprintln!("delta {rest:?} rejected: {e}"),
+                }
+                continue;
             }
             let mut tokens = line.split_whitespace();
             let k: usize = match tokens.next().expect("non-empty line").parse() {

@@ -13,12 +13,17 @@
 //! - [`index`] — the amortized RR-sketch index for serving repeated IM
 //!   queries over a fixed graph, with snapshot persistence and a
 //!   concurrent serving layer ([`index::ConcurrentRrIndex`]).
+//! - [`delta`] — versioned graph updates with incremental RR-sketch
+//!   repair: batched edge mutations apply into epoch-stamped graph
+//!   versions, and only the RR sets touching mutated edges regenerate
+//!   ([`delta::DeltaIndex`], [`delta::ConcurrentDeltaIndex`]).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 #![warn(missing_docs)]
 
 pub use subsim_core as core;
+pub use subsim_delta as delta;
 pub use subsim_diffusion as diffusion;
 pub use subsim_graph as graph;
 pub use subsim_index as index;
@@ -27,6 +32,7 @@ pub use subsim_sampling as sampling;
 /// Commonly used items, collected for `use subsim::prelude::*;`.
 pub mod prelude {
     pub use subsim_core::prelude::*;
+    pub use subsim_delta::{ConcurrentDeltaIndex, DeltaIndex, GraphDelta, VersionedGraph};
     pub use subsim_diffusion::prelude::*;
     pub use subsim_graph::prelude::*;
     pub use subsim_index::{ConcurrentRrIndex, IndexConfig, MetricsSnapshot, QueryAnswer, RrIndex};

@@ -509,3 +509,189 @@ fn query_server_serves_unix_socket_until_shutdown() {
     assert!(!sock.exists(), "socket file must be cleaned up at exit");
     std::fs::remove_file(graph).ok();
 }
+
+#[test]
+fn apply_delta_mutates_graph_and_repairs_index() {
+    let graph = write_temp_graph(
+        "delta_batch",
+        "0 1 0.5\n1 2 0.5\n2 3 0.5\n3 0 0.5\n0 2 0.3\n",
+    );
+    let delta = write_temp_graph("delta_ops", "+ 1 3 0.9\n~ 0 1 0.2\n- 2 3\n");
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let idx = tmp.join(format!("subsim_cli_delta_idx_{pid}.bin"));
+    let idx2 = tmp.join(format!("subsim_cli_delta_idx2_{pid}.bin"));
+    let out_graph = tmp.join(format!("subsim_cli_delta_out_{pid}.txt"));
+
+    // Build a pool snapshot with the static server, then repair it.
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--warm",
+            "64",
+            "--seed",
+            "7",
+            "--index-file",
+            idx.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    drop(child.stdin.take());
+    assert!(child.wait_with_output().unwrap().status.success());
+
+    let out = cli()
+        .args([
+            "apply-delta",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--delta",
+            delta.to_str().unwrap(),
+            "--index-in",
+            idx.to_str().unwrap(),
+            "--index-out",
+            idx2.to_str().unwrap(),
+            "--out",
+            out_graph.to_str().unwrap(),
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("repair: version 1"), "stderr: {err}");
+    assert!(idx2.exists(), "--index-out must write the repaired pool");
+    let written = std::fs::read_to_string(&out_graph).unwrap();
+    assert!(written.contains("1 3 0.9"), "insert missing: {written}");
+    assert!(written.contains("0 1 0.2"), "reweight missing: {written}");
+    assert!(!written.contains("2 3 0.5"), "delete survived: {written}");
+
+    // A delta file with no ops is a hard error, not a silent no-op.
+    let empty = write_temp_graph("delta_empty", "# nothing\n");
+    let out = cli()
+        .args([
+            "apply-delta",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--delta",
+            empty.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    for p in [&graph, &delta, &idx, &idx2, &out_graph, &empty] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn query_server_delta_stream_applies_ops_between_queries() {
+    let graph = write_temp_graph("delta_stream", "0 1 0.5\n1 2 0.5\n2 3 0.5\n3 0 0.5\n");
+    let idx = std::env::temp_dir().join(format!(
+        "subsim_cli_delta_stream_idx_{}.bin",
+        std::process::id()
+    ));
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--delta-stream",
+            "--warm",
+            "64",
+            "--seed",
+            "7",
+            "--index-file",
+            idx.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"2\ndelta + 1 3 0.9\n2\ndelta oops\nshutdown\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 2, "both queries must answer: {lines:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("delta applied: version 1"), "stderr: {err}");
+    assert!(err.contains("rejected"), "bad op must be rejected: {err}");
+    assert!(err.contains("applied 1 deltas"), "stderr: {err}");
+    assert!(err.contains("graph version 1"), "stderr: {err}");
+
+    // The saved snapshot belongs to the *mutated* graph: reloading against
+    // the original edge list is a typed fingerprint rejection.
+    let out = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--delta-stream",
+            "--index-file",
+            idx.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::null())
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fingerprint"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(idx).ok();
+}
+
+#[test]
+fn query_server_without_delta_stream_rejects_delta_lines() {
+    let graph = write_temp_graph("delta_frozen", "0 1 0.5\n1 2 0.5\n");
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--model",
+            "uniform",
+            "--p",
+            "0.9",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"delta + 0 1 0.5\n1\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--delta-stream"), "stderr: {err}");
+    assert!(err.contains("served 1 queries"), "stderr: {err}");
+    std::fs::remove_file(graph).ok();
+}
