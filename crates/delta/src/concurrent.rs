@@ -207,6 +207,17 @@ impl ConcurrentDeltaIndex {
         self.metrics.snapshot()
     }
 
+    /// Test-only fault injection: forwards a chunk hook to the writer's
+    /// worker pool (see [`subsim_diffusion::WorkerPool::set_chunk_hook`]).
+    #[doc(hidden)]
+    pub fn set_chunk_hook(&self, hook: Option<subsim_diffusion::ChunkHook>) {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .workers
+            .set_chunk_hook(hook);
+    }
+
     /// Pre-grows the pool to at least `sets` per half on the current
     /// graph version.
     pub fn warm(&self, sets: usize) -> Result<(), DeltaError> {
@@ -315,15 +326,19 @@ impl ConcurrentDeltaIndex {
     /// `Arc`s stay valid); pinned queries against the old version fail
     /// with [`DeltaError::StaleVersion`] from then on.
     ///
-    /// On error (validation failure), nothing is published and the served
-    /// version does not change.
+    /// On error (validation failure, or a worker panic during repair),
+    /// nothing is published and the served version does not change: the
+    /// mutation is staged on a copy of the versioned graph and committed
+    /// only after both halves repaired, so `ws.vg` can never run ahead of
+    /// the published pool.
     pub fn apply_delta(&self, delta: &GraphDelta) -> Result<RepairReport, DeltaError> {
         let start = Instant::now();
         let mut ws = self.writer.lock().expect("writer lock poisoned");
-        ws.vg.apply(delta)?;
+        let mut staged = ws.vg.clone();
+        staged.apply(delta)?;
         let base = self.load();
         let targets = delta.targets();
-        let graph = ws.vg.graph_arc();
+        let graph = staged.graph_arc();
         let sampler = RrSampler::new(&graph, self.config.strategy);
         let chunk = self.config.chunk_size;
         let threads = self.config.threads;
@@ -335,7 +350,7 @@ impl ConcurrentDeltaIndex {
             chunk,
             self.config.seed,
             threads,
-        );
+        )?;
         let h2 = repair_half(
             &base.r2,
             &targets,
@@ -344,8 +359,9 @@ impl ConcurrentDeltaIndex {
             chunk,
             self.config.seed ^ R2_STREAM,
             threads,
-        );
+        )?;
         drop(sampler);
+        ws.vg = staged;
         let snap = Arc::new(DeltaSnapshot {
             graph,
             version: ws.vg.version(),
@@ -421,16 +437,20 @@ impl ConcurrentDeltaIndex {
                 }
             }
             let end = needed_chunks.min(chunks + slice);
-            let b1 =
-                ws.workers
-                    .generate_chunks(&sampler, None, chunks..end, chunk, self.config.seed);
-            let b2 = ws.workers.generate_chunks(
+            let b1 = ws.workers.try_generate_chunks(
+                &sampler,
+                None,
+                chunks..end,
+                chunk,
+                self.config.seed,
+            )?;
+            let b2 = ws.workers.try_generate_chunks(
                 &sampler,
                 None,
                 chunks..end,
                 chunk,
                 self.config.seed ^ R2_STREAM,
-            );
+            )?;
             self.metrics.record_generation(
                 (b1.rr.len() + b2.rr.len()) as u64,
                 (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,

@@ -96,6 +96,12 @@ impl From<IndexError> for DeltaError {
     }
 }
 
+impl From<subsim_diffusion::PoolError> for DeltaError {
+    fn from(e: subsim_diffusion::PoolError) -> Self {
+        DeltaError::Index(IndexError::from(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

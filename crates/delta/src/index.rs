@@ -158,6 +158,13 @@ impl DeltaIndex {
         self.chunks
     }
 
+    /// Test-only fault injection: forwards a chunk hook to the worker
+    /// pool (see [`subsim_diffusion::WorkerPool::set_chunk_hook`]).
+    #[doc(hidden)]
+    pub fn set_chunk_hook(&self, hook: Option<subsim_diffusion::ChunkHook>) {
+        self.workers.set_chunk_hook(hook);
+    }
+
     /// The selection half `R₁` (read-only).
     pub fn selection_pool(&self) -> &RrCollection {
         &self.r1
@@ -278,13 +285,16 @@ impl DeltaIndex {
     /// so the OPIM certificates re-derive on the next query without
     /// discarding clean samples.
     ///
-    /// On error (validation failure), neither the graph nor the pool
-    /// changes.
+    /// On error (validation failure, or a worker panic during repair),
+    /// neither the graph nor the pool changes: the mutation is staged on
+    /// a copy of the versioned graph and committed only after both halves
+    /// repaired, so the graph version can never run ahead of the pool.
     pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<RepairReport, DeltaError> {
         let start = Instant::now();
-        self.vg.apply(delta)?;
+        let mut staged = self.vg.clone();
+        staged.apply(delta)?;
         let targets = delta.targets();
-        let sampler = RrSampler::new(self.vg.graph(), self.config.strategy);
+        let sampler = RrSampler::new(staged.graph(), self.config.strategy);
         let chunk = self.config.chunk_size;
         let threads = self.config.threads;
         let h1 = repair_half(
@@ -295,7 +305,7 @@ impl DeltaIndex {
             chunk,
             self.config.seed,
             threads,
-        );
+        )?;
         let h2 = repair_half(
             &self.r2,
             &targets,
@@ -304,8 +314,9 @@ impl DeltaIndex {
             chunk,
             self.config.seed ^ R2_STREAM,
             threads,
-        );
+        )?;
         drop(sampler);
+        self.vg = staged;
         self.r1 = h1.rr;
         self.r2 = h2.rr;
         let regenerated = (h1.dirty_chunks + h2.dirty_chunks) * chunk;
@@ -405,9 +416,14 @@ fn ensure_pool(
             }
         }
         let end = needed_chunks.min(*chunks + slice);
-        let b1 = workers.generate_chunks(sampler, None, *chunks..end, chunk, config.seed);
-        let b2 =
-            workers.generate_chunks(sampler, None, *chunks..end, chunk, config.seed ^ R2_STREAM);
+        let b1 = workers.try_generate_chunks(sampler, None, *chunks..end, chunk, config.seed)?;
+        let b2 = workers.try_generate_chunks(
+            sampler,
+            None,
+            *chunks..end,
+            chunk,
+            config.seed ^ R2_STREAM,
+        )?;
         metrics.record_generation(
             (b1.rr.len() + b2.rr.len()) as u64,
             (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,

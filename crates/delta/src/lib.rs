@@ -35,6 +35,10 @@
 //!   [`ConcurrentDeltaIndex::query_at_version`] turns concurrent updates
 //!   into typed [`DeltaError::StaleVersion`] failures instead of silent
 //!   cross-version reads.
+//! - [`serve_queries`] / [`ServeIndex`] — the line-oriented serving loop
+//!   shared by the CLI and the deterministic test simulator: interleaved
+//!   query and `delta` lines with per-line typed failures surfaced
+//!   through a [`ServeSink`].
 
 #![warn(missing_docs)]
 
@@ -43,6 +47,7 @@ mod delta;
 mod error;
 mod index;
 mod repair;
+mod serve;
 mod versioned;
 
 pub use concurrent::{ConcurrentDeltaIndex, DeltaSnapshot};
@@ -50,4 +55,7 @@ pub use delta::{DeltaOp, GraphDelta};
 pub use error::DeltaError;
 pub use index::DeltaIndex;
 pub use repair::{repair_half, RepairReport, RepairedHalf};
+pub use serve::{
+    parse_query, serve_queries, LineError, NullSink, ServeError, ServeEvent, ServeIndex, ServeSink,
+};
 pub use versioned::{VersionedGraph, DEFAULT_COMPACT_THRESHOLD};

@@ -31,7 +31,7 @@
 //! for a set that didn't contain it.
 
 use std::time::Duration;
-use subsim_diffusion::pool::WorkerPool;
+use subsim_diffusion::pool::{PoolError, WorkerPool};
 use subsim_diffusion::{InvertedIndex, RrCollection, RrSampler};
 use subsim_graph::NodeId;
 
@@ -72,6 +72,7 @@ impl RepairReport {
 }
 
 /// Outcome of repairing one pool half.
+#[derive(Debug)]
 pub struct RepairedHalf {
     /// The repaired collection (same length as the input).
     pub rr: RrCollection,
@@ -88,6 +89,10 @@ pub struct RepairedHalf {
 /// the half must be whole chunks). `targets` are the delta's mutated
 /// in-list endpoints. The result is bit-identical to regenerating the
 /// whole half on the new graph.
+///
+/// A worker panic during regeneration surfaces as
+/// [`PoolError::WorkerPanicked`]; `pool` is untouched (the caller keeps
+/// serving its pre-repair content) and `workers` stays usable.
 pub fn repair_half(
     pool: &RrCollection,
     targets: &[NodeId],
@@ -96,7 +101,7 @@ pub fn repair_half(
     chunk_size: usize,
     seed: u64,
     threads: usize,
-) -> RepairedHalf {
+) -> Result<RepairedHalf, PoolError> {
     assert!(chunk_size > 0, "chunks must hold at least one set");
     assert_eq!(
         pool.len() % chunk_size,
@@ -118,14 +123,14 @@ pub fn repair_half(
     dirty_chunks.dedup(); // dirty_sets sorted => chunk ids sorted
 
     if dirty_chunks.is_empty() {
-        return RepairedHalf {
+        return Ok(RepairedHalf {
             rr: pool.clone(),
             dirty_sets: dirty_sets.len(),
             dirty_chunks: 0,
-        };
+        });
     }
 
-    let batch = workers.generate_chunk_ids(sampler, None, &dirty_chunks, chunk_size, seed);
+    let batch = workers.try_generate_chunk_ids(sampler, None, &dirty_chunks, chunk_size, seed)?;
     let mut rr = RrCollection::new(pool.graph_n());
     let mut cursor = 0usize;
     for (k, &c) in dirty_chunks.iter().enumerate() {
@@ -136,11 +141,11 @@ pub fn repair_half(
     }
     rr.extend_from_range(pool, cursor..pool.len());
     debug_assert_eq!(rr.len(), pool.len());
-    RepairedHalf {
+    Ok(RepairedHalf {
         rr,
         dirty_sets: dirty_sets.len(),
         dirty_chunks: dirty_chunks.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -209,7 +214,8 @@ mod tests {
                 chunk_size,
                 seed,
                 threads,
-            );
+            )
+            .unwrap();
             assert_eq!(repaired.rr.len(), reference.len());
             for i in 0..reference.len() {
                 assert_eq!(
@@ -248,12 +254,36 @@ mod tests {
         let Some(absent) = present.iter().position(|&p| !p) else {
             return;
         };
-        let repaired = repair_half(&pool, &[absent as NodeId], &sampler, &workers, 16, 5, 2);
+        let repaired =
+            repair_half(&pool, &[absent as NodeId], &sampler, &workers, 16, 5, 2).unwrap();
         assert_eq!(repaired.dirty_sets, 0);
         assert_eq!(repaired.dirty_chunks, 0);
         for i in 0..pool.len() {
             assert_eq!(repaired.rr.get(i), pool.get(i));
         }
+    }
+
+    #[test]
+    fn worker_panic_mid_repair_is_typed_and_pool_stays_usable() {
+        let raw = barabasi_albert(200, 3, WeightModel::Wc, 23);
+        let mut b = GraphBuilder::new(raw.n()).keep_self_loops(true);
+        for (u, v, p) in raw.edges() {
+            b = b.add_weighted_edge(u, v, p);
+        }
+        let g = b.build().unwrap();
+        let hub = (0..g.n() as NodeId)
+            .max_by_key(|&v| g.in_degree(v))
+            .unwrap();
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let workers = WorkerPool::new(3);
+        let pool = full_rebuild(&g, 8, 16, 9, RrStrategy::SubsimIc);
+        workers.set_chunk_hook(Some(std::sync::Arc::new(|_, _| panic!("injected fault"))));
+        let err = repair_half(&pool, &[hub], &sampler, &workers, 16, 9, 3).unwrap_err();
+        assert_eq!(err, PoolError::WorkerPanicked);
+        // Hook cleared: the same pool repairs normally afterwards.
+        workers.set_chunk_hook(None);
+        let repaired = repair_half(&pool, &[hub], &sampler, &workers, 16, 9, 3).unwrap();
+        assert_eq!(repaired.rr.len(), pool.len());
     }
 
     #[test]

@@ -242,6 +242,21 @@ impl NodeMarks {
     pub fn is_marked(&self, v: NodeId) -> bool {
         self.stamp[v as usize] == self.epoch
     }
+
+    /// Current epoch stamp. Test instrumentation (wrap-around coverage);
+    /// not part of the stable API.
+    #[doc(hidden)]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Forces the epoch counter so tests can drive it to the wrap
+    /// boundary without 2³² [`NodeMarks::begin`] calls. Stamps are left
+    /// untouched — exactly the state a long-lived scratch would be in.
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
 }
 
 /// Offsets array of an [`InvertedIndex`], narrowed to `u32` whenever the
@@ -473,6 +488,71 @@ mod tests {
     use subsim_graph::generators::star_graph;
     use subsim_graph::WeightModel;
     use subsim_sampling::rng_from_seed;
+
+    #[test]
+    fn node_marks_epoch_wraps_without_stale_marks() {
+        let mut marks = NodeMarks::new();
+        marks.begin(8);
+        marks.mark(3);
+        marks.mark(5);
+        // Drive the counter to the wrap boundary: the next begin() wraps
+        // to 0, which must trigger a full refill — the stale stamps from
+        // the pre-wrap epoch must not read as marked.
+        marks.force_epoch(u32::MAX);
+        marks.mark(7); // stamped u32::MAX, the worst-case stale value
+        marks.begin(8);
+        assert_eq!(marks.epoch(), 1, "wrap restarts the epoch after refill");
+        for v in 0..8 {
+            assert!(!marks.is_marked(v), "stale mark on {v} after wrap");
+        }
+        marks.mark(2);
+        assert!(marks.is_marked(2));
+        assert!(!marks.is_marked(7));
+    }
+
+    #[test]
+    fn node_marks_survive_many_begins_near_wrap() {
+        // A scratch parked just below the boundary stays correct across
+        // several begin() generations spanning the wrap.
+        let mut marks = NodeMarks::new();
+        marks.begin(4);
+        marks.force_epoch(u32::MAX - 3);
+        for round in 0..8u32 {
+            marks.begin(4);
+            let v = (round % 4) as NodeId;
+            marks.mark(v);
+            for u in 0..4 {
+                assert_eq!(
+                    marks.is_marked(u),
+                    u == v,
+                    "round {round} epoch {}",
+                    marks.epoch()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_identical_across_epoch_wrap() {
+        // No stale-coverage reuse: the same coverage questions answered
+        // through a wrapped scratch must match a fresh scratch per call.
+        let rr = sample_collection();
+        let seed_sets: &[&[NodeId]] = &[&[0], &[1, 3], &[2, 4], &[0, 1, 2, 3, 4]];
+        let mut wrapped = NodeMarks::new();
+        wrapped.begin(5);
+        wrapped.force_epoch(u32::MAX - 2);
+        for round in 0..6 {
+            for seeds in seed_sets {
+                let got = rr.coverage_of_with(seeds, &mut wrapped);
+                let want = rr.coverage_of_with(seeds, &mut NodeMarks::new());
+                assert_eq!(got, want, "round {round} seeds {seeds:?}");
+                let (got_f, got_cov) = rr.filter_not_covering_with(seeds, &mut wrapped);
+                let (want_f, want_cov) = rr.filter_not_covering_with(seeds, &mut NodeMarks::new());
+                assert_eq!(got_cov, want_cov, "round {round} seeds {seeds:?}");
+                assert_eq!(got_f.len(), want_f.len(), "round {round} seeds {seeds:?}");
+            }
+        }
+    }
 
     fn sample_collection() -> RrCollection {
         let mut rr = RrCollection::new(5);

@@ -47,7 +47,7 @@ pub use forward::{mc_influence, rr_influence, simulate_ic, simulate_lt, CascadeM
 pub use parallel::{
     chunk_seed, par_generate, par_generate_chunks, par_generate_chunks_static, ParBatch,
 };
-pub use pool::{WorkerPool, WorkerScratch};
+pub use pool::{ChunkHook, PoolError, WorkerPool, WorkerScratch};
 pub use rr::{RrContext, RrSampler, RrStrategy};
 pub use serialize::{read_rr_collection, write_rr_collection};
 

@@ -35,12 +35,51 @@ use crate::collection::RrCollection;
 use crate::parallel::{chunk_seed, ParBatch};
 use crate::rr::{RrContext, RrSampler};
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use subsim_graph::NodeId;
 use subsim_sampling::rng_from_seed;
+
+/// Typed failure of a pool batch.
+///
+/// The pool degrades gracefully: a panic inside a batch body is caught on
+/// every worker (background threads stay alive, no lock is poisoned), the
+/// batch's partial output is discarded, and the pool is immediately ready
+/// for the next batch. Callers that keep an existing RR pool therefore
+/// keep serving from their pre-batch content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// At least one worker panicked inside the batch body. The partial
+    /// batch output was discarded; the pool remains usable.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked => {
+                write!(f, "a pool worker panicked during the batch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Test-instrumentation hook invoked as `(worker, chunk_id)` right before
+/// each chunk is generated. A panicking hook simulates a worker crash
+/// mid-batch; see [`WorkerPool::set_chunk_hook`].
+pub type ChunkHook = Arc<dyn Fn(usize, u64) + Send + Sync>;
+
+/// Locks a mutex, recovering from poisoning: batch bodies run under
+/// `catch_unwind`, so state behind these locks is never left mid-update
+/// by a panic — the poison flag alone carries no information here.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Per-worker scratch that persists across batches.
 ///
@@ -103,29 +142,12 @@ struct Shared {
     done: Condvar,
 }
 
-/// Decrements `running` even if the batch body panics, so `run_batch`
-/// never deadlocks waiting on a dead worker.
-struct RunningGuard<'a>(&'a Shared);
-
-impl Drop for RunningGuard<'_> {
-    fn drop(&mut self) {
-        let mut st = self.0.state.lock().unwrap();
-        if std::thread::panicking() {
-            st.panicked = true;
-        }
-        st.running -= 1;
-        if st.running == 0 {
-            self.0.done.notify_all();
-        }
-    }
-}
-
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
     let mut scratch = WorkerScratch::new();
     let mut seen = 0u64;
     loop {
         let ptr = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = relock(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -134,14 +156,34 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                     seen = st.epoch;
                     break st.task.as_ref().expect("epoch bumped without a task").0;
                 }
-                st = shared.start.wait(st).unwrap();
+                st = shared
+                    .start
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let _latch = RunningGuard(&shared);
-        // SAFETY: `run_batch` keeps the closure borrowed until `running`
-        // reaches 0, which `_latch` guarantees happens after this call.
+        // SAFETY: `try_run_batch` keeps the closure borrowed until
+        // `running` reaches 0, which the decrement below guarantees
+        // happens after this call.
         let body = unsafe { &*ptr };
-        body(worker, &mut scratch);
+        // Catch panics so the worker thread survives a crashing batch
+        // body: the batch fails with a typed error but the pool stays
+        // serviceable for the next batch.
+        let panicked = catch_unwind(AssertUnwindSafe(|| body(worker, &mut scratch))).is_err();
+        if panicked {
+            // The scratch context may be mid-traversal; drop it rather
+            // than risk stale sentinel/epoch state leaking into the next
+            // batch.
+            scratch = WorkerScratch::new();
+        }
+        let mut st = relock(&shared.state);
+        if panicked {
+            st.panicked = true;
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
     }
 }
 
@@ -155,6 +197,8 @@ pub struct WorkerPool {
     /// Worker 0's scratch; the lock also serializes batches.
     caller: Mutex<WorkerScratch>,
     threads: usize,
+    /// Fault-injection hook, sampled once at the start of each chunk batch.
+    chunk_hook: Mutex<Option<ChunkHook>>,
 }
 
 impl WorkerPool {
@@ -188,6 +232,7 @@ impl WorkerPool {
             handles,
             caller: Mutex::new(WorkerScratch::new()),
             threads,
+            chunk_hook: Mutex::new(None),
         }
     }
 
@@ -196,37 +241,78 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Installs (or clears, with `None`) a fault-injection hook invoked as
+    /// `(worker, chunk_id)` right before each chunk is generated.
+    ///
+    /// The hook is sampled once per batch, so mid-batch swaps do not tear.
+    /// A hook that panics simulates a worker crashing mid-chunk: the batch
+    /// fails with [`PoolError::WorkerPanicked`] while the pool itself
+    /// stays serviceable. Intended for test harnesses (see
+    /// `subsim-testkit`); production code leaves it unset.
+    pub fn set_chunk_hook(&self, hook: Option<ChunkHook>) {
+        *relock(&self.chunk_hook) = hook;
+    }
+
     /// Runs `body(worker, scratch)` once on every worker concurrently and
     /// returns when all of them have finished.
     ///
     /// Batches are serialized; a second caller blocks until the first
-    /// batch completes. Panics if any worker panicked inside the body.
+    /// batch completes. Panics if any worker panicked inside the body —
+    /// use [`WorkerPool::try_run_batch`] for a typed error instead.
     pub fn run_batch(&self, body: &(dyn Fn(usize, &mut WorkerScratch) + Sync)) {
-        let mut caller = self.caller.lock().unwrap();
+        if let Err(e) = self.try_run_batch(body) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`WorkerPool::run_batch`]: a panic inside the body on any
+    /// worker is caught and surfaced as [`PoolError::WorkerPanicked`],
+    /// with all workers alive and no lock poisoned — the pool accepts the
+    /// next batch normally.
+    pub fn try_run_batch(
+        &self,
+        body: &(dyn Fn(usize, &mut WorkerScratch) + Sync),
+    ) -> Result<(), PoolError> {
+        let mut caller = relock(&self.caller);
         if self.threads == 1 {
-            body(0, &mut caller);
-            return;
+            let panicked = catch_unwind(AssertUnwindSafe(|| body(0, &mut caller))).is_err();
+            if panicked {
+                *caller = WorkerScratch::new();
+                return Err(PoolError::WorkerPanicked);
+            }
+            return Ok(());
         }
         // SAFETY: erases the borrow lifetime only; the pointee stays
         // borrowed (and thus alive) until the completion wait below.
         let erased: *const BatchFn<'static> =
             unsafe { std::mem::transmute(body as *const BatchFn<'_>) };
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = relock(&self.shared.state);
             st.task = Some(Task(erased));
             st.running = self.threads - 1;
             st.epoch += 1;
             self.shared.start.notify_all();
         }
-        body(0, &mut caller);
-        let mut st = self.shared.state.lock().unwrap();
+        let caller_panicked = catch_unwind(AssertUnwindSafe(|| body(0, &mut caller))).is_err();
+        if caller_panicked {
+            *caller = WorkerScratch::new();
+        }
+        let mut st = relock(&self.shared.state);
         while st.running > 0 {
-            st = self.shared.done.wait(st).unwrap();
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         st.task = None;
-        let panicked = std::mem::replace(&mut st.panicked, false);
+        let worker_panicked = std::mem::replace(&mut st.panicked, false);
         drop(st);
-        assert!(!panicked, "a pool worker panicked during the batch");
+        if caller_panicked || worker_panicked {
+            Err(PoolError::WorkerPanicked)
+        } else {
+            Ok(())
+        }
     }
 
     /// Generates chunks `chunks.start..chunks.end` of `chunk_size` RR sets
@@ -254,6 +340,20 @@ impl WorkerPool {
         self.generate_chunk_ids(sampler, sentinel, &ids, chunk_size, seed)
     }
 
+    /// Fallible [`WorkerPool::generate_chunks`]; see
+    /// [`WorkerPool::try_generate_chunk_ids`] for the error contract.
+    pub fn try_generate_chunks(
+        &self,
+        sampler: &RrSampler<'_>,
+        sentinel: Option<&[NodeId]>,
+        chunks: Range<u64>,
+        chunk_size: usize,
+        seed: u64,
+    ) -> Result<ParBatch, PoolError> {
+        let ids: Vec<u64> = chunks.collect();
+        self.try_generate_chunk_ids(sampler, sentinel, &ids, chunk_size, seed)
+    }
+
     /// [`WorkerPool::generate_chunks`] over an arbitrary chunk-id list
     /// instead of a contiguous range, concatenated in `ids` order.
     ///
@@ -270,20 +370,42 @@ impl WorkerPool {
         chunk_size: usize,
         seed: u64,
     ) -> ParBatch {
+        match self.try_generate_chunk_ids(sampler, sentinel, ids, chunk_size, seed) {
+            Ok(batch) => batch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`WorkerPool::generate_chunk_ids`].
+    ///
+    /// On [`PoolError::WorkerPanicked`] the partially generated batch is
+    /// discarded in full — no truncated or hole-ridden pool is ever
+    /// returned — and the pool remains ready for the next batch, so a
+    /// caller that appends batches to an existing collection keeps its
+    /// pre-batch content intact.
+    pub fn try_generate_chunk_ids(
+        &self,
+        sampler: &RrSampler<'_>,
+        sentinel: Option<&[NodeId]>,
+        ids: &[u64],
+        chunk_size: usize,
+        seed: u64,
+    ) -> Result<ParBatch, PoolError> {
         assert!(chunk_size > 0, "chunks must hold at least one set");
         let start = Instant::now();
         let n = sampler.graph().n();
         let count = ids.len();
         if count == 0 {
-            return ParBatch {
+            return Ok(ParBatch {
                 rr: RrCollection::new(n),
                 cost: 0,
                 sentinel_hits: 0,
                 elapsed: Duration::ZERO,
                 chunk_workers: Vec::new(),
                 chunk_costs: Vec::new(),
-            };
+            });
         }
+        let hook = relock(&self.chunk_hook).clone();
 
         struct ChunkOut {
             rr: RrCollection,
@@ -294,7 +416,7 @@ impl WorkerPool {
 
         let next = AtomicU64::new(0);
         let slots: Vec<OnceLock<ChunkOut>> = (0..count).map(|_| OnceLock::new()).collect();
-        self.run_batch(&|worker, scratch| {
+        self.try_run_batch(&|worker, scratch| {
             let ctx = scratch.context_for(n);
             match sentinel {
                 Some(s) => ctx.set_sentinel(s),
@@ -304,6 +426,9 @@ impl WorkerPool {
                 let i = next.fetch_add(1, Ordering::Relaxed) as usize;
                 if i >= count {
                     break;
+                }
+                if let Some(h) = &hook {
+                    h(worker, ids[i]);
                 }
                 let cost_before = ctx.cost;
                 let hits_before = ctx.sentinel_hits;
@@ -318,7 +443,7 @@ impl WorkerPool {
                 };
                 assert!(slots[i].set(out).is_ok(), "chunk {i} claimed twice");
             }
-        });
+        })?;
 
         let mut rr = RrCollection::new(n);
         let (mut cost, mut hits) = (0u64, 0u64);
@@ -332,21 +457,21 @@ impl WorkerPool {
             chunk_workers.push(out.worker);
             chunk_costs.push(out.cost);
         }
-        ParBatch {
+        Ok(ParBatch {
             rr,
             cost,
             sentinel_hits: hits,
             elapsed: start.elapsed(),
             chunk_workers,
             chunk_costs,
-        }
+        })
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = relock(&self.shared.state);
             st.shutdown = true;
             self.shared.start.notify_all();
         }
@@ -495,6 +620,87 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn injected_panic_surfaces_typed_error_and_pool_survives() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 91);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let reference = pool.generate_chunks(&sampler, None, 0..8, 32, 92);
+            pool.set_chunk_hook(Some(Arc::new(|_, chunk| {
+                if chunk == 5 {
+                    panic!("injected fault");
+                }
+            })));
+            let err = pool
+                .try_generate_chunks(&sampler, None, 0..8, 32, 92)
+                .unwrap_err();
+            assert_eq!(err, PoolError::WorkerPanicked, "threads={threads}");
+            // The same pool, hook cleared, must produce the bit-identical
+            // batch: workers survived and no scratch state leaked.
+            pool.set_chunk_hook(None);
+            let after = pool.generate_chunks(&sampler, None, 0..8, 32, 92);
+            assert_eq!(after.rr.len(), reference.rr.len(), "threads={threads}");
+            for i in 0..after.rr.len() {
+                assert_eq!(
+                    after.rr.get(i),
+                    reference.rr.get(i),
+                    "threads={threads} set {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_repeated_worker_panics() {
+        let g = star_graph(60, WeightModel::Wc);
+        let sampler = RrSampler::new(&g, RrStrategy::VanillaIc);
+        let pool = WorkerPool::new(3);
+        pool.set_chunk_hook(Some(Arc::new(|_, _| panic!("injected fault"))));
+        for round in 0..3 {
+            let err = pool
+                .try_generate_chunks(&sampler, None, 0..4, 16, 7)
+                .unwrap_err();
+            assert_eq!(err, PoolError::WorkerPanicked, "round {round}");
+        }
+        pool.set_chunk_hook(None);
+        let batch = pool.generate_chunks(&sampler, None, 0..4, 16, 7);
+        assert_eq!(batch.rr.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "a pool worker panicked during the batch")]
+    fn run_batch_still_panics_on_worker_panic() {
+        let pool = WorkerPool::new(2);
+        pool.run_batch(&|w, _| {
+            if w == 1 {
+                panic!("injected fault");
+            }
+        });
+    }
+
+    #[test]
+    fn try_run_batch_catches_caller_panic() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(
+            pool.try_run_batch(&|w, _| {
+                if w == 0 {
+                    panic!("injected fault");
+                }
+            }),
+            Err(PoolError::WorkerPanicked)
+        );
+        // The next batch still visits every worker.
+        let seen = [const { AtomicUsize::new(0) }; 2];
+        pool.try_run_batch(&|w, _| {
+            seen[w].fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        for (w, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::SeqCst), 1, "worker {w}");
         }
     }
 

@@ -296,6 +296,73 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_parses_but_fails_graph_build_typed() {
+        // No edges, no header: the edge list is legal (n = 0) but a graph
+        // needs at least one node, and the failure must be typed.
+        for input in ["", "# only a comment\n", "\n\n% konect\n"] {
+            let el = read_edge_list(input.as_bytes()).unwrap();
+            assert_eq!(el.n, 0, "{input:?}");
+            assert_eq!(el.edges.len(), 0);
+            assert!(matches!(
+                el.into_graph(WeightModel::Wc).unwrap_err(),
+                GraphError::EmptyGraph
+            ));
+        }
+        // A header declaring n=0 is the same typed failure, not a panic.
+        let el = read_edge_list(&b"# n=0 m=0\n"[..]).unwrap();
+        assert!(matches!(
+            el.into_graph(WeightModel::Wc).unwrap_err(),
+            GraphError::EmptyGraph
+        ));
+    }
+
+    #[test]
+    fn single_isolated_node_round_trips() {
+        // The smallest graph the builder accepts: one node, zero edges.
+        // Only the `# n= m=` header carries it through text form.
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert_eq!((g.n(), g.m()), (1, 0));
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf.clone()).unwrap(), "# n=1 m=0\n");
+        let el = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(el.n, 1);
+        let g2 = el.into_graph(WeightModel::Wc).unwrap();
+        assert_eq!((g2.n(), g2.m()), (1, 0));
+    }
+
+    #[test]
+    fn duplicate_parallel_edges_dedup_keeping_the_first() {
+        // Unweighted duplicates collapse to one edge.
+        let el = read_edge_list(&b"0 1\n0 1\n1 2\n0 1\n"[..]).unwrap();
+        assert_eq!(el.edges.len(), 4, "the parser keeps duplicates verbatim");
+        let g = el.into_graph(WeightModel::UniformIc { p: 0.5 }).unwrap();
+        assert_eq!(g.m(), 2, "the builder dedups parallel edges");
+        // Weighted duplicates keep the first-listed probability.
+        let el = read_edge_list(&b"0 1 0.9\n0 1 0.1\n"[..]).unwrap();
+        let g = el.into_graph(WeightModel::Wc).unwrap();
+        assert_eq!(g.m(), 1);
+        let (_, _, p) = g.edges().next().unwrap();
+        assert_eq!(p, 0.9);
+    }
+
+    #[test]
+    fn crlf_edge_lists_round_trip() {
+        // Files written on Windows (or fetched through a CRLF-translating
+        // proxy) must parse identically to their LF twins.
+        let lf = "# n=3 m=2\n0 1 0.5\n1 2 0.25\n";
+        let crlf = lf.replace('\n', "\r\n");
+        let a = read_edge_list(lf.as_bytes()).unwrap();
+        let b = read_edge_list(crlf.as_bytes()).unwrap();
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.probs, b.probs);
+        // And a headerless CRLF list, where `lines()` + trim carries it.
+        let el = read_edge_list(&b"5 6\r\n6 7\r\n"[..]).unwrap();
+        assert_eq!(el.edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("subsim_io_test");
         std::fs::create_dir_all(&dir).unwrap();

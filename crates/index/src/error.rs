@@ -2,6 +2,7 @@
 
 use std::fmt;
 use subsim_core::ImError;
+use subsim_diffusion::PoolError;
 
 /// Errors produced by [`crate::RrIndex`].
 #[derive(Debug)]
@@ -27,6 +28,10 @@ pub enum IndexError {
         /// What didn't line up.
         reason: String,
     },
+    /// A generation worker panicked mid-batch. The partial batch was
+    /// discarded, so the pool kept its pre-batch content and the index
+    /// stays queryable at its current size.
+    WorkerPanic,
 }
 
 impl fmt::Display for IndexError {
@@ -45,6 +50,13 @@ impl fmt::Display for IndexError {
             IndexError::Io(e) => write!(f, "snapshot I/O: {e}"),
             IndexError::SnapshotMismatch { reason } => {
                 write!(f, "snapshot rejected: {reason}")
+            }
+            IndexError::WorkerPanic => {
+                write!(
+                    f,
+                    "a generation worker panicked; the batch was discarded \
+                     and the pool kept its pre-batch content"
+                )
             }
         }
     }
@@ -69,6 +81,14 @@ impl From<ImError> for IndexError {
 impl From<std::io::Error> for IndexError {
     fn from(e: std::io::Error) -> Self {
         IndexError::Io(e)
+    }
+}
+
+impl From<PoolError> for IndexError {
+    fn from(e: PoolError) -> Self {
+        match e {
+            PoolError::WorkerPanicked => IndexError::WorkerPanic,
+        }
     }
 }
 

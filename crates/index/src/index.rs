@@ -6,7 +6,7 @@ use std::time::Instant;
 use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
 use subsim_core::pool::evaluate_pool_par;
 use subsim_core::ImOptions;
-use subsim_diffusion::pool::WorkerPool;
+use subsim_diffusion::pool::{ChunkHook, WorkerPool};
 use subsim_diffusion::{RrCollection, RrSampler, RrStrategy};
 use subsim_graph::{Graph, NodeId};
 
@@ -128,6 +128,8 @@ pub struct RrIndex<'g> {
     /// Persistent generation workers, spawned on the first top-up and
     /// reused across growth rounds (rebuilt if `threads` changes).
     pub(crate) workers: Option<WorkerPool>,
+    /// Fault-injection hook forwarded to the workers on every top-up.
+    pub(crate) chunk_hook: Option<ChunkHook>,
 }
 
 impl std::fmt::Debug for RrIndex<'_> {
@@ -156,6 +158,7 @@ impl<'g> RrIndex<'g> {
             chunks: 0,
             counters: IndexCounters::default(),
             workers: None,
+            chunk_hook: None,
         }
     }
 
@@ -177,6 +180,18 @@ impl<'g> RrIndex<'g> {
             chunks,
             counters: IndexCounters::default(),
             workers: None,
+            chunk_hook: None,
+        }
+    }
+
+    /// Installs (or clears) a fault-injection hook on the generation
+    /// workers — see [`WorkerPool::set_chunk_hook`]. Test instrumentation;
+    /// production code leaves it unset.
+    #[doc(hidden)]
+    pub fn set_chunk_hook(&mut self, hook: Option<ChunkHook>) {
+        self.chunk_hook = hook;
+        if let Some(workers) = &self.workers {
+            workers.set_chunk_hook(self.chunk_hook.clone());
         }
     }
 
@@ -383,6 +398,9 @@ impl<'g> RrIndex<'g> {
         // Spawn (or re-spawn after a threads change) the persistent
         // workers once; every later top-up reuses them.
         let workers = self.workers.get_or_insert_with(|| WorkerPool::new(threads));
+        if self.chunk_hook.is_some() {
+            workers.set_chunk_hook(self.chunk_hook.clone());
+        }
         // Budget is re-checked every `slice` chunks so a single huge
         // top-up cannot blow past `max_nodes` unbounded.
         let slice = (threads as u64) * 4;
@@ -401,20 +419,20 @@ impl<'g> RrIndex<'g> {
                 }
             }
             let end = needed_chunks.min(self.chunks + slice);
-            let b1 = workers.generate_chunks(
+            let b1 = workers.try_generate_chunks(
                 &self.sampler,
                 None,
                 self.chunks..end,
                 chunk,
                 self.config.seed,
-            );
-            let b2 = workers.generate_chunks(
+            )?;
+            let b2 = workers.try_generate_chunks(
                 &self.sampler,
                 None,
                 self.chunks..end,
                 chunk,
                 self.config.seed ^ R2_STREAM,
-            );
+            )?;
             self.counters.rr_sets_generated += (b1.rr.len() + b2.rr.len()) as u64;
             self.counters.rr_nodes_generated += (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64;
             self.counters.generation_cost += b1.cost + b2.cost;

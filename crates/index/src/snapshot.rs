@@ -9,12 +9,17 @@
 //! chunk_size u64 | chunks u64
 //! r1: blob_len u64 | SUBSIMRR bytes
 //! r2: blob_len u64 | SUBSIMRR bytes
+//! checksum u64 (FNV-1a over every preceding byte)
 //! ```
 //!
 //! Loading re-fingerprints the *provided* graph and refuses a snapshot
 //! whose fingerprint, strategy stream, or internal set counts disagree —
 //! a warmed pool is only sound against the exact graph and RNG stream
-//! that produced it.
+//! that produced it. The trailing checksum closes the remaining gap:
+//! fields the structural checks cannot validate (the stored seed, bytes
+//! inside the RR arenas) would otherwise load *silently wrong*, changing
+//! the pool's identity without any error. Version 2 of the format makes
+//! every single-byte corruption a typed [`IndexError::SnapshotMismatch`].
 
 use crate::error::IndexError;
 use crate::fingerprint::graph_fingerprint;
@@ -27,7 +32,52 @@ use subsim_diffusion::RrStrategy;
 use subsim_graph::Graph;
 
 const MAGIC: &[u8; 8] = b"SUBSIMIX";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Hashes every byte that passes through on its way to `inner`, so the
+/// writer can append a checksum without buffering the whole snapshot.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The read-side twin: hashes every byte handed to the parser, so the
+/// trailer comparison covers exactly the bytes the parser consumed.
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        Ok(n)
+    }
+}
 
 fn strategy_code(s: RrStrategy) -> u8 {
     match s {
@@ -68,7 +118,10 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
 
 /// Writes `index`'s pool and RNG cursor to `w`.
 pub fn write_index<W: Write>(index: &RrIndex<'_>, w: W) -> Result<(), IndexError> {
-    let mut w = io::BufWriter::new(w);
+    let mut w = HashingWriter {
+        inner: io::BufWriter::new(w),
+        hash: FNV_OFFSET,
+    };
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&graph_fingerprint(index.graph()).to_le_bytes())?;
@@ -82,7 +135,11 @@ pub fn write_index<W: Write>(index: &RrIndex<'_>, w: W) -> Result<(), IndexError
         w.write_all(&(blob.len() as u64).to_le_bytes())?;
         w.write_all(&blob)?;
     }
-    w.flush()?;
+    // The trailer goes through `inner` directly: the checksum covers
+    // every byte before it, not itself.
+    let digest = w.hash;
+    w.inner.write_all(&digest.to_le_bytes())?;
+    w.inner.flush()?;
     Ok(())
 }
 
@@ -94,7 +151,10 @@ pub fn write_index<W: Write>(index: &RrIndex<'_>, w: W) -> Result<(), IndexError
 /// and `max_nodes` to unlimited — adjust via [`RrIndex::set_threads`] /
 /// [`RrIndex::set_max_nodes`]. Counters restart at zero.
 pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexError> {
-    let mut r = io::BufReader::new(r);
+    let mut r = HashingReader {
+        inner: io::BufReader::new(r),
+        hash: FNV_OFFSET,
+    };
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -151,6 +211,16 @@ pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexE
             )));
         }
         halves.push(rr);
+    }
+    // Everything parsed structurally; now the trailer must match the
+    // hash of the bytes actually consumed. This is what catches
+    // corruption in fields with no structural redundancy (the seed, a
+    // node id inside an arena) before they become silent wrong answers.
+    let digest = r.hash;
+    let mut trailer = [0u8; 8];
+    r.inner.read_exact(&mut trailer)?;
+    if u64::from_le_bytes(trailer) != digest {
+        return Err(mismatch("checksum mismatch — snapshot bytes are corrupt"));
     }
     let r2 = halves.pop().expect("two halves read");
     let r1 = halves.pop().expect("two halves read");
@@ -278,5 +348,34 @@ mod tests {
         let mut bad = buf.clone();
         bad[20] = 0x7f;
         assert!(RrIndex::load(&g, bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn checksum_catches_structurally_valid_corruption() {
+        let g = barabasi_albert(120, 3, WeightModel::Wc, 46);
+        let index = warmed_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        // Bytes 21..29 hold the stored RNG seed: no structural check can
+        // reject a flipped seed bit, and before format v2 it loaded
+        // silently with a different pool identity.
+        let mut bad = buf.clone();
+        bad[22] ^= 0x40;
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, IndexError::SnapshotMismatch { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Same for a byte deep inside an RR arena.
+        let mut bad = buf.clone();
+        let mid = buf.len() - 16;
+        bad[mid] ^= 0x01;
+        assert!(RrIndex::load(&g, bad.as_slice()).is_err(), "arena byte");
+        // A corrupt trailer itself is also a mismatch, not a pass.
+        let mut bad = buf.clone();
+        let last = buf.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(RrIndex::load(&g, bad.as_slice()).is_err(), "trailer byte");
     }
 }

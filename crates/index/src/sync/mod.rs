@@ -300,15 +300,20 @@ impl<'g> ConcurrentRrIndex<'g> {
                 }
             }
             let end = needed_chunks.min(chunks + slice);
-            let b1 =
-                workers.generate_chunks(&self.sampler, None, chunks..end, chunk, self.config.seed);
-            let b2 = workers.generate_chunks(
+            let b1 = workers.try_generate_chunks(
+                &self.sampler,
+                None,
+                chunks..end,
+                chunk,
+                self.config.seed,
+            )?;
+            let b2 = workers.try_generate_chunks(
                 &self.sampler,
                 None,
                 chunks..end,
                 chunk,
                 self.config.seed ^ R2_STREAM,
-            );
+            )?;
             self.metrics.record_generation(
                 (b1.rr.len() + b2.rr.len()) as u64,
                 (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,

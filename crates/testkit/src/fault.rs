@@ -1,0 +1,178 @@
+//! Byte-level fault injection for snapshot and stream I/O.
+//!
+//! [`FaultyReader`] wraps an in-memory byte buffer and injects exactly
+//! one fault — truncation, a flipped byte, or a hard I/O error at a
+//! chosen offset — while behaving like a perfectly ordinary `Read`
+//! otherwise. Pointing it at `subsim_index::read_index` (which is
+//! generic over `Read`) or at the serving loop's input exercises every
+//! corrupt-snapshot and dropped-connection path without touching the
+//! filesystem.
+//!
+//! Worker-panic injection uses a different lever: the chunk hooks on
+//! [`subsim_diffusion::WorkerPool`] (forwarded by the indexes as
+//! `set_chunk_hook`), which run inside the generation workers and can
+//! panic on demand. [`panic_on_chunk`] builds the common hooks.
+
+use std::io::{self, Read};
+use subsim_diffusion::ChunkHook;
+
+/// One injected I/O fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault — the reader is transparent (the control arm).
+    None,
+    /// The stream ends cleanly after this many bytes (a truncated file
+    /// or a connection closed mid-message).
+    TruncateAt(usize),
+    /// Reads fail with `ErrorKind::ConnectionReset` once this many bytes
+    /// have been served (a connection dropped mid-stream).
+    ErrorAt(usize),
+    /// The byte at `offset` arrives XOR-ed with `xor` (bit rot; pick a
+    /// nonzero `xor`).
+    CorruptByte {
+        /// Position of the damaged byte.
+        offset: usize,
+        /// Bit pattern XOR-ed into it.
+        xor: u8,
+    },
+}
+
+/// A `Read` over an owned buffer with one [`Fault`] injected.
+#[derive(Debug)]
+pub struct FaultyReader {
+    data: Vec<u8>,
+    pos: usize,
+    fault: Fault,
+}
+
+impl FaultyReader {
+    /// Wraps `data` with `fault`.
+    pub fn new(data: Vec<u8>, fault: Fault) -> Self {
+        FaultyReader {
+            data,
+            pos: 0,
+            fault,
+        }
+    }
+
+    /// The effective end of the stream.
+    fn limit(&self) -> usize {
+        match self.fault {
+            Fault::TruncateAt(at) => at.min(self.data.len()),
+            _ => self.data.len(),
+        }
+    }
+}
+
+impl Read for FaultyReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Fault::ErrorAt(at) = self.fault {
+            if self.pos >= at {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    format!("injected stream failure at byte {at}"),
+                ));
+            }
+        }
+        let mut end = self.limit();
+        if let Fault::ErrorAt(at) = self.fault {
+            end = end.min(at); // serve the clean prefix, then fail above
+        }
+        let take = buf.len().min(end.saturating_sub(self.pos));
+        buf[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+        if let Fault::CorruptByte { offset, xor } = self.fault {
+            if (self.pos..self.pos + take).contains(&offset) {
+                buf[offset - self.pos] ^= xor;
+            }
+        }
+        self.pos += take;
+        Ok(take)
+    }
+}
+
+/// A chunk hook that panics on every chunk — the bluntest worker fault.
+pub fn panic_on_chunk() -> ChunkHook {
+    std::sync::Arc::new(|_worker, _chunk| panic!("injected worker fault"))
+}
+
+/// A chunk hook that panics only on chunk id `chunk` — faults one chunk
+/// of a batch while its siblings complete normally.
+pub fn panic_on_chunk_id(chunk: u64) -> ChunkHook {
+    std::sync::Arc::new(move |_worker, c| {
+        if c == chunk {
+            panic!("injected worker fault on chunk {chunk}");
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut r: FaultyReader) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        r.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn no_fault_is_transparent() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(
+            drain(FaultyReader::new(data.clone(), Fault::None)).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn truncation_ends_the_stream_early() {
+        let data: Vec<u8> = (0..=255).collect();
+        let got = drain(FaultyReader::new(data.clone(), Fault::TruncateAt(10))).unwrap();
+        assert_eq!(got, &data[..10]);
+    }
+
+    #[test]
+    fn error_fault_serves_the_clean_prefix_then_fails() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut r = FaultyReader::new(data.clone(), Fault::ErrorAt(7));
+        let mut buf = vec![0u8; 256];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], &data[..7]);
+        let err = r.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let data = vec![0u8; 32];
+        let got = drain(FaultyReader::new(
+            data,
+            Fault::CorruptByte {
+                offset: 5,
+                xor: 0xFF,
+            },
+        ))
+        .unwrap();
+        assert_eq!(got[5], 0xFF);
+        assert!(got.iter().enumerate().all(|(i, &b)| i == 5 || b == 0));
+    }
+
+    #[test]
+    fn corruption_survives_small_reads() {
+        // The damaged byte must flip even when reads are 1 byte at a time.
+        let data = vec![0u8; 16];
+        let mut r = FaultyReader::new(
+            data,
+            Fault::CorruptByte {
+                offset: 9,
+                xor: 0x0F,
+            },
+        );
+        let mut out = Vec::new();
+        let mut b = [0u8; 1];
+        while r.read(&mut b).unwrap() == 1 {
+            out.push(b[0]);
+        }
+        assert_eq!(out[9], 0x0F);
+    }
+}

@@ -1,0 +1,374 @@
+//! Deterministic simulation of the serving path.
+//!
+//! A single `u64` seed expands into a full serving **script** — an
+//! interleaving of influence queries, version-pinned queries (some
+//! deliberately stale), graph delta ops, and malformed lines — via
+//! [`generate_script`]. The script then drives two independent
+//! executions:
+//!
+//! - [`run_concurrent`] feeds it through the *real* serving stack:
+//!   [`subsim_delta::serve_queries`] over a [`ConcurrentDeltaIndex`],
+//!   with reader, worker, and collector threads exactly as the CLI runs
+//!   them (one query worker, so answers are a pure function of the
+//!   script — delta lines are already a barrier in the loop).
+//! - [`run_sequential_model`] replays the same lines against the plain
+//!   sequential [`DeltaIndex`] — the model whose semantics the
+//!   concurrent stack promises to match bit-for-bit.
+//!
+//! Both produce a [`SimOutcome`]: one canonical record per script line
+//! (`ok <seeds>`, `applied v<version> regen=<sets>`, `stale ...`,
+//! `malformed`, ...). [`check_seed`] asserts the two outcomes are equal
+//! and reports the seed plus the first diverging line on failure, so any
+//! counterexample replays bit-identically from the printed seed.
+//!
+//! Every generated line is textually unique (ε and p carry a per-step
+//! jitter in their last digits), which is what lets the concurrent
+//! run's events be re-associated with script lines unambiguously.
+
+use rand::Rng;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
+use subsim_delta::{
+    parse_query, serve_queries, ConcurrentDeltaIndex, DeltaError, DeltaIndex, GraphDelta,
+    LineError, ServeError, ServeEvent, ServeSink,
+};
+use subsim_diffusion::RrStrategy;
+use subsim_graph::{Graph, NodeId};
+use subsim_index::IndexConfig;
+
+/// The `δ` every simulated query uses.
+const SIM_DELTA: f64 = 0.1;
+
+/// Index configuration shared by the concurrent run and the model: the
+/// pool must be a pure function of its size for the comparison to be
+/// exact, which holds for any fixed `(strategy, seed, chunk_size)`.
+fn sim_config() -> IndexConfig {
+    IndexConfig::new(RrStrategy::SubsimIc)
+        .seed(42)
+        .chunk_size(32)
+        .threads(2)
+}
+
+/// What one script line did, in canonical text form (identical between
+/// the concurrent run and the sequential model when behavior matches).
+pub type SimStep = String;
+
+/// The outcome of one simulated serving session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// One canonical record per script line, in script order.
+    pub records: Vec<SimStep>,
+    /// Graph version after the session.
+    pub final_version: u64,
+}
+
+/// Expands `seed` into a serving script of `steps` lines over `g`:
+/// ~55% plain queries, ~15% queries pinned to the then-current version,
+/// ~5% deliberately stale pins, ~20% valid delta ops (insert / delete /
+/// reweight, tracked against the evolving edge set so they stay
+/// applicable), ~5% malformed lines. Pure function of `(g, seed, steps)`.
+pub fn generate_script(g: &Graph, seed: u64, steps: usize) -> Vec<String> {
+    let mut rng = subsim_sampling::rng_from_seed(seed);
+    let n = g.n() as NodeId;
+    let mut edges: BTreeSet<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    // Every pair ever used as an insert target, so delete lines stay
+    // textually unique even across insert/delete cycles.
+    let mut used: BTreeSet<(NodeId, NodeId)> = edges.clone();
+    let mut version = 0u64;
+    let mut script = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let jitter = (i + 1) as f64 * 1e-9;
+        let query = |rng: &mut dyn FnMut() -> f64, pin: Option<u64>| {
+            let k = 1 + (rng() * 3.0) as usize;
+            let eps = 0.3 + rng() * 0.2 + jitter;
+            match pin {
+                Some(v) => format!("{k} {eps:.9} @{v}"),
+                None => format!("{k} {eps:.9}"),
+            }
+        };
+        let mut draw = || rng.gen::<f64>();
+        let roll = (draw() * 100.0) as u32;
+        let line = match roll {
+            0..=54 => query(&mut draw, None),
+            55..=69 => query(&mut draw, Some(version)),
+            70..=74 => {
+                // A stale pin needs an old version to exist.
+                let pin = if version > 0 {
+                    (draw() * version as f64) as u64 // in 0..version
+                } else {
+                    version
+                };
+                query(&mut draw, Some(pin))
+            }
+            75..=94 => {
+                let p = 0.05 + draw() * 0.45 + jitter;
+                let kind = (draw() * 3.0) as u32;
+                if kind == 0 || edges.len() <= 2 {
+                    // Insert a fresh, never-before-used pair.
+                    let mut pick = || {
+                        let u = (draw() * n as f64) as NodeId;
+                        let v = (draw() * n as f64) as NodeId;
+                        (u.min(n - 1), v.min(n - 1))
+                    };
+                    let mut pair = pick();
+                    let mut tries = 0;
+                    while (pair.0 == pair.1 || used.contains(&pair)) && tries < 50 {
+                        pair = pick();
+                        tries += 1;
+                    }
+                    if pair.0 == pair.1 || used.contains(&pair) {
+                        // Dense graph, no fresh pair found: fall back to
+                        // a plain query rather than emit an invalid op.
+                        script.push(query(&mut draw, None));
+                        continue;
+                    }
+                    edges.insert(pair);
+                    used.insert(pair);
+                    version += 1;
+                    format!("delta + {} {} {p:.9}", pair.0, pair.1)
+                } else {
+                    let idx = (draw() * edges.len() as f64) as usize;
+                    let &(u, v) = edges.iter().nth(idx.min(edges.len() - 1)).unwrap();
+                    if kind == 1 {
+                        edges.remove(&(u, v));
+                        version += 1;
+                        format!("delta - {u} {v}")
+                    } else {
+                        version += 1;
+                        format!("delta ~ {u} {v} {p:.9}")
+                    }
+                }
+            }
+            _ => {
+                if roll.is_multiple_of(2) {
+                    format!("bogus {i}")
+                } else {
+                    format!("delta ? {i}")
+                }
+            }
+        };
+        script.push(line);
+    }
+    script
+}
+
+/// Canonical rendering of a line failure — shared by both executions so
+/// records compare exactly without depending on full `Display` strings.
+fn render_failure(error: &LineError) -> String {
+    match error {
+        LineError::Malformed { .. } => "malformed".to_string(),
+        LineError::Rejected(ServeError::Delta(DeltaError::StaleVersion { requested, current })) => {
+            format!("stale requested={requested} current={current}")
+        }
+        LineError::Rejected(ServeError::Delta(DeltaError::Parse { .. })) => {
+            "rejected-parse".to_string()
+        }
+        LineError::Rejected(e) => format!("rejected: {e}"),
+    }
+}
+
+/// Event recorder for the concurrent run.
+#[derive(Default)]
+struct Recorder(Mutex<Vec<ServeEvent>>);
+
+impl ServeSink for Recorder {
+    fn event(&self, event: ServeEvent) {
+        self.0.lock().expect("recorder poisoned").push(event);
+    }
+}
+
+/// Runs `script` through the real concurrent serving stack (one query
+/// worker, so the outcome is deterministic) and canonicalizes the
+/// result. Panics on internal serving errors — those are test failures,
+/// not simulation outcomes.
+pub fn run_concurrent(g: &Graph, script: &[String]) -> SimOutcome {
+    let index = ConcurrentDeltaIndex::new(g.clone(), sim_config()).expect("simulated index builds");
+    let input = format!("{}\n", script.join("\n"));
+    let mut output = Vec::new();
+    let rec = Recorder::default();
+    let shutdown = serve_queries(&index, SIM_DELTA, 1, input.as_bytes(), &mut output, &rec)
+        .expect("serving loop I/O");
+    assert!(!shutdown, "scripts do not contain shutdown lines");
+
+    // Re-associate events with script lines. Lines are unique, so a map
+    // by text is unambiguous; answers pair with Answered events by order.
+    let events = rec.0.into_inner().expect("recorder poisoned");
+    let answers: Vec<&str> = std::str::from_utf8(&output)
+        .expect("seed output is ASCII")
+        .lines()
+        .collect();
+    let mut answered_order: Vec<String> = Vec::new();
+    let mut failed: HashMap<String, String> = HashMap::new();
+    let mut applied: HashMap<String, String> = HashMap::new();
+    for event in &events {
+        match event {
+            ServeEvent::Answered { line, .. } => answered_order.push(line.clone()),
+            ServeEvent::LineFailed { line, error } => {
+                let prev = failed.insert(line.clone(), render_failure(error));
+                assert!(prev.is_none(), "script lines must be unique: {line:?}");
+            }
+            ServeEvent::DeltaApplied { op, report } => {
+                let prev = applied.insert(
+                    op.clone(),
+                    format!(
+                        "applied v{} regen={}",
+                        report.version, report.regenerated_sets
+                    ),
+                );
+                assert!(prev.is_none(), "delta ops must be unique: {op:?}");
+            }
+            ServeEvent::InputError { message } => {
+                panic!("unexpected input error in simulation: {message}")
+            }
+        }
+    }
+    assert_eq!(
+        answered_order.len(),
+        answers.len(),
+        "every answered query writes exactly one output line"
+    );
+
+    let mut next_answer = 0usize;
+    let records = script
+        .iter()
+        .map(|line| {
+            if let Some(op) = line.strip_prefix("delta ") {
+                if let Some(r) = applied.get(op.trim()) {
+                    return r.clone();
+                }
+                return failed
+                    .get(line)
+                    .unwrap_or_else(|| panic!("no outcome for {line:?}"))
+                    .clone();
+            }
+            if answered_order.get(next_answer).map(String::as_str) == Some(line.as_str()) {
+                let r = format!("ok {}", answers[next_answer]);
+                next_answer += 1;
+                return r;
+            }
+            failed
+                .get(line)
+                .unwrap_or_else(|| panic!("no outcome for {line:?}"))
+                .clone()
+        })
+        .collect();
+    SimOutcome {
+        records,
+        final_version: index.version(),
+    }
+}
+
+/// Replays `script` against the sequential [`DeltaIndex`] — the
+/// reference semantics the concurrent stack must match.
+pub fn run_sequential_model(g: &Graph, script: &[String]) -> SimOutcome {
+    let mut index = DeltaIndex::new(g.clone(), sim_config()).expect("simulated index builds");
+    let records = script
+        .iter()
+        .map(|line| {
+            if let Some(op) = line.strip_prefix("delta ") {
+                return match GraphDelta::parse_line(op.trim()) {
+                    Ok(Some(parsed)) => {
+                        let mut delta = GraphDelta::new();
+                        delta.push(parsed);
+                        match index.apply_delta(&delta) {
+                            Ok(report) => format!(
+                                "applied v{} regen={}",
+                                report.version, report.regenerated_sets
+                            ),
+                            Err(DeltaError::Parse { .. }) => "rejected-parse".to_string(),
+                            Err(e) => format!("rejected: {e}"),
+                        }
+                    }
+                    _ => "rejected-parse".to_string(),
+                };
+            }
+            match parse_query(line) {
+                Err(_) => "malformed".to_string(),
+                Ok((k, epsilon, pin)) => {
+                    if let Some(p) = pin {
+                        if p != index.version() {
+                            return format!("stale requested={p} current={}", index.version());
+                        }
+                    }
+                    match index.query(k, epsilon, SIM_DELTA) {
+                        Ok(ans) => {
+                            let seeds: Vec<String> =
+                                ans.seeds.iter().map(|s| s.to_string()).collect();
+                            format!("ok {}", seeds.join(" "))
+                        }
+                        Err(e) => format!("rejected: {e}"),
+                    }
+                }
+            }
+        })
+        .collect();
+    SimOutcome {
+        records,
+        final_version: index.version(),
+    }
+}
+
+/// Generates the script for `seed`, runs both executions, and compares.
+/// On divergence the error names the seed and the first differing line,
+/// so the failure replays bit-identically from that seed alone.
+pub fn check_seed(g: &Graph, seed: u64, steps: usize) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let concurrent = run_concurrent(g, &script);
+    let model = run_sequential_model(g, &script);
+    if concurrent == model {
+        return Ok(());
+    }
+    if concurrent.final_version != model.final_version {
+        return Err(format!(
+            "seed {seed}: final version diverged (concurrent {} vs model {}); \
+             reproduce with check_seed(g, {seed}, {steps})",
+            concurrent.final_version, model.final_version
+        ));
+    }
+    let (i, (c, m)) = concurrent
+        .records
+        .iter()
+        .zip(&model.records)
+        .enumerate()
+        .find(|(_, (c, m))| c != m)
+        .expect("equal-length record lists differ somewhere");
+    Err(format!(
+        "seed {seed}: line {i} {:?} diverged: concurrent {c:?} vs model {m:?}; \
+         reproduce with check_seed(g, {seed}, {steps})",
+        script[i]
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::barabasi_albert;
+    use subsim_graph::WeightModel;
+
+    fn sim_graph() -> Graph {
+        barabasi_albert(48, 2, WeightModel::Wc, 17)
+    }
+
+    #[test]
+    fn script_generation_is_deterministic_and_unique() {
+        let g = sim_graph();
+        let a = generate_script(&g, 7, 60);
+        let b = generate_script(&g, 7, 60);
+        assert_eq!(a, b, "same seed, same script");
+        let distinct: BTreeSet<&String> = a.iter().collect();
+        assert_eq!(distinct.len(), a.len(), "lines are textually unique");
+        let c = generate_script(&g, 8, 60);
+        assert_ne!(a, c, "different seed, different script");
+    }
+
+    #[test]
+    fn script_mixes_all_line_kinds() {
+        let g = sim_graph();
+        let script = generate_script(&g, 3, 200);
+        assert!(script.iter().any(|l| l.starts_with("delta + ")));
+        assert!(script.iter().any(|l| l.starts_with("delta - ")));
+        assert!(script.iter().any(|l| l.starts_with("delta ~ ")));
+        assert!(script.iter().any(|l| l.contains('@')));
+        assert!(script.iter().any(|l| l.starts_with("bogus")));
+    }
+}

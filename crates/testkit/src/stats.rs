@@ -1,0 +1,160 @@
+//! Statistics supporting the conformance and oracle suites: Pearson's
+//! χ² goodness-of-fit with a hardcoded critical-value table, and
+//! Hoeffding half-widths for Monte-Carlo certificates.
+//!
+//! The critical values are compile-time constants (α = 0.001, the level
+//! every seeded conformance test uses) instead of a runtime inverse-CDF:
+//! the suites must stay dependency-free, and a fixed level keeps the
+//! accept/reject decision auditable. α = 0.001 with fixed seeds means a
+//! passing seed keeps passing forever — there is no flake budget.
+
+/// Upper critical values of the χ² distribution at α = 0.001 for
+/// 1..=30 degrees of freedom (`CHI2_CRITICAL_001[df - 1]`).
+const CHI2_CRITICAL_001: [f64; 30] = [
+    10.828, 13.816, 16.266, 18.467, 20.515, 22.458, 24.322, 26.124, 27.877, 29.588, 31.264, 32.909,
+    34.528, 36.123, 37.697, 39.252, 40.790, 42.312, 43.820, 45.315, 46.797, 48.268, 49.728, 51.179,
+    52.620, 54.052, 55.476, 56.892, 58.301, 59.703,
+];
+
+/// The α = 0.001 upper critical value for `df` degrees of freedom.
+///
+/// # Panics
+///
+/// If `df` is 0 or above 30 (merge bins first — a conformance test with
+/// more than 31 cells is binning too finely for its sample size).
+pub fn chi_square_critical(df: usize) -> f64 {
+    assert!(
+        (1..=CHI2_CRITICAL_001.len()).contains(&df),
+        "df={df} outside the hardcoded table (1..=30); merge bins"
+    );
+    CHI2_CRITICAL_001[df - 1]
+}
+
+/// Pearson's statistic `Σ (O - E)² / E` over parallel observed /
+/// expected-count slices.
+///
+/// # Panics
+///
+/// If the slices differ in length, any expected count is below 5 (the
+/// classical validity floor — merge small bins with
+/// [`merge_small_bins`] first), or the totals disagree by more than one
+/// count (the expectation must be normalized to the sample size).
+pub fn chi_square_stat(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "cell count mismatch");
+    let o_total: u64 = observed.iter().sum();
+    let e_total: f64 = expected.iter().sum();
+    assert!(
+        (o_total as f64 - e_total).abs() <= 1.0,
+        "totals disagree: observed {o_total}, expected {e_total:.3}"
+    );
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e >= 5.0, "expected count {e:.3} below 5; merge bins");
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Folds adjacent cells until every expected count reaches `min_expected`
+/// (trailing remainder folds backwards into the last kept cell). Returns
+/// the merged `(observed, expected)` pair; cell order is preserved.
+pub fn merge_small_bins(
+    observed: &[u64],
+    expected: &[f64],
+    min_expected: f64,
+) -> (Vec<u64>, Vec<f64>) {
+    assert_eq!(observed.len(), expected.len(), "cell count mismatch");
+    let mut obs = Vec::new();
+    let mut exp = Vec::new();
+    let mut acc_o = 0u64;
+    let mut acc_e = 0.0f64;
+    for (&o, &e) in observed.iter().zip(expected) {
+        acc_o += o;
+        acc_e += e;
+        if acc_e >= min_expected {
+            obs.push(acc_o);
+            exp.push(acc_e);
+            acc_o = 0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0 {
+        match exp.last_mut() {
+            Some(last_e) => {
+                *last_e += acc_e;
+                *obs.last_mut().expect("obs and exp push together") += acc_o;
+            }
+            None => {
+                obs.push(acc_o);
+                exp.push(acc_e);
+            }
+        }
+    }
+    (obs, exp)
+}
+
+/// Hoeffding half-width for the mean of `runs` i.i.d. samples bounded in
+/// an interval of length `range`: with probability at least `1 - delta`,
+/// the empirical mean is within this distance of the true mean.
+///
+/// For influence spread the natural range is `n` (spread lies in
+/// `[0, n]`), giving the certificate the oracle's Monte-Carlo path
+/// attaches to its estimates.
+pub fn hoeffding_half_width(range: f64, delta: f64, runs: usize) -> f64 {
+    assert!(runs > 0, "a certificate needs at least one sample");
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0,1)");
+    range * ((2.0 / delta).ln() / (2.0 * runs as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_values_are_monotone() {
+        for df in 2..=30 {
+            assert!(chi_square_critical(df) > chi_square_critical(df - 1));
+        }
+    }
+
+    #[test]
+    fn perfect_fit_scores_zero() {
+        let obs = [10u64, 20, 30];
+        let exp = [10.0, 20.0, 30.0];
+        assert_eq!(chi_square_stat(&obs, &exp), 0.0);
+    }
+
+    #[test]
+    fn gross_misfit_exceeds_critical() {
+        let obs = [60u64, 0, 0];
+        let exp = [20.0, 20.0, 20.0];
+        assert!(chi_square_stat(&obs, &exp) > chi_square_critical(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "below 5")]
+    fn tiny_expected_counts_are_rejected() {
+        chi_square_stat(&[1, 1], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn merging_reaches_the_floor() {
+        let obs = [1u64, 2, 3, 100, 1];
+        let exp = [1.0, 2.0, 3.0, 100.0, 1.0];
+        let (mo, me) = merge_small_bins(&obs, &exp, 5.0);
+        assert_eq!(mo.iter().sum::<u64>(), 107);
+        assert!((me.iter().sum::<f64>() - 107.0).abs() < 1e-9);
+        assert!(me.iter().all(|&e| e >= 5.0), "{me:?}");
+        let _ = chi_square_stat(&mo, &me);
+    }
+
+    #[test]
+    fn hoeffding_width_shrinks_with_runs() {
+        let w1 = hoeffding_half_width(10.0, 0.01, 1_000);
+        let w2 = hoeffding_half_width(10.0, 0.01, 4_000);
+        assert!((w1 / w2 - 2.0).abs() < 1e-9, "4x runs halves the width");
+    }
+}

@@ -1,0 +1,206 @@
+//! The ground-truth battery: RR-based estimators and full IM algorithm
+//! runs judged against the exact live-edge-world oracle.
+//!
+//! Every assertion here compares workspace output to a *finite-sum*
+//! truth, not to another sampler: the oracle enumerates all `2^m`
+//! worlds, so a shared bug between two estimators cannot hide. Spread
+//! estimates must land inside a Hoeffding-certified interval around
+//! truth; algorithm seed sets must clear the paper's `(1 - 1/e - ε)`
+//! floor against the brute-forced optimum; certified bounds must
+//! bracket the truth they claim to bracket. All seeds are fixed —
+//! a pass is a pass forever.
+//!
+//! Debug-suite graphs keep `m <= 12` (4096 worlds); the `#[ignore]`d
+//! heavy check pushes to the 2^20-world enumeration limit and belongs
+//! in the release-mode oracle CI job (see TESTING.md).
+
+use subsim_core::{Hist, ImAlgorithm, ImOptions, ImResult, OpimC};
+use subsim_diffusion::{rr_influence, RrStrategy};
+use subsim_graph::generators::{complete_graph, path_graph, star_graph};
+use subsim_graph::{Graph, GraphBuilder, WeightModel};
+use subsim_testkit::{hoeffding_half_width, mc_certified, ExactOracle};
+
+const IC_STRATEGIES: [RrStrategy; 3] = [
+    RrStrategy::VanillaIc,
+    RrStrategy::SubsimIc,
+    RrStrategy::SubsimBucketIc,
+];
+
+fn uniform(p: f64) -> WeightModel {
+    WeightModel::UniformIc { p }
+}
+
+/// A 6-node graph with heterogeneous per-edge probabilities (m = 9), so
+/// the sorted-probing and bucket-sampler code paths actually engage.
+fn weighted_fixture() -> Graph {
+    GraphBuilder::new(6)
+        .add_weighted_edge(0, 1, 0.8)
+        .add_weighted_edge(0, 2, 0.15)
+        .add_weighted_edge(1, 2, 0.5)
+        .add_weighted_edge(1, 3, 0.05)
+        .add_weighted_edge(2, 3, 0.6)
+        .add_weighted_edge(3, 4, 0.35)
+        .add_weighted_edge(4, 5, 0.9)
+        .add_weighted_edge(5, 0, 0.25)
+        .add_weighted_edge(2, 5, 0.45)
+        .build()
+        .unwrap()
+}
+
+/// The debug-tier shapes: name, graph, and the seed sets whose spread
+/// the estimator checks probe.
+fn shapes() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("star", star_graph(8, uniform(0.3))),
+        ("path", path_graph(7, uniform(0.6))),
+        ("complete", complete_graph(4, uniform(0.2))),
+        ("weighted", weighted_fixture()),
+    ]
+}
+
+#[test]
+fn rr_spread_estimates_match_truth_within_certified_width() {
+    // 20k RR sets, δ = 1e-6: the certified half-width is n·0.0186, and
+    // a miss at a fixed seed would mean the estimator is biased (or we
+    // hit the 1-in-a-million honest miss — a new seed distinguishes).
+    let count = 20_000;
+    let delta = 1e-6;
+    for (name, g) in shapes() {
+        let oracle = ExactOracle::new(&g);
+        let width = hoeffding_half_width(g.n() as f64, delta, count);
+        let seed_sets: [&[u32]; 3] = [&[0], &[1], &[0, g.n() as u32 - 1]];
+        for seeds in seed_sets {
+            let truth = oracle.influence(seeds);
+            for strategy in IC_STRATEGIES {
+                let est = rr_influence(&g, seeds, strategy, count, 97);
+                assert!(
+                    (est - truth).abs() <= width,
+                    "{name}/{strategy:?} seeds {seeds:?}: estimate {est} vs \
+                     truth {truth} (width {width})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mc_oracle_path_agrees_with_enumeration() {
+    // The Monte-Carlo fallback (used past the enumeration limit) must
+    // cover the exact truth at its own certificate.
+    for (name, g) in shapes() {
+        let oracle = ExactOracle::new(&g);
+        let truth = oracle.influence(&[0]);
+        let est = mc_certified(&g, &[0], 6_000, 131, 1e-6);
+        assert!(
+            est.covers(truth),
+            "{name}: MC {} ± {} misses exact {truth}",
+            est.estimate,
+            est.half_width
+        );
+    }
+}
+
+/// Asserts one algorithm result clears the paper's guarantee against
+/// the brute-forced optimum, and that its certified bounds (when
+/// reported) bracket what they claim.
+fn assert_guarantee(label: &str, oracle: &ExactOracle, result: &ImResult, k: usize, epsilon: f64) {
+    let spread = oracle.influence(&result.seeds);
+    let (_, opt) = oracle.exact_opt(k);
+    let floor = (1.0 - 1.0 / std::f64::consts::E - epsilon) * opt;
+    assert_eq!(result.seeds.len(), k, "{label}: wrong seed count");
+    assert!(
+        spread >= floor - 1e-9,
+        "{label}: spread {spread} below the (1-1/e-ε) floor {floor} (OPT {opt})"
+    );
+    if result.stats.upper_bound > 0.0 {
+        assert!(
+            result.stats.upper_bound >= opt - 1e-9,
+            "{label}: certified upper bound {} below OPT {opt}",
+            result.stats.upper_bound
+        );
+        assert!(
+            result.stats.lower_bound <= spread + 1e-9,
+            "{label}: certified lower bound {} above true spread {spread}",
+            result.stats.lower_bound
+        );
+    }
+}
+
+#[test]
+fn hist_clears_the_guarantee_on_every_shape_and_strategy() {
+    let opts = ImOptions::new(2).epsilon(0.1).delta(0.01).seed(7);
+    for (name, g) in shapes() {
+        let oracle = ExactOracle::new(&g);
+        for strategy in IC_STRATEGIES {
+            let result = Hist::with_strategy(strategy).run(&g, &opts).unwrap();
+            assert_guarantee(
+                &format!("hist/{name}/{strategy:?}"),
+                &oracle,
+                &result,
+                2,
+                0.1,
+            );
+        }
+    }
+}
+
+#[test]
+fn opimc_clears_the_guarantee_on_every_shape_and_strategy() {
+    let opts = ImOptions::new(2).epsilon(0.1).delta(0.01).seed(19);
+    for (name, g) in shapes() {
+        let oracle = ExactOracle::new(&g);
+        for strategy in IC_STRATEGIES {
+            let result = OpimC::with_strategy(strategy).run(&g, &opts).unwrap();
+            assert_guarantee(
+                &format!("opimc/{name}/{strategy:?}"),
+                &oracle,
+                &result,
+                2,
+                0.1,
+            );
+        }
+    }
+}
+
+#[test]
+fn brute_force_opt_dominates_every_greedy_pick() {
+    // Sanity on the oracle itself: OPT_k majorizes the spread of every
+    // single algorithm output and is monotone in k.
+    let g = weighted_fixture();
+    let oracle = ExactOracle::new(&g);
+    let (_, opt1) = oracle.exact_opt(1);
+    let (_, opt2) = oracle.exact_opt(2);
+    let (_, opt3) = oracle.exact_opt(3);
+    assert!(opt1 <= opt2 + 1e-12 && opt2 <= opt3 + 1e-12);
+    let result = Hist::with_subsim()
+        .run(&g, &ImOptions::new(2).seed(3))
+        .unwrap();
+    assert!(oracle.influence(&result.seeds) <= opt2 + 1e-9);
+}
+
+/// Release-tier: a 2^20-world enumeration (the documented limit) with
+/// the full strategy sweep. ~1M worlds × reach closures is too slow for
+/// the debug tier; the oracle CI job runs it with `--release
+/// --include-ignored`.
+#[test]
+#[ignore = "2^20-world enumeration; run in release (see TESTING.md)"]
+fn heavy_complete_graph_at_the_enumeration_limit() {
+    let g = complete_graph(5, uniform(0.15)); // m = 20
+    let oracle = ExactOracle::new(&g);
+    assert_eq!(oracle.worlds(), 1 << 20);
+    let count = 40_000;
+    let width = hoeffding_half_width(g.n() as f64, 1e-6, count);
+    let truth = oracle.influence(&[0, 1]);
+    for strategy in IC_STRATEGIES {
+        let est = rr_influence(&g, &[0, 1], strategy, count, 23);
+        assert!(
+            (est - truth).abs() <= width,
+            "{strategy:?}: {est} vs {truth} (width {width})"
+        );
+    }
+    let opts = ImOptions::new(2).epsilon(0.1).delta(0.01).seed(29);
+    for strategy in IC_STRATEGIES {
+        let result = Hist::with_strategy(strategy).run(&g, &opts).unwrap();
+        assert_guarantee(&format!("heavy/{strategy:?}"), &oracle, &result, 2, 0.1);
+    }
+}

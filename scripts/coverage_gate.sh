@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Coverage gate for CI: measure workspace line coverage with cargo-llvm-cov
+# and fail when it regresses more than the tolerance below the recorded
+# baseline.
+#
+# Usage:
+#   scripts/coverage_gate.sh           # measure and compare vs baseline
+#   scripts/coverage_gate.sh --record  # measure and (re)write the baseline
+#
+# The baseline lives in ci/coverage-baseline.txt (one number, percent of
+# lines covered). Refresh it deliberately with --record when a PR moves
+# coverage up — the gate only defends the floor, it never ratchets itself.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE_FILE="ci/coverage-baseline.txt"
+TOLERANCE="${COVERAGE_TOLERANCE:-2.0}"
+
+if ! cargo llvm-cov --version >/dev/null 2>&1; then
+    echo "error: cargo-llvm-cov is not installed (CI installs it via taiki-e/install-action)" >&2
+    exit 1
+fi
+
+echo "measuring workspace line coverage (this runs the full test suite instrumented)..."
+current=$(cargo llvm-cov --workspace --summary-only --json \
+    | python3 -c 'import json,sys; print(round(json.load(sys.stdin)["data"][0]["totals"]["lines"]["percent"], 2))')
+echo "current line coverage: ${current}%"
+
+if [[ "${1:-}" == "--record" ]]; then
+    printf '%s\n' "$current" > "$BASELINE_FILE"
+    echo "baseline recorded: ${current}% -> ${BASELINE_FILE}"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE_FILE" ]]; then
+    echo "error: no baseline at ${BASELINE_FILE}; run '$0 --record' once and commit it" >&2
+    exit 1
+fi
+
+baseline=$(grep -oE '^[0-9]+([.][0-9]+)?' "$BASELINE_FILE" | head -1)
+if [[ -z "$baseline" ]]; then
+    echo "error: ${BASELINE_FILE} holds no number" >&2
+    exit 1
+fi
+
+floor=$(python3 -c "print(${baseline} - ${TOLERANCE})")
+echo "baseline ${baseline}%, tolerance ${TOLERANCE} -> floor ${floor}%"
+if python3 -c "import sys; sys.exit(0 if ${current} >= ${floor} else 1)"; then
+    echo "coverage gate passed"
+else
+    echo "error: coverage ${current}% fell more than ${TOLERANCE} points below the ${baseline}% baseline" >&2
+    echo "       fix the lost coverage, or re-record deliberately with '$0 --record'" >&2
+    exit 1
+fi

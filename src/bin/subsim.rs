@@ -14,7 +14,7 @@
 //! probabilities are used and `--model` is ignored.
 //!
 //! `query-server` keeps a [`ConcurrentRrIndex`] alive and answers
-//! `k [epsilon]` queries, one per line, from stdin or a Unix socket
+//! `k [epsilon] [@version]` queries, one per line, from stdin or a Unix socket
 //! (`--socket`): seeds go back to the query source (one space-separated
 //! line per query, in input order), per-query stats to stderr. Queries
 //! fan out over `--threads` worker threads, which all read lock-free
@@ -30,8 +30,11 @@
 //! `delta ~ u v p` lines interleaved with queries: each mutation applies
 //! atomically, the RR pool is repaired incrementally (only chunks holding
 //! a set that contains a mutated edge target regenerate), and an ack with
-//! the repair stats goes to stderr. Queries always answer against the
-//! latest published graph version.
+//! the repair stats goes to stderr. Queries answer against the latest
+//! published graph version unless pinned with a trailing `@version`
+//! token, which fails with a typed stale-version error if the graph has
+//! moved past it. Delta lines are a barrier: they apply only after every
+//! earlier query line has answered.
 //!
 //! `apply-delta` is the batch form: it reads a delta file (same op lines,
 //! `#` comments ignored), applies it to the graph, optionally writes the
@@ -39,12 +42,9 @@
 //! snapshot (`--index-in` → `--index-out`, default in place) instead of
 //! regenerating it from scratch.
 
-use std::collections::BTreeMap;
-use std::io::BufRead;
 use std::process::ExitCode;
-use std::sync::{mpsc, Mutex};
 use subsim::core::coverage::{greedy_max_coverage, GreedyConfig};
-use subsim::delta::DeltaError;
+use subsim::delta::{serve_queries, DeltaError, LineError, ServeEvent, ServeIndex};
 use subsim::diffusion::serialize::{read_rr_collection, write_rr_collection};
 use subsim::diffusion::{chunk_seed, mc_influence, par_generate_chunks, CascadeModel};
 use subsim::prelude::*;
@@ -641,6 +641,7 @@ fn serve_transport<I: ServeIndex>(index: &I, args: &ServerArgs) -> Result<(), St
                 args.threads,
                 stdin.lock(),
                 std::io::stdout(),
+                &log_serve_event,
             )?;
         }
         Some(path) => {
@@ -656,7 +657,14 @@ fn serve_transport<I: ServeIndex>(index: &I, args: &ServerArgs) -> Result<(), St
                 let reader = std::io::BufReader::new(
                     stream.try_clone().map_err(|e| format!("socket: {e}"))?,
                 );
-                let shutdown = serve_queries(index, args.delta, args.threads, reader, stream)?;
+                let shutdown = serve_queries(
+                    index,
+                    args.delta,
+                    args.threads,
+                    reader,
+                    stream,
+                    &log_serve_event,
+                )?;
                 if shutdown {
                     break;
                 }
@@ -761,198 +769,53 @@ fn run_apply_delta(args: ApplyDeltaArgs) -> Result<(), String> {
     Ok(())
 }
 
-/// One parsed `k [epsilon]` query, tagged with its position in the input
-/// so answers can be re-serialized in input order.
-struct Job {
-    id: u64,
-    line: String,
-    k: usize,
-    epsilon: f64,
-}
-
-/// What `serve_queries` needs from a serving index: concurrent queries,
-/// and (for `--delta-stream` servers) in-band graph mutation.
-trait ServeIndex: Sync {
-    fn run_query(&self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, String>;
-    /// Applies one `+ u v p` / `- u v` / `~ u v p` op line; returns a
-    /// human-readable ack for stderr.
-    fn apply_delta_line(&self, op: &str) -> Result<String, String>;
-}
-
-impl ServeIndex for ConcurrentRrIndex<'_> {
-    fn run_query(&self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, String> {
-        self.query(k, epsilon, delta).map_err(|e| e.to_string())
-    }
-
-    fn apply_delta_line(&self, _op: &str) -> Result<String, String> {
-        Err("graph is frozen; start the server with --delta-stream to accept delta lines".into())
-    }
-}
-
-impl ServeIndex for ConcurrentDeltaIndex {
-    fn run_query(&self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, String> {
-        self.query(k, epsilon, delta).map_err(|e| e.to_string())
-    }
-
-    fn apply_delta_line(&self, op: &str) -> Result<String, String> {
-        let parsed = GraphDelta::parse_line(op)
-            .map_err(|e| e.to_string())?
-            .ok_or_else(|| "empty delta line".to_string())?;
-        let mut delta = GraphDelta::new();
-        delta.push(parsed);
-        let report = self.apply_delta(&delta).map_err(|e| e.to_string())?;
-        Ok(format!(
-            "delta applied: version {}, {}/{} sets regenerated ({:.1}% of pool, {} chunks), {:?}",
-            report.version,
-            report.regenerated_sets,
-            report.pool_sets,
-            100.0 * report.repair_fraction(),
-            report.dirty_chunks_r1 + report.dirty_chunks_r2,
-            report.elapsed
-        ))
-    }
-}
-
-/// Serves `k [epsilon]` query lines from `input` until EOF (or a
-/// `shutdown` line), fanning queries out over `workers` threads that
-/// query `index` concurrently. Lines of the form `delta <op>` mutate the
-/// graph via [`ServeIndex::apply_delta_line`] (applied synchronously on
-/// the reader thread; queries already in flight answer against the
-/// snapshot they started with). Answers are written to `output` one line
-/// per successful query, **in input order** (a reorder buffer holds
-/// early-finished answers until their predecessors complete); malformed
-/// lines and failed queries produce a per-line stderr message and no
-/// output line. Returns whether a `shutdown` line was seen.
-fn serve_queries<I: ServeIndex, R: BufRead, W: std::io::Write + Send>(
-    index: &I,
-    delta: f64,
-    workers: usize,
-    input: R,
-    mut output: W,
-) -> Result<bool, String> {
-    let (job_tx, job_rx) = mpsc::channel::<Job>();
-    let job_rx = Mutex::new(job_rx);
-    let (ans_tx, ans_rx) = mpsc::channel::<(Job, Result<QueryAnswer, String>)>();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let ans_tx = ans_tx.clone();
-            let job_rx = &job_rx;
-            scope.spawn(move || loop {
-                // Hold the receiver lock only to pull one job; the query
-                // itself runs unlocked so workers overlap.
-                let job = match job_rx.lock().expect("job queue poisoned").recv() {
-                    Ok(job) => job,
-                    Err(_) => break,
-                };
-                let result = index.run_query(job.k, job.epsilon, delta);
-                if ans_tx.send((job, result)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(ans_tx); // collectors below must see EOF once workers finish
-
-        let collector = scope.spawn(move || -> Result<(), String> {
-            // Reorder buffer: answers surface in completion order but must
-            // leave in input order.
-            let mut pending: BTreeMap<u64, (Job, Result<QueryAnswer, String>)> = BTreeMap::new();
-            let mut next_id = 0u64;
-            for (job, result) in ans_rx {
-                pending.insert(job.id, (job, result));
-                while let Some((job, result)) = pending.remove(&next_id) {
-                    next_id += 1;
-                    match result {
-                        Ok(ans) => {
-                            let seeds: Vec<String> =
-                                ans.seeds.iter().map(|s| s.to_string()).collect();
-                            writeln!(output, "{}", seeds.join(" ")).map_err(|e| e.to_string())?;
-                            output.flush().map_err(|e| e.to_string())?;
-                            let s = &ans.stats;
-                            eprintln!(
-                                "query k={} eps={}: pool {}→{} sets/half ({} fresh, {} reused), \
-                                 {} rounds, ratio {:.4}{}, {:?}",
-                                s.k,
-                                s.epsilon,
-                                s.pool_before,
-                                s.pool_after,
-                                s.fresh_sets,
-                                s.reused_sets(),
-                                s.rounds,
-                                s.ratio(),
-                                if s.certified_by_bounds {
-                                    ""
-                                } else {
-                                    " (theta_max cap)"
-                                },
-                                s.elapsed
-                            );
-                        }
-                        Err(e) => eprintln!("query {:?} failed: {e}", job.line),
-                    }
-                }
-            }
-            Ok(())
-        });
-
-        let mut shutdown = false;
-        let mut id = 0u64;
-        for line in input.lines() {
-            let line = match line {
-                Ok(line) => line,
-                Err(e) => {
-                    eprintln!("reading queries: {e}");
-                    break;
-                }
-            };
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            if line == "shutdown" {
-                shutdown = true;
-                break;
-            }
-            if let Some(rest) = line.strip_prefix("delta ") {
-                // Applied synchronously so later queries in this stream
-                // see the mutation; in-flight queries keep their snapshot.
-                match index.apply_delta_line(rest.trim()) {
-                    Ok(ack) => eprintln!("{ack}"),
-                    Err(e) => eprintln!("delta {rest:?} rejected: {e}"),
-                }
-                continue;
-            }
-            let mut tokens = line.split_whitespace();
-            let k: usize = match tokens.next().expect("non-empty line").parse() {
-                Ok(k) => k,
-                Err(e) => {
-                    eprintln!("bad query {line:?}: k: {e}");
-                    continue;
-                }
-            };
-            let epsilon = match tokens.next() {
-                None => 0.1,
-                Some(tok) => match tok.parse::<f64>() {
-                    Ok(eps) => eps,
-                    Err(e) => {
-                        eprintln!("bad query {line:?}: epsilon: {e}");
-                        continue;
-                    }
+/// Renders one serving-loop event in the CLI's stderr format. The loop
+/// itself lives in [`subsim::delta::serve_queries`]; this sink is the
+/// only CLI-specific part.
+fn log_serve_event(event: ServeEvent) {
+    match event {
+        ServeEvent::Answered { stats, .. } => {
+            let s = &*stats;
+            eprintln!(
+                "query k={} eps={}: pool {}→{} sets/half ({} fresh, {} reused), \
+                 {} rounds, ratio {:.4}{}, {:?}",
+                s.k,
+                s.epsilon,
+                s.pool_before,
+                s.pool_after,
+                s.fresh_sets,
+                s.reused_sets(),
+                s.rounds,
+                s.ratio(),
+                if s.certified_by_bounds {
+                    ""
+                } else {
+                    " (theta_max cap)"
                 },
-            };
-            let job = Job {
-                id,
-                line: line.to_string(),
-                k,
-                epsilon,
-            };
-            id += 1;
-            if job_tx.send(job).is_err() {
-                break; // all workers gone (collector error below reports why)
-            }
+                s.elapsed
+            );
         }
-        drop(job_tx); // workers drain the queue, then ans_rx sees EOF
-        collector.join().expect("collector panicked")?;
-        Ok(shutdown)
-    })
+        ServeEvent::DeltaApplied { report, .. } => {
+            eprintln!(
+                "delta applied: version {}, {}/{} sets regenerated ({:.1}% of pool, {} chunks), {:?}",
+                report.version,
+                report.regenerated_sets,
+                report.pool_sets,
+                100.0 * report.repair_fraction(),
+                report.dirty_chunks_r1 + report.dirty_chunks_r2,
+                report.elapsed
+            );
+        }
+        ServeEvent::LineFailed { line, error } => match error {
+            LineError::Malformed { reason } => eprintln!("bad query {line:?}: {reason}"),
+            LineError::Rejected(e) => {
+                if let Some(op) = line.strip_prefix("delta ") {
+                    eprintln!("delta {op:?} rejected: {e}");
+                } else {
+                    eprintln!("query {line:?} failed: {e}");
+                }
+            }
+        },
+        ServeEvent::InputError { message } => eprintln!("reading queries: {message}"),
+    }
 }

@@ -665,6 +665,144 @@ fn query_server_delta_stream_applies_ops_between_queries() {
 }
 
 #[test]
+fn query_server_delta_stream_stale_pins_fail_per_line_and_serving_continues() {
+    let graph = write_temp_graph("delta_stale", "0 1 0.5\n1 2 0.5\n2 3 0.5\n3 0 0.5\n");
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--delta-stream",
+            "--warm",
+            "64",
+            "--seed",
+            "11",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // A pin at the live version answers; after the delta bumps to 1 the
+    // same pin is stale (typed, per-line); the new pin and an unpinned
+    // query keep serving.
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"2 0.2 @0\ndelta ~ 0 1 0.9\n2 0.2 @0\n2 0.2 @1\n2 0.2\nshutdown\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 3, "three live queries must answer: {lines:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("delta applied: version 1"), "stderr: {err}");
+    assert!(
+        err.contains("stale version: requested 0, index is at 1"),
+        "stale pin must fail with the typed per-line error: {err}"
+    );
+    assert!(err.contains("served 3 queries"), "stderr: {err}");
+    std::fs::remove_file(graph).ok();
+}
+
+#[test]
+fn query_server_delta_stream_survives_eof_without_shutdown() {
+    let graph = write_temp_graph("delta_eof", "0 1 0.5\n1 2 0.5\n2 3 0.5\n3 0 0.5\n");
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--delta-stream",
+            "--warm",
+            "64",
+            "--seed",
+            "13",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The stream dies mid-session: a query, a delta, then a final query
+    // with no trailing newline and no `shutdown` before stdin closes.
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"2 0.2\ndelta + 1 3 0.9\n2 0.2")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "EOF must end the session cleanly: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 2, "both queries answer before EOF: {lines:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("delta applied: version 1"), "stderr: {err}");
+    assert!(err.contains("served 2 queries"), "stderr: {err}");
+    std::fs::remove_file(graph).ok();
+}
+
+#[test]
+fn query_server_delta_stream_malformed_ops_are_per_line_and_typed() {
+    let graph = write_temp_graph("delta_malformed", "0 1 0.5\n1 2 0.5\n2 3 0.5\n3 0 0.5\n");
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--delta-stream",
+            "--warm",
+            "64",
+            "--seed",
+            "17",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Three distinct bad shapes — an unknown op, an op against a missing
+    // edge, and an empty op — interleaved with queries that must all
+    // still answer.
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"2 0.2\ndelta ? 0 1\ndelta - 0 2\ndelta \n2 0.2\n1 @zzz\nshutdown\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 2, "good queries must answer: {lines:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    // Every failure is its own line naming the offending input.
+    assert!(
+        err.contains("\"delta ? 0 1\" rejected") || err.contains("\"? 0 1\" rejected"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("does not exist"), "missing-edge delete: {err}");
+    assert!(err.contains("bad query"), "bad pin token: {err}");
+    assert!(
+        !err.contains("delta applied:"),
+        "no malformed op may mutate the graph: {err}"
+    );
+    std::fs::remove_file(graph).ok();
+}
+
+#[test]
 fn query_server_without_delta_stream_rejects_delta_lines() {
     let graph = write_temp_graph("delta_frozen", "0 1 0.5\n1 2 0.5\n");
     let mut child = cli()
