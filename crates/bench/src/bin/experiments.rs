@@ -4,6 +4,7 @@
 //! experiments [table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|ablation|genwc|index|all]...
 //! experiments bench-pr3 [out.json]   # scheduler/selection bench (never part of `all`)
 //! experiments bench-pr4 [out.json]   # incremental-repair bench (never part of `all`)
+//! experiments bench-pr6 [out.json]   # shard-scaling bench (never part of `all`)
 //! ```
 //!
 //! Scale is controlled by `SUBSIM_SCALE=small|paper` (default `paper`).
@@ -28,6 +29,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench-pr4") {
         let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pr4.json");
         harness::bench_pr4(scale, out);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench-pr6") {
+        let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pr6.json");
+        harness::bench_pr6(scale, out);
         return;
     }
 

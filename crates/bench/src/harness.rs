@@ -15,6 +15,7 @@ use subsim_diffusion::{par_generate_chunks_static, RrContext, RrSampler, RrStrat
 use subsim_graph::{Graph, GraphStats, WeightModel};
 use subsim_index::{ConcurrentRrIndex, IndexConfig, RrIndex};
 use subsim_sampling::rng_from_seed;
+use subsim_serve::ShardedDeltaIndex;
 
 /// Repetitions per timing. The paper uses 5 on a large multi-core server;
 /// the recorded run used a single-core machine, where repetitions triple
@@ -436,6 +437,28 @@ pub fn index_amortization(scale: Scale) {
     }
 }
 
+/// JSON provenance fragment shared by every `bench-pr*` artifact: the
+/// core count, worker-thread count, and git revision that produced the
+/// numbers, so a recorded artifact is never misread across machines
+/// (scheduler and shard speedups need real cores to show up).
+pub fn provenance(threads: usize) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    format!(
+        "\"provenance\": {{\"cores\": {cores}, \"threads\": {threads}, \
+         \"git_rev\": \"{git_rev}\"}}"
+    )
+}
+
 /// Median of `reps` runs of `f`, in seconds.
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..reps)
@@ -538,7 +561,8 @@ pub fn bench_pr3(scale: Scale, out_path: &str) {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"pr3_straggler_free_generation\",\n  \"cores\": {cores},\n  \
+        "{{\n  \"bench\": \"pr3_straggler_free_generation\",\n  {},\n  \
+         \"cores\": {cores},\n  \
          \"threads\": {threads},\n  \"scale\": \"{scale:?}\",\n  \"sets_per_batch\": {sets},\n  \
          \"batch_wall_clock_static_s\": {t_static:.6},\n  \
          \"batch_wall_clock_stealing_s\": {t_steal:.6},\n  \
@@ -547,6 +571,7 @@ pub fn bench_pr3(scale: Scale, out_path: &str) {
          \"selection_speedup\": {:.4},\n  \"warm_query_p50_ns\": {},\n  \
          \"warm_query_p99_ns\": {},\n  \"warm_queries\": {},\n  \
          \"note\": \"speedups require multiple physical cores; output is bit-identical across schedulers and thread counts by construction\"\n}}\n",
+        provenance(threads),
         t_static / t_steal.max(1e-12),
         t_sel_seq / t_sel_par.max(1e-12),
         m.latency_p50_ns,
@@ -715,12 +740,127 @@ pub fn bench_pr4(scale: Scale, out_path: &str) {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"pr4_incremental_rr_repair\",\n  \"scale\": \"{scale:?}\",\n  \
+        "{{\n  \"bench\": \"pr4_incremental_rr_repair\",\n  {},\n  \"scale\": \"{scale:?}\",\n  \
          \"dataset\": \"pokec-s\",\n  \"n\": {},\n  \"m\": {},\n  \
          \"pool_sets_per_half\": {sets},\n  \"chunk_size\": {chunk_size},\n  \
          \"threads\": {threads},\n  \"rows\": [\n{}\n  ],\n  \
          \"note\": \"repaired pools asserted bit-identical to a full rebuild at every row; \
          repair cost scales with dirty chunks, not pool size\"\n}}\n",
+        provenance(threads),
+        g.n(),
+        g.m(),
+        rows.join(",\n"),
+    );
+    std::fs::write(out_path, json).expect("writing bench artifact");
+    println!("wrote {out_path}");
+}
+
+/// PR 6 artifact: shard-scaling of the sharded serving index behind
+/// `BENCH_pr6.json`. For each shard count the pool is warmed, warm-query
+/// throughput is measured, and — the honesty condition — every answer
+/// and the reassembled union pool are asserted bit-identical to the
+/// sequential [`DeltaIndex`] before the row is recorded. Sharding may
+/// only buy wall-clock (on multi-core hosts), never change output.
+pub fn bench_pr6(scale: Scale, out_path: &str) {
+    header("PR6: sharded serving index scaling");
+    let threads = 4usize;
+    let g = dataset("pokec-s", WeightModel::Wc, scale);
+    let (chunks, chunk_size) = match scale {
+        Scale::Small => (64u64, 64usize),
+        Scale::Paper => (256, 128),
+    };
+    let sets = chunks as usize * chunk_size;
+    let config = IndexConfig::new(RrStrategy::SubsimIc)
+        .seed(1301)
+        .chunk_size(chunk_size)
+        .threads(threads);
+    let r = reps(scale).max(3);
+    let ks = [10usize, 50];
+    let delta_q = 1.0 / g.n() as f64;
+    let query_batch = 20usize;
+
+    // The sequential reference: answers and pool the shards must match.
+    let mut seq = DeltaIndex::new(g.clone(), config).expect("sequential index");
+    seq.warm(sets).expect("warming sequential pool");
+    let reference: Vec<_> = ks
+        .iter()
+        .map(|&k| seq.query(k, 0.1, delta_q).expect("reference query"))
+        .collect();
+
+    println!(
+        "graph n={} m={}, pool {sets} sets/half (chunks {chunks} x {chunk_size}), threads {threads}",
+        g.n(),
+        g.m()
+    );
+    println!(
+        "{:>7} {:>10} {:>12} {:>13}",
+        "shards", "warm_s", "queries_s", "queries_per_s"
+    );
+
+    let mut rows = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let index = ShardedDeltaIndex::new(g.clone(), config, shards).expect("sharded index");
+        let warm_start = Instant::now();
+        index.warm(sets).expect("warming sharded pool");
+        let t_warm = warm_start.elapsed().as_secs_f64();
+
+        // Bit-equality per row: answers and the reassembled union pool
+        // must match the sequential reference exactly.
+        for (&k, want) in ks.iter().zip(&reference) {
+            let got = index.query(k, 0.1, delta_q).expect("sharded query");
+            assert_eq!(
+                got.seeds, want.seeds,
+                "shards={shards} k={k} seeds diverged"
+            );
+            assert_eq!(
+                got.stats.lower_bound, want.stats.lower_bound,
+                "shards={shards} k={k} lower bound diverged"
+            );
+            assert_eq!(
+                got.stats.upper_bound, want.stats.upper_bound,
+                "shards={shards} k={k} upper bound diverged"
+            );
+        }
+        let snap = index.load();
+        let (u1, u2) = snap.union_pools(chunk_size);
+        assert_eq!(u1.len(), seq.selection_pool().len(), "shards={shards}");
+        for i in 0..u1.len() {
+            assert_eq!(
+                u1.get(i),
+                seq.selection_pool().get(i),
+                "shards={shards} r1 set {i} diverged"
+            );
+            assert_eq!(
+                u2.get(i),
+                seq.validation_pool().get(i),
+                "shards={shards} r2 set {i} diverged"
+            );
+        }
+
+        let t_query = median_secs(r, || {
+            for q in 0..query_batch {
+                let k = ks[q % ks.len()];
+                index.query(k, 0.1, delta_q).expect("warm query");
+            }
+        });
+        let qps = query_batch as f64 / t_query.max(1e-12);
+        println!("{shards:>7} {t_warm:>10.4} {t_query:>12.4} {qps:>13.1}");
+        rows.push(format!(
+            "    {{\"shards\": {shards}, \"warm_s\": {t_warm:.6}, \
+             \"queries_s\": {t_query:.6}, \"queries_per_sec\": {qps:.1}, \
+             \"bit_identical_to_sequential\": true}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr6_sharded_serving_scaling\",\n  {},\n  \"scale\": \"{scale:?}\",\n  \
+         \"dataset\": \"pokec-s\",\n  \"n\": {},\n  \"m\": {},\n  \
+         \"pool_sets_per_half\": {sets},\n  \"chunk_size\": {chunk_size},\n  \
+         \"warm_queries_per_row\": {query_batch},\n  \"rows\": [\n{}\n  ],\n  \
+         \"note\": \"every row asserts seeds, bounds, and the reassembled union pool \
+         bit-identical to the sequential DeltaIndex; shard speedups require multiple \
+         physical cores\"\n}}\n",
+        provenance(threads),
         g.n(),
         g.m(),
         rows.join(",\n"),

@@ -59,6 +59,12 @@ impl<'g> GreedyConfig<'g> {
 
     /// Returns the config with the preparation phase sharded across
     /// `threads` workers.
+    ///
+    /// The request is advisory: the greedy entry points clamp it through
+    /// [`effective_prep_threads`], so asking for parallelism on a 1-core
+    /// box or over a tiny pool silently degrades to the sequential path
+    /// (BENCH_pr3 measured a 0.87× regression when the spawn cost had no
+    /// cores to pay for itself).
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker");
         self.threads = threads;
@@ -68,6 +74,39 @@ impl<'g> GreedyConfig<'g> {
 
 /// Node count below which the initial-count pass stays sequential.
 const PARALLEL_COUNT_MIN_NODES: usize = 1 << 16;
+
+/// Pool size (RR sets) below which selection preparation stays
+/// sequential regardless of the requested thread count: under this the
+/// inverted-index build is microseconds and thread spawn dominates.
+pub const PARALLEL_PREP_MIN_SETS: usize = 1 << 12;
+
+/// Clamps a requested selection-prep thread count against the machine
+/// and the workload.
+///
+/// Returns `1` (sequential) when the box has a single core — spawning
+/// workers that time-slice one core is pure overhead (BENCH_pr3's 0.87×
+/// selection regression) — or when the pool holds fewer than
+/// [`PARALLEL_PREP_MIN_SETS`] sets. Otherwise the request is honoured
+/// as-is; prep output is thread-count-invariant, so the clamp only ever
+/// changes wall-clock, never selection results.
+pub fn effective_prep_threads(requested: usize, pool_sets: usize, cores: usize) -> usize {
+    if requested <= 1 || cores <= 1 || pool_sets < PARALLEL_PREP_MIN_SETS {
+        1
+    } else {
+        requested
+    }
+}
+
+/// Cores visible to this process, cached after the first query.
+fn available_cores() -> usize {
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
 
 /// Result of a greedy pass.
 #[derive(Debug, Clone)]
@@ -90,11 +129,13 @@ impl GreedyOutcome {
     }
 }
 
-/// Initial per-node coverage counts (`count[v] = |{i : v ∈ R_i}|`),
-/// sharded across `threads` workers when the graph is large enough for
-/// the spawn cost to pay off. Node order is fixed, so the result is
-/// identical for every `threads` value.
-fn initial_counts(idx: &InvertedIndex, n: usize, threads: usize) -> Vec<usize> {
+/// Initial per-node coverage counts over the union of shards
+/// (`count[v] = Σ_s |{i : v ∈ R_i^s}|`), sharded across `threads`
+/// workers when the graph is large enough for the spawn cost to pay
+/// off. Node order is fixed, so the result is identical for every
+/// `threads` value.
+fn initial_counts(idxs: &[&InvertedIndex], n: usize, threads: usize) -> Vec<usize> {
+    let degree_sum = |v: NodeId| -> usize { idxs.iter().map(|idx| idx.degree(v)).sum() };
     if threads > 1 && n >= PARALLEL_COUNT_MIN_NODES {
         let mut count = vec![0usize; n];
         let per = n.div_ceil(threads);
@@ -103,14 +144,14 @@ fn initial_counts(idx: &InvertedIndex, n: usize, threads: usize) -> Vec<usize> {
                 scope.spawn(move || {
                     let base = ci * per;
                     for (i, c) in slice.iter_mut().enumerate() {
-                        *c = idx.degree((base + i) as NodeId);
+                        *c = degree_sum((base + i) as NodeId);
                     }
                 });
             }
         });
         count
     } else {
-        (0..n as NodeId).map(|v| idx.degree(v)).collect()
+        (0..n as NodeId).map(degree_sum).collect()
     }
 }
 
@@ -123,15 +164,81 @@ fn initial_counts(idx: &InvertedIndex, n: usize, threads: usize) -> Vec<usize> {
 /// yields both the next seed (the maximum) and the Eq. 2 top-`k` marginal
 /// sum in one sweep.
 pub fn greedy_max_coverage(rr: &RrCollection, cfg: &GreedyConfig<'_>) -> GreedyOutcome {
-    let n = rr.graph_n();
-    let idx = InvertedIndex::build_parallel(rr, cfg.threads);
-    let mut count = initial_counts(&idx, n, cfg.threads);
+    let prep = effective_prep_threads(cfg.threads, rr.len(), available_cores());
+    let idx = InvertedIndex::build_parallel(rr, prep);
+    greedy_over_indexes(&[rr], &[&idx], cfg, prep)
+}
+
+/// [`greedy_max_coverage`] over a *sharded* pool: each element of
+/// `shards` holds a disjoint slice of the union pool's RR sets.
+///
+/// Per-shard inverted indexes are built concurrently (one builder per
+/// shard when the prep-thread clamp allows), then the merged greedy loop
+/// runs sequentially over the summed per-shard counts. Greedy state —
+/// counts, heap order, covered flags — evolves exactly as it would over
+/// the concatenated union, so the outcome is **byte-identical** to
+/// [`greedy_max_coverage`] on the union for any shard split and any
+/// thread count.
+pub fn greedy_max_coverage_sharded(
+    shards: &[&RrCollection],
+    cfg: &GreedyConfig<'_>,
+) -> GreedyOutcome {
+    let total_sets: usize = shards.iter().map(|rr| rr.len()).sum();
+    let prep = effective_prep_threads(cfg.threads, total_sets, available_cores());
+    let idxs: Vec<InvertedIndex> = if prep > 1 && shards.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|rr| scope.spawn(move || InvertedIndex::build(rr)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard index builder panicked"))
+                .collect()
+        })
+    } else {
+        shards.iter().map(|rr| InvertedIndex::build(rr)).collect()
+    };
+    let idx_refs: Vec<&InvertedIndex> = idxs.iter().collect();
+    greedy_over_indexes(shards, &idx_refs, cfg, prep)
+}
+
+/// [`greedy_max_coverage_sharded`] with caller-owned per-shard inverted
+/// indexes — the serving path caches one index per published shard
+/// snapshot and skips the per-query build entirely. `idxs[s]` must index
+/// exactly `shards[s]`.
+pub fn greedy_max_coverage_indexed(
+    shards: &[&RrCollection],
+    idxs: &[&InvertedIndex],
+    cfg: &GreedyConfig<'_>,
+) -> GreedyOutcome {
+    let total_sets: usize = shards.iter().map(|rr| rr.len()).sum();
+    let prep = effective_prep_threads(cfg.threads, total_sets, available_cores());
+    greedy_over_indexes(shards, idxs, cfg, prep)
+}
+
+/// The merged greedy loop shared by the single-pool and sharded entry
+/// points. `prep_threads` is the already-clamped worker count for the
+/// initial-count pass.
+fn greedy_over_indexes(
+    shards: &[&RrCollection],
+    idxs: &[&InvertedIndex],
+    cfg: &GreedyConfig<'_>,
+    prep_threads: usize,
+) -> GreedyOutcome {
+    assert!(!shards.is_empty(), "need at least one shard");
+    assert_eq!(shards.len(), idxs.len(), "one index per shard");
+    let n = shards[0].graph_n();
+    for rr in shards {
+        assert_eq!(rr.graph_n(), n, "shards are over different graphs");
+    }
+    let mut count = initial_counts(idxs, n, prep_threads);
     let outdeg = |v: NodeId| -> u32 { cfg.tie_break.map_or(0, |g| g.out_degree(v) as u32) };
 
     let mut heap: BinaryHeap<(usize, u32, NodeId)> = (0..n as NodeId)
         .map(|v| (count[v as usize], outdeg(v), v))
         .collect();
-    let mut covered = vec![false; rr.len()];
+    let mut covered: Vec<Vec<bool>> = shards.iter().map(|rr| vec![false; rr.len()]).collect();
     let mut selected = vec![false; n];
     for &v in cfg.exclude {
         selected[v as usize] = true;
@@ -188,14 +295,17 @@ pub fn greedy_max_coverage(rr: &RrCollection, cfg: &GreedyConfig<'_>) -> GreedyO
 
         selected[seed as usize] = true;
         lambda += count[seed as usize];
-        for &sid in idx.sets_containing(seed) {
-            let sid = sid as usize;
-            if covered[sid] {
-                continue;
-            }
-            covered[sid] = true;
-            for &w in rr.get(sid) {
-                count[w as usize] -= 1;
+        for (shard, (idx, rr)) in idxs.iter().zip(shards).enumerate() {
+            let covered = &mut covered[shard];
+            for &sid in idx.sets_containing(seed) {
+                let sid = sid as usize;
+                if covered[sid] {
+                    continue;
+                }
+                covered[sid] = true;
+                for &w in rr.get(sid) {
+                    count[w as usize] -= 1;
+                }
             }
         }
         debug_assert_eq!(count[seed as usize], 0);
@@ -450,14 +560,86 @@ mod tests {
             rr.push(&[a as NodeId, b as NodeId, (n - 1) as NodeId]);
         }
         let idx = InvertedIndex::build(&rr);
-        let seq = super::initial_counts(&idx, n, 1);
+        let seq = super::initial_counts(&[&idx], n, 1);
         for threads in [2, 5] {
             assert_eq!(
-                super::initial_counts(&idx, n, threads),
+                super::initial_counts(&[&idx], n, threads),
                 seq,
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn prep_thread_clamp_pins_fallback_decision() {
+        // One core: always sequential, whatever was asked for.
+        assert_eq!(effective_prep_threads(8, 1 << 20, 1), 1);
+        // Tiny pool: spawn cost dominates, stay sequential even with cores.
+        assert_eq!(effective_prep_threads(8, PARALLEL_PREP_MIN_SETS - 1, 16), 1);
+        // Sequential request passes through untouched.
+        assert_eq!(effective_prep_threads(1, 1 << 20, 16), 1);
+        // Big pool on a multi-core box: the request is honoured.
+        assert_eq!(effective_prep_threads(8, PARALLEL_PREP_MIN_SETS, 16), 8);
+        assert_eq!(effective_prep_threads(3, 1 << 20, 2), 3);
+    }
+
+    /// Splits `rr` into `shards` collections by `set_index % shards` —
+    /// the same interleaving the serving layer uses for chunk ownership.
+    fn split_round_robin(rr: &RrCollection, shards: usize) -> Vec<RrCollection> {
+        let mut out: Vec<RrCollection> = (0..shards)
+            .map(|_| RrCollection::new(rr.graph_n()))
+            .collect();
+        for (i, set) in rr.iter().enumerate() {
+            out[i % shards].push(set);
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_greedy_matches_union_greedy() {
+        use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
+        use subsim_graph::generators::barabasi_albert;
+        use subsim_sampling::rng_from_seed;
+
+        let g = barabasi_albert(300, 3, WeightModel::Wc, 91);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = RrContext::new(g.n());
+        let mut rng = rng_from_seed(92);
+        let mut rr = RrCollection::new(g.n());
+        rr.generate(&sampler, &mut ctx, &mut rng, 3000);
+
+        for (cfg, name) in [
+            (GreedyConfig::standard(6), "standard"),
+            (GreedyConfig::revised(6, &g), "revised"),
+        ] {
+            let reference = greedy_max_coverage(&rr, &cfg);
+            for shards in [1usize, 2, 3, 4, 7] {
+                let parts = split_round_robin(&rr, shards);
+                let refs: Vec<&RrCollection> = parts.iter().collect();
+                for threads in [1usize, 4] {
+                    let out = greedy_max_coverage_sharded(&refs, &cfg.with_threads(threads));
+                    assert_eq!(out.seeds, reference.seeds, "{name} shards={shards}");
+                    assert_eq!(out.prefix_coverage, reference.prefix_coverage);
+                    assert_eq!(out.coverage_upper, reference.coverage_upper);
+                }
+                // Prebuilt-index entry point must agree too.
+                let idxs: Vec<InvertedIndex> = parts.iter().map(InvertedIndex::build).collect();
+                let idx_refs: Vec<&InvertedIndex> = idxs.iter().collect();
+                let out = greedy_max_coverage_indexed(&refs, &idx_refs, &cfg);
+                assert_eq!(out.seeds, reference.seeds, "{name} indexed shards={shards}");
+                assert_eq!(out.coverage_upper, reference.coverage_upper);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_greedy_tolerates_empty_shards() {
+        let rr = collection(&[&[0, 1], &[1], &[1, 2], &[0]], 3);
+        let empty = RrCollection::new(3);
+        let reference = greedy_max_coverage(&rr, &GreedyConfig::standard(2));
+        let out = greedy_max_coverage_sharded(&[&empty, &rr, &empty], &GreedyConfig::standard(2));
+        assert_eq!(out.seeds, reference.seeds);
+        assert_eq!(out.prefix_coverage, reference.prefix_coverage);
     }
 
     #[test]

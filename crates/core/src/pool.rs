@@ -10,9 +10,11 @@
 //! same sample across many `(k, ε)` queries without regenerating it.
 
 use crate::bounds::{opim_lower_bound, opim_upper_bound};
-use crate::coverage::{greedy_max_coverage, GreedyConfig};
+use crate::coverage::{
+    greedy_max_coverage_indexed, greedy_max_coverage_sharded, GreedyConfig, GreedyOutcome,
+};
 use std::time::{Duration, Instant};
-use subsim_diffusion::RrCollection;
+use subsim_diffusion::{InvertedIndex, NodeMarks, RrCollection};
 use subsim_graph::NodeId;
 
 /// Outcome of one OPIM certification round over an external pool pair.
@@ -75,20 +77,84 @@ pub fn evaluate_pool_par(
     delta_u: f64,
     threads: usize,
 ) -> PoolEvaluation {
-    assert_eq!(
-        r1.graph_n(),
-        r2.graph_n(),
-        "pool halves are over different graphs"
-    );
+    evaluate_pool_sharded(&[r1], &[r2], k, delta_l, delta_u, threads)
+}
+
+/// [`evaluate_pool`] over a *sharded* pool pair: `r1s[s]` / `r2s[s]`
+/// hold shard `s`'s disjoint slice of each half's union.
+///
+/// Selection runs the merged greedy over per-shard coverage counts, and
+/// both certificates are evaluated on the **union**: the Eq. 2 upper
+/// bound uses `Σ_s |R₁^s|` and the Eq. 1 lower bound uses the summed
+/// per-shard `R₂` coverages over `Σ_s |R₂^s|`. Because the greedy state
+/// is identical to the union's and the bounds see identical counts and
+/// lengths, the result is byte-identical to [`evaluate_pool`] on the
+/// concatenated halves — the single-pool entry point is literally this
+/// function with one shard.
+pub fn evaluate_pool_sharded(
+    r1s: &[&RrCollection],
+    r2s: &[&RrCollection],
+    k: usize,
+    delta_l: f64,
+    delta_u: f64,
+    threads: usize,
+) -> PoolEvaluation {
+    let n = check_shards(r1s, r2s);
+    let out = greedy_max_coverage_sharded(r1s, &GreedyConfig::standard(k).with_threads(threads));
+    finish_evaluation(out, r1s, r2s, n, delta_l, delta_u)
+}
+
+/// [`evaluate_pool_sharded`] with caller-owned per-shard inverted
+/// indexes over the `R₁` shards — the serving path caches one index per
+/// published shard snapshot, so a warm query skips the index build.
+pub fn evaluate_pool_sharded_indexed(
+    r1s: &[&RrCollection],
+    idxs: &[&InvertedIndex],
+    r2s: &[&RrCollection],
+    k: usize,
+    delta_l: f64,
+    delta_u: f64,
+    threads: usize,
+) -> PoolEvaluation {
+    let n = check_shards(r1s, r2s);
+    let out =
+        greedy_max_coverage_indexed(r1s, idxs, &GreedyConfig::standard(k).with_threads(threads));
+    finish_evaluation(out, r1s, r2s, n, delta_l, delta_u)
+}
+
+fn check_shards(r1s: &[&RrCollection], r2s: &[&RrCollection]) -> usize {
     assert!(
-        !r1.is_empty() && !r2.is_empty(),
+        !r1s.is_empty() && !r2s.is_empty(),
+        "need at least one shard"
+    );
+    let n = r1s[0].graph_n();
+    for rr in r1s.iter().chain(r2s) {
+        assert_eq!(rr.graph_n(), n, "pool shards are over different graphs");
+    }
+    assert!(
+        r1s.iter().any(|rr| !rr.is_empty()) && r2s.iter().any(|rr| !rr.is_empty()),
         "pool halves must be non-empty"
     );
-    let n = r1.graph_n();
-    let out = greedy_max_coverage(r1, &GreedyConfig::standard(k).with_threads(threads));
-    let upper = opim_upper_bound(out.coverage_upper, r1.len() as u64, n, delta_u);
-    let coverage_r2 = r2.coverage_of(&out.seeds);
-    let lower = opim_lower_bound(coverage_r2 as f64, r2.len() as u64, n, delta_l);
+    n
+}
+
+fn finish_evaluation(
+    out: GreedyOutcome,
+    r1s: &[&RrCollection],
+    r2s: &[&RrCollection],
+    n: usize,
+    delta_l: f64,
+    delta_u: f64,
+) -> PoolEvaluation {
+    let r1_len: u64 = r1s.iter().map(|rr| rr.len() as u64).sum();
+    let r2_len: u64 = r2s.iter().map(|rr| rr.len() as u64).sum();
+    let upper = opim_upper_bound(out.coverage_upper, r1_len, n, delta_u);
+    let mut marks = NodeMarks::new();
+    let coverage_r2: usize = r2s
+        .iter()
+        .map(|r2| r2.coverage_of_with(&out.seeds, &mut marks))
+        .sum();
+    let lower = opim_lower_bound(coverage_r2 as f64, r2_len, n, delta_l);
     PoolEvaluation {
         coverage_r1: out.coverage(),
         seeds: out.seeds,
@@ -128,6 +194,7 @@ pub fn evaluate_pool_timed_par(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coverage::greedy_max_coverage;
     use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
     use subsim_graph::generators::{barabasi_albert, star_graph};
     use subsim_graph::WeightModel;
@@ -185,6 +252,36 @@ mod tests {
         let (timed, elapsed) = evaluate_pool_timed_par(&r1, &r2, 6, 0.01, 0.02, 3);
         assert_eq!(timed, reference);
         assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn sharded_evaluation_matches_union() {
+        let g = barabasi_albert(280, 3, WeightModel::Wc, 76);
+        let (r1, r2) = two_pools(&g, 2500, 77);
+        let reference = evaluate_pool(&r1, &r2, 5, 0.01, 0.02);
+
+        let split = |rr: &RrCollection, shards: usize| -> Vec<RrCollection> {
+            let mut out: Vec<RrCollection> = (0..shards)
+                .map(|_| RrCollection::new(rr.graph_n()))
+                .collect();
+            for (i, set) in rr.iter().enumerate() {
+                out[i % shards].push(set);
+            }
+            out
+        };
+        for shards in [1usize, 2, 4, 5] {
+            let p1 = split(&r1, shards);
+            let p2 = split(&r2, shards);
+            let r1s: Vec<&RrCollection> = p1.iter().collect();
+            let r2s: Vec<&RrCollection> = p2.iter().collect();
+            let eval = evaluate_pool_sharded(&r1s, &r2s, 5, 0.01, 0.02, 2);
+            assert_eq!(eval, reference, "shards={shards}");
+
+            let idxs: Vec<InvertedIndex> = p1.iter().map(InvertedIndex::build).collect();
+            let idx_refs: Vec<&InvertedIndex> = idxs.iter().collect();
+            let eval = evaluate_pool_sharded_indexed(&r1s, &idx_refs, &r2s, 5, 0.01, 0.02, 1);
+            assert_eq!(eval, reference, "indexed shards={shards}");
+        }
     }
 
     #[test]

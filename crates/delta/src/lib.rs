@@ -54,8 +54,11 @@ pub use concurrent::{ConcurrentDeltaIndex, DeltaSnapshot};
 pub use delta::{DeltaOp, GraphDelta};
 pub use error::DeltaError;
 pub use index::DeltaIndex;
-pub use repair::{repair_half, RepairReport, RepairedHalf};
+pub use repair::{
+    repair_half, repair_half_indexed, repair_half_mapped, RepairReport, RepairedHalf,
+};
 pub use serve::{
-    parse_query, serve_queries, LineError, NullSink, ServeError, ServeEvent, ServeIndex, ServeSink,
+    parse_query, serve_queries, FrameViolation, LineError, NullSink, ServeError, ServeEvent,
+    ServeIndex, ServeSink,
 };
 pub use versioned::{VersionedGraph, DEFAULT_COMPACT_THRESHOLD};

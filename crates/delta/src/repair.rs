@@ -102,6 +102,40 @@ pub fn repair_half(
     seed: u64,
     threads: usize,
 ) -> Result<RepairedHalf, PoolError> {
+    repair_half_mapped(
+        pool,
+        targets,
+        sampler,
+        workers,
+        chunk_size,
+        seed,
+        threads,
+        |c| c,
+    )
+}
+
+/// [`repair_half`] for a pool half whose stored chunks are not the
+/// contiguous prefix `0..len/chunk_size` of the chunk stream.
+///
+/// `chunk_id_of` maps the half's *local* chunk position (`0` = the first
+/// `chunk_size` sets stored) to the global chunk id whose seed
+/// `chunk_seed(seed, id)` generated it. A sharded pool stores shard `s`'s
+/// owned chunks `s, s + N, s + 2N, …` in ascending order, so its map is
+/// `|j| s + j * N`; the plain half is the identity. The map must be
+/// strictly increasing over local positions (owned chunk ids stored in
+/// stream order), which keeps regenerated chunks aligned with their
+/// splice points.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_half_mapped(
+    pool: &RrCollection,
+    targets: &[NodeId],
+    sampler: &RrSampler<'_>,
+    workers: &WorkerPool,
+    chunk_size: usize,
+    seed: u64,
+    threads: usize,
+    chunk_id_of: impl Fn(u64) -> u64,
+) -> Result<RepairedHalf, PoolError> {
     assert!(chunk_size > 0, "chunks must hold at least one set");
     assert_eq!(
         pool.len() % chunk_size,
@@ -109,6 +143,39 @@ pub fn repair_half(
         "pool half must be a whole number of chunks"
     );
     let inv = InvertedIndex::build_parallel(pool, threads);
+    repair_half_indexed(
+        pool,
+        &inv,
+        targets,
+        sampler,
+        workers,
+        chunk_size,
+        seed,
+        chunk_id_of,
+    )
+}
+
+/// [`repair_half_mapped`] with a caller-owned inverted index over `pool`
+/// — the sharded serving path keeps one index per published shard
+/// snapshot and reuses it for dirtiness detection instead of rebuilding
+/// it per delta.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_half_indexed(
+    pool: &RrCollection,
+    inv: &InvertedIndex,
+    targets: &[NodeId],
+    sampler: &RrSampler<'_>,
+    workers: &WorkerPool,
+    chunk_size: usize,
+    seed: u64,
+    chunk_id_of: impl Fn(u64) -> u64,
+) -> Result<RepairedHalf, PoolError> {
+    assert!(chunk_size > 0, "chunks must hold at least one set");
+    assert_eq!(
+        pool.len() % chunk_size,
+        0,
+        "pool half must be a whole number of chunks"
+    );
     let mut dirty_sets: Vec<u32> = targets
         .iter()
         .flat_map(|&t| inv.sets_containing(t))
@@ -116,13 +183,13 @@ pub fn repair_half(
         .collect();
     dirty_sets.sort_unstable();
     dirty_sets.dedup();
-    let mut dirty_chunks: Vec<u64> = dirty_sets
+    let mut dirty_local: Vec<u64> = dirty_sets
         .iter()
         .map(|&s| s as u64 / chunk_size as u64)
         .collect();
-    dirty_chunks.dedup(); // dirty_sets sorted => chunk ids sorted
+    dirty_local.dedup(); // dirty_sets sorted => chunk positions sorted
 
-    if dirty_chunks.is_empty() {
+    if dirty_local.is_empty() {
         return Ok(RepairedHalf {
             rr: pool.clone(),
             dirty_sets: dirty_sets.len(),
@@ -130,10 +197,11 @@ pub fn repair_half(
         });
     }
 
-    let batch = workers.try_generate_chunk_ids(sampler, None, &dirty_chunks, chunk_size, seed)?;
+    let dirty_ids: Vec<u64> = dirty_local.iter().map(|&c| chunk_id_of(c)).collect();
+    let batch = workers.try_generate_chunk_ids(sampler, None, &dirty_ids, chunk_size, seed)?;
     let mut rr = RrCollection::new(pool.graph_n());
     let mut cursor = 0usize;
-    for (k, &c) in dirty_chunks.iter().enumerate() {
+    for (k, &c) in dirty_local.iter().enumerate() {
         let lo = c as usize * chunk_size;
         rr.extend_from_range(pool, cursor..lo);
         rr.extend_from_range(&batch.rr, k * chunk_size..(k + 1) * chunk_size);
@@ -144,7 +212,7 @@ pub fn repair_half(
     Ok(RepairedHalf {
         rr,
         dirty_sets: dirty_sets.len(),
-        dirty_chunks: dirty_chunks.len(),
+        dirty_chunks: dirty_local.len(),
     })
 }
 

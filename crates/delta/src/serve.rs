@@ -98,6 +98,46 @@ pub enum LineError {
     },
     /// The line parsed but the index rejected it.
     Rejected(ServeError),
+    /// The line never materialized: its enclosing frame violated the
+    /// length-framed transport (multi-connection server only).
+    Frame(FrameViolation),
+}
+
+/// How a length-framed payload violated the wire protocol. Framing
+/// faults are per-connection: the violating frame (or, for
+/// [`FrameViolation::Truncated`], the connection) is rejected with a
+/// typed error while every other connection keeps serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameViolation {
+    /// The declared payload length exceeds the server's frame cap; the
+    /// payload is skipped so the stream stays in sync.
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// The server's cap.
+        max: usize,
+    },
+    /// The stream ended mid-header or mid-payload.
+    Truncated {
+        /// Bytes still expected when the stream ended.
+        missing: usize,
+    },
+    /// The payload was not valid UTF-8.
+    NotUtf8,
+}
+
+impl std::fmt::Display for FrameViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameViolation::Oversized { declared, max } => {
+                write!(f, "oversized frame: {declared} bytes exceeds cap {max}")
+            }
+            FrameViolation::Truncated { missing } => {
+                write!(f, "truncated frame: stream ended {missing} bytes early")
+            }
+            FrameViolation::NotUtf8 => write!(f, "frame payload is not valid UTF-8"),
+        }
+    }
 }
 
 impl std::fmt::Display for LineError {
@@ -105,6 +145,7 @@ impl std::fmt::Display for LineError {
         match self {
             LineError::Malformed { reason } => write!(f, "malformed line: {reason}"),
             LineError::Rejected(e) => write!(f, "{e}"),
+            LineError::Frame(v) => write!(f, "{v}"),
         }
     }
 }

@@ -58,4 +58,5 @@ pub use snapshot::{read_index, write_index};
 pub use stats::{IndexCounters, QueryStats};
 pub use sync::{
     quantile_ns, ConcurrentRrIndex, IndexMetrics, LatencyHistogram, MetricsSnapshot, PoolSnapshot,
+    TenantCounters, TenantMetrics,
 };

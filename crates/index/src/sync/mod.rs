@@ -23,7 +23,9 @@
 
 mod metrics;
 
-pub use metrics::{quantile_ns, IndexMetrics, LatencyHistogram, MetricsSnapshot};
+pub use metrics::{
+    quantile_ns, IndexMetrics, LatencyHistogram, MetricsSnapshot, TenantCounters, TenantMetrics,
+};
 
 use crate::error::IndexError;
 use crate::index::{IndexConfig, QueryAnswer, RrIndex, R2_STREAM};

@@ -1,0 +1,254 @@
+//! Length-framed line transport.
+//!
+//! One frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 — exactly one line of the [`subsim_delta::serve_queries`]
+//! line protocol, without a trailing newline. Framing lets many logical
+//! lines interleave on one socket without ambiguity and gives the server
+//! a cheap admission unit for batching.
+//!
+//! The decoder is incremental (feed it whatever `read` returned) and
+//! degrades per-frame, not per-connection: an oversized declaration skips
+//! exactly the declared payload so the stream stays in sync, and a
+//! non-UTF-8 payload rejects that frame alone. Only a stream that ends
+//! mid-header or mid-payload ([`FrameViolation::Truncated`]) is fatal to
+//! the connection — there is no resynchronization point after a partial
+//! frame.
+
+use subsim_delta::FrameViolation;
+
+/// Frame header width: 4-byte big-endian payload length.
+pub const HEADER_LEN: usize = 4;
+
+/// One decoded item: a protocol line, or a typed violation of the frame
+/// transport (the connection keeps decoding after either).
+#[derive(Debug, PartialEq)]
+pub enum FrameItem {
+    /// A complete, valid UTF-8 payload.
+    Line(String),
+    /// A violating frame, skipped in place.
+    Violation(FrameViolation),
+}
+
+/// Appends one encoded frame carrying `payload` to `out`.
+///
+/// # Panics
+/// Panics if `payload` exceeds `u32::MAX` bytes.
+pub fn encode_frame(payload: &str, out: &mut Vec<u8>) {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX");
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload.as_bytes());
+}
+
+/// Incremental decoder for the length-framed transport.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_frame: usize,
+    buf: Vec<u8>,
+    pos: usize,
+    /// Payload bytes of an oversized frame still to discard, paired with
+    /// the violation to report once skipping completes.
+    skipping: Option<(usize, FrameViolation)>,
+}
+
+impl FrameDecoder {
+    /// A decoder rejecting payloads longer than `max_frame` bytes.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            max_frame,
+            buf: Vec::new(),
+            pos: 0,
+            skipping: None,
+        }
+    }
+
+    /// The configured payload cap.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Feeds `bytes` in and appends every newly completed item to `out`.
+    pub fn push(&mut self, bytes: &[u8], out: &mut Vec<FrameItem>) {
+        self.buf.extend_from_slice(bytes);
+        loop {
+            if let Some((remaining, violation)) = self.skipping.take() {
+                let avail = self.buf.len() - self.pos;
+                if avail < remaining {
+                    // Still mid-skip: consume everything, report later.
+                    self.pos = self.buf.len();
+                    self.skipping = Some((remaining - avail, violation));
+                    break;
+                }
+                self.pos += remaining;
+                out.push(FrameItem::Violation(violation));
+            }
+            let avail = self.buf.len() - self.pos;
+            if avail < HEADER_LEN {
+                break;
+            }
+            let header: [u8; HEADER_LEN] = self.buf[self.pos..self.pos + HEADER_LEN]
+                .try_into()
+                .unwrap();
+            let declared = u32::from_be_bytes(header) as usize;
+            if declared > self.max_frame {
+                self.pos += HEADER_LEN;
+                self.skipping = Some((
+                    declared,
+                    FrameViolation::Oversized {
+                        declared,
+                        max: self.max_frame,
+                    },
+                ));
+                continue;
+            }
+            if avail < HEADER_LEN + declared {
+                break;
+            }
+            let start = self.pos + HEADER_LEN;
+            let payload = &self.buf[start..start + declared];
+            out.push(match std::str::from_utf8(payload) {
+                Ok(s) => FrameItem::Line(s.to_owned()),
+                Err(_) => FrameItem::Violation(FrameViolation::NotUtf8),
+            });
+            self.pos = start + declared;
+        }
+        // Compact consumed bytes so the buffer stays bounded by one frame.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Called when the stream hits EOF: reports the partial frame (or
+    /// unfinished oversized skip) still in flight, if any.
+    pub fn on_eof(&self) -> Option<FrameViolation> {
+        if let Some((remaining, _)) = &self.skipping {
+            return Some(FrameViolation::Truncated {
+                missing: *remaining,
+            });
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail == 0 {
+            return None;
+        }
+        let missing = if avail < HEADER_LEN {
+            HEADER_LEN - avail
+        } else {
+            let header: [u8; HEADER_LEN] = self.buf[self.pos..self.pos + HEADER_LEN]
+                .try_into()
+                .unwrap();
+            let declared = u32::from_be_bytes(header) as usize;
+            HEADER_LEN + declared - avail
+        };
+        Some(FrameViolation::Truncated { missing })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(decoder: &mut FrameDecoder, bytes: &[u8]) -> Vec<FrameItem> {
+        let mut out = Vec::new();
+        decoder.push(bytes, &mut out);
+        out
+    }
+
+    #[test]
+    fn roundtrips_frames_across_arbitrary_splits() {
+        let mut wire = Vec::new();
+        encode_frame("5 0.2", &mut wire);
+        encode_frame("delta + 0 1 0.5", &mut wire);
+        encode_frame("", &mut wire);
+        // Feed one byte at a time — worst-case fragmentation.
+        let mut decoder = FrameDecoder::new(64);
+        let mut items = Vec::new();
+        for b in &wire {
+            decoder.push(std::slice::from_ref(b), &mut items);
+        }
+        assert_eq!(
+            items,
+            vec![
+                FrameItem::Line("5 0.2".into()),
+                FrameItem::Line("delta + 0 1 0.5".into()),
+                FrameItem::Line(String::new()),
+            ]
+        );
+        assert_eq!(decoder.on_eof(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_skipped_and_stream_resyncs() {
+        let mut decoder = FrameDecoder::new(8);
+        let mut wire = Vec::new();
+        encode_frame("this payload is far too long", &mut wire);
+        encode_frame("3", &mut wire);
+        let items = drain(&mut decoder, &wire);
+        assert_eq!(
+            items,
+            vec![
+                FrameItem::Violation(FrameViolation::Oversized {
+                    declared: 28,
+                    max: 8
+                }),
+                FrameItem::Line("3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_skip_spans_reads_and_truncates_at_eof() {
+        let mut decoder = FrameDecoder::new(4);
+        let mut wire = Vec::new();
+        encode_frame("0123456789", &mut wire);
+        // Deliver the header plus only 3 of the 10 payload bytes.
+        let items = drain(&mut decoder, &wire[..HEADER_LEN + 3]);
+        assert!(items.is_empty());
+        assert_eq!(
+            decoder.on_eof(),
+            Some(FrameViolation::Truncated { missing: 7 })
+        );
+        // Delivering the rest completes the skip and reports the cap hit.
+        let items = drain(&mut decoder, &wire[HEADER_LEN + 3..]);
+        assert_eq!(
+            items,
+            vec![FrameItem::Violation(FrameViolation::Oversized {
+                declared: 10,
+                max: 4
+            })]
+        );
+        assert_eq!(decoder.on_eof(), None);
+    }
+
+    #[test]
+    fn invalid_utf8_rejects_only_that_frame() {
+        let mut decoder = FrameDecoder::new(16);
+        let mut wire = vec![0, 0, 0, 2, 0xff, 0xfe];
+        encode_frame("2", &mut wire);
+        let items = drain(&mut decoder, &wire);
+        assert_eq!(
+            items,
+            vec![
+                FrameItem::Violation(FrameViolation::NotUtf8),
+                FrameItem::Line("2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncation_reports_missing_bytes() {
+        // Mid-header.
+        let mut decoder = FrameDecoder::new(16);
+        assert!(drain(&mut decoder, &[0, 0]).is_empty());
+        assert_eq!(
+            decoder.on_eof(),
+            Some(FrameViolation::Truncated { missing: 2 })
+        );
+        // Mid-payload.
+        let mut decoder = FrameDecoder::new(16);
+        assert!(drain(&mut decoder, &[0, 0, 0, 5, b'x']).is_empty());
+        assert_eq!(
+            decoder.on_eof(),
+            Some(FrameViolation::Truncated { missing: 4 })
+        );
+    }
+}

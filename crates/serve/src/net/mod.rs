@@ -1,0 +1,6 @@
+//! The async front end: readiness polling ([`sys`]), the length-framed
+//! transport ([`frame`]), and the multi-connection reactor ([`server`]).
+
+pub mod frame;
+pub mod server;
+pub mod sys;

@@ -1,0 +1,359 @@
+//! Readiness polling over raw fds with no external crates.
+//!
+//! The vendored-offline constraint rules out `mio`/`tokio`, so this is
+//! the minimal mio-shaped surface the reactor needs: register an fd with
+//! a `u64` token and read/write interest, block until something is
+//! ready, get `(token, readable, writable, hangup)` events back.
+//!
+//! On Linux the backend is epoll through direct `extern "C"`
+//! declarations (std already links libc, so no crate is needed); on
+//! other unixes it falls back to POSIX `poll(2)`, which is the portable
+//! equivalent of the kqueue readiness loop on BSDs. Both backends are
+//! level-triggered, so the reactor never needs to drain-to-EAGAIN for
+//! correctness — only for batching.
+
+/// What the caller wants to hear about for one fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or a peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+}
+
+/// One readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable now (includes EOF/hangup — a read will not block).
+    pub readable: bool,
+    /// Writable now.
+    pub writable: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod backend {
+    use super::{Interest, PollEvent};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+
+    // x86-64 Linux packs epoll_event; other Linux targets align it.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+
+    /// epoll-backed readiness poller.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        buf: Vec<u8>, // raw EpollEvent storage, sized on first wait
+    }
+
+    fn flags_of(interest: Interest) -> u32 {
+        let mut f = 0;
+        if interest.readable {
+            f |= EPOLLIN;
+        }
+        if interest.writable {
+            f |= EPOLLOUT;
+        }
+        f
+    }
+
+    impl Poller {
+        /// A fresh poller with no registrations.
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: Vec::new(),
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: flags_of(interest),
+                data: token,
+            };
+            let ev_ptr = if op == EPOLL_CTL_DEL {
+                std::ptr::null_mut()
+            } else {
+                &mut ev as *mut EpollEvent
+            };
+            if unsafe { epoll_ctl(self.epfd, op, fd, ev_ptr) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Starts watching `fd` under `token`.
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Changes the interest (and token) of a watched `fd`.
+        pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Stops watching `fd`.
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::READ)
+        }
+
+        /// Blocks until readiness, filling `events` (up to `capacity`).
+        pub fn wait(&mut self, events: &mut Vec<PollEvent>, capacity: usize) -> io::Result<()> {
+            events.clear();
+            let want = capacity.max(1);
+            self.buf.resize(want * std::mem::size_of::<EpollEvent>(), 0);
+            let got = loop {
+                let got = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr() as *mut EpollEvent,
+                        want as c_int,
+                        -1,
+                    )
+                };
+                if got >= 0 {
+                    break got as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for i in 0..got {
+                let ev: EpollEvent = unsafe {
+                    std::ptr::read_unaligned((self.buf.as_ptr() as *const EpollEvent).add(i))
+                };
+                let flags = ev.events;
+                events.push(PollEvent {
+                    token: ev.data,
+                    readable: flags & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: flags & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod backend {
+    use super::{Interest, PollEvent};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short};
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: c_int) -> c_int;
+    }
+
+    const POLLIN: c_short = 0x1;
+    const POLLOUT: c_short = 0x4;
+    const POLLERR: c_short = 0x8;
+    const POLLHUP: c_short = 0x10;
+
+    /// `poll(2)`-backed readiness poller (kqueue-platform fallback).
+    #[derive(Debug)]
+    pub struct Poller {
+        fds: Vec<PollFd>,
+        tokens: Vec<u64>,
+    }
+
+    fn flags_of(interest: Interest) -> c_short {
+        let mut f = 0;
+        if interest.readable {
+            f |= POLLIN;
+        }
+        if interest.writable {
+            f |= POLLOUT;
+        }
+        f
+    }
+
+    impl Poller {
+        /// A fresh poller with no registrations.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+            })
+        }
+
+        fn position(&self, fd: RawFd) -> Option<usize> {
+            self.fds.iter().position(|p| p.fd == fd)
+        }
+
+        /// Starts watching `fd` under `token`.
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.position(fd).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.fds.push(PollFd {
+                fd,
+                events: flags_of(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        /// Changes the interest (and token) of a watched `fd`.
+        pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let i = self
+                .position(fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds[i].events = flags_of(interest);
+            self.tokens[i] = token;
+            Ok(())
+        }
+
+        /// Stops watching `fd`.
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let i = self
+                .position(fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds.swap_remove(i);
+            self.tokens.swap_remove(i);
+            Ok(())
+        }
+
+        /// Blocks until readiness, filling `events`.
+        pub fn wait(&mut self, events: &mut Vec<PollEvent>, _capacity: usize) -> io::Result<()> {
+            events.clear();
+            loop {
+                let got = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len(), -1) };
+                if got >= 0 {
+                    break;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+            for (p, &token) in self.fds.iter().zip(&self.tokens) {
+                if p.revents == 0 {
+                    continue;
+                }
+                events.push(PollEvent {
+                    token,
+                    readable: p.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+                    writable: p.revents & (POLLOUT | POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use backend::Poller;
+
+/// Token of the reactor's self-wake channel.
+pub const TOKEN_WAKE: u64 = 0;
+/// First listener token; listeners count up from here.
+pub const TOKEN_LISTENER_BASE: u64 = 1;
+/// First connection token.
+pub const TOKEN_CONN_BASE: u64 = 1 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poller_reports_readable_after_write() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 42, Interest::READ).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 8).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+        let mut buf = [0u8; 4];
+        let mut b2 = &b;
+        assert_eq!(b2.read(&mut buf).unwrap(), 1);
+        poller.deregister(b.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn reregister_switches_interest() {
+        let (_a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 7, Interest::READ).unwrap();
+        // A socket with empty send buffer is immediately writable.
+        poller
+            .reregister(
+                b.as_raw_fd(),
+                7,
+                Interest {
+                    readable: false,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 8).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+    }
+}

@@ -1,0 +1,645 @@
+//! Chunk-ownership sharding of the RR pool with merged selection.
+//!
+//! # Shard layout
+//!
+//! The union pool is the familiar deterministic chunk stream: chunk `c`
+//! is always generated from `chunk_seed(seed, c)` (and `seed ^ R2_STREAM`
+//! for the validation half). Shard `s` of `N` **owns** exactly the chunks
+//! `{c : c % N == s}` and stores them in ascending chunk order, so the
+//! multiset union of the shards' sets equals the single-shard pool at the
+//! same chunk cursor, set for set. Nothing about pool *content* depends
+//! on the shard count — only which arena a chunk lands in.
+//!
+//! Each shard owns its arena (the two [`RrCollection`] halves), its
+//! inverted coverage index over the selection half (built once per
+//! publish, reused by every query and by delta-repair dirtiness
+//! detection), and its generation workers. The full serving state — all
+//! shard snapshots plus the graph at one version — is published as one
+//! immutable [`ShardedSnapshot`] behind an `RwLock<Arc<_>>`, so a reader
+//! can never observe shards at mixed versions: a delta's version bump
+//! replaces the whole snapshot atomically, which is the cross-shard
+//! barrier.
+//!
+//! # Merged selection
+//!
+//! Queries run the OPIM-C certification loop of
+//! [`subsim_delta::DeltaIndex`] verbatim, but the per-round evaluation is
+//! [`subsim_core::pool::evaluate_pool_sharded_indexed`]: per-shard
+//! coverage counts are summed into one global count vector, the greedy
+//! loop picks on the summed counts (identical heap keys, identical
+//! tie-breaks), and the Eq 1/Eq 2 certificate is evaluated on the union
+//! lengths. The answer — seeds, bounds, certification — is therefore
+//! **byte-identical** to the sequential `DeltaIndex` at every shard
+//! count, which the testkit simulator and a differential proptest
+//! enforce.
+
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
+use subsim_core::pool::evaluate_pool_sharded_indexed;
+use subsim_core::ImOptions;
+use subsim_delta::{
+    repair_half_indexed, repair_half_mapped, DeltaError, GraphDelta, RepairReport, ServeError,
+    ServeIndex, VersionedGraph,
+};
+use subsim_diffusion::pool::{PoolError, WorkerPool};
+use subsim_diffusion::{InvertedIndex, RrCollection, RrSampler};
+use subsim_graph::Graph;
+use subsim_index::{
+    IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, QueryStats, R2_STREAM,
+};
+
+/// One shard's published arena: the owned chunks of both halves plus the
+/// cached inverted coverage index over the selection half.
+#[derive(Debug)]
+pub struct ShardSnapshot {
+    r1: RrCollection,
+    r2: RrCollection,
+    idx1: InvertedIndex,
+}
+
+impl ShardSnapshot {
+    fn new(r1: RrCollection, r2: RrCollection) -> Self {
+        let idx1 = InvertedIndex::build(&r1);
+        ShardSnapshot { r1, r2, idx1 }
+    }
+
+    /// The shard's slice of the selection half `R₁`.
+    pub fn selection_pool(&self) -> &RrCollection {
+        &self.r1
+    }
+
+    /// The shard's slice of the validation half `R₂`.
+    pub fn validation_pool(&self) -> &RrCollection {
+        &self.r2
+    }
+}
+
+/// The complete published serving state: the graph at one version and
+/// every shard's arena generated (or repaired) against exactly that
+/// version. Published as a whole, so shard views never tear across a
+/// delta.
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    graph: Arc<Graph>,
+    version: u64,
+    fingerprint: u64,
+    /// Global chunk cursor: complete chunks per half across all shards.
+    chunks: u64,
+    shards: Vec<Arc<ShardSnapshot>>,
+}
+
+impl ShardedSnapshot {
+    /// The graph version this snapshot serves.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Structural fingerprint of [`ShardedSnapshot::graph`].
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The graph at this snapshot's version.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The global RNG cursor: complete chunks generated per half.
+    pub fn chunk_cursor(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's arena.
+    pub fn shard(&self, s: usize) -> &ShardSnapshot {
+        &self.shards[s]
+    }
+
+    /// Union sets per pool half (every chunk is full by construction).
+    pub fn pool_len(&self) -> usize {
+        self.shards.iter().map(|sh| sh.r1.len()).sum()
+    }
+
+    fn r1_refs(&self) -> Vec<&RrCollection> {
+        self.shards.iter().map(|sh| &sh.r1).collect()
+    }
+
+    fn r2_refs(&self) -> Vec<&RrCollection> {
+        self.shards.iter().map(|sh| &sh.r2).collect()
+    }
+
+    fn idx_refs(&self) -> Vec<&InvertedIndex> {
+        self.shards.iter().map(|sh| &sh.idx1).collect()
+    }
+
+    /// Reassembles the union pool halves in global chunk order — the
+    /// exact collections a single-shard index would hold at the same
+    /// cursor. Testing/diagnostics only: serving never materializes the
+    /// union.
+    pub fn union_pools(&self, chunk_size: usize) -> (RrCollection, RrCollection) {
+        let n = self.graph.n();
+        let shards = self.shards.len() as u64;
+        let mut r1 = RrCollection::new(n);
+        let mut r2 = RrCollection::new(n);
+        for c in 0..self.chunks {
+            let s = (c % shards) as usize;
+            let local = (c / shards) as usize;
+            let lo = local * chunk_size;
+            let hi = lo + chunk_size;
+            r1.extend_from_range(&self.shards[s].r1, lo..hi);
+            r2.extend_from_range(&self.shards[s].r2, lo..hi);
+        }
+        (r1, r2)
+    }
+}
+
+/// The mutable side, serialized behind one mutex: the versioned graph
+/// (authoritative for "current version") plus one persistent worker pool
+/// per shard. Pool state lives only in published snapshots.
+struct WriterState {
+    vg: VersionedGraph,
+    pools: Vec<WorkerPool>,
+}
+
+/// A sharded, concurrently queryable delta index: `&self` queries from
+/// any number of threads, chunk generation partitioned `chunk % N`
+/// across `N` shards, merged selection with the OPIM certificate
+/// evaluated on the union, and writer-serialized growth and delta
+/// application.
+///
+/// Every query answer is byte-identical to [`subsim_delta::DeltaIndex`]
+/// over the same `(seed, script)` at any shard count.
+pub struct ShardedDeltaIndex {
+    config: IndexConfig,
+    shards: usize,
+    snapshot: RwLock<Arc<ShardedSnapshot>>,
+    writer: Mutex<WriterState>,
+    metrics: IndexMetrics,
+}
+
+impl std::fmt::Debug for ShardedDeltaIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.load();
+        f.debug_struct("ShardedDeltaIndex")
+            .field("config", &self.config)
+            .field("shards", &self.shards)
+            .field("version", &snap.version)
+            .field("chunks", &snap.chunks)
+            .field("pool_len", &snap.pool_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedDeltaIndex {
+    /// An empty sharded index over version 0 of `g` (storage-normalized;
+    /// see [`VersionedGraph`]) with `shards` shards. Worker threads are
+    /// split across shards (`max(1, threads / shards)` each), so the
+    /// configured thread budget is respected whatever the shard count.
+    pub fn new(g: Graph, config: IndexConfig, shards: usize) -> Result<Self, DeltaError> {
+        assert!(shards > 0, "need at least one shard");
+        assert!(config.threads > 0, "need at least one worker");
+        assert!(config.chunk_size > 0, "chunks must hold at least one set");
+        let vg = VersionedGraph::new(g)?;
+        let n = vg.graph().n();
+        let per_shard = (config.threads / shards).max(1);
+        let snap = ShardedSnapshot {
+            graph: vg.graph_arc(),
+            version: vg.version(),
+            fingerprint: vg.fingerprint(),
+            chunks: 0,
+            shards: (0..shards)
+                .map(|_| {
+                    Arc::new(ShardSnapshot::new(
+                        RrCollection::new(n),
+                        RrCollection::new(n),
+                    ))
+                })
+                .collect(),
+        };
+        Ok(ShardedDeltaIndex {
+            config,
+            shards,
+            snapshot: RwLock::new(Arc::new(snap)),
+            writer: Mutex::new(WriterState {
+                vg,
+                pools: (0..shards).map(|_| WorkerPool::new(per_shard)).collect(),
+            }),
+            metrics: IndexMetrics::default(),
+        })
+    }
+
+    /// The construction-time configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The currently served graph version.
+    pub fn version(&self) -> u64 {
+        self.load().version
+    }
+
+    /// The current published snapshot; a stable immutable view.
+    pub fn load(&self) -> Arc<ShardedSnapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// A point-in-time copy of the serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Pre-grows the union pool to at least `sets` per half.
+    pub fn warm(&self, sets: usize) -> Result<(), DeltaError> {
+        self.grow_to(sets)?;
+        Ok(())
+    }
+
+    /// Answers one IM query against the latest published version;
+    /// per-query semantics match [`subsim_delta::DeltaIndex::query`] bit
+    /// for bit.
+    pub fn query(&self, k: usize, epsilon: f64, delta: f64) -> Result<QueryAnswer, DeltaError> {
+        self.query_inner(k, epsilon, delta, None)
+    }
+
+    /// Like [`ShardedDeltaIndex::query`], pinned to an exact graph
+    /// version: fails with [`DeltaError::StaleVersion`] when the served
+    /// version differs at query start or after any growth round.
+    pub fn query_at_version(
+        &self,
+        version: u64,
+        k: usize,
+        epsilon: f64,
+        delta: f64,
+    ) -> Result<QueryAnswer, DeltaError> {
+        self.query_inner(k, epsilon, delta, Some(version))
+    }
+
+    fn query_inner(
+        &self,
+        k: usize,
+        epsilon: f64,
+        delta: f64,
+        pin: Option<u64>,
+    ) -> Result<QueryAnswer, DeltaError> {
+        let mut snap = self.load();
+        check_pin(pin, &snap)?;
+        let opts = ImOptions::new(k).epsilon(epsilon).delta(delta);
+        opts.validate(&snap.graph).map_err(IndexError::from)?;
+        let start = Instant::now();
+        let n = snap.graph.n();
+        let target = 1.0 - (-1.0f64).exp() - epsilon;
+        let theta_max = theta_max_opim(n, k, epsilon, delta);
+        let theta0 = theta_zero(delta);
+        let imax = i_max(theta_max, theta0);
+        let delta_iter = delta / (3.0 * imax as f64);
+
+        let pool_before = snap.pool_len();
+        let mut fresh = 0usize;
+        if snap.pool_len() < theta0 as usize {
+            let (grown, added) = self.grow_to(theta0 as usize)?;
+            snap = grown;
+            check_pin(pin, &snap)?;
+            fresh += added;
+        }
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            let cert_start = Instant::now();
+            let eval = evaluate_pool_sharded_indexed(
+                &snap.r1_refs(),
+                &snap.idx_refs(),
+                &snap.r2_refs(),
+                k,
+                delta_iter,
+                delta_iter,
+                self.config.threads,
+            );
+            self.metrics.record_selection(cert_start.elapsed());
+            let certified = eval.ratio() > target;
+            if certified || snap.pool_len() as f64 >= theta_max {
+                let stats = QueryStats {
+                    k,
+                    epsilon,
+                    delta,
+                    pool_before,
+                    pool_after: snap.pool_len(),
+                    fresh_sets: fresh,
+                    rounds,
+                    lower_bound: eval.lower,
+                    upper_bound: eval.upper,
+                    target_ratio: target,
+                    certified_by_bounds: certified,
+                    elapsed: start.elapsed(),
+                };
+                self.metrics.record_query(&stats);
+                return Ok(QueryAnswer {
+                    seeds: eval.seeds,
+                    stats,
+                });
+            }
+            let next = snap
+                .pool_len()
+                .saturating_mul(2)
+                .min(theta_max.ceil() as usize);
+            let (grown, added) = self.grow_to(next)?;
+            snap = grown;
+            check_pin(pin, &snap)?;
+            fresh += added;
+        }
+    }
+
+    /// Grows the union pool to at least `target_sets` per half: each
+    /// shard generates its owned slice of the new chunk range
+    /// (`chunk % N`) concurrently on its own workers, then one snapshot
+    /// covering all shards is published. Returns the snapshot to continue
+    /// with plus the freshly generated sets (both halves, all shards).
+    fn grow_to(&self, target_sets: usize) -> Result<(Arc<ShardedSnapshot>, usize), DeltaError> {
+        let chunk = self.config.chunk_size;
+        let needed_chunks = target_sets.div_ceil(chunk) as u64;
+        {
+            let snap = self.load();
+            if snap.chunks >= needed_chunks {
+                return Ok((snap, 0));
+            }
+        }
+        let ws = self.writer.lock().expect("writer lock poisoned");
+        // Re-check under the guard: the pool may have grown (or been
+        // repaired onto a newer version) while this thread waited.
+        let base = self.load();
+        if base.chunks >= needed_chunks {
+            return Ok((base, 0));
+        }
+        debug_assert_eq!(base.version, ws.vg.version());
+        if let Some(cap) = self.config.max_nodes {
+            let in_use: usize = base
+                .shards
+                .iter()
+                .map(|sh| sh.r1.total_nodes() + sh.r2.total_nodes())
+                .sum();
+            if in_use >= cap {
+                return Err(DeltaError::Index(IndexError::MemoryBudget {
+                    max_nodes: cap,
+                    in_use,
+                    wanted_sets: needed_chunks as usize * chunk,
+                }));
+            }
+        }
+        let graph = ws.vg.graph_arc();
+        let sampler = RrSampler::new(&graph, self.config.strategy);
+
+        let shards = self.shards as u64;
+        let mut owned_ids: Vec<Vec<u64>> = vec![Vec::new(); self.shards];
+        for c in base.chunks..needed_chunks {
+            owned_ids[(c % shards) as usize].push(c);
+        }
+
+        let seed = self.config.seed;
+        let results: Vec<
+            Option<Result<(subsim_diffusion::ParBatch, subsim_diffusion::ParBatch), PoolError>>,
+        > = std::thread::scope(|scope| {
+            let handles: Vec<_> = owned_ids
+                .iter()
+                .zip(&ws.pools)
+                .map(|(ids, pool)| {
+                    if ids.is_empty() {
+                        return None;
+                    }
+                    let sampler = &sampler;
+                    Some(scope.spawn(move || {
+                        let b1 = pool.try_generate_chunk_ids(sampler, None, ids, chunk, seed)?;
+                        let b2 = pool.try_generate_chunk_ids(
+                            sampler,
+                            None,
+                            ids,
+                            chunk,
+                            seed ^ R2_STREAM,
+                        )?;
+                        Ok((b1, b2))
+                    }))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("shard generator panicked")))
+                .collect()
+        });
+
+        let mut new_shards: Vec<Arc<ShardSnapshot>> = Vec::with_capacity(self.shards);
+        let mut added = 0usize;
+        for (old, result) in base.shards.iter().zip(results) {
+            match result {
+                None => new_shards.push(Arc::clone(old)),
+                Some(batches) => {
+                    let (b1, b2) = batches?;
+                    self.metrics.record_generation(
+                        (b1.rr.len() + b2.rr.len()) as u64,
+                        (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,
+                        b1.cost + b2.cost,
+                        b1.elapsed + b2.elapsed,
+                    );
+                    added += b1.rr.len() + b2.rr.len();
+                    let mut r1 = old.r1.clone();
+                    let mut r2 = old.r2.clone();
+                    r1.extend_from(&b1.rr);
+                    r2.extend_from(&b2.rr);
+                    new_shards.push(Arc::new(ShardSnapshot::new(r1, r2)));
+                }
+            }
+        }
+
+        let snap = Arc::new(ShardedSnapshot {
+            graph,
+            version: base.version,
+            fingerprint: base.fingerprint,
+            chunks: needed_chunks,
+            shards: new_shards,
+        });
+        self.publish(Arc::clone(&snap));
+        Ok((snap, added))
+    }
+
+    /// Applies `delta` to the graph and publishes one repaired snapshot
+    /// at the next version — the cross-shard barrier: every shard in the
+    /// new snapshot is repaired against the new graph before any query
+    /// can observe the version bump, and no query can ever observe shards
+    /// at mixed versions.
+    ///
+    /// Shard `s` maps its local chunk position `j` back to global chunk
+    /// `s + j·N` so dirty chunks regenerate from their original seeds;
+    /// the cached per-shard inverted index provides `R₁` dirtiness
+    /// detection without a rebuild. On error nothing is published.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<RepairReport, DeltaError> {
+        let start = Instant::now();
+        let ws = self.writer.lock().expect("writer lock poisoned");
+        let mut staged = ws.vg.clone();
+        staged.apply(delta)?;
+        let base = self.load();
+        let targets = delta.targets();
+        let graph = staged.graph_arc();
+        let sampler = RrSampler::new(&graph, self.config.strategy);
+        let chunk = self.config.chunk_size;
+        let shards = self.shards as u64;
+        let seed = self.config.seed;
+
+        struct ShardRepair {
+            shard: Arc<ShardSnapshot>,
+            dirty_sets_r1: usize,
+            dirty_sets_r2: usize,
+            dirty_chunks_r1: usize,
+            dirty_chunks_r2: usize,
+        }
+
+        let repairs: Vec<Result<ShardRepair, PoolError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = base
+                .shards
+                .iter()
+                .zip(&ws.pools)
+                .enumerate()
+                .map(|(s, (old, pool))| {
+                    let (sampler, targets) = (&sampler, &targets);
+                    scope.spawn(move || {
+                        let s64 = s as u64;
+                        let h1 = repair_half_indexed(
+                            &old.r1,
+                            &old.idx1,
+                            targets,
+                            sampler,
+                            pool,
+                            chunk,
+                            seed,
+                            |j| s64 + j * shards,
+                        )?;
+                        let h2 = repair_half_mapped(
+                            &old.r2,
+                            targets,
+                            sampler,
+                            pool,
+                            chunk,
+                            seed ^ R2_STREAM,
+                            1,
+                            |j| s64 + j * shards,
+                        )?;
+                        let shard = if h1.dirty_chunks == 0 && h2.dirty_chunks == 0 {
+                            Arc::clone(old)
+                        } else if h1.dirty_chunks == 0 {
+                            // R₁ untouched: keep its cached index.
+                            Arc::new(ShardSnapshot {
+                                r1: h1.rr,
+                                r2: h2.rr,
+                                idx1: old.idx1.clone(),
+                            })
+                        } else {
+                            Arc::new(ShardSnapshot::new(h1.rr, h2.rr))
+                        };
+                        Ok(ShardRepair {
+                            shard,
+                            dirty_sets_r1: h1.dirty_sets,
+                            dirty_sets_r2: h2.dirty_sets,
+                            dirty_chunks_r1: h1.dirty_chunks,
+                            dirty_chunks_r2: h2.dirty_chunks,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard repairer panicked"))
+                .collect()
+        });
+        drop(sampler);
+
+        let mut new_shards = Vec::with_capacity(self.shards);
+        let mut report = RepairReport {
+            targets: targets.len(),
+            ..RepairReport::default()
+        };
+        for repair in repairs {
+            let r = repair?;
+            report.dirty_sets_r1 += r.dirty_sets_r1;
+            report.dirty_sets_r2 += r.dirty_sets_r2;
+            report.dirty_chunks_r1 += r.dirty_chunks_r1;
+            report.dirty_chunks_r2 += r.dirty_chunks_r2;
+            new_shards.push(r.shard);
+        }
+
+        let mut ws = ws;
+        ws.vg = staged;
+        let snap = Arc::new(ShardedSnapshot {
+            graph,
+            version: ws.vg.version(),
+            fingerprint: ws.vg.fingerprint(),
+            chunks: base.chunks,
+            shards: new_shards,
+        });
+        self.publish(Arc::clone(&snap));
+        report.version = snap.version;
+        report.regenerated_sets = (report.dirty_chunks_r1 + report.dirty_chunks_r2) * chunk;
+        report.pool_sets = snap.pool_len() * 2;
+        report.elapsed = start.elapsed();
+        self.metrics.record_repair(
+            report.regenerated_sets as u64,
+            (report.dirty_chunks_r1 + report.dirty_chunks_r2) as u64,
+            report.elapsed,
+        );
+        Ok(report)
+    }
+
+    fn publish(&self, snap: Arc<ShardedSnapshot>) {
+        *self.snapshot.write().expect("snapshot lock poisoned") = snap;
+        self.metrics
+            .snapshot_publishes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+fn check_pin(pin: Option<u64>, snap: &ShardedSnapshot) -> Result<(), DeltaError> {
+    match pin {
+        Some(requested) if requested != snap.version => Err(DeltaError::StaleVersion {
+            requested,
+            current: snap.version,
+        }),
+        _ => Ok(()),
+    }
+}
+
+impl ServeIndex for ShardedDeltaIndex {
+    fn run_query(
+        &self,
+        k: usize,
+        epsilon: f64,
+        delta: f64,
+        pin: Option<u64>,
+    ) -> Result<QueryAnswer, ServeError> {
+        match pin {
+            Some(version) => Ok(self.query_at_version(version, k, epsilon, delta)?),
+            None => Ok(self.query(k, epsilon, delta)?),
+        }
+    }
+
+    fn apply_delta_line(&self, op: &str) -> Result<RepairReport, ServeError> {
+        let parsed = GraphDelta::parse_line(op)
+            .map_err(ServeError::Delta)?
+            .ok_or_else(|| {
+                ServeError::Delta(DeltaError::Parse {
+                    message: "empty delta line".into(),
+                })
+            })?;
+        let mut delta = GraphDelta::new();
+        delta.push(parsed);
+        Ok(self.apply_delta(&delta)?)
+    }
+
+    fn version(&self) -> Option<u64> {
+        Some(ShardedDeltaIndex::version(self))
+    }
+}

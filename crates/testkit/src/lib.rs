@@ -44,6 +44,7 @@ pub mod stats;
 pub use fault::{panic_on_chunk, panic_on_chunk_id, Fault, FaultyReader};
 pub use oracle::{mc_certified, CertifiedEstimate, ExactOracle, MAX_ORACLE_EDGES};
 pub use sim::{
-    check_seed, generate_script, run_concurrent, run_sequential_model, SimOutcome, SimStep,
+    check_seed, check_seed_sharded, generate_script, run_concurrent, run_sequential_model,
+    run_sharded, SimOutcome, SimStep,
 };
 pub use stats::{chi_square_critical, chi_square_stat, hoeffding_half_width, merge_small_bins};

@@ -14,6 +14,10 @@
 //! - [`run_sequential_model`] replays the same lines against the plain
 //!   sequential [`DeltaIndex`] — the model whose semantics the
 //!   concurrent stack promises to match bit-for-bit.
+//! - [`run_sharded`] swaps the index for an N-shard
+//!   [`ShardedDeltaIndex`], model-checking that chunk-ownership sharding
+//!   leaves a serving session a pure function of its input for every
+//!   shard count ([`check_seed_sharded`]).
 //!
 //! Both produce a [`SimOutcome`]: one canonical record per script line
 //! (`ok <seeds>`, `applied v<version> regen=<sets>`, `stale ...`,
@@ -30,11 +34,12 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Mutex;
 use subsim_delta::{
     parse_query, serve_queries, ConcurrentDeltaIndex, DeltaError, DeltaIndex, GraphDelta,
-    LineError, ServeError, ServeEvent, ServeSink,
+    LineError, ServeError, ServeEvent, ServeIndex, ServeSink,
 };
 use subsim_diffusion::RrStrategy;
 use subsim_graph::{Graph, NodeId};
 use subsim_index::IndexConfig;
+use subsim_serve::ShardedDeltaIndex;
 
 /// The `δ` every simulated query uses.
 const SIM_DELTA: f64 = 0.1;
@@ -157,6 +162,7 @@ pub fn generate_script(g: &Graph, seed: u64, steps: usize) -> Vec<String> {
 fn render_failure(error: &LineError) -> String {
     match error {
         LineError::Malformed { .. } => "malformed".to_string(),
+        LineError::Frame(v) => format!("frame: {v}"),
         LineError::Rejected(ServeError::Delta(DeltaError::StaleVersion { requested, current })) => {
             format!("stale requested={requested} current={current}")
         }
@@ -183,10 +189,26 @@ impl ServeSink for Recorder {
 /// not simulation outcomes.
 pub fn run_concurrent(g: &Graph, script: &[String]) -> SimOutcome {
     let index = ConcurrentDeltaIndex::new(g.clone(), sim_config()).expect("simulated index builds");
+    run_serve_stack(&index, script)
+}
+
+/// Runs `script` through the serving loop over an N-shard
+/// [`ShardedDeltaIndex`] — the model check that chunk-ownership sharding
+/// keeps serving a pure function of the script, byte-identical to the
+/// sequential model for every shard count.
+pub fn run_sharded(g: &Graph, script: &[String], shards: usize) -> SimOutcome {
+    let index = ShardedDeltaIndex::new(g.clone(), sim_config(), shards)
+        .expect("simulated sharded index builds");
+    run_serve_stack(&index, script)
+}
+
+/// Drives any [`ServeIndex`] through [`serve_queries`] (one query
+/// worker) and canonicalizes the outcome.
+fn run_serve_stack<I: ServeIndex>(index: &I, script: &[String]) -> SimOutcome {
     let input = format!("{}\n", script.join("\n"));
     let mut output = Vec::new();
     let rec = Recorder::default();
-    let shutdown = serve_queries(&index, SIM_DELTA, 1, input.as_bytes(), &mut output, &rec)
+    let shutdown = serve_queries(index, SIM_DELTA, 1, input.as_bytes(), &mut output, &rec)
         .expect("serving loop I/O");
     assert!(!shutdown, "scripts do not contain shutdown lines");
 
@@ -254,7 +276,7 @@ pub fn run_concurrent(g: &Graph, script: &[String]) -> SimOutcome {
         .collect();
     SimOutcome {
         records,
-        final_version: index.version(),
+        final_version: ServeIndex::version(index).unwrap_or(0),
     }
 }
 
@@ -315,17 +337,41 @@ pub fn check_seed(g: &Graph, seed: u64, steps: usize) -> Result<(), String> {
     let script = generate_script(g, seed, steps);
     let concurrent = run_concurrent(g, &script);
     let model = run_sequential_model(g, &script);
-    if concurrent == model {
+    diff_outcomes("concurrent", seed, steps, &script, &concurrent, &model)
+}
+
+/// Like [`check_seed`], but the serving stack runs over an N-shard
+/// [`ShardedDeltaIndex`]: the model check that a sharded session is the
+/// same pure function of its input as the sequential index.
+pub fn check_seed_sharded(g: &Graph, seed: u64, steps: usize, shards: usize) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let sharded = run_sharded(g, &script, shards);
+    let model = run_sequential_model(g, &script);
+    let label = format!("sharded({shards})");
+    diff_outcomes(&label, seed, steps, &script, &sharded, &model)
+}
+
+/// Reports the first divergence between a serving-stack outcome and the
+/// sequential model, naming the seed so failures replay exactly.
+fn diff_outcomes(
+    label: &str,
+    seed: u64,
+    steps: usize,
+    script: &[String],
+    got: &SimOutcome,
+    model: &SimOutcome,
+) -> Result<(), String> {
+    if got == model {
         return Ok(());
     }
-    if concurrent.final_version != model.final_version {
+    if got.final_version != model.final_version {
         return Err(format!(
-            "seed {seed}: final version diverged (concurrent {} vs model {}); \
-             reproduce with check_seed(g, {seed}, {steps})",
-            concurrent.final_version, model.final_version
+            "seed {seed}: final version diverged ({label} {} vs model {}); \
+             reproduce with seed {seed}, {steps} steps",
+            got.final_version, model.final_version
         ));
     }
-    let (i, (c, m)) = concurrent
+    let (i, (c, m)) = got
         .records
         .iter()
         .zip(&model.records)
@@ -333,8 +379,8 @@ pub fn check_seed(g: &Graph, seed: u64, steps: usize) -> Result<(), String> {
         .find(|(_, (c, m))| c != m)
         .expect("equal-length record lists differ somewhere");
     Err(format!(
-        "seed {seed}: line {i} {:?} diverged: concurrent {c:?} vs model {m:?}; \
-         reproduce with check_seed(g, {seed}, {steps})",
+        "seed {seed}: line {i} {:?} diverged: {label} {c:?} vs model {m:?}; \
+         reproduce with seed {seed}, {steps} steps",
         script[i]
     ))
 }

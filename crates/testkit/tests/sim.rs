@@ -92,3 +92,17 @@ fn heavy_seed_sweep() {
         check_seed(&g, seed, 120).unwrap();
     }
 }
+
+#[test]
+fn sharded_serving_matches_sequential_model() {
+    // The PR-6 model check: an N-shard serving session over the same
+    // script is byte-identical to the sequential model, for several
+    // shard counts and schedule seeds.
+    let g = sim_graph();
+    for shards in [2usize, 3, 4] {
+        for seed in [5u64, 23] {
+            subsim_testkit::check_seed_sharded(&g, seed, 40, shards)
+                .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+        }
+    }
+}

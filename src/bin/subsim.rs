@@ -44,13 +44,17 @@
 
 use std::process::ExitCode;
 use subsim::core::coverage::{greedy_max_coverage, GreedyConfig};
-use subsim::delta::{serve_queries, DeltaError, LineError, ServeEvent, ServeIndex};
+use subsim::delta::{
+    serve_queries, DeltaError, LineError, RepairReport, ServeError, ServeEvent, ServeIndex,
+};
 use subsim::diffusion::serialize::{read_rr_collection, write_rr_collection};
 use subsim::diffusion::{chunk_seed, mc_influence, par_generate_chunks, CascadeModel};
 use subsim::prelude::*;
 use subsim::sampling::rng_from_seed;
+use subsim::serve::{serve_framed, Listener, ServerConfig, ShardedDeltaIndex};
 use subsim_graph::io::{read_edge_list_file, write_edge_list};
 use subsim_graph::Graph;
+use subsim_index::TenantMetrics;
 
 struct Args {
     graph: String,
@@ -84,6 +88,9 @@ struct ServerArgs {
     socket: Option<String>,
     stats_out: Option<String>,
     delta_stream: bool,
+    shards: usize,
+    framed: bool,
+    listen: Option<String>,
 }
 
 struct ApplyDeltaArgs {
@@ -125,12 +132,21 @@ fn usage() -> &'static str {
      \t[--warm <sets>]      pre-grow the pool before serving\n\
      \t[--max-nodes <n>]    refuse pool growth past n arena node entries\n\
      \t[--socket <path>]    serve a Unix socket instead of stdin (one\n\
-     \t                     connection at a time; the line `shutdown` stops the server)\n\
+     \t                     connection at a time unless --framed; a stale\n\
+     \t                     socket file is unlinked at startup, the live one\n\
+     \t                     removed at exit; `shutdown` stops the server)\n\
      \t[--stats-out <f>]    write serving metrics (latency histogram, cache\n\
      \t                     hits, snapshot publishes) as JSON to <f> at exit\n\
      \t[--delta-stream]     also accept `delta + u v p` / `delta - u v` /\n\
      \t                     `delta ~ u v p` lines: apply the edge mutation and\n\
      \t                     incrementally repair the RR pool (acks on stderr)\n\
+     \t[--shards <n>]       partition the RR pool across n shards with merged\n\
+     \t                     selection (answers are bit-identical to --shards 1)\n\
+     \t[--framed]           async multi-connection server over --socket and/or\n\
+     \t                     --listen: 4-byte big-endian length-prefixed frames,\n\
+     \t                     one reply frame per request frame, in order\n\
+     \t[--listen <addr>]    also accept framed TCP connections on <addr>\n\
+     \t                     (implies --framed)\n\
      then one query per line: `k [epsilon]` (epsilon defaults to 0.1)\n\
      \n\
      usage: subsim apply-delta --graph <edge-list> --delta <delta-file>\n\
@@ -232,6 +248,9 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
         socket: None,
         stats_out: None,
         delta_stream: false,
+        shards: 1,
+        framed: false,
+        listen: None,
     };
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -260,6 +279,13 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
             "--delta-stream" => args.delta_stream = true,
             "--socket" => args.socket = Some(val("--socket")?),
             "--stats-out" => args.stats_out = Some(val("--stats-out")?),
+            "--shards" => {
+                args.shards = val("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--framed" => args.framed = true,
+            "--listen" => args.listen = Some(val("--listen")?),
             "--warm" => args.warm = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
             "--max-nodes" => {
                 args.max_nodes = Some(
@@ -277,6 +303,18 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
     }
     if args.threads == 0 {
         return Err("--threads must be positive".into());
+    }
+    if args.shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    if args.shards > 1 && args.index_file.is_some() {
+        return Err("--index-file is not supported with --shards > 1".into());
+    }
+    if args.listen.is_some() {
+        args.framed = true;
+    }
+    if args.framed && args.socket.is_none() && args.listen.is_none() {
+        return Err("--framed needs --socket and/or --listen".into());
     }
     Ok(args)
 }
@@ -538,10 +576,68 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
     if let Some(cap) = args.max_nodes {
         config = config.max_nodes(cap);
     }
-    if args.delta_stream {
+    if args.shards > 1 {
+        run_sharded_server(args, g, config)
+    } else if args.delta_stream {
         run_delta_server(args, g, config)
     } else {
         run_static_server(args, g, config)
+    }
+}
+
+/// `--shards N` serving: a [`ShardedDeltaIndex`] partitions chunk
+/// generation and coverage counting across N shards; selection merges
+/// the per-shard counts, so answers stay bit-identical to `--shards 1`.
+/// Without `--delta-stream` the index serves frozen: `delta` lines are
+/// rejected exactly like the static server.
+fn run_sharded_server(args: ServerArgs, g: Graph, config: IndexConfig) -> Result<(), String> {
+    let index = ShardedDeltaIndex::new(g, config, args.shards).map_err(|e| e.to_string())?;
+    eprintln!("index: {} shards", index.shard_count());
+    if args.warm > 0 {
+        index.warm(args.warm).map_err(|e| e.to_string())?;
+        eprintln!("index: warmed to {} sets/half", index.load().pool_len());
+    }
+    if args.delta_stream {
+        serve_transport(&index, &args)?;
+    } else {
+        serve_transport(&FrozenSharded(&index), &args)?;
+    }
+    let m = index.metrics();
+    report_metrics(&m, &args)?;
+    if m.deltas_applied > 0 {
+        eprintln!(
+            "applied {} deltas: {} sets / {} chunks regenerated, total repair time {:?}",
+            m.deltas_applied,
+            m.sets_repaired,
+            m.chunks_repaired,
+            std::time::Duration::from_nanos(m.repair_time_ns),
+        );
+    }
+    Ok(())
+}
+
+/// A sharded index serving without `--delta-stream`: queries (including
+/// version pins, which are trivially satisfied at version 0) pass
+/// through; `delta` lines are rejected as on a frozen index.
+struct FrozenSharded<'a>(&'a ShardedDeltaIndex);
+
+impl ServeIndex for FrozenSharded<'_> {
+    fn run_query(
+        &self,
+        k: usize,
+        epsilon: f64,
+        delta: f64,
+        pin: Option<u64>,
+    ) -> Result<QueryAnswer, ServeError> {
+        self.0.run_query(k, epsilon, delta, pin)
+    }
+
+    fn apply_delta_line(&self, _op: &str) -> Result<RepairReport, ServeError> {
+        Err(ServeError::Frozen)
+    }
+
+    fn version(&self) -> Option<u64> {
+        ServeIndex::version(self.0)
     }
 }
 
@@ -630,8 +726,12 @@ fn run_delta_server(args: ServerArgs, g: Graph, config: IndexConfig) -> Result<(
     Ok(())
 }
 
-/// Runs the query loop over stdin or the `--socket` transport.
+/// Runs the query loop over stdin, the `--socket` transport, or — with
+/// `--framed` — the async multi-connection server.
 fn serve_transport<I: ServeIndex>(index: &I, args: &ServerArgs) -> Result<(), String> {
+    if args.framed {
+        return serve_framed_transport(index, args);
+    }
     match &args.socket {
         None => {
             let stdin = std::io::stdin();
@@ -645,10 +745,14 @@ fn serve_transport<I: ServeIndex>(index: &I, args: &ServerArgs) -> Result<(), St
             )?;
         }
         Some(path) => {
-            // A stale socket file from a previous run refuses the bind.
-            std::fs::remove_file(path).ok();
-            let listener = std::os::unix::net::UnixListener::bind(path)
+            // Unlinks a stale socket left by a dead server, refuses to
+            // unlink anything that is not a socket, and removes the
+            // live socket on every exit path (the guard drops on `?`).
+            let (listener, _guard) = Listener::bind_unix(std::path::Path::new(path))
                 .map_err(|e| format!("binding {path}: {e}"))?;
+            let Listener::Unix(listener) = listener else {
+                unreachable!("bind_unix returns a unix listener");
+            };
             eprintln!("listening on {path}");
             loop {
                 let (stream, _) = listener
@@ -669,9 +773,47 @@ fn serve_transport<I: ServeIndex>(index: &I, args: &ServerArgs) -> Result<(), St
                     break;
                 }
             }
-            std::fs::remove_file(path).ok();
         }
     }
+    Ok(())
+}
+
+/// `--framed` serving: binds every requested transport, then runs the
+/// epoll reactor until a `shutdown` frame drains the server.
+fn serve_framed_transport<I: ServeIndex>(index: &I, args: &ServerArgs) -> Result<(), String> {
+    let mut listeners = Vec::new();
+    let mut _guard = None;
+    if let Some(path) = &args.socket {
+        let (listener, guard) = Listener::bind_unix(std::path::Path::new(path))
+            .map_err(|e| format!("binding {path}: {e}"))?;
+        eprintln!("listening on {path} (framed)");
+        listeners.push(listener);
+        _guard = Some(guard);
+    }
+    if let Some(addr) = &args.listen {
+        listeners.push(Listener::bind_tcp(addr).map_err(|e| format!("binding {addr}: {e}"))?);
+        eprintln!("listening on {addr} (framed)");
+    }
+    let config = ServerConfig {
+        workers: args.threads,
+        delta: args.delta,
+        ..ServerConfig::default()
+    };
+    let tenants = TenantMetrics::new();
+    let report = serve_framed(index, listeners, &config, &tenants, &log_serve_event)
+        .map_err(|e| format!("framed server: {e}"))?;
+    eprintln!(
+        "framed server: {} connections, {} frames in, {} replies out{}",
+        report.connections,
+        report.frames,
+        report.replies,
+        if report.shutdown {
+            ", graceful shutdown"
+        } else {
+            ""
+        },
+    );
+    eprintln!("tenants: {}", tenants.to_json());
     Ok(())
 }
 
@@ -808,6 +950,7 @@ fn log_serve_event(event: ServeEvent) {
         }
         ServeEvent::LineFailed { line, error } => match error {
             LineError::Malformed { reason } => eprintln!("bad query {line:?}: {reason}"),
+            LineError::Frame(v) => eprintln!("bad frame on {line:?}: {v}"),
             LineError::Rejected(e) => {
                 if let Some(op) = line.strip_prefix("delta ") {
                     eprintln!("delta {op:?} rejected: {e}");

@@ -17,6 +17,11 @@
 //!   repair: batched edge mutations apply into epoch-stamped graph
 //!   versions, and only the RR sets touching mutated edges regenerate
 //!   ([`delta::DeltaIndex`], [`delta::ConcurrentDeltaIndex`]).
+//! - [`serve`] — the sharded serving layer: RR pools partitioned by
+//!   chunk ownership across shards with merged greedy selection
+//!   ([`serve::ShardedDeltaIndex`]) behind a framed multi-connection
+//!   server ([`serve::serve_framed`]); output is bit-identical to the
+//!   sequential index for any shard count.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -28,6 +33,7 @@ pub use subsim_diffusion as diffusion;
 pub use subsim_graph as graph;
 pub use subsim_index as index;
 pub use subsim_sampling as sampling;
+pub use subsim_serve as serve;
 
 /// Commonly used items, collected for `use subsim::prelude::*;`.
 pub mod prelude {

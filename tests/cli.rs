@@ -833,3 +833,207 @@ fn query_server_without_delta_stream_rejects_delta_lines() {
     assert!(err.contains("served 1 queries"), "stderr: {err}");
     std::fs::remove_file(graph).ok();
 }
+
+/// `--shards N` is a pure parallelization knob: the stdout of a
+/// delta-stream session is byte-identical to the single-shard run.
+#[test]
+fn query_server_sharded_stdout_matches_single_shard() {
+    let graph = write_temp_graph("sharded_lockstep", "0 1 0.5\n1 2 0.5\n2 3 0.5\n3 0 0.5\n");
+    let script = b"2\n3\ndelta + 1 3 0.9\n2\nshutdown\n";
+    let run = |shards: &str| {
+        let mut child = cli()
+            .args([
+                "query-server",
+                "--graph",
+                graph.to_str().unwrap(),
+                "--delta-stream",
+                "--warm",
+                "64",
+                "--seed",
+                "7",
+                "--shards",
+                shards,
+            ])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.take().unwrap().write_all(script).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "shards={shards} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+    let single = run("1");
+    let sharded = run("3");
+    assert_eq!(
+        single.stdout, sharded.stdout,
+        "sharded answers diverge from single-shard"
+    );
+    let err = String::from_utf8_lossy(&sharded.stderr);
+    assert!(err.contains("3 shards"), "stderr: {err}");
+    assert!(err.contains("applied 1 deltas"), "stderr: {err}");
+    std::fs::remove_file(graph).ok();
+}
+
+/// `--framed --socket` serves the length-prefixed protocol: pipelined
+/// frames answer in order, malformed lines get typed error frames, and
+/// the socket file is removed on graceful shutdown.
+#[test]
+fn query_server_framed_socket_answers_pipelined_frames() {
+    use std::io::Read;
+    use std::os::unix::net::UnixStream;
+
+    let mut edges = String::new();
+    for leaf in 1..10 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("framed_socket", &edges);
+    let sock = std::env::temp_dir().join(format!("subsim_cli_framed_{}.s", std::process::id()));
+    let child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--model",
+            "uniform",
+            "--p",
+            "0.9",
+            "--shards",
+            "2",
+            "--framed",
+            "--socket",
+            sock.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let mut stream = loop {
+        match UnixStream::connect(&sock) {
+            Ok(s) => break s,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => panic!("framed socket never came up: {e}"),
+        }
+    };
+    let send = |stream: &mut UnixStream, line: &str| {
+        let mut buf = (line.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(line.as_bytes());
+        stream.write_all(&buf).unwrap();
+    };
+    let recv = |stream: &mut UnixStream| {
+        let mut header = [0u8; 4];
+        stream.read_exact(&mut header).unwrap();
+        let mut payload = vec![0u8; u32::from_be_bytes(header) as usize];
+        stream.read_exact(&mut payload).unwrap();
+        String::from_utf8(payload).unwrap()
+    };
+    // Pipeline everything before reading anything.
+    send(&mut stream, "1 0.1");
+    send(&mut stream, "bogus");
+    send(&mut stream, "1 0.1");
+    assert_eq!(recv(&mut stream), "0", "hub answers over the framed socket");
+    assert!(recv(&mut stream).starts_with("err malformed line:"));
+    assert_eq!(recv(&mut stream), "0");
+    send(&mut stream, "shutdown");
+    assert_eq!(recv(&mut stream), "ok shutdown");
+    drop(stream);
+
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("framed server:"), "stderr: {err}");
+    assert!(err.contains("graceful shutdown"), "stderr: {err}");
+    assert!(!sock.exists(), "socket file must be cleaned up at exit");
+    std::fs::remove_file(graph).ok();
+}
+
+/// A regular file squatting on the socket path is refused, not deleted;
+/// a stale socket left by a dead server is unlinked and reused.
+#[test]
+fn query_server_socket_startup_handles_stale_and_foreign_paths() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    let graph = write_temp_graph("socket_stale", "0 1\n0 2\n0 3\n");
+    let sock = std::env::temp_dir().join(format!("subsim_cli_stale_{}.s", std::process::id()));
+
+    // A non-socket file at the path is an error and survives the attempt.
+    std::fs::write(&sock, b"precious").unwrap();
+    let out = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--socket",
+            sock.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::null())
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("refusing to unlink"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::fs::read(&sock).unwrap(), b"precious");
+    std::fs::remove_file(&sock).unwrap();
+
+    // A stale socket (crashed server) is unlinked and the bind succeeds.
+    drop(std::os::unix::net::UnixListener::bind(&sock).unwrap());
+    assert!(sock.exists(), "stale socket file left behind");
+    let child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--model",
+            "uniform",
+            "--p",
+            "0.9",
+            "--socket",
+            sock.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let stream = loop {
+        match UnixStream::connect(&sock) {
+            Ok(s) => break s,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => panic!("server never rebound over the stale socket: {e}"),
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    stream.write_all(b"1 0.1\nshutdown\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "0");
+    drop(stream);
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!sock.exists(), "socket file must be cleaned up at exit");
+    std::fs::remove_file(graph).ok();
+}
