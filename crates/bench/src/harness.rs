@@ -11,9 +11,10 @@ use subsim_core::{Hist, ImAlgorithm, ImOptions, Imm, OpimC, Ssa};
 use subsim_delta::{DeltaIndex, GraphDelta, VersionedGraph};
 use subsim_diffusion::forward::{mc_influence, CascadeModel};
 use subsim_diffusion::pool::WorkerPool;
+use subsim_diffusion::RrCollection;
 use subsim_diffusion::{par_generate_chunks_static, RrContext, RrSampler, RrStrategy};
 use subsim_graph::{Graph, GraphStats, WeightModel};
-use subsim_index::{ConcurrentRrIndex, IndexConfig, RrIndex};
+use subsim_index::{ConcurrentRrIndex, IndexConfig, RrIndex, SENTINEL_WARMUP_CHUNKS};
 use subsim_sampling::rng_from_seed;
 use subsim_serve::ShardedDeltaIndex;
 
@@ -861,6 +862,129 @@ pub fn bench_pr6(scale: Scale, out_path: &str) {
          bit-identical to the sequential DeltaIndex; shard speedups require multiple \
          physical cores\"\n}}\n",
         provenance(threads),
+        g.n(),
+        g.m(),
+        rows.join(",\n"),
+    );
+    std::fs::write(out_path, json).expect("writing bench artifact");
+    println!("wrote {out_path}");
+}
+
+/// PR 7 artifact: sentinel-truncated RR generation (`BENCH_pr7.json`).
+///
+/// For each worker-thread count (1, 2, 4, … capped at the host's
+/// available cores, so workers map one-to-one onto real cores and are
+/// never oversubscribed), the same pool is built twice — plain and with
+/// the sentinel tier (HIST Alg 5 stopping) — and the artifact records
+/// generation throughput plus the mean RR set size over the
+/// post-warmup chunk range, where truncation bites. The witness
+/// condition, asserted before the artifact is written: sentinels must
+/// reduce the mean stopped-RR size on this high-influence WC workload.
+pub fn bench_pr7(scale: Scale, out_path: &str) {
+    header("PR7: sentinel-truncated RR generation");
+    let g = dataset("pokec-s", WeightModel::Wc, scale);
+    let (chunks, chunk_size, budget) = match scale {
+        Scale::Small => (64u64, 64usize, 16usize),
+        Scale::Paper => (256, 128, 64),
+    };
+    let sets = chunks as usize * chunk_size;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize];
+    while thread_counts.last().is_some_and(|&t| t * 2 <= cores) {
+        let next = thread_counts.last().unwrap() * 2;
+        thread_counts.push(next);
+    }
+    let r = reps(scale).max(3);
+    // Truncation starts after the plain warmup prefix in both runs, so
+    // the size comparison covers exactly the chunk range where the
+    // sentinel wrapper is active.
+    let from_sets = SENTINEL_WARMUP_CHUNKS as usize * chunk_size;
+    assert!(from_sets < sets, "pool must extend past the warmup prefix");
+
+    println!(
+        "graph n={} m={}, pool {sets} sets/half (chunks {chunks} x {chunk_size}), \
+         sentinel budget b={budget}, cores {cores}",
+        g.n(),
+        g.m()
+    );
+    println!(
+        "{:>7} {:>9} {:>10} {:>12} {:>13} {:>9}",
+        "threads", "sentinel", "warm_s", "sets_per_s", "mean_rr_size", "hit_rate"
+    );
+
+    let mean_tail = |rr: &RrCollection| {
+        let nodes: usize = (from_sets..rr.len()).map(|i| rr.get(i).len()).sum();
+        nodes as f64 / (rr.len() - from_sets) as f64
+    };
+
+    let mut rows = Vec::new();
+    let mut witness = (0.0f64, 0.0f64); // (plain, sentinel) tail means
+    for &threads in &thread_counts {
+        for (slot, &sentinels) in [0usize, budget].iter().enumerate() {
+            let config = IndexConfig::new(RrStrategy::SubsimIc)
+                .seed(1407)
+                .chunk_size(chunk_size)
+                .threads(threads)
+                .sentinels(sentinels);
+            let t_warm = median_secs(r, || {
+                let mut index = RrIndex::new(&g, config);
+                index.warm(sets).expect("warming pool");
+            });
+            let sps = (2 * sets) as f64 / t_warm.max(1e-12);
+            // One more build for content stats — the pool is a pure
+            // function of `(config, size)`, so it is the timed pool.
+            let mut index = RrIndex::new(&g, config);
+            index.warm(sets).expect("warming pool");
+            let hit_rate = index
+                .sentinel_state()
+                .map_or(0.0, |st| st.hit_rate(chunk_size));
+            let (_, r1, r2, _) = index.into_pool_parts();
+            let mean_size = (mean_tail(&r1) + mean_tail(&r2)) / 2.0;
+            if slot == 0 {
+                witness.0 = mean_size;
+            } else {
+                witness.1 = mean_size;
+            }
+            let mode = if sentinels > 0 { "on" } else { "off" };
+            println!(
+                "{threads:>7} {mode:>9} {t_warm:>10.4} {sps:>12.1} {mean_size:>13.2} {hit_rate:>9.3}"
+            );
+            rows.push(format!(
+                "    {{\"threads\": {threads}, \"sentinels\": {sentinels}, \
+                 \"warm_s\": {t_warm:.6}, \"sets_per_sec\": {sps:.1}, \
+                 \"mean_rr_size_post_warmup\": {mean_size:.4}, \
+                 \"sentinel_hit_rate\": {hit_rate:.4}}}"
+            ));
+        }
+    }
+    assert!(
+        witness.1 < witness.0,
+        "sentinel truncation must reduce the mean stopped-RR size: \
+         {:.4} (on) vs {:.4} (off)",
+        witness.1,
+        witness.0
+    );
+    println!(
+        "mean RR size over the truncated range: {:.2} plain -> {:.2} with sentinels ({:.1}% reduction)",
+        witness.0,
+        witness.1,
+        100.0 * (1.0 - witness.1 / witness.0)
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr7_sentinel_truncated_generation\",\n  {},\n  \
+         \"scale\": \"{scale:?}\",\n  \"dataset\": \"pokec-s\",\n  \"n\": {},\n  \"m\": {},\n  \
+         \"pool_sets_per_half\": {sets},\n  \"chunk_size\": {chunk_size},\n  \
+         \"sentinel_budget\": {budget},\n  \"warmup_sets\": {from_sets},\n  \
+         \"rows\": [\n{}\n  ],\n  \
+         \"note\": \"mean_rr_size_post_warmup covers the chunk range where Alg 5 stopping is \
+         active; the artifact is only written after asserting the sentinel-on mean is \
+         strictly below plain. thread counts are capped at the host's cores, one worker \
+         per core. answers from sentinel pools are certified statistically (see DESIGN.md), \
+         not bit-equal to plain pools\"\n}}\n",
+        provenance(*thread_counts.last().unwrap()),
         g.n(),
         g.m(),
         rows.join(",\n"),

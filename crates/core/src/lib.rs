@@ -32,6 +32,7 @@ pub mod error;
 pub mod options;
 pub mod pool;
 pub mod result;
+pub mod sentinel;
 
 pub use algorithms::{Celf, Dssa, Hist, Imm, McGreedy, OpimC, Ssa, TimPlus};
 pub use certificate::{certify_seed_set, certify_seed_set_auto, InfluenceCertificate};
@@ -42,6 +43,7 @@ pub use pool::{
     evaluate_pool_timed, evaluate_pool_timed_par, PoolEvaluation,
 };
 pub use result::{ImResult, RunStats};
+pub use sentinel::{evaluate_pool_sentinel, evaluate_pool_sentinel_sharded, SentinelSet};
 
 use subsim_graph::Graph;
 

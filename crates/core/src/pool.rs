@@ -122,7 +122,7 @@ pub fn evaluate_pool_sharded_indexed(
     finish_evaluation(out, r1s, r2s, n, delta_l, delta_u)
 }
 
-fn check_shards(r1s: &[&RrCollection], r2s: &[&RrCollection]) -> usize {
+pub(crate) fn check_shards(r1s: &[&RrCollection], r2s: &[&RrCollection]) -> usize {
     assert!(
         !r1s.is_empty() && !r2s.is_empty(),
         "need at least one shard"

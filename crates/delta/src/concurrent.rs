@@ -19,18 +19,20 @@
 use crate::delta::GraphDelta;
 use crate::error::DeltaError;
 use crate::index::DeltaIndex;
-use crate::repair::{repair_half, RepairReport};
+use crate::repair::{repair_pool, RepairReport};
 use crate::versioned::VersionedGraph;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
 use subsim_core::pool::evaluate_pool_timed_par;
+use subsim_core::sentinel::{evaluate_pool_sentinel, SentinelSet};
 use subsim_core::ImOptions;
 use subsim_diffusion::pool::WorkerPool;
 use subsim_diffusion::{RrCollection, RrSampler};
 use subsim_graph::Graph;
 use subsim_index::{
-    IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, QueryStats, R2_STREAM,
+    IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, QueryStats, SentinelState,
+    R2_STREAM, SENTINEL_WARMUP_CHUNKS,
 };
 
 /// One immutable published serving state: the graph at one version plus
@@ -43,6 +45,8 @@ pub struct DeltaSnapshot {
     r1: RrCollection,
     r2: RrCollection,
     chunks: u64,
+    /// Sentinel tier state at publish time; immutable like the halves.
+    sentinel: Option<SentinelState>,
 }
 
 impl DeltaSnapshot {
@@ -79,6 +83,11 @@ impl DeltaSnapshot {
     /// The validation half `R₂` (read-only).
     pub fn validation_pool(&self) -> &RrCollection {
         &self.r2
+    }
+
+    /// The sentinel tier state, if active.
+    pub fn sentinel_state(&self) -> Option<&SentinelState> {
+        self.sentinel.as_ref()
     }
 }
 
@@ -143,7 +152,7 @@ impl ConcurrentDeltaIndex {
     /// a snapshot file) for concurrent serving. The pool and version
     /// carry over unchanged; metrics restart.
     pub fn from_index(index: DeltaIndex) -> Self {
-        let (vg, config, r1, r2, chunks) = index.into_raw_parts();
+        let (vg, config, r1, r2, chunks, sentinel) = index.into_raw_parts();
         let snap = DeltaSnapshot {
             graph: vg.graph_arc(),
             version: vg.version(),
@@ -151,6 +160,7 @@ impl ConcurrentDeltaIndex {
             r1,
             r2,
             chunks,
+            sentinel,
         };
         ConcurrentDeltaIndex {
             config,
@@ -176,8 +186,16 @@ impl ConcurrentDeltaIndex {
             r1: arc.r1.clone(),
             r2: arc.r2.clone(),
             chunks: arc.chunks,
+            sentinel: arc.sentinel.clone(),
         });
-        DeltaIndex::from_raw_parts(ws.vg, self.config, snap.r1, snap.r2, snap.chunks)
+        DeltaIndex::from_raw_parts(
+            ws.vg,
+            self.config,
+            snap.r1,
+            snap.r2,
+            snap.chunks,
+            snap.sentinel,
+        )
     }
 
     /// The construction-time configuration.
@@ -279,14 +297,33 @@ impl ConcurrentDeltaIndex {
         let mut rounds = 0u32;
         loop {
             rounds += 1;
-            let (eval, cert_time) = evaluate_pool_timed_par(
-                &snap.r1,
-                &snap.r2,
-                k,
-                delta_iter,
-                delta_iter,
-                self.config.threads,
-            );
+            // Sentinel snapshots re-certify through the HIST-style round
+            // so the answer keeps the full (k, ε, δ) guarantee; plain
+            // snapshots run the standard OPIM round.
+            let (eval, cert_time) = match snap.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
+                Some(st) => {
+                    let t = Instant::now();
+                    let eval = evaluate_pool_sentinel(
+                        &snap.r1,
+                        &snap.r2,
+                        &st.set,
+                        &snap.graph,
+                        k,
+                        delta_iter,
+                        delta_iter,
+                        self.config.threads,
+                    );
+                    (eval, t.elapsed())
+                }
+                None => evaluate_pool_timed_par(
+                    &snap.r1,
+                    &snap.r2,
+                    k,
+                    delta_iter,
+                    delta_iter,
+                    self.config.threads,
+                ),
+            };
             self.metrics.record_selection(cert_time);
             let certified = eval.ratio() > target;
             if certified || snap.pool_len() as f64 >= theta_max {
@@ -342,22 +379,18 @@ impl ConcurrentDeltaIndex {
         let sampler = RrSampler::new(&graph, self.config.strategy);
         let chunk = self.config.chunk_size;
         let threads = self.config.threads;
-        let h1 = repair_half(
+        let out = repair_pool(
             &base.r1,
-            &targets,
+            &base.r2,
+            base.sentinel.as_ref(),
+            base.chunks,
+            delta,
+            &graph,
+            self.config.sentinels,
             &sampler,
             &ws.workers,
             chunk,
             self.config.seed,
-            threads,
-        )?;
-        let h2 = repair_half(
-            &base.r2,
-            &targets,
-            &sampler,
-            &ws.workers,
-            chunk,
-            self.config.seed ^ R2_STREAM,
             threads,
         )?;
         drop(sampler);
@@ -366,28 +399,28 @@ impl ConcurrentDeltaIndex {
             graph,
             version: ws.vg.version(),
             fingerprint: ws.vg.fingerprint(),
-            r1: h1.rr,
-            r2: h2.rr,
+            r1: out.r1,
+            r2: out.r2,
             chunks: base.chunks,
+            sentinel: out.sentinel,
         });
         self.publish(Arc::clone(&snap));
-        let regenerated = (h1.dirty_chunks + h2.dirty_chunks) * chunk;
+        let dirty_chunks = out.dirty_chunks_r1 + out.dirty_chunks_r2;
+        let regenerated = dirty_chunks * chunk;
         let report = RepairReport {
             version: snap.version,
             targets: targets.len(),
-            dirty_sets_r1: h1.dirty_sets,
-            dirty_sets_r2: h2.dirty_sets,
-            dirty_chunks_r1: h1.dirty_chunks,
-            dirty_chunks_r2: h2.dirty_chunks,
+            dirty_sets_r1: out.dirty_sets_r1,
+            dirty_sets_r2: out.dirty_sets_r2,
+            dirty_chunks_r1: out.dirty_chunks_r1,
+            dirty_chunks_r2: out.dirty_chunks_r2,
             regenerated_sets: regenerated,
             pool_sets: snap.r1.len() + snap.r2.len(),
+            sentinel_refreshed: out.sentinel_refreshed,
             elapsed: start.elapsed(),
         };
-        self.metrics.record_repair(
-            regenerated as u64,
-            (h1.dirty_chunks + h2.dirty_chunks) as u64,
-            report.elapsed,
-        );
+        self.metrics
+            .record_repair(regenerated as u64, dirty_chunks as u64, report.elapsed);
         Ok(report)
     }
 
@@ -422,6 +455,7 @@ impl ConcurrentDeltaIndex {
         let mut r1 = base.r1.clone();
         let mut r2 = base.r2.clone();
         let mut chunks = base.chunks;
+        let mut sentinel = base.sentinel.clone();
         let mut added = 0usize;
         let mut budget_err = None;
         while chunks < needed_chunks {
@@ -436,27 +470,54 @@ impl ConcurrentDeltaIndex {
                     break;
                 }
             }
-            let end = needed_chunks.min(chunks + slice);
+            // Crossing the plain warmup prefix activates the sentinel
+            // tier, exactly as the sequential index does.
+            if self.config.sentinels > 0 && sentinel.is_none() && chunks >= SENTINEL_WARMUP_CHUNKS {
+                sentinel = Some(SentinelState {
+                    set: SentinelSet::select(&[&r1], &graph, self.config.sentinels),
+                    from_chunk: chunks,
+                    chunk_hits_r1: vec![0; chunks as usize],
+                    chunk_hits_r2: vec![0; chunks as usize],
+                });
+            }
+            let mut end = needed_chunks.min(chunks + slice);
+            if self.config.sentinels > 0 && sentinel.is_none() {
+                // Still inside the warmup prefix: stop this slice at the
+                // boundary so the next iteration selects Z before any
+                // truncated chunk is generated.
+                end = end.min(SENTINEL_WARMUP_CHUNKS.max(chunks + 1));
+            }
+            let z = sentinel
+                .as_ref()
+                .filter(|st| !st.set.is_empty())
+                .map(|st| st.set.nodes());
+            let truncating = z.is_some();
             let b1 = ws.workers.try_generate_chunks(
                 &sampler,
-                None,
+                z,
                 chunks..end,
                 chunk,
                 self.config.seed,
             )?;
             let b2 = ws.workers.try_generate_chunks(
                 &sampler,
-                None,
+                z,
                 chunks..end,
                 chunk,
                 self.config.seed ^ R2_STREAM,
             )?;
-            self.metrics.record_generation(
-                (b1.rr.len() + b2.rr.len()) as u64,
-                (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,
-                b1.cost + b2.cost,
-                b1.elapsed + b2.elapsed,
-            );
+            if let Some(st) = sentinel.as_mut() {
+                st.chunk_hits_r1.extend_from_slice(&b1.chunk_hits);
+                st.chunk_hits_r2.extend_from_slice(&b2.chunk_hits);
+            }
+            let sets = (b1.rr.len() + b2.rr.len()) as u64;
+            let nodes = (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64;
+            self.metrics
+                .record_generation(sets, nodes, b1.cost + b2.cost, b1.elapsed + b2.elapsed);
+            if truncating {
+                self.metrics
+                    .record_sentinel(b1.sentinel_hits + b2.sentinel_hits, sets, nodes);
+            }
             added += b1.rr.len() + b2.rr.len();
             r1.extend_from(&b1.rr);
             r2.extend_from(&b2.rr);
@@ -470,6 +531,7 @@ impl ConcurrentDeltaIndex {
             r1,
             r2,
             chunks,
+            sentinel,
         });
         if added > 0 {
             self.publish(Arc::clone(&snap));
@@ -612,6 +674,76 @@ mod tests {
         let m = conc.metrics();
         assert_eq!(m.deltas_applied, 4);
         assert_eq!(m.queries, 15);
+    }
+
+    #[test]
+    fn sentinel_serving_matches_sequential_across_deltas() {
+        let cfg = config().sentinels(2);
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 46);
+        let mut seq = DeltaIndex::new(g.clone(), cfg).unwrap();
+        let conc = ConcurrentDeltaIndex::new(g, cfg).unwrap();
+        seq.warm(320).unwrap();
+        conc.warm(320).unwrap();
+        {
+            let snap = conc.load();
+            let a = seq.sentinel_state().expect("sequential sentinel active");
+            let b = snap.sentinel_state().expect("concurrent sentinel active");
+            assert_eq!(a.set.nodes(), b.set.nodes());
+            assert_eq!(a.from_chunk, b.from_chunk);
+            assert_eq!(a.chunk_hits_r1, b.chunk_hits_r1);
+            assert_eq!(a.chunk_hits_r2, b.chunk_hits_r2);
+        }
+        // A non-stale delta: endpoints avoid Z, both indexes repair to
+        // the same pool and keep the same Z.
+        let z = seq.sentinel_state().unwrap().set.nodes().to_vec();
+        let g_now = seq.graph();
+        let hub = (0..g_now.n() as u32)
+            .filter(|v| !z.contains(v))
+            .max_by_key(|&v| g_now.in_degree(v))
+            .unwrap();
+        let u = (0..g_now.n() as u32)
+            .find(|&u| !z.contains(&u) && u != hub && g_now.prob_of_edge(u, hub).is_none())
+            .unwrap();
+        let d = GraphDelta::new().insert_edge(u, hub, 0.5);
+        let ra = seq.apply_delta(&d).unwrap();
+        let rb = conc.apply_delta(&d).unwrap();
+        assert!(!ra.sentinel_refreshed);
+        assert!(!rb.sentinel_refreshed);
+        assert_eq!(ra.regenerated_sets, rb.regenerated_sets);
+        let snap = conc.load();
+        for i in 0..seq.pool_len() {
+            assert_eq!(seq.selection_pool().get(i), snap.selection_pool().get(i));
+            assert_eq!(seq.validation_pool().get(i), snap.validation_pool().get(i));
+        }
+        let a = seq.query(3, 0.1, 0.01).unwrap();
+        let b = conc.query(3, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+        assert!(a.stats.certified_by_bounds);
+        // A stale delta: both refresh and stay in lockstep (same Z' —
+        // selection is deterministic over the same repaired prefix).
+        let z = seq.sentinel_state().unwrap().set.nodes().to_vec();
+        let g_now = seq.graph();
+        let u = (0..g_now.n() as u32)
+            .find(|&u| !z.contains(&u) && g_now.prob_of_edge(u, z[0]).is_none())
+            .unwrap();
+        let d = GraphDelta::new().insert_edge(u, z[0], 0.9);
+        let ra = seq.apply_delta(&d).unwrap();
+        let rb = conc.apply_delta(&d).unwrap();
+        assert!(ra.sentinel_refreshed);
+        assert!(rb.sentinel_refreshed);
+        let snap = conc.load();
+        let a = seq.sentinel_state().unwrap();
+        let b = snap.sentinel_state().unwrap();
+        assert_eq!(a.set.nodes(), b.set.nodes());
+        assert_eq!(a.chunk_hits_r1, b.chunk_hits_r1);
+        for i in 0..seq.pool_len() {
+            assert_eq!(seq.selection_pool().get(i), snap.selection_pool().get(i));
+        }
+        let a = seq.query(3, 0.1, 0.01).unwrap();
+        let b = conc.query(3, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds);
     }
 
     #[test]

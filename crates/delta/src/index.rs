@@ -12,19 +12,21 @@
 
 use crate::delta::GraphDelta;
 use crate::error::DeltaError;
-use crate::repair::{repair_half, RepairReport};
+use crate::repair::{repair_pool, RepairReport};
 use crate::versioned::VersionedGraph;
 use std::path::Path;
 use std::time::Instant;
 use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
 use subsim_core::pool::evaluate_pool_timed_par;
+use subsim_core::sentinel::{evaluate_pool_sentinel, SentinelSet};
 use subsim_core::ImOptions;
 use subsim_diffusion::pool::WorkerPool;
 use subsim_diffusion::{RrCollection, RrSampler};
 use subsim_graph::Graph;
 use subsim_index::QueryStats;
 use subsim_index::{
-    IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, RrIndex, R2_STREAM,
+    IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, RrIndex, SentinelState,
+    R2_STREAM, SENTINEL_WARMUP_CHUNKS,
 };
 
 /// An RR-sketch index over a [`VersionedGraph`]: answers certified IM
@@ -54,6 +56,8 @@ pub struct DeltaIndex {
     r2: RrCollection,
     /// RNG cursor: complete chunks generated per half.
     chunks: u64,
+    /// Sentinel tier state (see [`subsim_index::SentinelState`]).
+    sentinel: Option<SentinelState>,
     workers: WorkerPool,
     metrics: IndexMetrics,
 }
@@ -89,6 +93,7 @@ impl DeltaIndex {
             r1: RrCollection::new(n),
             r2: RrCollection::new(n),
             chunks: 0,
+            sentinel: None,
             workers: WorkerPool::new(config.threads),
             metrics: IndexMetrics::default(),
         }
@@ -102,6 +107,7 @@ impl DeltaIndex {
         r1: RrCollection,
         r2: RrCollection,
         chunks: u64,
+        sentinel: Option<SentinelState>,
     ) -> Self {
         DeltaIndex {
             vg,
@@ -109,18 +115,34 @@ impl DeltaIndex {
             r1,
             r2,
             chunks,
+            sentinel,
             workers: WorkerPool::new(config.threads),
             metrics: IndexMetrics::default(),
         }
     }
 
-    /// Decomposes into `(vg, config, r1, r2, chunks)`, dropping workers
-    /// and metrics — the conversion point into
+    /// Decomposes into `(vg, config, r1, r2, chunks, sentinel)`, dropping
+    /// workers and metrics — the conversion point into
     /// [`crate::ConcurrentDeltaIndex`].
+    #[allow(clippy::type_complexity)]
     pub(crate) fn into_raw_parts(
         self,
-    ) -> (VersionedGraph, IndexConfig, RrCollection, RrCollection, u64) {
-        (self.vg, self.config, self.r1, self.r2, self.chunks)
+    ) -> (
+        VersionedGraph,
+        IndexConfig,
+        RrCollection,
+        RrCollection,
+        u64,
+        Option<SentinelState>,
+    ) {
+        (
+            self.vg,
+            self.config,
+            self.r1,
+            self.r2,
+            self.chunks,
+            self.sentinel,
+        )
     }
 
     /// The CSR at the current version.
@@ -175,6 +197,11 @@ impl DeltaIndex {
         &self.r2
     }
 
+    /// The sentinel tier state, if active.
+    pub fn sentinel_state(&self) -> Option<&SentinelState> {
+        self.sentinel.as_ref()
+    }
+
     /// Serving metrics (queries, generation, repairs).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
@@ -182,8 +209,10 @@ impl DeltaIndex {
 
     /// Pre-grows the pool to at least `sets` per half (whole chunks).
     pub fn warm(&mut self, sets: usize) -> Result<(), DeltaError> {
-        let sampler = RrSampler::new(self.vg.graph(), self.config.strategy);
+        let g = self.vg.graph();
+        let sampler = RrSampler::new(g, self.config.strategy);
         ensure_pool(
+            g,
             &sampler,
             &self.workers,
             &self.config,
@@ -191,6 +220,7 @@ impl DeltaIndex {
             &mut self.r1,
             &mut self.r2,
             &mut self.chunks,
+            &mut self.sentinel,
             sets,
         )?;
         Ok(())
@@ -213,6 +243,7 @@ impl DeltaIndex {
         let sampler = RrSampler::new(g, self.config.strategy);
         let pool_before = self.r1.len();
         let mut fresh = ensure_pool(
+            g,
             &sampler,
             &self.workers,
             &self.config,
@@ -220,19 +251,39 @@ impl DeltaIndex {
             &mut self.r1,
             &mut self.r2,
             &mut self.chunks,
+            &mut self.sentinel,
             theta0 as usize,
         )?;
         let mut rounds = 0u32;
         loop {
             rounds += 1;
-            let (eval, cert_time) = evaluate_pool_timed_par(
-                &self.r1,
-                &self.r2,
-                k,
-                delta_iter,
-                delta_iter,
-                self.config.threads,
-            );
+            // Sentinel pools re-certify through the HIST-style round so
+            // the answer keeps the full (k, ε, δ) guarantee; plain pools
+            // run the standard OPIM round.
+            let (eval, cert_time) = match self.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
+                Some(st) => {
+                    let t = Instant::now();
+                    let eval = evaluate_pool_sentinel(
+                        &self.r1,
+                        &self.r2,
+                        &st.set,
+                        g,
+                        k,
+                        delta_iter,
+                        delta_iter,
+                        self.config.threads,
+                    );
+                    (eval, t.elapsed())
+                }
+                None => evaluate_pool_timed_par(
+                    &self.r1,
+                    &self.r2,
+                    k,
+                    delta_iter,
+                    delta_iter,
+                    self.config.threads,
+                ),
+            };
             self.metrics.record_selection(cert_time);
             let certified = eval.ratio() > target;
             if certified || self.r1.len() as f64 >= theta_max {
@@ -262,6 +313,7 @@ impl DeltaIndex {
                 .saturating_mul(2)
                 .min(theta_max.ceil() as usize);
             fresh += ensure_pool(
+                g,
                 &sampler,
                 &self.workers,
                 &self.config,
@@ -269,6 +321,7 @@ impl DeltaIndex {
                 &mut self.r1,
                 &mut self.r2,
                 &mut self.chunks,
+                &mut self.sentinel,
                 next,
             )?;
         }
@@ -276,13 +329,19 @@ impl DeltaIndex {
 
     /// Applies `delta` to the graph and repairs the pool incrementally.
     ///
-    /// On success, both halves are bit-identical to what a full rebuild
-    /// of the same chunk range on the new graph version would hold — so
-    /// subsequent queries (and their certified bounds) match a fresh
-    /// index exactly. The sample accounting is repair-aware: pool sizes
-    /// are unchanged (`chunk_cursor` continues from where it was), and
-    /// every stored set is a valid i.i.d. RR sample of the *new* graph,
-    /// so the OPIM certificates re-derive on the next query without
+    /// With no sentinel tier, both halves come out bit-identical to a
+    /// full rebuild of the same chunk range on the new graph version —
+    /// so subsequent queries (and their certified bounds) match a fresh
+    /// index exactly. With a sentinel tier, truncated chunks whose set
+    /// `Z` survived the delta repair with the same exactness; a delta
+    /// touching a sentinel endpoint instead re-selects `Z'` over the
+    /// repaired plain prefix and regenerates the truncated suffix under
+    /// it (`RepairReport::sentinel_refreshed`), keeping the statistical
+    /// certification contract without promising bit-equivalence. Either
+    /// way the sample accounting is repair-aware: pool sizes are
+    /// unchanged (`chunk_cursor` continues from where it was), every
+    /// stored set is a valid i.i.d. RR sample of the *new* graph, and
+    /// the OPIM certificates re-derive on the next query without
     /// discarding clean samples.
     ///
     /// On error (validation failure, or a worker panic during repair),
@@ -297,45 +356,41 @@ impl DeltaIndex {
         let sampler = RrSampler::new(staged.graph(), self.config.strategy);
         let chunk = self.config.chunk_size;
         let threads = self.config.threads;
-        let h1 = repair_half(
+        let out = repair_pool(
             &self.r1,
-            &targets,
+            &self.r2,
+            self.sentinel.as_ref(),
+            self.chunks,
+            delta,
+            staged.graph(),
+            self.config.sentinels,
             &sampler,
             &self.workers,
             chunk,
             self.config.seed,
             threads,
         )?;
-        let h2 = repair_half(
-            &self.r2,
-            &targets,
-            &sampler,
-            &self.workers,
-            chunk,
-            self.config.seed ^ R2_STREAM,
-            threads,
-        )?;
         drop(sampler);
         self.vg = staged;
-        self.r1 = h1.rr;
-        self.r2 = h2.rr;
-        let regenerated = (h1.dirty_chunks + h2.dirty_chunks) * chunk;
+        self.r1 = out.r1;
+        self.r2 = out.r2;
+        self.sentinel = out.sentinel;
+        let dirty_chunks = out.dirty_chunks_r1 + out.dirty_chunks_r2;
+        let regenerated = dirty_chunks * chunk;
         let report = RepairReport {
             version: self.vg.version(),
             targets: targets.len(),
-            dirty_sets_r1: h1.dirty_sets,
-            dirty_sets_r2: h2.dirty_sets,
-            dirty_chunks_r1: h1.dirty_chunks,
-            dirty_chunks_r2: h2.dirty_chunks,
+            dirty_sets_r1: out.dirty_sets_r1,
+            dirty_sets_r2: out.dirty_sets_r2,
+            dirty_chunks_r1: out.dirty_chunks_r1,
+            dirty_chunks_r2: out.dirty_chunks_r2,
             regenerated_sets: regenerated,
             pool_sets: self.r1.len() + self.r2.len(),
+            sentinel_refreshed: out.sentinel_refreshed,
             elapsed: start.elapsed(),
         };
-        self.metrics.record_repair(
-            regenerated as u64,
-            (h1.dirty_chunks + h2.dirty_chunks) as u64,
-            report.elapsed,
-        );
+        self.metrics
+            .record_repair(regenerated as u64, dirty_chunks as u64, report.elapsed);
         Ok(report)
     }
 
@@ -343,13 +398,14 @@ impl DeltaIndex {
     /// **current version's** fingerprint — a snapshot taken at version
     /// `t` loads only against the graph at version `t`.
     pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), DeltaError> {
-        let idx = RrIndex::from_pool_parts(
+        let mut idx = RrIndex::from_pool_parts(
             self.vg.graph(),
             self.config,
             self.r1.clone(),
             self.r2.clone(),
             self.chunks,
         )?;
+        idx.set_sentinel_state(self.sentinel.clone())?;
         idx.save_to_path(path)?;
         Ok(())
     }
@@ -365,7 +421,8 @@ impl DeltaIndex {
         path: P,
     ) -> Result<Self, DeltaError> {
         let vg = VersionedGraph::new(g)?;
-        let loaded = RrIndex::load_from_path(vg.graph(), path)?;
+        let mut loaded = RrIndex::load_from_path(vg.graph(), path)?;
+        let sentinel = loaded.take_sentinel_state();
         let (loaded_config, r1, r2, chunks) = loaded.into_pool_parts();
         Ok(DeltaIndex {
             vg,
@@ -377,6 +434,7 @@ impl DeltaIndex {
             r1,
             r2,
             chunks,
+            sentinel,
             workers: WorkerPool::new(config.threads),
             metrics: IndexMetrics::default(),
         })
@@ -386,8 +444,12 @@ impl DeltaIndex {
 /// Grows both halves to at least `target_sets` each, continuing the chunk
 /// stream on the graph bound in `sampler` — the split-borrow form of
 /// [`RrIndex`]'s `ensure_pool`, shared by `warm` and the query loop.
+/// Mirrors the sentinel activation logic exactly: crossing the plain
+/// warmup prefix selects `Z` once over the plain chunks generated so
+/// far, and every later chunk runs through the Alg 5 stopping wrapper.
 #[allow(clippy::too_many_arguments)]
 fn ensure_pool(
+    g: &Graph,
     sampler: &RrSampler<'_>,
     workers: &WorkerPool,
     config: &IndexConfig,
@@ -395,6 +457,7 @@ fn ensure_pool(
     r1: &mut RrCollection,
     r2: &mut RrCollection,
     chunks: &mut u64,
+    sentinel: &mut Option<SentinelState>,
     target_sets: usize,
 ) -> Result<usize, DeltaError> {
     let chunk = config.chunk_size;
@@ -415,21 +478,44 @@ fn ensure_pool(
                 }));
             }
         }
-        let end = needed_chunks.min(*chunks + slice);
-        let b1 = workers.try_generate_chunks(sampler, None, *chunks..end, chunk, config.seed)?;
+        if config.sentinels > 0 && sentinel.is_none() && *chunks >= SENTINEL_WARMUP_CHUNKS {
+            *sentinel = Some(SentinelState {
+                set: SentinelSet::select(&[&*r1], g, config.sentinels),
+                from_chunk: *chunks,
+                chunk_hits_r1: vec![0; *chunks as usize],
+                chunk_hits_r2: vec![0; *chunks as usize],
+            });
+        }
+        let mut end = needed_chunks.min(*chunks + slice);
+        if config.sentinels > 0 && sentinel.is_none() {
+            // Still inside the warmup prefix: stop this slice at the
+            // boundary so the next iteration selects Z before any
+            // truncated chunk is generated.
+            end = end.min(SENTINEL_WARMUP_CHUNKS.max(*chunks + 1));
+        }
+        let z = sentinel
+            .as_ref()
+            .filter(|st| !st.set.is_empty())
+            .map(|st| st.set.nodes());
+        let truncating = z.is_some();
+        let b1 = workers.try_generate_chunks(sampler, z, *chunks..end, chunk, config.seed)?;
         let b2 = workers.try_generate_chunks(
             sampler,
-            None,
+            z,
             *chunks..end,
             chunk,
             config.seed ^ R2_STREAM,
         )?;
-        metrics.record_generation(
-            (b1.rr.len() + b2.rr.len()) as u64,
-            (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,
-            b1.cost + b2.cost,
-            b1.elapsed + b2.elapsed,
-        );
+        if let Some(st) = sentinel.as_mut() {
+            st.chunk_hits_r1.extend_from_slice(&b1.chunk_hits);
+            st.chunk_hits_r2.extend_from_slice(&b2.chunk_hits);
+        }
+        let sets = (b1.rr.len() + b2.rr.len()) as u64;
+        let nodes = (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64;
+        metrics.record_generation(sets, nodes, b1.cost + b2.cost, b1.elapsed + b2.elapsed);
+        if truncating {
+            metrics.record_sentinel(b1.sentinel_hits + b2.sentinel_hits, sets, nodes);
+        }
         added += b1.rr.len() + b2.rr.len();
         r1.extend_from(&b1.rr);
         r2.extend_from(&b2.rr);
@@ -510,6 +596,158 @@ mod tests {
         let m = index.metrics();
         assert_eq!(m.deltas_applied, 1);
         assert!(m.sets_repaired > 0);
+    }
+
+    fn sentinel_config() -> IndexConfig {
+        config().sentinels(2)
+    }
+
+    /// A delta whose endpoints avoid the sentinel set `z`.
+    fn non_stale_delta(g: &subsim_graph::Graph, z: &[u32]) -> GraphDelta {
+        let hub = (0..g.n() as u32)
+            .filter(|v| !z.contains(v))
+            .max_by_key(|&v| g.in_degree(v))
+            .unwrap();
+        let u = (0..g.n() as u32)
+            .find(|&u| !z.contains(&u) && u != hub && g.prob_of_edge(u, hub).is_none())
+            .expect("some non-sentinel node lacks an edge to the hub");
+        GraphDelta::new().insert_edge(u, hub, 0.5)
+    }
+
+    #[test]
+    fn sentinel_warm_matches_borrowing_index() {
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 34);
+        let vg = VersionedGraph::new(g).unwrap();
+        let norm = vg.graph().clone();
+        let mut delta_index = DeltaIndex::from_versioned(vg, sentinel_config());
+        let mut plain = subsim_index::RrIndex::new(&norm, sentinel_config());
+        delta_index.warm(320).unwrap();
+        plain.warm(320).unwrap();
+        assert_eq!(delta_index.pool_len(), plain.pool_len());
+        let a = delta_index.sentinel_state().expect("sentinel active");
+        let b = plain.sentinel_state().expect("sentinel active");
+        assert_eq!(a.set.nodes(), b.set.nodes());
+        assert_eq!(a.from_chunk, b.from_chunk);
+        assert_eq!(a.chunk_hits_r1, b.chunk_hits_r1);
+        assert_eq!(a.chunk_hits_r2, b.chunk_hits_r2);
+        for i in 0..delta_index.pool_len() {
+            assert_eq!(
+                delta_index.selection_pool().get(i),
+                plain.selection_pool().get(i),
+                "r1 {i}"
+            );
+        }
+        assert!(delta_index.metrics().truncated_sets_generated > 0);
+    }
+
+    #[test]
+    fn non_stale_delta_repairs_sentinel_pool_to_fixed_z_rebuild() {
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 35);
+        let mut index = DeltaIndex::new(g, sentinel_config()).unwrap();
+        index.warm(320).unwrap();
+        let st = index.sentinel_state().unwrap();
+        let z = st.set.nodes().to_vec();
+        let from_chunk = st.from_chunk;
+        let d = non_stale_delta(index.graph(), &z);
+        let report = index.apply_delta(&d).unwrap();
+        assert!(!report.sentinel_refreshed);
+        assert!(report.regenerated_sets > 0, "delta must dirty something");
+        let st = index.sentinel_state().unwrap();
+        assert_eq!(st.set.nodes(), z.as_slice(), "Z survives a non-stale delta");
+        assert_eq!(st.from_chunk, from_chunk);
+
+        // Reference: regenerate the full chunk range on the new graph
+        // with the same (kept) Z — repair must be bit-identical to it.
+        let cfg = sentinel_config();
+        let sampler = RrSampler::new(index.graph(), cfg.strategy);
+        let workers = WorkerPool::new(1);
+        let chunks = index.chunk_cursor();
+        for (half, seed, hits) in [
+            (index.selection_pool(), cfg.seed, &st.chunk_hits_r1),
+            (
+                index.validation_pool(),
+                cfg.seed ^ R2_STREAM,
+                &st.chunk_hits_r2,
+            ),
+        ] {
+            let plain =
+                workers.generate_chunks(&sampler, None, 0..from_chunk, cfg.chunk_size, seed);
+            let trunc = workers.generate_chunks(
+                &sampler,
+                Some(&z),
+                from_chunk..chunks,
+                cfg.chunk_size,
+                seed,
+            );
+            let boundary = from_chunk as usize * cfg.chunk_size;
+            for i in 0..half.len() {
+                let expect = if i < boundary {
+                    plain.rr.get(i)
+                } else {
+                    trunc.rr.get(i - boundary)
+                };
+                assert_eq!(half.get(i), expect, "set {i}");
+            }
+            assert_eq!(&hits[from_chunk as usize..], trunc.chunk_hits.as_slice());
+            assert!(hits[..from_chunk as usize].iter().all(|&h| h == 0));
+        }
+        let ans = index.query(3, 0.1, 0.01).unwrap();
+        assert!(ans.stats.certified_by_bounds);
+    }
+
+    #[test]
+    fn stale_delta_refreshes_sentinel_and_keeps_serving() {
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 36);
+        let mut index = DeltaIndex::new(g, sentinel_config()).unwrap();
+        index.warm(320).unwrap();
+        let st = index.sentinel_state().unwrap();
+        let z = st.set.nodes().to_vec();
+        let from_chunk = st.from_chunk;
+        let chunks = index.chunk_cursor();
+        // Rewire an edge into a sentinel: Z's selection basis is gone.
+        let u = (0..index.graph().n() as u32)
+            .find(|&u| !z.contains(&u) && index.graph().prob_of_edge(u, z[0]).is_none())
+            .unwrap();
+        let report = index
+            .apply_delta(&GraphDelta::new().insert_edge(u, z[0], 0.9))
+            .unwrap();
+        assert!(report.sentinel_refreshed);
+        // The whole truncated suffix regenerated, in both halves.
+        assert!(report.dirty_chunks_r1 >= (chunks - from_chunk) as usize);
+        assert!(report.dirty_chunks_r2 >= (chunks - from_chunk) as usize);
+        let st = index.sentinel_state().unwrap();
+        assert_eq!(st.from_chunk, from_chunk, "boundary survives a refresh");
+        assert!(!st.set.is_empty());
+        assert_eq!(st.chunk_hits_r1.len(), chunks as usize);
+        assert_eq!(st.chunk_hits_r2.len(), chunks as usize);
+        assert!(st.chunk_hits_r1[..from_chunk as usize]
+            .iter()
+            .all(|&h| h == 0));
+        assert_eq!(
+            index.pool_len(),
+            chunks as usize * sentinel_config().chunk_size
+        );
+        let ans = index.query(3, 0.1, 0.01).unwrap();
+        assert!(ans.stats.certified_by_bounds);
+    }
+
+    #[test]
+    fn sentinel_snapshot_round_trips() {
+        let dir = std::env::temp_dir().join("subsim_delta_sentinel_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.subsimix");
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 37);
+        let mut index = DeltaIndex::new(g.clone(), sentinel_config()).unwrap();
+        index.warm(320).unwrap();
+        index.save_snapshot(&path).unwrap();
+        let reloaded = DeltaIndex::load_snapshot(g, sentinel_config(), &path).unwrap();
+        let a = index.sentinel_state().unwrap();
+        let b = reloaded.sentinel_state().expect("sentinel state reloaded");
+        assert_eq!(a.set.nodes(), b.set.nodes());
+        assert_eq!(a.from_chunk, b.from_chunk);
+        assert_eq!(a.chunk_hits_r1, b.chunk_hits_r1);
+        assert_eq!(a.chunk_hits_r2, b.chunk_hits_r2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -30,10 +30,13 @@
 //! graph can only do so by having read the target's in-list — impossible
 //! for a set that didn't contain it.
 
+use crate::delta::GraphDelta;
 use std::time::Duration;
+use subsim_core::SentinelSet;
 use subsim_diffusion::pool::{PoolError, WorkerPool};
 use subsim_diffusion::{InvertedIndex, RrCollection, RrSampler};
-use subsim_graph::NodeId;
+use subsim_graph::{Graph, NodeId};
+use subsim_index::{SentinelState, R2_STREAM};
 
 /// What one repair (via [`repair_half`] on both halves, as
 /// [`crate::DeltaIndex::apply_delta`] does) did.
@@ -55,6 +58,9 @@ pub struct RepairReport {
     pub regenerated_sets: usize,
     /// Total sets stored (both halves) — the full-rebuild cost baseline.
     pub pool_sets: usize,
+    /// Whether the delta touched a sentinel endpoint, forcing a fresh
+    /// sentinel selection and a regeneration of the truncated suffix.
+    pub sentinel_refreshed: bool,
     /// Repair wall-clock.
     pub elapsed: Duration,
 }
@@ -213,6 +219,312 @@ pub fn repair_half_indexed(
         rr,
         dirty_sets: dirty_sets.len(),
         dirty_chunks: dirty_local.len(),
+    })
+}
+
+/// Outcome of repairing one sentinel-tier pool half.
+#[derive(Debug)]
+pub struct RepairedSentinelHalf {
+    /// The repaired collection (same length as the input).
+    pub rr: RrCollection,
+    /// Dirty sets detected.
+    pub dirty_sets: usize,
+    /// Chunks regenerated.
+    pub dirty_chunks: usize,
+    /// Per-chunk sentinel-hit counters after repair (same length as the
+    /// input; only regenerated truncated chunks change).
+    pub chunk_hits: Vec<u64>,
+}
+
+/// [`repair_half`] for a half whose chunks at positions `>= from_chunk`
+/// were generated through the Alg 5 stopping wrapper with sentinel set
+/// `z` (see [`subsim_index::SentinelState`]).
+///
+/// Dirtiness detection is unchanged: a truncated traversal also consumes
+/// randomness strictly per *visited* node and stops at the sentinel
+/// without ever reading the sentinel's in-list, so a truncated set not
+/// containing a mutated target replays bit-identically on the new graph
+/// as long as `z` itself is unchanged. Dirty chunks below `from_chunk`
+/// regenerate plain; dirty chunks at or above regenerate under `z`, and
+/// their recorded hit counters are replaced by the fresh counts.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_half_sentinel(
+    pool: &RrCollection,
+    targets: &[NodeId],
+    z: &[NodeId],
+    from_chunk: u64,
+    old_hits: &[u64],
+    sampler: &RrSampler<'_>,
+    workers: &WorkerPool,
+    chunk_size: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<RepairedSentinelHalf, PoolError> {
+    assert!(chunk_size > 0, "chunks must hold at least one set");
+    assert_eq!(
+        pool.len() % chunk_size,
+        0,
+        "pool half must be a whole number of chunks"
+    );
+    assert_eq!(
+        old_hits.len(),
+        pool.len() / chunk_size,
+        "one hit counter per stored chunk"
+    );
+    let inv = InvertedIndex::build_parallel(pool, threads);
+    let mut dirty_sets: Vec<u32> = targets
+        .iter()
+        .flat_map(|&t| inv.sets_containing(t))
+        .copied()
+        .collect();
+    dirty_sets.sort_unstable();
+    dirty_sets.dedup();
+    let mut dirty_local: Vec<u64> = dirty_sets
+        .iter()
+        .map(|&s| s as u64 / chunk_size as u64)
+        .collect();
+    dirty_local.dedup(); // dirty_sets sorted => chunk positions sorted
+
+    let mut chunk_hits = old_hits.to_vec();
+    if dirty_local.is_empty() {
+        return Ok(RepairedSentinelHalf {
+            rr: pool.clone(),
+            dirty_sets: dirty_sets.len(),
+            dirty_chunks: 0,
+            chunk_hits,
+        });
+    }
+
+    let plain_ids: Vec<u64> = dirty_local
+        .iter()
+        .copied()
+        .filter(|&c| c < from_chunk)
+        .collect();
+    let trunc_ids: Vec<u64> = dirty_local
+        .iter()
+        .copied()
+        .filter(|&c| c >= from_chunk)
+        .collect();
+    let plain = if plain_ids.is_empty() {
+        None
+    } else {
+        Some(workers.try_generate_chunk_ids(sampler, None, &plain_ids, chunk_size, seed)?)
+    };
+    let trunc = if trunc_ids.is_empty() {
+        None
+    } else {
+        Some(workers.try_generate_chunk_ids(sampler, Some(z), &trunc_ids, chunk_size, seed)?)
+    };
+    if let Some(batch) = &trunc {
+        for (j, &c) in trunc_ids.iter().enumerate() {
+            chunk_hits[c as usize] = batch.chunk_hits[j];
+        }
+    }
+
+    let mut rr = RrCollection::new(pool.graph_n());
+    let mut cursor = 0usize;
+    let (mut pi, mut ti) = (0usize, 0usize);
+    for &c in &dirty_local {
+        let lo = c as usize * chunk_size;
+        rr.extend_from_range(pool, cursor..lo);
+        if c < from_chunk {
+            let b = plain.as_ref().expect("plain batch exists for plain chunk");
+            rr.extend_from_range(&b.rr, pi * chunk_size..(pi + 1) * chunk_size);
+            pi += 1;
+        } else {
+            let b = trunc
+                .as_ref()
+                .expect("truncated batch exists for truncated chunk");
+            rr.extend_from_range(&b.rr, ti * chunk_size..(ti + 1) * chunk_size);
+            ti += 1;
+        }
+        cursor = lo + chunk_size;
+    }
+    rr.extend_from_range(pool, cursor..pool.len());
+    debug_assert_eq!(rr.len(), pool.len());
+    Ok(RepairedSentinelHalf {
+        rr,
+        dirty_sets: dirty_sets.len(),
+        dirty_chunks: dirty_local.len(),
+        chunk_hits,
+    })
+}
+
+/// Everything a delta commit needs back from [`repair_pool`].
+pub(crate) struct PoolRepairOutcome {
+    pub r1: RrCollection,
+    pub r2: RrCollection,
+    pub sentinel: Option<SentinelState>,
+    pub dirty_sets_r1: usize,
+    pub dirty_sets_r2: usize,
+    pub dirty_chunks_r1: usize,
+    pub dirty_chunks_r2: usize,
+    pub sentinel_refreshed: bool,
+}
+
+/// Repairs both pool halves — and the sentinel tier, if present —
+/// against the new graph bound in `sampler`. The shared engine behind
+/// [`crate::DeltaIndex::apply_delta`] and the concurrent wrapper.
+///
+/// Without a sentinel this is two [`repair_half`] calls (bit-exact
+/// rebuild equivalence). With a sentinel whose set `Z` is untouched by
+/// the delta (no op endpoint in `Z`), both halves repair through
+/// [`repair_half_sentinel`]: the truncation boundary is preserved and
+/// per-chunk hit counters refresh for regenerated truncated chunks.
+/// When the delta rewires a sentinel's own edges, `Z`'s selection basis
+/// is gone: the plain warmup prefix is repaired exactly, a new `Z'` is
+/// re-selected over the repaired `R₁` prefix, and the whole truncated
+/// suffix regenerates under `Z'`. The statistical certification
+/// contract holds throughout — every stored set remains a valid sample
+/// of the new graph and bounds re-derive per query — but bit-equivalence
+/// to a fresh rebuild is not promised for a refreshed suffix.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn repair_pool(
+    r1: &RrCollection,
+    r2: &RrCollection,
+    sentinel: Option<&SentinelState>,
+    chunks: u64,
+    delta: &GraphDelta,
+    g_new: &Graph,
+    sentinel_budget: usize,
+    sampler: &RrSampler<'_>,
+    workers: &WorkerPool,
+    chunk_size: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<PoolRepairOutcome, PoolError> {
+    let targets = delta.targets();
+    let Some(st) = sentinel.filter(|st| !st.set.is_empty()) else {
+        let h1 = repair_half(r1, &targets, sampler, workers, chunk_size, seed, threads)?;
+        let h2 = repair_half(
+            r2,
+            &targets,
+            sampler,
+            workers,
+            chunk_size,
+            seed ^ R2_STREAM,
+            threads,
+        )?;
+        return Ok(PoolRepairOutcome {
+            r1: h1.rr,
+            r2: h2.rr,
+            sentinel: sentinel.cloned(),
+            dirty_sets_r1: h1.dirty_sets,
+            dirty_sets_r2: h2.dirty_sets,
+            dirty_chunks_r1: h1.dirty_chunks,
+            dirty_chunks_r2: h2.dirty_chunks,
+            sentinel_refreshed: false,
+        });
+    };
+    let stale = delta.ops().iter().any(|op| {
+        let (u, v) = op.endpoints();
+        st.set.contains(u) || st.set.contains(v)
+    });
+    if !stale {
+        let h1 = repair_half_sentinel(
+            r1,
+            &targets,
+            st.set.nodes(),
+            st.from_chunk,
+            &st.chunk_hits_r1,
+            sampler,
+            workers,
+            chunk_size,
+            seed,
+            threads,
+        )?;
+        let h2 = repair_half_sentinel(
+            r2,
+            &targets,
+            st.set.nodes(),
+            st.from_chunk,
+            &st.chunk_hits_r2,
+            sampler,
+            workers,
+            chunk_size,
+            seed ^ R2_STREAM,
+            threads,
+        )?;
+        return Ok(PoolRepairOutcome {
+            r1: h1.rr,
+            r2: h2.rr,
+            sentinel: Some(SentinelState {
+                set: st.set.clone(),
+                from_chunk: st.from_chunk,
+                chunk_hits_r1: h1.chunk_hits,
+                chunk_hits_r2: h2.chunk_hits,
+            }),
+            dirty_sets_r1: h1.dirty_sets,
+            dirty_sets_r2: h2.dirty_sets,
+            dirty_chunks_r1: h1.dirty_chunks,
+            dirty_chunks_r2: h2.dirty_chunks,
+            sentinel_refreshed: false,
+        });
+    }
+    // Stale sentinel: repair the plain prefix exactly, re-select Z' over
+    // it, then regenerate the whole truncated suffix under Z'.
+    let n = r1.graph_n();
+    let prefix_sets = (st.from_chunk as usize) * chunk_size;
+    let mut p1 = RrCollection::new(n);
+    p1.extend_from_range(r1, 0..prefix_sets);
+    let mut p2 = RrCollection::new(n);
+    p2.extend_from_range(r2, 0..prefix_sets);
+    let h1 = repair_half(&p1, &targets, sampler, workers, chunk_size, seed, threads)?;
+    let h2 = repair_half(
+        &p2,
+        &targets,
+        sampler,
+        workers,
+        chunk_size,
+        seed ^ R2_STREAM,
+        threads,
+    )?;
+    let budget = if sentinel_budget > 0 {
+        sentinel_budget
+    } else {
+        st.set.len()
+    };
+    let fresh = SentinelSet::select(&[&h1.rr], g_new, budget);
+    let suffix_chunks = chunks.saturating_sub(st.from_chunk) as usize;
+    let mut out1 = h1.rr;
+    let mut out2 = h2.rr;
+    let mut hits1 = vec![0u64; st.from_chunk as usize];
+    let mut hits2 = vec![0u64; st.from_chunk as usize];
+    if suffix_chunks > 0 {
+        let z = (!fresh.is_empty()).then(|| fresh.nodes().to_vec());
+        let b1 = workers.try_generate_chunks(
+            sampler,
+            z.as_deref(),
+            st.from_chunk..chunks,
+            chunk_size,
+            seed,
+        )?;
+        let b2 = workers.try_generate_chunks(
+            sampler,
+            z.as_deref(),
+            st.from_chunk..chunks,
+            chunk_size,
+            seed ^ R2_STREAM,
+        )?;
+        hits1.extend_from_slice(&b1.chunk_hits);
+        hits2.extend_from_slice(&b2.chunk_hits);
+        out1.extend_from(&b1.rr);
+        out2.extend_from(&b2.rr);
+    }
+    Ok(PoolRepairOutcome {
+        r1: out1,
+        r2: out2,
+        sentinel: Some(SentinelState {
+            set: fresh,
+            from_chunk: st.from_chunk,
+            chunk_hits_r1: hits1,
+            chunk_hits_r2: hits2,
+        }),
+        dirty_sets_r1: h1.dirty_sets,
+        dirty_sets_r2: h2.dirty_sets,
+        dirty_chunks_r1: h1.dirty_chunks + suffix_chunks,
+        dirty_chunks_r2: h2.dirty_chunks + suffix_chunks,
+        sentinel_refreshed: true,
     })
 }
 

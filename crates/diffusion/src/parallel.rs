@@ -46,6 +46,10 @@ pub struct ParBatch {
     /// Cost proxy of each chunk, in chunk order (empty for non-chunked
     /// batches). Sums to [`ParBatch::cost`].
     pub chunk_costs: Vec<u64>,
+    /// Sentinel hits of each chunk, in chunk order (empty for non-chunked
+    /// batches). Sums to [`ParBatch::sentinel_hits`]; all-zero when no
+    /// sentinel was installed.
+    pub chunk_hits: Vec<u64>,
 }
 
 /// Generates `count` random RR sets across `threads` workers.
@@ -78,6 +82,7 @@ pub fn par_generate(
             elapsed: start.elapsed(),
             chunk_workers: Vec::new(),
             chunk_costs: Vec::new(),
+            chunk_hits: Vec::new(),
         };
     }
 
@@ -120,6 +125,7 @@ pub fn par_generate(
         elapsed: start.elapsed(),
         chunk_workers: Vec::new(),
         chunk_costs: Vec::new(),
+        chunk_hits: Vec::new(),
     }
 }
 
@@ -187,6 +193,7 @@ pub fn par_generate_chunks_static(
             elapsed: Duration::ZERO,
             chunk_workers: Vec::new(),
             chunk_costs: Vec::new(),
+            chunk_hits: Vec::new(),
         };
     }
 
@@ -235,6 +242,7 @@ pub fn par_generate_chunks_static(
         // telemetry is a property of the work-stealing scheduler.
         chunk_workers: Vec::new(),
         chunk_costs: Vec::new(),
+        chunk_hits: Vec::new(),
     }
 }
 

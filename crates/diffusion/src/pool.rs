@@ -403,6 +403,7 @@ impl WorkerPool {
                 elapsed: Duration::ZERO,
                 chunk_workers: Vec::new(),
                 chunk_costs: Vec::new(),
+                chunk_hits: Vec::new(),
             });
         }
         let hook = relock(&self.chunk_hook).clone();
@@ -449,6 +450,7 @@ impl WorkerPool {
         let (mut cost, mut hits) = (0u64, 0u64);
         let mut chunk_workers = Vec::with_capacity(count);
         let mut chunk_costs = Vec::with_capacity(count);
+        let mut chunk_hits = Vec::with_capacity(count);
         for slot in &slots {
             let out = slot.get().expect("a claimed chunk was never generated");
             rr.extend_from(&out.rr);
@@ -456,6 +458,7 @@ impl WorkerPool {
             hits += out.sentinel_hits;
             chunk_workers.push(out.worker);
             chunk_costs.push(out.cost);
+            chunk_hits.push(out.sentinel_hits);
         }
         Ok(ParBatch {
             rr,
@@ -464,6 +467,7 @@ impl WorkerPool {
             elapsed: start.elapsed(),
             chunk_workers,
             chunk_costs,
+            chunk_hits,
         })
     }
 }
@@ -557,6 +561,8 @@ mod tests {
         assert!(batch.chunk_workers.iter().all(|&w| (w as usize) < 4));
         assert_eq!(batch.chunk_costs.iter().sum::<u64>(), batch.cost);
         assert!(batch.chunk_costs.iter().all(|&c| c > 0));
+        assert_eq!(batch.chunk_hits.len(), 10);
+        assert!(batch.chunk_hits.iter().all(|&h| h == 0));
     }
 
     #[test]
@@ -567,6 +573,7 @@ mod tests {
         let pool = WorkerPool::new(2);
         let trunc = pool.generate_chunks(&sampler, Some(&[hub]), 0..40, 32, 97);
         assert!(trunc.sentinel_hits > 0);
+        assert_eq!(trunc.chunk_hits.iter().sum::<u64>(), trunc.sentinel_hits);
         // The next batch over the same pool must not inherit the sentinel.
         let plain = pool.generate_chunks(&sampler, None, 0..40, 32, 97);
         assert_eq!(plain.sentinel_hits, 0);

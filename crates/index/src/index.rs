@@ -5,6 +5,7 @@ use crate::stats::{IndexCounters, QueryStats};
 use std::time::Instant;
 use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
 use subsim_core::pool::evaluate_pool_par;
+use subsim_core::sentinel::{evaluate_pool_sentinel, SentinelSet};
 use subsim_core::ImOptions;
 use subsim_diffusion::pool::{ChunkHook, WorkerPool};
 use subsim_diffusion::{RrCollection, RrSampler, RrStrategy};
@@ -16,6 +17,85 @@ use subsim_graph::{Graph, NodeId};
 /// Public so out-of-crate pool owners (the delta-repair engine) can
 /// regenerate `R₂` chunks on the exact stream this index uses.
 pub const R2_STREAM: u64 = 0xd2b7_4407_b1ce_6e93;
+
+/// Chunks per half generated *plain* before the sentinel tier activates
+/// (when [`IndexConfig::sentinels`] `> 0`).
+///
+/// The warmup prefix serves two purposes: it is the i.i.d. sample the
+/// sentinel set is selected over (a hitting set needs untruncated sets to
+/// hit), and it anchors determinism — a sentinel pool's content is a pure
+/// function of `(config, size)` because the boundary is a constant, not a
+/// query-order artifact.
+pub const SENTINEL_WARMUP_CHUNKS: u64 = 4;
+
+/// Sentinel tier state of one pool: the set `Z`, the chunk boundary where
+/// truncation starts, and per-chunk hit counters for both halves.
+///
+/// Chunks `0..from_chunk` are plain (Algorithm 5 never ran); chunks at or
+/// above `from_chunk` were generated with every traversal stopping at the
+/// first `Z` member it visits. The hit vectors are indexed by chunk id
+/// (length = chunk cursor, zero below `from_chunk`), so chunk-granular
+/// delta repair can keep them consistent when it regenerates a chunk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SentinelState {
+    /// The sentinel set, in greedy pick order (order matters: queries
+    /// with `k < |Z|` answer with the prefix `Z[..k]`).
+    pub set: SentinelSet,
+    /// First chunk generated under truncation.
+    pub from_chunk: u64,
+    /// Sentinel hits per `R₁` chunk, indexed by chunk id.
+    pub chunk_hits_r1: Vec<u64>,
+    /// Sentinel hits per `R₂` chunk, indexed by chunk id.
+    pub chunk_hits_r2: Vec<u64>,
+}
+
+impl SentinelState {
+    /// Total sentinel hits across both halves.
+    pub fn total_hits(&self) -> u64 {
+        self.chunk_hits_r1.iter().sum::<u64>() + self.chunk_hits_r2.iter().sum::<u64>()
+    }
+
+    /// Chunks per half generated under truncation so far.
+    pub fn truncated_chunks(&self) -> u64 {
+        (self.chunk_hits_r1.len() as u64).saturating_sub(self.from_chunk)
+    }
+
+    /// Fraction of truncated traversals that stopped at a sentinel
+    /// (`0.0` before any truncated chunk exists). The testkit's oracle
+    /// tier checks this against the exact stop rate `σ(Z)/n`.
+    pub fn hit_rate(&self, chunk_size: usize) -> f64 {
+        let sets = 2 * self.truncated_chunks() * chunk_size as u64;
+        if sets == 0 {
+            0.0
+        } else {
+            self.total_hits() as f64 / sets as f64
+        }
+    }
+
+    /// Structural validity against a pool's `(n, chunks)`: boundary inside
+    /// the cursor, one hit counter per chunk in each half, all sentinel
+    /// nodes in range. Returns a human-readable reason on failure.
+    pub fn validate(&self, n: usize, chunks: u64) -> Result<(), String> {
+        if self.from_chunk > chunks {
+            return Err(format!(
+                "sentinel boundary {} is beyond the chunk cursor {chunks}",
+                self.from_chunk
+            ));
+        }
+        for (half, hits) in [("r1", &self.chunk_hits_r1), ("r2", &self.chunk_hits_r2)] {
+            if hits.len() as u64 != chunks {
+                return Err(format!(
+                    "sentinel {half} hit counters cover {} chunks, cursor is {chunks}",
+                    hits.len()
+                ));
+            }
+        }
+        if let Some(&v) = self.set.nodes().iter().find(|&&v| v as usize >= n) {
+            return Err(format!("sentinel node {v} out of range for {n} nodes"));
+        }
+        Ok(())
+    }
+}
 
 /// Construction-time parameters of an [`RrIndex`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +114,13 @@ pub struct IndexConfig {
     /// Cap on arena node entries across both pool halves; growth past it
     /// fails with [`IndexError::MemoryBudget`] instead of eating all RAM.
     pub max_nodes: Option<usize>,
+    /// Sentinel-set size `b` for the sentinel pool tier; `0` (the
+    /// default) keeps the pool fully plain. When positive, the pool grows
+    /// [`SENTINEL_WARMUP_CHUNKS`] plain chunks, selects `b` sentinels
+    /// over them, and generates every later chunk under Algorithm 5
+    /// truncation — warm queries re-certify the OPIM union bound through
+    /// `subsim_core::sentinel`, keeping the full `(k, ε, δ)` guarantee.
+    pub sentinels: usize,
 }
 
 impl IndexConfig {
@@ -46,6 +133,7 @@ impl IndexConfig {
             threads: 1,
             chunk_size: 256,
             max_nodes: None,
+            sentinels: 0,
         }
     }
 
@@ -72,6 +160,13 @@ impl IndexConfig {
     /// Sets the node budget.
     pub fn max_nodes(mut self, max_nodes: usize) -> Self {
         self.max_nodes = Some(max_nodes);
+        self
+    }
+
+    /// Enables the sentinel tier with a sentinel set of size `b`
+    /// (`0` disables it).
+    pub fn sentinels(mut self, b: usize) -> Self {
+        self.sentinels = b;
         self
     }
 }
@@ -124,6 +219,9 @@ pub struct RrIndex<'g> {
     pub(crate) r2: RrCollection,
     /// RNG cursor: complete chunks generated per half.
     pub(crate) chunks: u64,
+    /// Sentinel tier state; `None` while the pool is fully plain (tier
+    /// disabled, or still inside the warmup prefix).
+    pub(crate) sentinel: Option<SentinelState>,
     pub(crate) counters: IndexCounters,
     /// Persistent generation workers, spawned on the first top-up and
     /// reused across growth rounds (rebuilt if `threads` changes).
@@ -156,6 +254,7 @@ impl<'g> RrIndex<'g> {
             r1: RrCollection::new(g.n()),
             r2: RrCollection::new(g.n()),
             chunks: 0,
+            sentinel: None,
             counters: IndexCounters::default(),
             workers: None,
             chunk_hook: None,
@@ -178,6 +277,7 @@ impl<'g> RrIndex<'g> {
             r1,
             r2,
             chunks,
+            sentinel: None,
             counters: IndexCounters::default(),
             workers: None,
             chunk_hook: None,
@@ -195,11 +295,28 @@ impl<'g> RrIndex<'g> {
         }
     }
 
-    /// Decomposes the index into `(graph, config, r1, r2, chunks)`,
-    /// dropping the sampler and lifetime counters — the conversion point
-    /// into [`crate::ConcurrentRrIndex`].
-    pub(crate) fn into_parts(self) -> (&'g Graph, IndexConfig, RrCollection, RrCollection, u64) {
-        (self.g, self.config, self.r1, self.r2, self.chunks)
+    /// Decomposes the index into `(graph, config, r1, r2, chunks,
+    /// sentinel)`, dropping the sampler and lifetime counters — the
+    /// conversion point into [`crate::ConcurrentRrIndex`].
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        &'g Graph,
+        IndexConfig,
+        RrCollection,
+        RrCollection,
+        u64,
+        Option<SentinelState>,
+    ) {
+        (
+            self.g,
+            self.config,
+            self.r1,
+            self.r2,
+            self.chunks,
+            self.sentinel,
+        )
     }
 
     /// Rebuilds an index from externally held pool halves, validating the
@@ -247,6 +364,31 @@ impl<'g> RrIndex<'g> {
     /// separately.
     pub fn into_pool_parts(self) -> (IndexConfig, RrCollection, RrCollection, u64) {
         (self.config, self.r1, self.r2, self.chunks)
+    }
+
+    /// The sentinel tier state, if active.
+    pub fn sentinel_state(&self) -> Option<&SentinelState> {
+        self.sentinel.as_ref()
+    }
+
+    /// Installs (or clears) externally held sentinel state — the seam for
+    /// snapshot loading and the delta-repair engine. The state must be
+    /// structurally consistent with the current pool
+    /// ([`SentinelState::validate`]).
+    pub fn set_sentinel_state(&mut self, state: Option<SentinelState>) -> Result<(), IndexError> {
+        if let Some(st) = &state {
+            st.validate(self.g.n(), self.chunks)
+                .map_err(|reason| IndexError::SnapshotMismatch { reason })?;
+        }
+        self.sentinel = state;
+        Ok(())
+    }
+
+    /// Removes and returns the sentinel tier state (the pool keeps its
+    /// truncated chunks; callers doing this must regenerate them or
+    /// reinstall a state before relying on plain-pool semantics).
+    pub fn take_sentinel_state(&mut self) -> Option<SentinelState> {
+        self.sentinel.take()
     }
 
     /// The indexed graph.
@@ -338,14 +480,29 @@ impl<'g> RrIndex<'g> {
         let mut rounds = 0u32;
         loop {
             rounds += 1;
-            let eval = evaluate_pool_par(
-                &self.r1,
-                &self.r2,
-                k,
-                delta_iter,
-                delta_iter,
-                self.config.threads,
-            );
+            // Sentinel pools re-certify through the HIST-style round so
+            // the answer keeps the full (k, ε, δ) guarantee; plain pools
+            // run the standard OPIM round.
+            let eval = match &self.sentinel {
+                Some(st) if !st.set.is_empty() => evaluate_pool_sentinel(
+                    &self.r1,
+                    &self.r2,
+                    &st.set,
+                    self.g,
+                    k,
+                    delta_iter,
+                    delta_iter,
+                    self.config.threads,
+                ),
+                _ => evaluate_pool_par(
+                    &self.r1,
+                    &self.r2,
+                    k,
+                    delta_iter,
+                    delta_iter,
+                    self.config.threads,
+                ),
+            };
             let certified = eval.ratio() > target;
             if certified || self.pool_len() as f64 >= theta_max {
                 let elapsed = start.elapsed();
@@ -418,24 +575,59 @@ impl<'g> RrIndex<'g> {
                     });
                 }
             }
-            let end = needed_chunks.min(self.chunks + slice);
+            // Crossing the plain warmup prefix activates the sentinel
+            // tier: Z is selected once, over exactly the plain chunks
+            // generated so far.
+            if self.config.sentinels > 0
+                && self.sentinel.is_none()
+                && self.chunks >= SENTINEL_WARMUP_CHUNKS
+            {
+                self.sentinel = Some(SentinelState {
+                    set: SentinelSet::select(&[&self.r1], self.g, self.config.sentinels),
+                    from_chunk: self.chunks,
+                    chunk_hits_r1: vec![0; self.chunks as usize],
+                    chunk_hits_r2: vec![0; self.chunks as usize],
+                });
+            }
+            let mut end = needed_chunks.min(self.chunks + slice);
+            if self.config.sentinels > 0 && self.sentinel.is_none() {
+                // Still inside the warmup prefix: stop this slice at the
+                // boundary so the next iteration selects Z before any
+                // truncated chunk is generated.
+                end = end.min(SENTINEL_WARMUP_CHUNKS.max(self.chunks + 1));
+            }
+            let z = self
+                .sentinel
+                .as_ref()
+                .filter(|st| !st.set.is_empty())
+                .map(|st| st.set.nodes());
+            let truncating = z.is_some();
             let b1 = workers.try_generate_chunks(
                 &self.sampler,
-                None,
+                z,
                 self.chunks..end,
                 chunk,
                 self.config.seed,
             )?;
             let b2 = workers.try_generate_chunks(
                 &self.sampler,
-                None,
+                z,
                 self.chunks..end,
                 chunk,
                 self.config.seed ^ R2_STREAM,
             )?;
+            if let Some(st) = &mut self.sentinel {
+                st.chunk_hits_r1.extend_from_slice(&b1.chunk_hits);
+                st.chunk_hits_r2.extend_from_slice(&b2.chunk_hits);
+            }
             self.counters.rr_sets_generated += (b1.rr.len() + b2.rr.len()) as u64;
             self.counters.rr_nodes_generated += (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64;
             self.counters.generation_cost += b1.cost + b2.cost;
+            self.counters.sentinel_hits += b1.sentinel_hits + b2.sentinel_hits;
+            if truncating {
+                self.counters.truncated_sets += (b1.rr.len() + b2.rr.len()) as u64;
+                self.counters.truncated_nodes += (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64;
+            }
             added += b1.rr.len() + b2.rr.len();
             self.r1.extend_from(&b1.rr);
             self.r2.extend_from(&b2.rr);
@@ -557,6 +749,110 @@ mod tests {
             index.query(2, 0.1, 1.5),
             Err(IndexError::Options(_))
         ));
+    }
+
+    #[test]
+    fn sentinel_tier_activates_after_warmup_and_truncates() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 7);
+        let mut index = RrIndex::new(&g, config().sentinels(2));
+        // Inside the warmup prefix: still plain.
+        index.warm(SENTINEL_WARMUP_CHUNKS as usize * 64).unwrap();
+        assert!(index.sentinel_state().is_none());
+        assert_eq!(index.counters().truncated_sets, 0);
+        // One chunk past it: Z selected over exactly the warmup prefix,
+        // and every new chunk generated truncated.
+        index
+            .warm((SENTINEL_WARMUP_CHUNKS as usize + 4) * 64)
+            .unwrap();
+        let st = index.sentinel_state().expect("tier active");
+        assert_eq!(st.set.len(), 2);
+        assert_eq!(st.from_chunk, SENTINEL_WARMUP_CHUNKS);
+        assert_eq!(st.chunk_hits_r1.len() as u64, index.chunk_cursor());
+        assert_eq!(st.chunk_hits_r2.len() as u64, index.chunk_cursor());
+        assert!(st.chunk_hits_r1[..SENTINEL_WARMUP_CHUNKS as usize]
+            .iter()
+            .all(|&h| h == 0));
+        assert_eq!(
+            index.counters().sentinel_hits,
+            st.total_hits(),
+            "lifetime counter and per-chunk vectors must agree"
+        );
+        assert_eq!(index.counters().truncated_sets, 8 * 64);
+        // On a hub-heavy graph the hub sentinel absorbs traversals:
+        // truncated sets must be smaller on average.
+        assert!(index.counters().sentinel_hits > 0);
+        assert!(index.counters().mean_rr_size_truncated() < index.counters().mean_rr_size_plain());
+    }
+
+    #[test]
+    fn sentinel_pool_is_pure_function_of_size() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 8);
+        let mut a = RrIndex::new(&g, config().sentinels(3));
+        // A grows in dribs; B in one jump. Activation is pinned to the
+        // warmup boundary, so content must match bit for bit.
+        a.warm(80).unwrap();
+        a.warm(300).unwrap();
+        a.warm(640).unwrap();
+        let mut b = RrIndex::new(&g, config().sentinels(3));
+        b.warm(640).unwrap();
+        assert_eq!(a.sentinel_state(), b.sentinel_state());
+        assert_eq!(a.pool_len(), b.pool_len());
+        for i in 0..a.pool_len() {
+            assert_eq!(a.selection_pool().get(i), b.selection_pool().get(i));
+            assert_eq!(a.validation_pool().get(i), b.validation_pool().get(i));
+        }
+    }
+
+    #[test]
+    fn sentinel_queries_certify_with_full_guarantee() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 9);
+        let mut index = RrIndex::new(&g, config().sentinels(2));
+        index
+            .warm((SENTINEL_WARMUP_CHUNKS as usize + 8) * 64)
+            .unwrap();
+        assert!(index.sentinel_state().is_some());
+        // k at and above |Z|: every answer re-certifies the union bound
+        // and beats the target ratio.
+        for k in [5usize, 2] {
+            let ans = index.query(k, 0.1, 0.01).unwrap();
+            assert_eq!(ans.seeds.len(), k, "k={k}");
+            assert!(ans.stats.certified_by_bounds, "k={k}");
+            assert!(ans.stats.ratio() > ans.stats.target_ratio, "k={k}");
+        }
+        // k below |Z|: the prefix answer's Eq. 1 is conservative (see
+        // sentinel.rs docs), so only soundness is guaranteed, not that the
+        // loose ratio beats the target.
+        let ans = index.query(1, 0.1, 0.01).unwrap();
+        assert_eq!(ans.seeds.len(), 1);
+        assert!(ans.stats.lower_bound <= ans.stats.upper_bound);
+        // k ≥ |Z|: the sentinels lead the seed set (Alg 8 keeps Z).
+        let z = index.sentinel_state().unwrap().set.nodes().to_vec();
+        let ans = index.query(5, 0.1, 0.01).unwrap();
+        assert_eq!(&ans.seeds[..z.len()], z.as_slice());
+    }
+
+    #[test]
+    fn sentinel_state_install_validates() {
+        let g = barabasi_albert(100, 3, WeightModel::Wc, 10);
+        let mut index = RrIndex::new(&g, config());
+        index.warm(128).unwrap();
+        let bad = SentinelState {
+            set: SentinelSet::from_nodes(vec![0]),
+            from_chunk: 99,
+            chunk_hits_r1: vec![0; 2],
+            chunk_hits_r2: vec![0; 2],
+        };
+        assert!(index.set_sentinel_state(Some(bad)).is_err());
+        let good = SentinelState {
+            set: SentinelSet::from_nodes(vec![0]),
+            from_chunk: 2,
+            chunk_hits_r1: vec![0; 2],
+            chunk_hits_r2: vec![0; 2],
+        };
+        index.set_sentinel_state(Some(good.clone())).unwrap();
+        assert_eq!(index.sentinel_state(), Some(&good));
+        assert_eq!(index.take_sentinel_state(), Some(good));
+        assert!(index.sentinel_state().is_none());
     }
 
     #[test]

@@ -53,7 +53,9 @@ mod sync;
 
 pub use error::IndexError;
 pub use fingerprint::graph_fingerprint;
-pub use index::{IndexConfig, QueryAnswer, RrIndex, R2_STREAM};
+pub use index::{
+    IndexConfig, QueryAnswer, RrIndex, SentinelState, R2_STREAM, SENTINEL_WARMUP_CHUNKS,
+};
 pub use snapshot::{read_index, write_index};
 pub use stats::{IndexCounters, QueryStats};
 pub use sync::{

@@ -7,6 +7,9 @@
 //! magic "SUBSIMIX" | version u32
 //! graph fingerprint u64 | strategy u8 | seed u64
 //! chunk_size u64 | chunks u64
+//! sentinel flag u8 (v3+); if 1:
+//!   from_chunk u64 | z_len u64 | z: u32 × z_len
+//!   chunk_hits_r1: u64 × chunks | chunk_hits_r2: u64 × chunks
 //! r1: blob_len u64 | SUBSIMRR bytes
 //! r2: blob_len u64 | SUBSIMRR bytes
 //! checksum u64 (FNV-1a over every preceding byte)
@@ -20,19 +23,29 @@
 //! inside the RR arenas) would otherwise load *silently wrong*, changing
 //! the pool's identity without any error. Version 2 of the format makes
 //! every single-byte corruption a typed [`IndexError::SnapshotMismatch`].
+//! Version 3 adds the sentinel block: a sentinel pool's truncated chunks
+//! are only certifiable *through* its set `Z`, so persisting the pool
+//! without `Z` would silently change query semantics — a corrupt or
+//! missing sentinel block must therefore be a typed refusal, never a
+//! fallback to plain-pool answers. Version-2 snapshots (always plain)
+//! still load.
 
 use crate::error::IndexError;
 use crate::fingerprint::graph_fingerprint;
-use crate::index::{IndexConfig, RrIndex};
+use crate::index::{IndexConfig, RrIndex, SentinelState};
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::Path;
+use subsim_core::sentinel::SentinelSet;
 use subsim_diffusion::serialize::{read_rr_collection, write_rr_collection};
 use subsim_diffusion::RrStrategy;
 use subsim_graph::Graph;
 
 const MAGIC: &[u8; 8] = b"SUBSIMIX";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+/// Oldest version still loadable (plain pools only — the sentinel block
+/// did not exist yet).
+const MIN_VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -129,6 +142,22 @@ pub fn write_index<W: Write>(index: &RrIndex<'_>, w: W) -> Result<(), IndexError
     w.write_all(&index.config().seed.to_le_bytes())?;
     w.write_all(&(index.config().chunk_size as u64).to_le_bytes())?;
     w.write_all(&index.chunk_cursor().to_le_bytes())?;
+    match index.sentinel_state() {
+        Some(st) => {
+            w.write_all(&[1u8])?;
+            w.write_all(&st.from_chunk.to_le_bytes())?;
+            w.write_all(&(st.set.len() as u64).to_le_bytes())?;
+            for &v in st.set.nodes() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            for hits in [&st.chunk_hits_r1, &st.chunk_hits_r2] {
+                for &h in hits {
+                    w.write_all(&h.to_le_bytes())?;
+                }
+            }
+        }
+        None => w.write_all(&[0u8])?,
+    }
     for rr in [index.selection_pool(), index.validation_pool()] {
         let mut blob = Vec::new();
         write_rr_collection(rr, &mut blob)?;
@@ -161,7 +190,7 @@ pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexE
         return Err(mismatch("not a subsim-index snapshot"));
     }
     let version = read_u32(&mut r)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(mismatch(format!("unsupported snapshot version {version}")));
     }
     let fingerprint = read_u64(&mut r)?;
@@ -185,6 +214,63 @@ pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexE
     let expected_sets = chunks
         .checked_mul(chunk_size as u64)
         .ok_or_else(|| mismatch("set count overflows"))?;
+
+    let sentinel = if version >= 3 {
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        match flag[0] {
+            0 => None,
+            1 => {
+                let from_chunk = read_u64(&mut r)?;
+                if from_chunk > chunks {
+                    return Err(mismatch(format!(
+                        "sentinel boundary {from_chunk} is beyond the chunk cursor {chunks}"
+                    )));
+                }
+                let z_len = read_u64(&mut r)?;
+                if z_len == 0 || z_len > g.n() as u64 {
+                    return Err(mismatch(format!(
+                        "sentinel set of {z_len} nodes is impossible for {} nodes",
+                        g.n()
+                    )));
+                }
+                let mut z = Vec::with_capacity(z_len as usize);
+                for _ in 0..z_len {
+                    let v = read_u32(&mut r)?;
+                    if v as usize >= g.n() {
+                        return Err(mismatch(format!(
+                            "sentinel node {v} out of range for {} nodes",
+                            g.n()
+                        )));
+                    }
+                    z.push(v);
+                }
+                let mut halves_hits = [Vec::new(), Vec::new()];
+                for hits in &mut halves_hits {
+                    // Element-wise reads (no capacity hint from the
+                    // untrusted `chunks`): a corrupt cursor errors at EOF
+                    // instead of a giant allocation.
+                    for _ in 0..chunks {
+                        hits.push(read_u64(&mut r)?);
+                    }
+                }
+                let [chunk_hits_r1, chunk_hits_r2] = halves_hits;
+                let set = SentinelSet::from_nodes(z.clone());
+                if set.len() as u64 != z_len {
+                    return Err(mismatch("sentinel set holds duplicate nodes"));
+                }
+                Some(SentinelState {
+                    set,
+                    from_chunk,
+                    chunk_hits_r1,
+                    chunk_hits_r2,
+                })
+            }
+            other => return Err(mismatch(format!("unknown sentinel flag {other}"))),
+        }
+    } else {
+        None
+    };
 
     let mut halves = Vec::with_capacity(2);
     for half in ["r1", "r2"] {
@@ -231,8 +317,13 @@ pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexE
         threads: 1,
         chunk_size,
         max_nodes: None,
+        // Restoring `sentinels` from the persisted set keeps growth
+        // truncating on the same Z; plain snapshots stay plain.
+        sentinels: sentinel.as_ref().map_or(0, |st| st.set.len()),
     };
-    Ok(RrIndex::from_parts(g, config, r1, r2, chunks))
+    let mut index = RrIndex::from_parts(g, config, r1, r2, chunks);
+    index.set_sentinel_state(sentinel)?;
+    Ok(index)
 }
 
 impl<'g> RrIndex<'g> {
@@ -348,6 +439,128 @@ mod tests {
         let mut bad = buf.clone();
         bad[20] = 0x7f;
         assert!(RrIndex::load(&g, bad.as_slice()).is_err());
+    }
+
+    fn sentinel_index(g: &Graph) -> RrIndex<'_> {
+        let mut index = RrIndex::new(
+            g,
+            IndexConfig::new(RrStrategy::SubsimIc)
+                .seed(9)
+                .chunk_size(32)
+                .sentinels(2),
+        );
+        // Past the warmup prefix: the tier activates and truncated
+        // chunks exist.
+        index.warm(320).unwrap();
+        assert!(index.sentinel_state().is_some());
+        index
+    }
+
+    /// Recomputes the FNV trailer after a test poked the bytes, so the
+    /// *structural* sentinel checks are exercised (not just the checksum).
+    fn refresh_trailer(buf: &mut [u8]) {
+        let body = buf.len() - 8;
+        let digest = fnv1a(FNV_OFFSET, &buf[..body]);
+        buf[body..].copy_from_slice(&digest.to_le_bytes());
+    }
+
+    /// Byte offset of the sentinel flag: magic + version + fingerprint +
+    /// strategy + seed + chunk_size + chunks.
+    const SENTINEL_FLAG_AT: usize = 8 + 4 + 8 + 1 + 8 + 8 + 8;
+
+    #[test]
+    fn sentinel_state_round_trips_and_continues_truncating() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 47);
+        let mut index = sentinel_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let mut back = RrIndex::load(&g, buf.as_slice()).unwrap();
+        assert_eq!(back.sentinel_state(), index.sentinel_state());
+        assert_eq!(back.config().sentinels, 2);
+        // Growth continues the same truncated stream bit for bit.
+        index.warm(640).unwrap();
+        back.warm(640).unwrap();
+        assert_eq!(back.sentinel_state(), index.sentinel_state());
+        for i in 0..index.pool_len() {
+            assert_eq!(back.selection_pool().get(i), index.selection_pool().get(i));
+            assert_eq!(
+                back.validation_pool().get(i),
+                index.validation_pool().get(i)
+            );
+        }
+    }
+
+    #[test]
+    fn plain_snapshot_loads_without_sentinel() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 48);
+        let index = warmed_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        assert_eq!(buf[SENTINEL_FLAG_AT], 0);
+        let back = RrIndex::load(&g, buf.as_slice()).unwrap();
+        assert!(back.sentinel_state().is_none());
+        assert_eq!(back.config().sentinels, 0);
+    }
+
+    #[test]
+    fn version_2_snapshot_still_loads() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 49);
+        let index = warmed_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        // A v2 snapshot is the v3 bytes minus the (zero) sentinel flag,
+        // with the version field rewound.
+        let mut old = buf.clone();
+        old.remove(SENTINEL_FLAG_AT);
+        old[8..12].copy_from_slice(&2u32.to_le_bytes());
+        refresh_trailer(&mut old);
+        let back = RrIndex::load(&g, old.as_slice()).unwrap();
+        assert!(back.sentinel_state().is_none());
+        assert_eq!(back.pool_len(), index.pool_len());
+    }
+
+    #[test]
+    fn corrupt_sentinel_block_is_a_typed_mismatch() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 50);
+        let index = sentinel_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        assert_eq!(buf[SENTINEL_FLAG_AT], 1);
+
+        // Flipped byte inside the block: the checksum refuses it.
+        let mut bad = buf.clone();
+        bad[SENTINEL_FLAG_AT + 12] ^= 0x10;
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, IndexError::SnapshotMismatch { .. }),
+            "{err:?}"
+        );
+
+        // Structurally impossible fields fail typed even with a valid
+        // checksum — never a silent fallback to a plain pool.
+        let mut bad = buf.clone();
+        bad[SENTINEL_FLAG_AT + 1..SENTINEL_FLAG_AT + 9].copy_from_slice(&u64::MAX.to_le_bytes()); // from_chunk
+        refresh_trailer(&mut bad);
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("sentinel boundary"), "{err}");
+
+        let mut bad = buf.clone();
+        bad[SENTINEL_FLAG_AT + 9..SENTINEL_FLAG_AT + 17].copy_from_slice(&u64::MAX.to_le_bytes()); // z_len
+        refresh_trailer(&mut bad);
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("sentinel set"), "{err}");
+
+        let mut bad = buf.clone();
+        bad[SENTINEL_FLAG_AT + 17..SENTINEL_FLAG_AT + 21].copy_from_slice(&u32::MAX.to_le_bytes()); // first sentinel node
+        refresh_trailer(&mut bad);
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        let mut bad = buf.clone();
+        bad[SENTINEL_FLAG_AT] = 7; // unknown flag
+        refresh_trailer(&mut bad);
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("sentinel flag"), "{err}");
     }
 
     #[test]

@@ -65,6 +65,15 @@ pub struct IndexCounters {
     pub rr_nodes_generated: u64,
     /// Generation cost proxy (see `subsim_diffusion::RrContext::cost`).
     pub generation_cost: u64,
+    /// Sentinel hits recorded during generation, both halves (0 while the
+    /// sentinel tier is inactive).
+    pub sentinel_hits: u64,
+    /// RR sets generated under sentinel truncation (a subset of
+    /// `rr_sets_generated`).
+    pub truncated_sets: u64,
+    /// Node entries generated under sentinel truncation (a subset of
+    /// `rr_nodes_generated`).
+    pub truncated_nodes: u64,
     /// Σ over queries of sets served from the pre-existing pool.
     pub sets_reused: u64,
     /// Σ over queries of sets the query's final round consumed.
@@ -81,6 +90,36 @@ impl IndexCounters {
             0.0
         } else {
             self.sets_reused as f64 / self.sets_consumed as f64
+        }
+    }
+
+    /// Fraction of truncated traversals that stopped at a sentinel.
+    pub fn sentinel_hit_rate(&self) -> f64 {
+        if self.truncated_sets == 0 {
+            0.0
+        } else {
+            self.sentinel_hits as f64 / self.truncated_sets as f64
+        }
+    }
+
+    /// Mean nodes per *plain* RR set generated so far (0 when none).
+    pub fn mean_rr_size_plain(&self) -> f64 {
+        let sets = self.rr_sets_generated - self.truncated_sets;
+        if sets == 0 {
+            0.0
+        } else {
+            (self.rr_nodes_generated - self.truncated_nodes) as f64 / sets as f64
+        }
+    }
+
+    /// Mean nodes per *truncated* RR set generated so far (0 when none) —
+    /// the paper's headline memory lever; compare against
+    /// [`IndexCounters::mean_rr_size_plain`].
+    pub fn mean_rr_size_truncated(&self) -> f64 {
+        if self.truncated_sets == 0 {
+            0.0
+        } else {
+            self.truncated_nodes as f64 / self.truncated_sets as f64
         }
     }
 }

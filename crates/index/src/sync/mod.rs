@@ -28,12 +28,15 @@ pub use metrics::{
 };
 
 use crate::error::IndexError;
-use crate::index::{IndexConfig, QueryAnswer, RrIndex, R2_STREAM};
+use crate::index::{
+    IndexConfig, QueryAnswer, RrIndex, SentinelState, R2_STREAM, SENTINEL_WARMUP_CHUNKS,
+};
 use crate::stats::QueryStats;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
 use subsim_core::pool::evaluate_pool_timed_par;
+use subsim_core::sentinel::{evaluate_pool_sentinel, SentinelSet};
 use subsim_core::ImOptions;
 use subsim_diffusion::pool::WorkerPool;
 use subsim_diffusion::{RrCollection, RrSampler};
@@ -47,6 +50,8 @@ pub struct PoolSnapshot {
     r1: RrCollection,
     r2: RrCollection,
     chunks: u64,
+    /// Sentinel tier state at publish time; immutable like the halves.
+    sentinel: Option<SentinelState>,
 }
 
 impl PoolSnapshot {
@@ -73,6 +78,11 @@ impl PoolSnapshot {
     /// The validation half `R₂` (read-only).
     pub fn validation_pool(&self) -> &RrCollection {
         &self.r2
+    }
+
+    /// The sentinel tier state at publish time, if active.
+    pub fn sentinel_state(&self) -> Option<&SentinelState> {
+        self.sentinel.as_ref()
     }
 }
 
@@ -133,12 +143,17 @@ impl<'g> ConcurrentRrIndex<'g> {
     /// snapshot file) for concurrent serving. The pool carries over
     /// unchanged; lifetime counters restart.
     pub fn from_index(index: RrIndex<'g>) -> Self {
-        let (g, config, r1, r2, chunks) = index.into_parts();
+        let (g, config, r1, r2, chunks, sentinel) = index.into_parts();
         ConcurrentRrIndex {
             g,
             config,
             sampler: RrSampler::new(g, config.strategy),
-            snapshot: RwLock::new(Arc::new(PoolSnapshot { r1, r2, chunks })),
+            snapshot: RwLock::new(Arc::new(PoolSnapshot {
+                r1,
+                r2,
+                chunks,
+                sentinel,
+            })),
             writer: Mutex::new(WorkerPool::new(config.threads)),
             metrics: IndexMetrics::default(),
         }
@@ -153,8 +168,13 @@ impl<'g> ConcurrentRrIndex<'g> {
             r1: arc.r1.clone(),
             r2: arc.r2.clone(),
             chunks: arc.chunks,
+            sentinel: arc.sentinel.clone(),
         });
-        RrIndex::from_parts(self.g, self.config, snap.r1, snap.r2, snap.chunks)
+        let mut index = RrIndex::from_parts(self.g, self.config, snap.r1, snap.r2, snap.chunks);
+        index
+            .set_sentinel_state(snap.sentinel)
+            .expect("published snapshot carries sentinel state consistent with its pool");
+        index
     }
 
     /// The indexed graph.
@@ -214,14 +234,33 @@ impl<'g> ConcurrentRrIndex<'g> {
         let mut rounds = 0u32;
         loop {
             rounds += 1;
-            let (eval, cert_time) = evaluate_pool_timed_par(
-                &snap.r1,
-                &snap.r2,
-                k,
-                delta_iter,
-                delta_iter,
-                self.config.threads,
-            );
+            // Sentinel snapshots re-certify through the HIST-style round
+            // so the answer keeps the full (k, ε, δ) guarantee; plain
+            // snapshots run the standard OPIM round.
+            let (eval, cert_time) = match snap.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
+                Some(st) => {
+                    let t = Instant::now();
+                    let eval = evaluate_pool_sentinel(
+                        &snap.r1,
+                        &snap.r2,
+                        &st.set,
+                        self.g,
+                        k,
+                        delta_iter,
+                        delta_iter,
+                        self.config.threads,
+                    );
+                    (eval, t.elapsed())
+                }
+                None => evaluate_pool_timed_par(
+                    &snap.r1,
+                    &snap.r2,
+                    k,
+                    delta_iter,
+                    delta_iter,
+                    self.config.threads,
+                ),
+            };
             self.metrics.record_selection(cert_time);
             let certified = eval.ratio() > target;
             if certified || snap.pool_len() as f64 >= theta_max {
@@ -287,6 +326,7 @@ impl<'g> ConcurrentRrIndex<'g> {
         let mut r1 = base.r1.clone();
         let mut r2 = base.r2.clone();
         let mut chunks = base.chunks;
+        let mut sentinel = base.sentinel.clone();
         let mut added = 0usize;
         let mut budget_err = None;
         while chunks < needed_chunks {
@@ -301,34 +341,67 @@ impl<'g> ConcurrentRrIndex<'g> {
                     break;
                 }
             }
-            let end = needed_chunks.min(chunks + slice);
+            // Crossing the plain warmup prefix activates the sentinel
+            // tier, exactly as in the sequential `ensure_pool` — the
+            // successor snapshot carries the new state.
+            if self.config.sentinels > 0 && sentinel.is_none() && chunks >= SENTINEL_WARMUP_CHUNKS {
+                sentinel = Some(SentinelState {
+                    set: SentinelSet::select(&[&r1], self.g, self.config.sentinels),
+                    from_chunk: chunks,
+                    chunk_hits_r1: vec![0; chunks as usize],
+                    chunk_hits_r2: vec![0; chunks as usize],
+                });
+            }
+            let mut end = needed_chunks.min(chunks + slice);
+            if self.config.sentinels > 0 && sentinel.is_none() {
+                // Still inside the warmup prefix: stop this slice at the
+                // boundary so the next iteration selects Z before any
+                // truncated chunk is generated.
+                end = end.min(SENTINEL_WARMUP_CHUNKS.max(chunks + 1));
+            }
+            let z = sentinel
+                .as_ref()
+                .filter(|st| !st.set.is_empty())
+                .map(|st| st.set.nodes());
+            let truncating = z.is_some();
             let b1 = workers.try_generate_chunks(
                 &self.sampler,
-                None,
+                z,
                 chunks..end,
                 chunk,
                 self.config.seed,
             )?;
             let b2 = workers.try_generate_chunks(
                 &self.sampler,
-                None,
+                z,
                 chunks..end,
                 chunk,
                 self.config.seed ^ R2_STREAM,
             )?;
-            self.metrics.record_generation(
-                (b1.rr.len() + b2.rr.len()) as u64,
-                (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,
-                b1.cost + b2.cost,
-                b1.elapsed + b2.elapsed,
-            );
+            if let Some(st) = &mut sentinel {
+                st.chunk_hits_r1.extend_from_slice(&b1.chunk_hits);
+                st.chunk_hits_r2.extend_from_slice(&b2.chunk_hits);
+            }
+            let sets = (b1.rr.len() + b2.rr.len()) as u64;
+            let nodes = (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64;
+            self.metrics
+                .record_generation(sets, nodes, b1.cost + b2.cost, b1.elapsed + b2.elapsed);
+            if truncating {
+                self.metrics
+                    .record_sentinel(b1.sentinel_hits + b2.sentinel_hits, sets, nodes);
+            }
             added += b1.rr.len() + b2.rr.len();
             r1.extend_from(&b1.rr);
             r2.extend_from(&b2.rr);
             chunks = end;
         }
 
-        let snap = Arc::new(PoolSnapshot { r1, r2, chunks });
+        let snap = Arc::new(PoolSnapshot {
+            r1,
+            r2,
+            chunks,
+            sentinel,
+        });
         if added > 0 {
             *self.snapshot.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
             self.metrics
@@ -438,6 +511,35 @@ mod tests {
             conc.query(2, 0.9, 0.01),
             Err(IndexError::Options(_))
         ));
+    }
+
+    #[test]
+    fn sentinel_growth_matches_sequential_index() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 6);
+        let mut seq = RrIndex::new(&g, config().sentinels(2));
+        let conc = ConcurrentRrIndex::new(&g, config().sentinels(2));
+        seq.warm(640).unwrap();
+        conc.warm(640).unwrap();
+        let snap = conc.load();
+        assert_eq!(snap.sentinel_state(), seq.sentinel_state());
+        for i in 0..seq.pool_len() {
+            assert_eq!(snap.selection_pool().get(i), seq.selection_pool().get(i));
+            assert_eq!(snap.validation_pool().get(i), seq.validation_pool().get(i));
+        }
+        // Warm queries answer identically (same pool, same sentinel-aware
+        // certification), and the concurrent side records sentinel metrics.
+        let a = seq.query(5, 0.1, 0.01).unwrap();
+        let b = conc.query(5, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+        let m = conc.metrics();
+        assert!(m.truncated_sets_generated > 0);
+        assert!(m.sentinel_hits > 0);
+        assert!(m.mean_rr_size_truncated < m.mean_rr_size_plain);
+        // Round-tripping back out keeps the sentinel state.
+        let back = conc.into_index();
+        assert_eq!(back.sentinel_state(), seq.sentinel_state());
     }
 
     #[test]

@@ -33,10 +33,12 @@
 //! count, which the testkit simulator and a differential proptest
 //! enforce.
 
+use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use subsim_core::bounds::{i_max, theta_max_opim, theta_zero};
 use subsim_core::pool::evaluate_pool_sharded_indexed;
+use subsim_core::sentinel::{evaluate_pool_sentinel_sharded, SentinelSet};
 use subsim_core::ImOptions;
 use subsim_delta::{
     repair_half_indexed, repair_half_mapped, DeltaError, GraphDelta, RepairReport, ServeError,
@@ -44,9 +46,10 @@ use subsim_delta::{
 };
 use subsim_diffusion::pool::{PoolError, WorkerPool};
 use subsim_diffusion::{InvertedIndex, RrCollection, RrSampler};
-use subsim_graph::Graph;
+use subsim_graph::{Graph, NodeId};
 use subsim_index::{
-    IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, QueryStats, R2_STREAM,
+    IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, QueryStats, RrIndex,
+    SentinelState, R2_STREAM, SENTINEL_WARMUP_CHUNKS,
 };
 
 /// One shard's published arena: the owned chunks of both halves plus the
@@ -87,6 +90,10 @@ pub struct ShardedSnapshot {
     /// Global chunk cursor: complete chunks per half across all shards.
     chunks: u64,
     shards: Vec<Arc<ShardSnapshot>>,
+    /// Sentinel tier state, global across shards: `Z` is selected once
+    /// over the union warmup prefix and applied to every shard's
+    /// truncated chunks; hit counters are indexed by **global** chunk id.
+    sentinel: Option<SentinelState>,
 }
 
 impl ShardedSnapshot {
@@ -118,6 +125,11 @@ impl ShardedSnapshot {
     /// One shard's arena.
     pub fn shard(&self, s: usize) -> &ShardSnapshot {
         &self.shards[s]
+    }
+
+    /// The sentinel tier state, if active.
+    pub fn sentinel_state(&self) -> Option<&SentinelState> {
+        self.sentinel.as_ref()
     }
 
     /// Union sets per pool half (every chunk is full by construction).
@@ -220,6 +232,7 @@ impl ShardedDeltaIndex {
                     ))
                 })
                 .collect(),
+            sentinel: None,
         };
         Ok(ShardedDeltaIndex {
             config,
@@ -315,15 +328,30 @@ impl ShardedDeltaIndex {
         loop {
             rounds += 1;
             let cert_start = Instant::now();
-            let eval = evaluate_pool_sharded_indexed(
-                &snap.r1_refs(),
-                &snap.idx_refs(),
-                &snap.r2_refs(),
-                k,
-                delta_iter,
-                delta_iter,
-                self.config.threads,
-            );
+            // Sentinel snapshots re-certify through the HIST-style round
+            // on the sharded refs — same merged counts, same union-length
+            // bounds — so the answer keeps the full (k, ε, δ) guarantee.
+            let eval = match snap.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
+                Some(st) => evaluate_pool_sentinel_sharded(
+                    &snap.r1_refs(),
+                    &snap.r2_refs(),
+                    &st.set,
+                    &snap.graph,
+                    k,
+                    delta_iter,
+                    delta_iter,
+                    self.config.threads,
+                ),
+                None => evaluate_pool_sharded_indexed(
+                    &snap.r1_refs(),
+                    &snap.idx_refs(),
+                    &snap.r2_refs(),
+                    k,
+                    delta_iter,
+                    delta_iter,
+                    self.config.threads,
+                ),
+            };
             self.metrics.record_selection(cert_start.elapsed());
             let certified = eval.ratio() > target;
             if certified || snap.pool_len() as f64 >= theta_max {
@@ -398,71 +426,123 @@ impl ShardedDeltaIndex {
         let sampler = RrSampler::new(&graph, self.config.strategy);
 
         let shards = self.shards as u64;
-        let mut owned_ids: Vec<Vec<u64>> = vec![Vec::new(); self.shards];
-        for c in base.chunks..needed_chunks {
-            owned_ids[(c % shards) as usize].push(c);
-        }
-
         let seed = self.config.seed;
-        let results: Vec<
-            Option<Result<(subsim_diffusion::ParBatch, subsim_diffusion::ParBatch), PoolError>>,
-        > = std::thread::scope(|scope| {
-            let handles: Vec<_> = owned_ids
-                .iter()
-                .zip(&ws.pools)
-                .map(|(ids, pool)| {
-                    if ids.is_empty() {
-                        return None;
-                    }
-                    let sampler = &sampler;
-                    Some(scope.spawn(move || {
-                        let b1 = pool.try_generate_chunk_ids(sampler, None, ids, chunk, seed)?;
-                        let b2 = pool.try_generate_chunk_ids(
-                            sampler,
-                            None,
-                            ids,
-                            chunk,
-                            seed ^ R2_STREAM,
-                        )?;
-                        Ok((b1, b2))
-                    }))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.map(|h| h.join().expect("shard generator panicked")))
-                .collect()
-        });
-
-        let mut new_shards: Vec<Arc<ShardSnapshot>> = Vec::with_capacity(self.shards);
+        let mut cur_shards: Vec<Arc<ShardSnapshot>> = base.shards.clone();
+        let mut chunks = base.chunks;
+        let mut sentinel = base.sentinel.clone();
         let mut added = 0usize;
-        for (old, result) in base.shards.iter().zip(results) {
-            match result {
-                None => new_shards.push(Arc::clone(old)),
-                Some(batches) => {
-                    let (b1, b2) = batches?;
-                    self.metrics.record_generation(
-                        (b1.rr.len() + b2.rr.len()) as u64,
-                        (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64,
-                        b1.cost + b2.cost,
-                        b1.elapsed + b2.elapsed,
-                    );
-                    added += b1.rr.len() + b2.rr.len();
-                    let mut r1 = old.r1.clone();
-                    let mut r2 = old.r2.clone();
-                    r1.extend_from(&b1.rr);
-                    r2.extend_from(&b2.rr);
-                    new_shards.push(Arc::new(ShardSnapshot::new(r1, r2)));
+        // Growth proceeds in rounds only to respect the sentinel warmup
+        // boundary: a plain round up to `SENTINEL_WARMUP_CHUNKS`, then Z
+        // is selected once over the union prefix, then one truncated
+        // round to the target. Without sentinels this is a single round.
+        while chunks < needed_chunks {
+            if self.config.sentinels > 0 && sentinel.is_none() && chunks >= SENTINEL_WARMUP_CHUNKS {
+                let r1s: Vec<&RrCollection> = cur_shards.iter().map(|sh| &sh.r1).collect();
+                sentinel = Some(SentinelState {
+                    set: SentinelSet::select(&r1s, &graph, self.config.sentinels),
+                    from_chunk: chunks,
+                    chunk_hits_r1: vec![0; chunks as usize],
+                    chunk_hits_r2: vec![0; chunks as usize],
+                });
+            }
+            let mut end = needed_chunks;
+            if self.config.sentinels > 0 && sentinel.is_none() {
+                // Still inside the warmup prefix: stop this round at the
+                // boundary so the next iteration selects Z before any
+                // truncated chunk is generated.
+                end = end.min(SENTINEL_WARMUP_CHUNKS.max(chunks + 1));
+            }
+            let mut owned_ids: Vec<Vec<u64>> = vec![Vec::new(); self.shards];
+            for c in chunks..end {
+                owned_ids[(c % shards) as usize].push(c);
+            }
+            let z = sentinel
+                .as_ref()
+                .filter(|st| !st.set.is_empty())
+                .map(|st| st.set.nodes());
+            let truncating = z.is_some();
+
+            let results: Vec<
+                Option<Result<(subsim_diffusion::ParBatch, subsim_diffusion::ParBatch), PoolError>>,
+            > = std::thread::scope(|scope| {
+                let handles: Vec<_> = owned_ids
+                    .iter()
+                    .zip(&ws.pools)
+                    .map(|(ids, pool)| {
+                        if ids.is_empty() {
+                            return None;
+                        }
+                        let sampler = &sampler;
+                        Some(scope.spawn(move || {
+                            let b1 = pool.try_generate_chunk_ids(sampler, z, ids, chunk, seed)?;
+                            let b2 = pool.try_generate_chunk_ids(
+                                sampler,
+                                z,
+                                ids,
+                                chunk,
+                                seed ^ R2_STREAM,
+                            )?;
+                            Ok((b1, b2))
+                        }))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("shard generator panicked")))
+                    .collect()
+            });
+
+            if let Some(st) = sentinel.as_mut() {
+                st.chunk_hits_r1.resize(end as usize, 0);
+                st.chunk_hits_r2.resize(end as usize, 0);
+            }
+            let mut new_shards: Vec<Arc<ShardSnapshot>> = Vec::with_capacity(self.shards);
+            for ((old, result), ids) in cur_shards.iter().zip(results).zip(&owned_ids) {
+                match result {
+                    None => new_shards.push(Arc::clone(old)),
+                    Some(batches) => {
+                        let (b1, b2) = batches?;
+                        if let Some(st) = sentinel.as_mut() {
+                            for (j, &id) in ids.iter().enumerate() {
+                                st.chunk_hits_r1[id as usize] = b1.chunk_hits[j];
+                                st.chunk_hits_r2[id as usize] = b2.chunk_hits[j];
+                            }
+                        }
+                        let sets = (b1.rr.len() + b2.rr.len()) as u64;
+                        let nodes = (b1.rr.total_nodes() + b2.rr.total_nodes()) as u64;
+                        self.metrics.record_generation(
+                            sets,
+                            nodes,
+                            b1.cost + b2.cost,
+                            b1.elapsed + b2.elapsed,
+                        );
+                        if truncating {
+                            self.metrics.record_sentinel(
+                                b1.sentinel_hits + b2.sentinel_hits,
+                                sets,
+                                nodes,
+                            );
+                        }
+                        added += b1.rr.len() + b2.rr.len();
+                        let mut r1 = old.r1.clone();
+                        let mut r2 = old.r2.clone();
+                        r1.extend_from(&b1.rr);
+                        r2.extend_from(&b2.rr);
+                        new_shards.push(Arc::new(ShardSnapshot::new(r1, r2)));
+                    }
                 }
             }
+            cur_shards = new_shards;
+            chunks = end;
         }
 
         let snap = Arc::new(ShardedSnapshot {
             graph,
             version: base.version,
             fingerprint: base.fingerprint,
-            chunks: needed_chunks,
-            shards: new_shards,
+            chunks,
+            shards: cur_shards,
+            sentinel,
         });
         self.publish(Arc::clone(&snap));
         Ok((snap, added))
@@ -497,80 +577,342 @@ impl ShardedDeltaIndex {
             dirty_sets_r2: usize,
             dirty_chunks_r1: usize,
             dirty_chunks_r2: usize,
+            /// `(global chunk, hits)` updates for regenerated truncated
+            /// chunks, per half.
+            hits_r1: Vec<(u64, u64)>,
+            hits_r2: Vec<(u64, u64)>,
         }
 
-        let repairs: Vec<Result<ShardRepair, PoolError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = base
-                .shards
-                .iter()
-                .zip(&ws.pools)
-                .enumerate()
-                .map(|(s, (old, pool))| {
-                    let (sampler, targets) = (&sampler, &targets);
-                    scope.spawn(move || {
-                        let s64 = s as u64;
-                        let h1 = repair_half_indexed(
-                            &old.r1,
-                            &old.idx1,
-                            targets,
-                            sampler,
-                            pool,
-                            chunk,
-                            seed,
-                            |j| s64 + j * shards,
-                        )?;
-                        let h2 = repair_half_mapped(
-                            &old.r2,
-                            targets,
-                            sampler,
-                            pool,
-                            chunk,
-                            seed ^ R2_STREAM,
-                            1,
-                            |j| s64 + j * shards,
-                        )?;
-                        let shard = if h1.dirty_chunks == 0 && h2.dirty_chunks == 0 {
-                            Arc::clone(old)
-                        } else if h1.dirty_chunks == 0 {
-                            // R₁ untouched: keep its cached index.
-                            Arc::new(ShardSnapshot {
-                                r1: h1.rr,
-                                r2: h2.rr,
-                                idx1: old.idx1.clone(),
-                            })
-                        } else {
-                            Arc::new(ShardSnapshot::new(h1.rr, h2.rr))
-                        };
-                        Ok(ShardRepair {
-                            shard,
-                            dirty_sets_r1: h1.dirty_sets,
-                            dirty_sets_r2: h2.dirty_sets,
-                            dirty_chunks_r1: h1.dirty_chunks,
-                            dirty_chunks_r2: h2.dirty_chunks,
-                        })
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard repairer panicked"))
-                .collect()
-        });
-        drop(sampler);
-
-        let mut new_shards = Vec::with_capacity(self.shards);
         let mut report = RepairReport {
             targets: targets.len(),
             ..RepairReport::default()
         };
-        for repair in repairs {
-            let r = repair?;
-            report.dirty_sets_r1 += r.dirty_sets_r1;
-            report.dirty_sets_r2 += r.dirty_sets_r2;
-            report.dirty_chunks_r1 += r.dirty_chunks_r1;
-            report.dirty_chunks_r2 += r.dirty_chunks_r2;
-            new_shards.push(r.shard);
-        }
+        let sentinel_active = base.sentinel.as_ref().filter(|st| !st.set.is_empty());
+        let stale = sentinel_active.is_some_and(|st| {
+            delta.ops().iter().any(|op| {
+                let (u, v) = op.endpoints();
+                st.set.contains(u) || st.set.contains(v)
+            })
+        });
+
+        let (new_shards, new_sentinel) = match sentinel_active {
+            Some(st) if stale => {
+                // A sentinel's own edges were rewired: repair each
+                // shard's plain prefix exactly, re-select Z' over the
+                // union prefix, and regenerate every truncated chunk
+                // under Z'.
+                let from_chunk = st.from_chunk;
+                report.sentinel_refreshed = true;
+                struct PrefixRepair {
+                    r1: RrCollection,
+                    r2: RrCollection,
+                    dirty_sets_r1: usize,
+                    dirty_sets_r2: usize,
+                    dirty_chunks_r1: usize,
+                    dirty_chunks_r2: usize,
+                }
+                let prefixes: Vec<Result<PrefixRepair, PoolError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = base
+                        .shards
+                        .iter()
+                        .zip(&ws.pools)
+                        .enumerate()
+                        .map(|(s, (old, pool))| {
+                            let (sampler, targets) = (&sampler, &targets);
+                            scope.spawn(move || {
+                                let s64 = s as u64;
+                                let owned_prefix = if s64 < from_chunk {
+                                    (from_chunk - s64).div_ceil(shards) as usize
+                                } else {
+                                    0
+                                };
+                                let n = old.r1.graph_n();
+                                let mut pre1 = RrCollection::new(n);
+                                pre1.extend_from_range(&old.r1, 0..owned_prefix * chunk);
+                                let mut pre2 = RrCollection::new(n);
+                                pre2.extend_from_range(&old.r2, 0..owned_prefix * chunk);
+                                let h1 = repair_half_mapped(
+                                    &pre1,
+                                    targets,
+                                    sampler,
+                                    pool,
+                                    chunk,
+                                    seed,
+                                    1,
+                                    |j| s64 + j * shards,
+                                )?;
+                                let h2 = repair_half_mapped(
+                                    &pre2,
+                                    targets,
+                                    sampler,
+                                    pool,
+                                    chunk,
+                                    seed ^ R2_STREAM,
+                                    1,
+                                    |j| s64 + j * shards,
+                                )?;
+                                Ok(PrefixRepair {
+                                    r1: h1.rr,
+                                    r2: h2.rr,
+                                    dirty_sets_r1: h1.dirty_sets,
+                                    dirty_sets_r2: h2.dirty_sets,
+                                    dirty_chunks_r1: h1.dirty_chunks,
+                                    dirty_chunks_r2: h2.dirty_chunks,
+                                })
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard repairer panicked"))
+                        .collect()
+                });
+                let mut prefs = Vec::with_capacity(self.shards);
+                for p in prefixes {
+                    let p = p?;
+                    report.dirty_sets_r1 += p.dirty_sets_r1;
+                    report.dirty_sets_r2 += p.dirty_sets_r2;
+                    report.dirty_chunks_r1 += p.dirty_chunks_r1;
+                    report.dirty_chunks_r2 += p.dirty_chunks_r2;
+                    prefs.push(p);
+                }
+                let budget = if self.config.sentinels > 0 {
+                    self.config.sentinels
+                } else {
+                    st.set.len()
+                };
+                let r1s: Vec<&RrCollection> = prefs.iter().map(|p| &p.r1).collect();
+                let fresh = SentinelSet::select(&r1s, &graph, budget);
+                drop(r1s);
+                let zn = (!fresh.is_empty()).then(|| fresh.nodes().to_vec());
+                let suffix_ids: Vec<Vec<u64>> = (0..shards)
+                    .map(|s| {
+                        (from_chunk..base.chunks)
+                            .filter(|c| c % shards == s)
+                            .collect()
+                    })
+                    .collect();
+                let batches: Vec<
+                    Option<
+                        Result<(subsim_diffusion::ParBatch, subsim_diffusion::ParBatch), PoolError>,
+                    >,
+                > = std::thread::scope(|scope| {
+                    let handles: Vec<_> = suffix_ids
+                        .iter()
+                        .zip(&ws.pools)
+                        .map(|(ids, pool)| {
+                            if ids.is_empty() {
+                                return None;
+                            }
+                            let (sampler, zn) = (&sampler, zn.as_deref());
+                            Some(scope.spawn(move || {
+                                let b1 =
+                                    pool.try_generate_chunk_ids(sampler, zn, ids, chunk, seed)?;
+                                let b2 = pool.try_generate_chunk_ids(
+                                    sampler,
+                                    zn,
+                                    ids,
+                                    chunk,
+                                    seed ^ R2_STREAM,
+                                )?;
+                                Ok((b1, b2))
+                            }))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.map(|h| h.join().expect("shard generator panicked")))
+                        .collect()
+                });
+                let mut hits1 = vec![0u64; base.chunks as usize];
+                let mut hits2 = vec![0u64; base.chunks as usize];
+                let mut new_shards = Vec::with_capacity(self.shards);
+                for ((pref, result), ids) in prefs.into_iter().zip(batches).zip(&suffix_ids) {
+                    let mut r1 = pref.r1;
+                    let mut r2 = pref.r2;
+                    if let Some(batches) = result {
+                        let (b1, b2) = batches?;
+                        for (j, &id) in ids.iter().enumerate() {
+                            hits1[id as usize] = b1.chunk_hits[j];
+                            hits2[id as usize] = b2.chunk_hits[j];
+                        }
+                        r1.extend_from(&b1.rr);
+                        r2.extend_from(&b2.rr);
+                        report.dirty_chunks_r1 += ids.len();
+                        report.dirty_chunks_r2 += ids.len();
+                    }
+                    new_shards.push(Arc::new(ShardSnapshot::new(r1, r2)));
+                }
+                let new_st = SentinelState {
+                    set: fresh,
+                    from_chunk,
+                    chunk_hits_r1: hits1,
+                    chunk_hits_r2: hits2,
+                };
+                (new_shards, Some(new_st))
+            }
+            Some(st) => {
+                // Z untouched: sentinel-aware chunk repair per shard,
+                // preserving the truncation boundary and refreshing hit
+                // counters for regenerated truncated chunks.
+                let z = st.set.nodes();
+                let from_chunk = st.from_chunk;
+                let repairs: Vec<Result<ShardRepair, PoolError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = base
+                        .shards
+                        .iter()
+                        .zip(&ws.pools)
+                        .enumerate()
+                        .map(|(s, (old, pool))| {
+                            let (sampler, targets) = (&sampler, &targets);
+                            scope.spawn(move || {
+                                let s64 = s as u64;
+                                let (rr1, ds1, dc1, hits_r1) = repair_shard_half_sentinel(
+                                    &old.r1,
+                                    Some(&old.idx1),
+                                    targets,
+                                    z,
+                                    from_chunk,
+                                    s64,
+                                    shards,
+                                    sampler,
+                                    pool,
+                                    chunk,
+                                    seed,
+                                )?;
+                                let (rr2, ds2, dc2, hits_r2) = repair_shard_half_sentinel(
+                                    &old.r2,
+                                    None,
+                                    targets,
+                                    z,
+                                    from_chunk,
+                                    s64,
+                                    shards,
+                                    sampler,
+                                    pool,
+                                    chunk,
+                                    seed ^ R2_STREAM,
+                                )?;
+                                let shard = if dc1 == 0 && dc2 == 0 {
+                                    Arc::clone(old)
+                                } else if dc1 == 0 {
+                                    // R₁ untouched: keep its cached index.
+                                    Arc::new(ShardSnapshot {
+                                        r1: rr1,
+                                        r2: rr2,
+                                        idx1: old.idx1.clone(),
+                                    })
+                                } else {
+                                    Arc::new(ShardSnapshot::new(rr1, rr2))
+                                };
+                                Ok(ShardRepair {
+                                    shard,
+                                    dirty_sets_r1: ds1,
+                                    dirty_sets_r2: ds2,
+                                    dirty_chunks_r1: dc1,
+                                    dirty_chunks_r2: dc2,
+                                    hits_r1,
+                                    hits_r2,
+                                })
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard repairer panicked"))
+                        .collect()
+                });
+                let mut new_st = st.clone();
+                let mut new_shards = Vec::with_capacity(self.shards);
+                for repair in repairs {
+                    let r = repair?;
+                    report.dirty_sets_r1 += r.dirty_sets_r1;
+                    report.dirty_sets_r2 += r.dirty_sets_r2;
+                    report.dirty_chunks_r1 += r.dirty_chunks_r1;
+                    report.dirty_chunks_r2 += r.dirty_chunks_r2;
+                    for (id, h) in r.hits_r1 {
+                        new_st.chunk_hits_r1[id as usize] = h;
+                    }
+                    for (id, h) in r.hits_r2 {
+                        new_st.chunk_hits_r2[id as usize] = h;
+                    }
+                    new_shards.push(r.shard);
+                }
+                (new_shards, Some(new_st))
+            }
+            None => {
+                let repairs: Vec<Result<ShardRepair, PoolError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = base
+                        .shards
+                        .iter()
+                        .zip(&ws.pools)
+                        .enumerate()
+                        .map(|(s, (old, pool))| {
+                            let (sampler, targets) = (&sampler, &targets);
+                            scope.spawn(move || {
+                                let s64 = s as u64;
+                                let h1 = repair_half_indexed(
+                                    &old.r1,
+                                    &old.idx1,
+                                    targets,
+                                    sampler,
+                                    pool,
+                                    chunk,
+                                    seed,
+                                    |j| s64 + j * shards,
+                                )?;
+                                let h2 = repair_half_mapped(
+                                    &old.r2,
+                                    targets,
+                                    sampler,
+                                    pool,
+                                    chunk,
+                                    seed ^ R2_STREAM,
+                                    1,
+                                    |j| s64 + j * shards,
+                                )?;
+                                let shard = if h1.dirty_chunks == 0 && h2.dirty_chunks == 0 {
+                                    Arc::clone(old)
+                                } else if h1.dirty_chunks == 0 {
+                                    // R₁ untouched: keep its cached index.
+                                    Arc::new(ShardSnapshot {
+                                        r1: h1.rr,
+                                        r2: h2.rr,
+                                        idx1: old.idx1.clone(),
+                                    })
+                                } else {
+                                    Arc::new(ShardSnapshot::new(h1.rr, h2.rr))
+                                };
+                                Ok(ShardRepair {
+                                    shard,
+                                    dirty_sets_r1: h1.dirty_sets,
+                                    dirty_sets_r2: h2.dirty_sets,
+                                    dirty_chunks_r1: h1.dirty_chunks,
+                                    dirty_chunks_r2: h2.dirty_chunks,
+                                    hits_r1: Vec::new(),
+                                    hits_r2: Vec::new(),
+                                })
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard repairer panicked"))
+                        .collect()
+                });
+                let mut new_shards = Vec::with_capacity(self.shards);
+                for repair in repairs {
+                    let r = repair?;
+                    report.dirty_sets_r1 += r.dirty_sets_r1;
+                    report.dirty_sets_r2 += r.dirty_sets_r2;
+                    report.dirty_chunks_r1 += r.dirty_chunks_r1;
+                    report.dirty_chunks_r2 += r.dirty_chunks_r2;
+                    new_shards.push(r.shard);
+                }
+                (new_shards, base.sentinel.clone())
+            }
+        };
+        drop(sampler);
 
         let mut ws = ws;
         ws.vg = staged;
@@ -580,6 +922,7 @@ impl ShardedDeltaIndex {
             fingerprint: ws.vg.fingerprint(),
             chunks: base.chunks,
             shards: new_shards,
+            sentinel: new_sentinel,
         });
         self.publish(Arc::clone(&snap));
         report.version = snap.version;
@@ -594,12 +937,186 @@ impl ShardedDeltaIndex {
         Ok(report)
     }
 
+    /// Persists the current snapshot: the union pool is reassembled in
+    /// global chunk order and written through the single-index snapshot
+    /// format (including the sentinel block), so the file round-trips
+    /// through any shard count — and through [`subsim_index::RrIndex`] /
+    /// [`subsim_delta::DeltaIndex`] — behind the same graph fingerprint.
+    pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), DeltaError> {
+        let ws = self.writer.lock().expect("writer lock poisoned");
+        let snap = self.load();
+        let (r1, r2) = snap.union_pools(self.config.chunk_size);
+        let mut idx = RrIndex::from_pool_parts(&snap.graph, self.config, r1, r2, snap.chunks)?;
+        idx.set_sentinel_state(snap.sentinel.clone())?;
+        idx.save_to_path(path)?;
+        drop(ws);
+        Ok(())
+    }
+
+    /// Builds a sharded index over version 0 of `g` with the union pool
+    /// loaded from a snapshot and re-split `chunk % shards` across shard
+    /// arenas. Fails with a typed [`IndexError::SnapshotMismatch`]
+    /// (wrapped in [`DeltaError::Index`]) when the snapshot was taken at
+    /// a different graph version.
+    pub fn load_snapshot<P: AsRef<Path>>(
+        g: Graph,
+        config: IndexConfig,
+        shards: usize,
+        path: P,
+    ) -> Result<Self, DeltaError> {
+        assert!(shards > 0, "need at least one shard");
+        let vg = VersionedGraph::new(g)?;
+        let mut loaded = RrIndex::load_from_path(vg.graph(), path)?;
+        let sentinel = loaded.take_sentinel_state();
+        let (loaded_config, r1, r2, chunks) = loaded.into_pool_parts();
+        let config = IndexConfig {
+            threads: config.threads,
+            max_nodes: config.max_nodes,
+            ..loaded_config
+        };
+        let n = vg.graph().n();
+        let chunk = config.chunk_size;
+        let shard_pools: Vec<(RrCollection, RrCollection)> = (0..shards as u64)
+            .map(|s| {
+                let mut s1 = RrCollection::new(n);
+                let mut s2 = RrCollection::new(n);
+                for c in (s..chunks).step_by(shards) {
+                    let lo = c as usize * chunk;
+                    let hi = lo + chunk;
+                    s1.extend_from_range(&r1, lo..hi);
+                    s2.extend_from_range(&r2, lo..hi);
+                }
+                (s1, s2)
+            })
+            .collect();
+        let per_shard = (config.threads / shards).max(1);
+        let snap = ShardedSnapshot {
+            graph: vg.graph_arc(),
+            version: vg.version(),
+            fingerprint: vg.fingerprint(),
+            chunks,
+            shards: shard_pools
+                .into_iter()
+                .map(|(s1, s2)| Arc::new(ShardSnapshot::new(s1, s2)))
+                .collect(),
+            sentinel,
+        };
+        Ok(ShardedDeltaIndex {
+            config,
+            shards,
+            snapshot: RwLock::new(Arc::new(snap)),
+            writer: Mutex::new(WriterState {
+                vg,
+                pools: (0..shards).map(|_| WorkerPool::new(per_shard)).collect(),
+            }),
+            metrics: IndexMetrics::default(),
+        })
+    }
+
     fn publish(&self, snap: Arc<ShardedSnapshot>) {
         *self.snapshot.write().expect("snapshot lock poisoned") = snap;
         self.metrics
             .snapshot_publishes
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
+}
+
+/// Sentinel-aware repair of one shard's pool half: local chunk position
+/// `j` stores global chunk `s + j·N`; dirty globals `< from_chunk`
+/// regenerate plain, the rest truncated under `z`, with refreshed hit
+/// counts returned as `(global chunk, hits)` updates.
+///
+/// Returns `(repaired half, dirty sets, dirty chunks, hit updates)`.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn repair_shard_half_sentinel(
+    pool: &RrCollection,
+    inv: Option<&InvertedIndex>,
+    targets: &[NodeId],
+    z: &[NodeId],
+    from_chunk: u64,
+    s: u64,
+    shards: u64,
+    sampler: &RrSampler<'_>,
+    workers: &WorkerPool,
+    chunk_size: usize,
+    seed: u64,
+) -> Result<(RrCollection, usize, usize, Vec<(u64, u64)>), PoolError> {
+    assert!(chunk_size > 0, "chunks must hold at least one set");
+    assert_eq!(
+        pool.len() % chunk_size,
+        0,
+        "pool half must be a whole number of chunks"
+    );
+    let built;
+    let inv = match inv {
+        Some(inv) => inv,
+        None => {
+            built = InvertedIndex::build(pool);
+            &built
+        }
+    };
+    let mut dirty_sets: Vec<u32> = targets
+        .iter()
+        .flat_map(|&t| inv.sets_containing(t))
+        .copied()
+        .collect();
+    dirty_sets.sort_unstable();
+    dirty_sets.dedup();
+    let dirty_set_count = dirty_sets.len();
+    let mut dirty_local: Vec<u64> = dirty_sets
+        .into_iter()
+        .map(|x| x as u64 / chunk_size as u64)
+        .collect();
+    dirty_local.dedup();
+    if dirty_local.is_empty() {
+        return Ok((pool.clone(), dirty_set_count, 0, Vec::new()));
+    }
+    let global = |j: u64| s + j * shards;
+    let plain_ids: Vec<u64> = dirty_local
+        .iter()
+        .map(|&j| global(j))
+        .filter(|&c| c < from_chunk)
+        .collect();
+    let trunc_ids: Vec<u64> = dirty_local
+        .iter()
+        .map(|&j| global(j))
+        .filter(|&c| c >= from_chunk)
+        .collect();
+    let plain = if plain_ids.is_empty() {
+        None
+    } else {
+        Some(workers.try_generate_chunk_ids(sampler, None, &plain_ids, chunk_size, seed)?)
+    };
+    let trunc = if trunc_ids.is_empty() {
+        None
+    } else {
+        Some(workers.try_generate_chunk_ids(sampler, Some(z), &trunc_ids, chunk_size, seed)?)
+    };
+    let mut hits = Vec::with_capacity(trunc_ids.len());
+    if let Some(batch) = &trunc {
+        for (j, &c) in trunc_ids.iter().enumerate() {
+            hits.push((c, batch.chunk_hits[j]));
+        }
+    }
+    let mut rr = RrCollection::new(pool.graph_n());
+    let mut cursor = 0usize;
+    let (mut pi, mut ti) = (0usize, 0usize);
+    for &j in &dirty_local {
+        let lo = j as usize * chunk_size;
+        rr.extend_from_range(pool, cursor..lo);
+        if global(j) < from_chunk {
+            let batch = plain.as_ref().expect("plain batch generated");
+            rr.extend_from_range(&batch.rr, pi * chunk_size..(pi + 1) * chunk_size);
+            pi += 1;
+        } else {
+            let batch = trunc.as_ref().expect("truncated batch generated");
+            rr.extend_from_range(&batch.rr, ti * chunk_size..(ti + 1) * chunk_size);
+            ti += 1;
+        }
+        cursor = lo + chunk_size;
+    }
+    rr.extend_from_range(pool, cursor..pool.len());
+    Ok((rr, dirty_set_count, dirty_local.len(), hits))
 }
 
 fn check_pin(pin: Option<u64>, snap: &ShardedSnapshot) -> Result<(), DeltaError> {

@@ -231,3 +231,150 @@ proptest! {
         prop_assert_eq!(seq.version(), sharded.version());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sentinel tier: the statistical serving path stays in lockstep too.
+// ---------------------------------------------------------------------------
+
+fn sentinel_config() -> IndexConfig {
+    config().sentinels(2)
+}
+
+fn assert_sentinel_eq(a: &subsim_index::SentinelState, b: &subsim_index::SentinelState, tag: &str) {
+    assert_eq!(a.set.nodes(), b.set.nodes(), "{tag}: sentinel nodes");
+    assert_eq!(a.from_chunk, b.from_chunk, "{tag}: from_chunk");
+    assert_eq!(a.chunk_hits_r1, b.chunk_hits_r1, "{tag}: r1 hit counters");
+    assert_eq!(a.chunk_hits_r2, b.chunk_hits_r2, "{tag}: r2 hit counters");
+}
+
+fn assert_pools_eq(seq: &DeltaIndex, sharded: &ShardedDeltaIndex, tag: &str) {
+    let snap = sharded.load();
+    let (u1, u2) = snap.union_pools(seq.config().chunk_size);
+    assert_eq!(u1.len(), seq.selection_pool().len(), "{tag}: r1 len");
+    assert_eq!(u2.len(), seq.validation_pool().len(), "{tag}: r2 len");
+    for i in 0..u1.len() {
+        assert_eq!(u1.get(i), seq.selection_pool().get(i), "{tag}: r1 set {i}");
+    }
+    for i in 0..u2.len() {
+        assert_eq!(u2.get(i), seq.validation_pool().get(i), "{tag}: r2 set {i}");
+    }
+}
+
+/// With sentinels enabled, warm pools, sentinel state (set, boundary,
+/// per-chunk hit counters), non-stale repairs, and stale refreshes are
+/// all byte-identical between the sharded index and the sequential
+/// reference — the statistical tier does not break shard determinism.
+#[test]
+fn sentinel_sharded_matches_sequential_across_deltas() {
+    let g = graph(250, 47);
+    for shards in [2usize, 3] {
+        let mut seq = DeltaIndex::new(g.clone(), sentinel_config()).unwrap();
+        let sharded = ShardedDeltaIndex::new(g.clone(), sentinel_config(), shards).unwrap();
+        seq.warm(320).unwrap();
+        sharded.warm(320).unwrap();
+
+        let snap = sharded.load();
+        let st_seq = seq.sentinel_state().expect("sequential sentinel active");
+        let st_sh = snap.sentinel_state().expect("sharded sentinel active");
+        assert_sentinel_eq(st_seq, st_sh, "after warm");
+        assert!(!st_seq.set.is_empty());
+        let z: Vec<u32> = st_seq.set.nodes().to_vec();
+        drop(snap);
+        assert_pools_eq(&seq, &sharded, "after warm");
+
+        let a = seq.query(4, 0.1, 0.01).unwrap();
+        let b = sharded.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds, "shards={shards} warm query");
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+
+        // Non-stale delta: endpoints chosen away from the sentinel set.
+        let (u, v) = (0..g.n() as u32)
+            .flat_map(|u| (0..g.n() as u32).map(move |v| (u, v)))
+            .find(|&(u, v)| {
+                u != v && !z.contains(&u) && !z.contains(&v) && g.prob_of_edge(u, v).is_none()
+            })
+            .expect("a missing non-sentinel edge exists");
+        let ra = seq
+            .apply_delta(&GraphDelta::new().insert_edge(u, v, 0.55))
+            .unwrap();
+        let rb = sharded
+            .apply_delta(&GraphDelta::new().insert_edge(u, v, 0.55))
+            .unwrap();
+        assert!(!ra.sentinel_refreshed, "Z untouched must not refresh");
+        assert!(!rb.sentinel_refreshed, "Z untouched must not refresh");
+        assert_eq!(ra.dirty_chunks_r1, rb.dirty_chunks_r1, "shards={shards}");
+        assert_eq!(ra.dirty_chunks_r2, rb.dirty_chunks_r2, "shards={shards}");
+        assert_sentinel_eq(
+            seq.sentinel_state().unwrap(),
+            sharded.load().sentinel_state().unwrap(),
+            "after non-stale delta",
+        );
+        assert_pools_eq(&seq, &sharded, "after non-stale delta");
+        let a = seq.query(4, 0.1, 0.01).unwrap();
+        let b = sharded.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds, "shards={shards} non-stale query");
+
+        // Stale delta: an edge into a sentinel forces a refresh.
+        let w = (0..g.n() as u32)
+            .find(|&w| w != z[0] && w != u && g.prob_of_edge(w, z[0]).is_none())
+            .expect("a missing edge into the sentinel exists");
+        let ra = seq
+            .apply_delta(&GraphDelta::new().insert_edge(w, z[0], 0.7))
+            .unwrap();
+        let rb = sharded
+            .apply_delta(&GraphDelta::new().insert_edge(w, z[0], 0.7))
+            .unwrap();
+        assert!(ra.sentinel_refreshed, "sentinel edge must refresh Z");
+        assert!(rb.sentinel_refreshed, "sentinel edge must refresh Z");
+        assert_eq!(ra.dirty_chunks_r1, rb.dirty_chunks_r1, "shards={shards}");
+        assert_eq!(ra.dirty_chunks_r2, rb.dirty_chunks_r2, "shards={shards}");
+        assert_sentinel_eq(
+            seq.sentinel_state().unwrap(),
+            sharded.load().sentinel_state().unwrap(),
+            "after stale delta",
+        );
+        assert_pools_eq(&seq, &sharded, "after stale delta");
+        let a = seq.query(4, 0.1, 0.01).unwrap();
+        let b = sharded.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds, "shards={shards} post-refresh query");
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+        assert_eq!(seq.version(), sharded.version());
+    }
+}
+
+/// Sharded snapshots round-trip through the single-index format with the
+/// sentinel block intact: reload at a different shard count, or into the
+/// sequential [`DeltaIndex`], and serve identical answers.
+#[test]
+fn sharded_sentinel_snapshot_round_trips_across_layouts() {
+    let dir = std::env::temp_dir().join("subsim_serve_sentinel_snapshot_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pool.subsimix");
+    let g = graph(200, 53);
+    let sharded = ShardedDeltaIndex::new(g.clone(), sentinel_config(), 3).unwrap();
+    sharded.warm(320).unwrap();
+    let want = sharded.query(4, 0.1, 0.01).unwrap();
+    sharded.save_snapshot(&path).unwrap();
+    let snap = sharded.load();
+    let st = snap.sentinel_state().expect("sentinel active");
+
+    let resharded =
+        ShardedDeltaIndex::load_snapshot(g.clone(), sentinel_config(), 2, &path).unwrap();
+    assert_sentinel_eq(
+        st,
+        resharded.load().sentinel_state().unwrap(),
+        "reshard 3 -> 2",
+    );
+    let got = resharded.query(4, 0.1, 0.01).unwrap();
+    assert_eq!(want.seeds, got.seeds, "resharded answers diverge");
+    assert_eq!(want.stats.lower_bound, got.stats.lower_bound);
+    assert_eq!(want.stats.upper_bound, got.stats.upper_bound);
+
+    let mut seq = DeltaIndex::load_snapshot(g, sentinel_config(), &path).unwrap();
+    assert_sentinel_eq(st, seq.sentinel_state().unwrap(), "shard -> sequential");
+    let got = seq.query(4, 0.1, 0.01).unwrap();
+    assert_eq!(want.seeds, got.seeds, "sequential reload diverges");
+    std::fs::remove_file(&path).ok();
+}

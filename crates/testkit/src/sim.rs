@@ -54,6 +54,19 @@ fn sim_config() -> IndexConfig {
         .threads(2)
 }
 
+/// [`sim_config`] with the sentinel tier enabled: chunks past the
+/// warmup prefix run through the stopped-RR wrapper over a 2-node
+/// sentinel set. Pool content stays a pure function of its size, so the
+/// model check carries over unchanged.
+fn sim_config_sentinel() -> IndexConfig {
+    sim_config().sentinels(2)
+}
+
+/// Sets every sentinel-enabled run pre-grows to before serving: past
+/// the 4-chunk warmup boundary, so the sentinel tier is active (and
+/// identically selected on every stack) before the first scripted line.
+const SENTINEL_WARM_SETS: usize = 320;
+
 /// What one script line did, in canonical text form (identical between
 /// the concurrent run and the sequential model when behavior matches).
 pub type SimStep = String;
@@ -192,6 +205,16 @@ pub fn run_concurrent(g: &Graph, script: &[String]) -> SimOutcome {
     run_serve_stack(&index, script)
 }
 
+/// [`run_concurrent`] with the sentinel tier active: the index warms
+/// past the sentinel boundary before the script starts, so every
+/// scripted query serves from truncated pools.
+pub fn run_concurrent_sentinel(g: &Graph, script: &[String]) -> SimOutcome {
+    let index = ConcurrentDeltaIndex::new(g.clone(), sim_config_sentinel())
+        .expect("simulated index builds");
+    index.warm(SENTINEL_WARM_SETS).expect("sentinel warmup");
+    run_serve_stack(&index, script)
+}
+
 /// Runs `script` through the serving loop over an N-shard
 /// [`ShardedDeltaIndex`] — the model check that chunk-ownership sharding
 /// keeps serving a pure function of the script, byte-identical to the
@@ -199,6 +222,17 @@ pub fn run_concurrent(g: &Graph, script: &[String]) -> SimOutcome {
 pub fn run_sharded(g: &Graph, script: &[String], shards: usize) -> SimOutcome {
     let index = ShardedDeltaIndex::new(g.clone(), sim_config(), shards)
         .expect("simulated sharded index builds");
+    run_serve_stack(&index, script)
+}
+
+/// [`run_sharded`] with the sentinel tier active (see
+/// [`run_concurrent_sentinel`]): sentinels are selected globally and
+/// applied per shard, and the outcome must still match the sequential
+/// sentinel model byte for byte.
+pub fn run_sharded_sentinel(g: &Graph, script: &[String], shards: usize) -> SimOutcome {
+    let index = ShardedDeltaIndex::new(g.clone(), sim_config_sentinel(), shards)
+        .expect("simulated sharded index builds");
+    index.warm(SENTINEL_WARM_SETS).expect("sentinel warmup");
     run_serve_stack(&index, script)
 }
 
@@ -283,7 +317,20 @@ fn run_serve_stack<I: ServeIndex>(index: &I, script: &[String]) -> SimOutcome {
 /// Replays `script` against the sequential [`DeltaIndex`] — the
 /// reference semantics the concurrent stack must match.
 pub fn run_sequential_model(g: &Graph, script: &[String]) -> SimOutcome {
-    let mut index = DeltaIndex::new(g.clone(), sim_config()).expect("simulated index builds");
+    let index = DeltaIndex::new(g.clone(), sim_config()).expect("simulated index builds");
+    run_model(index, script)
+}
+
+/// [`run_sequential_model`] with the sentinel tier active and the same
+/// pre-serving warmup as the concurrent/sharded sentinel runs.
+pub fn run_sequential_model_sentinel(g: &Graph, script: &[String]) -> SimOutcome {
+    let mut index =
+        DeltaIndex::new(g.clone(), sim_config_sentinel()).expect("simulated index builds");
+    index.warm(SENTINEL_WARM_SETS).expect("sentinel warmup");
+    run_model(index, script)
+}
+
+fn run_model(mut index: DeltaIndex, script: &[String]) -> SimOutcome {
     let records = script
         .iter()
         .map(|line| {
@@ -348,6 +395,37 @@ pub fn check_seed_sharded(g: &Graph, seed: u64, steps: usize, shards: usize) -> 
     let sharded = run_sharded(g, &script, shards);
     let model = run_sequential_model(g, &script);
     let label = format!("sharded({shards})");
+    diff_outcomes(&label, seed, steps, &script, &sharded, &model)
+}
+
+/// [`check_seed`] with the sentinel tier active on both sides: the
+/// concurrent sentinel stack (truncated growth, sentinel-aware repair
+/// and refresh) must match the sequential sentinel model bit for bit.
+pub fn check_seed_sentinel(g: &Graph, seed: u64, steps: usize) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let concurrent = run_concurrent_sentinel(g, &script);
+    let model = run_sequential_model_sentinel(g, &script);
+    diff_outcomes(
+        "concurrent+sentinel",
+        seed,
+        steps,
+        &script,
+        &concurrent,
+        &model,
+    )
+}
+
+/// [`check_seed_sharded`] with the sentinel tier active on both sides.
+pub fn check_seed_sharded_sentinel(
+    g: &Graph,
+    seed: u64,
+    steps: usize,
+    shards: usize,
+) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let sharded = run_sharded_sentinel(g, &script, shards);
+    let model = run_sequential_model_sentinel(g, &script);
+    let label = format!("sharded({shards})+sentinel");
     diff_outcomes(&label, seed, steps, &script, &sharded, &model)
 }
 

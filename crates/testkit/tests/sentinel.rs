@@ -1,0 +1,277 @@
+//! Sentinel-tier conformance: the stopped-RR serving path checked
+//! against ground truth.
+//!
+//! The sentinel tier (HIST Alg 5/7 wired into the index stack) is
+//! certified *statistically*, not by bit-equality with plain pools, so
+//! its referee must be independent of RR sampling entirely:
+//!
+//! - **Certificate conformance** — on graphs small enough to enumerate
+//!   every live-edge world, seed sets served from sentinel-truncated
+//!   pools must clear the same `(1 - 1/e - ε)` floor against the
+//!   brute-forced `OPT_k` as plain pools, with their certified bounds
+//!   bracketing truth.
+//! - **Stop-rate physics** — a truncated traversal records a hit
+//!   exactly when the full RR set would intersect the sentinel set `Z`,
+//!   which happens with probability `σ(Z)/n` (the standard RR-coverage
+//!   identity). The recorded per-chunk hit counters are therefore
+//!   Binomial(chunk, σ(Z)/n) draws; a χ² test at α = 0.001 against the
+//!   oracle-computed `σ(Z)` pins the bookkeeping to physics with a
+//!   fixed seed (no flake budget).
+//! - **Corruption injection** — a persisted sentinel block that is
+//!   damaged in any byte must surface as a typed
+//!   [`IndexError::SnapshotMismatch`], never load as a silently-plain
+//!   (or silently-wrong) pool.
+
+use subsim_diffusion::RrStrategy;
+use subsim_graph::generators::complete_graph;
+use subsim_graph::{Graph, GraphBuilder, WeightModel};
+use subsim_index::{read_index, write_index, IndexConfig, IndexError, RrIndex, SentinelState};
+use subsim_testkit::{
+    chi_square_critical, chi_square_stat, merge_small_bins, ExactOracle, Fault, FaultyReader,
+};
+
+fn uniform(p: f64) -> WeightModel {
+    WeightModel::UniformIc { p }
+}
+
+/// Star with heterogeneous hub→leaf probabilities: the hub dominates
+/// influence, so a 1–2 node sentinel set has a meaningful stop rate.
+fn weighted_star() -> Graph {
+    let probs = [0.15, 0.2, 0.35, 0.5, 0.6, 0.7, 0.9];
+    let mut b = GraphBuilder::new(8);
+    for (i, &p) in probs.iter().enumerate() {
+        b = b.add_weighted_edge(0, i as u32 + 1, p);
+    }
+    b.build().unwrap()
+}
+
+fn config(sentinels: usize) -> IndexConfig {
+    IndexConfig::new(RrStrategy::SubsimIc)
+        .seed(13)
+        .chunk_size(16)
+        .threads(2)
+        .sentinels(sentinels)
+}
+
+/// Warm target: past the 4-chunk warmup prefix with a truncated tail.
+const WARM_SETS: usize = 16 * 12;
+
+/// Sentinel-pool answers clear the same `(ε, δ)` certificate as plain
+/// pools, judged against the brute-forced optimum: spread above the
+/// paper's floor, certified bounds bracketing truth.
+#[test]
+fn sentinel_seed_sets_meet_the_plain_certificate_against_opt() {
+    let shapes: Vec<(&str, Graph)> = vec![
+        ("complete5", complete_graph(5, uniform(0.3))),
+        ("weighted-star", weighted_star()),
+    ];
+    let (k, epsilon, delta) = (2usize, 0.1, 0.01);
+    for (name, g) in shapes {
+        let oracle = ExactOracle::new(&g);
+        let (_, opt) = oracle.exact_opt(k);
+        let floor = (1.0 - 1.0 / std::f64::consts::E - epsilon) * opt;
+        for sentinels in [0usize, 2] {
+            let mut index = RrIndex::new(&g, config(sentinels));
+            index.warm(WARM_SETS).unwrap();
+            if sentinels > 0 {
+                let st = index.sentinel_state().expect("sentinel tier active");
+                assert!(!st.set.is_empty(), "{name}: empty sentinel set selected");
+            }
+            let ans = index.query(k, epsilon, delta).unwrap();
+            let label = format!("{name}/sentinels={sentinels}");
+            assert!(
+                ans.stats.certified_by_bounds,
+                "{label}: query did not certify"
+            );
+            let spread = oracle.influence(&ans.seeds);
+            assert!(
+                spread >= floor - 1e-9,
+                "{label}: spread {spread} below the (1-1/e-ε) floor {floor} (OPT {opt})"
+            );
+            assert!(
+                ans.stats.lower_bound <= spread + 1e-9,
+                "{label}: certified lower bound {} above true spread {spread}",
+                ans.stats.lower_bound
+            );
+            assert!(
+                ans.stats.upper_bound >= opt - 1e-9,
+                "{label}: certified upper bound {} below OPT {opt}",
+                ans.stats.upper_bound
+            );
+        }
+    }
+}
+
+/// Binomial pmf by the multiplicative recurrence (exact enough for
+/// χ² expectations at chunk sizes this small).
+fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
+    let mut pmf = vec![0.0; n + 1];
+    pmf[0] = (1.0 - p).powi(n as i32);
+    for h in 1..=n {
+        pmf[h] = pmf[h - 1] * ((n - h + 1) as f64 / h as f64) * (p / (1.0 - p));
+    }
+    pmf
+}
+
+/// The recorded per-chunk sentinel-hit counters follow
+/// Binomial(chunk, σ(Z)/n) with `σ(Z)` from the exact oracle: the Alg 5
+/// wrapper records a hit iff the full RR set would contain a sentinel.
+#[test]
+fn sentinel_hit_counts_match_oracle_stop_rate() {
+    let g = weighted_star();
+    let oracle = ExactOracle::new(&g);
+    let chunk = 16usize;
+    // 4 warmup chunks + 300 truncated chunks per half = 600 samples.
+    let mut index = RrIndex::new(&g, config(2));
+    index.warm(chunk * (4 + 300)).unwrap();
+    let st = index.sentinel_state().expect("sentinel tier active");
+    let z = st.set.nodes();
+    let p = oracle.influence(z) / g.n() as f64;
+    assert!(p > 0.0 && p < 1.0, "degenerate stop rate {p}");
+
+    let from = st.from_chunk as usize;
+    let mut observed = vec![0u64; chunk + 1];
+    for half in [&st.chunk_hits_r1, &st.chunk_hits_r2] {
+        assert!(
+            half[..from].iter().all(|&h| h == 0),
+            "warmup chunks must record no hits"
+        );
+        for &h in &half[from..] {
+            assert!(h as usize <= chunk, "hit count {h} exceeds chunk size");
+            observed[h as usize] += 1;
+        }
+    }
+    let total: u64 = observed.iter().sum();
+    assert_eq!(total, 600, "300 truncated chunks per half");
+    let expected: Vec<f64> = binomial_pmf(chunk, p)
+        .iter()
+        .map(|q| q * total as f64)
+        .collect();
+    let (obs, exp) = merge_small_bins(&observed, &expected, 5.0);
+    assert!(obs.len() >= 2, "degenerate binning {obs:?}");
+    let stat = chi_square_stat(&obs, &exp);
+    let critical = chi_square_critical(obs.len() - 1);
+    assert!(
+        stat <= critical,
+        "hit counts: χ² = {stat:.2} exceeds critical {critical} (df {}); \
+         stop rate σ(Z)/n = {p:.4}, observed {obs:?} expected {exp:?}",
+        obs.len() - 1
+    );
+}
+
+/// Structurally corrupt in-memory sentinel state is refused with a
+/// typed [`IndexError::SnapshotMismatch`] — installing it must never
+/// half-succeed.
+#[test]
+fn corrupt_sentinel_state_is_rejected_typed() {
+    let g = weighted_star();
+    let mut index = RrIndex::new(&g, config(2));
+    index.warm(WARM_SETS).unwrap();
+    let good = index
+        .sentinel_state()
+        .expect("sentinel tier active")
+        .clone();
+
+    let mut out_of_range = good.clone();
+    out_of_range.set = subsim_core::SentinelSet::from_nodes(vec![g.n() as u32]);
+    let mut short_hits = good.clone();
+    short_hits.chunk_hits_r1.pop();
+    let mut bad_boundary = good.clone();
+    bad_boundary.from_chunk = good.chunk_hits_r1.len() as u64 + 1;
+
+    for (label, bad) in [
+        ("node out of range", out_of_range),
+        ("short hit vector", short_hits),
+        ("boundary past cursor", bad_boundary),
+    ] {
+        let err = index
+            .set_sentinel_state(Some(bad))
+            .expect_err(&format!("{label} must be refused"));
+        assert!(
+            matches!(err, IndexError::SnapshotMismatch { .. }),
+            "{label}: unexpected error {err:?}"
+        );
+    }
+    // The refusals left the index serving with its original state.
+    let st = index.sentinel_state().expect("original state survives");
+    assert_eq!(st.set.nodes(), good.set.nodes());
+    // The untouched export re-installs cleanly, and the index serves.
+    index.set_sentinel_state(Some(good)).unwrap();
+    index.query(2, 0.1, 0.01).unwrap();
+}
+
+/// Every byte of the persisted sentinel block is protected: flipping
+/// any of them fails the load with a typed error — never a silent
+/// fallback to a plain pool, never a wrong sentinel state.
+#[test]
+fn corrupt_persisted_sentinel_block_fails_typed_never_plain() {
+    let g = weighted_star();
+    let mut index = RrIndex::new(&g, config(2));
+    index.warm(WARM_SETS).unwrap();
+    let st = index
+        .sentinel_state()
+        .expect("sentinel tier active")
+        .clone();
+    let mut bytes = Vec::new();
+    write_index(&index, &mut bytes).unwrap();
+
+    // Layout tail: flag u8, from_chunk u64, z_len u64, z u32×|Z|,
+    // hits u64×chunks×2, then the 8-byte FNV trailer.
+    let chunks = st.chunk_hits_r1.len();
+    let block = 1 + 8 + 8 + 4 * st.set.len() + 16 * chunks;
+    let start = bytes.len() - 8 - block;
+    // One probe per block region: flag, boundary, |Z|, the set itself,
+    // both hit arrays, and the trailer.
+    let offsets = [
+        start,
+        start + 1,
+        start + 9,
+        start + 17,
+        start + 17 + 4 * st.set.len(),
+        bytes.len() - 12,
+        bytes.len() - 1,
+    ];
+    for offset in offsets {
+        let reader = FaultyReader::new(bytes.clone(), Fault::CorruptByte { offset, xor: 0x20 });
+        let err = read_index(&g, reader)
+            .expect_err(&format!("corruption at byte {offset} must be detected"));
+        assert!(
+            matches!(err, IndexError::SnapshotMismatch { .. } | IndexError::Io(_)),
+            "corruption at {offset}: unexpected error {err:?}"
+        );
+    }
+    // Truncation that drops exactly the sentinel block is equally typed:
+    // a v3 snapshot may not quietly degrade to a plain pool.
+    let reader = FaultyReader::new(bytes.clone(), Fault::TruncateAt(start));
+    let err = read_index(&g, reader).expect_err("missing sentinel block must fail");
+    assert!(
+        matches!(err, IndexError::Io(_) | IndexError::SnapshotMismatch { .. }),
+        "unexpected error {err:?}"
+    );
+    // Control arm: clean bytes round-trip the full sentinel state.
+    let mut loaded = read_index(&g, FaultyReader::new(bytes, Fault::None)).unwrap();
+    let got = loaded.sentinel_state().expect("sentinel state reloaded");
+    assert_eq!(got.set.nodes(), st.set.nodes());
+    assert_eq!(got.from_chunk, st.from_chunk);
+    assert_eq!(got.chunk_hits_r1, st.chunk_hits_r1);
+    assert_eq!(got.chunk_hits_r2, st.chunk_hits_r2);
+    loaded.query(2, 0.1, 0.01).unwrap();
+}
+
+/// `SentinelState` round-trips through its public validation: the state
+/// an index exports is exactly the state another index accepts.
+#[test]
+fn exported_sentinel_state_installs_on_a_fresh_pool() {
+    let g = weighted_star();
+    let mut a = RrIndex::new(&g, config(2));
+    a.warm(WARM_SETS).unwrap();
+    let st: SentinelState = a.sentinel_state().unwrap().clone();
+    let mut b = RrIndex::new(&g, config(2));
+    b.warm(WARM_SETS).unwrap();
+    // Same config + same size → the two indexes selected the same state
+    // independently; installing the export is a no-op by value.
+    let prev = b.sentinel_state().unwrap().clone();
+    assert_eq!(prev.set.nodes(), st.set.nodes());
+    b.set_sentinel_state(Some(st)).unwrap();
+    b.query(2, 0.1, 0.01).unwrap();
+}

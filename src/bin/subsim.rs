@@ -89,6 +89,7 @@ struct ServerArgs {
     stats_out: Option<String>,
     delta_stream: bool,
     shards: usize,
+    sentinels: usize,
     framed: bool,
     listen: Option<String>,
 }
@@ -141,7 +142,15 @@ fn usage() -> &'static str {
      \t                     `delta ~ u v p` lines: apply the edge mutation and\n\
      \t                     incrementally repair the RR pool (acks on stderr)\n\
      \t[--shards <n>]       partition the RR pool across n shards with merged\n\
-     \t                     selection (answers are bit-identical to --shards 1)\n\
+     \t                     selection (answers are bit-identical to --shards 1;\n\
+     \t                     --index-file round-trips through any shard count)\n\
+     \t[--sentinels <b>]    select b sentinel nodes after a warmup prefix and\n\
+     \t                     truncate later RR generation at the first sentinel\n\
+     \t                     hit (HIST Alg 5); answers keep the full (epsilon,\n\
+     \t                     delta) certificate, re-proved per query. Choose\n\
+     \t                     b <= the smallest k you will serve: a k < b query\n\
+     \t                     certifies conservatively and may grow the pool to\n\
+     \t                     its theta_max fallback before answering\n\
      \t[--framed]           async multi-connection server over --socket and/or\n\
      \t                     --listen: 4-byte big-endian length-prefixed frames,\n\
      \t                     one reply frame per request frame, in order\n\
@@ -249,6 +258,7 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
         stats_out: None,
         delta_stream: false,
         shards: 1,
+        sentinels: 0,
         framed: false,
         listen: None,
     };
@@ -284,6 +294,11 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
                     .parse()
                     .map_err(|e| format!("--shards: {e}"))?
             }
+            "--sentinels" => {
+                args.sentinels = val("--sentinels")?
+                    .parse()
+                    .map_err(|e| format!("--sentinels: {e}"))?
+            }
             "--framed" => args.framed = true,
             "--listen" => args.listen = Some(val("--listen")?),
             "--warm" => args.warm = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
@@ -306,9 +321,6 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
     }
     if args.shards == 0 {
         return Err("--shards must be positive".into());
-    }
-    if args.shards > 1 && args.index_file.is_some() {
-        return Err("--index-file is not supported with --shards > 1".into());
     }
     if args.listen.is_some() {
         args.framed = true;
@@ -572,7 +584,8 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
 
     let mut config = IndexConfig::new(strategy)
         .seed(args.seed)
-        .threads(args.threads);
+        .threads(args.threads)
+        .sentinels(args.sentinels);
     if let Some(cap) = args.max_nodes {
         config = config.max_nodes(cap);
     }
@@ -591,7 +604,20 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
 /// Without `--delta-stream` the index serves frozen: `delta` lines are
 /// rejected exactly like the static server.
 fn run_sharded_server(args: ServerArgs, g: Graph, config: IndexConfig) -> Result<(), String> {
-    let index = ShardedDeltaIndex::new(g, config, args.shards).map_err(|e| e.to_string())?;
+    let index = match &args.index_file {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let loaded = ShardedDeltaIndex::load_snapshot(g, config, args.shards, path)
+                .map_err(|e| format!("loading {path}: {e}"))?;
+            eprintln!(
+                "index: loaded {} sets/half from {path} (cursor {}, re-split across {} shards)",
+                loaded.load().pool_len(),
+                loaded.load().chunk_cursor(),
+                loaded.shard_count()
+            );
+            loaded
+        }
+        _ => ShardedDeltaIndex::new(g, config, args.shards).map_err(|e| e.to_string())?,
+    };
     eprintln!("index: {} shards", index.shard_count());
     if args.warm > 0 {
         index.warm(args.warm).map_err(|e| e.to_string())?;
@@ -611,6 +637,15 @@ fn run_sharded_server(args: ServerArgs, g: Graph, config: IndexConfig) -> Result
             m.sets_repaired,
             m.chunks_repaired,
             std::time::Duration::from_nanos(m.repair_time_ns),
+        );
+    }
+    if let Some(path) = &args.index_file {
+        index
+            .save_snapshot(path)
+            .map_err(|e| format!("saving {path}: {e}"))?;
+        eprintln!(
+            "index: saved {} sets/half to {path}",
+            index.load().pool_len()
         );
     }
     Ok(())

@@ -1037,3 +1037,76 @@ fn query_server_socket_startup_handles_stale_and_foreign_paths() {
     assert!(!sock.exists(), "socket file must be cleaned up at exit");
     std::fs::remove_file(graph).ok();
 }
+
+/// `--index-file` round-trips through any shard count: a pool saved by a
+/// 3-shard sentinel server reloads into 2-shard and single-shard servers
+/// and serves warm with identical answers.
+#[test]
+fn query_server_sharded_index_file_round_trips() {
+    let mut edges = String::new();
+    for leaf in 1..10 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("sharded_idx", &edges);
+    let idx_file =
+        std::env::temp_dir().join(format!("subsim_cli_sharded_idx_{}.bin", std::process::id()));
+    let run = |shards: &str, warm: &str| {
+        let mut child = cli()
+            .args([
+                "query-server",
+                "--graph",
+                graph.to_str().unwrap(),
+                "--model",
+                "uniform",
+                "--p",
+                "0.9",
+                "--seed",
+                "5",
+                "--sentinels",
+                "1",
+                "--shards",
+                shards,
+                "--warm",
+                warm,
+                "--index-file",
+                idx_file.to_str().unwrap(),
+            ])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.take().unwrap().write_all(b"1 0.1\n").unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "shards={shards} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+
+    // Past the 4-chunk warmup prefix, so the sentinel tier is active in
+    // the persisted pool.
+    let first = run("3", "2048");
+    assert!(idx_file.exists(), "--index-file must persist the pool");
+    let err = String::from_utf8_lossy(&first.stderr);
+    assert!(err.contains("3 shards"), "stderr: {err}");
+
+    for shards in ["2", "1"] {
+        let out = run(shards, "0");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("index: loaded"), "shards={shards}: {err}");
+        assert!(
+            err.contains("0 fresh"),
+            "loaded pool must serve warm at shards={shards}: {err}"
+        );
+        assert_eq!(
+            out.stdout, first.stdout,
+            "answers diverge after reload at shards={shards}"
+        );
+    }
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(idx_file).ok();
+}
