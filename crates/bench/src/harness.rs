@@ -993,6 +993,164 @@ pub fn bench_pr7(scale: Scale, out_path: &str) {
     println!("wrote {out_path}");
 }
 
+/// The flat-frontier kernel benchmark behind `BENCH_pr8.json`: scalar vs
+/// frontier RR generation across a thread sweep (1, 2, 4, … up to the
+/// host's cores), plus sequential-vs-parallel selection rows on the
+/// frontier-generated pool. Writes the JSON artifact to `out_path` and
+/// prints the same numbers as a table.
+///
+/// The two generation paths are *content-neutral* — the frontier kernel
+/// is bit-identical to the scalar walk (asserted per thread count here
+/// and pinned by `crates/diffusion/tests/frontier.rs`), so only
+/// wall-clock differs. At `Small` scale the artifact is only written
+/// after asserting the frontier path sustains ≥ 1.25× the scalar
+/// sets/sec at every thread count; a single-core host is annotated (the
+/// sweep degenerates to `[1]`) so future multi-core runs can witness
+/// thread scaling on top of the single-thread kernel win.
+pub fn bench_pr8(scale: Scale, out_path: &str) {
+    header("PR8: flat-frontier RR generation");
+    let g = dataset("pokec-s", WeightModel::Wc, scale);
+    let (chunks, chunk_size) = match scale {
+        Scale::Small => (32u64, 128usize),
+        Scale::Paper => (64, 512),
+    };
+    let sets = chunks as usize * chunk_size;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize];
+    while thread_counts.last().is_some_and(|&t| t * 2 <= cores) {
+        let next = thread_counts.last().unwrap() * 2;
+        thread_counts.push(next);
+    }
+    let r = reps(scale).max(3);
+    let k = 50;
+
+    let scalar = RrSampler::scalar(&g, RrStrategy::SubsimIc);
+    let frontier = RrSampler::new(&g, RrStrategy::SubsimIc);
+    assert!(
+        frontier.uses_frontier(),
+        "frontier kernel must engage on the bench workload"
+    );
+
+    // Per-level width telemetry from one single-threaded pass: how much
+    // data-parallelism the level-synchronous kernel actually exposes.
+    let mut ctx = RrContext::new(g.n());
+    let mut rng = rng_from_seed(1808);
+    for _ in 0..sets {
+        frontier.generate(&mut ctx, &mut rng);
+    }
+    let mean_width = ctx.frontier_width_sum as f64 / ctx.frontier_levels.max(1) as f64;
+    let levels_per_set = ctx.frontier_levels as f64 / sets as f64;
+    let peak_width = ctx.frontier_peak_width;
+
+    println!(
+        "graph n={} m={}, pool {sets} sets (chunks {chunks} x {chunk_size}), cores {cores}",
+        g.n(),
+        g.m()
+    );
+    println!(
+        "frontier telemetry: {levels_per_set:.2} levels/set, mean width {mean_width:.2}, \
+         peak width {peak_width}"
+    );
+    println!(
+        "{:>7} {:>10} {:>12} {:>14} {:>16} {:>9} {:>11} {:>11} {:>9}",
+        "threads",
+        "scalar_s",
+        "frontier_s",
+        "scalar_sets/s",
+        "frontier_sets/s",
+        "speedup",
+        "sel_seq_s",
+        "sel_par_s",
+        "sel_x"
+    );
+
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        let pool = WorkerPool::new(threads);
+        let t_scalar = median_secs(r, || {
+            let b = pool.generate_chunks(&scalar, None, 0..chunks, chunk_size, 1800);
+            assert_eq!(b.rr.len(), sets);
+        });
+        let t_frontier = median_secs(r, || {
+            let b = pool.generate_chunks(&frontier, None, 0..chunks, chunk_size, 1800);
+            assert_eq!(b.rr.len(), sets);
+        });
+        // Content witness at this thread count: the two paths must agree
+        // bit for bit (and on the cost proxy) before their wall-clocks
+        // are compared.
+        let a = pool.generate_chunks(&scalar, None, 0..chunks, chunk_size, 1800);
+        let b = pool.generate_chunks(&frontier, None, 0..chunks, chunk_size, 1800);
+        for i in 0..sets {
+            assert_eq!(a.rr.get(i), b.rr.get(i), "paths diverged at set {i}");
+        }
+        assert_eq!(a.cost, b.cost, "cost proxies diverged");
+        let sps_scalar = sets as f64 / t_scalar.max(1e-12);
+        let sps_frontier = sets as f64 / t_frontier.max(1e-12);
+        let speedup = t_scalar / t_frontier.max(1e-12);
+        if matches!(scale, Scale::Small) {
+            assert!(
+                speedup >= 1.25,
+                "frontier path must sustain >= 1.25x scalar sets/sec on the \
+                 Small rig, got {speedup:.3}x at threads={threads}"
+            );
+        }
+
+        let seq_out = greedy_max_coverage(&b.rr, &GreedyConfig::standard(k));
+        let par_out = greedy_max_coverage(&b.rr, &GreedyConfig::standard(k).with_threads(threads));
+        assert_eq!(seq_out.seeds, par_out.seeds, "parallel selection diverged");
+        let t_sel_seq = median_secs(r, || {
+            greedy_max_coverage(&b.rr, &GreedyConfig::standard(k));
+        });
+        let t_sel_par = median_secs(r, || {
+            greedy_max_coverage(&b.rr, &GreedyConfig::standard(k).with_threads(threads));
+        });
+        let sel_speedup = t_sel_seq / t_sel_par.max(1e-12);
+
+        println!(
+            "{threads:>7} {t_scalar:>10.4} {t_frontier:>12.4} {sps_scalar:>14.1} \
+             {sps_frontier:>16.1} {speedup:>9.2} {t_sel_seq:>11.4} {t_sel_par:>11.4} \
+             {sel_speedup:>9.2}"
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"scalar_s\": {t_scalar:.6}, \
+             \"frontier_s\": {t_frontier:.6}, \"scalar_sets_per_sec\": {sps_scalar:.1}, \
+             \"frontier_sets_per_sec\": {sps_frontier:.1}, \
+             \"frontier_speedup\": {speedup:.4}, \"selection_seq_s\": {t_sel_seq:.6}, \
+             \"selection_par_s\": {t_sel_par:.6}, \"selection_speedup\": {sel_speedup:.4}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr8_flat_frontier_generation\",\n  {},\n  \
+         \"scale\": \"{scale:?}\",\n  \"dataset\": \"pokec-s\",\n  \"n\": {},\n  \"m\": {},\n  \
+         \"pool_sets\": {sets},\n  \"chunk_size\": {chunk_size},\n  \
+         \"frontier_levels_per_set\": {levels_per_set:.4},\n  \
+         \"frontier_mean_width\": {mean_width:.4},\n  \
+         \"frontier_peak_width\": {peak_width},\n  \
+         \"single_core\": {},\n  \
+         \"rows\": [\n{}\n  ],\n  \
+         \"note\": \"scalar and frontier pools are bit-identical (asserted per row); \
+         frontier_speedup is the single-path kernel win at equal thread count, asserted \
+         >= 1.25x at Small scale before this artifact is written. {}\"\n}}\n",
+        provenance(*thread_counts.last().unwrap()),
+        g.n(),
+        g.m(),
+        cores == 1,
+        rows.join(",\n"),
+        if cores == 1 {
+            "this run was recorded on a single-core host: the thread sweep degenerates to \
+             [1] and selection parallelism is clamped to sequential, so thread-scaling \
+             rows await a multi-core rerun"
+        } else {
+            "thread counts are capped at the host's cores, one worker per core"
+        },
+    );
+    std::fs::write(out_path, json).expect("writing bench artifact");
+    println!("wrote {out_path}");
+}
+
 /// Sanity line printed by `experiments all` before the figures.
 pub fn preamble(scale: Scale) {
     println!("SUBSIM/HIST experiment harness — scale {scale:?}");

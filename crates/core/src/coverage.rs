@@ -62,9 +62,13 @@ impl<'g> GreedyConfig<'g> {
     ///
     /// The request is advisory: the greedy entry points clamp it through
     /// [`effective_prep_threads`], so asking for parallelism on a 1-core
-    /// box or over a tiny pool silently degrades to the sequential path
-    /// (BENCH_pr3 measured a 0.87× regression when the spawn cost had no
-    /// cores to pay for itself).
+    /// box, over a tiny pool, or over a pool whose *coverage mass*
+    /// (total node memberships) is too small to amortize thread spawns
+    /// silently degrades to the sequential path (BENCH_pr3 measured a
+    /// 0.96× regression when the spawn cost had nothing to pay for
+    /// itself). The clamp only changes wall-clock: picks, prefix
+    /// coverages, and the Eq. 2 bound are byte-identical on both sides
+    /// of every threshold.
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker");
         self.threads = threads;
@@ -80,17 +84,35 @@ const PARALLEL_COUNT_MIN_NODES: usize = 1 << 16;
 /// inverted-index build is microseconds and thread spawn dominates.
 pub const PARALLEL_PREP_MIN_SETS: usize = 1 << 12;
 
+/// Coverage mass (total node memberships, `Σ|R_i|`) below which
+/// selection preparation stays sequential. Set count alone misjudges
+/// sentinel-truncated pools: a million one-node sets still build their
+/// inverted index in under a millisecond, so the per-set gate must be
+/// paired with a per-membership gate — the index build and the initial
+/// count pass are both `O(mass)`, not `O(sets)`.
+pub const PARALLEL_PREP_MIN_MASS: usize = 1 << 16;
+
 /// Clamps a requested selection-prep thread count against the machine
 /// and the workload.
 ///
 /// Returns `1` (sequential) when the box has a single core — spawning
-/// workers that time-slice one core is pure overhead (BENCH_pr3's 0.87×
+/// workers that time-slice one core is pure overhead (BENCH_pr3's 0.96×
 /// selection regression) — or when the pool holds fewer than
-/// [`PARALLEL_PREP_MIN_SETS`] sets. Otherwise the request is honoured
-/// as-is; prep output is thread-count-invariant, so the clamp only ever
-/// changes wall-clock, never selection results.
-pub fn effective_prep_threads(requested: usize, pool_sets: usize, cores: usize) -> usize {
-    if requested <= 1 || cores <= 1 || pool_sets < PARALLEL_PREP_MIN_SETS {
+/// [`PARALLEL_PREP_MIN_SETS`] sets or fewer than
+/// [`PARALLEL_PREP_MIN_MASS`] total node memberships. Otherwise the
+/// request is honoured as-is; prep output is thread-count-invariant, so
+/// the clamp only ever changes wall-clock, never selection results.
+pub fn effective_prep_threads(
+    requested: usize,
+    pool_sets: usize,
+    pool_mass: usize,
+    cores: usize,
+) -> usize {
+    if requested <= 1
+        || cores <= 1
+        || pool_sets < PARALLEL_PREP_MIN_SETS
+        || pool_mass < PARALLEL_PREP_MIN_MASS
+    {
         1
     } else {
         requested
@@ -164,7 +186,7 @@ fn initial_counts(idxs: &[&InvertedIndex], n: usize, threads: usize) -> Vec<usiz
 /// yields both the next seed (the maximum) and the Eq. 2 top-`k` marginal
 /// sum in one sweep.
 pub fn greedy_max_coverage(rr: &RrCollection, cfg: &GreedyConfig<'_>) -> GreedyOutcome {
-    let prep = effective_prep_threads(cfg.threads, rr.len(), available_cores());
+    let prep = effective_prep_threads(cfg.threads, rr.len(), rr.total_nodes(), available_cores());
     let idx = InvertedIndex::build_parallel(rr, prep);
     greedy_over_indexes(&[rr], &[&idx], cfg, prep)
 }
@@ -184,7 +206,8 @@ pub fn greedy_max_coverage_sharded(
     cfg: &GreedyConfig<'_>,
 ) -> GreedyOutcome {
     let total_sets: usize = shards.iter().map(|rr| rr.len()).sum();
-    let prep = effective_prep_threads(cfg.threads, total_sets, available_cores());
+    let total_mass: usize = shards.iter().map(|rr| rr.total_nodes()).sum();
+    let prep = effective_prep_threads(cfg.threads, total_sets, total_mass, available_cores());
     let idxs: Vec<InvertedIndex> = if prep > 1 && shards.len() > 1 {
         std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -213,7 +236,8 @@ pub fn greedy_max_coverage_indexed(
     cfg: &GreedyConfig<'_>,
 ) -> GreedyOutcome {
     let total_sets: usize = shards.iter().map(|rr| rr.len()).sum();
-    let prep = effective_prep_threads(cfg.threads, total_sets, available_cores());
+    let total_mass: usize = shards.iter().map(|rr| rr.total_nodes()).sum();
+    let prep = effective_prep_threads(cfg.threads, total_sets, total_mass, available_cores());
     greedy_over_indexes(shards, idxs, cfg, prep)
 }
 
@@ -572,15 +596,79 @@ mod tests {
 
     #[test]
     fn prep_thread_clamp_pins_fallback_decision() {
+        const BIG: usize = 1 << 20;
         // One core: always sequential, whatever was asked for.
-        assert_eq!(effective_prep_threads(8, 1 << 20, 1), 1);
+        assert_eq!(effective_prep_threads(8, BIG, BIG, 1), 1);
         // Tiny pool: spawn cost dominates, stay sequential even with cores.
-        assert_eq!(effective_prep_threads(8, PARALLEL_PREP_MIN_SETS - 1, 16), 1);
+        assert_eq!(
+            effective_prep_threads(8, PARALLEL_PREP_MIN_SETS - 1, BIG, 16),
+            1
+        );
         // Sequential request passes through untouched.
-        assert_eq!(effective_prep_threads(1, 1 << 20, 16), 1);
+        assert_eq!(effective_prep_threads(1, BIG, BIG, 16), 1);
         // Big pool on a multi-core box: the request is honoured.
-        assert_eq!(effective_prep_threads(8, PARALLEL_PREP_MIN_SETS, 16), 8);
-        assert_eq!(effective_prep_threads(3, 1 << 20, 2), 3);
+        assert_eq!(
+            effective_prep_threads(8, PARALLEL_PREP_MIN_SETS, BIG, 16),
+            8
+        );
+        assert_eq!(effective_prep_threads(3, BIG, BIG, 2), 3);
+    }
+
+    #[test]
+    fn prep_thread_clamp_crossover_on_coverage_mass() {
+        const BIG: usize = 1 << 20;
+        // Exact crossover: one membership below the mass gate falls back,
+        // at the gate the request is honoured.
+        assert_eq!(
+            effective_prep_threads(8, BIG, PARALLEL_PREP_MIN_MASS - 1, 16),
+            1
+        );
+        assert_eq!(
+            effective_prep_threads(8, BIG, PARALLEL_PREP_MIN_MASS, 16),
+            8
+        );
+        // Many sets but nearly empty (sentinel-truncated pools): set count
+        // alone would have parallelized; the mass gate catches it.
+        assert_eq!(effective_prep_threads(8, BIG, BIG / 1024, 16), 1);
+    }
+
+    #[test]
+    fn picks_byte_identical_across_mass_crossover() {
+        use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
+        use subsim_graph::generators::barabasi_albert;
+        use subsim_sampling::rng_from_seed;
+
+        // Two pools straddling the mass threshold (same distribution,
+        // different sizes); on both sides every thread request must yield
+        // the sequential picks byte-for-byte — the clamp (or, above the
+        // gate, thread-invariant prep) never alters selection.
+        let g = barabasi_albert(500, 4, WeightModel::Wc, 83);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let mut ctx = RrContext::new(g.n());
+        let mut rng = rng_from_seed(84);
+
+        let mut sets_for = |target_mass: usize| {
+            let mut rr = RrCollection::new(g.n());
+            while rr.total_nodes() < target_mass {
+                rr.generate(&sampler, &mut ctx, &mut rng, 512);
+            }
+            rr
+        };
+        let below = sets_for(PARALLEL_PREP_MIN_MASS / 8);
+        let above = sets_for(PARALLEL_PREP_MIN_MASS + 1024);
+        assert!(below.total_nodes() < PARALLEL_PREP_MIN_MASS);
+        assert!(above.total_nodes() >= PARALLEL_PREP_MIN_MASS);
+
+        for rr in [&below, &above] {
+            let reference = greedy_max_coverage(rr, &GreedyConfig::standard(10));
+            for threads in [2usize, 4, 8] {
+                let out =
+                    greedy_max_coverage(rr, &GreedyConfig::standard(10).with_threads(threads));
+                assert_eq!(out.seeds, reference.seeds, "threads={threads}");
+                assert_eq!(out.prefix_coverage, reference.prefix_coverage);
+                assert_eq!(out.coverage_upper, reference.coverage_upper);
+            }
+        }
     }
 
     /// Splits `rr` into `shards` collections by `set_index % shards` —

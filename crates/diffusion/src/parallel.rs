@@ -50,6 +50,15 @@ pub struct ParBatch {
     /// batches). Sums to [`ParBatch::sentinel_hits`]; all-zero when no
     /// sentinel was installed.
     pub chunk_hits: Vec<u64>,
+    /// Summed frontier levels across workers (see
+    /// [`RrContext::frontier_levels`]); zero when generation took the
+    /// scalar path (LT, or a sampler built via `RrSampler::scalar`).
+    pub frontier_levels: u64,
+    /// Summed frontier widths across workers; equals the total number of
+    /// node expansions the level-synchronous kernel performed.
+    pub frontier_width_sum: u64,
+    /// Widest single frontier level observed by any worker in this batch.
+    pub frontier_peak_width: u64,
 }
 
 /// Generates `count` random RR sets across `threads` workers.
@@ -83,12 +92,17 @@ pub fn par_generate(
             chunk_workers: Vec::new(),
             chunk_costs: Vec::new(),
             chunk_hits: Vec::new(),
+            frontier_levels: ctx.frontier_levels,
+            frontier_width_sum: ctx.frontier_width_sum,
+            frontier_peak_width: ctx.frontier_peak_width,
         };
     }
 
     // One worker per spawned thread; scoped joins return the batches in
-    // worker order, so no slot synchronization is needed.
-    let parts: Vec<(RrCollection, u64, u64)> = std::thread::scope(|scope| {
+    // worker order, so no slot synchronization is needed. Each worker
+    // hands back its whole context so the batch can aggregate every
+    // telemetry counter, not just cost.
+    let parts: Vec<(RrCollection, RrContext)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let quota = count / threads + usize::from(w < count % threads);
@@ -101,7 +115,7 @@ pub fn par_generate(
                         rng_from_seed(seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
                     let mut rr = RrCollection::new(n);
                     rr.generate(sampler, &mut ctx, &mut rng, quota);
-                    (rr, ctx.cost, ctx.sentinel_hits)
+                    (rr, ctx)
                 })
             })
             .collect();
@@ -113,10 +127,14 @@ pub fn par_generate(
 
     let mut rr = RrCollection::new(n);
     let (mut cost, mut hits) = (0u64, 0u64);
-    for (part, c, h) in parts {
+    let (mut levels, mut width_sum, mut peak) = (0u64, 0u64, 0u64);
+    for (part, ctx) in parts {
         rr.extend_from(&part);
-        cost += c;
-        hits += h;
+        cost += ctx.cost;
+        hits += ctx.sentinel_hits;
+        levels += ctx.frontier_levels;
+        width_sum += ctx.frontier_width_sum;
+        peak = peak.max(ctx.frontier_peak_width);
     }
     ParBatch {
         rr,
@@ -126,6 +144,9 @@ pub fn par_generate(
         chunk_workers: Vec::new(),
         chunk_costs: Vec::new(),
         chunk_hits: Vec::new(),
+        frontier_levels: levels,
+        frontier_width_sum: width_sum,
+        frontier_peak_width: peak,
     }
 }
 
@@ -194,13 +215,16 @@ pub fn par_generate_chunks_static(
             chunk_workers: Vec::new(),
             chunk_costs: Vec::new(),
             chunk_hits: Vec::new(),
+            frontier_levels: 0,
+            frontier_width_sum: 0,
+            frontier_peak_width: 0,
         };
     }
 
     // Worker `w` takes a contiguous block of chunks, so concatenating the
     // joined batches in worker order preserves chunk order.
     let workers = threads.min(count);
-    let parts: Vec<(RrCollection, u64, u64)> = std::thread::scope(|scope| {
+    let parts: Vec<(RrCollection, RrContext)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let quota = count / workers + usize::from(w < count % workers);
@@ -216,7 +240,7 @@ pub fn par_generate_chunks_static(
                         let mut rng = rng_from_seed(chunk_seed(seed, c));
                         rr.generate(sampler, &mut ctx, &mut rng, chunk_size);
                     }
-                    (rr, ctx.cost, ctx.sentinel_hits)
+                    (rr, ctx)
                 })
             })
             .collect();
@@ -228,10 +252,14 @@ pub fn par_generate_chunks_static(
 
     let mut rr = RrCollection::new(n);
     let (mut cost, mut hits) = (0u64, 0u64);
-    for (part, c, h) in parts {
+    let (mut levels, mut width_sum, mut peak) = (0u64, 0u64, 0u64);
+    for (part, ctx) in parts {
         rr.extend_from(&part);
-        cost += c;
-        hits += h;
+        cost += ctx.cost;
+        hits += ctx.sentinel_hits;
+        levels += ctx.frontier_levels;
+        width_sum += ctx.frontier_width_sum;
+        peak = peak.max(ctx.frontier_peak_width);
     }
     ParBatch {
         rr,
@@ -243,6 +271,9 @@ pub fn par_generate_chunks_static(
         chunk_workers: Vec::new(),
         chunk_costs: Vec::new(),
         chunk_hits: Vec::new(),
+        frontier_levels: levels,
+        frontier_width_sum: width_sum,
+        frontier_peak_width: peak,
     }
 }
 
@@ -359,6 +390,46 @@ mod tests {
         let batch = par_generate_chunks(&sampler, None, 0..9, 25, 3, 68);
         assert_eq!(batch.chunk_workers.len(), 9);
         assert_eq!(batch.chunk_costs.iter().sum::<u64>(), batch.cost);
+    }
+
+    #[test]
+    fn frontier_telemetry_aggregates_across_workers() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 69);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let reference = par_generate_chunks(&sampler, None, 0..8, 32, 1, 70);
+        assert!(reference.frontier_levels > 0);
+        // Every node in every set is expanded by exactly one frontier
+        // level, so the summed widths equal the pool's coverage mass.
+        assert_eq!(
+            reference.frontier_width_sum,
+            reference.rr.total_nodes() as u64
+        );
+        assert!(reference.frontier_peak_width > 0);
+        assert!(reference.frontier_peak_width <= reference.frontier_width_sum);
+        // Chunk content is thread-count invariant, so the summed telemetry
+        // (and the batch-wide peak) must be too.
+        for threads in [2, 3, 5] {
+            let batch = par_generate_chunks(&sampler, None, 0..8, 32, threads, 70);
+            assert_eq!(
+                batch.frontier_levels, reference.frontier_levels,
+                "threads={threads}"
+            );
+            assert_eq!(
+                batch.frontier_width_sum, reference.frontier_width_sum,
+                "threads={threads}"
+            );
+            assert_eq!(
+                batch.frontier_peak_width, reference.frontier_peak_width,
+                "threads={threads}"
+            );
+        }
+        // The scalar sampler never runs the frontier kernel: telemetry
+        // stays zero however many workers the batch used.
+        let scalar = RrSampler::scalar(&g, RrStrategy::SubsimIc);
+        let plain = par_generate(&scalar, None, 300, 4, 71);
+        assert_eq!(plain.frontier_levels, 0);
+        assert_eq!(plain.frontier_width_sum, 0);
+        assert_eq!(plain.frontier_peak_width, 0);
     }
 
     #[test]

@@ -404,6 +404,9 @@ impl WorkerPool {
                 chunk_workers: Vec::new(),
                 chunk_costs: Vec::new(),
                 chunk_hits: Vec::new(),
+                frontier_levels: 0,
+                frontier_width_sum: 0,
+                frontier_peak_width: 0,
             });
         }
         let hook = relock(&self.chunk_hook).clone();
@@ -417,12 +420,24 @@ impl WorkerPool {
 
         let next = AtomicU64::new(0);
         let slots: Vec<OnceLock<ChunkOut>> = (0..count).map(|_| OnceLock::new()).collect();
+        // Frontier telemetry is summed across workers as each finishes its
+        // share of the batch (peak via max); the scratch contexts persist
+        // across batches, so workers report deltas against their counters
+        // at batch entry.
+        let frontier_levels = AtomicU64::new(0);
+        let frontier_width_sum = AtomicU64::new(0);
+        let frontier_peak_width = AtomicU64::new(0);
         self.try_run_batch(&|worker, scratch| {
             let ctx = scratch.context_for(n);
             match sentinel {
                 Some(s) => ctx.set_sentinel(s),
                 None => ctx.clear_sentinel(),
             }
+            let levels_before = ctx.frontier_levels;
+            let width_before = ctx.frontier_width_sum;
+            // Peak is a running max, not delta-able: reset it so the batch
+            // reports its own widest level, not a previous batch's.
+            ctx.frontier_peak_width = 0;
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed) as usize;
                 if i >= count {
@@ -444,6 +459,9 @@ impl WorkerPool {
                 };
                 assert!(slots[i].set(out).is_ok(), "chunk {i} claimed twice");
             }
+            frontier_levels.fetch_add(ctx.frontier_levels - levels_before, Ordering::Relaxed);
+            frontier_width_sum.fetch_add(ctx.frontier_width_sum - width_before, Ordering::Relaxed);
+            frontier_peak_width.fetch_max(ctx.frontier_peak_width, Ordering::Relaxed);
         })?;
 
         let mut rr = RrCollection::new(n);
@@ -468,6 +486,9 @@ impl WorkerPool {
             chunk_workers,
             chunk_costs,
             chunk_hits,
+            frontier_levels: frontier_levels.into_inner(),
+            frontier_width_sum: frontier_width_sum.into_inner(),
+            frontier_peak_width: frontier_peak_width.into_inner(),
         })
     }
 }
@@ -563,6 +584,29 @@ mod tests {
         assert!(batch.chunk_costs.iter().all(|&c| c > 0));
         assert_eq!(batch.chunk_hits.len(), 10);
         assert!(batch.chunk_hits.iter().all(|&h| h == 0));
+    }
+
+    #[test]
+    fn frontier_telemetry_is_per_batch_on_a_persistent_pool() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 103);
+        let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+        let pool = WorkerPool::new(3);
+        let big = pool.generate_chunks(&sampler, None, 0..16, 64, 104);
+        assert!(big.frontier_levels > 0);
+        assert_eq!(big.frontier_width_sum, big.rr.total_nodes() as u64);
+        // A later, smaller batch on the same pool must report its own
+        // telemetry — the persistent scratch contexts must not leak the
+        // big batch's counters (sums) or its widest level (peak).
+        let small = pool.generate_chunks(&sampler, None, 0..1, 4, 104);
+        assert!(small.frontier_levels > 0);
+        assert!(small.frontier_levels < big.frontier_levels);
+        assert_eq!(small.frontier_width_sum, small.rr.total_nodes() as u64);
+        assert!(small.frontier_peak_width <= small.frontier_width_sum);
+        // And the per-batch peak matches a fresh single-thread reference.
+        let fresh = WorkerPool::new(1);
+        let reference = fresh.generate_chunks(&sampler, None, 0..1, 4, 104);
+        assert_eq!(small.frontier_peak_width, reference.frontier_peak_width);
+        assert_eq!(small.frontier_levels, reference.frontier_levels);
     }
 
     #[test]

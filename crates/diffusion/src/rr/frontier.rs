@@ -1,0 +1,514 @@
+//! Flat, structure-of-arrays frontier kernel for IC reverse traversals.
+//!
+//! The scalar walk in [`super::ic`] chases one queue entry at a time
+//! through accessor calls: per node it re-derives the in-neighbor slice,
+//! re-matches the weight-storage enum, re-computes the `ln(1 - p)`
+//! skipper setup, and resolves every Bernoulli coin and geometric skip
+//! through `f64` math. This module is the gIM-style CPU analog: the BFS
+//! is expanded **level-synchronously** over raw reverse-CSR arrays
+//! prepared once per `(graph, strategy)` —
+//!
+//! - the output buffer itself is the frontier array: in a BFS the nodes
+//!   appended at level `l` are exactly the level-`l + 1` frontier, so the
+//!   kernel walks `ctx.buf` in place and never maintains the separate
+//!   BFS queue (one fewer push and one fewer array touched per
+//!   activation),
+//! - offsets narrowed to `u32` (half the cache footprint of the `usize`
+//!   originals; node ids stay `u32` end-to-end — no `usize` widening in
+//!   the inner loop beyond the final index),
+//! - the weight-mode branch resolved at build time into one specialized
+//!   kernel per mode (no per-node enum match),
+//! - geometric-skip setup batched into a per-node [`SkipperBank`] built
+//!   once per graph instead of once per activation,
+//! - Bernoulli coins resolved in the integer domain: `gen::<f64>() < p`
+//!   is `(next_u64() >> 11) · 2⁻⁵³ < p`, both sides exact in `f64`, so
+//!   the coin equals `(next_u64() >> 11) < ⌈p · 2⁵³⌉` — one shift and one
+//!   integer compare against a per-node (or per-edge) threshold from the
+//!   `coin` table, no int→float conversion, no float compare (see
+//!   [`coin_threshold`]),
+//! - geometric draws that overshoot the remaining horizon — the *last*
+//!   draw of every skip loop, and in sparse regimes most draws — resolved
+//!   the same way: the `miss` table stores, per CSR edge slot, the exact
+//!   count of unit samples whose skip would land past the end, found by
+//!   binary search over the skipper's own arithmetic (monotone in the
+//!   sample), so the common "no landing" case costs one integer compare
+//!   instead of a logarithm (see [`miss_threshold`]),
+//! - the next frontier entry's offset row software-prefetched one entry
+//!   ahead of use,
+//! - sentinel membership probed from the packed bitset in
+//!   [`RrContext`](super::RrContext),
+//! - bounds checks lifted out of the inner loops: every index is covered
+//!   by a CSR invariant (see the `SAFETY` comments), which the builder
+//!   validates once per graph.
+//!
+//! **Bit-identity.** The kernel expands buffer positions `0, 1, 2, …` in
+//! exactly the scalar queue's order (the scalar queue holds the same
+//! nodes in the same order as the output buffer, save for a trailing
+//! sentinel hit — after which both paths stop), consumes exactly one
+//! `next_u64` per coin/draw under the same branch structure
+//! (`SCAN_THRESHOLD` is the shared constant), and the integer thresholds
+//! decide each coin and overshoot identically to the `f64` comparisons
+//! they replace, so for every `(seed, root)` the produced set, the cost
+//! counter, and the RNG stream are bitwise identical to the scalar walk —
+//! `tests/frontier.rs` pins this differentially. Chunk determinism is
+//! therefore inherited unchanged: chunk `c` stays a pure function of
+//! `(seed, c)` no matter which path or worker generated it.
+
+use super::ic::{sample_per_edge, SCAN_THRESHOLD};
+use super::{RrContext, RrStrategy};
+use rand::Rng;
+use std::collections::HashMap;
+use subsim_graph::{Graph, NodeId};
+use subsim_sampling::geometric::{GeometricSkipper, NEVER};
+use subsim_sampling::{BucketJumpSampler, SkipperBank, SortedSubsetSampler};
+
+/// `rand`'s `Standard` `f64` scale: unit samples are `x · 2⁻⁵³` for
+/// `x = next_u64() >> 11 ∈ [0, 2⁵³)`.
+const UNIT: f64 = 1.0 / (1u64 << 53) as f64;
+/// Exclusive upper bound of the 53-bit sample domain.
+const X_MAX: u64 = 1u64 << 53;
+
+/// Threshold `T` such that `(next_u64() >> 11) < T` decides exactly like
+/// `gen::<f64>() < p`.
+///
+/// The unit sample `x · 2⁻⁵³` is exact (53-bit integer scaled by a power
+/// of two), so the float compare equals the real-number compare
+/// `x < p · 2⁵³`; and `p · 2⁵³` is itself exact in `f64` (pure exponent
+/// shift), so for integer `x` that is `x < ⌈p · 2⁵³⌉`. Degenerate rates:
+/// `p >= 1` accepts every sample (`T = u64::MAX`, unreachable since
+/// `x < 2⁵³`), `p <= 0` (or NaN) accepts none.
+fn coin_threshold(p: f64) -> u64 {
+    if p >= 1.0 {
+        u64::MAX
+    } else if p > 0.0 {
+        (p * X_MAX as f64).ceil() as u64
+    } else {
+        0
+    }
+}
+
+/// Exact count of unit samples whose geometric draw overshoots horizon
+/// `h` — i.e. `(next_u64() >> 11) < miss_threshold(sk, h)` decides
+/// "this skip loop terminates without landing" exactly like running
+/// [`GeometricSkipper::skip`] and comparing the result against `h`.
+///
+/// `skip` is monotone non-increasing in the unit sample (`ln` is
+/// monotone, the multiply by the negative `1 / ln(1 - p)` flips it, and
+/// `ceil`/`max` preserve it), so the overshoot predicate is a step
+/// function of `x`; the boundary is found by binary search evaluating
+/// **the skipper's own arithmetic**, never a rederivation of it.
+fn miss_threshold(sk: GeometricSkipper, h: u64) -> u64 {
+    // NEVER (= u64::MAX) also counts as an overshoot for any real horizon.
+    let overshoots = |x: u64| sk.skip_from(x as f64 * UNIT) > h;
+    if !overshoots(0) {
+        return 0;
+    }
+    if overshoots(X_MAX - 1) {
+        return X_MAX;
+    }
+    // Invariant: overshoots(lo) && !overshoots(hi).
+    let (mut lo, mut hi) = (0u64, X_MAX - 1);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if overshoots(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Which specialized kernel the strategy × weight-mode pair resolved to.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    VanillaUniform,
+    VanillaPerEdge,
+    SubsimUniform,
+    SubsimPerEdge,
+    BucketPerEdge,
+}
+
+/// Per-`(graph, strategy)` state of the flat kernel.
+#[derive(Debug)]
+pub(super) struct FrontierIndex {
+    /// Reverse-CSR offsets narrowed to `u32`.
+    offsets: Vec<u32>,
+    /// Per-node geometric skippers (`SubsimUniform` only).
+    bank: Option<SkipperBank>,
+    /// Integer coin thresholds: per node (`VanillaUniform`,
+    /// `SubsimUniform`) or per edge (`VanillaPerEdge`); empty otherwise.
+    coin: Vec<u64>,
+    /// Per-CSR-edge-slot overshoot boundaries (`SubsimUniform` only):
+    /// entry `lo + c` decides the draw taken at cursor `c`, whose
+    /// remaining horizon is `degree - c`.
+    miss: Vec<u64>,
+    mode: Mode,
+}
+
+impl FrontierIndex {
+    /// Builds the kernel index, or `None` when the strategy has no flat
+    /// path (LT's reverse walk is a single chain — there is no frontier
+    /// to flatten) or the edge count does not fit `u32` offsets.
+    ///
+    /// Cost: `O(n + m)` for the offsets, bank, and coin tables, plus
+    /// `O(log 2⁵³)` skipper evaluations per distinct `(rate, horizon)`
+    /// pair for the overshoot boundaries (memoized — weight models with
+    /// few distinct rates, e.g. WC's `1/d`, share nearly all of them).
+    pub(super) fn build(g: &Graph, strategy: RrStrategy) -> Option<FrontierIndex> {
+        if g.m() >= u32::MAX as usize {
+            return None;
+        }
+        let uniform = g.has_uniform_in_probs();
+        let mode = match (strategy, uniform) {
+            (RrStrategy::Lt, _) => return None,
+            (RrStrategy::VanillaIc, true) => Mode::VanillaUniform,
+            (RrStrategy::VanillaIc, false) => Mode::VanillaPerEdge,
+            // Bucket-IC on uniform graphs falls back to plain SUBSIM in
+            // the scalar dispatch; the kernel mirrors that.
+            (RrStrategy::SubsimIc | RrStrategy::SubsimBucketIc, true) => Mode::SubsimUniform,
+            (RrStrategy::SubsimIc, false) => Mode::SubsimPerEdge,
+            (RrStrategy::SubsimBucketIc, false) => Mode::BucketPerEdge,
+        };
+        let offsets: Vec<u32> = g.in_csr_offsets().iter().map(|&o| o as u32).collect();
+        let mut bank = None;
+        let mut coin = Vec::new();
+        let mut miss = Vec::new();
+        match mode {
+            Mode::VanillaUniform => {
+                let probs = g.uniform_in_probs().expect("uniform mode");
+                coin = probs.iter().map(|&p| coin_threshold(p)).collect();
+            }
+            Mode::VanillaPerEdge => {
+                let probs = g.per_edge_in_probs().expect("per-edge mode");
+                coin = probs.iter().map(|&p| coin_threshold(p)).collect();
+            }
+            Mode::SubsimUniform => {
+                let probs = g.uniform_in_probs().expect("uniform mode");
+                let b = SkipperBank::new(probs.iter().copied());
+                coin = probs.iter().map(|&p| coin_threshold(p)).collect();
+                miss = vec![0u64; g.m()];
+                let mut memo: HashMap<(u64, u64), u64> = HashMap::new();
+                for v in 0..g.n() {
+                    let p = probs[v];
+                    if p <= 0.0 || p >= SCAN_THRESHOLD {
+                        continue;
+                    }
+                    let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+                    let sk = b.get(v);
+                    for (slot, m) in miss[lo..hi].iter_mut().enumerate() {
+                        let h = (hi - lo - slot) as u64;
+                        *m = *memo
+                            .entry((p.to_bits(), h))
+                            .or_insert_with(|| miss_threshold(sk, h));
+                    }
+                }
+                bank = Some(b);
+            }
+            Mode::SubsimPerEdge | Mode::BucketPerEdge => {}
+        }
+        Some(FrontierIndex {
+            offsets,
+            bank,
+            coin,
+            miss,
+            mode,
+        })
+    }
+}
+
+/// Hints the cache that `*p` is about to be read. A pure performance
+/// hint: prefetches never fault, so any address is fine.
+#[inline(always)]
+fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` only hints the prefetcher; it performs no
+    // memory access and cannot fault.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Activates `w` during frontier expansion: marks it visited, appends it
+/// to the output buffer (which doubles as the next frontier level), and
+/// probes the packed sentinel bitset. Returns `true` when a sentinel was
+/// hit and the whole generation must stop.
+///
+/// Mirrors `ic::activate` exactly, minus the scalar queue push — the
+/// kernel re-walks the buffer instead.
+///
+/// # Safety
+///
+/// `w` must be a valid node id (`w < n` for the graph that sized `ctx`).
+/// Kernel callers only pass ids read out of the validated reverse CSR.
+#[inline(always)]
+unsafe fn activate_flat(ctx: &mut RrContext, w: NodeId) -> bool {
+    // SAFETY: `w < n` per the function contract; `visited` has length `n`.
+    let slot = unsafe { ctx.visited.get_unchecked_mut(w as usize) };
+    if *slot == ctx.epoch {
+        return false;
+    }
+    *slot = ctx.epoch;
+    ctx.buf.push(w);
+    if ctx.is_sentinel(w) {
+        ctx.sentinel_hits += 1;
+        return true;
+    }
+    false
+}
+
+/// Level-synchronous drive loop shared by all kernels.
+///
+/// Walks `ctx.buf` in level slices — the nodes appended while expanding
+/// level `l` are exactly the level-`l + 1` frontier — prefetching the
+/// *next* frontier entry's offset row while `expand` works on the
+/// current one, and recording per-level width telemetry. `expand` is
+/// called as `(ctx, rng, node, lo, hi)` with `lo..hi` the node's in-edge
+/// range and returns `true` to abort the whole generation (sentinel
+/// hit). Nodes with no in-edges are skipped before `expand`.
+///
+/// The flattened iteration order over buffer positions is `0, 1, 2, …` —
+/// exactly the scalar queue walk's order — so any `expand` that consumes
+/// the RNG like its scalar counterpart keeps the whole stream
+/// bit-identical.
+#[inline(always)]
+fn drive<R: Rng + ?Sized>(
+    offsets: &[u32],
+    ctx: &mut RrContext,
+    rng: &mut R,
+    mut expand: impl FnMut(&mut RrContext, &mut R, usize, usize, usize) -> bool,
+) {
+    debug_assert_eq!(ctx.buf.len(), 1, "drive starts from the root alone");
+    let mut level_start = 0usize;
+    while level_start < ctx.buf.len() {
+        let level_end = ctx.buf.len();
+        ctx.note_level(level_end - level_start);
+        for i in level_start..level_end {
+            // SAFETY: `i < level_end <= buf.len()`, and the buffer only
+            // ever holds CSR-validated node ids `< n`, so `u` indexes
+            // `offsets` (length `n + 1`) in bounds — as does `u + 1`.
+            let (u, lo, hi) = unsafe {
+                let u = *ctx.buf.get_unchecked(i) as usize;
+                if i + 1 < level_end {
+                    let nx = *ctx.buf.get_unchecked(i + 1) as usize;
+                    prefetch_read(offsets.as_ptr().add(nx));
+                }
+                (
+                    u,
+                    *offsets.get_unchecked(u) as usize,
+                    *offsets.get_unchecked(u + 1) as usize,
+                )
+            };
+            if lo == hi {
+                continue;
+            }
+            if expand(ctx, rng, u, lo, hi) {
+                return;
+            }
+        }
+        level_start = level_end;
+    }
+}
+
+/// Entry point: dispatches to the kernel resolved at build time. The
+/// caller has already pushed the root into `ctx.buf` and cleared the
+/// scratch (see `RrSampler::start`).
+pub(super) fn traverse<R: Rng + ?Sized>(
+    g: &Graph,
+    idx: &FrontierIndex,
+    bucket: Option<&[Option<BucketJumpSampler>]>,
+    ctx: &mut RrContext,
+    rng: &mut R,
+) {
+    match idx.mode {
+        Mode::VanillaUniform => vanilla_uniform(g, idx, ctx, rng),
+        Mode::VanillaPerEdge => vanilla_per_edge(g, idx, ctx, rng),
+        Mode::SubsimUniform => subsim_uniform(g, idx, ctx, rng),
+        Mode::SubsimPerEdge => subsim_per_edge(g, idx, ctx, rng),
+        Mode::BucketPerEdge => bucket_per_edge(
+            g,
+            idx,
+            bucket.expect("bucket mode implies a bucket index"),
+            ctx,
+            rng,
+        ),
+    }
+}
+
+fn vanilla_uniform<R: Rng + ?Sized>(
+    g: &Graph,
+    idx: &FrontierIndex,
+    ctx: &mut RrContext,
+    rng: &mut R,
+) {
+    let sources = g.in_csr_sources();
+    let coin = &idx.coin;
+    drive(&idx.offsets, ctx, rng, |ctx, rng, u, lo, hi| {
+        ctx.cost += (hi - lo) as u64;
+        // SAFETY: `u < n` (`coin` has length `n`) and `lo <= hi <= m` by
+        // CSR offset monotonicity (`sources` has length `m`).
+        let (t, nbrs) = unsafe { (*coin.get_unchecked(u), sources.get_unchecked(lo..hi)) };
+        for &w in nbrs {
+            if (rng.next_u64() >> 11) < t {
+                // SAFETY: `w` comes from the validated CSR (`w < n`).
+                if unsafe { activate_flat(ctx, w) } {
+                    return true;
+                }
+            }
+        }
+        false
+    });
+}
+
+fn vanilla_per_edge<R: Rng + ?Sized>(
+    g: &Graph,
+    idx: &FrontierIndex,
+    ctx: &mut RrContext,
+    rng: &mut R,
+) {
+    let sources = g.in_csr_sources();
+    let coin = &idx.coin;
+    drive(&idx.offsets, ctx, rng, |ctx, rng, _u, lo, hi| {
+        ctx.cost += (hi - lo) as u64;
+        // SAFETY: `lo <= hi <= m` by CSR offset monotonicity; `sources`
+        // and the per-edge `coin` table both have length `m`.
+        let (nbrs, ts) = unsafe { (sources.get_unchecked(lo..hi), coin.get_unchecked(lo..hi)) };
+        for (&w, &t) in nbrs.iter().zip(ts) {
+            if (rng.next_u64() >> 11) < t {
+                // SAFETY: `w` comes from the validated CSR (`w < n`).
+                if unsafe { activate_flat(ctx, w) } {
+                    return true;
+                }
+            }
+        }
+        false
+    });
+}
+
+fn subsim_uniform<R: Rng + ?Sized>(
+    g: &Graph,
+    idx: &FrontierIndex,
+    ctx: &mut RrContext,
+    rng: &mut R,
+) {
+    let sources = g.in_csr_sources();
+    let probs = g
+        .uniform_in_probs()
+        .expect("uniform mode implies per-node rates");
+    let bank = idx.bank.as_ref().expect("built for SubsimUniform");
+    let coin = &idx.coin;
+    let miss = &idx.miss;
+    drive(&idx.offsets, ctx, rng, |ctx, rng, u, lo, hi| {
+        // SAFETY: `u < n`; `probs`, `coin`, and the bank all have length
+        // `n`, and `lo <= hi <= m` by CSR offset monotonicity.
+        let (p, nbrs) = unsafe { (*probs.get_unchecked(u), sources.get_unchecked(lo..hi)) };
+        if p <= 0.0 {
+            ctx.cost += 1;
+            return false;
+        }
+        if p >= SCAN_THRESHOLD {
+            ctx.cost += nbrs.len() as u64;
+            // The scalar path short-circuits `p >= 1.0 || coin` per edge;
+            // hoisting the certain-success case out of the loop draws the
+            // same (zero) coins.
+            if p >= 1.0 {
+                for &w in nbrs {
+                    // SAFETY: `w` comes from the validated CSR.
+                    if unsafe { activate_flat(ctx, w) } {
+                        return true;
+                    }
+                }
+            } else {
+                // SAFETY: `u < n` as above.
+                let t = unsafe { *coin.get_unchecked(u) };
+                for &w in nbrs {
+                    if (rng.next_u64() >> 11) < t {
+                        // SAFETY: `w` comes from the validated CSR.
+                        if unsafe { activate_flat(ctx, w) } {
+                            return true;
+                        }
+                    }
+                }
+            }
+            return false;
+        }
+        let skipper = bank.get(u);
+        let d = nbrs.len() as u64;
+        let mut cursor = 0u64;
+        loop {
+            ctx.cost += 1;
+            if cursor == d {
+                // Horizon exhausted: any skip (always >= 1) overshoots.
+                // Consume the draw the scalar loop would, then stop.
+                rng.next_u64();
+                break;
+            }
+            let x = rng.next_u64() >> 11;
+            // SAFETY: `cursor < d`, so `lo + cursor <= hi - 1 < m` and
+            // the `miss` table (length `m`) is in bounds.
+            if x < unsafe { *miss.get_unchecked(lo + cursor as usize) } {
+                // The draw overshoots the remaining horizon (or is NEVER):
+                // decided in the integer domain, no logarithm needed.
+                break;
+            }
+            let skip = skipper.skip_from(x as f64 * UNIT);
+            // The miss table already decided this draw lands, so these
+            // two guards are never taken; they stay as real branches so
+            // the unchecked neighbor index below never has to trust the
+            // table's binary search for memory safety.
+            debug_assert!(skip != NEVER && cursor + skip <= d);
+            if skip == NEVER {
+                break;
+            }
+            cursor += skip;
+            if cursor > d {
+                break;
+            }
+            // SAFETY: `1 <= cursor <= d = nbrs.len()`, and `w` comes from
+            // the validated CSR.
+            if unsafe { activate_flat(ctx, *nbrs.get_unchecked((cursor - 1) as usize)) } {
+                return true;
+            }
+        }
+        false
+    });
+}
+
+fn subsim_per_edge<R: Rng + ?Sized>(
+    g: &Graph,
+    idx: &FrontierIndex,
+    ctx: &mut RrContext,
+    rng: &mut R,
+) {
+    let sources = g.in_csr_sources();
+    let probs = g
+        .per_edge_in_probs()
+        .expect("per-edge mode implies per-edge rates");
+    drive(&idx.offsets, ctx, rng, |ctx, rng, _u, lo, hi| {
+        ctx.cost += 1;
+        sample_per_edge(ctx, &sources[lo..hi], rng, |rng, visit| {
+            SortedSubsetSampler::new(&probs[lo..hi]).sample_into(rng, visit)
+        })
+    });
+}
+
+fn bucket_per_edge<R: Rng + ?Sized>(
+    g: &Graph,
+    idx: &FrontierIndex,
+    bucket: &[Option<BucketJumpSampler>],
+    ctx: &mut RrContext,
+    rng: &mut R,
+) {
+    let sources = g.in_csr_sources();
+    drive(&idx.offsets, ctx, rng, |ctx, rng, u, lo, hi| {
+        ctx.cost += 1;
+        let Some(sampler) = &bucket[u] else {
+            return false;
+        };
+        sample_per_edge(ctx, &sources[lo..hi], rng, |rng, visit| {
+            sampler.sample_into(rng, visit)
+        })
+    });
+}

@@ -9,10 +9,14 @@ use subsim_sampling::{BucketJumpSampler, SortedSubsetSampler};
 
 /// Rate above which scanning in-neighbors directly beats geometric
 /// skipping (mirrors `subsim_sampling::subset`'s threshold).
-const SCAN_THRESHOLD: f64 = 0.25;
+///
+/// Shared by the scalar walk and the flat-frontier kernel — the two paths
+/// must branch identically on every node or their RNG streams (and thus
+/// their outputs) diverge.
+pub(super) const SCAN_THRESHOLD: f64 = 0.25;
 
 /// Outcome of activating one node during the reverse BFS.
-enum Activated {
+pub(super) enum Activated {
     /// Keep traversing.
     Continue,
     /// A sentinel node was activated; the whole generation stops.
@@ -21,7 +25,7 @@ enum Activated {
 
 /// Activates `w` if unvisited: records it, checks the sentinel, enqueues.
 #[inline]
-fn activate(ctx: &mut RrContext, w: NodeId) -> Activated {
+pub(super) fn activate(ctx: &mut RrContext, w: NodeId) -> Activated {
     if ctx.visit(w) {
         ctx.buf.push(w);
         if ctx.is_sentinel(w) {
@@ -162,7 +166,12 @@ pub(super) fn traverse_bucket<R: Rng + ?Sized>(
 /// sentinel hit sets a flag and ignores the (few) remaining callbacks of
 /// the current node; those nodes are genuine RR members anyway, and the
 /// BFS stops before expanding anything further.
-fn sample_per_edge<R, S>(ctx: &mut RrContext, nbrs: &[NodeId], rng: &mut R, sample: S) -> bool
+pub(super) fn sample_per_edge<R, S>(
+    ctx: &mut RrContext,
+    nbrs: &[NodeId],
+    rng: &mut R,
+    sample: S,
+) -> bool
 where
     R: Rng + ?Sized,
     S: FnOnce(&mut R, &mut dyn FnMut(usize)),

@@ -16,6 +16,7 @@
 //! sentinel node is activated the traversal halts immediately, which is
 //! how HIST shrinks average RR-set sizes by orders of magnitude.
 
+mod frontier;
 mod ic;
 mod lt;
 
@@ -43,24 +44,77 @@ pub enum RrStrategy {
     Lt,
 }
 
+/// Packed sentinel membership: one bit per node in `u64` words, with
+/// dirty-word tracking so re-installing a set of the same graph size
+/// clears only the words the previous set touched instead of re-zeroing
+/// `n` bits per install (the serving stack re-installs the sentinel once
+/// per pool batch).
+#[derive(Debug, Clone, Default)]
+struct SentinelBits {
+    words: Vec<u64>,
+    /// Word indexes holding at least one set bit, each recorded once.
+    dirty: Vec<u32>,
+}
+
+impl SentinelBits {
+    /// Empties the set, sized for `n` nodes: same-size reuse clears only
+    /// the dirty words, a size change reallocates zeroed storage.
+    fn reset(&mut self, n: usize) {
+        let want = n.div_ceil(64);
+        if self.words.len() == want {
+            for &w in &self.dirty {
+                self.words[w as usize] = 0;
+            }
+        } else {
+            self.words.clear();
+            self.words.resize(want, 0);
+        }
+        self.dirty.clear();
+    }
+
+    #[inline]
+    fn insert(&mut self, v: NodeId) {
+        let w = (v >> 6) as usize;
+        if self.words[w] == 0 {
+            self.dirty.push(w as u32);
+        }
+        self.words[w] |= 1u64 << (v & 63);
+    }
+
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        (self.words[(v >> 6) as usize] >> (v & 63)) & 1 != 0
+    }
+}
+
 /// Reusable scratch state for RR generation.
 ///
 /// `cost` accumulates the paper's cost proxy: incoming edges *examined*
 /// for the vanilla strategy, random draws (geometric landings + per-node
 /// setup) for SUBSIM, steps for LT. Wall-clock benchmarks measure real
 /// time; this counter lets tests assert the asymptotic claims directly.
+///
+/// The `frontier_*` fields record per-level width telemetry of the flat
+/// frontier kernel (zero when generation took the scalar path).
 #[derive(Debug, Clone)]
 pub struct RrContext {
     visited: Vec<u32>,
     epoch: u32,
     queue: Vec<NodeId>,
     buf: Vec<NodeId>,
-    sentinel: Vec<bool>,
+    sentinel: SentinelBits,
     sentinel_active: bool,
     /// Cumulative cost proxy across all sets generated with this context.
     pub cost: u64,
     /// Number of generated sets that terminated on a sentinel hit.
     pub sentinel_hits: u64,
+    /// Frontier levels expanded by the flat kernel across all sets.
+    pub frontier_levels: u64,
+    /// Summed frontier widths across all levels (`width_sum / levels` is
+    /// the mean parallelism the level-synchronous kernel exposed).
+    pub frontier_width_sum: u64,
+    /// Widest single frontier level observed.
+    pub frontier_peak_width: u64,
 }
 
 impl RrContext {
@@ -71,20 +125,22 @@ impl RrContext {
             epoch: 0,
             queue: Vec::new(),
             buf: Vec::new(),
-            sentinel: Vec::new(),
+            sentinel: SentinelBits::default(),
             sentinel_active: false,
             cost: 0,
             sentinel_hits: 0,
+            frontier_levels: 0,
+            frontier_width_sum: 0,
+            frontier_peak_width: 0,
         }
     }
 
     /// Installs a sentinel set: subsequent generations stop as soon as any
     /// of these nodes is activated (paper Algorithm 5).
     pub fn set_sentinel(&mut self, nodes: &[NodeId]) {
-        self.sentinel.clear();
-        self.sentinel.resize(self.visited.len(), false);
+        self.sentinel.reset(self.visited.len());
         for &v in nodes {
-            self.sentinel[v as usize] = true;
+            self.sentinel.insert(v);
         }
         self.sentinel_active = !nodes.is_empty();
     }
@@ -104,15 +160,27 @@ impl RrContext {
         &self.buf
     }
 
-    /// Resets the cost/hit counters (the visited epoch is unaffected).
+    /// Resets the cost/hit/frontier counters (the visited epoch is
+    /// unaffected).
     pub fn reset_counters(&mut self) {
         self.cost = 0;
         self.sentinel_hits = 0;
+        self.frontier_levels = 0;
+        self.frontier_width_sum = 0;
+        self.frontier_peak_width = 0;
     }
 
     #[inline]
     fn is_sentinel(&self, v: NodeId) -> bool {
-        self.sentinel_active && self.sentinel[v as usize]
+        self.sentinel_active && self.sentinel.contains(v)
+    }
+
+    /// Records one expanded frontier level of `width` entries.
+    #[inline]
+    fn note_level(&mut self, width: usize) {
+        self.frontier_levels += 1;
+        self.frontier_width_sum += width as u64;
+        self.frontier_peak_width = self.frontier_peak_width.max(width as u64);
     }
 
     /// Starts a new generation: clears the buffer and bumps the epoch.
@@ -162,12 +230,27 @@ pub struct RrSampler<'g> {
     bucket: Option<Vec<Option<BucketJumpSampler>>>,
     /// LT alias index (only for `Lt`).
     lt: Option<LtIndex>,
+    /// Flat-frontier kernel index (`None` for LT, for graphs too large for
+    /// `u32` offsets, and for samplers built via [`RrSampler::scalar`]).
+    frontier: Option<frontier::FrontierIndex>,
 }
 
 impl<'g> RrSampler<'g> {
     /// Binds `g` to `strategy`, building indexes where needed
-    /// (`SubsimBucketIc`: `O(m)`; `Lt`: `O(m)`).
+    /// (`SubsimBucketIc`: `O(m)`; `Lt`: `O(m)`; the flat-frontier kernel:
+    /// `O(n + m/64)` for the `u32` offsets and skipper bank).
     pub fn new(g: &'g Graph, strategy: RrStrategy) -> Self {
+        let mut sampler = Self::scalar(g, strategy);
+        sampler.frontier = frontier::FrontierIndex::build(g, strategy);
+        sampler
+    }
+
+    /// Binds `g` to `strategy` **without** the flat-frontier kernel:
+    /// every generation takes the scalar queue walk. The two paths are
+    /// bit-identical by construction (`tests/frontier.rs` pins this); the
+    /// scalar sampler survives as the differential reference and as the
+    /// baseline arm of `experiments bench-pr8`.
+    pub fn scalar(g: &'g Graph, strategy: RrStrategy) -> Self {
         let bucket = match strategy {
             RrStrategy::SubsimBucketIc if !g.has_uniform_in_probs() => {
                 Some(ic::build_bucket_index(g))
@@ -180,6 +263,7 @@ impl<'g> RrSampler<'g> {
             strategy,
             bucket,
             lt,
+            frontier: None,
         }
     }
 
@@ -193,11 +277,23 @@ impl<'g> RrSampler<'g> {
         self.strategy
     }
 
+    /// Whether generation runs through the flat-frontier kernel.
+    pub fn uses_frontier(&self) -> bool {
+        self.frontier.is_some()
+    }
+
     /// Generates one RR set for a **uniformly random root**; the nodes are
     /// left in `ctx.last()` and the size is returned.
     pub fn generate<R: Rng + ?Sized>(&self, ctx: &mut RrContext, rng: &mut R) -> usize {
         let root = rng.gen_range(0..self.g.n()) as NodeId;
         self.generate_from(ctx, rng, root)
+    }
+
+    /// [`RrSampler::generate`] forced down the scalar queue walk even when
+    /// a frontier kernel is built. Consumes the RNG stream identically.
+    pub fn generate_scalar<R: Rng + ?Sized>(&self, ctx: &mut RrContext, rng: &mut R) -> usize {
+        let root = rng.gen_range(0..self.g.n()) as NodeId;
+        self.generate_from_scalar(ctx, rng, root)
     }
 
     /// Generates one RR set rooted at `root`.
@@ -207,14 +303,45 @@ impl<'g> RrSampler<'g> {
         rng: &mut R,
         root: NodeId,
     ) -> usize {
+        if !self.start(ctx, root) {
+            return 1;
+        }
+        match &self.frontier {
+            Some(idx) => frontier::traverse(self.g, idx, self.bucket.as_deref(), ctx, rng),
+            None => self.traverse_scalar(ctx, rng),
+        }
+        ctx.buf.len()
+    }
+
+    /// [`RrSampler::generate_from`] forced down the scalar queue walk.
+    pub fn generate_from_scalar<R: Rng + ?Sized>(
+        &self,
+        ctx: &mut RrContext,
+        rng: &mut R,
+        root: NodeId,
+    ) -> usize {
+        if !self.start(ctx, root) {
+            return 1;
+        }
+        self.traverse_scalar(ctx, rng);
+        ctx.buf.len()
+    }
+
+    /// Begins a generation rooted at `root`; returns `false` when the root
+    /// itself is a sentinel and the set is complete.
+    fn start(&self, ctx: &mut RrContext, root: NodeId) -> bool {
         debug_assert!((root as usize) < self.g.n());
         ctx.begin();
         ctx.visit(root);
         ctx.buf.push(root);
         if ctx.is_sentinel(root) {
             ctx.sentinel_hits += 1;
-            return 1;
+            return false;
         }
+        true
+    }
+
+    fn traverse_scalar<R: Rng + ?Sized>(&self, ctx: &mut RrContext, rng: &mut R) {
         match self.strategy {
             RrStrategy::VanillaIc => ic::traverse_vanilla(self.g, ctx, rng),
             RrStrategy::SubsimIc => ic::traverse_subsim(self.g, ctx, rng),
@@ -229,7 +356,6 @@ impl<'g> RrSampler<'g> {
                 rng,
             ),
         }
-        ctx.buf.len()
     }
 }
 

@@ -1,0 +1,263 @@
+//! Differential battery for the flat-frontier kernel (PR 8).
+//!
+//! The frontier path must be a drop-in replacement for the scalar queue
+//! walk: same sets, same costs, same sentinel hits, same RNG stream, for
+//! every strategy × weight mode × sentinel mode × thread count. Every
+//! test here runs the two paths on identical seeds and compares bitwise.
+//!
+//! The `#[ignore]`d heavy variants widen the sweep; CI's `frontier` job
+//! runs the battery in release mode at 1, 2, and 4 threads.
+
+use proptest::prelude::*;
+use rand::Rng;
+use subsim_diffusion::parallel::{par_generate, par_generate_chunks};
+use subsim_diffusion::pool::WorkerPool;
+use subsim_diffusion::{RrContext, RrSampler, RrStrategy};
+use subsim_graph::generators::{barabasi_albert, erdos_renyi_gnm, star_graph};
+use subsim_graph::{Graph, NodeId, WeightModel};
+use subsim_sampling::rng_from_seed;
+
+const STRATEGIES: [RrStrategy; 4] = [
+    RrStrategy::VanillaIc,
+    RrStrategy::SubsimIc,
+    RrStrategy::SubsimBucketIc,
+    RrStrategy::Lt,
+];
+
+fn weight_models() -> Vec<(&'static str, WeightModel)> {
+    vec![
+        ("wc", WeightModel::Wc),
+        ("wc-variant", WeightModel::WcVariant { theta: 4.0 }),
+        // Uniform IC below and above SCAN_THRESHOLD exercises both the
+        // geometric-skip and the dense-scan arm of the SUBSIM kernel.
+        ("uniform-sparse", WeightModel::UniformIc { p: 0.05 }),
+        ("uniform-dense", WeightModel::UniformIc { p: 0.6 }),
+        // Per-edge storage exercises the sorted-sampler / bucket arms.
+        ("exponential", WeightModel::Exponential { lambda: 1.0 }),
+        ("trivalency", WeightModel::Trivalency),
+    ]
+}
+
+/// Generates `count` rooted sets on both paths and asserts bit-equality
+/// of sets, cost proxy, sentinel hits, and RNG stream position.
+fn assert_paths_agree(
+    g: &Graph,
+    strategy: RrStrategy,
+    sentinel: &[NodeId],
+    count: usize,
+    seed: u64,
+) {
+    let fast = RrSampler::new(g, strategy);
+    let slow = RrSampler::scalar(g, strategy);
+    assert!(!slow.uses_frontier());
+    let mut ctx_f = RrContext::new(g.n());
+    let mut ctx_s = RrContext::new(g.n());
+    if !sentinel.is_empty() {
+        ctx_f.set_sentinel(sentinel);
+        ctx_s.set_sentinel(sentinel);
+    }
+    let mut rng_f = rng_from_seed(seed);
+    let mut rng_s = rng_from_seed(seed);
+    for i in 0..count {
+        let a = fast.generate(&mut ctx_f, &mut rng_f);
+        let b = slow.generate_scalar(&mut ctx_s, &mut rng_s);
+        assert_eq!(a, b, "set {i} size diverged");
+        assert_eq!(ctx_f.last(), ctx_s.last(), "set {i} content diverged");
+        assert_eq!(ctx_f.cost, ctx_s.cost, "cost diverged at set {i}");
+        assert_eq!(
+            ctx_f.sentinel_hits, ctx_s.sentinel_hits,
+            "sentinel hits diverged at set {i}"
+        );
+    }
+    // Same number of draws consumed ⇒ the streams are still in lockstep.
+    assert_eq!(
+        rng_f.gen::<u64>(),
+        rng_s.gen::<u64>(),
+        "RNG streams diverged"
+    );
+}
+
+#[test]
+fn frontier_matches_scalar_across_strategies_and_weights() {
+    for (wi, (wname, model)) in weight_models().into_iter().enumerate() {
+        let g = barabasi_albert(400, 3, model, 700 + wi as u64);
+        for strategy in STRATEGIES {
+            assert_paths_agree(&g, strategy, &[], 300, 41 + wi as u64);
+            // Sentinel on: the highest-out-degree node truncates many sets.
+            let hub = (0..g.n() as NodeId)
+                .max_by_key(|&v| g.out_degree(v))
+                .unwrap();
+            assert_paths_agree(&g, strategy, &[hub, hub / 2 + 1], 300, 43 + wi as u64);
+            let _ = wname;
+        }
+    }
+}
+
+#[test]
+fn frontier_matches_scalar_on_degenerate_shapes() {
+    // A star (one huge frontier level) and a zero-probability graph (skip
+    // arm breaks immediately with NEVER).
+    for strategy in STRATEGIES {
+        assert_paths_agree(&star_graph(500, WeightModel::Wc), strategy, &[], 200, 61);
+        assert_paths_agree(
+            &erdos_renyi_gnm(300, 1200, WeightModel::UniformIc { p: 0.0 }, 9),
+            strategy,
+            &[],
+            100,
+            62,
+        );
+        assert_paths_agree(
+            &erdos_renyi_gnm(300, 1200, WeightModel::UniformIc { p: 1.0 }, 10),
+            strategy,
+            &[7],
+            100,
+            63,
+        );
+    }
+}
+
+#[test]
+fn frontier_matches_scalar_across_thread_counts() {
+    let g = barabasi_albert(350, 3, WeightModel::Wc, 88);
+    for strategy in [RrStrategy::VanillaIc, RrStrategy::SubsimIc] {
+        let fast = RrSampler::new(&g, strategy);
+        let slow = RrSampler::scalar(&g, strategy);
+        let reference = par_generate_chunks(&slow, None, 0..12, 32, 1, 89);
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let batch = pool.generate_chunks(&fast, None, 0..12, 32, 89);
+            assert_eq!(batch.rr.len(), reference.rr.len(), "threads={threads}");
+            for i in 0..batch.rr.len() {
+                assert_eq!(
+                    batch.rr.get(i),
+                    reference.rr.get(i),
+                    "threads={threads} set {i}"
+                );
+            }
+            assert_eq!(batch.cost, reference.cost, "threads={threads}");
+        }
+        // The per-worker (non-chunked) splitter too.
+        let a = par_generate(&fast, None, 600, 3, 90);
+        let b = par_generate(&slow, None, 600, 3, 90);
+        for i in 0..a.rr.len() {
+            assert_eq!(a.rr.get(i), b.rr.get(i), "par set {i}");
+        }
+    }
+}
+
+#[test]
+fn sentinel_reinstall_reuses_dirty_words_correctly() {
+    // Installing sentinel B over a context that previously held sentinel A
+    // (same graph size ⇒ the dirty-word fast path) must behave exactly
+    // like a fresh context holding only B.
+    let g = barabasi_albert(300, 4, WeightModel::WcVariant { theta: 4.0 }, 77);
+    let sampler = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let a: Vec<NodeId> = vec![3, 64, 65, 128, 255];
+    let b: Vec<NodeId> = vec![4, 66, 192];
+
+    let mut reused = RrContext::new(g.n());
+    reused.set_sentinel(&a);
+    let mut rng = rng_from_seed(1);
+    for _ in 0..50 {
+        sampler.generate(&mut reused, &mut rng);
+    }
+    reused.set_sentinel(&b);
+    reused.reset_counters();
+
+    let mut fresh = RrContext::new(g.n());
+    fresh.set_sentinel(&b);
+
+    let mut rng_r = rng_from_seed(2);
+    let mut rng_f = rng_from_seed(2);
+    for i in 0..200 {
+        sampler.generate(&mut reused, &mut rng_r);
+        sampler.generate(&mut fresh, &mut rng_f);
+        assert_eq!(reused.last(), fresh.last(), "set {i}");
+    }
+    assert_eq!(reused.sentinel_hits, fresh.sentinel_hits);
+    assert!(reused.sentinel_hits > 0, "sentinel B never fired");
+}
+
+#[test]
+fn frontier_telemetry_populated_and_cost_bounded() {
+    let g = barabasi_albert(400, 3, WeightModel::Wc, 99);
+    let fast = RrSampler::new(&g, RrStrategy::SubsimIc);
+    let slow = RrSampler::scalar(&g, RrStrategy::SubsimIc);
+    assert!(fast.uses_frontier());
+
+    let mut ctx_f = RrContext::new(g.n());
+    let mut ctx_s = RrContext::new(g.n());
+    let mut rng_f = rng_from_seed(5);
+    let mut rng_s = rng_from_seed(5);
+    for _ in 0..500 {
+        fast.generate(&mut ctx_f, &mut rng_f);
+        slow.generate_scalar(&mut ctx_s, &mut rng_s);
+    }
+    // Telemetry: every generated set expands at least the root level; the
+    // scalar path records none.
+    assert!(ctx_f.frontier_levels >= 500);
+    assert!(ctx_f.frontier_width_sum >= ctx_f.frontier_levels);
+    assert!(ctx_f.frontier_peak_width >= 1);
+    assert_eq!(ctx_s.frontier_levels, 0);
+
+    // Cost-proxy monotonicity: batching the draws must not inflate the
+    // draw count beyond a per-level setup term — and in fact the batched
+    // path draws *exactly* the scalar count.
+    assert!(ctx_f.cost <= ctx_s.cost + ctx_f.frontier_levels);
+    assert_eq!(ctx_f.cost, ctx_s.cost);
+
+    ctx_f.reset_counters();
+    assert_eq!(ctx_f.frontier_levels, 0);
+    assert_eq!(ctx_f.frontier_width_sum, 0);
+    assert_eq!(ctx_f.frontier_peak_width, 0);
+}
+
+/// Strategy index → RrStrategy (proptest-friendly).
+fn strategy_of(i: usize) -> RrStrategy {
+    STRATEGIES[i % STRATEGIES.len()]
+}
+
+fn model_of(i: usize) -> WeightModel {
+    weight_models()[i % weight_models().len()].1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn frontier_equals_scalar_on_random_graphs(
+        n in 20usize..200,
+        edges_per in 2usize..5,
+        graph_seed in 0u64..1_000_000,
+        gen_seed in 0u64..1_000_000,
+        strat in 0usize..4,
+        model in 0usize..6,
+        sentinel_raw in proptest::collection::vec(0u32..1_000_000, 0..4),
+    ) {
+        let g = barabasi_albert(n, edges_per, model_of(model), graph_seed);
+        let sentinel: Vec<NodeId> =
+            sentinel_raw.iter().map(|&v| v % n as u32).collect();
+        assert_paths_agree(&g, strategy_of(strat), &sentinel, 60, gen_seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    #[ignore = "heavy differential sweep; run with --include-ignored in CI"]
+    fn frontier_equals_scalar_heavy(
+        n in 100usize..800,
+        edges_per in 2usize..6,
+        graph_seed in 0u64..1_000_000,
+        gen_seed in 0u64..1_000_000,
+        strat in 0usize..4,
+        model in 0usize..6,
+        sentinel_raw in proptest::collection::vec(0u32..1_000_000, 0..8),
+    ) {
+        let g = erdos_renyi_gnm(n, n * edges_per, model_of(model), graph_seed);
+        let sentinel: Vec<NodeId> =
+            sentinel_raw.iter().map(|&v| v % n as u32).collect();
+        assert_paths_agree(&g, strategy_of(strat), &sentinel, 120, gen_seed);
+    }
+}

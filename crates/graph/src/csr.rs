@@ -115,6 +115,44 @@ impl Graph {
         &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
     }
 
+    /// The raw reverse-CSR offset array: `n + 1` entries, with node `v`'s
+    /// in-neighbors at `in_csr_sources()[offsets[v]..offsets[v + 1]]`.
+    ///
+    /// Flat traversal kernels index these arrays directly instead of going
+    /// through [`Graph::in_neighbors`] per node.
+    #[inline]
+    pub fn in_csr_offsets(&self) -> &[usize] {
+        &self.in_offsets
+    }
+
+    /// The raw reverse-CSR source array (see [`Graph::in_csr_offsets`]).
+    #[inline]
+    pub fn in_csr_sources(&self) -> &[NodeId] {
+        &self.in_sources
+    }
+
+    /// The per-node uniform in-probability array (`probs[v]` applies to
+    /// every in-edge of `v`), or `None` when the graph carries per-edge
+    /// weights.
+    #[inline]
+    pub fn uniform_in_probs(&self) -> Option<&[f64]> {
+        match &self.weights {
+            EdgeWeights::Uniform(per_node) => Some(per_node),
+            EdgeWeights::PerEdge(_) => None,
+        }
+    }
+
+    /// The per-edge in-probability array aligned with
+    /// [`Graph::in_csr_sources`] (each node's segment sorted descending),
+    /// or `None` when weights are per-node uniform.
+    #[inline]
+    pub fn per_edge_in_probs(&self) -> Option<&[f64]> {
+        match &self.weights {
+            EdgeWeights::Uniform(_) => None,
+            EdgeWeights::PerEdge(probs) => Some(probs),
+        }
+    }
+
     /// Propagation probabilities of `v`'s incoming edges.
     #[inline]
     pub fn in_probs(&self, v: NodeId) -> InProbs<'_> {

@@ -85,15 +85,18 @@ fn stress_readers_never_observe_torn_or_mutated_state() {
     index.warm(chunk_size).unwrap(); // non-empty starting point
     let stop = AtomicBool::new(false);
     let growth_seen = AtomicU64::new(0);
+    let reader_loads = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for reader in 0..4 {
             let (index, stop, growth_seen) = (&index, &stop, &growth_seen);
+            let reader_loads = &reader_loads;
             scope.spawn(move || {
                 let mut prev: Arc<_> = index.load();
                 let mut iterations = 0u64;
                 while !stop.load(Ordering::Relaxed) || iterations == 0 {
                     iterations += 1;
+                    reader_loads.fetch_add(1, Ordering::Relaxed);
                     let snap = index.load();
                     // Never torn: halves in step, size on the chunk grid.
                     assert_eq!(
@@ -132,10 +135,22 @@ fn stress_readers_never_observe_torn_or_mutated_state() {
                 }
             });
         }
-        // The writer: force a run of doublings while readers watch.
+        // The writer: force a run of doublings while readers watch. Each
+        // publish waits for reader progress before the next doubling — a
+        // fast generation kernel can otherwise finish every top-up inside
+        // one scheduler quantum on a small host, leaving the readers with
+        // nothing to race against.
         let mut target = 2 * chunk_size;
         while target <= 128 * chunk_size {
             index.warm(target).unwrap();
+            // A load that *starts* after this point sees the new snapshot;
+            // readers bump the counter right before each load, so waiting
+            // for a fresh bump guarantees at least one such load per
+            // doubling.
+            let published = reader_loads.load(Ordering::Relaxed);
+            while reader_loads.load(Ordering::Relaxed) == published {
+                std::thread::yield_now();
+            }
             target *= 2;
         }
         stop.store(true, Ordering::Relaxed);

@@ -107,12 +107,65 @@ impl GeometricSkipper {
         if self.inv_ln_q == 0.0 {
             return NEVER;
         }
-        let u = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        self.skip_from(rng.gen::<f64>())
+    }
+
+    /// The deterministic tail of [`GeometricSkipper::skip`]: maps an
+    /// already-drawn unit sample `u ∈ [0, 1)` to the trial index, bit-for-bit
+    /// as `skip` would. Callers that obtain the unit sample themselves (e.g.
+    /// to first test it against a precomputed overshoot boundary) use this
+    /// to finish only the draws that need the logarithm.
+    ///
+    /// Only meaningful for non-degenerate rates (`0 < p < 1`); the
+    /// degenerate cases short-circuit in `skip` before any sample is drawn.
+    #[inline]
+    pub fn skip_from(&self, u: f64) -> u64 {
+        debug_assert!(!self.always && self.inv_ln_q != 0.0);
+        let u = u.max(f64::MIN_POSITIVE);
         let x = u.ln() * self.inv_ln_q;
         if x >= 4.611_686_018_427_388e18 {
             return NEVER;
         }
         (x.ceil() as u64).max(1)
+    }
+}
+
+/// A bank of per-element [`GeometricSkipper`]s, precomputed in one pass.
+///
+/// Frontier-style traversals visit the same per-node rates millions of
+/// times; constructing the skipper inside the hot loop pays the `ln(1-p)`
+/// setup on every activation. Precomputing the bank once per graph moves
+/// that setup out of the traversal entirely, and because the stored
+/// `1 / ln(1 - p)` is the exact `f64` [`GeometricSkipper::new`] would
+/// compute, draws through the bank are bitwise identical to draws through
+/// a freshly built skipper on the same RNG stream.
+#[derive(Debug, Clone)]
+pub struct SkipperBank {
+    skippers: Vec<GeometricSkipper>,
+}
+
+impl SkipperBank {
+    /// Precomputes one skipper per rate in `ps`.
+    pub fn new(ps: impl IntoIterator<Item = f64>) -> Self {
+        SkipperBank {
+            skippers: ps.into_iter().map(GeometricSkipper::new).collect(),
+        }
+    }
+
+    /// Number of rates in the bank.
+    pub fn len(&self) -> usize {
+        self.skippers.len()
+    }
+
+    /// Whether the bank holds no rates.
+    pub fn is_empty(&self) -> bool {
+        self.skippers.is_empty()
+    }
+
+    /// The precomputed skipper for rate index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> GeometricSkipper {
+        self.skippers[i]
     }
 }
 
@@ -268,5 +321,20 @@ mod tests {
     fn hits_iterator_p_zero_selects_nothing() {
         let mut rng = rng_from_seed(9);
         assert_eq!(GeometricHits::new(&mut rng, 10, 0.0).count(), 0);
+    }
+
+    #[test]
+    fn bank_draws_match_fresh_skippers_bitwise() {
+        let ps = [0.0, 1e-9, 0.01, 0.2, 0.25, 0.5, 1.0, 1.5, -0.3];
+        let bank = SkipperBank::new(ps.iter().copied());
+        assert_eq!(bank.len(), ps.len());
+        for (i, &p) in ps.iter().enumerate() {
+            let mut a = rng_from_seed(1000 + i as u64);
+            let mut b = rng_from_seed(1000 + i as u64);
+            let fresh = GeometricSkipper::new(p);
+            for _ in 0..200 {
+                assert_eq!(bank.get(i).skip(&mut a), fresh.skip(&mut b), "p={p}");
+            }
+        }
     }
 }

@@ -34,7 +34,7 @@ pub mod geometric;
 pub mod subset;
 
 pub use alias::AliasTable;
-pub use geometric::{geometric_skip, GeometricSkipper};
+pub use geometric::{geometric_skip, GeometricSkipper, SkipperBank};
 pub use subset::{
     bernoulli_subset_naive, uniform_subset, BucketJumpSampler, BucketSubsetSampler,
     SortedSubsetSampler,
