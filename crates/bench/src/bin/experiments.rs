@@ -7,6 +7,7 @@
 //! experiments bench-pr6 [out.json]   # shard-scaling bench (never part of `all`)
 //! experiments bench-pr7 [out.json]   # sentinel-truncation bench (never part of `all`)
 //! experiments bench-pr8 [out.json]   # flat-frontier kernel bench (never part of `all`)
+//! experiments bench-pr9 [out.json]   # sketched-validation bench (never part of `all`)
 //! ```
 //!
 //! Scale is controlled by `SUBSIM_SCALE=small|paper` (default `paper`).
@@ -46,6 +47,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench-pr8") {
         let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pr8.json");
         harness::bench_pr8(scale, out);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench-pr9") {
+        let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pr9.json");
+        harness::bench_pr9(scale, out);
         return;
     }
 

@@ -34,6 +34,7 @@ use subsim_index::{
     IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, QueryStats, SentinelState,
     R2_STREAM, SENTINEL_WARMUP_CHUNKS,
 };
+use subsim_sketch::{evaluate_pool_sketched, SketchedPool, MAX_PRECISION};
 
 /// One immutable published serving state: the graph at one version plus
 /// the pool generated (or repaired) against exactly that version.
@@ -47,6 +48,9 @@ pub struct DeltaSnapshot {
     chunks: u64,
     /// Sentinel tier state at publish time; immutable like the halves.
     sentinel: Option<SentinelState>,
+    /// Sketched validation tier at publish time: when active, `r2` stays
+    /// empty and validation runs over per-node count-distinct sketches.
+    sketch: Option<SketchedPool>,
 }
 
 impl DeltaSnapshot {
@@ -88,6 +92,11 @@ impl DeltaSnapshot {
     /// The sentinel tier state, if active.
     pub fn sentinel_state(&self) -> Option<&SentinelState> {
         self.sentinel.as_ref()
+    }
+
+    /// The sketched validation pool, if the sketch tier is active.
+    pub fn sketch_state(&self) -> Option<&SketchedPool> {
+        self.sketch.as_ref()
     }
 }
 
@@ -152,7 +161,7 @@ impl ConcurrentDeltaIndex {
     /// a snapshot file) for concurrent serving. The pool and version
     /// carry over unchanged; metrics restart.
     pub fn from_index(index: DeltaIndex) -> Self {
-        let (vg, config, r1, r2, chunks, sentinel) = index.into_raw_parts();
+        let (vg, config, r1, r2, chunks, sentinel, sketch) = index.into_raw_parts();
         let snap = DeltaSnapshot {
             graph: vg.graph_arc(),
             version: vg.version(),
@@ -161,6 +170,7 @@ impl ConcurrentDeltaIndex {
             r2,
             chunks,
             sentinel,
+            sketch,
         };
         ConcurrentDeltaIndex {
             config,
@@ -187,14 +197,22 @@ impl ConcurrentDeltaIndex {
             r2: arc.r2.clone(),
             chunks: arc.chunks,
             sentinel: arc.sentinel.clone(),
+            sketch: arc.sketch.clone(),
         });
+        let mut config = self.config;
+        // The ladder may have promoted past the construction-time
+        // precision; the live sketch is authoritative.
+        if let Some(sk) = &snap.sketch {
+            config.sketch = sk.precision() as usize;
+        }
         DeltaIndex::from_raw_parts(
             ws.vg,
-            self.config,
+            config,
             snap.r1,
             snap.r2,
             snap.chunks,
             snap.sentinel,
+            snap.sketch,
         )
     }
 
@@ -298,34 +316,56 @@ impl ConcurrentDeltaIndex {
         loop {
             rounds += 1;
             // Sentinel snapshots re-certify through the HIST-style round
-            // so the answer keeps the full (k, ε, δ) guarantee; plain
-            // snapshots run the standard OPIM round.
-            let (eval, cert_time) = match snap.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
-                Some(st) => {
-                    let t = Instant::now();
-                    let eval = evaluate_pool_sentinel(
-                        &snap.r1,
-                        &snap.r2,
-                        &st.set,
-                        &snap.graph,
-                        k,
-                        delta_iter,
-                        delta_iter,
-                        self.config.threads,
-                    );
-                    (eval, t.elapsed())
-                }
-                None => evaluate_pool_timed_par(
+            // so the answer keeps the full (k, ε, δ) guarantee; sketched
+            // snapshots run the slack-adjusted round; plain snapshots run
+            // the standard OPIM round.
+            let (seeds, lower, upper, slack_failed) = if let Some(sk) = &snap.sketch {
+                let t = Instant::now();
+                let eval = evaluate_pool_sketched(
                     &snap.r1,
-                    &snap.r2,
+                    sk,
                     k,
                     delta_iter,
                     delta_iter,
                     self.config.threads,
-                ),
+                );
+                self.metrics.record_selection(t.elapsed());
+                let slack = eval.failed_on_slack(target);
+                (eval.seeds, eval.lower, eval.upper, slack)
+            } else {
+                let (eval, cert_time) = match snap.sentinel.as_ref().filter(|st| !st.set.is_empty())
+                {
+                    Some(st) => {
+                        let t = Instant::now();
+                        let eval = evaluate_pool_sentinel(
+                            &snap.r1,
+                            &snap.r2,
+                            &st.set,
+                            &snap.graph,
+                            k,
+                            delta_iter,
+                            delta_iter,
+                            self.config.threads,
+                        );
+                        (eval, t.elapsed())
+                    }
+                    None => evaluate_pool_timed_par(
+                        &snap.r1,
+                        &snap.r2,
+                        k,
+                        delta_iter,
+                        delta_iter,
+                        self.config.threads,
+                    ),
+                };
+                self.metrics.record_selection(cert_time);
+                (eval.seeds, eval.lower, eval.upper, false)
             };
-            self.metrics.record_selection(cert_time);
-            let certified = eval.ratio() > target;
+            let certified = if upper <= 0.0 {
+                false
+            } else {
+                lower / upper > target
+            };
             if certified || snap.pool_len() as f64 >= theta_max {
                 let stats = QueryStats {
                     k,
@@ -335,17 +375,27 @@ impl ConcurrentDeltaIndex {
                     pool_after: snap.pool_len(),
                     fresh_sets: fresh,
                     rounds,
-                    lower_bound: eval.lower,
-                    upper_bound: eval.upper,
+                    lower_bound: lower,
+                    upper_bound: upper,
                     target_ratio: target,
                     certified_by_bounds: certified,
                     elapsed: start.elapsed(),
                 };
                 self.metrics.record_query(&stats);
-                return Ok(QueryAnswer {
-                    seeds: eval.seeds,
-                    stats,
-                });
+                return Ok(QueryAnswer { seeds, stats });
+            }
+            // Error-adaptive ladder, as in the sequential index: a round
+            // that failed on sketch slack promotes register precision
+            // instead of growing the pool.
+            if slack_failed {
+                let observed = snap.sketch.as_ref().map(|sk| sk.precision());
+                if observed.is_some_and(|p| p < MAX_PRECISION) {
+                    let (grown, added) = self.promote_sketch(observed.unwrap())?;
+                    snap = grown;
+                    check_pin(pin, &snap)?;
+                    fresh += added;
+                    continue;
+                }
             }
             let next = snap
                 .pool_len()
@@ -356,6 +406,62 @@ impl ConcurrentDeltaIndex {
             check_pin(pin, &snap)?;
             fresh += added;
         }
+    }
+
+    /// Error-adaptive ladder step: regenerates the `R₂` chunk stream at
+    /// the next register precision above `observed` and publishes the
+    /// promoted snapshot, exactly as the sequential index does. If a
+    /// racing thread already promoted (or a delta landed) past
+    /// `observed`, the current snapshot is returned with no work done
+    /// (the caller re-evaluates).
+    fn promote_sketch(&self, observed: u8) -> Result<(Arc<DeltaSnapshot>, usize), DeltaError> {
+        let ws = self.writer.lock().expect("writer lock poisoned");
+        let base = self.load();
+        let Some(old) = base.sketch.as_ref() else {
+            return Ok((base, 0));
+        };
+        if old.precision() != observed {
+            return Ok((base, 0));
+        }
+        let precision = observed + 1;
+        let chunk = self.config.chunk_size;
+        let slice = (self.config.threads as u64) * 4;
+        let graph = ws.vg.graph_arc();
+        let sampler = RrSampler::new(&graph, self.config.strategy);
+        let mut fresh = SketchedPool::new(graph.n(), chunk, precision);
+        let mut start = 0u64;
+        let mut regenerated = 0usize;
+        while start < base.chunks {
+            let end = base.chunks.min(start + slice);
+            let b = ws.workers.try_generate_chunks(
+                &sampler,
+                None,
+                start..end,
+                chunk,
+                self.config.seed ^ R2_STREAM,
+            )?;
+            self.metrics.record_generation(
+                b.rr.len() as u64,
+                b.rr.total_nodes() as u64,
+                b.cost,
+                b.elapsed,
+            );
+            regenerated += b.rr.len();
+            fresh.absorb_batch(start, &b.rr);
+            start = end;
+        }
+        let snap = Arc::new(DeltaSnapshot {
+            graph: Arc::clone(&base.graph),
+            version: base.version,
+            fingerprint: base.fingerprint,
+            r1: base.r1.clone(),
+            r2: base.r2.clone(),
+            chunks: base.chunks,
+            sentinel: base.sentinel.clone(),
+            sketch: Some(fresh),
+        });
+        self.publish(Arc::clone(&snap));
+        Ok((snap, regenerated))
     }
 
     /// Applies `delta` to the graph and publishes a repaired snapshot at
@@ -383,6 +489,7 @@ impl ConcurrentDeltaIndex {
             &base.r1,
             &base.r2,
             base.sentinel.as_ref(),
+            base.sketch.as_ref(),
             base.chunks,
             delta,
             &graph,
@@ -403,6 +510,7 @@ impl ConcurrentDeltaIndex {
             r2: out.r2,
             chunks: base.chunks,
             sentinel: out.sentinel,
+            sketch: out.sketch,
         });
         self.publish(Arc::clone(&snap));
         let dirty_chunks = out.dirty_chunks_r1 + out.dirty_chunks_r2;
@@ -415,7 +523,11 @@ impl ConcurrentDeltaIndex {
             dirty_chunks_r1: out.dirty_chunks_r1,
             dirty_chunks_r2: out.dirty_chunks_r2,
             regenerated_sets: regenerated,
-            pool_sets: snap.r1.len() + snap.r2.len(),
+            pool_sets: snap.r1.len()
+                + snap
+                    .sketch
+                    .as_ref()
+                    .map_or(snap.r2.len(), |sk| sk.len_sets()),
             sentinel_refreshed: out.sentinel_refreshed,
             elapsed: start.elapsed(),
         };
@@ -456,11 +568,19 @@ impl ConcurrentDeltaIndex {
         let mut r2 = base.r2.clone();
         let mut chunks = base.chunks;
         let mut sentinel = base.sentinel.clone();
+        let mut sketch = base.sketch.clone();
         let mut added = 0usize;
         let mut budget_err = None;
         while chunks < needed_chunks {
             if let Some(cap) = self.config.max_nodes {
-                let in_use = r1.total_nodes() + r2.total_nodes();
+                // A sketched R₂ counts its resident bytes in 4-byte
+                // node-entry equivalents, keeping the budget unit
+                // consistent.
+                let in_use = r1.total_nodes()
+                    + r2.total_nodes()
+                    + sketch
+                        .as_ref()
+                        .map_or(0, |sk| sk.resident_bytes() as usize / 4);
                 if in_use >= cap {
                     budget_err = Some(IndexError::MemoryBudget {
                         max_nodes: cap,
@@ -520,7 +640,11 @@ impl ConcurrentDeltaIndex {
             }
             added += b1.rr.len() + b2.rr.len();
             r1.extend_from(&b1.rr);
-            r2.extend_from(&b2.rr);
+            if let Some(sk) = sketch.as_mut() {
+                sk.absorb_batch(chunks, &b2.rr);
+            } else {
+                r2.extend_from(&b2.rr);
+            }
             chunks = end;
         }
 
@@ -532,6 +656,7 @@ impl ConcurrentDeltaIndex {
             r2,
             chunks,
             sentinel,
+            sketch,
         });
         if added > 0 {
             self.publish(Arc::clone(&snap));
@@ -744,6 +869,50 @@ mod tests {
         let a = seq.query(3, 0.1, 0.01).unwrap();
         let b = conc.query(3, 0.1, 0.01).unwrap();
         assert_eq!(a.seeds, b.seeds);
+    }
+
+    #[test]
+    fn sketched_serving_matches_sequential_across_deltas() {
+        let cfg = config().sketch(6);
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 47);
+        let mut seq = DeltaIndex::new(g.clone(), cfg).unwrap();
+        let conc = ConcurrentDeltaIndex::new(g, cfg).unwrap();
+        seq.warm(320).unwrap();
+        conc.warm(320).unwrap();
+        {
+            let snap = conc.load();
+            assert_eq!(snap.validation_pool().len(), 0, "sketched R2 stays empty");
+            assert_eq!(seq.sketch_state(), snap.sketch_state());
+        }
+        let g_now = seq.graph();
+        let hub = (0..g_now.n() as u32)
+            .max_by_key(|&v| g_now.in_degree(v))
+            .unwrap();
+        let u = (0..g_now.n() as u32)
+            .find(|&u| g_now.prob_of_edge(u, hub).is_none())
+            .unwrap();
+        let d = GraphDelta::new().insert_edge(u, hub, 0.5);
+        let ra = seq.apply_delta(&d).unwrap();
+        let rb = conc.apply_delta(&d).unwrap();
+        assert_eq!(ra.dirty_chunks_r2, rb.dirty_chunks_r2);
+        assert_eq!(ra.regenerated_sets, rb.regenerated_sets);
+        let snap = conc.load();
+        assert_eq!(seq.sketch_state(), snap.sketch_state());
+        for i in 0..seq.pool_len() {
+            assert_eq!(seq.selection_pool().get(i), snap.selection_pool().get(i));
+        }
+        let a = seq.query(4, 0.1, 0.01).unwrap();
+        let b = conc.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+        // Whatever the ladder did during the queries, both stacks must
+        // agree on it — including through into_index.
+        let snap = conc.load();
+        assert_eq!(seq.sketch_state(), snap.sketch_state());
+        let back = conc.into_index();
+        assert_eq!(back.config().sketch, seq.config().sketch);
+        assert_eq!(back.sketch_state(), seq.sketch_state());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use subsim_index::{
     IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, RrIndex, SentinelState,
     R2_STREAM, SENTINEL_WARMUP_CHUNKS,
 };
+use subsim_sketch::{evaluate_pool_sketched, SketchedPool, MAX_PRECISION};
 
 /// An RR-sketch index over a [`VersionedGraph`]: answers certified IM
 /// queries like [`RrIndex`] and absorbs graph deltas by incremental
@@ -58,6 +59,9 @@ pub struct DeltaIndex {
     chunks: u64,
     /// Sentinel tier state (see [`subsim_index::SentinelState`]).
     sentinel: Option<SentinelState>,
+    /// Sketched validation tier: when active, `r2` stays empty and the
+    /// validation half lives in per-node count-distinct sketches.
+    sketch: Option<SketchedPool>,
     workers: WorkerPool,
     metrics: IndexMetrics,
 }
@@ -86,6 +90,11 @@ impl DeltaIndex {
     pub fn from_versioned(vg: VersionedGraph, config: IndexConfig) -> Self {
         assert!(config.threads > 0, "need at least one worker");
         assert!(config.chunk_size > 0, "chunks must hold at least one set");
+        assert!(
+            config.sketch == 0 || config.sentinels == 0,
+            "sketch and sentinel tiers are mutually exclusive: truncated \
+             sets would poison the count-distinct estimates"
+        );
         let n = vg.graph().n();
         DeltaIndex {
             vg,
@@ -94,6 +103,8 @@ impl DeltaIndex {
             r2: RrCollection::new(n),
             chunks: 0,
             sentinel: None,
+            sketch: (config.sketch > 0)
+                .then(|| SketchedPool::new(n, config.chunk_size, config.sketch as u8)),
             workers: WorkerPool::new(config.threads),
             metrics: IndexMetrics::default(),
         }
@@ -108,6 +119,7 @@ impl DeltaIndex {
         r2: RrCollection,
         chunks: u64,
         sentinel: Option<SentinelState>,
+        sketch: Option<SketchedPool>,
     ) -> Self {
         DeltaIndex {
             vg,
@@ -116,13 +128,14 @@ impl DeltaIndex {
             r2,
             chunks,
             sentinel,
+            sketch,
             workers: WorkerPool::new(config.threads),
             metrics: IndexMetrics::default(),
         }
     }
 
-    /// Decomposes into `(vg, config, r1, r2, chunks, sentinel)`, dropping
-    /// workers and metrics — the conversion point into
+    /// Decomposes into `(vg, config, r1, r2, chunks, sentinel, sketch)`,
+    /// dropping workers and metrics — the conversion point into
     /// [`crate::ConcurrentDeltaIndex`].
     #[allow(clippy::type_complexity)]
     pub(crate) fn into_raw_parts(
@@ -134,6 +147,7 @@ impl DeltaIndex {
         RrCollection,
         u64,
         Option<SentinelState>,
+        Option<SketchedPool>,
     ) {
         (
             self.vg,
@@ -142,6 +156,7 @@ impl DeltaIndex {
             self.r2,
             self.chunks,
             self.sentinel,
+            self.sketch,
         )
     }
 
@@ -202,6 +217,11 @@ impl DeltaIndex {
         self.sentinel.as_ref()
     }
 
+    /// The sketched validation pool, if the sketch tier is active.
+    pub fn sketch_state(&self) -> Option<&SketchedPool> {
+        self.sketch.as_ref()
+    }
+
     /// Serving metrics (queries, generation, repairs).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
@@ -221,6 +241,7 @@ impl DeltaIndex {
             &mut self.r2,
             &mut self.chunks,
             &mut self.sentinel,
+            &mut self.sketch,
             sets,
         )?;
         Ok(())
@@ -252,40 +273,63 @@ impl DeltaIndex {
             &mut self.r2,
             &mut self.chunks,
             &mut self.sentinel,
+            &mut self.sketch,
             theta0 as usize,
         )?;
         let mut rounds = 0u32;
         loop {
             rounds += 1;
             // Sentinel pools re-certify through the HIST-style round so
-            // the answer keeps the full (k, ε, δ) guarantee; plain pools
-            // run the standard OPIM round.
-            let (eval, cert_time) = match self.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
-                Some(st) => {
-                    let t = Instant::now();
-                    let eval = evaluate_pool_sentinel(
-                        &self.r1,
-                        &self.r2,
-                        &st.set,
-                        g,
-                        k,
-                        delta_iter,
-                        delta_iter,
-                        self.config.threads,
-                    );
-                    (eval, t.elapsed())
-                }
-                None => evaluate_pool_timed_par(
+            // the answer keeps the full (k, ε, δ) guarantee; sketched
+            // pools run the slack-adjusted round; plain pools run the
+            // standard OPIM round. `slack_failed` is the error-adaptive
+            // ladder trigger (sketched pools only).
+            let t = Instant::now();
+            let (seeds, lower, upper, slack_failed) = if let Some(sk) = &self.sketch {
+                let eval = evaluate_pool_sketched(
                     &self.r1,
-                    &self.r2,
+                    sk,
                     k,
                     delta_iter,
                     delta_iter,
                     self.config.threads,
-                ),
+                );
+                let slack = eval.failed_on_slack(target);
+                (eval.seeds, eval.lower, eval.upper, slack)
+            } else {
+                match self.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
+                    Some(st) => {
+                        let eval = evaluate_pool_sentinel(
+                            &self.r1,
+                            &self.r2,
+                            &st.set,
+                            g,
+                            k,
+                            delta_iter,
+                            delta_iter,
+                            self.config.threads,
+                        );
+                        (eval.seeds, eval.lower, eval.upper, false)
+                    }
+                    None => {
+                        let (eval, _) = evaluate_pool_timed_par(
+                            &self.r1,
+                            &self.r2,
+                            k,
+                            delta_iter,
+                            delta_iter,
+                            self.config.threads,
+                        );
+                        (eval.seeds, eval.lower, eval.upper, false)
+                    }
+                }
             };
-            self.metrics.record_selection(cert_time);
-            let certified = eval.ratio() > target;
+            self.metrics.record_selection(t.elapsed());
+            let certified = if upper <= 0.0 {
+                false
+            } else {
+                lower / upper > target
+            };
             if certified || self.r1.len() as f64 >= theta_max {
                 let stats = QueryStats {
                     k,
@@ -295,17 +339,29 @@ impl DeltaIndex {
                     pool_after: self.r1.len(),
                     fresh_sets: fresh,
                     rounds,
-                    lower_bound: eval.lower,
-                    upper_bound: eval.upper,
+                    lower_bound: lower,
+                    upper_bound: upper,
                     target_ratio: target,
                     certified_by_bounds: certified,
                     elapsed: start.elapsed(),
                 };
                 self.metrics.record_query(&stats);
-                return Ok(QueryAnswer {
-                    seeds: eval.seeds,
-                    stats,
-                });
+                return Ok(QueryAnswer { seeds, stats });
+            }
+            // Failing on slack means more samples cannot close the gap —
+            // promote register precision instead (bounded by
+            // MAX_PRECISION; past it, fall through to doubling and let
+            // theta_max terminate the loop).
+            if slack_failed && self.config.sketch < MAX_PRECISION as usize {
+                fresh += promote_sketch(
+                    &sampler,
+                    &self.workers,
+                    &mut self.config,
+                    &self.metrics,
+                    &mut self.sketch,
+                    self.chunks,
+                )?;
+                continue;
             }
             let next = self
                 .r1
@@ -322,6 +378,7 @@ impl DeltaIndex {
                 &mut self.r2,
                 &mut self.chunks,
                 &mut self.sentinel,
+                &mut self.sketch,
                 next,
             )?;
         }
@@ -360,6 +417,7 @@ impl DeltaIndex {
             &self.r1,
             &self.r2,
             self.sentinel.as_ref(),
+            self.sketch.as_ref(),
             self.chunks,
             delta,
             staged.graph(),
@@ -375,6 +433,7 @@ impl DeltaIndex {
         self.r1 = out.r1;
         self.r2 = out.r2;
         self.sentinel = out.sentinel;
+        self.sketch = out.sketch;
         let dirty_chunks = out.dirty_chunks_r1 + out.dirty_chunks_r2;
         let regenerated = dirty_chunks * chunk;
         let report = RepairReport {
@@ -385,7 +444,11 @@ impl DeltaIndex {
             dirty_chunks_r1: out.dirty_chunks_r1,
             dirty_chunks_r2: out.dirty_chunks_r2,
             regenerated_sets: regenerated,
-            pool_sets: self.r1.len() + self.r2.len(),
+            pool_sets: self.r1.len()
+                + self
+                    .sketch
+                    .as_ref()
+                    .map_or(self.r2.len(), |sk| sk.len_sets()),
             sentinel_refreshed: out.sentinel_refreshed,
             elapsed: start.elapsed(),
         };
@@ -398,13 +461,22 @@ impl DeltaIndex {
     /// **current version's** fingerprint — a snapshot taken at version
     /// `t` loads only against the graph at version `t`.
     pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), DeltaError> {
-        let mut idx = RrIndex::from_pool_parts(
-            self.vg.graph(),
-            self.config,
-            self.r1.clone(),
-            self.r2.clone(),
-            self.chunks,
-        )?;
+        let mut idx = match &self.sketch {
+            Some(sk) => RrIndex::from_sketched_parts(
+                self.vg.graph(),
+                self.config,
+                self.r1.clone(),
+                sk.clone(),
+                self.chunks,
+            )?,
+            None => RrIndex::from_pool_parts(
+                self.vg.graph(),
+                self.config,
+                self.r1.clone(),
+                self.r2.clone(),
+                self.chunks,
+            )?,
+        };
         idx.set_sentinel_state(self.sentinel.clone())?;
         idx.save_to_path(path)?;
         Ok(())
@@ -423,6 +495,7 @@ impl DeltaIndex {
         let vg = VersionedGraph::new(g)?;
         let mut loaded = RrIndex::load_from_path(vg.graph(), path)?;
         let sentinel = loaded.take_sentinel_state();
+        let sketch = loaded.take_sketch_state();
         let (loaded_config, r1, r2, chunks) = loaded.into_pool_parts();
         Ok(DeltaIndex {
             vg,
@@ -435,6 +508,7 @@ impl DeltaIndex {
             r2,
             chunks,
             sentinel,
+            sketch,
             workers: WorkerPool::new(config.threads),
             metrics: IndexMetrics::default(),
         })
@@ -458,6 +532,7 @@ fn ensure_pool(
     r2: &mut RrCollection,
     chunks: &mut u64,
     sentinel: &mut Option<SentinelState>,
+    sketch: &mut Option<SketchedPool>,
     target_sets: usize,
 ) -> Result<usize, DeltaError> {
     let chunk = config.chunk_size;
@@ -469,7 +544,13 @@ fn ensure_pool(
     let mut added = 0usize;
     while *chunks < needed_chunks {
         if let Some(cap) = config.max_nodes {
-            let in_use = r1.total_nodes() + r2.total_nodes();
+            // A sketched R₂ counts its resident bytes in 4-byte
+            // node-entry equivalents, keeping the budget unit consistent.
+            let in_use = r1.total_nodes()
+                + r2.total_nodes()
+                + sketch
+                    .as_ref()
+                    .map_or(0, |sk| sk.resident_bytes() as usize / 4);
             if in_use >= cap {
                 return Err(DeltaError::Index(IndexError::MemoryBudget {
                     max_nodes: cap,
@@ -518,10 +599,60 @@ fn ensure_pool(
         }
         added += b1.rr.len() + b2.rr.len();
         r1.extend_from(&b1.rr);
-        r2.extend_from(&b2.rr);
+        if let Some(sk) = sketch.as_mut() {
+            sk.absorb_batch(*chunks, &b2.rr);
+        } else {
+            r2.extend_from(&b2.rr);
+        }
         *chunks = end;
     }
     Ok(added)
+}
+
+/// Error-adaptive ladder step (the split-borrow form of `RrIndex`'s
+/// promotion): regenerates the entire `R₂` chunk stream at the next
+/// register precision and swaps the sketch. Chunk content is a pure
+/// function of `(seed, chunk id)`, so the rebuilt sketch is exactly what
+/// an index configured at the higher precision from the start would
+/// hold. Returns the number of regenerated sets.
+fn promote_sketch(
+    sampler: &RrSampler<'_>,
+    workers: &WorkerPool,
+    config: &mut IndexConfig,
+    metrics: &IndexMetrics,
+    sketch: &mut Option<SketchedPool>,
+    chunks: u64,
+) -> Result<usize, DeltaError> {
+    let old = sketch.as_ref().expect("promotion without a sketch");
+    let precision = old.precision() + 1;
+    assert!(precision <= MAX_PRECISION, "ladder past MAX_PRECISION");
+    let chunk = config.chunk_size;
+    let mut fresh = SketchedPool::new(old.graph_n(), chunk, precision);
+    let slice = (config.threads as u64) * 4;
+    let mut start = 0u64;
+    let mut regenerated = 0usize;
+    while start < chunks {
+        let end = chunks.min(start + slice);
+        let b = workers.try_generate_chunks(
+            sampler,
+            None,
+            start..end,
+            chunk,
+            config.seed ^ R2_STREAM,
+        )?;
+        metrics.record_generation(
+            b.rr.len() as u64,
+            b.rr.total_nodes() as u64,
+            b.cost,
+            b.elapsed,
+        );
+        regenerated += b.rr.len();
+        fresh.absorb_batch(start, &b.rr);
+        start = end;
+    }
+    config.sketch = precision as usize;
+    *sketch = Some(fresh);
+    Ok(regenerated)
 }
 
 #[cfg(test)]
@@ -729,6 +860,98 @@ mod tests {
         );
         let ans = index.query(3, 0.1, 0.01).unwrap();
         assert!(ans.stats.certified_by_bounds);
+    }
+
+    fn sketch_config() -> IndexConfig {
+        config().sketch(6)
+    }
+
+    #[test]
+    fn sketched_warm_and_query_match_borrowing_index() {
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 38);
+        let vg = VersionedGraph::new(g).unwrap();
+        let norm = vg.graph().clone();
+        let mut delta_index = DeltaIndex::from_versioned(vg, sketch_config());
+        let mut plain = subsim_index::RrIndex::new(&norm, sketch_config());
+        delta_index.warm(320).unwrap();
+        plain.warm(320).unwrap();
+        assert_eq!(delta_index.pool_len(), plain.pool_len());
+        assert_eq!(
+            delta_index.validation_pool().len(),
+            0,
+            "sketched R2 stays empty"
+        );
+        assert_eq!(delta_index.sketch_state(), plain.sketch_state());
+        let a = delta_index.query(4, 0.1, 0.01).unwrap();
+        let b = plain.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+        // Whatever the ladder did, both stacks must agree on it.
+        assert_eq!(delta_index.config().sketch, plain.config().sketch);
+        assert_eq!(delta_index.sketch_state(), plain.sketch_state());
+    }
+
+    #[test]
+    fn sketched_delta_repair_matches_fresh_sketched_index() {
+        let g = barabasi_albert(250, 3, WeightModel::Wc, 39);
+        let mut index = DeltaIndex::new(g.clone(), sketch_config()).unwrap();
+        index.warm(400).unwrap();
+        let hub = (0..g.n() as u32).max_by_key(|&v| g.in_degree(v)).unwrap();
+        let u = (0..g.n() as u32)
+            .find(|&u| g.prob_of_edge(u, hub).is_none())
+            .expect("some node lacks an edge to the hub");
+        let d = GraphDelta::new().insert_edge(u, hub, 0.5);
+        let report = index.apply_delta(&d).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(
+            report.dirty_chunks_r2 > 0,
+            "hub delta must dirty the sketch"
+        );
+        assert_eq!(
+            report.dirty_sets_r2,
+            report.dirty_chunks_r2 * sketch_config().chunk_size,
+            "sketched dirtiness is whole chunks"
+        );
+
+        let mut fresh_vg = VersionedGraph::new(g).unwrap();
+        fresh_vg.apply(&d).unwrap();
+        let mut fresh = DeltaIndex::from_versioned(fresh_vg, sketch_config());
+        fresh.warm(index.pool_len()).unwrap();
+        assert_eq!(fresh.pool_len(), index.pool_len());
+        for i in 0..index.pool_len() {
+            assert_eq!(
+                index.selection_pool().get(i),
+                fresh.selection_pool().get(i),
+                "r1 {i}"
+            );
+        }
+        assert_eq!(index.sketch_state(), fresh.sketch_state());
+        let a = index.query(4, 0.1, 0.01).unwrap();
+        let b = fresh.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+    }
+
+    #[test]
+    fn sketched_snapshot_round_trips() {
+        let dir = std::env::temp_dir().join("subsim_delta_sketch_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.subsimix");
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 40);
+        let mut index = DeltaIndex::new(g.clone(), sketch_config()).unwrap();
+        index.warm(320).unwrap();
+        index.save_snapshot(&path).unwrap();
+        let mut reloaded = DeltaIndex::load_snapshot(g, sketch_config(), &path).unwrap();
+        assert_eq!(reloaded.pool_len(), index.pool_len());
+        assert_eq!(reloaded.validation_pool().len(), 0);
+        assert_eq!(reloaded.sketch_state(), index.sketch_state());
+        // The reloaded index continues the identical chunk stream.
+        index.warm(640).unwrap();
+        reloaded.warm(640).unwrap();
+        assert_eq!(reloaded.sketch_state(), index.sketch_state());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub use delta::{DeltaOp, GraphDelta};
 pub use error::DeltaError;
 pub use index::DeltaIndex;
 pub use repair::{
-    repair_half, repair_half_indexed, repair_half_mapped, repair_half_sentinel, RepairReport,
-    RepairedHalf, RepairedSentinelHalf,
+    repair_half, repair_half_indexed, repair_half_mapped, repair_half_sentinel, repair_sketch,
+    RepairReport, RepairedHalf, RepairedSentinelHalf, RepairedSketch,
 };
 pub use serve::{
     parse_query, serve_queries, FrameViolation, LineError, NullSink, ServeError, ServeEvent,

@@ -37,6 +37,7 @@ use subsim_diffusion::pool::{PoolError, WorkerPool};
 use subsim_diffusion::{InvertedIndex, RrCollection, RrSampler};
 use subsim_graph::{Graph, NodeId};
 use subsim_index::{SentinelState, R2_STREAM};
+use subsim_sketch::SketchedPool;
 
 /// What one repair (via [`repair_half`] on both halves, as
 /// [`crate::DeltaIndex::apply_delta`] does) did.
@@ -350,11 +351,58 @@ pub fn repair_half_sentinel(
     })
 }
 
+/// Outcome of repairing a sketched validation pool.
+#[derive(Debug)]
+pub struct RepairedSketch {
+    /// The repaired sketch (same chunk coverage as the input).
+    pub sketch: SketchedPool,
+    /// Chunks whose registers were rebuilt.
+    pub dirty_chunks: usize,
+}
+
+/// Repairs a sketched validation pool against the new graph bound in
+/// `sampler`.
+///
+/// Dirtiness uses the same membership predicate as the exact halves —
+/// a chunk is dirty iff some stored set in it contains a mutated target,
+/// and the sketch's per-chunk key set records exactly that old-pool
+/// membership. Each dirty chunk regenerates from its **original** seed
+/// on the new graph and its sub-sketch is rebuilt from the fresh
+/// content, so the repaired sketch equals a fresh sketch over a fully
+/// rebuilt half (clean chunks would regenerate bit-identical, hence
+/// sketch identical).
+pub fn repair_sketch(
+    sketch: &SketchedPool,
+    targets: &[NodeId],
+    sampler: &RrSampler<'_>,
+    workers: &WorkerPool,
+    seed: u64,
+) -> Result<RepairedSketch, PoolError> {
+    let dirty = sketch.dirty_chunks(targets);
+    let mut out = sketch.clone();
+    if dirty.is_empty() {
+        return Ok(RepairedSketch {
+            sketch: out,
+            dirty_chunks: 0,
+        });
+    }
+    let chunk_size = sketch.chunk_size();
+    let batch = workers.try_generate_chunk_ids(sampler, None, &dirty, chunk_size, seed)?;
+    for (j, &c) in dirty.iter().enumerate() {
+        out.replace_chunk(c, &batch.rr, j * chunk_size);
+    }
+    Ok(RepairedSketch {
+        sketch: out,
+        dirty_chunks: dirty.len(),
+    })
+}
+
 /// Everything a delta commit needs back from [`repair_pool`].
 pub(crate) struct PoolRepairOutcome {
     pub r1: RrCollection,
     pub r2: RrCollection,
     pub sentinel: Option<SentinelState>,
+    pub sketch: Option<SketchedPool>,
     pub dirty_sets_r1: usize,
     pub dirty_sets_r2: usize,
     pub dirty_chunks_r1: usize,
@@ -383,6 +431,7 @@ pub(crate) fn repair_pool(
     r1: &RrCollection,
     r2: &RrCollection,
     sentinel: Option<&SentinelState>,
+    sketch: Option<&SketchedPool>,
     chunks: u64,
     delta: &GraphDelta,
     g_new: &Graph,
@@ -394,6 +443,26 @@ pub(crate) fn repair_pool(
     threads: usize,
 ) -> Result<PoolRepairOutcome, PoolError> {
     let targets = delta.targets();
+    // Sketched validation tier (mutually exclusive with sentinels): R₁
+    // repairs exactly, the sketch repairs chunk-wise on the same
+    // membership predicate. The sketch cannot count individual dirty
+    // sets, so `dirty_sets_r2` reports the regenerated whole chunks'
+    // set count (what was actually redrawn).
+    if let Some(sk) = sketch {
+        let h1 = repair_half(r1, &targets, sampler, workers, chunk_size, seed, threads)?;
+        let rs = repair_sketch(sk, &targets, sampler, workers, seed ^ R2_STREAM)?;
+        return Ok(PoolRepairOutcome {
+            r1: h1.rr,
+            r2: r2.clone(),
+            sentinel: None,
+            sketch: Some(rs.sketch),
+            dirty_sets_r1: h1.dirty_sets,
+            dirty_sets_r2: rs.dirty_chunks * chunk_size,
+            dirty_chunks_r1: h1.dirty_chunks,
+            dirty_chunks_r2: rs.dirty_chunks,
+            sentinel_refreshed: false,
+        });
+    }
     let Some(st) = sentinel.filter(|st| !st.set.is_empty()) else {
         let h1 = repair_half(r1, &targets, sampler, workers, chunk_size, seed, threads)?;
         let h2 = repair_half(
@@ -409,6 +478,7 @@ pub(crate) fn repair_pool(
             r1: h1.rr,
             r2: h2.rr,
             sentinel: sentinel.cloned(),
+            sketch: None,
             dirty_sets_r1: h1.dirty_sets,
             dirty_sets_r2: h2.dirty_sets,
             dirty_chunks_r1: h1.dirty_chunks,
@@ -454,6 +524,7 @@ pub(crate) fn repair_pool(
                 chunk_hits_r1: h1.chunk_hits,
                 chunk_hits_r2: h2.chunk_hits,
             }),
+            sketch: None,
             dirty_sets_r1: h1.dirty_sets,
             dirty_sets_r2: h2.dirty_sets,
             dirty_chunks_r1: h1.dirty_chunks,
@@ -520,6 +591,7 @@ pub(crate) fn repair_pool(
             chunk_hits_r1: hits1,
             chunk_hits_r2: hits2,
         }),
+        sketch: None,
         dirty_sets_r1: h1.dirty_sets,
         dirty_sets_r2: h2.dirty_sets,
         dirty_chunks_r1: h1.dirty_chunks + suffix_chunks,
@@ -609,6 +681,47 @@ mod tests {
                 repaired.dirty_chunks <= chunks as usize,
                 "chunk count bounded"
             );
+        }
+    }
+
+    /// Sketches a whole half the way `ensure_pool` would: one absorbed
+    /// batch covering chunks `0..chunks`.
+    fn sketch_of(g: &Graph, chunks: u64, chunk_size: usize, seed: u64, p: u8) -> SketchedPool {
+        let rr = full_rebuild(g, chunks, chunk_size, seed, RrStrategy::SubsimIc);
+        let mut sk = SketchedPool::new(g.n(), chunk_size, p);
+        sk.absorb_batch(0, &rr);
+        sk
+    }
+
+    #[test]
+    fn repaired_sketch_matches_full_rebuild_sketch() {
+        let raw = barabasi_albert(300, 3, WeightModel::Wc, 24);
+        let mut b = GraphBuilder::new(raw.n()).keep_self_loops(true);
+        for (u, v, p) in raw.edges() {
+            b = b.add_weighted_edge(u, v, p);
+        }
+        let old = b.build().unwrap();
+        let (new, hub) = mutate(&old);
+        let (chunks, chunk_size, seed) = (10u64, 32usize, 78u64);
+        let old_sketch = sketch_of(&old, chunks, chunk_size, seed, 6);
+        let reference = sketch_of(&new, chunks, chunk_size, seed, 6);
+
+        let sampler = RrSampler::new(&new, RrStrategy::SubsimIc);
+        for threads in [1, 2, 4] {
+            let workers = WorkerPool::new(threads);
+            let repaired = repair_sketch(&old_sketch, &[hub], &sampler, &workers, seed).unwrap();
+            assert!(repaired.dirty_chunks > 0, "hub must appear in some chunk");
+            assert!(repaired.dirty_chunks <= chunks as usize);
+            assert_eq!(repaired.sketch, reference, "threads={threads}");
+        }
+
+        // A target outside every sketched chunk leaves the sketch alone.
+        let absent = (0..old.n() as NodeId).find(|&v| old_sketch.dirty_chunks(&[v]).is_empty());
+        if let Some(v) = absent {
+            let workers = WorkerPool::new(2);
+            let repaired = repair_sketch(&old_sketch, &[v], &sampler, &workers, seed).unwrap();
+            assert_eq!(repaired.dirty_chunks, 0);
+            assert_eq!(repaired.sketch, old_sketch);
         }
     }
 

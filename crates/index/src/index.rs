@@ -10,6 +10,7 @@ use subsim_core::ImOptions;
 use subsim_diffusion::pool::{ChunkHook, WorkerPool};
 use subsim_diffusion::{RrCollection, RrSampler, RrStrategy};
 use subsim_graph::{Graph, NodeId};
+use subsim_sketch::{evaluate_pool_sketched, SketchedPool, MAX_PRECISION, MIN_PRECISION};
 
 /// Stream separator between the two pool halves: `R₂`'s chunk seeds are
 /// derived from `seed ^ R2_STREAM` so the halves are independent samples.
@@ -121,6 +122,20 @@ pub struct IndexConfig {
     /// truncation — warm queries re-certify the OPIM union bound through
     /// `subsim_core::sentinel`, keeping the full `(k, ε, δ)` guarantee.
     pub sentinels: usize,
+    /// Sketched validation-pool tier: `0` (the default) keeps `R₂` an
+    /// exact arena; a value in
+    /// [`MIN_PRECISION`]`..=`[`MAX_PRECISION`] compresses `R₂`
+    /// into per-node count-distinct sketches at that register precision
+    /// (`m = 2^p` registers). Selection stays exact, the Eq. 1 bound is
+    /// evaluated through `subsim_sketch::evaluate_pool_sketched` with
+    /// conservative slack, and queries that fail *on slack* promote the
+    /// precision (the error-adaptive ladder) by regenerating the
+    /// deterministic `R₂` stream. Mutually exclusive with `sentinels`
+    /// (truncated sets would poison the cardinality estimates).
+    ///
+    /// Promotion updates this field: it always names the precision of
+    /// the live sketch.
+    pub sketch: usize,
 }
 
 impl IndexConfig {
@@ -134,6 +149,7 @@ impl IndexConfig {
             chunk_size: 256,
             max_nodes: None,
             sentinels: 0,
+            sketch: 0,
         }
     }
 
@@ -167,6 +183,17 @@ impl IndexConfig {
     /// (`0` disables it).
     pub fn sentinels(mut self, b: usize) -> Self {
         self.sentinels = b;
+        self
+    }
+
+    /// Enables the sketched validation-pool tier at register precision
+    /// `p` (`0` disables it).
+    pub fn sketch(mut self, p: usize) -> Self {
+        assert!(
+            p == 0 || (MIN_PRECISION as usize..=MAX_PRECISION as usize).contains(&p),
+            "sketch precision {p} outside {MIN_PRECISION}..={MAX_PRECISION}"
+        );
+        self.sketch = p;
         self
     }
 }
@@ -222,6 +249,10 @@ pub struct RrIndex<'g> {
     /// Sentinel tier state; `None` while the pool is fully plain (tier
     /// disabled, or still inside the warmup prefix).
     pub(crate) sentinel: Option<SentinelState>,
+    /// Sketched validation pool; `Some` exactly when
+    /// [`IndexConfig::sketch`] `> 0`, in which case `r2` stays empty and
+    /// every generated `R₂` chunk is absorbed here instead.
+    pub(crate) sketch: Option<SketchedPool>,
     pub(crate) counters: IndexCounters,
     /// Persistent generation workers, spawned on the first top-up and
     /// reused across growth rounds (rebuilt if `threads` changes).
@@ -247,6 +278,11 @@ impl<'g> RrIndex<'g> {
     pub fn new(g: &'g Graph, config: IndexConfig) -> Self {
         assert!(config.threads > 0, "need at least one worker");
         assert!(config.chunk_size > 0, "chunks must hold at least one set");
+        assert!(
+            config.sketch == 0 || config.sentinels == 0,
+            "sketch and sentinel tiers are mutually exclusive: truncated \
+             sets would poison the count-distinct estimates"
+        );
         RrIndex {
             g,
             config,
@@ -255,6 +291,8 @@ impl<'g> RrIndex<'g> {
             r2: RrCollection::new(g.n()),
             chunks: 0,
             sentinel: None,
+            sketch: (config.sketch > 0)
+                .then(|| SketchedPool::new(g.n(), config.chunk_size, config.sketch as u8)),
             counters: IndexCounters::default(),
             workers: None,
             chunk_hook: None,
@@ -278,6 +316,7 @@ impl<'g> RrIndex<'g> {
             r2,
             chunks,
             sentinel: None,
+            sketch: None,
             counters: IndexCounters::default(),
             workers: None,
             chunk_hook: None,
@@ -296,8 +335,8 @@ impl<'g> RrIndex<'g> {
     }
 
     /// Decomposes the index into `(graph, config, r1, r2, chunks,
-    /// sentinel)`, dropping the sampler and lifetime counters — the
-    /// conversion point into [`crate::ConcurrentRrIndex`].
+    /// sentinel, sketch)`, dropping the sampler and lifetime counters —
+    /// the conversion point into [`crate::ConcurrentRrIndex`].
     #[allow(clippy::type_complexity)]
     pub(crate) fn into_parts(
         self,
@@ -308,6 +347,7 @@ impl<'g> RrIndex<'g> {
         RrCollection,
         u64,
         Option<SentinelState>,
+        Option<SketchedPool>,
     ) {
         (
             self.g,
@@ -316,6 +356,7 @@ impl<'g> RrIndex<'g> {
             self.r2,
             self.chunks,
             self.sentinel,
+            self.sketch,
         )
     }
 
@@ -361,9 +402,49 @@ impl<'g> RrIndex<'g> {
 
     /// Decomposes the index into `(config, r1, r2, chunks)` — the inverse
     /// of [`RrIndex::from_pool_parts`] for callers that own the graph
-    /// separately.
+    /// separately. A sketched index's `r2` is empty; take the sketch with
+    /// [`RrIndex::take_sketch_state`] first.
     pub fn into_pool_parts(self) -> (IndexConfig, RrCollection, RrCollection, u64) {
         (self.config, self.r1, self.r2, self.chunks)
+    }
+
+    /// Rebuilds a *sketched* index from externally held parts: the exact
+    /// selection half plus the sketched validation pool. Validates the
+    /// chunk accounting on both (the sketch must cover exactly chunks
+    /// `0..chunks` at the pool's chunk size).
+    pub fn from_sketched_parts(
+        g: &'g Graph,
+        config: IndexConfig,
+        r1: RrCollection,
+        sketch: SketchedPool,
+        chunks: u64,
+    ) -> Result<Self, IndexError> {
+        let expect = chunks as usize * config.chunk_size;
+        if r1.graph_n() != g.n() {
+            return Err(IndexError::SnapshotMismatch {
+                reason: format!(
+                    "selection pool is over {} nodes, graph has {}",
+                    r1.graph_n(),
+                    g.n()
+                ),
+            });
+        }
+        if r1.len() != expect {
+            return Err(IndexError::SnapshotMismatch {
+                reason: format!(
+                    "selection pool holds {} sets, chunk cursor {} × chunk size {} requires {}",
+                    r1.len(),
+                    chunks,
+                    config.chunk_size,
+                    expect
+                ),
+            });
+        }
+        let mut config = config;
+        config.sketch = sketch.precision() as usize;
+        let mut index = Self::from_parts(g, config, r1, RrCollection::new(g.n()), chunks);
+        index.set_sketch_state(Some(sketch))?;
+        Ok(index)
     }
 
     /// The sentinel tier state, if active.
@@ -391,6 +472,57 @@ impl<'g> RrIndex<'g> {
         self.sentinel.take()
     }
 
+    /// The sketched validation pool, if the sketch tier is active.
+    pub fn sketch_state(&self) -> Option<&SketchedPool> {
+        self.sketch.as_ref()
+    }
+
+    /// Installs (or clears) an externally held sketched validation pool —
+    /// the seam for snapshot loading and the delta-repair engine. The
+    /// pool must be structurally consistent with the index: same graph
+    /// size and chunk size, covering exactly chunks `0..chunks`.
+    pub fn set_sketch_state(&mut self, state: Option<SketchedPool>) -> Result<(), IndexError> {
+        if let Some(sk) = &state {
+            let mismatch = |reason: String| IndexError::SnapshotMismatch { reason };
+            if sk.graph_n() != self.g.n() {
+                return Err(mismatch(format!(
+                    "sketch is over {} nodes, graph has {}",
+                    sk.graph_n(),
+                    self.g.n()
+                )));
+            }
+            if sk.chunk_size() != self.config.chunk_size {
+                return Err(mismatch(format!(
+                    "sketch chunk size {} != index chunk size {}",
+                    sk.chunk_size(),
+                    self.config.chunk_size
+                )));
+            }
+            if sk.num_chunks() as u64 != self.chunks
+                || sk
+                    .chunk_ids()
+                    .last()
+                    .is_some_and(|&last| last + 1 != self.chunks)
+            {
+                return Err(mismatch(format!(
+                    "sketch covers {} chunks (last id {:?}), chunk cursor is {}",
+                    sk.num_chunks(),
+                    sk.chunk_ids().last(),
+                    self.chunks
+                )));
+            }
+            self.config.sketch = sk.precision() as usize;
+        }
+        self.sketch = state;
+        Ok(())
+    }
+
+    /// Removes and returns the sketched validation pool (callers must
+    /// reinstall one — or refill `r2` — before querying again).
+    pub fn take_sketch_state(&mut self) -> Option<SketchedPool> {
+        self.sketch.take()
+    }
+
     /// The indexed graph.
     pub fn graph(&self) -> &'g Graph {
         self.g
@@ -415,6 +547,15 @@ impl<'g> RrIndex<'g> {
     /// The RNG cursor: complete chunks generated per half.
     pub fn chunk_cursor(&self) -> u64 {
         self.chunks
+    }
+
+    /// Resident bytes of the sketched validation pool (`0` when the
+    /// index is exact), and the exact-arena bytes it displaces — the
+    /// pair behind `IndexMetrics`' compression ratio.
+    pub fn sketch_bytes(&self) -> (u64, u64) {
+        self.sketch.as_ref().map_or((0, 0), |sk| {
+            (sk.resident_bytes(), sk.displaced_exact_bytes())
+        })
     }
 
     /// The selection half `R₁` (read-only).
@@ -481,29 +622,50 @@ impl<'g> RrIndex<'g> {
         loop {
             rounds += 1;
             // Sentinel pools re-certify through the HIST-style round so
-            // the answer keeps the full (k, ε, δ) guarantee; plain pools
-            // run the standard OPIM round.
-            let eval = match &self.sentinel {
-                Some(st) if !st.set.is_empty() => evaluate_pool_sentinel(
+            // the answer keeps the full (k, ε, δ) guarantee; sketched
+            // pools run the slack-adjusted round; plain pools run the
+            // standard OPIM round. `slack_failed` is the error-adaptive
+            // ladder trigger (sketched pools only): the certificate
+            // failed because of sketch slack, not sample count.
+            let (seeds, lower, upper, slack_failed) = if let Some(sk) = &self.sketch {
+                let eval = evaluate_pool_sketched(
                     &self.r1,
-                    &self.r2,
-                    &st.set,
-                    self.g,
+                    sk,
                     k,
                     delta_iter,
                     delta_iter,
                     self.config.threads,
-                ),
-                _ => evaluate_pool_par(
-                    &self.r1,
-                    &self.r2,
-                    k,
-                    delta_iter,
-                    delta_iter,
-                    self.config.threads,
-                ),
+                );
+                let slack = eval.failed_on_slack(target);
+                (eval.seeds, eval.lower, eval.upper, slack)
+            } else {
+                let eval = match &self.sentinel {
+                    Some(st) if !st.set.is_empty() => evaluate_pool_sentinel(
+                        &self.r1,
+                        &self.r2,
+                        &st.set,
+                        self.g,
+                        k,
+                        delta_iter,
+                        delta_iter,
+                        self.config.threads,
+                    ),
+                    _ => evaluate_pool_par(
+                        &self.r1,
+                        &self.r2,
+                        k,
+                        delta_iter,
+                        delta_iter,
+                        self.config.threads,
+                    ),
+                };
+                (eval.seeds, eval.lower, eval.upper, false)
             };
-            let certified = eval.ratio() > target;
+            let certified = if upper <= 0.0 {
+                false
+            } else {
+                lower / upper > target
+            };
             if certified || self.pool_len() as f64 >= theta_max {
                 let elapsed = start.elapsed();
                 let stats = QueryStats {
@@ -514,8 +676,8 @@ impl<'g> RrIndex<'g> {
                     pool_after: self.pool_len(),
                     fresh_sets: fresh,
                     rounds,
-                    lower_bound: eval.lower,
-                    upper_bound: eval.upper,
+                    lower_bound: lower,
+                    upper_bound: upper,
                     target_ratio: target,
                     certified_by_bounds: certified,
                     elapsed,
@@ -527,10 +689,15 @@ impl<'g> RrIndex<'g> {
                 self.counters.sets_reused += stats.reused_sets() as u64;
                 self.counters.sets_consumed += 2 * stats.pool_after as u64;
                 self.counters.query_time += elapsed;
-                return Ok(QueryAnswer {
-                    seeds: eval.seeds,
-                    stats,
-                });
+                return Ok(QueryAnswer { seeds, stats });
+            }
+            // Failing on slack means more samples cannot close the gap —
+            // promote register precision instead (bounded by
+            // MAX_PRECISION; past it, fall through to doubling and let
+            // theta_max terminate the loop).
+            if slack_failed && self.config.sketch < MAX_PRECISION as usize {
+                fresh += self.promote_sketch()?;
+                continue;
             }
             // len < theta_max here, so the target strictly grows the pool
             // (ensure_pool additionally rounds up to a chunk boundary).
@@ -540,6 +707,43 @@ impl<'g> RrIndex<'g> {
                 .min(theta_max.ceil() as usize);
             fresh += self.ensure_pool(next)?;
         }
+    }
+
+    /// Error-adaptive ladder step: regenerates the entire `R₂` chunk
+    /// stream at the next register precision and swaps the sketch. Chunk
+    /// content is a pure function of `(seed, chunk id)`, so the rebuilt
+    /// sketch is exactly what an index configured at the higher precision
+    /// from the start would hold. Returns the number of regenerated sets.
+    fn promote_sketch(&mut self) -> Result<usize, IndexError> {
+        let old = self.sketch.as_ref().expect("promotion without a sketch");
+        let precision = old.precision() + 1;
+        assert!(precision <= MAX_PRECISION, "ladder past MAX_PRECISION");
+        let chunk = self.config.chunk_size;
+        let threads = self.config.threads;
+        let workers = self.workers.get_or_insert_with(|| WorkerPool::new(threads));
+        let mut fresh = SketchedPool::new(self.g.n(), chunk, precision);
+        let slice = (threads as u64) * 4;
+        let mut start = 0u64;
+        let mut regenerated = 0usize;
+        while start < self.chunks {
+            let end = self.chunks.min(start + slice);
+            let b = workers.try_generate_chunks(
+                &self.sampler,
+                None,
+                start..end,
+                chunk,
+                self.config.seed ^ R2_STREAM,
+            )?;
+            self.counters.rr_sets_generated += b.rr.len() as u64;
+            self.counters.rr_nodes_generated += b.rr.total_nodes() as u64;
+            self.counters.generation_cost += b.cost;
+            regenerated += b.rr.len();
+            fresh.absorb_batch(start, &b.rr);
+            start = end;
+        }
+        self.config.sketch = precision as usize;
+        self.sketch = Some(fresh);
+        Ok(regenerated)
     }
 
     /// Grows both halves to at least `target_sets` each, continuing the
@@ -565,8 +769,15 @@ impl<'g> RrIndex<'g> {
         while self.chunks < needed_chunks {
             if let Some(cap) = self.config.max_nodes {
                 // Field-level sum (not `self.total_nodes()`) so the
-                // borrow of the worker pool stays disjoint.
-                let in_use = self.r1.total_nodes() + self.r2.total_nodes();
+                // borrow of the worker pool stays disjoint. A sketched
+                // R₂ counts its resident bytes in 4-byte node-entry
+                // equivalents, keeping the budget unit consistent.
+                let in_use = self.r1.total_nodes()
+                    + self.r2.total_nodes()
+                    + self
+                        .sketch
+                        .as_ref()
+                        .map_or(0, |sk| sk.resident_bytes() as usize / 4);
                 if in_use >= cap {
                     return Err(IndexError::MemoryBudget {
                         max_nodes: cap,
@@ -630,7 +841,11 @@ impl<'g> RrIndex<'g> {
             }
             added += b1.rr.len() + b2.rr.len();
             self.r1.extend_from(&b1.rr);
-            self.r2.extend_from(&b2.rr);
+            if let Some(sk) = &mut self.sketch {
+                sk.absorb_batch(self.chunks, &b2.rr);
+            } else {
+                self.r2.extend_from(&b2.rr);
+            }
             self.chunks = end;
         }
         Ok(added)
@@ -864,5 +1079,95 @@ mod tests {
         assert_eq!(index.chunk_cursor(), 2);
         index.warm(50).unwrap(); // no shrink, no growth
         assert_eq!(index.pool_len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn sketch_and_sentinels_refuse_to_combine() {
+        let g = star_graph(10, WeightModel::Wc);
+        let _ = RrIndex::new(&g, config().sentinels(2).sketch(6));
+    }
+
+    #[test]
+    fn sketched_pool_is_pure_function_of_size() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 11);
+        // A grows in dribs; B in one jump. Sketch registers are a pure
+        // function of pool content, so states must match bit for bit.
+        let mut a = RrIndex::new(&g, config().sketch(6));
+        a.warm(80).unwrap();
+        a.warm(300).unwrap();
+        a.warm(640).unwrap();
+        let mut b = RrIndex::new(&g, config().sketch(6));
+        b.warm(640).unwrap();
+        assert_eq!(a.sketch_state(), b.sketch_state());
+        assert_eq!(a.pool_len(), b.pool_len());
+        assert_eq!(a.validation_pool().len(), 0, "sketched R2 stays empty");
+        for i in 0..a.pool_len() {
+            assert_eq!(a.selection_pool().get(i), b.selection_pool().get(i));
+        }
+        // And R1 is the same stream a plain index generates: sketching
+        // never perturbs selection.
+        let mut plain = RrIndex::new(&g, config());
+        plain.warm(640).unwrap();
+        for i in 0..plain.pool_len() {
+            assert_eq!(a.selection_pool().get(i), plain.selection_pool().get(i));
+        }
+    }
+
+    #[test]
+    fn sketched_query_matches_exact_seeds_at_equal_pool() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 12);
+        let mut exact = RrIndex::new(&g, config());
+        let mut sk = RrIndex::new(&g, config().sketch(8));
+        // Warm both far past the certification point so neither query
+        // grows: identical R1 + deterministic greedy → identical seeds.
+        exact.warm(4096).unwrap();
+        sk.warm(4096).unwrap();
+        let a = exact.query(5, 0.1, 0.01).unwrap();
+        let b = sk.query(5, 0.1, 0.01).unwrap();
+        assert!(a.stats.certified_by_bounds);
+        assert!(b.stats.certified_by_bounds);
+        assert_eq!(a.stats.fresh_sets, 0);
+        assert_eq!(b.stats.fresh_sets, 0);
+        assert_eq!(a.seeds, b.seeds);
+        // Selection is shared, so the Eq. 2 upper bound is bit-identical;
+        // only the validation-side lower bound differs (by sketch error).
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+    }
+
+    #[test]
+    fn sketch_promotion_matches_fresh_higher_precision() {
+        let g = barabasi_albert(200, 3, WeightModel::Wc, 13);
+        let mut a = RrIndex::new(&g, config().sketch(5));
+        a.warm(512).unwrap();
+        let regenerated = a.promote_sketch().unwrap();
+        assert_eq!(regenerated, 512);
+        assert_eq!(a.config().sketch, 6);
+        // Promotion rebuilds from the deterministic chunk stream: the
+        // result is exactly what precision-6-from-the-start holds.
+        let mut b = RrIndex::new(&g, config().sketch(6));
+        b.warm(512).unwrap();
+        assert_eq!(a.sketch_state(), b.sketch_state());
+    }
+
+    #[test]
+    fn sketched_validation_is_resident_compressed() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 14);
+        let mut sk = RrIndex::new(&g, config().chunk_size(1024).sketch(4));
+        sk.warm(4096).unwrap();
+        let (resident, displaced) = sk.sketch_bytes();
+        assert!(resident > 0);
+        assert!(
+            resident < displaced,
+            "sketch must be smaller than the arena it displaces: \
+             {resident} vs {displaced}"
+        );
+        // The budget counts those resident bytes: a cap below the sketch
+        // footprint refuses further growth.
+        sk.set_max_nodes(Some(1));
+        assert!(matches!(
+            sk.warm(8192),
+            Err(IndexError::MemoryBudget { .. })
+        ));
     }
 }

@@ -10,8 +10,10 @@
 //! sentinel flag u8 (v3+); if 1:
 //!   from_chunk u64 | z_len u64 | z: u32 × z_len
 //!   chunk_hits_r1: u64 × chunks | chunk_hits_r2: u64 × chunks
+//! sketch flag u8 (v4+); if 1:
+//!   SUBSIMSK block (subsim_sketch::SketchedPool canonical form)
 //! r1: blob_len u64 | SUBSIMRR bytes
-//! r2: blob_len u64 | SUBSIMRR bytes
+//! r2: blob_len u64 | SUBSIMRR bytes (0 sets when the sketch flag is 1)
 //! checksum u64 (FNV-1a over every preceding byte)
 //! ```
 //!
@@ -27,7 +29,11 @@
 //! are only certifiable *through* its set `Z`, so persisting the pool
 //! without `Z` would silently change query semantics — a corrupt or
 //! missing sentinel block must therefore be a typed refusal, never a
-//! fallback to plain-pool answers. Version-2 snapshots (always plain)
+//! fallback to plain-pool answers. Version 4 adds the sketch block: a
+//! sketched pool persists its per-chunk count-distinct registers instead
+//! of an `R₂` arena, and a corrupt sketch block is likewise a typed
+//! refusal — never a silent fallback to exact validation (which the
+//! snapshot does not even contain). Version-2 and version-3 snapshots
 //! still load.
 
 use crate::error::IndexError;
@@ -40,9 +46,10 @@ use subsim_core::sentinel::SentinelSet;
 use subsim_diffusion::serialize::{read_rr_collection, write_rr_collection};
 use subsim_diffusion::RrStrategy;
 use subsim_graph::Graph;
+use subsim_sketch::SketchedPool;
 
 const MAGIC: &[u8; 8] = b"SUBSIMIX";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 /// Oldest version still loadable (plain pools only — the sentinel block
 /// did not exist yet).
 const MIN_VERSION: u32 = 2;
@@ -158,6 +165,16 @@ pub fn write_index<W: Write>(index: &RrIndex<'_>, w: W) -> Result<(), IndexError
         }
         None => w.write_all(&[0u8])?,
     }
+    match index.sketch_state() {
+        Some(sk) => {
+            w.write_all(&[1u8])?;
+            sk.write_to(&mut w)?;
+        }
+        None => w.write_all(&[0u8])?,
+    }
+    // For a sketched index `validation_pool()` is the empty collection —
+    // the r2 blob below carries 0 sets and the sketch block above is the
+    // only persisted validation tier.
     for rr in [index.selection_pool(), index.validation_pool()] {
         let mut blob = Vec::new();
         write_rr_collection(rr, &mut blob)?;
@@ -191,7 +208,9 @@ pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexE
     }
     let version = read_u32(&mut r)?;
     if !(MIN_VERSION..=VERSION).contains(&version) {
-        return Err(mismatch(format!("unsupported snapshot version {version}")));
+        return Err(mismatch(format!(
+            "unsupported snapshot version {version} (this build reads {MIN_VERSION}..={VERSION})"
+        )));
     }
     let fingerprint = read_u64(&mut r)?;
     let expected = graph_fingerprint(g);
@@ -272,8 +291,57 @@ pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexE
         None
     };
 
+    let sketch = if version >= 4 {
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        match flag[0] {
+            0 => None,
+            1 => {
+                // The sketch block validates its own structure; any
+                // refusal is a typed mismatch — a snapshot flagged as
+                // sketched carries no exact R₂ to fall back to.
+                let sk = SketchedPool::read_from(&mut r).map_err(|e| match e.kind() {
+                    io::ErrorKind::InvalidData => mismatch(format!("sketch block: {e}")),
+                    io::ErrorKind::UnexpectedEof => mismatch("truncated sketch block"),
+                    _ => IndexError::from(e),
+                })?;
+                if sk.graph_n() != g.n() {
+                    return Err(mismatch(format!(
+                        "sketch is over {} nodes, graph has {}",
+                        sk.graph_n(),
+                        g.n()
+                    )));
+                }
+                if sk.chunk_size() != chunk_size {
+                    return Err(mismatch(format!(
+                        "sketch chunk size {} disagrees with header chunk size {chunk_size}",
+                        sk.chunk_size()
+                    )));
+                }
+                if sk.num_chunks() as u64 != chunks {
+                    return Err(mismatch(format!(
+                        "sketch covers {} chunks, RNG cursor implies {chunks}",
+                        sk.num_chunks()
+                    )));
+                }
+                Some(sk)
+            }
+            other => return Err(mismatch(format!("unknown sketch flag {other}"))),
+        }
+    } else {
+        None
+    };
+    if sentinel.is_some() && sketch.is_some() {
+        return Err(mismatch(
+            "snapshot carries both a sentinel and a sketch tier — they are mutually exclusive",
+        ));
+    }
+
+    // A sketched snapshot persists validation only as registers: its r2
+    // blob must hold exactly 0 sets.
+    let r2_sets = if sketch.is_some() { 0 } else { expected_sets };
     let mut halves = Vec::with_capacity(2);
-    for half in ["r1", "r2"] {
+    for (half, want) in [("r1", expected_sets), ("r2", r2_sets)] {
         let blob_len = read_u64(&mut r)?;
         // Growing lazily via `take` + `read_to_end` means a corrupt length
         // errors after reading only what actually exists (cf. serialize.rs).
@@ -290,9 +358,9 @@ pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexE
                 g.n()
             )));
         }
-        if rr.len() as u64 != expected_sets {
+        if rr.len() as u64 != want {
             return Err(mismatch(format!(
-                "{half} holds {} sets, RNG cursor implies {expected_sets}",
+                "{half} holds {} sets, snapshot layout implies {want}",
                 rr.len()
             )));
         }
@@ -320,9 +388,12 @@ pub fn read_index<'g, R: Read>(g: &'g Graph, r: R) -> Result<RrIndex<'g>, IndexE
         // Restoring `sentinels` from the persisted set keeps growth
         // truncating on the same Z; plain snapshots stay plain.
         sentinels: sentinel.as_ref().map_or(0, |st| st.set.len()),
+        // `set_sketch_state` below restores the live precision.
+        sketch: 0,
     };
     let mut index = RrIndex::from_parts(g, config, r1, r2, chunks);
     index.set_sentinel_state(sentinel)?;
+    index.set_sketch_state(sketch)?;
     Ok(index)
 }
 
@@ -467,6 +538,10 @@ mod tests {
     /// Byte offset of the sentinel flag: magic + version + fingerprint +
     /// strategy + seed + chunk_size + chunks.
     const SENTINEL_FLAG_AT: usize = 8 + 4 + 8 + 1 + 8 + 8 + 8;
+    /// Byte offset of the sketch flag when the sentinel flag is 0 (the
+    /// two tiers are mutually exclusive, so this holds for every
+    /// sketched snapshot).
+    const SKETCH_FLAG_AT: usize = SENTINEL_FLAG_AT + 1;
 
     #[test]
     fn sentinel_state_round_trips_and_continues_truncating() {
@@ -508,15 +583,49 @@ mod tests {
         let index = warmed_index(&g);
         let mut buf = Vec::new();
         index.save(&mut buf).unwrap();
-        // A v2 snapshot is the v3 bytes minus the (zero) sentinel flag,
-        // with the version field rewound.
+        // A v2 snapshot is the v4 bytes minus the (zero) sentinel and
+        // sketch flags, with the version field rewound.
         let mut old = buf.clone();
-        old.remove(SENTINEL_FLAG_AT);
+        old.remove(SENTINEL_FLAG_AT); // sentinel flag
+        old.remove(SENTINEL_FLAG_AT); // sketch flag (shifted down one)
         old[8..12].copy_from_slice(&2u32.to_le_bytes());
         refresh_trailer(&mut old);
         let back = RrIndex::load(&g, old.as_slice()).unwrap();
         assert!(back.sentinel_state().is_none());
         assert_eq!(back.pool_len(), index.pool_len());
+    }
+
+    #[test]
+    fn version_3_snapshot_still_loads() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 49);
+        let index = warmed_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        // A v3 snapshot is the v4 bytes minus the (zero) sketch flag.
+        let mut old = buf.clone();
+        old.remove(SKETCH_FLAG_AT);
+        old[8..12].copy_from_slice(&3u32.to_le_bytes());
+        refresh_trailer(&mut old);
+        let back = RrIndex::load(&g, old.as_slice()).unwrap();
+        assert!(back.sketch_state().is_none());
+        assert_eq!(back.pool_len(), index.pool_len());
+    }
+
+    #[test]
+    fn version_error_names_the_supported_range() {
+        let g = barabasi_albert(120, 3, WeightModel::Wc, 51);
+        let index = warmed_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        refresh_trailer(&mut bad);
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("{MIN_VERSION}..={VERSION}")),
+            "version error should name the supported range: {msg}"
+        );
     }
 
     #[test]
@@ -561,6 +670,98 @@ mod tests {
         refresh_trailer(&mut bad);
         let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
         assert!(err.to_string().contains("sentinel flag"), "{err}");
+    }
+
+    fn sketched_index(g: &Graph) -> RrIndex<'_> {
+        let mut index = RrIndex::new(
+            g,
+            IndexConfig::new(RrStrategy::SubsimIc)
+                .seed(9)
+                .chunk_size(32)
+                .sketch(6),
+        );
+        index.warm(320).unwrap();
+        assert!(index.sketch_state().is_some());
+        index
+    }
+
+    #[test]
+    fn sketched_snapshot_round_trips_and_continues_the_stream() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 52);
+        let mut index = sketched_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        assert_eq!(buf[SENTINEL_FLAG_AT], 0);
+        assert_eq!(buf[SKETCH_FLAG_AT], 1);
+        let mut back = RrIndex::load(&g, buf.as_slice()).unwrap();
+        assert_eq!(back.sketch_state(), index.sketch_state());
+        assert_eq!(back.config().sketch, 6);
+        assert_eq!(back.validation_pool().len(), 0);
+        // Growth continues the same sketched stream bit for bit.
+        index.warm(640).unwrap();
+        back.warm(640).unwrap();
+        assert_eq!(back.sketch_state(), index.sketch_state());
+        assert_eq!(back.pool_len(), index.pool_len());
+        for i in 0..index.pool_len() {
+            assert_eq!(back.selection_pool().get(i), index.selection_pool().get(i));
+        }
+    }
+
+    #[test]
+    fn corrupt_sketch_block_is_a_typed_mismatch() {
+        let g = barabasi_albert(150, 3, WeightModel::Wc, 53);
+        let index = sketched_index(&g);
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        assert_eq!(buf[SKETCH_FLAG_AT], 1);
+        // Block layout after the flag: SUBSIMSK magic(8) precision(1)
+        // chunk_size(8) graph_n(8) count(8) | per-chunk records.
+        let block = SKETCH_FLAG_AT + 1;
+
+        // Flipped byte inside the block: the checksum refuses it.
+        let mut bad = buf.clone();
+        bad[block + 40] ^= 0x10;
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, IndexError::SnapshotMismatch { .. }),
+            "{err:?}"
+        );
+
+        // Structurally impossible fields fail typed even with a valid
+        // checksum — never a silent fallback to exact validation (the
+        // snapshot holds no exact R₂ at all).
+        let mut bad = buf.clone();
+        bad[block + 8] = 63; // precision outside MIN..=MAX
+        refresh_trailer(&mut bad);
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, IndexError::SnapshotMismatch { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("precision"), "{err}");
+
+        // A sketch whose chunk size disagrees with the header is refused.
+        let mut bad = buf.clone();
+        bad[block + 9..block + 17].copy_from_slice(&64u64.to_le_bytes());
+        refresh_trailer(&mut bad);
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("chunk size"), "{err}");
+
+        // Unknown flag value.
+        let mut bad = buf.clone();
+        bad[SKETCH_FLAG_AT] = 7;
+        refresh_trailer(&mut bad);
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("sketch flag"), "{err}");
+
+        // Truncation mid-block.
+        let mut bad = buf.clone();
+        bad.truncate(block + 20);
+        let err = RrIndex::load(&g, bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, IndexError::SnapshotMismatch { .. } | IndexError::Io(_)),
+            "{err:?}"
+        );
     }
 
     #[test]

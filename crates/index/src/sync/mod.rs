@@ -41,6 +41,7 @@ use subsim_core::ImOptions;
 use subsim_diffusion::pool::WorkerPool;
 use subsim_diffusion::{RrCollection, RrSampler};
 use subsim_graph::Graph;
+use subsim_sketch::{evaluate_pool_sketched, SketchedPool, MAX_PRECISION};
 
 /// One immutable published state of the pool: both halves plus the RNG
 /// cursor that produced them. Readers hold an `Arc` to it and never see
@@ -52,6 +53,9 @@ pub struct PoolSnapshot {
     chunks: u64,
     /// Sentinel tier state at publish time; immutable like the halves.
     sentinel: Option<SentinelState>,
+    /// Sketched validation pool at publish time (`r2` is empty when
+    /// present); immutable like the halves.
+    sketch: Option<SketchedPool>,
 }
 
 impl PoolSnapshot {
@@ -83,6 +87,11 @@ impl PoolSnapshot {
     /// The sentinel tier state at publish time, if active.
     pub fn sentinel_state(&self) -> Option<&SentinelState> {
         self.sentinel.as_ref()
+    }
+
+    /// The sketched validation pool at publish time, if active.
+    pub fn sketch_state(&self) -> Option<&SketchedPool> {
+        self.sketch.as_ref()
     }
 }
 
@@ -143,7 +152,7 @@ impl<'g> ConcurrentRrIndex<'g> {
     /// snapshot file) for concurrent serving. The pool carries over
     /// unchanged; lifetime counters restart.
     pub fn from_index(index: RrIndex<'g>) -> Self {
-        let (g, config, r1, r2, chunks, sentinel) = index.into_parts();
+        let (g, config, r1, r2, chunks, sentinel, sketch) = index.into_parts();
         ConcurrentRrIndex {
             g,
             config,
@@ -153,6 +162,7 @@ impl<'g> ConcurrentRrIndex<'g> {
                 r2,
                 chunks,
                 sentinel,
+                sketch,
             })),
             writer: Mutex::new(WorkerPool::new(config.threads)),
             metrics: IndexMetrics::default(),
@@ -169,11 +179,15 @@ impl<'g> ConcurrentRrIndex<'g> {
             r2: arc.r2.clone(),
             chunks: arc.chunks,
             sentinel: arc.sentinel.clone(),
+            sketch: arc.sketch.clone(),
         });
         let mut index = RrIndex::from_parts(self.g, self.config, snap.r1, snap.r2, snap.chunks);
         index
             .set_sentinel_state(snap.sentinel)
             .expect("published snapshot carries sentinel state consistent with its pool");
+        index
+            .set_sketch_state(snap.sketch)
+            .expect("published snapshot carries sketch state consistent with its pool");
         index
     }
 
@@ -235,34 +249,56 @@ impl<'g> ConcurrentRrIndex<'g> {
         loop {
             rounds += 1;
             // Sentinel snapshots re-certify through the HIST-style round
-            // so the answer keeps the full (k, ε, δ) guarantee; plain
-            // snapshots run the standard OPIM round.
-            let (eval, cert_time) = match snap.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
-                Some(st) => {
-                    let t = Instant::now();
-                    let eval = evaluate_pool_sentinel(
-                        &snap.r1,
-                        &snap.r2,
-                        &st.set,
-                        self.g,
-                        k,
-                        delta_iter,
-                        delta_iter,
-                        self.config.threads,
-                    );
-                    (eval, t.elapsed())
-                }
-                None => evaluate_pool_timed_par(
+            // so the answer keeps the full (k, ε, δ) guarantee; sketched
+            // snapshots run the slack-adjusted round; plain snapshots run
+            // the standard OPIM round.
+            let (seeds, lower, upper, slack_failed) = if let Some(sk) = &snap.sketch {
+                let t = Instant::now();
+                let eval = evaluate_pool_sketched(
                     &snap.r1,
-                    &snap.r2,
+                    sk,
                     k,
                     delta_iter,
                     delta_iter,
                     self.config.threads,
-                ),
+                );
+                self.metrics.record_selection(t.elapsed());
+                let slack = eval.failed_on_slack(target);
+                (eval.seeds, eval.lower, eval.upper, slack)
+            } else {
+                let (eval, cert_time) = match snap.sentinel.as_ref().filter(|st| !st.set.is_empty())
+                {
+                    Some(st) => {
+                        let t = Instant::now();
+                        let eval = evaluate_pool_sentinel(
+                            &snap.r1,
+                            &snap.r2,
+                            &st.set,
+                            self.g,
+                            k,
+                            delta_iter,
+                            delta_iter,
+                            self.config.threads,
+                        );
+                        (eval, t.elapsed())
+                    }
+                    None => evaluate_pool_timed_par(
+                        &snap.r1,
+                        &snap.r2,
+                        k,
+                        delta_iter,
+                        delta_iter,
+                        self.config.threads,
+                    ),
+                };
+                self.metrics.record_selection(cert_time);
+                (eval.seeds, eval.lower, eval.upper, false)
             };
-            self.metrics.record_selection(cert_time);
-            let certified = eval.ratio() > target;
+            let certified = if upper <= 0.0 {
+                false
+            } else {
+                lower / upper > target
+            };
             if certified || snap.pool_len() as f64 >= theta_max {
                 let elapsed = start.elapsed();
                 let stats = QueryStats {
@@ -273,17 +309,26 @@ impl<'g> ConcurrentRrIndex<'g> {
                     pool_after: snap.pool_len(),
                     fresh_sets: fresh,
                     rounds,
-                    lower_bound: eval.lower,
-                    upper_bound: eval.upper,
+                    lower_bound: lower,
+                    upper_bound: upper,
                     target_ratio: target,
                     certified_by_bounds: certified,
                     elapsed,
                 };
                 self.metrics.record_query(&stats);
-                return Ok(QueryAnswer {
-                    seeds: eval.seeds,
-                    stats,
-                });
+                return Ok(QueryAnswer { seeds, stats });
+            }
+            // Error-adaptive ladder, as in the sequential index: a round
+            // that failed on sketch slack promotes register precision
+            // instead of growing the pool.
+            if slack_failed {
+                let observed = snap.sketch.as_ref().map(|sk| sk.precision());
+                if observed.is_some_and(|p| p < MAX_PRECISION) {
+                    let (grown, added) = self.promote_sketch(observed.unwrap())?;
+                    snap = grown;
+                    fresh += added;
+                    continue;
+                }
             }
             let next = snap
                 .pool_len()
@@ -293,6 +338,73 @@ impl<'g> ConcurrentRrIndex<'g> {
             snap = grown;
             fresh += added;
         }
+    }
+
+    /// Error-adaptive ladder step: regenerates the `R₂` chunk stream at
+    /// the next register precision above `observed` and publishes the
+    /// promoted snapshot, exactly as the sequential index does. If a
+    /// racing thread already promoted past `observed`, the current
+    /// snapshot is returned with no work done (the caller re-evaluates).
+    fn promote_sketch(&self, observed: u8) -> Result<(Arc<PoolSnapshot>, usize), IndexError> {
+        let workers = self.writer.lock().expect("writer lock poisoned");
+        let base = self.load();
+        let Some(old) = base.sketch.as_ref() else {
+            return Ok((base, 0));
+        };
+        if old.precision() != observed {
+            return Ok((base, 0));
+        }
+        let precision = observed + 1;
+        let chunk = self.config.chunk_size;
+        let slice = (self.config.threads as u64) * 4;
+        let mut fresh = SketchedPool::new(self.g.n(), chunk, precision);
+        let mut start = 0u64;
+        let mut regenerated = 0usize;
+        while start < base.chunks {
+            let end = base.chunks.min(start + slice);
+            let b = workers.try_generate_chunks(
+                &self.sampler,
+                None,
+                start..end,
+                chunk,
+                self.config.seed ^ R2_STREAM,
+            )?;
+            self.metrics.record_generation(
+                b.rr.len() as u64,
+                b.rr.total_nodes() as u64,
+                b.cost,
+                b.elapsed,
+            );
+            regenerated += b.rr.len();
+            fresh.absorb_batch(start, &b.rr);
+            start = end;
+        }
+        let snap = Arc::new(PoolSnapshot {
+            r1: base.r1.clone(),
+            r2: base.r2.clone(),
+            chunks: base.chunks,
+            sentinel: base.sentinel.clone(),
+            sketch: Some(fresh),
+        });
+        *self.snapshot.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
+        self.metrics
+            .snapshot_publishes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.record_pool_gauges(&snap);
+        Ok((snap, regenerated))
+    }
+
+    /// Refreshes the resident-memory gauges from a freshly published
+    /// snapshot. Exact bytes use the sketch tier's accounting convention
+    /// (4 bytes per arena node entry + 8 per set of offset overhead) so
+    /// the compression ratio compares like with like.
+    fn record_pool_gauges(&self, snap: &PoolSnapshot) {
+        let exact = 4 * (snap.r1.total_nodes() + snap.r2.total_nodes()) as u64
+            + 8 * (snap.r1.len() + snap.r2.len()) as u64;
+        let (sketch, displaced) = snap.sketch.as_ref().map_or((0, 0), |sk| {
+            (sk.resident_bytes(), sk.displaced_exact_bytes())
+        });
+        self.metrics.record_pool_bytes(exact, sketch, displaced);
     }
 
     /// Grows the pool to at least `target_sets` per half, continuing the
@@ -327,11 +439,16 @@ impl<'g> ConcurrentRrIndex<'g> {
         let mut r2 = base.r2.clone();
         let mut chunks = base.chunks;
         let mut sentinel = base.sentinel.clone();
+        let mut sketch = base.sketch.clone();
         let mut added = 0usize;
         let mut budget_err = None;
         while chunks < needed_chunks {
             if let Some(cap) = self.config.max_nodes {
-                let in_use = r1.total_nodes() + r2.total_nodes();
+                let in_use = r1.total_nodes()
+                    + r2.total_nodes()
+                    + sketch
+                        .as_ref()
+                        .map_or(0, |sk| sk.resident_bytes() as usize / 4);
                 if in_use >= cap {
                     budget_err = Some(IndexError::MemoryBudget {
                         max_nodes: cap,
@@ -392,7 +509,11 @@ impl<'g> ConcurrentRrIndex<'g> {
             }
             added += b1.rr.len() + b2.rr.len();
             r1.extend_from(&b1.rr);
-            r2.extend_from(&b2.rr);
+            if let Some(sk) = &mut sketch {
+                sk.absorb_batch(chunks, &b2.rr);
+            } else {
+                r2.extend_from(&b2.rr);
+            }
             chunks = end;
         }
 
@@ -401,12 +522,14 @@ impl<'g> ConcurrentRrIndex<'g> {
             r2,
             chunks,
             sentinel,
+            sketch,
         });
         if added > 0 {
             *self.snapshot.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
             self.metrics
                 .snapshot_publishes
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.record_pool_gauges(&snap);
         }
         match budget_err {
             Some(err) => Err(err),
@@ -543,6 +666,41 @@ mod tests {
     }
 
     #[test]
+    fn sketched_growth_and_queries_match_sequential_index() {
+        let g = barabasi_albert(300, 4, WeightModel::Wc, 7);
+        let mut seq = RrIndex::new(&g, config().sketch(6));
+        let conc = ConcurrentRrIndex::new(&g, config().sketch(6));
+        seq.warm(640).unwrap();
+        conc.warm(640).unwrap();
+        let snap = conc.load();
+        assert_eq!(snap.sketch_state(), seq.sketch_state());
+        assert_eq!(snap.validation_pool().len(), 0);
+        for i in 0..seq.pool_len() {
+            assert_eq!(snap.selection_pool().get(i), seq.selection_pool().get(i));
+        }
+        drop(snap);
+        // Warm queries answer identically: same pool, same slack-adjusted
+        // certificate, same ladder decisions.
+        let a = seq.query(5, 0.1, 0.01).unwrap();
+        let b = conc.query(5, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats.lower_bound, b.stats.lower_bound);
+        assert_eq!(a.stats.upper_bound, b.stats.upper_bound);
+        assert_eq!(a.stats.pool_after, b.stats.pool_after);
+        assert_eq!(a.stats.fresh_sets, b.stats.fresh_sets);
+        // The memory gauges see the sketched tier.
+        let m = conc.metrics();
+        assert!(m.sketch_pool_bytes > 0);
+        assert!(m.sketch_displaced_bytes > 0);
+        assert!(m.sketch_compression > 0.0);
+        // Round-tripping back out keeps the sketch state — including a
+        // possible ladder promotion, on which both stacks must agree.
+        let back = conc.into_index();
+        assert_eq!(back.sketch_state(), seq.sketch_state());
+        assert_eq!(back.config().sketch, seq.config().sketch);
+    }
+
+    #[test]
     fn metrics_track_queries_and_publishes() {
         let g = barabasi_albert(300, 4, WeightModel::Wc, 5);
         let conc = ConcurrentRrIndex::new(&g, config());
@@ -551,6 +709,9 @@ mod tests {
         let m = conc.metrics();
         assert_eq!(m.queries, 2);
         assert!(m.snapshot_publishes >= 1);
+        assert!(m.exact_pool_bytes > 0);
+        assert_eq!(m.sketch_pool_bytes, 0, "sketch tier off → gauge stays 0");
+        assert_eq!(m.sketch_compression, 0.0);
         assert!(m.fresh_sets > 0);
         assert!(m.reused_sets > 0, "second query must reuse the pool");
         assert!(m.cache_hit_ratio > 0.0);

@@ -41,8 +41,8 @@ use subsim_core::pool::evaluate_pool_sharded_indexed;
 use subsim_core::sentinel::{evaluate_pool_sentinel_sharded, SentinelSet};
 use subsim_core::ImOptions;
 use subsim_delta::{
-    repair_half_indexed, repair_half_mapped, DeltaError, GraphDelta, RepairReport, ServeError,
-    ServeIndex, VersionedGraph,
+    repair_half_indexed, repair_half_mapped, repair_sketch, DeltaError, GraphDelta, RepairReport,
+    ServeError, ServeIndex, VersionedGraph,
 };
 use subsim_diffusion::pool::{PoolError, WorkerPool};
 use subsim_diffusion::{InvertedIndex, RrCollection, RrSampler};
@@ -51,6 +51,12 @@ use subsim_index::{
     IndexConfig, IndexError, IndexMetrics, MetricsSnapshot, QueryAnswer, QueryStats, RrIndex,
     SentinelState, R2_STREAM, SENTINEL_WARMUP_CHUNKS,
 };
+use subsim_sketch::{evaluate_pool_sketched_sharded, SketchedPool, MAX_PRECISION};
+
+/// One shard's regenerated `R₂` chunk stream during a precision
+/// promotion: the owned global chunk ids plus the fresh generation
+/// batch (`None` for shards that own no chunks yet).
+type ShardRegen = Result<(Vec<u64>, subsim_diffusion::ParBatch), PoolError>;
 
 /// One shard's published arena: the owned chunks of both halves plus the
 /// cached inverted coverage index over the selection half.
@@ -59,12 +65,21 @@ pub struct ShardSnapshot {
     r1: RrCollection,
     r2: RrCollection,
     idx1: InvertedIndex,
+    /// Sketched validation tier: the shard's owned chunks compressed
+    /// into count-distinct sketches keyed by **global** chunk id. When
+    /// active, `r2` stays empty.
+    sketch: Option<SketchedPool>,
 }
 
 impl ShardSnapshot {
-    fn new(r1: RrCollection, r2: RrCollection) -> Self {
+    fn new(r1: RrCollection, r2: RrCollection, sketch: Option<SketchedPool>) -> Self {
         let idx1 = InvertedIndex::build(&r1);
-        ShardSnapshot { r1, r2, idx1 }
+        ShardSnapshot {
+            r1,
+            r2,
+            idx1,
+            sketch,
+        }
     }
 
     /// The shard's slice of the selection half `R₁`.
@@ -75,6 +90,12 @@ impl ShardSnapshot {
     /// The shard's slice of the validation half `R₂`.
     pub fn validation_pool(&self) -> &RrCollection {
         &self.r2
+    }
+
+    /// The shard's sketched validation pool, if the sketch tier is
+    /// active.
+    pub fn sketch_state(&self) -> Option<&SketchedPool> {
+        self.sketch.as_ref()
     }
 }
 
@@ -149,6 +170,27 @@ impl ShardedSnapshot {
         self.shards.iter().map(|sh| &sh.idx1).collect()
     }
 
+    fn sketch_refs(&self) -> Option<Vec<&SketchedPool>> {
+        self.shards
+            .iter()
+            .map(|sh| sh.sketch.as_ref())
+            .collect::<Option<Vec<_>>>()
+            .filter(|v| !v.is_empty())
+    }
+
+    /// Merges the per-shard sketches into one union sketched pool — the
+    /// exact pool a single-shard (or sequential) index holds at the same
+    /// cursor. `None` when the sketch tier is inactive.
+    pub fn union_sketch(&self) -> Option<SketchedPool> {
+        let refs = self.sketch_refs()?;
+        let mut union =
+            SketchedPool::new(self.graph.n(), refs[0].chunk_size(), refs[0].precision());
+        for sk in refs {
+            union.merge_from(sk);
+        }
+        Some(union)
+    }
+
     /// Reassembles the union pool halves in global chunk order — the
     /// exact collections a single-shard index would hold at the same
     /// cursor. Testing/diagnostics only: serving never materializes the
@@ -164,7 +206,11 @@ impl ShardedSnapshot {
             let lo = local * chunk_size;
             let hi = lo + chunk_size;
             r1.extend_from_range(&self.shards[s].r1, lo..hi);
-            r2.extend_from_range(&self.shards[s].r2, lo..hi);
+            // Sketched shards keep their exact R₂ empty; the union is
+            // then empty too (the sketches union via `union_sketch`).
+            if !self.shards[s].r2.is_empty() {
+                r2.extend_from_range(&self.shards[s].r2, lo..hi);
+            }
         }
         (r1, r2)
     }
@@ -216,6 +262,11 @@ impl ShardedDeltaIndex {
         assert!(shards > 0, "need at least one shard");
         assert!(config.threads > 0, "need at least one worker");
         assert!(config.chunk_size > 0, "chunks must hold at least one set");
+        assert!(
+            config.sketch == 0 || config.sentinels == 0,
+            "sketch and sentinel tiers are mutually exclusive: truncated \
+             sets would poison the count-distinct estimates"
+        );
         let vg = VersionedGraph::new(g)?;
         let n = vg.graph().n();
         let per_shard = (config.threads / shards).max(1);
@@ -229,6 +280,8 @@ impl ShardedDeltaIndex {
                     Arc::new(ShardSnapshot::new(
                         RrCollection::new(n),
                         RrCollection::new(n),
+                        (config.sketch > 0)
+                            .then(|| SketchedPool::new(n, config.chunk_size, config.sketch as u8)),
                     ))
                 })
                 .collect(),
@@ -331,29 +384,51 @@ impl ShardedDeltaIndex {
             // Sentinel snapshots re-certify through the HIST-style round
             // on the sharded refs — same merged counts, same union-length
             // bounds — so the answer keeps the full (k, ε, δ) guarantee.
-            let eval = match snap.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
-                Some(st) => evaluate_pool_sentinel_sharded(
+            // Sketched snapshots run the slack-adjusted round on the
+            // merged per-shard registers (max is order-independent, so
+            // the estimate matches the sequential index bit for bit).
+            let (seeds, lower, upper, slack_failed) = if let Some(sketches) = snap.sketch_refs() {
+                let eval = evaluate_pool_sketched_sharded(
                     &snap.r1_refs(),
-                    &snap.r2_refs(),
-                    &st.set,
-                    &snap.graph,
+                    Some(&snap.idx_refs()),
+                    &sketches,
                     k,
                     delta_iter,
                     delta_iter,
                     self.config.threads,
-                ),
-                None => evaluate_pool_sharded_indexed(
-                    &snap.r1_refs(),
-                    &snap.idx_refs(),
-                    &snap.r2_refs(),
-                    k,
-                    delta_iter,
-                    delta_iter,
-                    self.config.threads,
-                ),
+                );
+                let slack = eval.failed_on_slack(target);
+                (eval.seeds, eval.lower, eval.upper, slack)
+            } else {
+                let eval = match snap.sentinel.as_ref().filter(|st| !st.set.is_empty()) {
+                    Some(st) => evaluate_pool_sentinel_sharded(
+                        &snap.r1_refs(),
+                        &snap.r2_refs(),
+                        &st.set,
+                        &snap.graph,
+                        k,
+                        delta_iter,
+                        delta_iter,
+                        self.config.threads,
+                    ),
+                    None => evaluate_pool_sharded_indexed(
+                        &snap.r1_refs(),
+                        &snap.idx_refs(),
+                        &snap.r2_refs(),
+                        k,
+                        delta_iter,
+                        delta_iter,
+                        self.config.threads,
+                    ),
+                };
+                (eval.seeds, eval.lower, eval.upper, false)
             };
             self.metrics.record_selection(cert_start.elapsed());
-            let certified = eval.ratio() > target;
+            let certified = if upper <= 0.0 {
+                false
+            } else {
+                lower / upper > target
+            };
             if certified || snap.pool_len() as f64 >= theta_max {
                 let stats = QueryStats {
                     k,
@@ -363,17 +438,32 @@ impl ShardedDeltaIndex {
                     pool_after: snap.pool_len(),
                     fresh_sets: fresh,
                     rounds,
-                    lower_bound: eval.lower,
-                    upper_bound: eval.upper,
+                    lower_bound: lower,
+                    upper_bound: upper,
                     target_ratio: target,
                     certified_by_bounds: certified,
                     elapsed: start.elapsed(),
                 };
                 self.metrics.record_query(&stats);
-                return Ok(QueryAnswer {
-                    seeds: eval.seeds,
-                    stats,
-                });
+                return Ok(QueryAnswer { seeds, stats });
+            }
+            // Error-adaptive ladder, as in the sequential index: a round
+            // that failed on sketch slack promotes register precision
+            // instead of growing the pool — every shard promotes in the
+            // same step, so shards never serve at mixed precision.
+            if slack_failed {
+                let observed = snap
+                    .shards
+                    .first()
+                    .and_then(|sh| sh.sketch.as_ref())
+                    .map(|sk| sk.precision());
+                if observed.is_some_and(|p| p < MAX_PRECISION) {
+                    let (grown, added) = self.promote_sketch(observed.unwrap())?;
+                    snap = grown;
+                    check_pin(pin, &snap)?;
+                    fresh += added;
+                    continue;
+                }
             }
             let next = snap
                 .pool_len()
@@ -384,6 +474,89 @@ impl ShardedDeltaIndex {
             check_pin(pin, &snap)?;
             fresh += added;
         }
+    }
+
+    /// Error-adaptive ladder step: every shard regenerates its owned
+    /// `R₂` chunks at the next register precision above `observed`, and
+    /// one snapshot with all shards promoted is published — the
+    /// cross-shard barrier that keeps every query at a single precision.
+    /// If a racing thread already promoted past `observed`, the current
+    /// snapshot is returned with no work done.
+    fn promote_sketch(&self, observed: u8) -> Result<(Arc<ShardedSnapshot>, usize), DeltaError> {
+        let ws = self.writer.lock().expect("writer lock poisoned");
+        let base = self.load();
+        let current = base
+            .shards
+            .first()
+            .and_then(|sh| sh.sketch.as_ref())
+            .map(|sk| sk.precision());
+        if current != Some(observed) {
+            return Ok((base, 0));
+        }
+        let precision = observed + 1;
+        let chunk = self.config.chunk_size;
+        let seed = self.config.seed ^ R2_STREAM;
+        let graph = ws.vg.graph_arc();
+        let sampler = RrSampler::new(&graph, self.config.strategy);
+        let n = graph.n();
+        let results: Vec<Option<ShardRegen>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = base
+                .shards
+                .iter()
+                .zip(&ws.pools)
+                .map(|(old, pool)| {
+                    let ids = old
+                        .sketch
+                        .as_ref()
+                        .map(|sk| sk.chunk_ids().to_vec())
+                        .unwrap_or_default();
+                    if ids.is_empty() {
+                        return None;
+                    }
+                    let sampler = &sampler;
+                    Some(scope.spawn(move || {
+                        let b = pool.try_generate_chunk_ids(sampler, None, &ids, chunk, seed)?;
+                        Ok((ids, b))
+                    }))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("shard generator panicked")))
+                .collect()
+        });
+        let mut regenerated = 0usize;
+        let mut new_shards = Vec::with_capacity(self.shards);
+        for (old, result) in base.shards.iter().zip(results) {
+            let mut fresh = SketchedPool::new(n, chunk, precision);
+            if let Some(result) = result {
+                let (ids, b) = result?;
+                self.metrics.record_generation(
+                    b.rr.len() as u64,
+                    b.rr.total_nodes() as u64,
+                    b.cost,
+                    b.elapsed,
+                );
+                regenerated += b.rr.len();
+                fresh.absorb_chunk_ids(&ids, &b.rr);
+            }
+            new_shards.push(Arc::new(ShardSnapshot {
+                r1: old.r1.clone(),
+                r2: old.r2.clone(),
+                idx1: old.idx1.clone(),
+                sketch: Some(fresh),
+            }));
+        }
+        let snap = Arc::new(ShardedSnapshot {
+            graph: Arc::clone(&base.graph),
+            version: base.version,
+            fingerprint: base.fingerprint,
+            chunks: base.chunks,
+            shards: new_shards,
+            sentinel: base.sentinel.clone(),
+        });
+        self.publish(Arc::clone(&snap));
+        Ok((snap, regenerated))
     }
 
     /// Grows the union pool to at least `target_sets` per half: each
@@ -409,10 +582,18 @@ impl ShardedDeltaIndex {
         }
         debug_assert_eq!(base.version, ws.vg.version());
         if let Some(cap) = self.config.max_nodes {
+            // A sketched R₂ counts its resident bytes in 4-byte
+            // node-entry equivalents, keeping the budget unit consistent.
             let in_use: usize = base
                 .shards
                 .iter()
-                .map(|sh| sh.r1.total_nodes() + sh.r2.total_nodes())
+                .map(|sh| {
+                    sh.r1.total_nodes()
+                        + sh.r2.total_nodes()
+                        + sh.sketch
+                            .as_ref()
+                            .map_or(0, |sk| sk.resident_bytes() as usize / 4)
+                })
                 .sum();
             if in_use >= cap {
                 return Err(DeltaError::Index(IndexError::MemoryBudget {
@@ -526,9 +707,14 @@ impl ShardedDeltaIndex {
                         added += b1.rr.len() + b2.rr.len();
                         let mut r1 = old.r1.clone();
                         let mut r2 = old.r2.clone();
+                        let mut sketch = old.sketch.clone();
                         r1.extend_from(&b1.rr);
-                        r2.extend_from(&b2.rr);
-                        new_shards.push(Arc::new(ShardSnapshot::new(r1, r2)));
+                        if let Some(sk) = sketch.as_mut() {
+                            sk.absorb_chunk_ids(ids, &b2.rr);
+                        } else {
+                            r2.extend_from(&b2.rr);
+                        }
+                        new_shards.push(Arc::new(ShardSnapshot::new(r1, r2, sketch)));
                     }
                 }
             }
@@ -574,6 +760,8 @@ impl ShardedDeltaIndex {
         struct ShardRepair {
             shard: Arc<ShardSnapshot>,
             dirty_sets_r1: usize,
+            /// For sketched shards this is whole regenerated chunks' set
+            /// count (the sketch cannot count per-set dirtiness).
             dirty_sets_r2: usize,
             dirty_chunks_r1: usize,
             dirty_chunks_r2: usize,
@@ -741,7 +929,7 @@ impl ShardedDeltaIndex {
                         report.dirty_chunks_r1 += ids.len();
                         report.dirty_chunks_r2 += ids.len();
                     }
-                    new_shards.push(Arc::new(ShardSnapshot::new(r1, r2)));
+                    new_shards.push(Arc::new(ShardSnapshot::new(r1, r2, None)));
                 }
                 let new_st = SentinelState {
                     set: fresh,
@@ -801,9 +989,10 @@ impl ShardedDeltaIndex {
                                         r1: rr1,
                                         r2: rr2,
                                         idx1: old.idx1.clone(),
+                                        sketch: None,
                                     })
                                 } else {
-                                    Arc::new(ShardSnapshot::new(rr1, rr2))
+                                    Arc::new(ShardSnapshot::new(rr1, rr2, None))
                                 };
                                 Ok(ShardRepair {
                                     shard,
@@ -861,6 +1050,46 @@ impl ShardedDeltaIndex {
                                     seed,
                                     |j| s64 + j * shards,
                                 )?;
+                                // Sketched validation tier: the shard's
+                                // sketch repairs chunk-wise on the same
+                                // membership predicate, keyed by global
+                                // chunk id (so seeds line up without a
+                                // position map).
+                                if let Some(sk) = old.sketch.as_ref() {
+                                    let rs = repair_sketch(
+                                        sk,
+                                        targets,
+                                        sampler,
+                                        pool,
+                                        seed ^ R2_STREAM,
+                                    )?;
+                                    let shard = if h1.dirty_chunks == 0 && rs.dirty_chunks == 0 {
+                                        Arc::clone(old)
+                                    } else if h1.dirty_chunks == 0 {
+                                        // R₁ untouched: keep its cached index.
+                                        Arc::new(ShardSnapshot {
+                                            r1: h1.rr,
+                                            r2: old.r2.clone(),
+                                            idx1: old.idx1.clone(),
+                                            sketch: Some(rs.sketch),
+                                        })
+                                    } else {
+                                        Arc::new(ShardSnapshot::new(
+                                            h1.rr,
+                                            old.r2.clone(),
+                                            Some(rs.sketch),
+                                        ))
+                                    };
+                                    return Ok(ShardRepair {
+                                        shard,
+                                        dirty_sets_r1: h1.dirty_sets,
+                                        dirty_sets_r2: rs.dirty_chunks * chunk,
+                                        dirty_chunks_r1: h1.dirty_chunks,
+                                        dirty_chunks_r2: rs.dirty_chunks,
+                                        hits_r1: Vec::new(),
+                                        hits_r2: Vec::new(),
+                                    });
+                                }
                                 let h2 = repair_half_mapped(
                                     &old.r2,
                                     targets,
@@ -879,9 +1108,10 @@ impl ShardedDeltaIndex {
                                         r1: h1.rr,
                                         r2: h2.rr,
                                         idx1: old.idx1.clone(),
+                                        sketch: None,
                                     })
                                 } else {
-                                    Arc::new(ShardSnapshot::new(h1.rr, h2.rr))
+                                    Arc::new(ShardSnapshot::new(h1.rr, h2.rr, None))
                                 };
                                 Ok(ShardRepair {
                                     shard,
@@ -946,7 +1176,15 @@ impl ShardedDeltaIndex {
         let ws = self.writer.lock().expect("writer lock poisoned");
         let snap = self.load();
         let (r1, r2) = snap.union_pools(self.config.chunk_size);
-        let mut idx = RrIndex::from_pool_parts(&snap.graph, self.config, r1, r2, snap.chunks)?;
+        let mut idx = match snap.union_sketch() {
+            // Sketched tier: the per-shard sketches merge losslessly
+            // (register-wise max over disjoint chunk sets) into the exact
+            // union a sequential index persists.
+            Some(sk) => {
+                RrIndex::from_sketched_parts(&snap.graph, self.config, r1, sk, snap.chunks)?
+            }
+            None => RrIndex::from_pool_parts(&snap.graph, self.config, r1, r2, snap.chunks)?,
+        };
         idx.set_sentinel_state(snap.sentinel.clone())?;
         idx.save_to_path(path)?;
         drop(ws);
@@ -968,6 +1206,7 @@ impl ShardedDeltaIndex {
         let vg = VersionedGraph::new(g)?;
         let mut loaded = RrIndex::load_from_path(vg.graph(), path)?;
         let sentinel = loaded.take_sentinel_state();
+        let sketch = loaded.take_sketch_state();
         let (loaded_config, r1, r2, chunks) = loaded.into_pool_parts();
         let config = IndexConfig {
             threads: config.threads,
@@ -984,12 +1223,21 @@ impl ShardedDeltaIndex {
                     let lo = c as usize * chunk;
                     let hi = lo + chunk;
                     s1.extend_from_range(&r1, lo..hi);
-                    s2.extend_from_range(&r2, lo..hi);
+                    // A sketched snapshot persists an empty exact R₂; the
+                    // shards keep theirs empty too.
+                    if !r2.is_empty() {
+                        s2.extend_from_range(&r2, lo..hi);
+                    }
                 }
                 (s1, s2)
             })
             .collect();
         let per_shard = (config.threads / shards).max(1);
+        // Re-split the union sketch `chunk % N` to match the shard arenas.
+        let mut shard_sketches: Vec<Option<SketchedPool>> = match sketch {
+            Some(sk) => sk.split(shards).into_iter().map(Some).collect(),
+            None => vec![None; shards],
+        };
         let snap = ShardedSnapshot {
             graph: vg.graph_arc(),
             version: vg.version(),
@@ -997,7 +1245,8 @@ impl ShardedDeltaIndex {
             chunks,
             shards: shard_pools
                 .into_iter()
-                .map(|(s1, s2)| Arc::new(ShardSnapshot::new(s1, s2)))
+                .zip(shard_sketches.iter_mut())
+                .map(|((s1, s2), sk)| Arc::new(ShardSnapshot::new(s1, s2, sk.take())))
                 .collect(),
             sentinel,
         };

@@ -344,6 +344,124 @@ fn sentinel_sharded_matches_sequential_across_deltas() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sketch tier: memory-bounded validation stays in lockstep too.
+// ---------------------------------------------------------------------------
+
+fn sketch_config() -> IndexConfig {
+    config().sketch(6)
+}
+
+/// With the sketched validation tier enabled, warm pools, per-shard
+/// sketch merges, repairs, and error-ladder promotions are all in
+/// lockstep with the sequential reference: every N-shard answer is
+/// byte-identical, and the merged union sketch equals the sequential
+/// sketch register-for-register.
+#[test]
+fn sketched_sharded_matches_sequential_across_deltas() {
+    let g = graph(250, 59);
+    for shards in [1usize, 2, 3, 5] {
+        let mut seq = DeltaIndex::new(g.clone(), sketch_config()).unwrap();
+        let sharded = ShardedDeltaIndex::new(g.clone(), sketch_config(), shards).unwrap();
+        seq.warm(320).unwrap();
+        sharded.warm(320).unwrap();
+
+        let assert_sketch_eq = |seq: &DeltaIndex, sharded: &ShardedDeltaIndex, tag: &str| {
+            let snap = sharded.load();
+            let union = snap.union_sketch().expect("sharded sketch active");
+            let reference = seq.sketch_state().expect("sequential sketch active");
+            assert_eq!(&union, reference, "{tag} shards={shards}: union sketch");
+            let per_shard_sets: usize = (0..shards)
+                .map(|s| snap.shard(s).sketch_state().map_or(0, |sk| sk.len_sets()))
+                .sum();
+            assert_eq!(
+                per_shard_sets,
+                reference.len_sets(),
+                "{tag} shards={shards}: sketch set partition"
+            );
+        };
+        assert_sketch_eq(&seq, &sharded, "after warm");
+
+        let deltas = [
+            GraphDelta::new().insert_edge(7, 3, 0.6).delete_edge(1, 0),
+            GraphDelta::new().reweight_edge(3, 1, 0.42),
+        ];
+        for (round, delta) in deltas.iter().enumerate() {
+            for k in [1usize, 4, 6] {
+                let a = seq.query(k, 0.1, 0.01).unwrap();
+                let b = sharded.query(k, 0.1, 0.01).unwrap();
+                assert_eq!(a.seeds, b.seeds, "shards={shards} round={round} k={k}");
+                assert_eq!(
+                    a.stats.lower_bound, b.stats.lower_bound,
+                    "shards={shards} round={round} k={k}"
+                );
+                assert_eq!(
+                    a.stats.upper_bound, b.stats.upper_bound,
+                    "shards={shards} round={round} k={k}"
+                );
+                assert_eq!(a.stats.pool_after, b.stats.pool_after);
+                assert_eq!(a.stats.certified_by_bounds, b.stats.certified_by_bounds);
+                // Any error-ladder promotion must have happened (or not)
+                // identically on both sides.
+                assert_sketch_eq(&seq, &sharded, "after query");
+            }
+            let ra = seq.apply_delta(delta).unwrap();
+            let rb = sharded.apply_delta(delta).unwrap();
+            assert_eq!(ra.version, rb.version, "shards={shards}");
+            assert_eq!(ra.dirty_sets_r1, rb.dirty_sets_r1, "shards={shards}");
+            assert_eq!(ra.dirty_sets_r2, rb.dirty_sets_r2, "shards={shards}");
+            assert_eq!(ra.dirty_chunks_r1, rb.dirty_chunks_r1, "shards={shards}");
+            assert_eq!(ra.dirty_chunks_r2, rb.dirty_chunks_r2, "shards={shards}");
+            assert_eq!(ra.regenerated_sets, rb.regenerated_sets, "shards={shards}");
+            assert_sketch_eq(&seq, &sharded, "after delta");
+        }
+        let a = seq.query(5, 0.1, 0.01).unwrap();
+        let b = sharded.query(5, 0.1, 0.01).unwrap();
+        assert_eq!(a.seeds, b.seeds, "shards={shards} final");
+        assert_eq!(seq.version(), sharded.version());
+    }
+}
+
+/// Sketched sharded snapshots round-trip through the single-index v4
+/// format: reload at a different shard count, or into the sequential
+/// [`DeltaIndex`], with the re-split sketches serving identical answers.
+#[test]
+fn sketched_sharded_snapshot_round_trips_across_layouts() {
+    let dir = std::env::temp_dir().join("subsim_serve_sketch_snapshot_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pool.subsimix");
+    let g = graph(200, 61);
+    let sharded = ShardedDeltaIndex::new(g.clone(), sketch_config(), 3).unwrap();
+    sharded.warm(320).unwrap();
+    let want = sharded.query(4, 0.1, 0.01).unwrap();
+    sharded.save_snapshot(&path).unwrap();
+    let union = sharded.load().union_sketch().expect("sketch active");
+
+    for shards in [1usize, 2, 4] {
+        let resharded =
+            ShardedDeltaIndex::load_snapshot(g.clone(), sketch_config(), shards, &path).unwrap();
+        assert_eq!(
+            resharded.load().union_sketch().as_ref(),
+            Some(&union),
+            "reshard 3 -> {shards}: sketch"
+        );
+        let got = resharded.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(want.seeds, got.seeds, "reshard 3 -> {shards}: seeds");
+        assert_eq!(want.stats.lower_bound, got.stats.lower_bound);
+        assert_eq!(want.stats.upper_bound, got.stats.upper_bound);
+    }
+
+    let mut seq = DeltaIndex::load_snapshot(g, sketch_config(), &path).unwrap();
+    assert_eq!(
+        seq.sketch_state(),
+        Some(&union),
+        "shard -> sequential: sketch"
+    );
+    let got = seq.query(4, 0.1, 0.01).unwrap();
+    assert_eq!(want.seeds, got.seeds, "sequential reload diverges");
+    std::fs::remove_file(&path).ok();
+}
+
 /// Sharded snapshots round-trip through the single-index format with the
 /// sentinel block intact: reload at a different shard count, or into the
 /// sequential [`DeltaIndex`], and serve identical answers.

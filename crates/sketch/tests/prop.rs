@@ -1,0 +1,138 @@
+//! Property battery for the sketch algebra (ISSUE 9 satellite): the
+//! merge operation is associative, commutative, and idempotent;
+//! register-wise max over independently built sketches equals the
+//! sketch of the union; and serialization round-trips byte-identically.
+
+use proptest::prelude::*;
+use subsim_diffusion::RrCollection;
+use subsim_graph::NodeId;
+use subsim_sketch::hll::{self, num_registers};
+use subsim_sketch::SketchedPool;
+
+const N: usize = 64;
+
+/// Dense registers built from a raw list of set ids at `precision`.
+fn regs_of(ids: &[u64], precision: u8) -> Vec<u8> {
+    let mut regs = vec![0u8; num_registers(precision)];
+    for &id in ids {
+        let (idx, rank) = hll::hash_set_id(id, precision);
+        let slot = &mut regs[idx as usize];
+        *slot = (*slot).max(rank);
+    }
+    regs
+}
+
+/// A pool absorbing `sets` as whole chunks of `chunk` starting at
+/// global chunk id `first_chunk`.
+fn pool_of(sets: &[Vec<NodeId>], chunk: usize, first_chunk: u64, precision: u8) -> SketchedPool {
+    let mut rr = RrCollection::new(N);
+    for s in sets {
+        rr.push(s);
+    }
+    // Pad the tail to a whole chunk with singleton sets.
+    while !rr.len().is_multiple_of(chunk) {
+        rr.push(&[0]);
+    }
+    let mut pool = SketchedPool::new(N, chunk, precision);
+    pool.absorb_batch(first_chunk, &rr);
+    pool
+}
+
+fn arb_ids() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1_000_000, 0..200)
+}
+
+fn arb_sets() -> impl Strategy<Value = Vec<Vec<NodeId>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..N as u32, 1..8).prop_map(|mut s| {
+            s.sort_unstable();
+            s.dedup();
+            s
+        }),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Register merge is associative, commutative, and idempotent.
+    #[test]
+    fn merge_is_a_semilattice(a in arb_ids(), b in arb_ids(), c in arb_ids(), p in 4u8..=10) {
+        let (ra, rb, rc) = (regs_of(&a, p), regs_of(&b, p), regs_of(&c, p));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = ra.clone();
+        hll::merge_registers(&mut left, &rb);
+        hll::merge_registers(&mut left, &rc);
+        let mut bc = rb.clone();
+        hll::merge_registers(&mut bc, &rc);
+        let mut right = ra.clone();
+        hll::merge_registers(&mut right, &bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ∪ b == b ∪ a
+        let mut ab = ra.clone();
+        hll::merge_registers(&mut ab, &rb);
+        let mut ba = rb.clone();
+        hll::merge_registers(&mut ba, &ra);
+        prop_assert_eq!(&ab, &ba);
+
+        // a ∪ a == a
+        let mut aa = ra.clone();
+        hll::merge_registers(&mut aa, &ra);
+        prop_assert_eq!(&aa, &ra);
+    }
+
+    /// Register-wise max of independently built sketches equals the
+    /// sketch built from the union of ids — hence equal cardinality
+    /// estimates (the lossless-merge property shard determinism rests on).
+    #[test]
+    fn merge_equals_union_sketch(a in arb_ids(), b in arb_ids(), p in 4u8..=10) {
+        let mut merged = regs_of(&a, p);
+        hll::merge_registers(&mut merged, &regs_of(&b, p));
+        let mut union_ids = a.clone();
+        union_ids.extend_from_slice(&b);
+        let union = regs_of(&union_ids, p);
+        prop_assert_eq!(&merged, &union);
+        prop_assert_eq!(hll::estimate(&merged), hll::estimate(&union));
+    }
+
+    /// Serialization of the canonical pool form round-trips
+    /// byte-identically, and pool merge commutes with pool order.
+    #[test]
+    fn pool_serialization_round_trips(sets in arb_sets(), chunk in 1usize..6, p in 4u8..=10) {
+        let pool = pool_of(&sets, chunk, 0, p);
+        let mut buf = Vec::new();
+        pool.write_to(&mut buf).unwrap();
+        let back = SketchedPool::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(&back, &pool);
+        let mut buf2 = Vec::new();
+        back.write_to(&mut buf2).unwrap();
+        prop_assert_eq!(buf, buf2);
+    }
+
+    /// Merging disjoint pools is order-independent and agrees with the
+    /// split inverse.
+    #[test]
+    fn pool_merge_is_commutative(sets_a in arb_sets(), sets_b in arb_sets(), p in 4u8..=10) {
+        let chunk = 4usize;
+        let a = pool_of(&sets_a, chunk, 0, p);
+        // Disjoint chunk ids: b starts after a's last chunk.
+        let b = pool_of(&sets_b, chunk, a.num_chunks() as u64, p);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Splitting and re-merging reproduces the pool for any shard count.
+        for shards in [2usize, 3] {
+            let parts = ab.split(shards);
+            let mut re = SketchedPool::new(ab.graph_n(), chunk, p);
+            for part in &parts {
+                re.merge_from(part);
+            }
+            prop_assert_eq!(&re, &ab);
+        }
+    }
+}

@@ -45,7 +45,9 @@ pub use fault::{panic_on_chunk, panic_on_chunk_id, Fault, FaultyReader};
 pub use oracle::{mc_certified, CertifiedEstimate, ExactOracle, MAX_ORACLE_EDGES};
 pub use sim::{
     check_seed, check_seed_sentinel, check_seed_sharded, check_seed_sharded_sentinel,
-    generate_script, run_concurrent, run_concurrent_sentinel, run_sequential_model,
-    run_sequential_model_sentinel, run_sharded, run_sharded_sentinel, SimOutcome, SimStep,
+    check_seed_sharded_sketch, check_seed_sketch, generate_script, run_concurrent,
+    run_concurrent_sentinel, run_concurrent_sketch, run_sequential_model,
+    run_sequential_model_sentinel, run_sequential_model_sketch, run_sharded, run_sharded_sentinel,
+    run_sharded_sketch, SimOutcome, SimStep,
 };
 pub use stats::{chi_square_critical, chi_square_stat, hoeffding_half_width, merge_small_bins};

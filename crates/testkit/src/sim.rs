@@ -62,10 +62,24 @@ fn sim_config_sentinel() -> IndexConfig {
     sim_config().sentinels(2)
 }
 
+/// [`sim_config`] with the sketched validation tier enabled: the exact
+/// R₂ arena is displaced by per-node HLL count-distinct sketches at
+/// register precision 6. Sketch content is a pure function of pool
+/// size (deterministic hashing, no sampled state), so the model check
+/// carries over unchanged.
+fn sim_config_sketch() -> IndexConfig {
+    sim_config().sketch(6)
+}
+
 /// Sets every sentinel-enabled run pre-grows to before serving: past
 /// the 4-chunk warmup boundary, so the sentinel tier is active (and
 /// identically selected on every stack) before the first scripted line.
 const SENTINEL_WARM_SETS: usize = 320;
+
+/// Sets every sketch-enabled run pre-grows to before serving, so the
+/// first scripted query certifies (or ladders) from a populated sketch
+/// rather than growing from zero.
+const SKETCH_WARM_SETS: usize = 320;
 
 /// What one script line did, in canonical text form (identical between
 /// the concurrent run and the sequential model when behavior matches).
@@ -215,6 +229,16 @@ pub fn run_concurrent_sentinel(g: &Graph, script: &[String]) -> SimOutcome {
     run_serve_stack(&index, script)
 }
 
+/// [`run_concurrent`] with the sketched validation tier active: every
+/// scripted query certifies through the slack-widened OPIM bound over
+/// the HLL sketches (promoting precision when the slack blocks it).
+pub fn run_concurrent_sketch(g: &Graph, script: &[String]) -> SimOutcome {
+    let index =
+        ConcurrentDeltaIndex::new(g.clone(), sim_config_sketch()).expect("simulated index builds");
+    index.warm(SKETCH_WARM_SETS).expect("sketch warmup");
+    run_serve_stack(&index, script)
+}
+
 /// Runs `script` through the serving loop over an N-shard
 /// [`ShardedDeltaIndex`] — the model check that chunk-ownership sharding
 /// keeps serving a pure function of the script, byte-identical to the
@@ -233,6 +257,16 @@ pub fn run_sharded_sentinel(g: &Graph, script: &[String], shards: usize) -> SimO
     let index = ShardedDeltaIndex::new(g.clone(), sim_config_sentinel(), shards)
         .expect("simulated sharded index builds");
     index.warm(SENTINEL_WARM_SETS).expect("sentinel warmup");
+    run_serve_stack(&index, script)
+}
+
+/// [`run_sharded`] with the sketched validation tier active: per-shard
+/// sketches over owned chunks, merged at certification, must serve the
+/// exact session the sequential sketch model does for every shard count.
+pub fn run_sharded_sketch(g: &Graph, script: &[String], shards: usize) -> SimOutcome {
+    let index = ShardedDeltaIndex::new(g.clone(), sim_config_sketch(), shards)
+        .expect("simulated sharded index builds");
+    index.warm(SKETCH_WARM_SETS).expect("sketch warmup");
     run_serve_stack(&index, script)
 }
 
@@ -327,6 +361,16 @@ pub fn run_sequential_model_sentinel(g: &Graph, script: &[String]) -> SimOutcome
     let mut index =
         DeltaIndex::new(g.clone(), sim_config_sentinel()).expect("simulated index builds");
     index.warm(SENTINEL_WARM_SETS).expect("sentinel warmup");
+    run_model(index, script)
+}
+
+/// [`run_sequential_model`] with the sketched validation tier active
+/// and the same pre-serving warmup as the concurrent/sharded sketch
+/// runs.
+pub fn run_sequential_model_sketch(g: &Graph, script: &[String]) -> SimOutcome {
+    let mut index =
+        DeltaIndex::new(g.clone(), sim_config_sketch()).expect("simulated index builds");
+    index.warm(SKETCH_WARM_SETS).expect("sketch warmup");
     run_model(index, script)
 }
 
@@ -426,6 +470,39 @@ pub fn check_seed_sharded_sentinel(
     let sharded = run_sharded_sentinel(g, &script, shards);
     let model = run_sequential_model_sentinel(g, &script);
     let label = format!("sharded({shards})+sentinel");
+    diff_outcomes(&label, seed, steps, &script, &sharded, &model)
+}
+
+/// [`check_seed`] with the sketched validation tier active on both
+/// sides: the concurrent sketch stack (sketch-absorbing growth,
+/// chunk-wise sketch repair, error-ladder promotion) must match the
+/// sequential sketch model bit for bit.
+pub fn check_seed_sketch(g: &Graph, seed: u64, steps: usize) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let concurrent = run_concurrent_sketch(g, &script);
+    let model = run_sequential_model_sketch(g, &script);
+    diff_outcomes(
+        "concurrent+sketch",
+        seed,
+        steps,
+        &script,
+        &concurrent,
+        &model,
+    )
+}
+
+/// [`check_seed_sharded`] with the sketched validation tier active on
+/// both sides.
+pub fn check_seed_sharded_sketch(
+    g: &Graph,
+    seed: u64,
+    steps: usize,
+    shards: usize,
+) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let sharded = run_sharded_sketch(g, &script, shards);
+    let model = run_sequential_model_sketch(g, &script);
+    let label = format!("sharded({shards})+sketch");
     diff_outcomes(&label, seed, steps, &script, &sharded, &model)
 }
 

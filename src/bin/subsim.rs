@@ -90,6 +90,7 @@ struct ServerArgs {
     delta_stream: bool,
     shards: usize,
     sentinels: usize,
+    sketch: usize,
     framed: bool,
     listen: Option<String>,
 }
@@ -151,6 +152,13 @@ fn usage() -> &'static str {
      \t                     b <= the smallest k you will serve: a k < b query\n\
      \t                     certifies conservatively and may grow the pool to\n\
      \t                     its theta_max fallback before answering\n\
+     \t[--sketch <p>]       compress the validation pool into per-node HLL\n\
+     \t                     count-distinct sketches at register precision p\n\
+     \t                     (4..=10; ~2^p bytes per touched node per chunk).\n\
+     \t                     Certificates subtract the sketch error bound, so\n\
+     \t                     answers stay (epsilon, delta)-sound; precision\n\
+     \t                     auto-promotes when the slack blocks certification.\n\
+     \t                     Mutually exclusive with --sentinels\n\
      \t[--framed]           async multi-connection server over --socket and/or\n\
      \t                     --listen: 4-byte big-endian length-prefixed frames,\n\
      \t                     one reply frame per request frame, in order\n\
@@ -259,6 +267,7 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
         delta_stream: false,
         shards: 1,
         sentinels: 0,
+        sketch: 0,
         framed: false,
         listen: None,
     };
@@ -299,6 +308,11 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
                     .parse()
                     .map_err(|e| format!("--sentinels: {e}"))?
             }
+            "--sketch" => {
+                args.sketch = val("--sketch")?
+                    .parse()
+                    .map_err(|e| format!("--sketch: {e}"))?
+            }
             "--framed" => args.framed = true,
             "--listen" => args.listen = Some(val("--listen")?),
             "--warm" => args.warm = val("--warm")?.parse().map_err(|e| format!("--warm: {e}"))?,
@@ -321,6 +335,16 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
     }
     if args.shards == 0 {
         return Err("--shards must be positive".into());
+    }
+    if args.sketch != 0 && !(4..=10).contains(&args.sketch) {
+        return Err("--sketch precision must be in 4..=10".into());
+    }
+    if args.sketch != 0 && args.sentinels != 0 {
+        return Err(
+            "--sketch and --sentinels are mutually exclusive: truncated RR sets \
+             would poison the count-distinct estimates"
+                .into(),
+        );
     }
     if args.listen.is_some() {
         args.framed = true;
@@ -585,7 +609,8 @@ fn run_server(args: ServerArgs) -> Result<(), String> {
     let mut config = IndexConfig::new(strategy)
         .seed(args.seed)
         .threads(args.threads)
-        .sentinels(args.sentinels);
+        .sentinels(args.sentinels)
+        .sketch(args.sketch);
     if let Some(cap) = args.max_nodes {
         config = config.max_nodes(cap);
     }
