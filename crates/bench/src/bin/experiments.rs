@@ -8,6 +8,7 @@
 //! experiments bench-pr7 [out.json]   # sentinel-truncation bench (never part of `all`)
 //! experiments bench-pr8 [out.json]   # flat-frontier kernel bench (never part of `all`)
 //! experiments bench-pr9 [out.json]   # sketched-validation bench (never part of `all`)
+//! experiments bench-pr10 [out.json]  # linear-threshold kernel bench (never part of `all`)
 //! ```
 //!
 //! Scale is controlled by `SUBSIM_SCALE=small|paper` (default `paper`).
@@ -52,6 +53,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench-pr9") {
         let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pr9.json");
         harness::bench_pr9(scale, out);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench-pr10") {
+        let out = args.get(1).map(String::as_str).unwrap_or("BENCH_pr10.json");
+        harness::bench_pr10(scale, out);
         return;
     }
 

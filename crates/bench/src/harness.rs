@@ -1331,6 +1331,173 @@ pub fn bench_pr9(scale: Scale, out_path: &str) {
     println!("wrote {out_path}");
 }
 
+/// The Linear Threshold kernel benchmark behind `BENCH_pr10.json`:
+/// scalar vs flat-frontier LT RR generation across a thread sweep, under
+/// per-edge (Trivalency) weights so the chain kernel runs its
+/// alias-table arm rather than the uniform `gen_range` shortcut.
+///
+/// The two paths are *content-neutral* — the LT chain kernel consumes
+/// the RNG stream bitwise identically to the scalar alias walk (asserted
+/// per thread count here and pinned by `crates/diffusion/tests/frontier.rs`
+/// and `crates/testkit/tests/lt.rs`) — so only wall-clock differs. At
+/// `Small` scale the artifact is only written after asserting the
+/// frontier path sustains ≥ 1.2× the scalar sets/sec at every thread
+/// count.
+pub fn bench_pr10(scale: Scale, out_path: &str) {
+    header("PR10: Linear Threshold frontier generation");
+    // Re-weight the dataset for the LT rig: harmonic-skew per-edge
+    // weights summing to 0.9 per node, so reverse chains run ~10 links
+    // deep and every multi-in-degree node samples through a real alias
+    // table — the regime the chain kernel exists for. (WC/Trivalency
+    // sums leave chains ~2 links deep, where the per-set overhead both
+    // paths share hides the kernel comparison entirely.)
+    let base = dataset("pokec-s", WeightModel::Wc, scale);
+    let mut b = subsim_graph::GraphBuilder::new(base.n());
+    for v in 0..base.n() as u32 {
+        let nbrs = base.in_neighbors(v);
+        let h: f64 = (1..=nbrs.len()).map(|i| 1.0 / i as f64).sum();
+        for (i, &u) in nbrs.iter().enumerate() {
+            b = b.add_weighted_edge(u, v, 0.9 / ((i + 1) as f64 * h));
+        }
+    }
+    let g = b.build().expect("re-weighted bench graph");
+    // LT reverse walks are chains (each node keeps <= 1 live in-edge),
+    // so a pool sized like the IC benches finishes in microseconds and
+    // timer noise swamps the comparison. The LT rig uses a much deeper
+    // pool to push per-rep wall-clock into the stable-measurement
+    // regime.
+    let (chunks, chunk_size) = match scale {
+        Scale::Small => (64u64, 1024usize),
+        Scale::Paper => (128, 2048),
+    };
+    let sets = chunks as usize * chunk_size;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize];
+    while thread_counts.last().is_some_and(|&t| t * 2 <= cores) {
+        let next = thread_counts.last().unwrap() * 2;
+        thread_counts.push(next);
+    }
+    let r = reps(scale).max(7);
+
+    let scalar = RrSampler::scalar(&g, RrStrategy::Lt);
+    let frontier = RrSampler::new(&g, RrStrategy::Lt);
+    assert!(
+        frontier.uses_frontier(),
+        "LT chain kernel must engage on the bench workload"
+    );
+
+    // Chain-shape telemetry from one single-threaded pass: LT reverse
+    // walks are chains (each node keeps <= 1 live in-edge), so levels/set
+    // doubles as mean chain length before sentinel or cycle cutoff.
+    let mut ctx = RrContext::new(g.n());
+    let mut rng = rng_from_seed(1810);
+    for _ in 0..sets {
+        frontier.generate(&mut ctx, &mut rng);
+    }
+    let links_per_set = ctx.frontier_levels as f64 / sets as f64;
+
+    println!(
+        "graph n={} m={} (harmonic skew, Σp=0.9/node), pool {sets} sets \
+         (chunks {chunks} x {chunk_size}), cores {cores}",
+        g.n(),
+        g.m()
+    );
+    println!("chain telemetry: {links_per_set:.2} reverse links/set");
+    println!(
+        "{:>7} {:>10} {:>12} {:>14} {:>16} {:>9}",
+        "threads", "scalar_s", "frontier_s", "scalar_sets/s", "frontier_sets/s", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        let pool = WorkerPool::new(threads);
+        // Content witness at this thread count (doubles as warmup): the
+        // acceptance gate is meaningless unless the two paths agree bit
+        // for bit first.
+        let a = pool.generate_chunks(&scalar, None, 0..chunks, chunk_size, 1810);
+        let b = pool.generate_chunks(&frontier, None, 0..chunks, chunk_size, 1810);
+        for i in 0..sets {
+            assert_eq!(a.rr.get(i), b.rr.get(i), "LT paths diverged at set {i}");
+        }
+        assert_eq!(a.cost, b.cost, "LT cost proxies diverged");
+        // Paired rounds: each round times the two paths back to back and
+        // contributes one scalar/frontier ratio, so host-speed drift
+        // between rounds (the dominant noise on a shared box) cancels
+        // out of the gated speedup instead of landing on one side.
+        let mut t_s = Vec::with_capacity(r);
+        let mut t_f = Vec::with_capacity(r);
+        let mut ratios = Vec::with_capacity(r);
+        for _ in 0..r {
+            let start = Instant::now();
+            let b = pool.generate_chunks(&scalar, None, 0..chunks, chunk_size, 1810);
+            let s = start.elapsed().as_secs_f64();
+            assert_eq!(b.rr.len(), sets);
+            let start = Instant::now();
+            let b = pool.generate_chunks(&frontier, None, 0..chunks, chunk_size, 1810);
+            let f = start.elapsed().as_secs_f64();
+            assert_eq!(b.rr.len(), sets);
+            t_s.push(s);
+            t_f.push(f);
+            ratios.push(s / f.max(1e-12));
+        }
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let t_scalar = med(&mut t_s);
+        let t_frontier = med(&mut t_f);
+        let speedup = med(&mut ratios);
+        let sps_scalar = sets as f64 / t_scalar.max(1e-12);
+        let sps_frontier = sets as f64 / t_frontier.max(1e-12);
+        if matches!(scale, Scale::Small) {
+            assert!(
+                speedup >= 1.2,
+                "LT frontier path must sustain >= 1.2x scalar sets/sec on the \
+                 Small rig, got {speedup:.3}x at threads={threads}"
+            );
+        }
+
+        println!(
+            "{threads:>7} {t_scalar:>10.4} {t_frontier:>12.4} {sps_scalar:>14.1} \
+             {sps_frontier:>16.1} {speedup:>9.2}"
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"scalar_s\": {t_scalar:.6}, \
+             \"frontier_s\": {t_frontier:.6}, \"scalar_sets_per_sec\": {sps_scalar:.1}, \
+             \"frontier_sets_per_sec\": {sps_frontier:.1}, \
+             \"lt_speedup\": {speedup:.4}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr10_linear_threshold_frontier\",\n  {},\n  \
+         \"scale\": \"{scale:?}\",\n  \"dataset\": \"pokec-s\",\n  \
+         \"weights\": \"harmonic-skew-0.9\",\n  \"n\": {},\n  \"m\": {},\n  \
+         \"pool_sets\": {sets},\n  \"chunk_size\": {chunk_size},\n  \
+         \"links_per_set\": {links_per_set:.4},\n  \
+         \"single_core\": {},\n  \
+         \"rows\": [\n{}\n  ],\n  \
+         \"note\": \"scalar and frontier LT pools are bit-identical (asserted per row); \
+         lt_speedup is the chain-kernel win at equal thread count, asserted >= 1.2x at \
+         Small scale before this artifact is written. {}\"\n}}\n",
+        provenance(*thread_counts.last().unwrap()),
+        g.n(),
+        g.m(),
+        cores == 1,
+        rows.join(",\n"),
+        if cores == 1 {
+            "this run was recorded on a single-core host: the thread sweep degenerates to \
+             [1], so thread-scaling rows await a multi-core rerun"
+        } else {
+            "thread counts are capped at the host's cores, one worker per core"
+        },
+    );
+    std::fs::write(out_path, json).expect("writing bench artifact");
+    println!("wrote {out_path}");
+}
+
 /// Sanity line printed by `experiments all` before the figures.
 pub fn preamble(scale: Scale) {
     println!("SUBSIM/HIST experiment harness — scale {scale:?}");

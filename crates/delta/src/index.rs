@@ -486,7 +486,10 @@ impl DeltaIndex {
     /// snapshot. Fails with a typed
     /// [`IndexError::SnapshotMismatch`] (wrapped in
     /// [`DeltaError::Index`]) when the snapshot was taken at a different
-    /// graph version — the fingerprint pins the exact edge set.
+    /// graph version — the fingerprint pins the exact edge set — or was
+    /// generated under a different RR strategy than `config` asks for
+    /// (an LT pool must never silently serve an IC server, or vice
+    /// versa).
     pub fn load_snapshot<P: AsRef<Path>>(
         g: Graph,
         config: IndexConfig,
@@ -494,6 +497,7 @@ impl DeltaIndex {
     ) -> Result<Self, DeltaError> {
         let vg = VersionedGraph::new(g)?;
         let mut loaded = RrIndex::load_from_path(vg.graph(), path)?;
+        loaded.ensure_strategy(config.strategy)?;
         let sentinel = loaded.take_sentinel_state();
         let sketch = loaded.take_sketch_state();
         let (loaded_config, r1, r2, chunks) = loaded.into_pool_parts();

@@ -248,6 +248,35 @@ fn stale_snapshots_are_rejected_with_typed_errors() {
     std::fs::remove_file(&v1_path).ok();
 }
 
+/// An LT pool snapshot loaded into an IC-configured index (or vice
+/// versa) is refused with a typed mismatch — never adopted silently as
+/// the wrong diffusion model.
+#[test]
+fn cross_strategy_snapshots_are_rejected_with_typed_errors() {
+    let dir = std::env::temp_dir().join("subsim_delta_cross_strategy_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lt.subsimix");
+    let g = barabasi_albert(120, 3, WeightModel::Wc, 13);
+    let mut index = DeltaIndex::new(g.clone(), config(RrStrategy::Lt, 2)).unwrap();
+    index.warm(150).unwrap();
+    index.save_snapshot(&path).unwrap();
+
+    // Same strategy: loads and preserves the pool.
+    let reloaded = DeltaIndex::load_snapshot(g.clone(), config(RrStrategy::Lt, 2), &path).unwrap();
+    assert_eq!(reloaded.pool_len(), index.pool_len());
+
+    // IC-configured server: typed refusal naming both strategies.
+    let err = DeltaIndex::load_snapshot(g, config(RrStrategy::SubsimIc, 2), &path).unwrap_err();
+    match &err {
+        DeltaError::Index(IndexError::SnapshotMismatch { reason }) => {
+            assert!(reason.contains("Lt"), "{reason}");
+            assert!(reason.contains("SubsimIc"), "{reason}");
+        }
+        other => panic!("got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 /// Satellite 3c: concurrent serving surfaces version skew as a typed
 /// [`DeltaError::StaleVersion`], never a panic or a silent wrong answer.
 #[test]

@@ -1,4 +1,4 @@
-//! Flat, structure-of-arrays frontier kernel for IC reverse traversals.
+//! Flat, structure-of-arrays frontier kernel for reverse traversals.
 //!
 //! The scalar walk in [`super::ic`] chases one queue entry at a time
 //! through accessor calls: per node it re-derives the in-neighbor slice,
@@ -53,12 +53,19 @@
 //! `tests/frontier.rs` pins this differentially. Chunk determinism is
 //! therefore inherited unchanged: chunk `c` stays a pure function of
 //! `(seed, c)` no matter which path or worker generated it.
+//!
+//! **LT.** The Linear-Threshold reverse walk is a chain, not a BFS, so
+//! it gets a dedicated kernel ([`lt_chain`]) instead of the level loop:
+//! the scalar walk's per-node `Option<AliasTable>` chase and `f64`
+//! comparisons are replaced by flattened per-CSR-edge-slot alias
+//! thresholds and targets plus per-node continue coins, all decided in
+//! the integer domain — same draws, same order, bit-identical stream.
 
 use super::ic::{sample_per_edge, SCAN_THRESHOLD};
 use super::{RrContext, RrStrategy};
 use rand::Rng;
 use std::collections::HashMap;
-use subsim_graph::{Graph, NodeId};
+use subsim_graph::{Graph, LtIndex, NodeId};
 use subsim_sampling::geometric::{GeometricSkipper, NEVER};
 use subsim_sampling::{BucketJumpSampler, SkipperBank, SortedSubsetSampler};
 
@@ -127,6 +134,11 @@ enum Mode {
     SubsimUniform,
     SubsimPerEdge,
     BucketPerEdge,
+    /// LT reverse chain: the "frontier" is always one node wide, but the
+    /// per-step alias draw runs over flattened per-edge-slot tables with
+    /// integer-domain coins instead of chasing `Option<AliasTable>`
+    /// objects (see [`lt_chain`]).
+    Lt,
 }
 
 /// Per-`(graph, strategy)` state of the flat kernel.
@@ -143,25 +155,78 @@ pub(super) struct FrontierIndex {
     /// entry `lo + c` decides the draw taken at cursor `c`, whose
     /// remaining horizon is `degree - c`.
     miss: Vec<u64>,
+    /// Per-node chain-step records (`Lt` only): CSR base, in-degree, and
+    /// continue coin packed into one 16-byte entry so a chain step pays a
+    /// single node-metadata load instead of three (offsets ×2, coin,
+    /// tabled flag). Bit 63 of the coin is the [`LT_TABLED`] flag — coin
+    /// thresholds are ≤ 2⁵³, so the top bits are free.
+    lt_nodes: Vec<LtNode>,
+    /// Per-CSR-edge-slot alias records (`Lt` on per-edge weights): the
+    /// acceptance threshold `⌈prob[col] · 2⁵³⌉` plus the *pre-resolved
+    /// source node* of both outcomes — the column itself and its alias
+    /// redirect — so one 16-byte load finishes the step with no chase
+    /// through a separate alias-column array and the CSR source list.
+    /// Empty for uniform-weight graphs (the scalar path samples those
+    /// with a bare `gen_range`, no table).
+    lt_slots: Vec<LtSlot>,
     mode: Mode,
 }
 
+/// Flag bit stolen from the top of [`LtNode::coin`]: whether the scalar
+/// path draws this node's step through an alias table (vs. the uniform
+/// `gen_range` fallback it uses when no table was built).
+const LT_TABLED: u64 = 1 << 63;
+
+/// Packed per-node record for the LT chain kernel. 16 bytes — one cache
+/// line covers four nodes' worth of chain-step metadata.
+#[derive(Debug, Clone, Copy)]
+struct LtNode {
+    /// Reverse-CSR base of this node's in-edge slots.
+    lo: u32,
+    /// In-degree (`hi - lo`, precomputed).
+    d: u32,
+    /// Continue-the-walk threshold `⌈min(Σp, 1) · 2⁵³⌉`, with
+    /// [`LT_TABLED`] in bit 63.
+    coin: u64,
+}
+
+/// Packed per-edge-slot record for the LT chain kernel: drawing column
+/// `col` resolves to `src` when the unit sample accepts and `alias_src`
+/// when it redirects — the sources are baked in at build time, so the
+/// kernel never re-indexes the CSR source array.
+#[derive(Debug, Clone, Copy, Default)]
+struct LtSlot {
+    /// Alias acceptance threshold `⌈prob[col] · 2⁵³⌉`.
+    accept: u64,
+    /// Source node of this column.
+    src: u32,
+    /// Source node of this column's alias redirect.
+    alias_src: u32,
+}
+
 impl FrontierIndex {
-    /// Builds the kernel index, or `None` when the strategy has no flat
-    /// path (LT's reverse walk is a single chain — there is no frontier
-    /// to flatten) or the edge count does not fit `u32` offsets.
+    /// Builds the kernel index, or `None` when the edge count does not
+    /// fit `u32` offsets.
+    ///
+    /// `lt` is the sampler's alias index, required for
+    /// [`RrStrategy::Lt`] (its tables are flattened into the per-slot
+    /// `lt_accept`/`lt_alias` arrays) and ignored otherwise.
     ///
     /// Cost: `O(n + m)` for the offsets, bank, and coin tables, plus
     /// `O(log 2⁵³)` skipper evaluations per distinct `(rate, horizon)`
     /// pair for the overshoot boundaries (memoized — weight models with
     /// few distinct rates, e.g. WC's `1/d`, share nearly all of them).
-    pub(super) fn build(g: &Graph, strategy: RrStrategy) -> Option<FrontierIndex> {
+    pub(super) fn build(
+        g: &Graph,
+        strategy: RrStrategy,
+        lt: Option<&LtIndex>,
+    ) -> Option<FrontierIndex> {
         if g.m() >= u32::MAX as usize {
             return None;
         }
         let uniform = g.has_uniform_in_probs();
         let mode = match (strategy, uniform) {
-            (RrStrategy::Lt, _) => return None,
+            (RrStrategy::Lt, _) => Mode::Lt,
             (RrStrategy::VanillaIc, true) => Mode::VanillaUniform,
             (RrStrategy::VanillaIc, false) => Mode::VanillaPerEdge,
             // Bucket-IC on uniform graphs falls back to plain SUBSIM in
@@ -174,6 +239,8 @@ impl FrontierIndex {
         let mut bank = None;
         let mut coin = Vec::new();
         let mut miss = Vec::new();
+        let mut lt_nodes = Vec::new();
+        let mut lt_slots = Vec::new();
         match mode {
             Mode::VanillaUniform => {
                 let probs = g.uniform_in_probs().expect("uniform mode");
@@ -205,6 +272,47 @@ impl FrontierIndex {
                 }
                 bank = Some(b);
             }
+            Mode::Lt => {
+                let lt = lt.expect("LT samplers carry their alias index");
+                // Continue-the-walk threshold: the scalar step draws one
+                // unit sample and returns None when it lands at or above
+                // min(Σp, 1) — so the chain continues iff the 53-bit
+                // sample is < ⌈min(Σp, 1) · 2⁵³⌉.
+                // Clamped to `X_MAX`: unit samples are 53-bit, so any
+                // threshold ≥ 2⁵³ decides identically to the saturated
+                // `u64::MAX` that `coin_threshold` returns for p ≥ 1 —
+                // and the clamp keeps bit 63 free for [`LT_TABLED`].
+                lt_nodes = (0..g.n())
+                    .map(|v| LtNode {
+                        lo: offsets[v],
+                        d: offsets[v + 1] - offsets[v],
+                        coin: coin_threshold(lt.in_weight_sum(v as NodeId).min(1.0)).min(X_MAX),
+                    })
+                    .collect();
+                if !uniform {
+                    let sources = g.in_csr_sources();
+                    lt_slots = vec![LtSlot::default(); g.m()];
+                    for v in 0..g.n() {
+                        let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+                        // Untabled nodes draw a bare `gen_range` column,
+                        // so every slot carries its own source.
+                        for (slot, s) in lt_slots[lo..hi].iter_mut().enumerate() {
+                            s.src = sources[lo + slot];
+                        }
+                        let Some(table) = lt.table(v as NodeId) else {
+                            continue;
+                        };
+                        lt_nodes[v].coin |= LT_TABLED;
+                        debug_assert_eq!(table.len(), g.in_degree(v as NodeId));
+                        for (slot, (&p, &a)) in
+                            table.probs().iter().zip(table.aliases()).enumerate()
+                        {
+                            lt_slots[lo + slot].accept = coin_threshold(p);
+                            lt_slots[lo + slot].alias_src = sources[lo + a as usize];
+                        }
+                    }
+                }
+            }
             Mode::SubsimPerEdge | Mode::BucketPerEdge => {}
         }
         Some(FrontierIndex {
@@ -212,6 +320,8 @@ impl FrontierIndex {
             bank,
             coin,
             miss,
+            lt_nodes,
+            lt_slots,
             mode,
         })
     }
@@ -334,7 +444,86 @@ pub(super) fn traverse<R: Rng + ?Sized>(
             ctx,
             rng,
         ),
+        Mode::Lt => lt_chain(g, idx, ctx, rng),
     }
+}
+
+/// The LT reverse chain over packed per-node and per-slot records.
+///
+/// LT's "frontier" degenerates to a single node per level (at most one
+/// in-neighbor survives each step), so the level loop of [`drive`] is
+/// replaced by a chain walk whose steps hop to *random* nodes — making
+/// the walk memory-latency-bound, not compute-bound. The layout is
+/// built for that: one 16-byte [`LtNode`] load yields the CSR base,
+/// degree, continue coin, and tabled flag, and one 16-byte [`LtSlot`]
+/// load yields the acceptance threshold plus the pre-resolved source of
+/// both alias outcomes, so a step touches at most two data cache lines
+/// (plus the visited stamp). Telemetry and the cost proxy accumulate in
+/// registers and post once per chain.
+///
+/// **Bit-identity with [`super::lt::traverse_lt`]**, step by step:
+/// `cost += 1`; a zero-in-degree node returns before any draw; one unit
+/// sample decides continue-vs-stop against `⌈min(Σp,1)·2⁵³⌉` exactly
+/// like the scalar `gen::<f64>() >= sum` test; a tabled node then draws
+/// `gen_range(0..d)` for the column and one unit sample against the
+/// column's acceptance threshold — the same two draws, in the same
+/// order, deciding identically to `AliasTable::sample` — while an
+/// untabled node draws only `gen_range(0..d)`; revisit and sentinel
+/// handling mirror the scalar walk verbatim. Telemetry records one
+/// width-1 level per expanded chain node.
+fn lt_chain<R: Rng + ?Sized>(g: &Graph, idx: &FrontierIndex, ctx: &mut RrContext, rng: &mut R) {
+    let sources = g.in_csr_sources();
+    let nodes = &idx.lt_nodes;
+    let slots = &idx.lt_slots;
+    let per_edge = !slots.is_empty();
+    let mut cur = ctx.buf[0] as usize;
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        // SAFETY: `cur` is a CSR-validated node id (`< n`) and
+        // `lt_nodes` has length `n`.
+        let node = unsafe { *nodes.get_unchecked(cur) };
+        let d = node.d as usize;
+        if d == 0 {
+            // Dead end: the scalar step returns None before drawing.
+            break;
+        }
+        if (rng.next_u64() >> 11) >= (node.coin & !LT_TABLED) {
+            // No in-neighbor chosen (probability 1 - min(Σp, 1)).
+            break;
+        }
+        let lo = node.lo as usize;
+        let col = rng.gen_range(0..d);
+        // SAFETY (each arm): `col < d`, so `lo + col < m`; `lt_slots`
+        // (when built) and `sources` both have length `m`.
+        let u = if node.coin & LT_TABLED != 0 {
+            let slot = unsafe { *slots.get_unchecked(lo + col) };
+            if (rng.next_u64() >> 11) < slot.accept {
+                slot.src
+            } else {
+                slot.alias_src
+            }
+        } else if per_edge {
+            unsafe { slots.get_unchecked(lo + col).src }
+        } else {
+            unsafe { *sources.get_unchecked(lo + col) }
+        };
+        // The next iteration's first load is `lt_nodes[u]` — issue it
+        // now, before the visited-stamp and sentinel work.
+        prefetch_read(unsafe { nodes.as_ptr().add(u as usize) });
+        if !ctx.visit(u) {
+            // Revisit: the chain has closed a cycle.
+            break;
+        }
+        ctx.buf.push(u);
+        if ctx.is_sentinel(u) {
+            ctx.sentinel_hits += 1;
+            break;
+        }
+        cur = u as usize;
+    }
+    ctx.cost += steps;
+    ctx.note_chain(steps);
 }
 
 fn vanilla_uniform<R: Rng + ?Sized>(

@@ -183,6 +183,19 @@ impl RrContext {
         self.frontier_peak_width = self.frontier_peak_width.max(width as u64);
     }
 
+    /// Records `steps` width-1 levels in one shot: the LT chain kernel
+    /// batches its telemetry out of the hot loop, where a per-step
+    /// [`Self::note_level`] call is measurable against the two-load
+    /// step body.
+    #[inline]
+    fn note_chain(&mut self, steps: u64) {
+        self.frontier_levels += steps;
+        self.frontier_width_sum += steps;
+        if steps > 0 {
+            self.frontier_peak_width = self.frontier_peak_width.max(1);
+        }
+    }
+
     /// Starts a new generation: clears the buffer and bumps the epoch.
     fn begin(&mut self) {
         self.buf.clear();
@@ -230,8 +243,8 @@ pub struct RrSampler<'g> {
     bucket: Option<Vec<Option<BucketJumpSampler>>>,
     /// LT alias index (only for `Lt`).
     lt: Option<LtIndex>,
-    /// Flat-frontier kernel index (`None` for LT, for graphs too large for
-    /// `u32` offsets, and for samplers built via [`RrSampler::scalar`]).
+    /// Flat-frontier kernel index (`None` for graphs too large for `u32`
+    /// offsets and for samplers built via [`RrSampler::scalar`]).
     frontier: Option<frontier::FrontierIndex>,
 }
 
@@ -241,7 +254,7 @@ impl<'g> RrSampler<'g> {
     /// `O(n + m/64)` for the `u32` offsets and skipper bank).
     pub fn new(g: &'g Graph, strategy: RrStrategy) -> Self {
         let mut sampler = Self::scalar(g, strategy);
-        sampler.frontier = frontier::FrontierIndex::build(g, strategy);
+        sampler.frontier = frontier::FrontierIndex::build(g, strategy, sampler.lt.as_ref());
         sampler
     }
 

@@ -50,6 +50,8 @@ fn assert_paths_agree(
     let fast = RrSampler::new(g, strategy);
     let slow = RrSampler::scalar(g, strategy);
     assert!(!slow.uses_frontier());
+    // Every strategy has a flat path now — LT included (PR 10).
+    assert!(fast.uses_frontier(), "{strategy:?} must build a kernel");
     let mut ctx_f = RrContext::new(g.n());
     let mut ctx_s = RrContext::new(g.n());
     if !sentinel.is_empty() {
@@ -116,10 +118,35 @@ fn frontier_matches_scalar_on_degenerate_shapes() {
     }
 }
 
+/// LT across every weight model, including `WeightModel::Lt` itself
+/// (uniform `1/d_in` storage — the no-table `gen_range` arm) and the
+/// per-edge models that engage the flattened alias tables. Sentinel off
+/// and on, with the RNG-lockstep check of `assert_paths_agree`.
+#[test]
+fn lt_chain_matches_scalar_across_weight_models() {
+    let mut models = weight_models();
+    models.push(("lt", WeightModel::Lt));
+    for (wi, (wname, model)) in models.into_iter().enumerate() {
+        let g = barabasi_albert(400, 3, model, 1000 + wi as u64);
+        assert_paths_agree(&g, RrStrategy::Lt, &[], 400, 141 + wi as u64);
+        let hub = (0..g.n() as NodeId)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap();
+        assert_paths_agree(
+            &g,
+            RrStrategy::Lt,
+            &[hub, hub / 3 + 1],
+            400,
+            143 + wi as u64,
+        );
+        let _ = wname;
+    }
+}
+
 #[test]
 fn frontier_matches_scalar_across_thread_counts() {
     let g = barabasi_albert(350, 3, WeightModel::Wc, 88);
-    for strategy in [RrStrategy::VanillaIc, RrStrategy::SubsimIc] {
+    for strategy in [RrStrategy::VanillaIc, RrStrategy::SubsimIc, RrStrategy::Lt] {
         let fast = RrSampler::new(&g, strategy);
         let slow = RrSampler::scalar(&g, strategy);
         let reference = par_generate_chunks(&slow, None, 0..12, 32, 1, 89);
@@ -212,6 +239,24 @@ fn frontier_telemetry_populated_and_cost_bounded() {
     assert_eq!(ctx_f.frontier_peak_width, 0);
 }
 
+#[test]
+fn lt_chain_telemetry_records_width_one_levels() {
+    // The LT kernel is a chain walk: every recorded level is exactly one
+    // node wide, and the step count (cost) equals the level count.
+    let g = barabasi_albert(300, 3, WeightModel::Trivalency, 107);
+    let fast = RrSampler::new(&g, RrStrategy::Lt);
+    assert!(fast.uses_frontier());
+    let mut ctx = RrContext::new(g.n());
+    let mut rng = rng_from_seed(6);
+    for _ in 0..400 {
+        fast.generate(&mut ctx, &mut rng);
+    }
+    assert!(ctx.frontier_levels >= 400);
+    assert_eq!(ctx.frontier_width_sum, ctx.frontier_levels);
+    assert_eq!(ctx.frontier_peak_width, 1);
+    assert_eq!(ctx.cost, ctx.frontier_levels);
+}
+
 /// Strategy index → RrStrategy (proptest-friendly).
 fn strategy_of(i: usize) -> RrStrategy {
     STRATEGIES[i % STRATEGIES.len()]
@@ -259,5 +304,25 @@ proptest! {
         let sentinel: Vec<NodeId> =
             sentinel_raw.iter().map(|&v| v % n as u32).collect();
         assert_paths_agree(&g, strategy_of(strat), &sentinel, 120, gen_seed);
+    }
+
+    /// Heavy LT-only sweep: larger graphs, longer runs, per-edge and
+    /// uniform weight storage both engaged, sentinel sets of all sizes.
+    #[test]
+    #[ignore = "heavy LT differential sweep; run with --include-ignored in CI"]
+    fn lt_chain_equals_scalar_heavy(
+        n in 100usize..800,
+        edges_per in 2usize..6,
+        graph_seed in 0u64..1_000_000,
+        gen_seed in 0u64..1_000_000,
+        model in 0usize..7,
+        sentinel_raw in proptest::collection::vec(0u32..1_000_000, 0..8),
+    ) {
+        let mut models = weight_models();
+        models.push(("lt", WeightModel::Lt));
+        let g = erdos_renyi_gnm(n, n * edges_per, models[model % models.len()].1, graph_seed);
+        let sentinel: Vec<NodeId> =
+            sentinel_raw.iter().map(|&v| v % n as u32).collect();
+        assert_paths_agree(&g, RrStrategy::Lt, &sentinel, 200, gen_seed);
     }
 }

@@ -59,6 +59,15 @@ impl LtIndex {
         self.sums[v as usize]
     }
 
+    /// The alias table `v`'s reverse step draws from, or `None` when the
+    /// step samples uniformly (uniform weights) or `v` has no incoming
+    /// weight. Exposed so flattened kernels can replicate
+    /// [`LtIndex::sample_in_neighbor`] bitwise from structure-of-arrays
+    /// copies of exactly these tables.
+    pub fn table(&self, v: NodeId) -> Option<&AliasTable> {
+        self.tables[v as usize].as_ref()
+    }
+
     /// Samples the reverse LT step from `v`: returns the chosen
     /// in-neighbor, or `None` (probability `1 - Σ p`).
     #[inline]

@@ -533,6 +533,24 @@ impl<'g> RrIndex<'g> {
         &self.config
     }
 
+    /// Refuses an index whose pool was generated under a different RR
+    /// strategy than `expected`. The guard every snapshot-loading path
+    /// calls before adopting a loaded pool: an LT snapshot served by an
+    /// IC-configured server (or vice versa) would answer queries under
+    /// the wrong diffusion model without any further error, so the
+    /// disagreement must surface as a typed refusal at load time.
+    pub fn ensure_strategy(&self, expected: RrStrategy) -> Result<(), IndexError> {
+        if self.config.strategy == expected {
+            return Ok(());
+        }
+        Err(IndexError::SnapshotMismatch {
+            reason: format!(
+                "snapshot pool was generated under {:?}, server is configured for {expected:?}",
+                self.config.strategy
+            ),
+        })
+    }
+
     /// Sets per pool half.
     pub fn pool_len(&self) -> usize {
         self.r1.len()

@@ -512,6 +512,36 @@ mod tests {
         assert!(RrIndex::load(&g, bad.as_slice()).is_err());
     }
 
+    #[test]
+    fn flipped_strategy_byte_never_swaps_the_model_silently() {
+        // A *valid but different* strategy code with a refreshed trailer
+        // parses fine — the pool bytes carry no per-set strategy tag. The
+        // loaded config then claims the wrong diffusion model, which is
+        // exactly what `ensure_strategy` (the guard every serving loader
+        // calls against its configured strategy) must turn into a typed
+        // refusal rather than a silent model swap.
+        let g = barabasi_albert(120, 3, WeightModel::Wc, 46);
+        let index = warmed_index(&g); // SubsimIc, code 1
+        let mut buf = Vec::new();
+        index.save(&mut buf).unwrap();
+        let mut flipped = buf.clone();
+        flipped[20] = 3; // RrStrategy::Lt
+        refresh_trailer(&mut flipped);
+        let loaded = RrIndex::load(&g, flipped.as_slice()).unwrap();
+        assert_eq!(loaded.config().strategy, RrStrategy::Lt);
+        let err = loaded
+            .ensure_strategy(RrStrategy::SubsimIc)
+            .expect_err("an LT-stamped pool must not serve an IC server");
+        assert!(
+            matches!(err, IndexError::SnapshotMismatch { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("Lt"), "{err}");
+        // The untampered snapshot passes its own guard.
+        let clean = RrIndex::load(&g, buf.as_slice()).unwrap();
+        clean.ensure_strategy(RrStrategy::SubsimIc).unwrap();
+    }
+
     fn sentinel_index(g: &Graph) -> RrIndex<'_> {
         let mut index = RrIndex::new(
             g,

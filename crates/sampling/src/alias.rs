@@ -89,6 +89,19 @@ impl AliasTable {
         self.prob.is_empty()
     }
 
+    /// Per-column acceptance thresholds, in `[0, 1]` — the exact values
+    /// [`AliasTable::sample`] compares its uniform against. Exposed so
+    /// flattened (structure-of-arrays) kernels can replicate a draw
+    /// bitwise without going through the table object.
+    pub fn probs(&self) -> &[f64] {
+        &self.prob
+    }
+
+    /// Per-column alias targets, parallel to [`AliasTable::probs`].
+    pub fn aliases(&self) -> &[u32] {
+        &self.alias
+    }
+
     /// Draws one index, distributed proportionally to the input weights.
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {

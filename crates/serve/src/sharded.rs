@@ -1195,7 +1195,9 @@ impl ShardedDeltaIndex {
     /// loaded from a snapshot and re-split `chunk % shards` across shard
     /// arenas. Fails with a typed [`IndexError::SnapshotMismatch`]
     /// (wrapped in [`DeltaError::Index`]) when the snapshot was taken at
-    /// a different graph version.
+    /// a different graph version, or was generated under a different RR
+    /// strategy than `config` asks for — a pool must never silently
+    /// serve the wrong diffusion model.
     pub fn load_snapshot<P: AsRef<Path>>(
         g: Graph,
         config: IndexConfig,
@@ -1205,6 +1207,7 @@ impl ShardedDeltaIndex {
         assert!(shards > 0, "need at least one shard");
         let vg = VersionedGraph::new(g)?;
         let mut loaded = RrIndex::load_from_path(vg.graph(), path)?;
+        loaded.ensure_strategy(config.strategy)?;
         let sentinel = loaded.take_sentinel_state();
         let sketch = loaded.take_sketch_state();
         let (loaded_config, r1, r2, chunks) = loaded.into_pool_parts();

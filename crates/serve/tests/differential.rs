@@ -496,3 +496,44 @@ fn sharded_sentinel_snapshot_round_trips_across_layouts() {
     assert_eq!(want.seeds, got.seeds, "sequential reload diverges");
     std::fs::remove_file(&path).ok();
 }
+
+fn lt_config() -> IndexConfig {
+    IndexConfig::new(RrStrategy::Lt)
+        .seed(11)
+        .chunk_size(32)
+        .threads(2)
+}
+
+/// An LT pool snapshot round-trips through shard counts with identical
+/// answers — and an IC-configured sharded server refuses it with a
+/// typed mismatch instead of silently serving the wrong diffusion model.
+#[test]
+fn lt_sharded_snapshot_round_trips_and_refuses_ic_servers() {
+    let dir = std::env::temp_dir().join("subsim_serve_lt_snapshot_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pool.subsimix");
+    let g = graph(200, 71);
+    let sharded = ShardedDeltaIndex::new(g.clone(), lt_config(), 3).unwrap();
+    sharded.warm(320).unwrap();
+    let want = sharded.query(4, 0.1, 0.01).unwrap();
+    sharded.save_snapshot(&path).unwrap();
+
+    for shards in [1usize, 2, 4] {
+        let resharded =
+            ShardedDeltaIndex::load_snapshot(g.clone(), lt_config(), shards, &path).unwrap();
+        let got = resharded.query(4, 0.1, 0.01).unwrap();
+        assert_eq!(want.seeds, got.seeds, "reshard 3 -> {shards}: seeds");
+        assert_eq!(want.stats.lower_bound, got.stats.lower_bound);
+        assert_eq!(want.stats.upper_bound, got.stats.upper_bound);
+    }
+
+    let mut seq = DeltaIndex::load_snapshot(g.clone(), lt_config(), &path).unwrap();
+    let got = seq.query(4, 0.1, 0.01).unwrap();
+    assert_eq!(want.seeds, got.seeds, "sequential reload diverges");
+
+    let err = ShardedDeltaIndex::load_snapshot(g, config(), 2, &path).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("snapshot rejected"), "{msg}");
+    assert!(msg.contains("Lt") && msg.contains("SubsimIc"), "{msg}");
+    std::fs::remove_file(&path).ok();
+}

@@ -15,6 +15,11 @@
 //!   against *truth*, not against another sampler. A Monte-Carlo path
 //!   with Hoeffding-certified half-widths covers graphs past the
 //!   enumeration limit.
+//! - [`lt_oracle`] — the same referee for **Linear Threshold**: LT's
+//!   live-edge worlds are a product over per-node in-edge choices
+//!   (`Π (d_in + 1)` of them), enumerated in mixed radix and answered
+//!   through the shared world-ensemble queries, with an LT Monte-Carlo
+//!   certificate as the fallback.
 //! - [`sim`] — a **deterministic serving simulator**: a single `u64`
 //!   seed generates a whole serving session (interleaved queries,
 //!   version-pinned queries, and graph deltas), drives the real
@@ -37,17 +42,21 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod lt_oracle;
 pub mod oracle;
 pub mod sim;
 pub mod stats;
 
 pub use fault::{panic_on_chunk, panic_on_chunk_id, Fault, FaultyReader};
+pub use lt_oracle::{mc_certified_lt, ExactLtOracle, MAX_LT_ORACLE_WORLDS};
 pub use oracle::{mc_certified, CertifiedEstimate, ExactOracle, MAX_ORACLE_EDGES};
 pub use sim::{
-    check_seed, check_seed_sentinel, check_seed_sharded, check_seed_sharded_sentinel,
-    check_seed_sharded_sketch, check_seed_sketch, generate_script, run_concurrent,
-    run_concurrent_sentinel, run_concurrent_sketch, run_sequential_model,
-    run_sequential_model_sentinel, run_sequential_model_sketch, run_sharded, run_sharded_sentinel,
+    check_seed, check_seed_lt, check_seed_lt_sentinel, check_seed_lt_sketch, check_seed_sentinel,
+    check_seed_sharded, check_seed_sharded_lt, check_seed_sharded_lt_sketch,
+    check_seed_sharded_sentinel, check_seed_sharded_sketch, check_seed_sketch, generate_script,
+    run_concurrent, run_concurrent_lt, run_concurrent_sentinel, run_concurrent_sketch,
+    run_sequential_model, run_sequential_model_lt, run_sequential_model_sentinel,
+    run_sequential_model_sketch, run_sharded, run_sharded_lt, run_sharded_sentinel,
     run_sharded_sketch, SimOutcome, SimStep,
 };
 pub use stats::{chi_square_critical, chi_square_stat, hoeffding_half_width, merge_small_bins};

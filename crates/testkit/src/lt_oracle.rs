@@ -1,0 +1,333 @@
+//! Exact ground truth for influence maximization under Linear Threshold.
+//!
+//! LT has its own live-edge characterization (Kempe et al. 2003): every
+//! node `v` independently keeps **at most one** incoming live edge —
+//! edge `(u, v)` with probability `p(u, v)`, and none with probability
+//! `1 - Σ p`. The spread of a seed set is the expected number of nodes
+//! reachable from it over live edges, exactly as in IC, but the world
+//! distribution is a product over *nodes*, not edges: with in-degrees
+//! `d_v` there are `Π (d_v + 1)` worlds. [`ExactLtOracle`] enumerates
+//! them all in mixed radix and feeds the resulting ensemble into the
+//! same closed-form queries the IC oracle answers, so the serving stack
+//! and the `(1 - 1/e - ε)` certificate can be judged against LT *truth*
+//! rather than against another LT sampler that might share its bug.
+//!
+//! The enumeration mirrors the sampler's clamping: when `Σ p > 1` the
+//! reverse step fires with probability `min(Σ p, 1)` and picks neighbor
+//! `i` conditionally with `p_i / Σ p`, so the unconditional choice
+//! probability here is `p_i · min(Σ p, 1) / Σ p` and the none-choice
+//! gets `1 - min(Σ p, 1)`. For well-formed LT weights (`Σ p <= 1`) this
+//! reduces to `p_i` and `1 - Σ p` exactly.
+
+use crate::oracle::{reach_closure, CertifiedEstimate, Ensemble, NodeMask, World};
+use crate::stats::hoeffding_half_width;
+use subsim_diffusion::{mc_influence, CascadeModel};
+use subsim_graph::{Graph, InProbs, NodeId};
+
+/// Enumeration limit: `Π (d_in + 1)` worlds must stay tractable. `2^20`
+/// is ~1M worlds — release-mode territory, same budget as the IC
+/// oracle's `MAX_ORACLE_EDGES`.
+pub const MAX_LT_ORACLE_WORLDS: u64 = 1 << 20;
+
+/// An exact LT influence oracle over all `Π (d_in + 1)` live-edge worlds.
+pub struct ExactLtOracle {
+    ens: Ensemble,
+}
+
+/// One node's live-edge lottery: its in-neighbors with their
+/// unconditional choice probabilities, plus the leftover none-probability.
+struct Lottery {
+    nbrs: Vec<NodeId>,
+    probs: Vec<f64>,
+    none: f64,
+}
+
+fn lottery(g: &Graph, v: NodeId) -> Lottery {
+    let nbrs = g.in_neighbors(v).to_vec();
+    let raw: Vec<f64> = match g.in_probs(v) {
+        InProbs::Uniform(p) => vec![p; nbrs.len()],
+        InProbs::PerEdge(ps) => ps.to_vec(),
+    };
+    let sum: f64 = raw.iter().sum();
+    let fire = sum.min(1.0);
+    // Match the sampler: step fires with min(Σp, 1), then conditions on
+    // p_i / Σp; unconditional per-edge probability is p_i · fire / sum.
+    let scale = if sum > 0.0 { fire / sum } else { 0.0 };
+    Lottery {
+        nbrs,
+        probs: raw.iter().map(|p| p * scale).collect(),
+        none: 1.0 - fire,
+    }
+}
+
+impl ExactLtOracle {
+    /// Enumerates every LT live-edge world of `g`.
+    ///
+    /// # Panics
+    ///
+    /// If `Π (d_in + 1)` exceeds [`MAX_LT_ORACLE_WORLDS`] or `g` has more
+    /// than 16 nodes (the bitmask width).
+    pub fn new(g: &Graph) -> Self {
+        let n = g.n();
+        assert!(n <= NodeMask::BITS as usize, "oracle handles <= 16 nodes");
+        let lotteries: Vec<Lottery> = (0..n as NodeId).map(|v| lottery(g, v)).collect();
+        let world_count = lotteries
+            .iter()
+            .try_fold(1u64, |acc, l| {
+                acc.checked_mul(l.nbrs.len() as u64 + 1)
+                    .filter(|&c| c <= MAX_LT_ORACLE_WORLDS)
+            })
+            .unwrap_or_else(|| {
+                panic!("LT world product is past the enumeration limit of {MAX_LT_ORACLE_WORLDS}")
+            });
+
+        // Mixed-radix odometer over per-node choices: digit v ranges over
+        // 0..=d_in(v), where 0 means "no live in-edge" and digit c >= 1
+        // keeps edge (nbrs[c - 1] -> v).
+        let mut worlds = Vec::with_capacity(world_count as usize);
+        let mut digits = vec![0usize; n];
+        let mut out = vec![0 as NodeMask; n];
+        loop {
+            out.iter_mut().for_each(|o| *o = 0);
+            let mut prob = 1.0f64;
+            for (v, (&c, l)) in digits.iter().zip(&lotteries).enumerate() {
+                if c == 0 {
+                    prob *= l.none;
+                } else {
+                    prob *= l.probs[c - 1];
+                    out[l.nbrs[c - 1] as usize] |= 1 << v;
+                }
+            }
+            // Zero-probability worlds (e.g. the none-choice of a clamped
+            // node) still carry correct reach masks; keeping them is
+            // harmless and keeps the odometer uniform.
+            let reach_from = reach_closure(&out, n);
+            worlds.push(World { prob, reach_from });
+
+            let mut v = 0;
+            loop {
+                if v == n {
+                    debug_assert_eq!(worlds.len() as u64, world_count);
+                    return ExactLtOracle {
+                        ens: Ensemble { n, worlds },
+                    };
+                }
+                digits[v] += 1;
+                if digits[v] <= lotteries[v].nbrs.len() {
+                    break;
+                }
+                digits[v] = 0;
+                v += 1;
+            }
+        }
+    }
+
+    /// Node count of the underlying graph.
+    pub fn n(&self) -> usize {
+        self.ens.n
+    }
+
+    /// World count (`Π (d_in + 1)`).
+    pub fn worlds(&self) -> usize {
+        self.ens.worlds.len()
+    }
+
+    /// Exact LT influence spread `𝕀(S)` of a seed set.
+    pub fn influence(&self, seeds: &[NodeId]) -> f64 {
+        self.ens.influence(seeds)
+    }
+
+    /// Exact LT optimum `OPT_k` by brute force over all `C(n, k)` seed
+    /// sets; returns `(best_seeds, best_spread)`.
+    pub fn exact_opt(&self, k: usize) -> (Vec<NodeId>, f64) {
+        self.ens.exact_opt(k)
+    }
+
+    /// Exact distribution of the LT RR-set size for a uniformly random
+    /// root: entry `s - 1` is `P(|RR| = s)`, for `s` in `1..=n`.
+    pub fn rr_size_distribution(&self) -> Vec<f64> {
+        self.ens.rr_size_distribution()
+    }
+
+    /// Exact per-node LT RR membership probabilities: entry `v` is
+    /// `P(v ∈ RR)` for a uniformly random root.
+    pub fn rr_membership(&self) -> Vec<f64> {
+        self.ens.rr_membership()
+    }
+}
+
+/// Monte-Carlo spread of `seeds` under LT with `runs` forward
+/// simulations, certified by a Hoeffding bound (spread is bounded in
+/// `[0, n]`). The fallback oracle for graphs past the enumeration limit.
+pub fn mc_certified_lt(
+    g: &Graph,
+    seeds: &[NodeId],
+    runs: usize,
+    seed: u64,
+    delta: f64,
+) -> CertifiedEstimate {
+    CertifiedEstimate {
+        estimate: mc_influence(g, seeds, CascadeModel::Lt, runs, seed),
+        half_width: hoeffding_half_width(g.n() as f64, delta, runs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsim_graph::generators::path_graph;
+    use subsim_graph::{GraphBuilder, WeightModel};
+
+    /// 4 nodes point at node 0 with skewed custom weights summing to 0.8.
+    fn fan_in() -> Graph {
+        GraphBuilder::new(5)
+            .add_weighted_edge(1, 0, 0.4)
+            .add_weighted_edge(2, 0, 0.2)
+            .add_weighted_edge(3, 0, 0.15)
+            .add_weighted_edge(4, 0, 0.05)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_node_no_edges() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        let o = ExactLtOracle::new(&g);
+        assert_eq!(o.worlds(), 1);
+        assert_eq!(o.influence(&[0]), 1.0);
+        assert_eq!(o.rr_size_distribution(), vec![1.0]);
+    }
+
+    #[test]
+    fn two_node_edge_in_closed_form() {
+        // 0 -> 1 with p = 0.3: node 1 keeps the edge w.p. 0.3, so
+        // I({0}) = 1 + 0.3 and I({1}) = 1 — identical to IC on one edge.
+        let g = GraphBuilder::new(2)
+            .add_weighted_edge(0, 1, 0.3)
+            .build()
+            .unwrap();
+        let o = ExactLtOracle::new(&g);
+        assert_eq!(o.worlds(), 2);
+        assert!((o.influence(&[0]) - 1.3).abs() < 1e-12);
+        assert!((o.influence(&[1]) - 1.0).abs() < 1e-12);
+        let (best, opt) = o.exact_opt(1);
+        assert_eq!(best, vec![0]);
+        assert!((opt - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fan_in_spread_matches_edge_weights() {
+        // Node 0 keeps exactly one of its four in-edges (or none, w.p.
+        // 0.2), so I({u}) = 1 + p(u, 0) for each spoke u.
+        let g = fan_in();
+        let o = ExactLtOracle::new(&g);
+        assert_eq!(o.worlds(), 5);
+        for (u, p) in [(1u32, 0.4), (2, 0.2), (3, 0.15), (4, 0.05)] {
+            assert!((o.influence(&[u]) - (1.0 + p)).abs() < 1e-12, "seed {u}");
+        }
+        assert!((o.influence(&[0]) - 1.0).abs() < 1e-12);
+        let (best, opt) = o.exact_opt(1);
+        assert_eq!(best, vec![1]);
+        assert!((opt - 1.4).abs() < 1e-12);
+        // Two seeds: spoke influences only overlap at node 0, and 0's
+        // live edge can come from at most one of them.
+        let (best2, opt2) = o.exact_opt(2);
+        assert_eq!(best2, vec![1, 2]);
+        assert!((opt2 - (2.0 + 0.4 + 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_spread_is_geometric() {
+        // 0 -> 1 -> ... -> 5, each node keeps its single in-edge w.p. p:
+        // I({0}) = sum p^i — same closed form as IC on a path.
+        let p = 0.5;
+        let g = path_graph(6, WeightModel::UniformIc { p });
+        let o = ExactLtOracle::new(&g);
+        assert_eq!(o.worlds(), 1 << 5);
+        let expected: f64 = (0..6).map(|i| p.powi(i)).sum();
+        assert!((o.influence(&[0]) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lt_weights_make_in_edges_exhaustive() {
+        // WeightModel::Lt assigns 1/d_in, so Σp = 1: some in-edge is
+        // always live and the none-branch has probability zero.
+        let g = GraphBuilder::new(4)
+            .edges([(1, 0), (2, 0), (3, 0)])
+            .weights(WeightModel::Lt)
+            .build()
+            .unwrap();
+        let o = ExactLtOracle::new(&g);
+        // Each spoke's influence: itself + node 0 w.p. 1/3.
+        for u in 1..4u32 {
+            assert!((o.influence(&[u]) - (1.0 + 1.0 / 3.0)).abs() < 1e-12);
+        }
+        // Node 0 is reached from *some* spoke in every world.
+        let member = o.rr_membership();
+        let spoke_sum: f64 = member[1..].iter().sum();
+        assert!((spoke_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_sums_match_sampler_semantics() {
+        // Σp = 1.4 > 1: the reverse step always fires and the choice is
+        // renormalized to p_i / Σp, so I({1}) = 1 + 0.8/1.4.
+        let g = GraphBuilder::new(3)
+            .add_weighted_edge(1, 0, 0.8)
+            .add_weighted_edge(2, 0, 0.6)
+            .build()
+            .unwrap();
+        let o = ExactLtOracle::new(&g);
+        assert!((o.influence(&[1]) - (1.0 + 0.8 / 1.4)).abs() < 1e-12);
+        assert!((o.influence(&[2]) - (1.0 + 0.6 / 1.4)).abs() < 1e-12);
+        // The none-world exists in the odometer but carries probability 0.
+        let total: f64 = o.rr_size_distribution().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let g = fan_in();
+        let o = ExactLtOracle::new(&g);
+        let dist = o.rr_size_distribution();
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let mean_size: f64 = dist
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i + 1) as f64 * p)
+            .sum();
+        let member_sum: f64 = o.rr_membership().iter().sum();
+        assert!((mean_size - member_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mc_certificate_covers_exact_truth() {
+        let g = fan_in();
+        let o = ExactLtOracle::new(&g);
+        let truth = o.influence(&[1]);
+        let est = mc_certified_lt(&g, &[1], 4_000, 13, 1e-6);
+        assert!(
+            est.covers(truth),
+            "estimate {} ± {} misses truth {truth}",
+            est.estimate,
+            est.half_width
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "enumeration limit")]
+    fn oversized_graph_is_rejected() {
+        // 11 nodes all pointing at each other: node in-degrees of 10
+        // give 11^11 > 2^20 worlds.
+        let mut b = GraphBuilder::new(11);
+        for u in 0..11u32 {
+            for v in 0..11u32 {
+                if u != v {
+                    b = b.add_weighted_edge(u, v, 0.05);
+                }
+            }
+        }
+        ExactLtOracle::new(&b.build().unwrap());
+    }
+}

@@ -27,20 +27,129 @@ use subsim_graph::{Graph, NodeId};
 /// around 12–14 edges.
 pub const MAX_ORACLE_EDGES: usize = 20;
 
-/// Node-set bitmask; the oracle handles up to 16 nodes.
-type NodeMask = u16;
+/// Node-set bitmask; the oracles handle up to 16 nodes.
+pub(crate) type NodeMask = u16;
 
 /// One live-edge world: its probability and, per node, the set of nodes
 /// reachable from it over live edges (itself included).
-struct World {
-    prob: f64,
-    reach_from: Vec<NodeMask>,
+pub(crate) struct World {
+    pub(crate) prob: f64,
+    pub(crate) reach_from: Vec<NodeMask>,
+}
+
+/// Forward-reachability closure per node over the live out-masks:
+/// expand a frontier mask until it stops growing (at most `n` rounds).
+/// Shared by the IC world enumeration here and the LT live-edge
+/// enumeration in [`crate::lt_oracle`].
+pub(crate) fn reach_closure(out: &[NodeMask], n: usize) -> Vec<NodeMask> {
+    (0..n)
+        .map(|s| {
+            let mut mask: NodeMask = 1 << s;
+            loop {
+                let mut next = mask;
+                let mut bits = mask;
+                while bits != 0 {
+                    let u = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    next |= out[u];
+                }
+                if next == mask {
+                    break mask;
+                }
+                mask = next;
+            }
+        })
+        .collect()
+}
+
+/// A finite ensemble of live-edge worlds with the influence queries every
+/// exact oracle answers from it. The IC oracle enumerates `2^m` worlds
+/// (one per edge subset); the LT oracle enumerates `Π (d_in + 1)` worlds
+/// (one per product of per-node in-edge choices) — both end up here,
+/// because once the worlds and their probabilities are materialized the
+/// queries are model-agnostic finite sums.
+pub(crate) struct Ensemble {
+    pub(crate) n: usize,
+    pub(crate) worlds: Vec<World>,
+}
+
+impl Ensemble {
+    pub(crate) fn influence(&self, seeds: &[NodeId]) -> f64 {
+        self.worlds
+            .iter()
+            .map(|w| {
+                let mut mask: NodeMask = 0;
+                for &s in seeds {
+                    mask |= w.reach_from[s as usize];
+                }
+                w.prob * mask.count_ones() as f64
+            })
+            .sum()
+    }
+
+    pub(crate) fn exact_opt(&self, k: usize) -> (Vec<NodeId>, f64) {
+        assert!(k >= 1 && k <= self.n, "k={k} outside 1..={}", self.n);
+        let mut best_spread = f64::NEG_INFINITY;
+        let mut best: Vec<NodeId> = Vec::new();
+        let mut seeds: Vec<NodeId> = (0..k as NodeId).collect();
+        loop {
+            let spread = self.influence(&seeds);
+            if spread > best_spread {
+                best_spread = spread;
+                best = seeds.clone();
+            }
+            // Next k-combination of 0..n in lexicographic order.
+            let n = self.n as NodeId;
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return (best, best_spread);
+                }
+                i -= 1;
+                if seeds[i] < n - (k - i) as NodeId {
+                    seeds[i] += 1;
+                    for j in i + 1..k {
+                        seeds[j] = seeds[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn rr_size_distribution(&self) -> Vec<f64> {
+        let mut dist = vec![0.0f64; self.n];
+        let uniform = 1.0 / self.n as f64;
+        for w in &self.worlds {
+            for r in 0..self.n {
+                let size = w
+                    .reach_from
+                    .iter()
+                    .filter(|&&mask| mask >> r & 1 == 1)
+                    .count();
+                debug_assert!(size >= 1, "a root always reaches itself");
+                dist[size - 1] += w.prob * uniform;
+            }
+        }
+        dist
+    }
+
+    pub(crate) fn rr_membership(&self) -> Vec<f64> {
+        let mut p = vec![0.0f64; self.n];
+        let uniform = 1.0 / self.n as f64;
+        for w in &self.worlds {
+            for (u, &mask) in w.reach_from.iter().enumerate() {
+                // u belongs to the RR set of every root it reaches.
+                p[u] += w.prob * uniform * mask.count_ones() as f64;
+            }
+        }
+        p
+    }
 }
 
 /// An exact influence oracle over all `2^m` live-edge worlds of a graph.
 pub struct ExactOracle {
-    n: usize,
-    worlds: Vec<World>,
+    ens: Ensemble,
 }
 
 impl ExactOracle {
@@ -72,86 +181,34 @@ impl ExactOracle {
                     prob *= 1.0 - p;
                 }
             }
-            // Forward-reachability closure per node: expand a frontier
-            // mask until it stops growing (at most n rounds).
-            let reach_from: Vec<NodeMask> = (0..n)
-                .map(|s| {
-                    let mut mask: NodeMask = 1 << s;
-                    loop {
-                        let mut next = mask;
-                        let mut bits = mask;
-                        while bits != 0 {
-                            let u = bits.trailing_zeros() as usize;
-                            bits &= bits - 1;
-                            next |= out[u];
-                        }
-                        if next == mask {
-                            break mask;
-                        }
-                        mask = next;
-                    }
-                })
-                .collect();
+            let reach_from = reach_closure(&out, n);
             worlds.push(World { prob, reach_from });
         }
-        ExactOracle { n, worlds }
+        ExactOracle {
+            ens: Ensemble { n, worlds },
+        }
     }
 
     /// Node count of the underlying graph.
     pub fn n(&self) -> usize {
-        self.n
+        self.ens.n
     }
 
     /// World count (`2^m`).
     pub fn worlds(&self) -> usize {
-        self.worlds.len()
+        self.ens.worlds.len()
     }
 
     /// Exact influence spread `𝕀(S)` of a seed set: the expected number
     /// of nodes reachable from `S` over the live-edge distribution.
     pub fn influence(&self, seeds: &[NodeId]) -> f64 {
-        self.worlds
-            .iter()
-            .map(|w| {
-                let mut mask: NodeMask = 0;
-                for &s in seeds {
-                    mask |= w.reach_from[s as usize];
-                }
-                w.prob * mask.count_ones() as f64
-            })
-            .sum()
+        self.ens.influence(seeds)
     }
 
     /// Exact optimum `OPT_k = max_{|S| = k} 𝕀(S)` by brute force over
     /// all `C(n, k)` seed sets; returns `(best_seeds, best_spread)`.
     pub fn exact_opt(&self, k: usize) -> (Vec<NodeId>, f64) {
-        assert!(k >= 1 && k <= self.n, "k={k} outside 1..={}", self.n);
-        let mut best_spread = f64::NEG_INFINITY;
-        let mut best: Vec<NodeId> = Vec::new();
-        let mut seeds: Vec<NodeId> = (0..k as NodeId).collect();
-        loop {
-            let spread = self.influence(&seeds);
-            if spread > best_spread {
-                best_spread = spread;
-                best = seeds.clone();
-            }
-            // Next k-combination of 0..n in lexicographic order.
-            let n = self.n as NodeId;
-            let mut i = k;
-            loop {
-                if i == 0 {
-                    return (best, best_spread);
-                }
-                i -= 1;
-                if seeds[i] < n - (k - i) as NodeId {
-                    seeds[i] += 1;
-                    for j in i + 1..k {
-                        seeds[j] = seeds[j - 1] + 1;
-                    }
-                    break;
-                }
-            }
-        }
+        self.ens.exact_opt(k)
     }
 
     /// Exact distribution of the RR-set size for a uniformly random root:
@@ -161,34 +218,13 @@ impl ExactOracle {
     /// forward reach contains `r`, so its size is the count of nodes `u`
     /// with `r ∈ reach_from(u)` — a column sum of the reach matrix.
     pub fn rr_size_distribution(&self) -> Vec<f64> {
-        let mut dist = vec![0.0f64; self.n];
-        let uniform = 1.0 / self.n as f64;
-        for w in &self.worlds {
-            for r in 0..self.n {
-                let size = w
-                    .reach_from
-                    .iter()
-                    .filter(|&&mask| mask >> r & 1 == 1)
-                    .count();
-                debug_assert!(size >= 1, "a root always reaches itself");
-                dist[size - 1] += w.prob * uniform;
-            }
-        }
-        dist
+        self.ens.rr_size_distribution()
     }
 
     /// Exact per-node RR membership probabilities: entry `v` is
     /// `P(v ∈ RR)` for a uniformly random root.
     pub fn rr_membership(&self) -> Vec<f64> {
-        let mut p = vec![0.0f64; self.n];
-        let uniform = 1.0 / self.n as f64;
-        for w in &self.worlds {
-            for (u, &mask) in w.reach_from.iter().enumerate() {
-                // u belongs to the RR set of every root it reaches.
-                p[u] += w.prob * uniform * mask.count_ones() as f64;
-            }
-        }
-        p
+        self.ens.rr_membership()
     }
 }
 

@@ -47,11 +47,24 @@ const SIM_DELTA: f64 = 0.1;
 /// Index configuration shared by the concurrent run and the model: the
 /// pool must be a pure function of its size for the comparison to be
 /// exact, which holds for any fixed `(strategy, seed, chunk_size)`.
-fn sim_config() -> IndexConfig {
-    IndexConfig::new(RrStrategy::SubsimIc)
+fn base_config(strategy: RrStrategy) -> IndexConfig {
+    IndexConfig::new(strategy)
         .seed(42)
         .chunk_size(32)
         .threads(2)
+}
+
+/// The default simulated workload: subsim-style IC.
+fn sim_config() -> IndexConfig {
+    base_config(RrStrategy::SubsimIc)
+}
+
+/// [`sim_config`] under Linear Threshold: the pool grows chain-shaped
+/// LT RR sets through the identical serving machinery. Purity of the
+/// pool in its size holds exactly as for IC — the LT sampler is seeded
+/// per chunk the same way.
+fn sim_config_lt() -> IndexConfig {
+    base_config(RrStrategy::Lt)
 }
 
 /// [`sim_config`] with the sentinel tier enabled: chunks past the
@@ -69,6 +82,16 @@ fn sim_config_sentinel() -> IndexConfig {
 /// carries over unchanged.
 fn sim_config_sketch() -> IndexConfig {
     sim_config().sketch(6)
+}
+
+/// [`sim_config_lt`] with the sentinel tier enabled under LT.
+fn sim_config_lt_sentinel() -> IndexConfig {
+    sim_config_lt().sentinels(2)
+}
+
+/// [`sim_config_lt`] with the sketched validation tier enabled under LT.
+fn sim_config_lt_sketch() -> IndexConfig {
+    sim_config_lt().sketch(6)
 }
 
 /// Sets every sentinel-enabled run pre-grows to before serving: past
@@ -210,33 +233,75 @@ impl ServeSink for Recorder {
     }
 }
 
+/// Runs `script` through the real concurrent serving stack under an
+/// arbitrary [`IndexConfig`], warming the index to `warm_sets` first
+/// when nonzero.
+fn run_concurrent_cfg(
+    g: &Graph,
+    script: &[String],
+    config: IndexConfig,
+    warm: usize,
+) -> SimOutcome {
+    let index = ConcurrentDeltaIndex::new(g.clone(), config).expect("simulated index builds");
+    if warm > 0 {
+        index.warm(warm).expect("index warmup");
+    }
+    run_serve_stack(&index, script)
+}
+
+/// Runs `script` through an N-shard [`ShardedDeltaIndex`] under an
+/// arbitrary [`IndexConfig`], warming first when `warm > 0`.
+fn run_sharded_cfg(
+    g: &Graph,
+    script: &[String],
+    shards: usize,
+    config: IndexConfig,
+    warm: usize,
+) -> SimOutcome {
+    let index =
+        ShardedDeltaIndex::new(g.clone(), config, shards).expect("simulated sharded index builds");
+    if warm > 0 {
+        index.warm(warm).expect("index warmup");
+    }
+    run_serve_stack(&index, script)
+}
+
+/// Replays `script` against the sequential [`DeltaIndex`] under an
+/// arbitrary [`IndexConfig`], warming first when `warm > 0`.
+fn run_model_cfg(g: &Graph, script: &[String], config: IndexConfig, warm: usize) -> SimOutcome {
+    let mut index = DeltaIndex::new(g.clone(), config).expect("simulated index builds");
+    if warm > 0 {
+        index.warm(warm).expect("index warmup");
+    }
+    run_model(index, script)
+}
+
 /// Runs `script` through the real concurrent serving stack (one query
 /// worker, so the outcome is deterministic) and canonicalizes the
 /// result. Panics on internal serving errors — those are test failures,
 /// not simulation outcomes.
 pub fn run_concurrent(g: &Graph, script: &[String]) -> SimOutcome {
-    let index = ConcurrentDeltaIndex::new(g.clone(), sim_config()).expect("simulated index builds");
-    run_serve_stack(&index, script)
+    run_concurrent_cfg(g, script, sim_config(), 0)
 }
 
 /// [`run_concurrent`] with the sentinel tier active: the index warms
 /// past the sentinel boundary before the script starts, so every
 /// scripted query serves from truncated pools.
 pub fn run_concurrent_sentinel(g: &Graph, script: &[String]) -> SimOutcome {
-    let index = ConcurrentDeltaIndex::new(g.clone(), sim_config_sentinel())
-        .expect("simulated index builds");
-    index.warm(SENTINEL_WARM_SETS).expect("sentinel warmup");
-    run_serve_stack(&index, script)
+    run_concurrent_cfg(g, script, sim_config_sentinel(), SENTINEL_WARM_SETS)
 }
 
 /// [`run_concurrent`] with the sketched validation tier active: every
 /// scripted query certifies through the slack-widened OPIM bound over
 /// the HLL sketches (promoting precision when the slack blocks it).
 pub fn run_concurrent_sketch(g: &Graph, script: &[String]) -> SimOutcome {
-    let index =
-        ConcurrentDeltaIndex::new(g.clone(), sim_config_sketch()).expect("simulated index builds");
-    index.warm(SKETCH_WARM_SETS).expect("sketch warmup");
-    run_serve_stack(&index, script)
+    run_concurrent_cfg(g, script, sim_config_sketch(), SKETCH_WARM_SETS)
+}
+
+/// [`run_concurrent`] under Linear Threshold: the identical serving
+/// stack, pool of chain-shaped LT RR sets.
+pub fn run_concurrent_lt(g: &Graph, script: &[String]) -> SimOutcome {
+    run_concurrent_cfg(g, script, sim_config_lt(), 0)
 }
 
 /// Runs `script` through the serving loop over an N-shard
@@ -244,9 +309,7 @@ pub fn run_concurrent_sketch(g: &Graph, script: &[String]) -> SimOutcome {
 /// keeps serving a pure function of the script, byte-identical to the
 /// sequential model for every shard count.
 pub fn run_sharded(g: &Graph, script: &[String], shards: usize) -> SimOutcome {
-    let index = ShardedDeltaIndex::new(g.clone(), sim_config(), shards)
-        .expect("simulated sharded index builds");
-    run_serve_stack(&index, script)
+    run_sharded_cfg(g, script, shards, sim_config(), 0)
 }
 
 /// [`run_sharded`] with the sentinel tier active (see
@@ -254,20 +317,19 @@ pub fn run_sharded(g: &Graph, script: &[String], shards: usize) -> SimOutcome {
 /// applied per shard, and the outcome must still match the sequential
 /// sentinel model byte for byte.
 pub fn run_sharded_sentinel(g: &Graph, script: &[String], shards: usize) -> SimOutcome {
-    let index = ShardedDeltaIndex::new(g.clone(), sim_config_sentinel(), shards)
-        .expect("simulated sharded index builds");
-    index.warm(SENTINEL_WARM_SETS).expect("sentinel warmup");
-    run_serve_stack(&index, script)
+    run_sharded_cfg(g, script, shards, sim_config_sentinel(), SENTINEL_WARM_SETS)
 }
 
 /// [`run_sharded`] with the sketched validation tier active: per-shard
 /// sketches over owned chunks, merged at certification, must serve the
 /// exact session the sequential sketch model does for every shard count.
 pub fn run_sharded_sketch(g: &Graph, script: &[String], shards: usize) -> SimOutcome {
-    let index = ShardedDeltaIndex::new(g.clone(), sim_config_sketch(), shards)
-        .expect("simulated sharded index builds");
-    index.warm(SKETCH_WARM_SETS).expect("sketch warmup");
-    run_serve_stack(&index, script)
+    run_sharded_cfg(g, script, shards, sim_config_sketch(), SKETCH_WARM_SETS)
+}
+
+/// [`run_sharded`] under Linear Threshold.
+pub fn run_sharded_lt(g: &Graph, script: &[String], shards: usize) -> SimOutcome {
+    run_sharded_cfg(g, script, shards, sim_config_lt(), 0)
 }
 
 /// Drives any [`ServeIndex`] through [`serve_queries`] (one query
@@ -351,27 +413,25 @@ fn run_serve_stack<I: ServeIndex>(index: &I, script: &[String]) -> SimOutcome {
 /// Replays `script` against the sequential [`DeltaIndex`] — the
 /// reference semantics the concurrent stack must match.
 pub fn run_sequential_model(g: &Graph, script: &[String]) -> SimOutcome {
-    let index = DeltaIndex::new(g.clone(), sim_config()).expect("simulated index builds");
-    run_model(index, script)
+    run_model_cfg(g, script, sim_config(), 0)
 }
 
 /// [`run_sequential_model`] with the sentinel tier active and the same
 /// pre-serving warmup as the concurrent/sharded sentinel runs.
 pub fn run_sequential_model_sentinel(g: &Graph, script: &[String]) -> SimOutcome {
-    let mut index =
-        DeltaIndex::new(g.clone(), sim_config_sentinel()).expect("simulated index builds");
-    index.warm(SENTINEL_WARM_SETS).expect("sentinel warmup");
-    run_model(index, script)
+    run_model_cfg(g, script, sim_config_sentinel(), SENTINEL_WARM_SETS)
 }
 
 /// [`run_sequential_model`] with the sketched validation tier active
 /// and the same pre-serving warmup as the concurrent/sharded sketch
 /// runs.
 pub fn run_sequential_model_sketch(g: &Graph, script: &[String]) -> SimOutcome {
-    let mut index =
-        DeltaIndex::new(g.clone(), sim_config_sketch()).expect("simulated index builds");
-    index.warm(SKETCH_WARM_SETS).expect("sketch warmup");
-    run_model(index, script)
+    run_model_cfg(g, script, sim_config_sketch(), SKETCH_WARM_SETS)
+}
+
+/// [`run_sequential_model`] under Linear Threshold.
+pub fn run_sequential_model_lt(g: &Graph, script: &[String]) -> SimOutcome {
+    run_model_cfg(g, script, sim_config_lt(), 0)
 }
 
 fn run_model(mut index: DeltaIndex, script: &[String]) -> SimOutcome {
@@ -503,6 +563,78 @@ pub fn check_seed_sharded_sketch(
     let sharded = run_sharded_sketch(g, &script, shards);
     let model = run_sequential_model_sketch(g, &script);
     let label = format!("sharded({shards})+sketch");
+    diff_outcomes(&label, seed, steps, &script, &sharded, &model)
+}
+
+/// [`check_seed`] under Linear Threshold: the concurrent stack serving
+/// LT pools (chain-shaped RR sets, LT-aware delta repair) must match
+/// the sequential LT model bit for bit.
+pub fn check_seed_lt(g: &Graph, seed: u64, steps: usize) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let concurrent = run_concurrent_lt(g, &script);
+    let model = run_sequential_model_lt(g, &script);
+    diff_outcomes("concurrent+lt", seed, steps, &script, &concurrent, &model)
+}
+
+/// [`check_seed_sharded`] under Linear Threshold.
+pub fn check_seed_sharded_lt(
+    g: &Graph,
+    seed: u64,
+    steps: usize,
+    shards: usize,
+) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let sharded = run_sharded_lt(g, &script, shards);
+    let model = run_sequential_model_lt(g, &script);
+    let label = format!("sharded({shards})+lt");
+    diff_outcomes(&label, seed, steps, &script, &sharded, &model)
+}
+
+/// [`check_seed`] under Linear Threshold with the sentinel tier active
+/// on both sides: truncated LT chains through growth, repair, and
+/// refresh.
+pub fn check_seed_lt_sentinel(g: &Graph, seed: u64, steps: usize) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let concurrent = run_concurrent_cfg(g, &script, sim_config_lt_sentinel(), SENTINEL_WARM_SETS);
+    let model = run_model_cfg(g, &script, sim_config_lt_sentinel(), SENTINEL_WARM_SETS);
+    diff_outcomes(
+        "concurrent+lt+sentinel",
+        seed,
+        steps,
+        &script,
+        &concurrent,
+        &model,
+    )
+}
+
+/// [`check_seed`] under Linear Threshold with the sketched validation
+/// tier active on both sides.
+pub fn check_seed_lt_sketch(g: &Graph, seed: u64, steps: usize) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let concurrent = run_concurrent_cfg(g, &script, sim_config_lt_sketch(), SKETCH_WARM_SETS);
+    let model = run_model_cfg(g, &script, sim_config_lt_sketch(), SKETCH_WARM_SETS);
+    diff_outcomes(
+        "concurrent+lt+sketch",
+        seed,
+        steps,
+        &script,
+        &concurrent,
+        &model,
+    )
+}
+
+/// [`check_seed_sharded`] under Linear Threshold with the sketched
+/// validation tier active on both sides.
+pub fn check_seed_sharded_lt_sketch(
+    g: &Graph,
+    seed: u64,
+    steps: usize,
+    shards: usize,
+) -> Result<(), String> {
+    let script = generate_script(g, seed, steps);
+    let sharded = run_sharded_cfg(g, &script, shards, sim_config_lt_sketch(), SKETCH_WARM_SETS);
+    let model = run_model_cfg(g, &script, sim_config_lt_sketch(), SKETCH_WARM_SETS);
+    let label = format!("sharded({shards})+lt+sketch");
     diff_outcomes(&label, seed, steps, &script, &sharded, &model)
 }
 

@@ -113,6 +113,8 @@ fn usage() -> &'static str {
     "usage: subsim --graph <edge-list> --k <seeds>\n\
      \t[--algorithm mc|tim+|imm|ssa|opim|subsim|hist|hist+subsim]  (default hist+subsim)\n\
      \t[--model wc|wc-variant|uniform|exponential|weibull|trivalency|lt]  (default wc)\n\
+     \t[--lt]               shorthand for --model lt (Linear Threshold diffusion;\n\
+     \t                     works for the IM run, query-server, and apply-delta)\n\
      \t[--theta <f64>]      WC-variant boost (default 4.0)\n\
      \t[--p <f64>]          uniform-IC probability (default 0.01)\n\
      \t[--epsilon <f64>]    accuracy (default 0.1)\n\
@@ -200,6 +202,7 @@ fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
             "--k" => args.k = val("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--algorithm" => args.algorithm = val("--algorithm")?,
             "--model" => args.model = val("--model")?,
+            "--lt" => args.model = "lt".into(),
             "--theta" => {
                 args.theta = val("--theta")?
                     .parse()
@@ -276,6 +279,7 @@ fn parse_server_args(mut it: impl Iterator<Item = String>) -> Result<ServerArgs,
         match flag.as_str() {
             "--graph" => args.graph = val("--graph")?,
             "--model" => args.model = val("--model")?,
+            "--lt" => args.model = "lt".into(),
             "--theta" => {
                 args.theta = val("--theta")?
                     .parse()
@@ -378,6 +382,7 @@ fn parse_apply_delta_args(mut it: impl Iterator<Item = String>) -> Result<ApplyD
             "--index-in" => args.index_in = Some(val("--index-in")?),
             "--index-out" => args.index_out = Some(val("--index-out")?),
             "--model" => args.model = val("--model")?,
+            "--lt" => args.model = "lt".into(),
             "--theta" => {
                 args.theta = val("--theta")?
                     .parse()
@@ -708,6 +713,12 @@ fn run_static_server(args: ServerArgs, g: Graph, config: IndexConfig) -> Result<
         Some(path) if std::path::Path::new(path).exists() => {
             let mut loaded =
                 RrIndex::load_from_path(&g, path).map_err(|e| format!("loading {path}: {e}"))?;
+            // A pool generated under another diffusion model must not be
+            // adopted silently — same refusal the delta/sharded loaders
+            // make.
+            loaded
+                .ensure_strategy(config.strategy)
+                .map_err(|e| format!("loading {path}: {e}"))?;
             eprintln!(
                 "index: loaded {} sets/half from {path} (cursor {})",
                 loaded.pool_len(),

@@ -1110,3 +1110,139 @@ fn query_server_sharded_index_file_round_trips() {
     std::fs::remove_file(graph).ok();
     std::fs::remove_file(idx_file).ok();
 }
+
+/// `--lt --index-file` round-trips through shard counts: an LT pool saved
+/// by a 3-shard server reloads into 2-shard and single-shard LT servers
+/// and serves warm with identical answers.
+#[test]
+fn query_server_lt_index_file_round_trips_across_shard_counts() {
+    let mut edges = String::new();
+    for leaf in 1..10 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("lt_sharded_idx", &edges);
+    let idx_file = std::env::temp_dir().join(format!(
+        "subsim_cli_lt_sharded_idx_{}.bin",
+        std::process::id()
+    ));
+    let run = |shards: &str, warm: &str| {
+        let mut child = cli()
+            .args([
+                "query-server",
+                "--graph",
+                graph.to_str().unwrap(),
+                "--lt",
+                "--seed",
+                "5",
+                "--shards",
+                shards,
+                "--warm",
+                warm,
+                "--index-file",
+                idx_file.to_str().unwrap(),
+            ])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.take().unwrap().write_all(b"1 0.1\n").unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "shards={shards} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+
+    let first = run("3", "512");
+    assert!(idx_file.exists(), "--index-file must persist the LT pool");
+    let err = String::from_utf8_lossy(&first.stderr);
+    assert!(err.contains("3 shards"), "stderr: {err}");
+
+    for shards in ["2", "1"] {
+        let out = run(shards, "0");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("index: loaded"), "shards={shards}: {err}");
+        assert!(
+            err.contains("0 fresh"),
+            "loaded LT pool must serve warm at shards={shards}: {err}"
+        );
+        assert_eq!(
+            out.stdout, first.stdout,
+            "LT answers diverge after reload at shards={shards}"
+        );
+    }
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(idx_file).ok();
+}
+
+/// Loading an LT snapshot into an IC-configured server fails with the
+/// typed snapshot-mismatch refusal, naming both strategies — never a
+/// silent model swap.
+#[test]
+fn query_server_refuses_lt_snapshot_under_ic_config() {
+    let mut edges = String::new();
+    for leaf in 1..8 {
+        edges.push_str(&format!("0 {leaf}\n"));
+    }
+    let graph = write_temp_graph("lt_mismatch_idx", &edges);
+    let idx_file =
+        std::env::temp_dir().join(format!("subsim_cli_lt_mismatch_{}.bin", std::process::id()));
+
+    // Save an LT pool from the static server path.
+    let mut child = cli()
+        .args([
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--lt",
+            "--warm",
+            "128",
+            "--index-file",
+            idx_file.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(b"1 0.1\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(idx_file.exists());
+
+    // Reload without --lt: the WC-configured server must refuse the LT
+    // pool on every serving path, typed, naming both strategies.
+    for extra in [&[][..], &["--shards", "2"][..], &["--delta-stream"][..]] {
+        let mut args = vec![
+            "query-server",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--index-file",
+            idx_file.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let out = cli()
+            .args(&args)
+            .stdin(std::process::Stdio::null())
+            .output()
+            .unwrap();
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "{extra:?} must refuse: {err}");
+        assert!(err.contains("snapshot rejected"), "{extra:?}: {err}");
+        assert!(
+            err.contains("Lt") && err.contains("SubsimIc"),
+            "{extra:?}: {err}"
+        );
+    }
+
+    std::fs::remove_file(graph).ok();
+    std::fs::remove_file(idx_file).ok();
+}
